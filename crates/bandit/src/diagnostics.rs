@@ -1,0 +1,201 @@
+//! Learning diagnostics: the quantities the linear-bandit regret theory
+//! is built from, tracked online.
+//!
+//! The regret analyses behind the paper's algorithms (Abbasi-Yadkori et
+//! al. for OFUL/LinUCB; Agrawal & Goyal for linear TS) bound regret by
+//! the **elliptical potential**
+//!
+//! ```text
+//! Σ_t min(1, ‖x_t‖²_{Y_{t-1}⁻¹})  ≤  2 log(det Y_T / det λI)
+//!                                  ≤  2 d log(1 + T / (λ d))
+//! ```
+//!
+//! Tracking the left side while a policy runs gives a model-free,
+//! per-run yardstick: a learner whose empirical regret grows much
+//! faster than its elliptical potential is failing for reasons other
+//! than exploration capacity (which is precisely TS's failure mode
+//! here — its potential is as healthy as UCB's, the noise it injects
+//! on top is what hurts).
+
+use crate::RidgeEstimator;
+use fasea_linalg::Cholesky;
+
+/// Online tracker of the elliptical potential and the log-det growth of
+/// a ridge estimator's Gram matrix.
+#[derive(Debug, Clone)]
+pub struct EllipticalPotential {
+    potential: f64,
+    observations: u64,
+    lambda: f64,
+    dim: usize,
+}
+
+impl EllipticalPotential {
+    /// Creates a tracker for a `dim`-dimensional estimator with ridge
+    /// strength `lambda`.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0` or `lambda <= 0`.
+    pub fn new(dim: usize, lambda: f64) -> Self {
+        assert!(dim > 0, "EllipticalPotential: dim must be > 0");
+        assert!(lambda > 0.0, "EllipticalPotential: lambda must be > 0");
+        EllipticalPotential {
+            potential: 0.0,
+            observations: 0,
+            lambda,
+            dim,
+        }
+    }
+
+    /// Records one observed context. **Call before** the corresponding
+    /// [`RidgeEstimator::observe`] so the width is measured under
+    /// `Y_{t-1}` as in the theory.
+    pub fn record(&mut self, estimator: &RidgeEstimator, x: &[f64]) {
+        let w = estimator.confidence_width(x);
+        self.potential += (w * w).min(1.0);
+        self.observations += 1;
+    }
+
+    /// The accumulated potential `Σ min(1, ‖x‖²_{Y⁻¹})`.
+    pub fn potential(&self) -> f64 {
+        self.potential
+    }
+
+    /// Observations recorded.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// The theoretical ceiling `2 d log(1 + n / (λ d))` for the current
+    /// observation count (unit-norm contexts).
+    pub fn theoretical_bound(&self) -> f64 {
+        2.0 * self.dim as f64
+            * (1.0 + self.observations as f64 / (self.lambda * self.dim as f64)).ln()
+    }
+
+    /// Exact log-det form of the bound, `2·(log det Y − d log λ)`,
+    /// evaluated on a concrete estimator.
+    ///
+    /// # Panics
+    /// Panics if the estimator's Gram matrix fails to factor (cannot
+    /// happen while it is SPD).
+    pub fn log_det_bound(estimator: &RidgeEstimator) -> f64 {
+        let chol = estimator
+            .gram_cholesky()
+            .expect("log_det_bound: Y must be SPD");
+        2.0 * (chol.log_det() - estimator.dim() as f64 * estimator.lambda().ln())
+    }
+
+    /// Convenience: a Cholesky factor of the estimator's Gram matrix
+    /// (re-exported here so diagnostic code does not need `fasea-linalg`
+    /// directly).
+    pub fn gram_factor(estimator: &RidgeEstimator) -> Cholesky {
+        estimator
+            .gram_cholesky()
+            .expect("gram_factor: Y must be SPD")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_x(d: usize, k: u64) -> Vec<f64> {
+        let raw: Vec<f64> = (0..d)
+            .map(|i| (((k as usize * 31 + i * 7) % 13) as f64 / 13.0) - 0.4)
+            .collect();
+        let norm = raw.iter().map(|x| x * x).sum::<f64>().sqrt();
+        raw.iter().map(|x| x / norm.max(1e-12)).collect()
+    }
+
+    #[test]
+    fn potential_respects_theoretical_bound() {
+        let d = 6;
+        let lambda = 1.0;
+        let mut est = RidgeEstimator::new(d, lambda);
+        let mut pot = EllipticalPotential::new(d, lambda);
+        for k in 0..500 {
+            let x = unit_x(d, k);
+            pot.record(&est, &x);
+            est.observe(&x, (k % 2) as f64).unwrap();
+        }
+        assert_eq!(pot.observations(), 500);
+        assert!(pot.potential() > 0.0);
+        assert!(
+            pot.potential() <= pot.theoretical_bound() + 1e-9,
+            "potential {} exceeds bound {}",
+            pot.potential(),
+            pot.theoretical_bound()
+        );
+        // The exact log-det form is tighter than the generic ceiling
+        // and must also dominate the potential.
+        let exact = EllipticalPotential::log_det_bound(&est);
+        assert!(
+            pot.potential() <= exact + 1e-9,
+            "potential {} exceeds exact bound {exact}",
+            pot.potential()
+        );
+        assert!(exact <= pot.theoretical_bound() + 1e-9);
+    }
+
+    #[test]
+    fn potential_grows_sublinearly() {
+        let d = 4;
+        let mut est = RidgeEstimator::new(d, 1.0);
+        let mut pot = EllipticalPotential::new(d, 1.0);
+        let mut at_100 = 0.0;
+        for k in 0..1000 {
+            let x = unit_x(d, k);
+            pot.record(&est, &x);
+            est.observe(&x, 0.5).unwrap();
+            if k == 99 {
+                at_100 = pot.potential();
+            }
+        }
+        let at_1000 = pot.potential();
+        // 10x the observations must yield far less than 10x potential.
+        assert!(
+            at_1000 < at_100 * 4.0,
+            "potential not sublinear: {at_100} -> {at_1000}"
+        );
+    }
+
+    #[test]
+    fn repeated_direction_saturates() {
+        // Observing the same x over and over: widths collapse, potential
+        // converges.
+        let d = 3;
+        let mut est = RidgeEstimator::new(d, 1.0);
+        let mut pot = EllipticalPotential::new(d, 1.0);
+        let x = [1.0, 0.0, 0.0];
+        for _ in 0..200 {
+            pot.record(&est, &x);
+            est.observe(&x, 1.0).unwrap();
+        }
+        // Σ_{n≥0} 1/(1+n) over 200 terms ≈ ln(200) + γ ≈ 5.9.
+        assert!(pot.potential() < 7.0, "potential {}", pot.potential());
+    }
+
+    #[test]
+    fn bound_grows_with_dimension() {
+        let small = EllipticalPotential {
+            potential: 0.0,
+            observations: 1000,
+            lambda: 1.0,
+            dim: 5,
+        };
+        let large = EllipticalPotential {
+            potential: 0.0,
+            observations: 1000,
+            lambda: 1.0,
+            dim: 20,
+        };
+        assert!(large.theoretical_bound() > small.theoretical_bound());
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda must be > 0")]
+    fn rejects_bad_lambda() {
+        let _ = EllipticalPotential::new(3, 0.0);
+    }
+}

@@ -1,0 +1,340 @@
+//! Shared ridge-regression estimator (lines 1–2, 6, 13–14 of the
+//! paper's algorithms).
+
+use fasea_linalg::{Cholesky, LinalgError, ShermanMorrisonInverse, Vector};
+
+/// Rounds between full `Y⁻¹` re-factorisations. The Sherman–Morrison
+/// recursion is numerically benign (`Y` only grows in the PSD order),
+/// but over the paper's `T = 100 000` rounds a periodic refresh keeps
+/// the maintained inverse at factorisation accuracy essentially for free
+/// (one `O(d³)` solve every few thousand `O(d²)` updates).
+const REFRESH_INTERVAL: u64 = 4096;
+
+/// The regularised least-squares state every learning policy maintains:
+///
+/// * `Y = λ I + Σ x xᵀ` over all observed (arranged) contexts,
+/// * `b = Σ r x` over observed rewards,
+/// * `θ̂ = Y⁻¹ b` — the ridge estimate (line 6 of Algorithms 1/3/4).
+///
+/// `Y⁻¹` is maintained incrementally, so per-observation cost is `O(d²)`
+/// and `θ̂` recomputation is `O(d²)` (one mat-vec), against the paper's
+/// `O(d³)` per-round inversion accounting.
+///
+/// # Example
+///
+/// ```
+/// use fasea_bandit::RidgeEstimator;
+///
+/// let mut est = RidgeEstimator::new(2, 1.0); // d = 2, λ = 1
+/// // Noiseless rewards from θ = [0.8, 0.0].
+/// for _ in 0..100 {
+///     est.observe(&[1.0, 0.0], 0.8).unwrap();
+///     est.observe(&[0.0, 1.0], 0.0).unwrap();
+/// }
+/// let theta = est.theta_hat();
+/// assert!((theta[0] - 0.8).abs() < 0.01);
+/// assert!(theta[1].abs() < 0.01);
+/// // Confidence shrinks along observed directions.
+/// assert!(est.confidence_width(&[1.0, 0.0]) < 0.2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RidgeEstimator {
+    sm: ShermanMorrisonInverse,
+    b: Vector,
+    theta_hat: Vector,
+    theta_stale: bool,
+}
+
+impl RidgeEstimator {
+    /// Creates the estimator with `Y = λI`, `b = 0`.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0` or `lambda <= 0`.
+    pub fn new(dim: usize, lambda: f64) -> Self {
+        RidgeEstimator {
+            sm: ShermanMorrisonInverse::new(dim, lambda),
+            b: Vector::zeros(dim),
+            theta_hat: Vector::zeros(dim),
+            theta_stale: false, // Y⁻¹b = 0 initially, already correct.
+        }
+    }
+
+    /// Context dimension `d`.
+    pub fn dim(&self) -> usize {
+        self.sm.dim()
+    }
+
+    /// Regularisation strength λ.
+    pub fn lambda(&self) -> f64 {
+        self.sm.lambda()
+    }
+
+    /// Number of (context, reward) observations absorbed.
+    pub fn observations(&self) -> u64 {
+        self.sm.update_count()
+    }
+
+    /// Absorbs one observation: `Y += x xᵀ`, `b += r·x`.
+    ///
+    /// # Errors
+    /// Propagates [`LinalgError`] on dimension mismatch or non-finite
+    /// input.
+    pub fn observe(&mut self, x: &[f64], reward: f64) -> Result<(), LinalgError> {
+        if x.len() != self.dim() {
+            return Err(LinalgError::DimensionMismatch(self.dim(), x.len()));
+        }
+        if !reward.is_finite() {
+            return Err(LinalgError::NonFinite);
+        }
+        let xv = Vector::from(x);
+        self.sm.rank1_update(&xv)?;
+        self.b.axpy(reward, &xv);
+        self.theta_stale = true;
+        if self.sm.update_count().is_multiple_of(REFRESH_INTERVAL) {
+            self.sm.refresh()?;
+        }
+        Ok(())
+    }
+
+    /// The ridge estimate `θ̂ = Y⁻¹ b`, recomputed lazily after updates.
+    pub fn theta_hat(&mut self) -> &Vector {
+        if self.theta_stale {
+            self.theta_hat = self.sm.solve(&self.b);
+            self.theta_stale = false;
+        }
+        &self.theta_hat
+    }
+
+    /// Point estimate of an event's expected reward, `xᵀ θ̂`.
+    pub fn point_estimate(&mut self, x: &[f64]) -> f64 {
+        let theta = self.theta_hat();
+        fasea_linalg::Vector::from(x).dot(theta)
+    }
+
+    /// UCB confidence width `√(xᵀ Y⁻¹ x)` (Algorithm 3, line 8, without
+    /// the `α` multiplier).
+    pub fn confidence_width(&self, x: &[f64]) -> f64 {
+        self.sm
+            .inv_quadratic_form(&Vector::from(x))
+            .max(0.0)
+            .sqrt()
+    }
+
+    /// A Cholesky factor of the current `Y`, for TS posterior sampling.
+    ///
+    /// # Errors
+    /// Propagates factorisation failure (cannot happen while `Y ⪰ λI`).
+    pub fn gram_cholesky(&self) -> Result<Cholesky, LinalgError> {
+        // Y accumulates symmetric updates; symmetrise defensively on a
+        // copy to guard the factorisation against round-off asymmetry.
+        let mut y = self.sm.y().clone();
+        y.symmetrize()?;
+        Cholesky::factor(&y)
+    }
+
+    /// Borrows the maintained `Y⁻¹` (used by tests and diagnostics).
+    pub fn y_inv(&self) -> &fasea_linalg::Matrix {
+        self.sm.y_inv()
+    }
+
+    /// Borrows the Gram matrix `Y` (snapshot serialisation).
+    pub fn gram_matrix(&self) -> &fasea_linalg::Matrix {
+        self.sm.y()
+    }
+
+    /// Borrows the reward-weighted context sum `b` (snapshot
+    /// serialisation).
+    pub fn b_vector(&self) -> &Vector {
+        &self.b
+    }
+
+    /// Rebuilds an estimator from saved parts (snapshot restore): the
+    /// inverse is re-derived from `y` by factorisation.
+    ///
+    /// # Errors
+    /// Propagates factorisation failure when `y` is not SPD, or a
+    /// dimension mismatch between `y` and `b`.
+    pub fn from_parts(
+        lambda: f64,
+        y: fasea_linalg::Matrix,
+        b: Vector,
+        observations: u64,
+    ) -> Result<Self, LinalgError> {
+        if y.rows() != b.dim() {
+            return Err(LinalgError::DimensionMismatch(y.rows(), b.dim()));
+        }
+        let sm = ShermanMorrisonInverse::from_state(y, lambda, observations)?;
+        let dim = sm.dim();
+        let mut est = RidgeEstimator {
+            sm,
+            b,
+            theta_hat: Vector::zeros(dim),
+            theta_stale: true,
+        };
+        // Eagerly validate by computing θ̂ once.
+        let _ = est.theta_hat();
+        Ok(est)
+    }
+
+    /// Approximate state size in bytes: `Y`, `Y⁻¹` (d² each), `b`, `θ̂`
+    /// and the update scratch vector (d each).
+    pub fn state_bytes(&self) -> usize {
+        let d = self.dim();
+        (2 * d * d + 3 * d) * std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_estimator_predicts_zero() {
+        let mut e = RidgeEstimator::new(4, 1.0);
+        assert_eq!(e.theta_hat().as_slice(), &[0.0; 4]);
+        assert_eq!(e.point_estimate(&[1.0, 1.0, 1.0, 1.0]), 0.0);
+        assert_eq!(e.observations(), 0);
+    }
+
+    #[test]
+    fn one_observation_closed_form() {
+        // d=1, λ=1: after observing (x=1, r=1), Y=2, b=1 => θ̂ = 0.5.
+        let mut e = RidgeEstimator::new(1, 1.0);
+        e.observe(&[1.0], 1.0).unwrap();
+        assert!((e.theta_hat()[0] - 0.5).abs() < 1e-14);
+        assert_eq!(e.observations(), 1);
+    }
+
+    #[test]
+    fn converges_to_true_theta() {
+        // Noiseless linear rewards: θ̂ → θ as observations accumulate.
+        let theta = [0.3, -0.2, 0.5];
+        let mut e = RidgeEstimator::new(3, 1.0);
+        let mut state = 12345u64;
+        for _ in 0..5000 {
+            let x: Vec<f64> = (0..3)
+                .map(|_| {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+                })
+                .collect();
+            let r: f64 = x.iter().zip(&theta).map(|(a, b)| a * b).sum();
+            e.observe(&x, r).unwrap();
+        }
+        let hat = e.theta_hat();
+        for i in 0..3 {
+            assert!((hat[i] - theta[i]).abs() < 1e-2, "dim {i}: {}", hat[i]);
+        }
+    }
+
+    #[test]
+    fn confidence_width_shrinks_with_observations() {
+        let mut e = RidgeEstimator::new(2, 1.0);
+        let x = [0.6, 0.8];
+        let w0 = e.confidence_width(&x);
+        assert!((w0 - 1.0).abs() < 1e-12); // √(‖x‖²/λ) = ‖x‖ = 1
+        e.observe(&x, 1.0).unwrap();
+        let w1 = e.confidence_width(&x);
+        assert!(w1 < w0);
+        for _ in 0..100 {
+            e.observe(&x, 1.0).unwrap();
+        }
+        assert!(e.confidence_width(&x) < 0.1);
+    }
+
+    #[test]
+    fn unseen_direction_keeps_wide_confidence() {
+        let mut e = RidgeEstimator::new(2, 1.0);
+        for _ in 0..100 {
+            e.observe(&[1.0, 0.0], 0.5).unwrap();
+        }
+        // Orthogonal direction was never observed: width stays at √(1/λ).
+        let w = e.confidence_width(&[0.0, 1.0]);
+        assert!((w - 1.0).abs() < 1e-9, "w={w}");
+    }
+
+    #[test]
+    fn gram_cholesky_factors_current_y() {
+        let mut e = RidgeEstimator::new(3, 2.0);
+        e.observe(&[0.1, 0.2, 0.3], 1.0).unwrap();
+        e.observe(&[0.5, -0.1, 0.0], 0.0).unwrap();
+        let ch = e.gram_cholesky().unwrap();
+        let l = ch.factor_l();
+        let recon = l.matmul(&l.transposed());
+        // Y = 2I + x1 x1ᵀ + x2 x2ᵀ.
+        let mut y = fasea_linalg::Matrix::scaled_identity(3, 2.0);
+        y.add_outer(&Vector::from([0.1, 0.2, 0.3]), 1.0);
+        y.add_outer(&Vector::from([0.5, -0.1, 0.0]), 1.0);
+        assert!(recon.max_abs_diff(&y) < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_observations() {
+        let mut e = RidgeEstimator::new(2, 1.0);
+        assert!(e.observe(&[1.0], 1.0).is_err());
+        assert!(e.observe(&[1.0, 2.0], f64::NAN).is_err());
+        assert!(e.observe(&[f64::INFINITY, 0.0], 1.0).is_err());
+        assert_eq!(e.observations(), 0);
+    }
+
+    #[test]
+    fn refresh_interval_survives_long_runs() {
+        let mut e = RidgeEstimator::new(2, 1.0);
+        for i in 0..(2 * super::REFRESH_INTERVAL + 10) {
+            let x = [((i % 7) as f64) / 7.0, ((i % 5) as f64) / 5.0];
+            e.observe(&x, (i % 2) as f64).unwrap();
+        }
+        // After the periodic refresh the inverse must stay finite and
+        // symmetric at factorisation accuracy.
+        let y_inv = e.y_inv();
+        assert!(y_inv.is_finite());
+        assert!(y_inv.is_symmetric(1e-8));
+    }
+
+    #[test]
+    fn theta_hat_matches_closed_form() {
+        // θ̂ must equal (λI + Σ x xᵀ)⁻¹ Σ r·x computed independently via
+        // a fresh Cholesky factorisation.
+        use fasea_linalg::{Cholesky, Matrix};
+        let lambda = 0.7;
+        let d = 4;
+        let observations: Vec<(Vec<f64>, f64)> = (0..25)
+            .map(|k| {
+                let x: Vec<f64> = (0..d)
+                    .map(|i| ((k * 3 + i * 7) % 11) as f64 / 11.0 - 0.4)
+                    .collect();
+                (x, (k % 3) as f64 / 2.0)
+            })
+            .collect();
+
+        let mut e = RidgeEstimator::new(d, lambda);
+        for (x, r) in &observations {
+            e.observe(x, *r).unwrap();
+        }
+
+        let mut y = Matrix::scaled_identity(d, lambda);
+        let mut b = Vector::zeros(d);
+        for (x, r) in &observations {
+            let xv = Vector::from(x.as_slice());
+            y.add_outer(&xv, 1.0);
+            b.axpy(*r, &xv);
+        }
+        let expect = Cholesky::factor(&y).unwrap().solve(&b);
+        let got = e.theta_hat();
+        for i in 0..d {
+            assert!(
+                (got[i] - expect[i]).abs() < 1e-10,
+                "dim {i}: {} vs {}",
+                got[i],
+                expect[i]
+            );
+        }
+    }
+
+    #[test]
+    fn state_bytes_scales_quadratically() {
+        let e5 = RidgeEstimator::new(5, 1.0);
+        let e10 = RidgeEstimator::new(10, 1.0);
+        assert!(e10.state_bytes() > 3 * e5.state_bytes());
+    }
+}

@@ -1,0 +1,119 @@
+//! OPT — the clairvoyant reference strategy.
+
+use crate::{oracle_greedy, Policy, SelectionView};
+use fasea_core::{Arrangement, ContextMatrix, Feedback, LinearPayoffModel};
+
+/// The reference strategy the paper measures regret against: it knows the
+/// true `θ` and "uses Oracle-Greedy to select events greedily based on
+/// the true expected rewards of the events" (Section 5.1).
+///
+/// OPT runs against its **own** capacity state in the simulator — it
+/// consumes events like any other strategy, which is why its cumulative
+/// reward flattens once it exhausts all capacities (the paper observes
+/// this at `t = 65 664` under the default setting) and every learner's
+/// total regret then drops.
+#[derive(Debug, Clone)]
+pub struct Opt {
+    model: LinearPayoffModel,
+    scores: Vec<f64>,
+    selected_once: bool,
+}
+
+impl Opt {
+    /// Creates OPT from the ground-truth payoff model.
+    pub fn new(model: LinearPayoffModel) -> Self {
+        Opt {
+            model,
+            scores: Vec::new(),
+            selected_once: false,
+        }
+    }
+
+    /// The ground truth it plays with.
+    pub fn model(&self) -> &LinearPayoffModel {
+        &self.model
+    }
+}
+
+impl Policy for Opt {
+    fn name(&self) -> &'static str {
+        "OPT"
+    }
+
+    fn select(&mut self, view: &SelectionView<'_>) -> Arrangement {
+        let n = view.num_events();
+        self.scores.resize(n, 0.0);
+        for v in 0..n {
+            self.scores[v] = self
+                .model
+                .expected_reward(view.contexts, fasea_core::EventId(v));
+        }
+        self.selected_once = true;
+        oracle_greedy(&self.scores, view.conflicts, view.remaining, view.user_capacity)
+    }
+
+    fn observe(&mut self, _: u64, _: &ContextMatrix, _: &Arrangement, _: &Feedback) {
+        // Clairvoyant: nothing to learn.
+    }
+
+    fn last_scores(&self) -> Option<&[f64]> {
+        if self.selected_once {
+            Some(&self.scores)
+        } else {
+            None
+        }
+    }
+
+    fn state_bytes(&self) -> usize {
+        (self.model.dim() + self.scores.len()) * std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fasea_core::{ConflictGraph, EventId};
+    use fasea_linalg::Vector;
+
+    #[test]
+    fn picks_true_best_events() {
+        let model = LinearPayoffModel::new(Vector::from([1.0, 0.0]));
+        let mut opt = Opt::new(model);
+        let ctx = ContextMatrix::from_rows(3, 2, vec![0.2, 0.9, 0.8, 0.0, 0.5, 0.5]);
+        let g = ConflictGraph::new(3);
+        let rem = [1u32; 3];
+        let view = SelectionView {
+            t: 0,
+            user_capacity: 2,
+            contexts: &ctx,
+            conflicts: &g,
+            remaining: &rem,
+        };
+        let a = opt.select(&view);
+        // True rewards: 0.2, 0.8, 0.5 => events 1 then 2.
+        assert_eq!(a.events(), &[EventId(1), EventId(2)]);
+        let s = opt.last_scores().unwrap();
+        assert!((s[1] - 0.8).abs() < 1e-15);
+    }
+
+    #[test]
+    fn scores_equal_true_expected_rewards() {
+        let model = LinearPayoffModel::new(Vector::from([0.5, -0.5]));
+        let mut opt = Opt::new(model.clone());
+        let ctx = ContextMatrix::from_rows(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+        let g = ConflictGraph::new(2);
+        let rem = [1u32; 2];
+        let view = SelectionView {
+            t: 3,
+            user_capacity: 1,
+            contexts: &ctx,
+            conflicts: &g,
+            remaining: &rem,
+        };
+        let _ = opt.select(&view);
+        let s = opt.last_scores().unwrap();
+        assert_eq!(s[0], model.expected_reward(&ctx, EventId(0)));
+        assert_eq!(s[1], model.expected_reward(&ctx, EventId(1)));
+        assert_eq!(opt.name(), "OPT");
+    }
+}

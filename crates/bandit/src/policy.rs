@@ -1,0 +1,143 @@
+//! The policy interface shared by every FASEA strategy.
+
+use fasea_core::{Arrangement, ConflictGraph, ContextMatrix, Feedback};
+
+/// Everything a policy may look at when arranging events for the current
+/// user: the round index, the user's capacity `c_u`, the revealed
+/// contexts `x_{t,v}`, the conflict graph `CF`, and the *current*
+/// remaining capacities (public platform state — the number of free seats
+/// per event is visible on a real EBSN).
+///
+/// Deliberately absent: the true `θ` and the feedback coins. Only
+/// [`crate::Opt`] is constructed with knowledge of `θ`.
+#[derive(Debug, Clone, Copy)]
+pub struct SelectionView<'a> {
+    /// Time step `t` (0-based; policies that need the paper's 1-based `t`
+    /// in formulas, such as TS's `ln(t/δ)`, use `t + 1`).
+    pub t: u64,
+    /// The user's capacity `c_u`.
+    pub user_capacity: u32,
+    /// Revealed contexts, one row per event.
+    pub contexts: &'a ContextMatrix,
+    /// Conflicting event pairs.
+    pub conflicts: &'a ConflictGraph,
+    /// Remaining capacity per event.
+    pub remaining: &'a [u32],
+}
+
+impl SelectionView<'_> {
+    /// Number of events `|V|`.
+    pub fn num_events(&self) -> usize {
+        self.contexts.num_events()
+    }
+
+    /// Context dimension `d`.
+    pub fn dim(&self) -> usize {
+        self.contexts.dim()
+    }
+}
+
+/// A FASEA arrangement strategy.
+///
+/// The simulator drives the Definition 3 loop:
+///
+/// ```text
+/// for t in 0..T {
+///     let arrangement = policy.select(&view);          // propose A_t
+///     let outcome = environment.step(t, &user, &arrangement)?;
+///     policy.observe(t, &user.contexts, &arrangement, &outcome.feedback);
+/// }
+/// ```
+///
+/// `select` takes `&mut self` because several policies consume their own
+/// randomness (TS's posterior sample, eGreedy's exploration coin) or
+/// cache the scores they used.
+pub trait Policy {
+    /// Short stable name used in reports ("UCB", "TS", …).
+    fn name(&self) -> &'static str;
+
+    /// Proposes an arrangement for the current user. Implementations must
+    /// return a feasible arrangement (≤ `c_u` events, non-conflicting,
+    /// all with remaining capacity) — the environment re-validates and
+    /// an error there is a policy bug.
+    fn select(&mut self, view: &SelectionView<'_>) -> Arrangement;
+
+    /// Consumes the user's feedback on the arranged events. `contexts`
+    /// is the same block that was shown to `select` at time `t`.
+    fn observe(
+        &mut self,
+        t: u64,
+        contexts: &ContextMatrix,
+        arrangement: &Arrangement,
+        feedback: &Feedback,
+    );
+
+    /// Per-event scores used by the most recent `select` call, indexed by
+    /// event id; `None` before the first selection. The harness ranks
+    /// these against the ground-truth expected rewards to reproduce the
+    /// paper's Kendall-τ plot (Figure 2).
+    fn last_scores(&self) -> Option<&[f64]>;
+
+    /// Approximate bytes of learner state (excluding the shared input
+    /// data), for the paper's memory columns in Tables 5 and 6.
+    fn state_bytes(&self) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fasea_core::EventId;
+
+    /// A trivial policy used to exercise the trait object surface.
+    struct AlwaysFirst {
+        scores: Vec<f64>,
+    }
+
+    impl Policy for AlwaysFirst {
+        fn name(&self) -> &'static str {
+            "AlwaysFirst"
+        }
+        fn select(&mut self, view: &SelectionView<'_>) -> Arrangement {
+            self.scores = vec![0.0; view.num_events()];
+            if view.user_capacity > 0 && view.remaining.first().is_some_and(|&c| c > 0) {
+                Arrangement::new(vec![EventId(0)])
+            } else {
+                Arrangement::empty()
+            }
+        }
+        fn observe(&mut self, _: u64, _: &ContextMatrix, _: &Arrangement, _: &Feedback) {}
+        fn last_scores(&self) -> Option<&[f64]> {
+            if self.scores.is_empty() {
+                None
+            } else {
+                Some(&self.scores)
+            }
+        }
+        fn state_bytes(&self) -> usize {
+            self.scores.len() * 8
+        }
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let mut p: Box<dyn Policy> = Box::new(AlwaysFirst { scores: vec![] });
+        let contexts = ContextMatrix::zeros(3, 2);
+        let conflicts = ConflictGraph::new(3);
+        let remaining = [1u32, 1, 1];
+        let view = SelectionView {
+            t: 0,
+            user_capacity: 2,
+            contexts: &contexts,
+            conflicts: &conflicts,
+            remaining: &remaining,
+        };
+        assert_eq!(view.num_events(), 3);
+        assert_eq!(view.dim(), 2);
+        assert!(p.last_scores().is_none());
+        let a = p.select(&view);
+        assert_eq!(a.len(), 1);
+        assert_eq!(p.last_scores().unwrap().len(), 3);
+        assert_eq!(p.name(), "AlwaysFirst");
+        assert_eq!(p.state_bytes(), 24);
+    }
+}

@@ -1,0 +1,172 @@
+//! Random — the paper's uninformed baseline.
+
+use crate::{oracle_greedy, Policy, SelectionView};
+use fasea_core::{Arrangement, ContextMatrix, Feedback};
+use rand::Rng as _;
+
+/// The Random baseline: "visits each `v ∈ V` in a random order and the
+/// rest is the same as lines 3–5 of Oracle-Greedy" (Section 5.1). It
+/// ignores contexts and feedback entirely.
+///
+/// The random visiting order is realised as i.i.d. uniform priorities
+/// fed to Oracle-Greedy; the priorities double as `last_scores`, which
+/// is why Random's Kendall correlation with the ground truth hovers
+/// around zero in the Figure 2 reproduction.
+#[derive(Debug, Clone)]
+pub struct RandomPolicy {
+    rng: fasea_stats::Rng,
+    scores: Vec<f64>,
+    selected_once: bool,
+}
+
+impl RandomPolicy {
+    /// Creates the baseline with a policy-private RNG seed.
+    pub fn new(seed: u64) -> Self {
+        RandomPolicy {
+            rng: fasea_stats::rng_from_seed(seed),
+            scores: Vec::new(),
+            selected_once: false,
+        }
+    }
+}
+
+impl Policy for RandomPolicy {
+    fn name(&self) -> &'static str {
+        "Random"
+    }
+
+    fn select(&mut self, view: &SelectionView<'_>) -> Arrangement {
+        let n = view.num_events();
+        self.scores.resize(n, 0.0);
+        for s in self.scores.iter_mut() {
+            *s = self.rng.gen::<f64>();
+        }
+        self.selected_once = true;
+        oracle_greedy(&self.scores, view.conflicts, view.remaining, view.user_capacity)
+    }
+
+    fn observe(&mut self, _: u64, _: &ContextMatrix, _: &Arrangement, _: &Feedback) {
+        // Feedback-oblivious by definition.
+    }
+
+    fn last_scores(&self) -> Option<&[f64]> {
+        if self.selected_once {
+            Some(&self.scores)
+        } else {
+            None
+        }
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.scores.len() * std::mem::size_of::<f64>()
+            + std::mem::size_of::<fasea_stats::Rng>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fasea_core::{ConflictGraph, EventId};
+
+    #[test]
+    fn fills_user_capacity_when_possible() {
+        let mut p = RandomPolicy::new(1);
+        let ctx = ContextMatrix::zeros(10, 2);
+        let g = ConflictGraph::new(10);
+        let rem = [1u32; 10];
+        let view = SelectionView {
+            t: 0,
+            user_capacity: 4,
+            contexts: &ctx,
+            conflicts: &g,
+            remaining: &rem,
+        };
+        let a = p.select(&view);
+        assert_eq!(a.len(), 4);
+    }
+
+    #[test]
+    fn selections_vary_across_rounds() {
+        let mut p = RandomPolicy::new(2);
+        let ctx = ContextMatrix::zeros(20, 1);
+        let g = ConflictGraph::new(20);
+        let rem = [10u32; 20];
+        let mut seen = std::collections::HashSet::new();
+        for t in 0..50 {
+            let view = SelectionView {
+                t,
+                user_capacity: 1,
+                contexts: &ctx,
+                conflicts: &g,
+                remaining: &rem,
+            };
+            seen.insert(p.select(&view).events()[0]);
+        }
+        assert!(seen.len() > 5, "not random enough: {}", seen.len());
+    }
+
+    #[test]
+    fn approximately_uniform_over_events() {
+        let mut p = RandomPolicy::new(3);
+        let n = 10usize;
+        let ctx = ContextMatrix::zeros(n, 1);
+        let g = ConflictGraph::new(n);
+        let rem = [u32::MAX; 10];
+        let mut counts = vec![0u32; n];
+        let rounds = 20_000;
+        for t in 0..rounds {
+            let view = SelectionView {
+                t,
+                user_capacity: 1,
+                contexts: &ctx,
+                conflicts: &g,
+                remaining: &rem,
+            };
+            counts[p.select(&view).events()[0].index()] += 1;
+        }
+        for (v, &c) in counts.iter().enumerate() {
+            let frac = c as f64 / rounds as f64;
+            assert!((frac - 0.1).abs() < 0.02, "event {v}: {frac}");
+        }
+    }
+
+    #[test]
+    fn respects_conflicts_and_capacity() {
+        let mut p = RandomPolicy::new(4);
+        let ctx = ContextMatrix::zeros(4, 1);
+        let g = ConflictGraph::complete(4);
+        let rem = [1u32, 0, 1, 1];
+        for t in 0..20 {
+            let view = SelectionView {
+                t,
+                user_capacity: 3,
+                contexts: &ctx,
+                conflicts: &g,
+                remaining: &rem,
+            };
+            let a = p.select(&view);
+            assert!(a.len() <= 1);
+            assert!(!a.contains(EventId(1)));
+        }
+    }
+
+    #[test]
+    fn observe_is_noop_and_scores_exposed() {
+        let mut p = RandomPolicy::new(5);
+        assert!(p.last_scores().is_none());
+        let ctx = ContextMatrix::zeros(3, 1);
+        let g = ConflictGraph::new(3);
+        let rem = [1u32; 3];
+        let view = SelectionView {
+            t: 0,
+            user_capacity: 1,
+            contexts: &ctx,
+            conflicts: &g,
+            remaining: &rem,
+        };
+        let a = p.select(&view);
+        p.observe(0, &ctx, &a, &Feedback::new(vec![true]));
+        assert_eq!(p.last_scores().unwrap().len(), 3);
+        assert_eq!(p.name(), "Random");
+    }
+}

@@ -1,0 +1,257 @@
+//! Binary snapshots of learner state.
+//!
+//! A production arrangement service cannot afford to relearn `θ` from
+//! scratch on every restart — the paper's own real-data experiment shows
+//! learning takes hundreds of rounds. This module serialises the shared
+//! [`RidgeEstimator`] state (λ, `Y`, `b`) to a small self-describing
+//! binary blob and restores it exactly (`Y⁻¹` is re-derived by
+//! factorisation rather than trusted from disk, so a snapshot can never
+//! smuggle in an inconsistent inverse).
+//!
+//! Format (little-endian):
+//!
+//! ```text
+//! magic  "FASEAEST"           8 bytes
+//! version u32                 4 bytes
+//! dim     u32                 4 bytes
+//! lambda  f64                 8 bytes
+//! count   u64                 8 bytes   (observation count)
+//! Y       dim*dim f64         row-major
+//! b       dim f64
+//! ```
+//!
+//! No serde: the format is 5 fixed fields and two float arrays, and a
+//! hand-rolled codec keeps the workspace inside the sanctioned
+//! dependency set.
+
+use crate::RidgeEstimator;
+use fasea_linalg::{Matrix, Vector};
+
+/// Magic prefix identifying an estimator snapshot.
+pub const MAGIC: &[u8; 8] = b"FASEAEST";
+/// Current format version.
+pub const VERSION: u32 = 1;
+
+/// Errors from snapshot decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The blob does not start with [`MAGIC`].
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// The blob is shorter than its header promises.
+    Truncated,
+    /// Header fields are inconsistent (zero dim, non-finite λ, …).
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::BadMagic => write!(f, "not a FASEA estimator snapshot"),
+            SnapshotError::BadVersion(v) => write!(f, "unsupported snapshot version {v}"),
+            SnapshotError::Truncated => write!(f, "snapshot is truncated"),
+            SnapshotError::Corrupt(what) => write!(f, "snapshot is corrupt: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Serialises an estimator's state.
+pub fn save_estimator(estimator: &RidgeEstimator) -> Vec<u8> {
+    let d = estimator.dim();
+    let mut out = Vec::with_capacity(32 + 8 * (d * d + d));
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(d as u32).to_le_bytes());
+    out.extend_from_slice(&estimator.lambda().to_le_bytes());
+    out.extend_from_slice(&estimator.observations().to_le_bytes());
+    for &v in estimator.gram_matrix().as_slice() {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    for &v in estimator.b_vector().as_slice() {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Restores an estimator from a snapshot blob.
+///
+/// # Errors
+/// Any structural problem with the blob; the restored `Y` must also be
+/// SPD (it is re-factorised to rebuild `Y⁻¹`).
+pub fn restore_estimator(blob: &[u8]) -> Result<RidgeEstimator, SnapshotError> {
+    let mut at = 0usize;
+    let take = |at: &mut usize, n: usize| -> Result<&[u8], SnapshotError> {
+        if *at + n > blob.len() {
+            return Err(SnapshotError::Truncated);
+        }
+        let s = &blob[*at..*at + n];
+        *at += n;
+        Ok(s)
+    };
+
+    if take(&mut at, 8)? != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version = u32::from_le_bytes(take(&mut at, 4)?.try_into().unwrap());
+    if version != VERSION {
+        return Err(SnapshotError::BadVersion(version));
+    }
+    let dim = u32::from_le_bytes(take(&mut at, 4)?.try_into().unwrap()) as usize;
+    if dim == 0 || dim > 1 << 16 {
+        return Err(SnapshotError::Corrupt("implausible dimension"));
+    }
+    let lambda = f64::from_le_bytes(take(&mut at, 8)?.try_into().unwrap());
+    if !(lambda > 0.0 && lambda.is_finite()) {
+        return Err(SnapshotError::Corrupt("lambda must be positive and finite"));
+    }
+    let count = u64::from_le_bytes(take(&mut at, 8)?.try_into().unwrap());
+
+    let read_f64s = |at: &mut usize, n: usize| -> Result<Vec<f64>, SnapshotError> {
+        let raw = take(at, 8 * n)?;
+        let vals: Vec<f64> = raw
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        if vals.iter().any(|v| !v.is_finite()) {
+            return Err(SnapshotError::Corrupt("non-finite state values"));
+        }
+        Ok(vals)
+    };
+    let y_data = read_f64s(&mut at, dim * dim)?;
+    let b_data = read_f64s(&mut at, dim)?;
+    if at != blob.len() {
+        return Err(SnapshotError::Corrupt("trailing bytes"));
+    }
+
+    let y = Matrix::from_rows(dim, dim, y_data);
+    let b = Vector::from(b_data);
+    RidgeEstimator::from_parts(lambda, y, b, count)
+        .map_err(|_| SnapshotError::Corrupt("Gram matrix is not positive definite"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trained_estimator() -> RidgeEstimator {
+        let mut e = RidgeEstimator::new(5, 0.5);
+        for k in 0..200 {
+            let x: Vec<f64> = (0..5)
+                .map(|i| ((k * 7 + i * 3) % 11) as f64 / 11.0 - 0.3)
+                .collect();
+            e.observe(&x, (k % 2) as f64).unwrap();
+        }
+        e
+    }
+
+    #[test]
+    fn round_trip_preserves_predictions() {
+        let mut original = trained_estimator();
+        let blob = save_estimator(&original);
+        let mut restored = restore_estimator(&blob).unwrap();
+        assert_eq!(restored.dim(), original.dim());
+        assert_eq!(restored.lambda(), original.lambda());
+        assert_eq!(restored.observations(), original.observations());
+        for k in 0..20 {
+            let x: Vec<f64> = (0..5).map(|i| ((k + i) % 7) as f64 / 7.0).collect();
+            let a = original.point_estimate(&x);
+            let b = restored.point_estimate(&x);
+            assert!((a - b).abs() < 1e-10, "prediction drift: {a} vs {b}");
+            let wa = original.confidence_width(&x);
+            let wb = restored.confidence_width(&x);
+            assert!((wa - wb).abs() < 1e-10, "width drift: {wa} vs {wb}");
+        }
+    }
+
+    #[test]
+    fn restored_estimator_keeps_learning() {
+        let original = trained_estimator();
+        let blob = save_estimator(&original);
+        let mut restored = restore_estimator(&blob).unwrap();
+        restored.observe(&[0.1, 0.2, 0.3, 0.1, 0.0], 1.0).unwrap();
+        assert_eq!(restored.observations(), original.observations() + 1);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut blob = save_estimator(&trained_estimator());
+        blob[0] = b'X';
+        assert!(matches!(
+            restore_estimator(&blob),
+            Err(SnapshotError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut blob = save_estimator(&trained_estimator());
+        blob[8] = 99;
+        assert!(matches!(
+            restore_estimator(&blob),
+            Err(SnapshotError::BadVersion(99))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncation_anywhere() {
+        let blob = save_estimator(&trained_estimator());
+        for cut in [0, 7, 12, 20, 40, blob.len() - 1] {
+            assert!(
+                restore_estimator(&blob[..cut]).is_err(),
+                "accepted truncation at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let mut blob = save_estimator(&trained_estimator());
+        blob.push(0);
+        assert!(matches!(
+            restore_estimator(&blob),
+            Err(SnapshotError::Corrupt("trailing bytes"))
+        ));
+    }
+
+    #[test]
+    fn rejects_non_finite_state() {
+        let mut blob = save_estimator(&trained_estimator());
+        // Overwrite the first Y entry with NaN.
+        let y_off = 8 + 4 + 4 + 8 + 8;
+        blob[y_off..y_off + 8].copy_from_slice(&f64::NAN.to_le_bytes());
+        assert!(matches!(
+            restore_estimator(&blob),
+            Err(SnapshotError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_indefinite_gram_matrix() {
+        // Hand-craft a blob whose Y is not SPD.
+        let mut blob = Vec::new();
+        blob.extend_from_slice(MAGIC);
+        blob.extend_from_slice(&VERSION.to_le_bytes());
+        blob.extend_from_slice(&2u32.to_le_bytes());
+        blob.extend_from_slice(&1.0f64.to_le_bytes());
+        blob.extend_from_slice(&0u64.to_le_bytes());
+        for v in [1.0f64, 2.0, 2.0, 1.0] {
+            blob.extend_from_slice(&v.to_le_bytes());
+        }
+        for v in [0.0f64, 0.0] {
+            blob.extend_from_slice(&v.to_le_bytes());
+        }
+        assert!(matches!(
+            restore_estimator(&blob),
+            Err(SnapshotError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(SnapshotError::BadMagic.to_string().contains("snapshot"));
+        assert!(SnapshotError::Truncated.to_string().contains("truncated"));
+    }
+}

@@ -1,0 +1,210 @@
+//! UCB — the paper's Algorithm 3, adapted from the contextual
+//! combinatorial UCB of Qin, Chen & Zhu (SDM'14) / LinUCB.
+
+use crate::{oracle_greedy, Policy, RidgeEstimator, SelectionView};
+use fasea_core::{Arrangement, ContextMatrix, Feedback};
+
+/// Contextual combinatorial UCB (Algorithm 3).
+///
+/// Per round: estimate `θ̂_t = Y⁻¹b`, score each event with
+/// `r̂_{t,v} = x_{t,v}ᵀθ̂_t + α √(x_{t,v}ᵀ Y⁻¹ x_{t,v})`, and hand the
+/// scores to Oracle-Greedy. The additive width is loose for
+/// under-explored directions, so those events periodically win the
+/// ranking — this is what rescues UCB from the dead-lock Exploit falls
+/// into on the real dataset (all-zero feedback leaves `θ̂` frozen, but
+/// the width still shrinks along arranged directions, rotating the
+/// arrangement).
+#[derive(Debug, Clone)]
+pub struct LinUcb {
+    estimator: RidgeEstimator,
+    alpha: f64,
+    scores: Vec<f64>,
+    selected_once: bool,
+}
+
+impl LinUcb {
+    /// Creates UCB with ridge strength `lambda` and exploration
+    /// coefficient `alpha` (paper default α = 2).
+    ///
+    /// # Panics
+    /// Panics if `alpha < 0` (use [`crate::Exploit`] for α = 0 — it is
+    /// the same policy minus the width computation).
+    pub fn new(dim: usize, lambda: f64, alpha: f64) -> Self {
+        assert!(alpha >= 0.0 && alpha.is_finite(), "LinUcb: alpha must be >= 0");
+        LinUcb {
+            estimator: RidgeEstimator::new(dim, lambda),
+            alpha,
+            scores: Vec::new(),
+            selected_once: false,
+        }
+    }
+
+    /// Exploration coefficient α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Read access to the shared estimator (diagnostics/tests).
+    pub fn estimator(&self) -> &RidgeEstimator {
+        &self.estimator
+    }
+}
+
+impl Policy for LinUcb {
+    fn name(&self) -> &'static str {
+        "UCB"
+    }
+
+    fn select(&mut self, view: &SelectionView<'_>) -> Arrangement {
+        let n = view.num_events();
+        self.scores.resize(n, 0.0);
+        // Split borrows: compute θ̂ once, then score rows.
+        let theta = self.estimator.theta_hat().clone();
+        for v in 0..n {
+            let x = view.contexts.context(fasea_core::EventId(v));
+            let point = fasea_linalg::dot_slices(x, theta.as_slice());
+            let width = self.estimator.confidence_width(x);
+            self.scores[v] = point + self.alpha * width;
+        }
+        self.selected_once = true;
+        oracle_greedy(&self.scores, view.conflicts, view.remaining, view.user_capacity)
+    }
+
+    fn observe(
+        &mut self,
+        _t: u64,
+        contexts: &ContextMatrix,
+        arrangement: &Arrangement,
+        feedback: &Feedback,
+    ) {
+        for (v, accepted) in feedback.zip(arrangement) {
+            let r = if accepted { 1.0 } else { 0.0 };
+            self.estimator
+                .observe(contexts.context(v), r)
+                .expect("LinUcb: estimator update failed");
+        }
+    }
+
+    fn last_scores(&self) -> Option<&[f64]> {
+        if self.selected_once {
+            Some(&self.scores)
+        } else {
+            None
+        }
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.estimator.state_bytes() + self.scores.len() * std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fasea_core::{ConflictGraph, EventId};
+
+    fn view<'a>(
+        contexts: &'a ContextMatrix,
+        conflicts: &'a ConflictGraph,
+        remaining: &'a [u32],
+        cu: u32,
+        t: u64,
+    ) -> SelectionView<'a> {
+        SelectionView {
+            t,
+            user_capacity: cu,
+            contexts,
+            conflicts,
+            remaining,
+        }
+    }
+
+    #[test]
+    fn cold_start_prefers_unexplored_large_norm_contexts() {
+        // With θ̂ = 0, score = α‖x‖/√λ: the larger-norm context wins.
+        let mut ucb = LinUcb::new(2, 1.0, 2.0);
+        let ctx = ContextMatrix::from_rows(2, 2, vec![0.9, 0.0, 0.1, 0.0]);
+        let g = ConflictGraph::new(2);
+        let a = ucb.select(&view(&ctx, &g, &[1, 1], 1, 0));
+        assert_eq!(a.events(), &[EventId(0)]);
+        let s = ucb.last_scores().unwrap();
+        assert!((s[0] - 2.0 * 0.9).abs() < 1e-12);
+        assert!((s[1] - 2.0 * 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn width_rotates_arrangements_under_all_zero_feedback() {
+        // The real-dataset dead-lock scenario: identical contexts every
+        // round, feedback always 0. Exploit would freeze; UCB must
+        // eventually try a different event.
+        let mut ucb = LinUcb::new(2, 1.0, 2.0);
+        let ctx = ContextMatrix::from_rows(3, 2, vec![1.0, 0.0, 0.8, 0.1, 0.0, 0.9]);
+        let g = ConflictGraph::new(3);
+        let remaining = [100u32; 3];
+        let mut seen = std::collections::HashSet::new();
+        for t in 0..30 {
+            let a = ucb.select(&view(&ctx, &g, &remaining, 1, t));
+            seen.insert(a.events()[0]);
+            let f = Feedback::new(vec![false]);
+            ucb.observe(t, &ctx, &a, &f);
+        }
+        assert!(
+            seen.len() >= 2,
+            "UCB failed to rotate arrangements: {seen:?}"
+        );
+    }
+
+    #[test]
+    fn learns_the_better_event() {
+        // Event 0 has true reward 0.9, event 1 has 0.1. After enough
+        // feedback UCB must favour event 0.
+        let mut ucb = LinUcb::new(2, 1.0, 1.0);
+        let ctx = ContextMatrix::from_rows(2, 2, vec![0.9, 0.1, 0.1, 0.9]);
+        let g = ConflictGraph::new(2);
+        let remaining = [1000u32; 2];
+        for t in 0..300 {
+            let a = ucb.select(&view(&ctx, &g, &remaining, 1, t));
+            // Simulated feedback: accept iff event 0 (deterministic).
+            let fb: Vec<bool> = a.iter().map(|v| v == EventId(0)).collect();
+            ucb.observe(t, &ctx, &a, &Feedback::new(fb));
+        }
+        let a = ucb.select(&view(&ctx, &g, &remaining, 1, 300));
+        assert_eq!(a.events(), &[EventId(0)]);
+    }
+
+    #[test]
+    fn respects_constraints_via_oracle() {
+        let mut ucb = LinUcb::new(1, 1.0, 2.0);
+        let ctx = ContextMatrix::from_rows(3, 1, vec![0.9, 0.8, 0.7]);
+        let g = ConflictGraph::from_pairs(3, &[(0, 1)]);
+        let a = ucb.select(&view(&ctx, &g, &[1, 1, 0], 2, 0));
+        // Event 2 full; 0 and 1 conflict => only one of {0,1}.
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn alpha_zero_equals_point_estimates() {
+        let mut ucb = LinUcb::new(2, 1.0, 0.0);
+        let ctx = ContextMatrix::from_rows(2, 2, vec![0.5, 0.0, 0.0, 0.5]);
+        let g = ConflictGraph::new(2);
+        let _ = ucb.select(&view(&ctx, &g, &[1, 1], 1, 0));
+        let s = ucb.last_scores().unwrap();
+        // θ̂ = 0 at cold start, so both scores are exactly 0.
+        assert_eq!(s, &[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be >= 0")]
+    fn negative_alpha_rejected() {
+        let _ = LinUcb::new(2, 1.0, -1.0);
+    }
+
+    #[test]
+    fn state_bytes_nonzero() {
+        let ucb = LinUcb::new(20, 1.0, 2.0);
+        assert!(ucb.state_bytes() >= 2 * 20 * 20 * 8);
+        assert!(ucb.last_scores().is_none());
+        assert_eq!(ucb.name(), "UCB");
+        assert_eq!(ucb.alpha(), 2.0);
+    }
+}

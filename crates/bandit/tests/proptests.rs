@@ -1,0 +1,141 @@
+//! Property-based tests for fasea-bandit: Oracle-Greedy feasibility and
+//! the Theorem 1 approximation guarantee, estimator consistency, and
+//! policy feasibility under arbitrary instances.
+
+use fasea_bandit::{
+    oracle_exhaustive, oracle_greedy, positive_score_sum, EpsilonGreedy, Exploit, LinUcb, Policy,
+    RandomPolicy, RidgeEstimator, SelectionView, ThompsonSampling,
+};
+use fasea_core::{validate_arrangement, ConflictGraph, ContextMatrix, EventId, Feedback};
+use proptest::prelude::*;
+
+/// Strategy: a small FASEA instance (n, conflict pairs, scores, capacities, c_u).
+#[allow(clippy::type_complexity)]
+fn instance_strategy(
+) -> impl Strategy<Value = (usize, Vec<(usize, usize)>, Vec<f64>, Vec<u32>, u32)> {
+    (2usize..12).prop_flat_map(|n| {
+        (
+            Just(n),
+            proptest::collection::vec((0..n, 0..n), 0..20).prop_map(move |raw| {
+                raw.into_iter().filter(|&(a, b)| a != b).collect::<Vec<_>>()
+            }),
+            proptest::collection::vec(-1.0f64..1.0, n..=n),
+            proptest::collection::vec(0u32..4, n..=n),
+            0u32..6,
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Oracle-Greedy always returns a feasible arrangement.
+    #[test]
+    fn oracle_greedy_feasible((n, pairs, scores, caps, cu) in instance_strategy()) {
+        let g = ConflictGraph::from_pairs(n, &pairs);
+        let a = oracle_greedy(&scores, &g, &caps, cu);
+        prop_assert!(validate_arrangement(&a, &g, &caps, cu).is_ok());
+    }
+
+    /// Theorem 1: greedy achieves at least 1/c_u of the exhaustive optimum
+    /// on positive-score mass.
+    #[test]
+    fn oracle_greedy_approximation((n, pairs, scores, caps, cu) in instance_strategy()) {
+        prop_assume!(cu >= 1);
+        let g = ConflictGraph::from_pairs(n, &pairs);
+        let greedy = oracle_greedy(&scores, &g, &caps, cu);
+        let best = oracle_exhaustive(&scores, &g, &caps, cu);
+        let gs = positive_score_sum(&greedy, &scores);
+        let bs = positive_score_sum(&best, &scores);
+        prop_assert!(
+            gs + 1e-12 >= bs / cu as f64,
+            "Theorem 1 violated: greedy {gs} < optimal {bs} / c_u {cu}"
+        );
+        // And exhaustive is never worse than greedy.
+        prop_assert!(bs + 1e-12 >= gs);
+    }
+
+    /// Oracle-Greedy is monotone in user capacity: a larger c_u never
+    /// yields fewer arranged events.
+    #[test]
+    fn oracle_greedy_monotone_in_cu((n, pairs, scores, caps, cu) in instance_strategy()) {
+        let g = ConflictGraph::from_pairs(n, &pairs);
+        let small = oracle_greedy(&scores, &g, &caps, cu);
+        let large = oracle_greedy(&scores, &g, &caps, cu + 1);
+        prop_assert!(large.len() >= small.len());
+        // The smaller arrangement is a prefix of the larger one.
+        prop_assert_eq!(&large.events()[..small.len()], small.events());
+    }
+
+    /// The ridge estimator recovers θ from noiseless observations to
+    /// within the regularisation bias.
+    #[test]
+    fn estimator_recovers_theta(
+        theta in proptest::collection::vec(-1.0f64..1.0, 1..5),
+        seed in 0u64..500
+    ) {
+        let d = theta.len();
+        let mut e = RidgeEstimator::new(d, 0.01);
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        for _ in 0..400 {
+            let x: Vec<f64> = (0..d).map(|_| {
+                state ^= state << 13; state ^= state >> 7; state ^= state << 17;
+                (state as f64 / u64::MAX as f64) * 2.0 - 1.0
+            }).collect();
+            let r: f64 = x.iter().zip(&theta).map(|(a, b)| a * b).sum();
+            e.observe(&x, r).unwrap();
+        }
+        let hat = e.theta_hat();
+        for i in 0..d {
+            prop_assert!((hat[i] - theta[i]).abs() < 0.05, "dim {i}: {} vs {}", hat[i], theta[i]);
+        }
+    }
+
+    /// Every policy's selection is feasible on arbitrary instances.
+    #[test]
+    fn all_policies_feasible((n, pairs, _scores, caps, cu) in instance_strategy(), seed in 0u64..100) {
+        let d = 3usize;
+        let g = ConflictGraph::from_pairs(n, &pairs);
+        let ctx = ContextMatrix::from_fn(n, d, |v, j| {
+            ((v * 7 + j * 3 + seed as usize) % 13) as f64 / 13.0 - 0.4
+        });
+        let mut policies: Vec<Box<dyn Policy>> = vec![
+            Box::new(LinUcb::new(d, 1.0, 2.0)),
+            Box::new(ThompsonSampling::new(d, 1.0, 0.1, seed)),
+            Box::new(EpsilonGreedy::new(d, 1.0, 0.3, seed)),
+            Box::new(Exploit::new(d, 1.0)),
+            Box::new(RandomPolicy::new(seed)),
+        ];
+        for p in policies.iter_mut() {
+            let view = SelectionView {
+                t: seed,
+                user_capacity: cu,
+                contexts: &ctx,
+                conflicts: &g,
+                remaining: &caps,
+            };
+            let a = p.select(&view);
+            prop_assert!(
+                validate_arrangement(&a, &g, &caps, cu).is_ok(),
+                "{} produced infeasible arrangement", p.name()
+            );
+            // Scores are exposed for all events after selection.
+            prop_assert_eq!(p.last_scores().map(|s| s.len()), Some(n));
+            // Observe round-trips without panicking.
+            let fb = Feedback::new(vec![false; a.len()]);
+            p.observe(seed, &ctx, &a, &fb);
+        }
+    }
+
+    /// Oracle-Greedy never arranges a full or conflicting event even with
+    /// adversarial score ties.
+    #[test]
+    fn oracle_greedy_tie_handling(n in 2usize..10, cu in 1u32..5) {
+        let g = ConflictGraph::complete(n);
+        let scores = vec![0.5; n]; // all tied
+        let caps = vec![1u32; n];
+        let a = oracle_greedy(&scores, &g, &caps, cu);
+        prop_assert_eq!(a.len(), 1); // complete graph: single event max
+        prop_assert_eq!(a.events()[0], EventId(0)); // deterministic tie-break
+    }
+}

@@ -1,0 +1,73 @@
+//! Workload-generation throughput: the arrival stream is regenerated
+//! every round (|V|·d draws plus row normalisation), so its cost bounds
+//! the whole simulation's overhead budget.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fasea_datagen::{RealDataset, SyntheticConfig, SyntheticWorkload, ValueDistribution};
+use std::hint::black_box;
+
+fn bench_arrival_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("arrival_generation");
+    for &(n, d) in &[(100usize, 20usize), (500, 20), (1000, 20), (500, 5)] {
+        let workload = SyntheticWorkload::generate(SyntheticConfig {
+            num_events: n,
+            dim: d,
+            seed: 1,
+            ..Default::default()
+        });
+        group.throughput(Throughput::Elements((n * d) as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("v{n}_d{d}")),
+            &(n, d),
+            |b, _| {
+                let mut t = 0u64;
+                b.iter(|| {
+                    t += 1;
+                    black_box(workload.arrivals.arrival(t).capacity)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_distributions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distribution_fill");
+    let mut rng = fasea_stats::rng_from_seed(3);
+    let mut buf = vec![0.0; 20];
+    for dist in [
+        ValueDistribution::Uniform,
+        ValueDistribution::Normal,
+        ValueDistribution::Power,
+        ValueDistribution::Shuffle,
+    ] {
+        group.bench_function(dist.label(), |b| {
+            b.iter(|| {
+                dist.fill(&mut rng, &mut buf);
+                black_box(buf[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_real_dataset(c: &mut Criterion) {
+    c.bench_function("real_dataset_generate", |b| {
+        b.iter(|| black_box(RealDataset::generate(2016).num_events()))
+    });
+    let dataset = RealDataset::generate(2016);
+    c.bench_function("real_dataset_contexts_for_user", |b| {
+        b.iter(|| black_box(dataset.contexts_for(0).num_events()))
+    });
+    c.bench_function("real_dataset_full_knowledge_mis", |b| {
+        b.iter(|| black_box(dataset.full_knowledge(1)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_arrival_generation,
+    bench_distributions,
+    bench_real_dataset
+);
+criterion_main!(benches);

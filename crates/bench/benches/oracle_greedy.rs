@@ -1,0 +1,50 @@
+//! The arrangement oracle alone (Algorithm 2): cost across |V| and
+//! conflict ratios. The paper's complexity analysis predicts
+//! O(|V| log |V| + c_u·|V|); the conflict ratio only affects the masked
+//! conflict probes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fasea_bandit::oracle_greedy;
+use fasea_datagen::synthetic::generate_conflicts;
+use fasea_stats::rng_from_seed;
+use std::hint::black_box;
+
+fn scores_for(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| ((i as f64 * 0.7311).sin() + 1.0) / 2.0)
+        .collect()
+}
+
+fn bench_by_num_events(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oracle_greedy_by_v");
+    for &n in &[100usize, 500, 1000, 5000] {
+        let mut rng = rng_from_seed(1);
+        let conflicts = generate_conflicts(n, 0.25, &mut rng);
+        let scores = scores_for(n);
+        let remaining = vec![10u32; n];
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(oracle_greedy(&scores, &conflicts, &remaining, 5)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_by_conflict_ratio(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oracle_greedy_by_cr");
+    let n = 500;
+    let scores = scores_for(n);
+    let remaining = vec![10u32; n];
+    for &cr in &[0.0f64, 0.25, 0.5, 0.75, 1.0] {
+        let mut rng = rng_from_seed(2);
+        let conflicts = generate_conflicts(n, cr, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("cr{}", (cr * 100.0) as u32)),
+            &cr,
+            |b, _| b.iter(|| black_box(oracle_greedy(&scores, &conflicts, &remaining, 5))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_by_num_events, bench_by_conflict_ratio);
+criterion_main!(benches);

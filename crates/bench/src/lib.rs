@@ -1,0 +1,64 @@
+//! # fasea-bench
+//!
+//! Shared fixtures for the Criterion benchmarks that reproduce the
+//! paper's efficiency tables:
+//!
+//! * `round_latency` — per-round time of each algorithm at
+//!   `|V| ∈ {100, 500, 1000}` (Table 5's time column).
+//! * `dimension_latency` — per-round time at `d ∈ {1, 5, 10, 15, 20}`
+//!   (Table 6's time column).
+//! * `oracle_greedy` — the arrangement oracle alone, across `|V|` and
+//!   conflict ratios.
+//! * `linalg_micro` — Cholesky, Sherman–Morrison and quadratic forms at
+//!   bandit-relevant dimensions.
+//! * `ablations` — the design choices DESIGN.md calls out:
+//!   Sherman–Morrison vs full re-factorisation, O(n log n) vs O(n²)
+//!   Kendall, full sort vs the oracle's actual cost profile.
+//! * `datagen_throughput` — arrival-stream generation cost.
+
+use fasea_bandit::{
+    EpsilonGreedy, Exploit, LinUcb, Policy, RandomPolicy, ThompsonSampling,
+};
+use fasea_core::UserArrival;
+use fasea_datagen::{SyntheticConfig, SyntheticWorkload};
+
+/// Builds the default-parameter policy by paper name.
+///
+/// # Panics
+/// Panics on an unknown name.
+pub fn policy_by_name(name: &str, dim: usize) -> Box<dyn Policy> {
+    match name {
+        "UCB" => Box::new(LinUcb::new(dim, 1.0, 2.0)),
+        "TS" => Box::new(ThompsonSampling::new(dim, 1.0, 0.1, 7)),
+        "eGreedy" => Box::new(EpsilonGreedy::new(dim, 1.0, 0.1, 8)),
+        "Exploit" => Box::new(Exploit::new(dim, 1.0)),
+        "Random" => Box::new(RandomPolicy::new(9)),
+        other => panic!("unknown policy {other}"),
+    }
+}
+
+/// The paper's five algorithm names in reporting order.
+pub const POLICY_NAMES: [&str; 5] = ["UCB", "TS", "eGreedy", "Exploit", "Random"];
+
+/// A benchmark fixture: a workload plus a pre-generated arrival, so the
+/// benchmarked closure measures only the policy round (select + observe).
+pub struct RoundFixture {
+    /// The generated workload.
+    pub workload: SyntheticWorkload,
+    /// One arrival reused every iteration.
+    pub arrival: UserArrival,
+}
+
+impl RoundFixture {
+    /// Builds the fixture for a Table 5/6 cell.
+    pub fn new(num_events: usize, dim: usize) -> Self {
+        let workload = SyntheticWorkload::generate(SyntheticConfig {
+            num_events,
+            dim,
+            seed: 0xBE7C4,
+            ..Default::default()
+        });
+        let arrival = workload.arrivals.arrival(0);
+        RoundFixture { workload, arrival }
+    }
+}

@@ -1,0 +1,265 @@
+//! Arrangements, feedback, and Definition 3's feasibility constraints.
+
+use crate::{ArrangementError, ConflictGraph, EventId};
+
+/// A proposed arrangement `A_t`: the events offered to the current user,
+/// in the order the arrangement oracle picked them (non-increasing
+/// estimated reward for Oracle-Greedy).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Arrangement {
+    events: Vec<EventId>,
+}
+
+impl Arrangement {
+    /// The empty arrangement (legal: a platform may offer nothing, e.g.
+    /// when every event is full or conflicts exclude everything).
+    pub fn empty() -> Self {
+        Arrangement { events: Vec::new() }
+    }
+
+    /// Creates an arrangement from an event list (order preserved).
+    pub fn new(events: Vec<EventId>) -> Self {
+        Arrangement { events }
+    }
+
+    /// Number of arranged events `|A_t|`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` if nothing was arranged.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The arranged events.
+    #[inline]
+    pub fn events(&self) -> &[EventId] {
+        &self.events
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, v: EventId) {
+        self.events.push(v);
+    }
+
+    /// `true` iff `v` is arranged.
+    pub fn contains(&self, v: EventId) -> bool {
+        self.events.contains(&v)
+    }
+
+    /// Iterates over arranged events.
+    pub fn iter(&self) -> impl Iterator<Item = EventId> + '_ {
+        self.events.iter().copied()
+    }
+}
+
+impl FromIterator<EventId> for Arrangement {
+    fn from_iter<I: IntoIterator<Item = EventId>>(iter: I) -> Self {
+        Arrangement {
+            events: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// The user's feedback on an arrangement: `accepted[i]` answers whether
+/// `arrangement.events()[i]` was accepted (reward 1) or rejected
+/// (reward 0).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Feedback {
+    accepted: Vec<bool>,
+}
+
+impl Feedback {
+    /// Creates feedback aligned with an arrangement's event order.
+    pub fn new(accepted: Vec<bool>) -> Self {
+        Feedback { accepted }
+    }
+
+    /// Per-slot acceptance flags.
+    pub fn accepted(&self) -> &[bool] {
+        &self.accepted
+    }
+
+    /// The round reward `r_{t,A_t}` — the number of accepted events
+    /// (Equation 1 of the paper).
+    pub fn reward(&self) -> u32 {
+        self.accepted.iter().filter(|&&a| a).count() as u32
+    }
+
+    /// Number of slots (equals `|A_t|`).
+    pub fn len(&self) -> usize {
+        self.accepted.len()
+    }
+
+    /// `true` if the arrangement was empty.
+    pub fn is_empty(&self) -> bool {
+        self.accepted.is_empty()
+    }
+
+    /// Zips `(event, accepted)` with the arrangement it answers.
+    ///
+    /// # Panics
+    /// Panics if lengths disagree.
+    pub fn zip<'a>(
+        &'a self,
+        arrangement: &'a Arrangement,
+    ) -> impl Iterator<Item = (EventId, bool)> + 'a {
+        assert_eq!(
+            self.accepted.len(),
+            arrangement.len(),
+            "Feedback::zip: arrangement/feedback length mismatch"
+        );
+        arrangement.iter().zip(self.accepted.iter().copied())
+    }
+}
+
+/// Validates an arrangement against Definition 3's constraints:
+///
+/// 1. every event exists and appears at most once,
+/// 2. `|A_t| ≤ c_u` and every arranged event has remaining capacity,
+/// 3. no two arranged events conflict.
+///
+/// `remaining` is indexed by event id and holds current (not initial)
+/// capacities.
+pub fn validate_arrangement(
+    arrangement: &Arrangement,
+    conflicts: &ConflictGraph,
+    remaining: &[u32],
+    user_capacity: u32,
+) -> Result<(), ArrangementError> {
+    let n = conflicts.num_events();
+    if arrangement.len() > user_capacity as usize {
+        return Err(ArrangementError::UserCapacityExceeded {
+            arranged: arrangement.len(),
+            capacity: user_capacity,
+        });
+    }
+    let events = arrangement.events();
+    for (i, &v) in events.iter().enumerate() {
+        if v.index() >= n {
+            return Err(ArrangementError::UnknownEvent(v));
+        }
+        if events[..i].contains(&v) {
+            return Err(ArrangementError::DuplicateEvent(v));
+        }
+        if remaining[v.index()] == 0 {
+            return Err(ArrangementError::EventFull(v));
+        }
+        for &w in &events[..i] {
+            if conflicts.are_conflicting(v, w) {
+                return Err(ArrangementError::ConflictViolated(w, v));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[usize]) -> Vec<EventId> {
+        v.iter().map(|&i| EventId(i)).collect()
+    }
+
+    #[test]
+    fn empty_arrangement_is_valid() {
+        let g = ConflictGraph::new(3);
+        let a = Arrangement::empty();
+        assert!(validate_arrangement(&a, &g, &[1, 1, 1], 0).is_ok());
+        assert!(a.is_empty());
+        assert_eq!(a.len(), 0);
+    }
+
+    #[test]
+    fn valid_arrangement_passes() {
+        let g = ConflictGraph::from_pairs(4, &[(0, 1)]);
+        let a = Arrangement::new(ids(&[0, 2, 3]));
+        assert!(validate_arrangement(&a, &g, &[1, 1, 1, 1], 3).is_ok());
+    }
+
+    #[test]
+    fn user_capacity_enforced() {
+        let g = ConflictGraph::new(3);
+        let a = Arrangement::new(ids(&[0, 1, 2]));
+        let err = validate_arrangement(&a, &g, &[1, 1, 1], 2).unwrap_err();
+        assert_eq!(
+            err,
+            ArrangementError::UserCapacityExceeded {
+                arranged: 3,
+                capacity: 2
+            }
+        );
+    }
+
+    #[test]
+    fn full_event_rejected() {
+        let g = ConflictGraph::new(2);
+        let a = Arrangement::new(ids(&[1]));
+        let err = validate_arrangement(&a, &g, &[1, 0], 1).unwrap_err();
+        assert_eq!(err, ArrangementError::EventFull(EventId(1)));
+    }
+
+    #[test]
+    fn conflicts_rejected() {
+        let g = ConflictGraph::from_pairs(3, &[(0, 2)]);
+        let a = Arrangement::new(ids(&[0, 2]));
+        let err = validate_arrangement(&a, &g, &[1, 1, 1], 2).unwrap_err();
+        assert_eq!(
+            err,
+            ArrangementError::ConflictViolated(EventId(0), EventId(2))
+        );
+    }
+
+    #[test]
+    fn duplicates_rejected() {
+        let g = ConflictGraph::new(3);
+        let a = Arrangement::new(ids(&[1, 1]));
+        let err = validate_arrangement(&a, &g, &[1, 1, 1], 2).unwrap_err();
+        assert_eq!(err, ArrangementError::DuplicateEvent(EventId(1)));
+    }
+
+    #[test]
+    fn unknown_event_rejected() {
+        let g = ConflictGraph::new(2);
+        let a = Arrangement::new(ids(&[5]));
+        let err = validate_arrangement(&a, &g, &[1, 1], 1).unwrap_err();
+        assert_eq!(err, ArrangementError::UnknownEvent(EventId(5)));
+    }
+
+    #[test]
+    fn feedback_reward_counts_accepts() {
+        let f = Feedback::new(vec![true, false, true]);
+        assert_eq!(f.reward(), 2);
+        assert_eq!(f.len(), 3);
+        assert!(!f.is_empty());
+        assert_eq!(Feedback::new(vec![]).reward(), 0);
+    }
+
+    #[test]
+    fn feedback_zip_pairs_in_order() {
+        let a = Arrangement::new(ids(&[3, 1]));
+        let f = Feedback::new(vec![false, true]);
+        let pairs: Vec<(usize, bool)> = f.zip(&a).map(|(e, ok)| (e.index(), ok)).collect();
+        assert_eq!(pairs, vec![(3, false), (1, true)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn feedback_zip_length_mismatch_panics() {
+        let a = Arrangement::new(ids(&[0]));
+        let f = Feedback::new(vec![true, false]);
+        let _ = f.zip(&a).count();
+    }
+
+    #[test]
+    fn arrangement_from_iterator_and_contains() {
+        let a: Arrangement = (0..3).map(EventId).collect();
+        assert!(a.contains(EventId(2)));
+        assert!(!a.contains(EventId(3)));
+        assert_eq!(a.iter().count(), 3);
+    }
+}

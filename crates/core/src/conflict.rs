@@ -1,0 +1,310 @@
+//! Conflicting event pairs (Definition 1) as a bitset adjacency graph.
+
+use crate::EventId;
+
+/// Undirected conflict graph over events.
+///
+/// Definition 1 of the paper: a pair `{v_i, v_j}` is conflicting if a
+/// user can attend at most one of the two. The Oracle-Greedy arrangement
+/// oracle queries "does candidate `v` conflict with anything already in
+/// `A_t`" up to `c_u · |V|` times per round, so adjacency is stored as a
+/// dense bitset: one cache-friendly `u64` word covers 64 events, and a
+/// conflict query against a whole arrangement is a handful of AND+popcount
+/// operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConflictGraph {
+    n: usize,
+    words_per_row: usize,
+    /// Row-major bitset: bit `j` of row `i` set ⟺ {i, j} ∈ CF.
+    bits: Vec<u64>,
+    num_conflicts: usize,
+}
+
+impl ConflictGraph {
+    /// Creates an empty conflict graph over `n` events.
+    pub fn new(n: usize) -> Self {
+        let words_per_row = n.div_ceil(64);
+        ConflictGraph {
+            n,
+            words_per_row,
+            bits: vec![0; n * words_per_row],
+            num_conflicts: 0,
+        }
+    }
+
+    /// Builds a graph from an explicit pair list.
+    ///
+    /// Duplicate pairs are idempotent; self-pairs panic.
+    pub fn from_pairs(n: usize, pairs: &[(usize, usize)]) -> Self {
+        let mut g = ConflictGraph::new(n);
+        for &(i, j) in pairs {
+            g.add_conflict(EventId(i), EventId(j));
+        }
+        g
+    }
+
+    /// Builds the complete conflict graph (`cr = 1`): every pair of
+    /// events conflicts, so any arrangement holds at most one event.
+    pub fn complete(n: usize) -> Self {
+        let mut g = ConflictGraph::new(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                g.add_conflict(EventId(i), EventId(j));
+            }
+        }
+        g
+    }
+
+    /// Number of events `|V|`.
+    #[inline]
+    pub fn num_events(&self) -> usize {
+        self.n
+    }
+
+    /// Number of conflicting pairs `|CF|`.
+    #[inline]
+    pub fn num_conflicts(&self) -> usize {
+        self.num_conflicts
+    }
+
+    /// The conflict ratio `cr = |CF| / (|V|(|V|−1)/2)` (Table 1).
+    /// Returns 0 for fewer than two events.
+    pub fn conflict_ratio(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        let max_pairs = self.n * (self.n - 1) / 2;
+        self.num_conflicts as f64 / max_pairs as f64
+    }
+
+    /// Marks `{i, j}` as conflicting. Idempotent.
+    ///
+    /// # Panics
+    /// Panics on out-of-range ids or a self-pair (`i == j`).
+    pub fn add_conflict(&mut self, i: EventId, j: EventId) {
+        let (i, j) = (i.index(), j.index());
+        assert!(i < self.n && j < self.n, "add_conflict: id out of range");
+        assert_ne!(i, j, "add_conflict: an event cannot conflict with itself");
+        if !self.bit(i, j) {
+            self.set_bit(i, j);
+            self.set_bit(j, i);
+            self.num_conflicts += 1;
+        }
+    }
+
+    #[inline]
+    fn bit(&self, row: usize, col: usize) -> bool {
+        let w = self.bits[row * self.words_per_row + col / 64];
+        (w >> (col % 64)) & 1 == 1
+    }
+
+    #[inline]
+    fn set_bit(&mut self, row: usize, col: usize) {
+        self.bits[row * self.words_per_row + col / 64] |= 1u64 << (col % 64);
+    }
+
+    /// `true` iff `{i, j}` is a conflicting pair.
+    ///
+    /// # Panics
+    /// Panics on out-of-range ids.
+    #[inline]
+    pub fn are_conflicting(&self, i: EventId, j: EventId) -> bool {
+        assert!(
+            i.index() < self.n && j.index() < self.n,
+            "are_conflicting: id out of range"
+        );
+        if i == j {
+            return false;
+        }
+        self.bit(i.index(), j.index())
+    }
+
+    /// Row bitset of event `v` (used by the per-arrangement mask check).
+    #[inline]
+    fn row(&self, v: usize) -> &[u64] {
+        &self.bits[v * self.words_per_row..(v + 1) * self.words_per_row]
+    }
+
+    /// `true` iff `v` conflicts with **any** event whose bit is set in
+    /// `mask` (a bitset with the same word layout as a graph row).
+    ///
+    /// This is the hot query of Oracle-Greedy: the oracle keeps a running
+    /// mask of arranged events and tests each candidate with one pass of
+    /// AND over `⌈|V|/64⌉` words.
+    #[inline]
+    pub fn conflicts_with_mask(&self, v: EventId, mask: &[u64]) -> bool {
+        debug_assert_eq!(mask.len(), self.words_per_row);
+        self.row(v.index())
+            .iter()
+            .zip(mask)
+            .any(|(&r, &m)| r & m != 0)
+    }
+
+    /// Allocates a zeroed mask with this graph's word layout.
+    pub fn empty_mask(&self) -> Vec<u64> {
+        vec![0; self.words_per_row]
+    }
+
+    /// Sets event `v`'s bit in `mask`.
+    #[inline]
+    pub fn mark_mask(&self, v: EventId, mask: &mut [u64]) {
+        debug_assert_eq!(mask.len(), self.words_per_row);
+        mask[v.index() / 64] |= 1u64 << (v.index() % 64);
+    }
+
+    /// `true` iff `v` conflicts with any event in `chosen` (slice form of
+    /// [`ConflictGraph::conflicts_with_mask`]; linear in `chosen.len()`).
+    pub fn conflicts_with_any(&self, v: EventId, chosen: &[EventId]) -> bool {
+        chosen.iter().any(|&c| self.are_conflicting(v, c))
+    }
+
+    /// Degree of `v`: number of events it conflicts with.
+    pub fn degree(&self, v: EventId) -> usize {
+        self.row(v.index())
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
+    }
+
+    /// Iterates over the neighbours (conflicting partners) of `v`.
+    pub fn neighbours(&self, v: EventId) -> impl Iterator<Item = EventId> + '_ {
+        let row = self.row(v.index());
+        row.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(EventId(wi * 64 + b))
+                }
+            })
+        })
+    }
+
+    /// Iterates over all conflicting pairs `(i, j)` with `i < j`.
+    pub fn pairs(&self) -> impl Iterator<Item = (EventId, EventId)> + '_ {
+        (0..self.n).flat_map(move |i| {
+            self.neighbours(EventId(i))
+                .filter(move |j| j.index() > i)
+                .map(move |j| (EventId(i), j))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = ConflictGraph::new(5);
+        assert_eq!(g.num_events(), 5);
+        assert_eq!(g.num_conflicts(), 0);
+        assert_eq!(g.conflict_ratio(), 0.0);
+        assert!(!g.are_conflicting(EventId(0), EventId(1)));
+    }
+
+    #[test]
+    fn add_and_query_symmetric() {
+        let mut g = ConflictGraph::new(4);
+        g.add_conflict(EventId(0), EventId(2));
+        assert!(g.are_conflicting(EventId(0), EventId(2)));
+        assert!(g.are_conflicting(EventId(2), EventId(0)));
+        assert!(!g.are_conflicting(EventId(0), EventId(1)));
+        assert_eq!(g.num_conflicts(), 1);
+    }
+
+    #[test]
+    fn add_is_idempotent() {
+        let mut g = ConflictGraph::new(3);
+        g.add_conflict(EventId(0), EventId(1));
+        g.add_conflict(EventId(1), EventId(0));
+        assert_eq!(g.num_conflicts(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "conflict with itself")]
+    fn self_conflict_panics() {
+        let mut g = ConflictGraph::new(3);
+        g.add_conflict(EventId(1), EventId(1));
+    }
+
+    #[test]
+    fn self_query_is_false() {
+        let g = ConflictGraph::complete(3);
+        assert!(!g.are_conflicting(EventId(1), EventId(1)));
+    }
+
+    #[test]
+    fn complete_graph_ratio_is_one() {
+        let g = ConflictGraph::complete(10);
+        assert_eq!(g.num_conflicts(), 45);
+        assert_eq!(g.conflict_ratio(), 1.0);
+    }
+
+    #[test]
+    fn conflict_ratio_matches_table1_formula() {
+        let g = ConflictGraph::from_pairs(5, &[(0, 1), (2, 3)]);
+        // |CF| = 2, max pairs = 10 => cr = 0.2
+        assert!((g.conflict_ratio() - 0.2).abs() < 1e-15);
+    }
+
+    #[test]
+    fn mask_checks_match_pairwise_checks() {
+        let g = ConflictGraph::from_pairs(130, &[(0, 100), (64, 65), (1, 129)]);
+        let mut mask = g.empty_mask();
+        g.mark_mask(EventId(100), &mut mask);
+        g.mark_mask(EventId(65), &mut mask);
+        assert!(g.conflicts_with_mask(EventId(0), &mask)); // 0-100
+        assert!(g.conflicts_with_mask(EventId(64), &mask)); // 64-65
+        assert!(!g.conflicts_with_mask(EventId(1), &mask)); // 129 not in mask
+        assert!(!g.conflicts_with_mask(EventId(2), &mask));
+    }
+
+    #[test]
+    fn conflicts_with_any_slice_form() {
+        let g = ConflictGraph::from_pairs(4, &[(0, 1)]);
+        assert!(g.conflicts_with_any(EventId(0), &[EventId(3), EventId(1)]));
+        assert!(!g.conflicts_with_any(EventId(0), &[EventId(2), EventId(3)]));
+        assert!(!g.conflicts_with_any(EventId(0), &[]));
+    }
+
+    #[test]
+    fn degree_and_neighbours() {
+        let g = ConflictGraph::from_pairs(70, &[(0, 1), (0, 65), (0, 69)]);
+        assert_eq!(g.degree(EventId(0)), 3);
+        let nb: Vec<usize> = g.neighbours(EventId(0)).map(|e| e.index()).collect();
+        assert_eq!(nb, vec![1, 65, 69]);
+        assert_eq!(g.degree(EventId(2)), 0);
+    }
+
+    #[test]
+    fn pairs_enumerates_each_once() {
+        let src = [(0usize, 1usize), (1, 2), (0, 3)];
+        let g = ConflictGraph::from_pairs(4, &src);
+        let mut got: Vec<(usize, usize)> =
+            g.pairs().map(|(a, b)| (a.index(), b.index())).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![(0, 1), (0, 3), (1, 2)]);
+    }
+
+    #[test]
+    fn cross_word_boundaries() {
+        // Events straddling the 64-bit word boundary.
+        let mut g = ConflictGraph::new(128);
+        g.add_conflict(EventId(63), EventId(64));
+        assert!(g.are_conflicting(EventId(64), EventId(63)));
+        assert_eq!(g.degree(EventId(63)), 1);
+        let nb: Vec<usize> = g.neighbours(EventId(64)).map(|e| e.index()).collect();
+        assert_eq!(nb, vec![63]);
+    }
+
+    #[test]
+    fn single_event_graph() {
+        let g = ConflictGraph::new(1);
+        assert_eq!(g.conflict_ratio(), 0.0);
+        assert_eq!(g.num_conflicts(), 0);
+    }
+}

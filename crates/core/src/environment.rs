@@ -1,0 +1,298 @@
+//! The simulated EBSN platform.
+
+use crate::{
+    validate_arrangement, Arrangement, ArrangementError, Feedback, LinearPayoffModel,
+    ProblemInstance, RewardModel, UserArrival,
+};
+use fasea_stats::CoinStream;
+
+/// Result of one environment step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundOutcome {
+    /// The user's per-slot feedback, aligned with the arrangement.
+    pub feedback: Feedback,
+    /// The round reward `r_{t,A_t}` (number of accepted events).
+    pub reward: u32,
+}
+
+/// The online platform a policy interacts with.
+///
+/// Owns the immutable [`ProblemInstance`], the hidden
+/// [`LinearPayoffModel`], a [`CoinStream`] for acceptance draws, and the
+/// mutable remaining capacities. Each call to [`Environment::step`]
+/// plays one round of Definition 3:
+///
+/// 1. the proposed arrangement is validated against current capacities,
+///    the user's capacity and the conflict graph (irrevocability is
+///    implicit — there is no API to undo a step);
+/// 2. each arranged event `v` is accepted iff
+///    `u(t, v) < clamp(x_{t,v}ᵀθ, 0, 1)` where `u` is the common-random-
+///    number stream — so two environments cloned from the same state
+///    expose *identical* coins to different policies;
+/// 3. accepted events lose one capacity unit.
+///
+/// Cloning an `Environment` snapshots the capacity state; the simulator
+/// clones one pristine environment per policy.
+///
+/// Generic over the ground truth `M`: [`LinearPayoffModel`] (the
+/// default) for synthetic data, a deterministic label table for the real
+/// dataset.
+#[derive(Debug, Clone)]
+pub struct Environment<M: RewardModel = LinearPayoffModel> {
+    instance: ProblemInstance,
+    model: M,
+    coins: CoinStream,
+    remaining: Vec<u32>,
+    rounds_played: u64,
+}
+
+impl<M: RewardModel> Environment<M> {
+    /// Creates a fresh environment with full capacities.
+    ///
+    /// # Panics
+    /// Panics if the model dimension differs from the instance dimension.
+    pub fn new(instance: ProblemInstance, model: M, coins: CoinStream) -> Self {
+        assert_eq!(
+            instance.dim(),
+            model.dim(),
+            "Environment: instance dim {} != model dim {}",
+            instance.dim(),
+            model.dim()
+        );
+        let remaining = instance.capacities().to_vec();
+        Environment {
+            instance,
+            model,
+            coins,
+            remaining,
+            rounds_played: 0,
+        }
+    }
+
+    /// The immutable problem description.
+    pub fn instance(&self) -> &ProblemInstance {
+        &self.instance
+    }
+
+    /// The hidden reward model. Only the simulator and the OPT reference
+    /// strategy may look at this; learning policies receive feedback
+    /// exclusively through [`Environment::step`].
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Current remaining capacities, indexed by event.
+    pub fn remaining(&self) -> &[u32] {
+        &self.remaining
+    }
+
+    /// Remaining capacity of one event.
+    pub fn remaining_capacity(&self, v: crate::EventId) -> u32 {
+        self.remaining[v.index()]
+    }
+
+    /// Number of events that still have capacity.
+    pub fn available_events(&self) -> usize {
+        self.remaining.iter().filter(|&&c| c > 0).count()
+    }
+
+    /// `true` once every event is full — OPT's reward stops growing here,
+    /// which produces the paper's sudden total-regret drop (Figure 1).
+    pub fn is_exhausted(&self) -> bool {
+        self.available_events() == 0
+    }
+
+    /// Rounds played so far.
+    pub fn rounds_played(&self) -> u64 {
+        self.rounds_played
+    }
+
+    /// Plays one round: validates `arrangement` for `user` at time `t`,
+    /// draws feedback, and decrements capacities of accepted events.
+    ///
+    /// # Errors
+    /// Returns the first constraint violation without mutating any state.
+    pub fn step(
+        &mut self,
+        t: u64,
+        user: &UserArrival,
+        arrangement: &Arrangement,
+    ) -> Result<RoundOutcome, ArrangementError> {
+        validate_arrangement(
+            arrangement,
+            self.instance.conflicts(),
+            &self.remaining,
+            user.capacity,
+        )?;
+        let mut accepted = Vec::with_capacity(arrangement.len());
+        for &v in arrangement.events() {
+            let p = self.model.accept_probability(&user.contexts, v);
+            let u = self.coins.uniform(t, v.index() as u64);
+            let ok = u < p;
+            if ok {
+                // Validation guarantees remaining > 0.
+                self.remaining[v.index()] -= 1;
+            }
+            accepted.push(ok);
+        }
+        self.rounds_played += 1;
+        let feedback = Feedback::new(accepted);
+        let reward = feedback.reward();
+        Ok(RoundOutcome { feedback, reward })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ConflictGraph, ContextMatrix, EventId, ProblemMode};
+    use fasea_linalg::Vector;
+
+    fn env_with(theta: Vec<f64>, caps: Vec<u32>, seed: u64) -> Environment {
+        let n = caps.len();
+        let d = theta.len();
+        let inst = ProblemInstance::new(caps, ConflictGraph::new(n), d, ProblemMode::Fasea);
+        Environment::new(
+            inst,
+            LinearPayoffModel::new(Vector::from(theta)),
+            CoinStream::new(seed),
+        )
+    }
+
+    fn sure_accept_contexts(n: usize) -> ContextMatrix {
+        // x = [1] with theta = [1] => p = 1.
+        ContextMatrix::from_rows(n, 1, vec![1.0; n])
+    }
+
+    #[test]
+    fn accepting_reduces_capacity() {
+        let mut env = env_with(vec![1.0], vec![2, 2], 1);
+        let user = UserArrival::new(2, sure_accept_contexts(2));
+        let arr = Arrangement::new(vec![EventId(0), EventId(1)]);
+        let out = env.step(0, &user, &arr).unwrap();
+        assert_eq!(out.reward, 2);
+        assert_eq!(env.remaining(), &[1, 1]);
+        assert_eq!(env.rounds_played(), 1);
+    }
+
+    #[test]
+    fn zero_probability_events_are_rejected() {
+        let mut env = env_with(vec![1.0], vec![5], 1);
+        // x = [-1] => p = clamp(-1) = 0.
+        let ctx = ContextMatrix::from_rows(1, 1, vec![-1.0]);
+        let user = UserArrival::new(1, ctx);
+        let out = env
+            .step(0, &user, &Arrangement::new(vec![EventId(0)]))
+            .unwrap();
+        assert_eq!(out.reward, 0);
+        assert_eq!(out.feedback.accepted(), &[false]);
+        assert_eq!(env.remaining(), &[5]);
+    }
+
+    #[test]
+    fn invalid_arrangement_leaves_state_untouched() {
+        let mut env = env_with(vec![1.0], vec![1, 1], 1);
+        let user = UserArrival::new(1, sure_accept_contexts(2));
+        // Exceeds user capacity.
+        let arr = Arrangement::new(vec![EventId(0), EventId(1)]);
+        let err = env.step(0, &user, &arr).unwrap_err();
+        assert!(matches!(err, ArrangementError::UserCapacityExceeded { .. }));
+        assert_eq!(env.remaining(), &[1, 1]);
+        assert_eq!(env.rounds_played(), 0);
+    }
+
+    #[test]
+    fn conflicting_arrangement_rejected() {
+        let inst = ProblemInstance::new(
+            vec![1, 1],
+            ConflictGraph::from_pairs(2, &[(0, 1)]),
+            1,
+            ProblemMode::Fasea,
+        );
+        let mut env = Environment::new(
+            inst,
+            LinearPayoffModel::new(Vector::from([1.0])),
+            CoinStream::new(0),
+        );
+        let user = UserArrival::new(2, sure_accept_contexts(2));
+        let arr = Arrangement::new(vec![EventId(0), EventId(1)]);
+        assert!(matches!(
+            env.step(0, &user, &arr),
+            Err(ArrangementError::ConflictViolated(_, _))
+        ));
+    }
+
+    #[test]
+    fn full_event_cannot_be_arranged_again() {
+        let mut env = env_with(vec![1.0], vec![1], 1);
+        let user = UserArrival::new(1, sure_accept_contexts(1));
+        let arr = Arrangement::new(vec![EventId(0)]);
+        assert_eq!(env.step(0, &user, &arr).unwrap().reward, 1);
+        assert!(env.is_exhausted());
+        let err = env.step(1, &user, &arr).unwrap_err();
+        assert_eq!(err, ArrangementError::EventFull(EventId(0)));
+    }
+
+    #[test]
+    fn cloned_environments_see_identical_coins() {
+        let env1 = env_with(vec![0.7], vec![100; 4], 42);
+        let mut env2 = env1.clone();
+        let mut env1 = env1;
+        let ctx = ContextMatrix::from_rows(4, 1, vec![0.9, 0.8, 0.7, 0.6]);
+        let user = UserArrival::new(4, ctx);
+        let arr = Arrangement::new((0..4).map(EventId).collect());
+        for t in 0..50 {
+            let a = env1.step(t, &user, &arr).unwrap();
+            let b = env2.step(t, &user, &arr).unwrap();
+            assert_eq!(a.feedback, b.feedback, "coin divergence at t={t}");
+        }
+    }
+
+    #[test]
+    fn acceptance_rate_matches_probability() {
+        // p = 0.3 for a single event; over many rounds the acceptance
+        // frequency must approach 0.3.
+        let mut env = env_with(vec![0.3], vec![u32::MAX], 7);
+        let ctx = ContextMatrix::from_rows(1, 1, vec![1.0]);
+        let user = UserArrival::new(1, ctx);
+        let arr = Arrangement::new(vec![EventId(0)]);
+        let mut accepted = 0u32;
+        let n = 20_000;
+        for t in 0..n {
+            accepted += env.step(t, &user, &arr).unwrap().reward;
+        }
+        let rate = accepted as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.01, "rate={rate}");
+    }
+
+    #[test]
+    fn empty_arrangement_is_a_legal_round() {
+        let mut env = env_with(vec![1.0], vec![1], 1);
+        let user = UserArrival::new(3, sure_accept_contexts(1));
+        let out = env.step(0, &user, &Arrangement::empty()).unwrap();
+        assert_eq!(out.reward, 0);
+        assert!(out.feedback.is_empty());
+        assert_eq!(env.rounds_played(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "dim")]
+    fn model_instance_dim_mismatch_panics() {
+        let inst = ProblemInstance::new(vec![1], ConflictGraph::new(1), 2, ProblemMode::Fasea);
+        let _ = Environment::new(
+            inst,
+            LinearPayoffModel::new(Vector::from([1.0])),
+            CoinStream::new(0),
+        );
+    }
+
+    #[test]
+    fn available_events_counts_nonfull() {
+        let mut env = env_with(vec![1.0], vec![1, 0, 3], 1);
+        assert_eq!(env.available_events(), 2);
+        let user = UserArrival::new(1, sure_accept_contexts(3));
+        env.step(0, &user, &Arrangement::new(vec![EventId(0)]))
+            .unwrap();
+        assert_eq!(env.available_events(), 1);
+    }
+}

@@ -1,0 +1,74 @@
+//! Errors for arrangement validation.
+
+use crate::EventId;
+use std::fmt;
+
+/// Why a proposed arrangement violates Definition 3's constraints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrangementError {
+    /// The arrangement references an event id ≥ |V|.
+    UnknownEvent(EventId),
+    /// The same event appears twice in one arrangement.
+    DuplicateEvent(EventId),
+    /// More events than the user's capacity `c_u` were arranged.
+    UserCapacityExceeded {
+        /// Arranged count.
+        arranged: usize,
+        /// The user's capacity.
+        capacity: u32,
+    },
+    /// An event with no remaining capacity was arranged.
+    EventFull(EventId),
+    /// Two events in the arrangement are conflicting.
+    ConflictViolated(EventId, EventId),
+}
+
+impl fmt::Display for ArrangementError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArrangementError::UnknownEvent(v) => write!(f, "unknown event {v}"),
+            ArrangementError::DuplicateEvent(v) => {
+                write!(f, "event {v} arranged more than once")
+            }
+            ArrangementError::UserCapacityExceeded { arranged, capacity } => write!(
+                f,
+                "arranged {arranged} events but user capacity is {capacity}"
+            ),
+            ArrangementError::EventFull(v) => write!(f, "event {v} has no remaining capacity"),
+            ArrangementError::ConflictViolated(a, b) => {
+                write!(f, "events {a} and {b} are conflicting")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArrangementError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_events() {
+        assert_eq!(
+            ArrangementError::UnknownEvent(EventId(2)).to_string(),
+            "unknown event v3"
+        );
+        assert_eq!(
+            ArrangementError::ConflictViolated(EventId(0), EventId(1)).to_string(),
+            "events v1 and v2 are conflicting"
+        );
+        let e = ArrangementError::UserCapacityExceeded {
+            arranged: 4,
+            capacity: 2,
+        };
+        assert!(e.to_string().contains("4"));
+        assert!(e.to_string().contains("2"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        let e: Box<dyn std::error::Error> = Box::new(ArrangementError::EventFull(EventId(0)));
+        assert!(e.to_string().contains("v1"));
+    }
+}

@@ -1,0 +1,209 @@
+//! Problem instance description: events, capacities, mode, user arrivals.
+
+use crate::ConflictGraph;
+
+/// Identifier of an event: its index into the instance's event list.
+///
+/// Kept as a transparent newtype so event indices cannot be confused with
+/// time steps or feature indices in APIs that take several `usize`s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(pub usize);
+
+impl EventId {
+    /// The raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for EventId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{}", self.0 + 1) // 1-based, matching the paper's v₁…
+    }
+}
+
+/// Which variant of the problem is being simulated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProblemMode {
+    /// Full FASEA (Definition 3): capacities, conflicts, up to `c_u`
+    /// events per round.
+    Fasea,
+    /// The paper's "basic contextual bandit" ablation (Figures 11–13):
+    /// capacities of events are unlimited, no events conflict, and
+    /// exactly one event is arranged per round.
+    BasicContextual,
+}
+
+/// Immutable description of a FASEA problem instance.
+///
+/// Holds everything that is fixed before the first user arrives: the
+/// event capacities `c_v`, the conflict graph `CF`, the context dimension
+/// `d` and the [`ProblemMode`]. The *dynamic* remaining capacities live
+/// in [`crate::Environment`].
+#[derive(Debug, Clone)]
+pub struct ProblemInstance {
+    capacities: Vec<u32>,
+    conflicts: ConflictGraph,
+    dim: usize,
+    mode: ProblemMode,
+}
+
+impl ProblemInstance {
+    /// Creates an instance.
+    ///
+    /// # Panics
+    /// Panics if `capacities.len() != conflicts.num_events()` or `dim == 0`.
+    pub fn new(
+        capacities: Vec<u32>,
+        conflicts: ConflictGraph,
+        dim: usize,
+        mode: ProblemMode,
+    ) -> Self {
+        assert_eq!(
+            capacities.len(),
+            conflicts.num_events(),
+            "ProblemInstance: capacity list and conflict graph disagree on |V|"
+        );
+        assert!(dim > 0, "ProblemInstance: dim must be positive");
+        ProblemInstance {
+            capacities,
+            conflicts,
+            dim,
+            mode,
+        }
+    }
+
+    /// Convenience constructor for the basic-contextual-bandit mode:
+    /// `n` events with unbounded capacity (`u32::MAX`) and no conflicts.
+    pub fn basic(n: usize, dim: usize) -> Self {
+        ProblemInstance::new(
+            vec![u32::MAX; n],
+            ConflictGraph::new(n),
+            dim,
+            ProblemMode::BasicContextual,
+        )
+    }
+
+    /// Number of events `|V|`.
+    #[inline]
+    pub fn num_events(&self) -> usize {
+        self.capacities.len()
+    }
+
+    /// Context dimension `d`.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Mode of the instance.
+    #[inline]
+    pub fn mode(&self) -> ProblemMode {
+        self.mode
+    }
+
+    /// Initial capacity `c_v` of event `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn capacity(&self, v: EventId) -> u32 {
+        self.capacities[v.index()]
+    }
+
+    /// The full initial-capacity slice, indexed by event.
+    pub fn capacities(&self) -> &[u32] {
+        &self.capacities
+    }
+
+    /// The conflict graph `CF`.
+    pub fn conflicts(&self) -> &ConflictGraph {
+        &self.conflicts
+    }
+
+    /// Total capacity across all events (saturating; the basic mode uses
+    /// `u32::MAX` sentinels).
+    pub fn total_capacity(&self) -> u64 {
+        self.capacities.iter().map(|&c| c as u64).sum()
+    }
+
+    /// Iterates over all event ids.
+    pub fn event_ids(&self) -> impl Iterator<Item = EventId> {
+        (0..self.num_events()).map(EventId)
+    }
+}
+
+/// One online user arrival: capacity plus the revealed context block.
+#[derive(Debug, Clone)]
+pub struct UserArrival {
+    /// The user's capacity `c_u` — the maximum number of events they are
+    /// willing to attend this round.
+    pub capacity: u32,
+    /// Revealed contexts `x_{t,v}` for every event, shape `|V| × d`.
+    pub contexts: crate::ContextMatrix,
+}
+
+impl UserArrival {
+    /// Creates an arrival.
+    pub fn new(capacity: u32, contexts: crate::ContextMatrix) -> Self {
+        UserArrival { capacity, contexts }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ContextMatrix;
+
+    #[test]
+    fn event_id_display_is_one_based() {
+        assert_eq!(EventId(0).to_string(), "v1");
+        assert_eq!(EventId(3).to_string(), "v4");
+        assert_eq!(EventId(7).index(), 7);
+    }
+
+    #[test]
+    fn instance_accessors() {
+        let inst = ProblemInstance::new(
+            vec![2, 3, 4],
+            ConflictGraph::new(3),
+            5,
+            ProblemMode::Fasea,
+        );
+        assert_eq!(inst.num_events(), 3);
+        assert_eq!(inst.dim(), 5);
+        assert_eq!(inst.capacity(EventId(1)), 3);
+        assert_eq!(inst.total_capacity(), 9);
+        assert_eq!(inst.mode(), ProblemMode::Fasea);
+        assert_eq!(inst.event_ids().count(), 3);
+    }
+
+    #[test]
+    fn basic_mode_has_unbounded_capacity_and_no_conflicts() {
+        let inst = ProblemInstance::basic(10, 4);
+        assert_eq!(inst.mode(), ProblemMode::BasicContextual);
+        assert_eq!(inst.capacity(EventId(9)), u32::MAX);
+        assert_eq!(inst.conflicts().num_conflicts(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree on |V|")]
+    fn mismatched_sizes_panic() {
+        let _ = ProblemInstance::new(vec![1, 2], ConflictGraph::new(3), 2, ProblemMode::Fasea);
+    }
+
+    #[test]
+    #[should_panic(expected = "dim must be positive")]
+    fn zero_dim_panics() {
+        let _ = ProblemInstance::new(vec![1], ConflictGraph::new(1), 0, ProblemMode::Fasea);
+    }
+
+    #[test]
+    fn user_arrival_holds_contexts() {
+        let ctx = ContextMatrix::zeros(2, 3);
+        let u = UserArrival::new(4, ctx);
+        assert_eq!(u.capacity, 4);
+        assert_eq!(u.contexts.num_events(), 2);
+    }
+}

@@ -1,0 +1,59 @@
+//! # fasea-core
+//!
+//! Problem model for **Feedback-Aware Social Event-participant
+//! Arrangement** (FASEA, SIGMOD 2017).
+//!
+//! The FASEA problem (Definition 3 of the paper): a set of events `V`,
+//! each with a capacity `c_v`, and a set of conflicting event pairs `CF`
+//! are given. At each time step `t` a user `u_t` arrives with capacity
+//! `c_{u_t}`, a context vector `x_{t,v} ∈ R^d` (‖x‖ ≤ 1) is revealed for
+//! every event, and an **irrevocable** arrangement `A_t` (at most `c_u`
+//! mutually non-conflicting, non-full events) must be proposed before the
+//! next user appears. The user accepts each arranged event independently
+//! with probability `x_{t,v}ᵀ θ` for a fixed unknown `θ` (‖θ‖ ≤ 1);
+//! accepted events lose one unit of capacity. The objective is the total
+//! number of accepted events, equivalently minimising the regret
+//! `Reg(T) = Σ r_{t,A*_t} − Σ r_{t,A_t}` against the optimal strategy
+//! that knows `θ`.
+//!
+//! This crate defines the shared vocabulary every other crate speaks:
+//!
+//! * [`EventId`], [`ConflictGraph`] — events and Definition 1's
+//!   conflicting event pairs, with the conflict ratio
+//!   `cr = |CF| / (|V|(|V|−1)/2)`.
+//! * [`ContextMatrix`] — the per-round `|V| × d` block of revealed
+//!   contexts.
+//! * [`Arrangement`], [`validate_arrangement`] — proposed event sets and
+//!   the three feasibility constraints of Definition 3.
+//! * [`LinearPayoffModel`] — the hidden `θ` with Definition 2's linear
+//!   expected reward and the clamped acceptance probability.
+//! * [`Environment`] — the simulated platform: holds remaining
+//!   capacities, draws acceptance feedback with common random numbers,
+//!   and enforces irrevocability.
+//! * [`ProblemMode`] — FASEA proper, or the paper's "basic contextual
+//!   bandit" ablation (no capacities, no conflicts, one event per round;
+//!   Figures 11–13).
+//! * [`RegretAccounting`] — cumulative rewards / regrets / accept ratio.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+mod arrangement;
+mod conflict;
+mod context;
+mod environment;
+mod error;
+mod instance;
+mod payoff;
+mod regret;
+mod reward_model;
+
+pub use arrangement::{validate_arrangement, Arrangement, Feedback};
+pub use conflict::ConflictGraph;
+pub use context::ContextMatrix;
+pub use environment::{Environment, RoundOutcome};
+pub use error::ArrangementError;
+pub use instance::{EventId, ProblemInstance, ProblemMode, UserArrival};
+pub use payoff::LinearPayoffModel;
+pub use regret::RegretAccounting;
+pub use reward_model::RewardModel;

@@ -1,0 +1,122 @@
+//! The hidden linear payoff model (Definition 2).
+
+use crate::{ContextMatrix, EventId};
+use fasea_linalg::Vector;
+
+/// The fixed, unknown weight vector `θ` with Definition 2's linear
+/// expected reward `E[r_{t,v} | x_{t,v}] = x_{t,v}ᵀ θ`.
+///
+/// Two views of the same dot product are exposed:
+///
+/// * [`LinearPayoffModel::expected_reward`] — the raw linear value, which
+///   is what the optimal strategy ranks events by (it may be negative or
+///   exceed 1 transiently, since only `‖x‖ ≤ 1` and `‖θ‖ ≤ 1` are
+///   guaranteed);
+/// * [`LinearPayoffModel::accept_probability`] — the same value clamped
+///   to `[0, 1]`, which is what the Bernoulli feedback draw uses
+///   ("the feedback of an event is 1 with probability `xᵀθ`", Section
+///   5.1 — probabilities saturate outside the unit interval).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearPayoffModel {
+    theta: Vector,
+}
+
+impl LinearPayoffModel {
+    /// Wraps a weight vector. `θ` is used as given; call
+    /// [`LinearPayoffModel::new_normalized`] to enforce `‖θ‖ ≤ 1`.
+    ///
+    /// # Panics
+    /// Panics if `theta` is empty or non-finite.
+    pub fn new(theta: Vector) -> Self {
+        assert!(theta.dim() > 0, "LinearPayoffModel: theta must be non-empty");
+        assert!(theta.is_finite(), "LinearPayoffModel: theta must be finite");
+        LinearPayoffModel { theta }
+    }
+
+    /// Wraps and unit-normalises a weight vector, matching the paper's
+    /// synthetic data pipeline ("θ and feature vectors are normalized to
+    /// unit lengths").
+    pub fn new_normalized(theta: Vector) -> Self {
+        LinearPayoffModel::new(theta.normalized())
+    }
+
+    /// Dimension `d`.
+    pub fn dim(&self) -> usize {
+        self.theta.dim()
+    }
+
+    /// Borrows `θ`.
+    pub fn theta(&self) -> &Vector {
+        &self.theta
+    }
+
+    /// Raw expected reward `x_{t,v}ᵀ θ` of event `v` under contexts `ctx`.
+    #[inline]
+    pub fn expected_reward(&self, ctx: &ContextMatrix, v: EventId) -> f64 {
+        ctx.dot(v, self.theta.as_slice())
+    }
+
+    /// Acceptance probability: expected reward clamped to `[0, 1]`.
+    #[inline]
+    pub fn accept_probability(&self, ctx: &ContextMatrix, v: EventId) -> f64 {
+        self.expected_reward(ctx, v).clamp(0.0, 1.0)
+    }
+
+    /// Raw expected rewards of all events, indexed by event id.
+    pub fn expected_rewards(&self, ctx: &ContextMatrix) -> Vec<f64> {
+        (0..ctx.num_events())
+            .map(|v| self.expected_reward(ctx, EventId(v)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expected_reward_is_dot_product() {
+        let model = LinearPayoffModel::new(Vector::from([0.5, -0.5]));
+        let ctx = ContextMatrix::from_rows(2, 2, vec![1.0, 0.0, 0.6, 0.8]);
+        assert!((model.expected_reward(&ctx, EventId(0)) - 0.5).abs() < 1e-15);
+        assert!((model.expected_reward(&ctx, EventId(1)) - (0.3 - 0.4)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn accept_probability_clamps() {
+        let model = LinearPayoffModel::new(Vector::from([1.0]));
+        let ctx = ContextMatrix::from_rows(3, 1, vec![-0.5, 0.3, 1.0]);
+        assert_eq!(model.accept_probability(&ctx, EventId(0)), 0.0);
+        assert!((model.accept_probability(&ctx, EventId(1)) - 0.3).abs() < 1e-15);
+        assert_eq!(model.accept_probability(&ctx, EventId(2)), 1.0);
+    }
+
+    #[test]
+    fn new_normalized_enforces_unit_norm() {
+        let model = LinearPayoffModel::new_normalized(Vector::from([3.0, 4.0]));
+        assert!((model.theta().norm() - 1.0).abs() < 1e-12);
+        assert!((model.theta()[0] - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_rewards_batch_matches_single() {
+        let model = LinearPayoffModel::new(Vector::from([0.2, 0.8]));
+        let ctx = ContextMatrix::from_fn(4, 2, |v, j| (v + j) as f64 * 0.1);
+        let batch = model.expected_rewards(&ctx);
+        for (v, &value) in batch.iter().enumerate() {
+            assert_eq!(value, model.expected_reward(&ctx, EventId(v)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_theta_panics() {
+        let _ = LinearPayoffModel::new(Vector::zeros(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_theta_panics() {
+        let _ = LinearPayoffModel::new(Vector::from([f64::NAN]));
+    }
+}

@@ -1,0 +1,133 @@
+//! Cumulative reward / regret accounting (the paper's four quality
+//! metrics, Section 5.1).
+
+/// Running totals for one strategy:
+///
+/// * **accept ratio** — accumulated accepted / accumulated arranged;
+/// * **total rewards** — `Σ_t r_{t,A_t}` (Equation 1 summed);
+/// * **total regrets** — `Reg(T) = Σ r_{t,A*_t} − Σ r_{t,A_t}`
+///   (Equation 2), computed against a reference accounting (OPT on
+///   synthetic data, "Full Knowledge" on real data);
+/// * **regret ratio** — total regrets / total rewards.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegretAccounting {
+    arranged: u64,
+    accepted: u64,
+    rounds: u64,
+}
+
+impl RegretAccounting {
+    /// Fresh accounting.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one round: `arranged` slots offered, `reward` of them
+    /// accepted.
+    ///
+    /// # Panics
+    /// Panics if `reward > arranged` — a user cannot accept more events
+    /// than were arranged.
+    pub fn record_round(&mut self, arranged: usize, reward: u32) {
+        assert!(
+            reward as usize <= arranged,
+            "record_round: reward {reward} exceeds arranged {arranged}"
+        );
+        self.arranged += arranged as u64;
+        self.accepted += reward as u64;
+        self.rounds += 1;
+    }
+
+    /// Rounds recorded.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Total arranged slots so far.
+    pub fn total_arranged(&self) -> u64 {
+        self.arranged
+    }
+
+    /// Total rewards `Σ r_{t,A_t}` so far.
+    pub fn total_rewards(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Cumulative accept ratio; 0 when nothing has been arranged yet.
+    pub fn accept_ratio(&self) -> f64 {
+        if self.arranged == 0 {
+            0.0
+        } else {
+            self.accepted as f64 / self.arranged as f64
+        }
+    }
+
+    /// `Reg(T)` against a reference strategy's accounting. Under common
+    /// random numbers a lucky policy can transiently beat the
+    /// greedy-oracle OPT, so the value is signed.
+    pub fn regret_vs(&self, reference: &RegretAccounting) -> i64 {
+        reference.accepted as i64 - self.accepted as i64
+    }
+
+    /// Regret ratio = total regrets / total rewards; 0 when no rewards
+    /// have been collected yet.
+    pub fn regret_ratio_vs(&self, reference: &RegretAccounting) -> f64 {
+        if self.accepted == 0 {
+            0.0
+        } else {
+            self.regret_vs(reference) as f64 / self.accepted as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_accounting_is_zero() {
+        let a = RegretAccounting::new();
+        assert_eq!(a.total_rewards(), 0);
+        assert_eq!(a.total_arranged(), 0);
+        assert_eq!(a.accept_ratio(), 0.0);
+        assert_eq!(a.rounds(), 0);
+    }
+
+    #[test]
+    fn accumulates_rounds() {
+        let mut a = RegretAccounting::new();
+        a.record_round(2, 1);
+        a.record_round(3, 3);
+        a.record_round(0, 0);
+        assert_eq!(a.rounds(), 3);
+        assert_eq!(a.total_arranged(), 5);
+        assert_eq!(a.total_rewards(), 4);
+        assert!((a.accept_ratio() - 0.8).abs() < 1e-15);
+    }
+
+    #[test]
+    fn regret_is_signed_difference() {
+        let mut alg = RegretAccounting::new();
+        let mut opt = RegretAccounting::new();
+        alg.record_round(2, 1);
+        opt.record_round(2, 2);
+        assert_eq!(alg.regret_vs(&opt), 1);
+        assert_eq!(opt.regret_vs(&alg), -1);
+        assert!((alg.regret_ratio_vs(&opt) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn regret_ratio_zero_without_rewards() {
+        let alg = RegretAccounting::new();
+        let mut opt = RegretAccounting::new();
+        opt.record_round(1, 1);
+        assert_eq!(alg.regret_ratio_vs(&opt), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds arranged")]
+    fn reward_cannot_exceed_arranged() {
+        let mut a = RegretAccounting::new();
+        a.record_round(1, 2);
+    }
+}

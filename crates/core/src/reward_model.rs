@@ -1,0 +1,54 @@
+//! The reward-model abstraction behind the environment.
+
+use crate::{ContextMatrix, EventId};
+
+/// Ground truth that decides user feedback.
+///
+/// Definition 2's linear model ([`crate::LinearPayoffModel`]) is the
+/// paper's synthetic ground truth; the real dataset replaces it with
+/// deterministic per-event Yes/No labels (users were asked for fixed
+/// ground-truth feedbacks, Section 5.1). Both are [`RewardModel`]s, so
+/// the same [`crate::Environment`] and simulation loop drive both halves
+/// of the evaluation.
+pub trait RewardModel {
+    /// Context dimension this model expects.
+    fn dim(&self) -> usize;
+
+    /// Probability in `[0, 1]` that the user accepts event `v` under
+    /// contexts `ctx`.
+    fn accept_probability(&self, ctx: &ContextMatrix, v: EventId) -> f64;
+
+    /// The (possibly unclamped) expected reward used for ranking by the
+    /// clairvoyant strategies and the Kendall ground truth.
+    fn expected_reward(&self, ctx: &ContextMatrix, v: EventId) -> f64;
+}
+
+impl RewardModel for crate::LinearPayoffModel {
+    fn dim(&self) -> usize {
+        crate::LinearPayoffModel::dim(self)
+    }
+
+    fn accept_probability(&self, ctx: &ContextMatrix, v: EventId) -> f64 {
+        crate::LinearPayoffModel::accept_probability(self, ctx, v)
+    }
+
+    fn expected_reward(&self, ctx: &ContextMatrix, v: EventId) -> f64 {
+        crate::LinearPayoffModel::expected_reward(self, ctx, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fasea_linalg::Vector;
+
+    #[test]
+    fn linear_model_implements_trait() {
+        let m = crate::LinearPayoffModel::new(Vector::from([1.0, 0.0]));
+        let ctx = ContextMatrix::from_rows(1, 2, vec![0.4, 0.9]);
+        let dyn_m: &dyn RewardModel = &m;
+        assert_eq!(dyn_m.dim(), 2);
+        assert!((dyn_m.expected_reward(&ctx, EventId(0)) - 0.4).abs() < 1e-15);
+        assert!((dyn_m.accept_probability(&ctx, EventId(0)) - 0.4).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests for fasea-core invariants.
+
+use fasea_core::{
+    validate_arrangement, Arrangement, ConflictGraph, ContextMatrix, Environment, EventId,
+    LinearPayoffModel, ProblemInstance, ProblemMode, RegretAccounting, UserArrival,
+};
+use fasea_linalg::Vector;
+use fasea_stats::CoinStream;
+use proptest::prelude::*;
+
+/// Strategy: a small conflict graph as (n, pair list).
+fn conflict_graph_strategy() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
+    (2usize..20).prop_flat_map(|n| {
+        let pairs = proptest::collection::vec((0..n, 0..n), 0..30).prop_map(move |raw| {
+            raw.into_iter()
+                .filter(|&(a, b)| a != b)
+                .collect::<Vec<_>>()
+        });
+        (Just(n), pairs)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Conflict relation is symmetric and irreflexive, and the ratio is
+    /// consistent with the pair count.
+    #[test]
+    fn conflict_graph_invariants((n, pairs) in conflict_graph_strategy()) {
+        let g = ConflictGraph::from_pairs(n, &pairs);
+        for i in 0..n {
+            prop_assert!(!g.are_conflicting(EventId(i), EventId(i)));
+            for j in 0..n {
+                prop_assert_eq!(
+                    g.are_conflicting(EventId(i), EventId(j)),
+                    g.are_conflicting(EventId(j), EventId(i))
+                );
+            }
+        }
+        let max_pairs = n * (n - 1) / 2;
+        let expect = g.num_conflicts() as f64 / max_pairs as f64;
+        prop_assert!((g.conflict_ratio() - expect).abs() < 1e-15);
+        prop_assert!(g.num_conflicts() <= max_pairs);
+        // Degrees sum to twice the edge count.
+        let deg_sum: usize = (0..n).map(|i| g.degree(EventId(i))).sum();
+        prop_assert_eq!(deg_sum, 2 * g.num_conflicts());
+    }
+
+    /// Mask-based conflict queries agree with pairwise queries.
+    #[test]
+    fn mask_queries_agree((n, pairs) in conflict_graph_strategy(), chosen_bits in any::<u64>()) {
+        let g = ConflictGraph::from_pairs(n, &pairs);
+        let chosen: Vec<EventId> = (0..n)
+            .filter(|i| (chosen_bits >> (i % 64)) & 1 == 1)
+            .map(EventId)
+            .collect();
+        let mut mask = g.empty_mask();
+        for &c in &chosen {
+            g.mark_mask(c, &mut mask);
+        }
+        for v in 0..n {
+            prop_assert_eq!(
+                g.conflicts_with_mask(EventId(v), &mask),
+                g.conflicts_with_any(EventId(v), &chosen),
+                "event {}", v
+            );
+        }
+    }
+
+    /// validate_arrangement accepts exactly the feasible arrangements
+    /// produced by a reference checker.
+    #[test]
+    fn validation_matches_reference(
+        (n, pairs) in conflict_graph_strategy(),
+        picks in proptest::collection::vec(0usize..20, 0..8),
+        caps in proptest::collection::vec(0u32..3, 2..20),
+        cu in 0u32..6
+    ) {
+        let g = ConflictGraph::from_pairs(n, &pairs);
+        let mut caps = caps;
+        caps.resize(n, 1);
+        let events: Vec<EventId> = picks.into_iter().filter(|&p| p < n).map(EventId).collect();
+        let arr = Arrangement::new(events.clone());
+
+        // Reference checker.
+        let mut feasible = events.len() <= cu as usize;
+        for (i, &v) in events.iter().enumerate() {
+            if caps[v.index()] == 0 { feasible = false; }
+            if events[..i].contains(&v) { feasible = false; }
+            for &w in &events[..i] {
+                if g.are_conflicting(v, w) { feasible = false; }
+            }
+        }
+        prop_assert_eq!(
+            validate_arrangement(&arr, &g, &caps, cu).is_ok(),
+            feasible
+        );
+    }
+
+    /// Environment conservation law: capacity consumed == rewards earned,
+    /// and rewards never exceed arranged slots.
+    #[test]
+    fn environment_conservation(
+        theta in proptest::collection::vec(-1.0f64..1.0, 1..6),
+        seed in any::<u64>(),
+        rounds in 1u64..40
+    ) {
+        let d = theta.len();
+        let n = 6usize;
+        let inst = ProblemInstance::new(
+            vec![100; n],
+            ConflictGraph::new(n),
+            d,
+            ProblemMode::Fasea,
+        );
+        let total_before: u64 = inst.total_capacity();
+        let mut env = Environment::new(
+            inst,
+            LinearPayoffModel::new_normalized(Vector::from(theta)),
+            CoinStream::new(seed),
+        );
+        let mut acc = RegretAccounting::new();
+        for t in 0..rounds {
+            let mut ctx = ContextMatrix::from_fn(n, d, |v, j| {
+                ((t as usize + v * 3 + j * 7) % 11) as f64 / 11.0 - 0.3
+            });
+            ctx.normalize_rows();
+            let user = UserArrival::new(3, ctx);
+            let arr = Arrangement::new(vec![EventId((t as usize) % n)]);
+            let out = env.step(t, &user, &arr).unwrap();
+            prop_assert!(out.reward as usize <= arr.len());
+            acc.record_round(arr.len(), out.reward);
+        }
+        let total_after: u64 = env.remaining().iter().map(|&c| c as u64).sum();
+        prop_assert_eq!(total_before - total_after, acc.total_rewards());
+        prop_assert!(acc.accept_ratio() >= 0.0 && acc.accept_ratio() <= 1.0);
+    }
+
+    /// Clamped acceptance probabilities are honoured: p=0 never accepts,
+    /// p=1 always accepts, regardless of the coin seed.
+    #[test]
+    fn deterministic_extremes(seed in any::<u64>(), t in 0u64..1000) {
+        let inst = ProblemInstance::new(
+            vec![10, 10],
+            ConflictGraph::new(2),
+            1,
+            ProblemMode::Fasea,
+        );
+        let mut env = Environment::new(
+            inst,
+            LinearPayoffModel::new(Vector::from([1.0])),
+            CoinStream::new(seed),
+        );
+        let ctx = ContextMatrix::from_rows(2, 1, vec![1.0, -1.0]);
+        let user = UserArrival::new(2, ctx);
+        let arr = Arrangement::new(vec![EventId(0), EventId(1)]);
+        let out = env.step(t, &user, &arr).unwrap();
+        prop_assert_eq!(out.feedback.accepted(), &[true, false]);
+    }
+}

@@ -1,0 +1,132 @@
+//! Compact binary encoding of categorical features.
+//!
+//! The paper encodes each categorical feature "into a binary vector
+//! following \[26\]", illustrated with performers: male → `<0,1>`,
+//! female → `<1,0>`, group → `<1,1>` — i.e. the 1-based value index
+//! written in binary over the minimum number of bits that distinguishes
+//! all values. This module implements exactly that code, plus the final
+//! divide-by-`d` normalisation ("we finally normalize the feature vectors
+//! by dividing each feature value by d = 20").
+
+/// Number of bits needed to encode `num_values` distinct values with the
+/// 1-based binary code (so that no value encodes to all-zeros).
+///
+/// # Panics
+/// Panics if `num_values == 0`.
+pub fn bits_for(num_values: usize) -> usize {
+    assert!(num_values > 0, "bits_for: need at least one value");
+    // Codes are 1..=num_values, so we need bits for num_values itself.
+    (usize::BITS - num_values.leading_zeros()) as usize
+}
+
+/// Appends the binary code of the (0-based) `value` of a categorical
+/// feature with `num_values` values onto `out`, most significant bit
+/// first. The paper's performer example: value 0 → `[0,1]`, 1 → `[1,0]`,
+/// 2 → `[1,1]`.
+///
+/// # Panics
+/// Panics if `value >= num_values`.
+pub fn encode_categorical(value: usize, num_values: usize, out: &mut Vec<f64>) {
+    assert!(
+        value < num_values,
+        "encode_categorical: value {value} out of range {num_values}"
+    );
+    let bits = bits_for(num_values);
+    let code = value + 1; // 1-based so no category is all-zero.
+    for b in (0..bits).rev() {
+        out.push(((code >> b) & 1) as f64);
+    }
+}
+
+/// Divides every feature by `d` in place — the paper's normalisation
+/// guaranteeing `‖x‖ ≤ √d/d ≤ 1`.
+///
+/// # Panics
+/// Panics if `features.len() != d` (the vector must already be
+/// `d`-dimensional) or `d == 0`.
+pub fn normalize_by_dimension(features: &mut [f64], d: usize) {
+    assert!(d > 0, "normalize_by_dimension: d must be positive");
+    assert_eq!(
+        features.len(),
+        d,
+        "normalize_by_dimension: feature vector must have length d"
+    );
+    for f in features {
+        *f /= d as f64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_for_counts() {
+        assert_eq!(bits_for(1), 1); // code 1 -> 1 bit
+        assert_eq!(bits_for(3), 2); // codes 1..3 -> 2 bits
+        assert_eq!(bits_for(4), 3); // code 4 = 100 -> 3 bits
+        assert_eq!(bits_for(7), 3);
+        assert_eq!(bits_for(8), 4);
+        assert_eq!(bits_for(11), 4);
+    }
+
+    #[test]
+    fn paper_performer_example() {
+        // male, female, group -> <0,1>, <1,0>, <1,1>.
+        let mut out = Vec::new();
+        encode_categorical(0, 3, &mut out);
+        assert_eq!(out, vec![0.0, 1.0]);
+        out.clear();
+        encode_categorical(1, 3, &mut out);
+        assert_eq!(out, vec![1.0, 0.0]);
+        out.clear();
+        encode_categorical(2, 3, &mut out);
+        assert_eq!(out, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn codes_are_distinct_and_nonzero() {
+        for num_values in 1..=16 {
+            let mut seen = std::collections::HashSet::new();
+            for v in 0..num_values {
+                let mut out = Vec::new();
+                encode_categorical(v, num_values, &mut out);
+                assert_eq!(out.len(), bits_for(num_values));
+                assert!(out.iter().any(|&b| b != 0.0), "all-zero code for {v}");
+                let bits: Vec<u8> = out.iter().map(|&b| b as u8).collect();
+                assert!(seen.insert(bits), "duplicate code for {v}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_value_panics() {
+        let mut out = Vec::new();
+        encode_categorical(3, 3, &mut out);
+    }
+
+    #[test]
+    fn normalization_divides_by_d() {
+        let mut f = vec![1.0, 0.0, 1.0, 0.5];
+        normalize_by_dimension(&mut f, 4);
+        assert_eq!(f, vec![0.25, 0.0, 0.25, 0.125]);
+    }
+
+    #[test]
+    fn normalized_binary_vector_has_small_norm() {
+        // Worst case: all 20 features are 1 -> norm = sqrt(20)/20 < 1.
+        let mut f = vec![1.0; 20];
+        normalize_by_dimension(&mut f, 20);
+        let norm = f.iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!(norm <= 1.0);
+        assert!((norm - 20f64.sqrt() / 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length d")]
+    fn normalization_checks_length() {
+        let mut f = vec![1.0; 3];
+        normalize_by_dimension(&mut f, 4);
+    }
+}

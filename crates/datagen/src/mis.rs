@@ -1,0 +1,196 @@
+//! Exact maximum independent set over small conflict graphs.
+//!
+//! The real dataset's "Full Knowledge" column needs, per user, the size
+//! of the largest set of mutually non-conflicting events that the user
+//! would accept (ground-truth "Yes"). With 50 events this is a maximum
+//! independent set (MIS) instance small enough for exact bitmask
+//! branch-and-bound.
+
+use fasea_core::{ConflictGraph, EventId};
+
+/// Exact MIS size restricted to the vertices in `allowed`, using bitmask
+/// branch-and-bound (branch on the highest-degree remaining vertex,
+/// bound by remaining vertex count).
+///
+/// # Panics
+/// Panics if the graph has more than 64 events (the bitmask domain) or
+/// `allowed` references an out-of-range event.
+pub fn max_independent_set(conflicts: &ConflictGraph, allowed: &[EventId]) -> usize {
+    let n = conflicts.num_events();
+    assert!(n <= 64, "max_independent_set: bitmask solver handles |V| <= 64");
+    let mut allowed_mask = 0u64;
+    for &v in allowed {
+        assert!(v.index() < n, "max_independent_set: event out of range");
+        allowed_mask |= 1 << v.index();
+    }
+    // Precompute adjacency masks restricted to allowed vertices.
+    let mut adj = vec![0u64; n];
+    for (v, mask) in adj.iter_mut().enumerate() {
+        if allowed_mask & (1 << v) == 0 {
+            continue;
+        }
+        for u in conflicts.neighbours(EventId(v)) {
+            if allowed_mask & (1 << u.index()) != 0 {
+                *mask |= 1 << u.index();
+            }
+        }
+    }
+
+    fn bnb(candidates: u64, adj: &[u64], best: &mut usize, current: usize) {
+        let remaining = candidates.count_ones() as usize;
+        if current + remaining <= *best {
+            return; // bound
+        }
+        if candidates == 0 {
+            *best = (*best).max(current);
+            return;
+        }
+        // Pick the candidate with the most candidate-neighbours: either
+        // it is in some optimal MIS, or all is decided without it.
+        let mut pivot = candidates.trailing_zeros() as usize;
+        let mut pivot_deg = 0u32;
+        let mut rest = candidates;
+        while rest != 0 {
+            let v = rest.trailing_zeros() as usize;
+            rest &= rest - 1;
+            let deg = (adj[v] & candidates).count_ones();
+            if deg > pivot_deg {
+                pivot_deg = deg;
+                pivot = v;
+            }
+        }
+        if pivot_deg == 0 {
+            // No edges left: everything remaining is independent.
+            *best = (*best).max(current + remaining);
+            return;
+        }
+        // Branch 1: include pivot (drop its neighbours).
+        bnb(
+            candidates & !(1 << pivot) & !adj[pivot],
+            adj,
+            best,
+            current + 1,
+        );
+        // Branch 2: exclude pivot.
+        bnb(candidates & !(1 << pivot), adj, best, current);
+    }
+
+    let mut best = 0usize;
+    bnb(allowed_mask, &adj, &mut best, 0);
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[usize]) -> Vec<EventId> {
+        v.iter().map(|&i| EventId(i)).collect()
+    }
+
+    #[test]
+    fn empty_allowed_set() {
+        let g = ConflictGraph::complete(5);
+        assert_eq!(max_independent_set(&g, &[]), 0);
+    }
+
+    #[test]
+    fn no_conflicts_takes_everything() {
+        let g = ConflictGraph::new(6);
+        assert_eq!(max_independent_set(&g, &ids(&[0, 2, 4])), 3);
+        assert_eq!(max_independent_set(&g, &ids(&[0, 1, 2, 3, 4, 5])), 6);
+    }
+
+    #[test]
+    fn complete_graph_takes_one() {
+        let g = ConflictGraph::complete(8);
+        assert_eq!(max_independent_set(&g, &ids(&[1, 3, 5, 7])), 1);
+    }
+
+    #[test]
+    fn path_graph_alternates() {
+        // Path 0-1-2-3-4: MIS = {0, 2, 4} = 3.
+        let g = ConflictGraph::from_pairs(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        assert_eq!(max_independent_set(&g, &ids(&[0, 1, 2, 3, 4])), 3);
+    }
+
+    #[test]
+    fn cycle_graph() {
+        // 5-cycle: MIS = 2.
+        let g = ConflictGraph::from_pairs(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        assert_eq!(max_independent_set(&g, &ids(&[0, 1, 2, 3, 4])), 2);
+    }
+
+    #[test]
+    fn star_graph() {
+        // Centre 0 conflicts with all leaves: MIS = leaves.
+        let g = ConflictGraph::from_pairs(6, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)]);
+        assert_eq!(max_independent_set(&g, &ids(&[0, 1, 2, 3, 4, 5])), 5);
+        assert_eq!(max_independent_set(&g, &ids(&[0])), 1);
+    }
+
+    #[test]
+    fn restriction_to_allowed_set() {
+        let g = ConflictGraph::from_pairs(4, &[(0, 1), (2, 3)]);
+        // All events: pick one of each pair = 2.
+        assert_eq!(max_independent_set(&g, &ids(&[0, 1, 2, 3])), 2);
+        // Only the first pair allowed: 1.
+        assert_eq!(max_independent_set(&g, &ids(&[0, 1])), 1);
+        // Cross pair with no conflict: 2.
+        assert_eq!(max_independent_set(&g, &ids(&[0, 2])), 2);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_graphs() {
+        // Exhaustive reference over n <= 12 vertices.
+        let mut state = 0xABCDEFu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for trial in 0..30 {
+            let n = 4 + (trial % 8) as usize;
+            let mut pairs = Vec::new();
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if next() % 3 == 0 {
+                        pairs.push((i, j));
+                    }
+                }
+            }
+            let g = ConflictGraph::from_pairs(n, &pairs);
+            let all: Vec<EventId> = (0..n).map(EventId).collect();
+            // Brute force.
+            let mut best = 0;
+            'subset: for mask in 0u32..(1 << n) {
+                for i in 0..n {
+                    if mask & (1 << i) == 0 {
+                        continue;
+                    }
+                    for j in (i + 1)..n {
+                        if mask & (1 << j) != 0
+                            && g.are_conflicting(EventId(i), EventId(j))
+                        {
+                            continue 'subset;
+                        }
+                    }
+                }
+                best = best.max(mask.count_ones() as usize);
+            }
+            assert_eq!(
+                max_independent_set(&g, &all),
+                best,
+                "trial {trial} n={n} pairs={pairs:?}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "|V| <= 64")]
+    fn large_graphs_rejected() {
+        let g = ConflictGraph::new(65);
+        let _ = max_independent_set(&g, &[]);
+    }
+}

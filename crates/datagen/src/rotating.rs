@@ -1,0 +1,210 @@
+//! Remark 2 extension: time-varying event sets `V_t`.
+//!
+//! The paper notes (Remark 2) that "it is easy to extend FASEA to the
+//! scenario where different sets of events V_t are revealed at different
+//! time steps. For example, when a user logs in on Monday, V could be
+//! the set of events on Tuesday and when a user logs in on Friday, V
+//! could be the set of events on the weekend."
+//!
+//! This module implements that calendar as a [`RotatingSchedule`]:
+//! events are assigned to slots (think weekdays), time advances through
+//! slots in blocks of `slot_len` rounds, and at time `t` only the
+//! events of the current slot — plus the always-available ones — can be
+//! arranged. The simulator enforces availability by masking the
+//! remaining-capacity view shown to policies (an unavailable event
+//! looks full), so every existing policy works unmodified.
+
+use fasea_core::EventId;
+use fasea_stats::crn::mix64;
+
+/// Slot index reserved for "always available" events.
+pub const ALWAYS_AVAILABLE: u8 = u8::MAX;
+
+/// A cyclic availability calendar over the event catalogue.
+#[derive(Debug, Clone)]
+pub struct RotatingSchedule {
+    assignment: Vec<u8>,
+    num_slots: u8,
+    slot_len: u64,
+}
+
+impl RotatingSchedule {
+    /// Assigns each of `n` events pseudo-randomly to one of `num_slots`
+    /// slots; a fraction `always_fraction` of events is always
+    /// available. Time advances one slot every `slot_len` rounds.
+    ///
+    /// # Panics
+    /// Panics if `num_slots == 0`, `slot_len == 0` or `always_fraction`
+    /// is outside `[0, 1]`.
+    pub fn new(n: usize, num_slots: u8, slot_len: u64, always_fraction: f64, seed: u64) -> Self {
+        assert!(num_slots > 0, "RotatingSchedule: num_slots must be > 0");
+        assert!(slot_len > 0, "RotatingSchedule: slot_len must be > 0");
+        assert!(
+            (0.0..=1.0).contains(&always_fraction),
+            "RotatingSchedule: always_fraction must be in [0, 1]"
+        );
+        let assignment = (0..n)
+            .map(|v| {
+                let h = mix64(seed ^ (v as u64).wrapping_mul(0x9FB21C651E98DF25));
+                let frac = (h >> 11) as f64 / (1u64 << 53) as f64;
+                if frac < always_fraction {
+                    ALWAYS_AVAILABLE
+                } else {
+                    (mix64(h) % num_slots as u64) as u8
+                }
+            })
+            .collect();
+        RotatingSchedule {
+            assignment,
+            num_slots,
+            slot_len,
+        }
+    }
+
+    /// Number of events covered.
+    pub fn num_events(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Number of rotating slots.
+    pub fn num_slots(&self) -> u8 {
+        self.num_slots
+    }
+
+    /// The active slot at time `t`.
+    pub fn slot_at(&self, t: u64) -> u8 {
+        ((t / self.slot_len) % self.num_slots as u64) as u8
+    }
+
+    /// The slot event `v` is assigned to ([`ALWAYS_AVAILABLE`] if it is
+    /// never masked).
+    pub fn slot_of(&self, v: EventId) -> u8 {
+        self.assignment[v.index()]
+    }
+
+    /// `true` iff event `v` can be arranged at time `t`.
+    pub fn is_available(&self, t: u64, v: EventId) -> bool {
+        let s = self.assignment[v.index()];
+        s == ALWAYS_AVAILABLE || s == self.slot_at(t)
+    }
+
+    /// Writes the availability-masked remaining capacities into `out`
+    /// (unavailable events appear full, i.e. 0).
+    pub fn mask_remaining(&self, t: u64, remaining: &[u32], out: &mut Vec<u32>) {
+        assert_eq!(
+            remaining.len(),
+            self.assignment.len(),
+            "mask_remaining: |V| mismatch"
+        );
+        out.clear();
+        out.extend(remaining.iter().enumerate().map(|(v, &r)| {
+            if self.is_available(t, EventId(v)) {
+                r
+            } else {
+                0
+            }
+        }));
+    }
+
+    /// Number of events available at time `t` (ignoring capacity).
+    pub fn available_count(&self, t: u64) -> usize {
+        (0..self.num_events())
+            .filter(|&v| self.is_available(t, EventId(v)))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_cycle_with_time() {
+        let s = RotatingSchedule::new(10, 3, 5, 0.0, 1);
+        assert_eq!(s.slot_at(0), 0);
+        assert_eq!(s.slot_at(4), 0);
+        assert_eq!(s.slot_at(5), 1);
+        assert_eq!(s.slot_at(14), 2);
+        assert_eq!(s.slot_at(15), 0);
+    }
+
+    #[test]
+    fn availability_follows_assignment() {
+        let s = RotatingSchedule::new(40, 4, 10, 0.0, 7);
+        for t in [0u64, 13, 27, 39] {
+            let slot = s.slot_at(t);
+            for v in 0..40 {
+                assert_eq!(
+                    s.is_available(t, EventId(v)),
+                    s.slot_of(EventId(v)) == slot
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn always_available_events_never_masked() {
+        let s = RotatingSchedule::new(200, 5, 3, 0.3, 11);
+        let always: Vec<usize> = (0..200)
+            .filter(|&v| s.slot_of(EventId(v)) == ALWAYS_AVAILABLE)
+            .collect();
+        assert!(!always.is_empty(), "expected some always-available events");
+        // ~30% ± tolerance.
+        let frac = always.len() as f64 / 200.0;
+        assert!((frac - 0.3).abs() < 0.12, "frac={frac}");
+        for t in 0..30 {
+            for &v in &always {
+                assert!(s.is_available(t, EventId(v)));
+            }
+        }
+    }
+
+    #[test]
+    fn mask_remaining_zeroes_unavailable() {
+        let s = RotatingSchedule::new(6, 2, 1, 0.0, 3);
+        let remaining = [5u32; 6];
+        let mut masked = Vec::new();
+        s.mask_remaining(0, &remaining, &mut masked);
+        for (v, &m) in masked.iter().enumerate() {
+            if s.is_available(0, EventId(v)) {
+                assert_eq!(m, 5);
+            } else {
+                assert_eq!(m, 0);
+            }
+        }
+        // Complementary slot at t=1.
+        let mut masked1 = Vec::new();
+        s.mask_remaining(1, &remaining, &mut masked1);
+        let avail0 = masked.iter().filter(|&&r| r > 0).count();
+        let avail1 = masked1.iter().filter(|&&r| r > 0).count();
+        assert_eq!(avail0 + avail1, 6);
+    }
+
+    #[test]
+    fn all_slots_populated_for_large_catalogues() {
+        let s = RotatingSchedule::new(500, 7, 10, 0.0, 9);
+        let mut counts = [0usize; 7];
+        for v in 0..500 {
+            counts[s.slot_of(EventId(v)) as usize] += 1;
+        }
+        for (slot, &c) in counts.iter().enumerate() {
+            assert!(c > 30, "slot {slot} nearly empty: {c}");
+        }
+        assert_eq!(counts.iter().sum::<usize>(), 500);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = RotatingSchedule::new(50, 4, 5, 0.2, 42);
+        let b = RotatingSchedule::new(50, 4, 5, 0.2, 42);
+        for v in 0..50 {
+            assert_eq!(a.slot_of(EventId(v)), b.slot_of(EventId(v)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "num_slots must be > 0")]
+    fn zero_slots_rejected() {
+        let _ = RotatingSchedule::new(5, 0, 1, 0.0, 1);
+    }
+}

@@ -1,0 +1,482 @@
+//! Synthetic workload generator — every cell of the paper's Table 4.
+
+use fasea_core::{
+    ConflictGraph, ContextMatrix, EventId, LinearPayoffModel, ProblemInstance, ProblemMode,
+    UserArrival,
+};
+use fasea_linalg::Vector;
+use fasea_stats::crn::mix64;
+use fasea_stats::dist::Distribution as _;
+use fasea_stats::{rng_from_seed, Normal, PowerLaw, Uniform};
+
+/// The scalar distributions Table 4 draws `θ` and feature values from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ValueDistribution {
+    /// Uniform[-1, 1] — the paper's default.
+    Uniform,
+    /// N(0, 1).
+    Normal,
+    /// Power(2) on [0, 1] (mass near 1; see `fasea_stats::PowerLaw`).
+    Power,
+    /// The "shuffle" mixture: dimension `i` (0-based) cycles through
+    /// Uniform[-1,1], N((i+1)/d, 1), Power(2) — "the value of each
+    /// dimension i is generated following Uniform, Normal with mean i/d
+    /// and Power distributions in turn" (Section 5.1).
+    Shuffle,
+}
+
+impl ValueDistribution {
+    /// Human-readable name used in experiment reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ValueDistribution::Uniform => "Uniform",
+            ValueDistribution::Normal => "Normal",
+            ValueDistribution::Power => "Power",
+            ValueDistribution::Shuffle => "Shuffle",
+        }
+    }
+
+    /// Fills `out[i]` with a draw for dimension `i` of a `d`-dimensional
+    /// vector.
+    pub fn fill(&self, rng: &mut fasea_stats::Rng, out: &mut [f64]) {
+        let d = out.len().max(1);
+        match self {
+            ValueDistribution::Uniform => {
+                Uniform::symmetric_unit().sample_into(rng, out);
+            }
+            ValueDistribution::Normal => {
+                Normal::standard().sample_into(rng, out);
+            }
+            ValueDistribution::Power => {
+                PowerLaw::new(2.0).sample_into(rng, out);
+            }
+            ValueDistribution::Shuffle => {
+                for (i, x) in out.iter_mut().enumerate() {
+                    *x = match i % 3 {
+                        0 => Uniform::symmetric_unit().sample(rng),
+                        1 => Normal::new((i + 1) as f64 / d as f64, 1.0).sample(rng),
+                        _ => PowerLaw::new(2.0).sample(rng),
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// Event-capacity model: `c_v ∼ N(mean, std)`, truncated at 0 and
+/// rounded. Table 4 offers N(100,100), **N(200,100)** (default) and
+/// N(500,200).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CapacityModel {
+    /// Mean of the normal draw.
+    pub mean: f64,
+    /// Standard deviation of the normal draw.
+    pub std: f64,
+}
+
+impl CapacityModel {
+    /// The paper's default N(200, 100).
+    pub fn default_paper() -> Self {
+        CapacityModel {
+            mean: 200.0,
+            std: 100.0,
+        }
+    }
+
+    /// Draws one capacity.
+    pub fn sample(&self, rng: &mut fasea_stats::Rng) -> u32 {
+        Normal::new(self.mean, self.std).sample(rng).max(0.0).round() as u32
+    }
+}
+
+/// Full synthetic configuration — one row of the Table 4 grid. The
+/// `Default` instance is the paper's bold default setting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyntheticConfig {
+    /// Number of events `|V|` (default 500).
+    pub num_events: usize,
+    /// Horizon `T` (default 100 000).
+    pub horizon: u64,
+    /// Context dimension `d` (default 20).
+    pub dim: usize,
+    /// Distribution of `θ` (default Uniform).
+    pub theta_dist: ValueDistribution,
+    /// Distribution of feature values (default Uniform).
+    pub x_dist: ValueDistribution,
+    /// Event capacity model (default N(200, 100)).
+    pub capacity: CapacityModel,
+    /// Inclusive user-capacity range (default 1..=5, i.e. `c_u ∼ U[1,5]`).
+    pub user_capacity: (u32, u32),
+    /// Conflict ratio `cr` (default 0.25).
+    pub conflict_ratio: f64,
+    /// Master seed: instance structure, `θ` and the per-round contexts
+    /// all derive from it.
+    pub seed: u64,
+    /// Problem mode (default full FASEA).
+    pub mode: ProblemMode,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        SyntheticConfig {
+            num_events: 500,
+            horizon: 100_000,
+            dim: 20,
+            theta_dist: ValueDistribution::Uniform,
+            x_dist: ValueDistribution::Uniform,
+            capacity: CapacityModel::default_paper(),
+            user_capacity: (1, 5),
+            conflict_ratio: 0.25,
+            seed: 0x5EED_FA5E_A001,
+            mode: ProblemMode::Fasea,
+        }
+    }
+}
+
+impl SyntheticConfig {
+    /// The paper's "basic contextual bandit" ablation of this config
+    /// (Figures 11–13): unlimited capacities, no conflicts, `c_u = 1`.
+    pub fn into_basic(mut self) -> Self {
+        self.mode = ProblemMode::BasicContextual;
+        self.conflict_ratio = 0.0;
+        self.user_capacity = (1, 1);
+        self
+    }
+
+    /// Validates parameter ranges.
+    ///
+    /// # Panics
+    /// Panics on nonsensical configurations (zero events/dim, cr outside
+    /// \[0,1\], inverted user-capacity range).
+    pub fn validate(&self) {
+        assert!(self.num_events > 0, "SyntheticConfig: num_events must be > 0");
+        assert!(self.dim > 0, "SyntheticConfig: dim must be > 0");
+        assert!(
+            (0.0..=1.0).contains(&self.conflict_ratio),
+            "SyntheticConfig: conflict_ratio must be in [0, 1]"
+        );
+        assert!(
+            self.user_capacity.0 <= self.user_capacity.1 && self.user_capacity.0 >= 1,
+            "SyntheticConfig: user_capacity range must be 1 <= lo <= hi"
+        );
+    }
+}
+
+/// Samples a conflict graph with exactly
+/// `round(cr · n(n−1)/2)` distinct conflicting pairs.
+///
+/// For `cr ≤ 0.5` pairs are rejection-sampled directly; for larger `cr`
+/// the *complement* pairs are sampled instead and everything else is
+/// marked conflicting — so `cr = 1` (complete graph) costs no rejection
+/// loop at all.
+pub fn generate_conflicts(n: usize, cr: f64, rng: &mut fasea_stats::Rng) -> ConflictGraph {
+    use rand::Rng as _;
+    assert!((0.0..=1.0).contains(&cr), "generate_conflicts: cr in [0,1]");
+    if n < 2 {
+        return ConflictGraph::new(n);
+    }
+    let max_pairs = n * (n - 1) / 2;
+    let target = (cr * max_pairs as f64).round() as usize;
+    let sample_pairs = |count: usize, rng: &mut fasea_stats::Rng| -> std::collections::HashSet<(usize, usize)> {
+        let mut set = std::collections::HashSet::with_capacity(count);
+        while set.len() < count {
+            let i = rng.gen_range(0..n);
+            let j = rng.gen_range(0..n);
+            if i == j {
+                continue;
+            }
+            set.insert((i.min(j), i.max(j)));
+        }
+        set
+    };
+    if target * 2 <= max_pairs {
+        let pairs = sample_pairs(target, rng);
+        let mut g = ConflictGraph::new(n);
+        for (i, j) in pairs {
+            g.add_conflict(EventId(i), EventId(j));
+        }
+        g
+    } else {
+        // Sample the complement.
+        let keep_out = sample_pairs(max_pairs - target, rng);
+        let mut g = ConflictGraph::new(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if !keep_out.contains(&(i, j)) {
+                    g.add_conflict(EventId(i), EventId(j));
+                }
+            }
+        }
+        g
+    }
+}
+
+/// Lazily generates the arrival stream: user capacities and per-round
+/// context blocks, derived deterministically from `(seed, t)` so every
+/// policy replays exactly the same stream without materialising
+/// `T × |V| × d` floats.
+#[derive(Debug, Clone)]
+pub struct ArrivalGenerator {
+    num_events: usize,
+    dim: usize,
+    x_dist: ValueDistribution,
+    user_capacity: (u32, u32),
+    seed: u64,
+}
+
+impl ArrivalGenerator {
+    /// The arrival (capacity + normalised contexts) at time step `t`.
+    pub fn arrival(&self, t: u64) -> UserArrival {
+        use rand::Rng as _;
+        let mut rng = rng_from_seed(mix64(self.seed ^ t.wrapping_mul(0xA24BAED4963EE407)));
+        let capacity = rng.gen_range(self.user_capacity.0..=self.user_capacity.1);
+        let mut ctx = ContextMatrix::zeros(self.num_events, self.dim);
+        for v in 0..self.num_events {
+            self.x_dist.fill(&mut rng, ctx.context_mut(EventId(v)));
+        }
+        ctx.normalize_rows();
+        UserArrival::new(capacity, ctx)
+    }
+
+    /// Number of events per arrival.
+    pub fn num_events(&self) -> usize {
+        self.num_events
+    }
+
+    /// Context dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+/// A fully generated synthetic workload: the immutable instance, the
+/// ground-truth payoff model, and the lazy arrival stream.
+#[derive(Debug, Clone)]
+pub struct SyntheticWorkload {
+    /// The problem instance (capacities + conflicts + mode).
+    pub instance: ProblemInstance,
+    /// Ground truth `θ` (unit-normalised).
+    pub model: LinearPayoffModel,
+    /// Lazy arrival stream shared by all policies.
+    pub arrivals: ArrivalGenerator,
+    /// The generating configuration (kept for reports).
+    pub config: SyntheticConfig,
+}
+
+impl SyntheticWorkload {
+    /// Generates the workload for `config`.
+    pub fn generate(config: SyntheticConfig) -> Self {
+        config.validate();
+        let mut rng = rng_from_seed(config.seed);
+
+        // θ, unit-normalised per the paper.
+        let mut theta = vec![0.0; config.dim];
+        config.theta_dist.fill(&mut rng, &mut theta);
+        let model = LinearPayoffModel::new_normalized(Vector::from(theta));
+
+        // Structure: capacities and conflicts (basic mode overrides).
+        let (capacities, conflicts) = match config.mode {
+            ProblemMode::Fasea => {
+                let caps: Vec<u32> = (0..config.num_events)
+                    .map(|_| config.capacity.sample(&mut rng))
+                    .collect();
+                let g = generate_conflicts(config.num_events, config.conflict_ratio, &mut rng);
+                (caps, g)
+            }
+            ProblemMode::BasicContextual => (
+                vec![u32::MAX; config.num_events],
+                ConflictGraph::new(config.num_events),
+            ),
+        };
+        let instance = ProblemInstance::new(capacities, conflicts, config.dim, config.mode);
+
+        let arrivals = ArrivalGenerator {
+            num_events: config.num_events,
+            dim: config.dim,
+            x_dist: config.x_dist,
+            user_capacity: config.user_capacity,
+            seed: mix64(config.seed ^ 0xC0FFEE),
+        };
+        SyntheticWorkload {
+            instance,
+            model,
+            arrivals,
+            config,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_bold_values() {
+        let c = SyntheticConfig::default();
+        assert_eq!(c.num_events, 500);
+        assert_eq!(c.horizon, 100_000);
+        assert_eq!(c.dim, 20);
+        assert_eq!(c.theta_dist, ValueDistribution::Uniform);
+        assert_eq!(c.x_dist, ValueDistribution::Uniform);
+        assert_eq!(c.capacity, CapacityModel { mean: 200.0, std: 100.0 });
+        assert_eq!(c.user_capacity, (1, 5));
+        assert!((c.conflict_ratio - 0.25).abs() < 1e-15);
+        assert_eq!(c.mode, ProblemMode::Fasea);
+    }
+
+    #[test]
+    fn workload_theta_is_unit_norm() {
+        for dist in [
+            ValueDistribution::Uniform,
+            ValueDistribution::Normal,
+            ValueDistribution::Power,
+            ValueDistribution::Shuffle,
+        ] {
+            let w = SyntheticWorkload::generate(SyntheticConfig {
+                num_events: 20,
+                dim: 8,
+                theta_dist: dist,
+                ..Default::default()
+            });
+            assert!(
+                (w.model.theta().norm() - 1.0).abs() < 1e-12,
+                "{}",
+                dist.label()
+            );
+        }
+    }
+
+    #[test]
+    fn conflict_ratio_is_exact() {
+        let mut rng = rng_from_seed(1);
+        for cr in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let g = generate_conflicts(40, cr, &mut rng);
+            let max_pairs = 40 * 39 / 2;
+            let expect = (cr * max_pairs as f64).round() as usize;
+            assert_eq!(g.num_conflicts(), expect, "cr={cr}");
+        }
+    }
+
+    #[test]
+    fn conflicts_complete_and_empty_extremes() {
+        let mut rng = rng_from_seed(2);
+        let g0 = generate_conflicts(10, 0.0, &mut rng);
+        assert_eq!(g0.num_conflicts(), 0);
+        let g1 = generate_conflicts(10, 1.0, &mut rng);
+        assert_eq!(g1.num_conflicts(), 45);
+        assert_eq!(g1.conflict_ratio(), 1.0);
+    }
+
+    #[test]
+    fn arrivals_are_deterministic_and_normalised() {
+        let w = SyntheticWorkload::generate(SyntheticConfig {
+            num_events: 30,
+            dim: 5,
+            ..Default::default()
+        });
+        let a1 = w.arrivals.arrival(17);
+        let a2 = w.arrivals.arrival(17);
+        assert_eq!(a1.capacity, a2.capacity);
+        assert_eq!(a1.contexts, a2.contexts);
+        assert!(a1.contexts.rows_norm_bounded(1e-12));
+        // Different rounds give different contexts.
+        let a3 = w.arrivals.arrival(18);
+        assert_ne!(a1.contexts, a3.contexts);
+    }
+
+    #[test]
+    fn user_capacity_in_declared_range() {
+        let w = SyntheticWorkload::generate(SyntheticConfig {
+            num_events: 5,
+            dim: 2,
+            user_capacity: (1, 5),
+            ..Default::default()
+        });
+        let mut seen = std::collections::HashSet::new();
+        for t in 0..500 {
+            let c = w.arrivals.arrival(t).capacity;
+            assert!((1..=5).contains(&c));
+            seen.insert(c);
+        }
+        assert_eq!(seen.len(), 5, "all capacities should occur: {seen:?}");
+    }
+
+    #[test]
+    fn capacity_model_truncates_at_zero() {
+        let m = CapacityModel { mean: 0.0, std: 50.0 };
+        let mut rng = rng_from_seed(3);
+        for _ in 0..100 {
+            // No panics, and values are valid u32 (>= 0 by type).
+            let _ = m.sample(&mut rng);
+        }
+    }
+
+    #[test]
+    fn capacity_model_mean_matches() {
+        let m = CapacityModel::default_paper();
+        let mut rng = rng_from_seed(4);
+        let n = 20_000;
+        let sum: u64 = (0..n).map(|_| m.sample(&mut rng) as u64).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 200.0).abs() < 3.0, "mean={mean}");
+    }
+
+    #[test]
+    fn shuffle_cycles_distributions() {
+        // Power dimensions (i % 3 == 2) must be within [0, 1].
+        let mut rng = rng_from_seed(5);
+        let mut buf = vec![0.0; 9];
+        for _ in 0..200 {
+            ValueDistribution::Shuffle.fill(&mut rng, &mut buf);
+            for i in (2..9).step_by(3) {
+                assert!((0.0..=1.0).contains(&buf[i]), "dim {i}: {}", buf[i]);
+            }
+            // Uniform dimensions within [-1, 1].
+            for i in (0..9).step_by(3) {
+                assert!((-1.0..=1.0).contains(&buf[i]), "dim {i}: {}", buf[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn basic_mode_strips_constraints() {
+        let cfg = SyntheticConfig {
+            num_events: 10,
+            dim: 3,
+            conflict_ratio: 0.8,
+            ..Default::default()
+        }
+        .into_basic();
+        let w = SyntheticWorkload::generate(cfg);
+        assert_eq!(w.instance.mode(), ProblemMode::BasicContextual);
+        assert_eq!(w.instance.conflicts().num_conflicts(), 0);
+        assert_eq!(w.instance.capacity(EventId(0)), u32::MAX);
+        assert_eq!(w.arrivals.arrival(0).capacity, 1);
+    }
+
+    #[test]
+    fn different_seeds_give_different_workloads() {
+        let w1 = SyntheticWorkload::generate(SyntheticConfig {
+            num_events: 10,
+            dim: 4,
+            seed: 1,
+            ..Default::default()
+        });
+        let w2 = SyntheticWorkload::generate(SyntheticConfig {
+            num_events: 10,
+            dim: 4,
+            seed: 2,
+            ..Default::default()
+        });
+        assert_ne!(w1.model.theta().as_slice(), w2.model.theta().as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "conflict_ratio")]
+    fn invalid_cr_rejected() {
+        SyntheticWorkload::generate(SyntheticConfig {
+            conflict_ratio: 1.5,
+            ..Default::default()
+        });
+    }
+}

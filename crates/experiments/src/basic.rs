@@ -1,0 +1,96 @@
+//! Figures 11–13: the "basic contextual bandit" ablation.
+//!
+//! Capacities of events are unlimited, no events conflict, and exactly
+//! one event is arranged per round — the classical contextual bandit.
+//! The paper uses this to show TS's poor FASEA performance is not an
+//! artefact of the combinatorial extension.
+
+use crate::common::{exp_dir, print_summary, run_cell, write_metric_csvs, AlgoParams};
+use crate::Options;
+use fasea_datagen::{SyntheticConfig, ValueDistribution};
+use fasea_sim::sweep::run_parallel;
+
+fn run_basic_cells(
+    id: &str,
+    cells: Vec<(String, SyntheticConfig)>,
+    opts: &Options,
+) -> Result<(), String> {
+    let dir = exp_dir(opts, id);
+    let jobs: Vec<_> = cells
+        .into_iter()
+        .map(|(label, config)| {
+            let opts = opts.clone();
+            move || {
+                let result = run_cell(config.into_basic(), AlgoParams::default(), &opts, false);
+                (label, result)
+            }
+        })
+        .collect();
+    for (label, result) in run_parallel(jobs, opts.threads) {
+        print_summary(&format!("{id} {label}"), &result);
+        write_metric_csvs(&dir, &label, &result).map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+/// Figure 11: basic bandit, `|V| ∈ {100, 500, 1000}`.
+pub fn vary_num_events(opts: &Options) -> Result<(), String> {
+    let cells = [100usize, 500, 1000]
+        .iter()
+        .map(|&n| {
+            (
+                format!("v{n}"),
+                SyntheticConfig {
+                    num_events: n,
+                    seed: opts.seed,
+                    horizon: opts.horizon,
+                    ..Default::default()
+                },
+            )
+        })
+        .collect();
+    run_basic_cells("fig11", cells, opts)
+}
+
+/// Figure 12: basic bandit, `d ∈ {1, 5, 10, 15}`.
+pub fn vary_dimension(opts: &Options) -> Result<(), String> {
+    let cells = [1usize, 5, 10, 15]
+        .iter()
+        .map(|&d| {
+            (
+                format!("d{d}"),
+                SyntheticConfig {
+                    dim: d,
+                    seed: opts.seed,
+                    horizon: opts.horizon,
+                    ..Default::default()
+                },
+            )
+        })
+        .collect();
+    run_basic_cells("fig12", cells, opts)
+}
+
+/// Figure 13: basic bandit under Normal, Power and Shuffle.
+pub fn vary_distributions(opts: &Options) -> Result<(), String> {
+    let cells = [
+        ("normal", ValueDistribution::Normal),
+        ("power", ValueDistribution::Power),
+        ("shuffle", ValueDistribution::Shuffle),
+    ]
+    .iter()
+    .map(|&(label, dist)| {
+        (
+            label.to_string(),
+            SyntheticConfig {
+                theta_dist: dist,
+                x_dist: dist,
+                seed: opts.seed,
+                horizon: opts.horizon,
+                ..Default::default()
+            },
+        )
+    })
+    .collect();
+    run_basic_cells("fig13", cells, opts)
+}

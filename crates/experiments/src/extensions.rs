@@ -1,0 +1,132 @@
+//! Extension experiments beyond the paper's evaluation, implementing
+//! its two Remarks (Section 2):
+//!
+//! * `ext1` — Remark 1: per-user θ's. Sweeps population heterogeneity
+//!   and races a shared learner against per-user learners over shared
+//!   event capacities.
+//! * `ext2` — Remark 2: time-varying event sets `V_t`. Runs the paper's
+//!   algorithm set under a rotating weekday-style calendar.
+
+use crate::common::exp_dir;
+use crate::Options;
+use fasea_bandit::{Exploit, LinUcb, Policy, RandomPolicy, ThompsonSampling};
+use fasea_datagen::{
+    MultiUserConfig, MultiUserWorkload, RotatingSchedule, SyntheticConfig, SyntheticWorkload,
+};
+use fasea_sim::{run_multi_user, run_rotating, AsciiTable, LearnerArchitecture};
+
+/// Remark 1: shared vs per-user learners across heterogeneity.
+pub fn per_user_models(opts: &Options) -> Result<(), String> {
+    let dim = 10usize;
+    let population = 8usize;
+    let horizon = opts.horizon.min(20_000); // per-cell cost is 2 runs
+    let dir = exp_dir(opts, "ext1");
+
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    let mut table = AsciiTable::new(&[
+        "heterogeneity",
+        "cos-sim",
+        "shared",
+        "per-user",
+        "OPT",
+    ]);
+    for &h in &[0.0f64, 0.25, 0.5, 0.75, 1.0] {
+        let workload = MultiUserWorkload::generate(MultiUserConfig {
+            base: SyntheticConfig {
+                num_events: 100,
+                dim,
+                horizon,
+                seed: opts.seed,
+                ..Default::default()
+            },
+            population,
+            heterogeneity: h,
+        });
+        let shared = run_multi_user(
+            &workload,
+            LearnerArchitecture::Shared(Box::new(LinUcb::new(dim, 1.0, 2.0))),
+            horizon,
+            opts.seed ^ 0xE1,
+        );
+        let per_user = run_multi_user(
+            &workload,
+            LearnerArchitecture::PerUser(Box::new(move |_u| {
+                Box::new(LinUcb::new(dim, 1.0, 2.0)) as Box<dyn Policy>
+            })),
+            horizon,
+            opts.seed ^ 0xE1,
+        );
+        let sim = workload.mean_pairwise_similarity();
+        table.row(vec![
+            format!("{h:.2}"),
+            format!("{sim:.3}"),
+            shared.accounting.total_rewards().to_string(),
+            per_user.accounting.total_rewards().to_string(),
+            shared.opt_rewards.to_string(),
+        ]);
+        rows.push(vec![
+            h,
+            sim,
+            shared.accounting.total_rewards() as f64,
+            per_user.accounting.total_rewards() as f64,
+            shared.opt_rewards as f64,
+        ]);
+    }
+    println!("ext1 — Remark 1 (per-user θ), {horizon} rounds, {population} users:");
+    println!("{}", table.render());
+    fasea_sim::write_csv(
+        &dir.join("ext1_architectures.csv"),
+        &["heterogeneity", "cos_sim", "shared", "per_user", "opt"],
+        &rows,
+    )
+    .map_err(|e| e.to_string())
+}
+
+/// Remark 2: the paper's algorithm set under a rotating calendar.
+pub fn rotating_events(opts: &Options) -> Result<(), String> {
+    let dim = 10usize;
+    let num_events = 100usize;
+    let horizon = opts.horizon.min(20_000);
+    let dir = exp_dir(opts, "ext2");
+
+    let workload = SyntheticWorkload::generate(SyntheticConfig {
+        num_events,
+        dim,
+        horizon,
+        seed: opts.seed,
+        ..Default::default()
+    });
+    let schedule = RotatingSchedule::new(num_events, 7, 50, 0.15, opts.seed ^ 0xE2);
+    let mut policies: Vec<Box<dyn Policy>> = vec![
+        Box::new(LinUcb::new(dim, 1.0, 2.0)),
+        Box::new(ThompsonSampling::new(dim, 1.0, 0.1, opts.seed ^ 1)),
+        Box::new(Exploit::new(dim, 1.0)),
+        Box::new(RandomPolicy::new(opts.seed ^ 2)),
+    ];
+    let results = run_rotating(&workload, &schedule, &mut policies, horizon, opts.seed ^ 3);
+
+    let mut table = AsciiTable::new(&["Algorithm", "rewards", "accept ratio", "regret"]);
+    let mut rows = Vec::new();
+    for r in &results {
+        let regret = r.opt_rewards as i64 - r.accounting.total_rewards() as i64;
+        table.row(vec![
+            r.name.clone(),
+            r.accounting.total_rewards().to_string(),
+            format!("{:.3}", r.accounting.accept_ratio()),
+            regret.to_string(),
+        ]);
+        rows.push(vec![
+            r.accounting.total_rewards() as f64,
+            r.accounting.accept_ratio(),
+            regret as f64,
+        ]);
+    }
+    println!("ext2 — Remark 2 (rotating V_t), {horizon} rounds, 7 slots:");
+    println!("{}", table.render());
+    fasea_sim::write_csv(
+        &dir.join("ext2_rotating.csv"),
+        &["rewards", "accept_ratio", "regret"],
+        &rows,
+    )
+    .map_err(|e| e.to_string())
+}

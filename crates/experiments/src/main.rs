@@ -1,0 +1,78 @@
+//! `fasea-exp` — regenerates the paper's tables and figures.
+//!
+//! Usage:
+//!
+//! ```text
+//! fasea-exp <experiment> [--t N] [--out DIR] [--seed S] [--threads N]
+//!           [--real-rounds N] [--real-regret-rounds N] [--reps N]
+//!
+//! experiments: fig1 fig2 fig3 … fig13 table5 table6 table7
+//!              ext1 ext2 verify plots all
+//! ```
+
+use fasea_experiments::{run_experiment, Options, ALL_EXPERIMENTS};
+
+fn print_usage() {
+    eprintln!(
+        "usage: fasea-exp <experiment> [--t N] [--out DIR] [--seed S] [--threads N] \
+         [--real-rounds N] [--real-regret-rounds N] [--reps N]\n\
+         experiments: {} verify plots all\n\
+         defaults: --t 100000 (the paper's horizon), --out results, 1000/10000 real rounds, 1 rep",
+        ALL_EXPERIMENTS.join(" ")
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        print_usage();
+        std::process::exit(2);
+    }
+    let id = args[0].clone();
+    let mut opts = Options::default();
+    let mut i = 1;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("missing value for {flag}");
+            std::process::exit(2);
+        });
+        let parse_u64 = |v: &str| {
+            v.parse::<u64>().unwrap_or_else(|_| {
+                eprintln!("invalid number '{v}' for {flag}");
+                std::process::exit(2);
+            })
+        };
+        match flag {
+            "--t" => opts.horizon = parse_u64(&value),
+            "--seed" => opts.seed = parse_u64(&value),
+            "--threads" => opts.threads = parse_u64(&value) as usize,
+            "--real-rounds" => opts.real_rounds = parse_u64(&value),
+            "--real-regret-rounds" => opts.real_regret_rounds = parse_u64(&value),
+            "--reps" => opts.replications = parse_u64(&value) as u32,
+            "--out" => opts.out_dir = value.clone().into(),
+            other => {
+                eprintln!("unknown flag {other}");
+                print_usage();
+                std::process::exit(2);
+            }
+        }
+        i += 2;
+    }
+
+    let started = std::time::Instant::now();
+    match run_experiment(&id, &opts) {
+        Ok(()) => {
+            println!(
+                "done: {id} in {:.1}s — output under {}",
+                started.elapsed().as_secs_f64(),
+                opts.out_dir.display()
+            );
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            print_usage();
+            std::process::exit(1);
+        }
+    }
+}

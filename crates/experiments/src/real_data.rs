@@ -1,0 +1,172 @@
+//! Figure 10 and Table 7: the real-dataset experiments.
+
+use crate::common::{exp_dir, paper_policy_set, AlgoParams};
+use crate::Options;
+use fasea_bandit::{Policy, StaticScorePolicy};
+use fasea_datagen::RealDataset;
+use fasea_sim::sweep::run_parallel;
+use fasea_sim::{
+    real_runner::full_knowledge_ratio, run_real, AsciiTable, CuMode, RealRunConfig,
+};
+
+/// Seed of the canonical real-dataset analogue (the collection year).
+pub const REAL_DATA_SEED: u64 = 2016;
+
+fn policy_set_with_online(
+    dataset: &RealDataset,
+    user: usize,
+    seed: u64,
+) -> Vec<Box<dyn Policy>> {
+    let mut policies = paper_policy_set(fasea_datagen::real::DIM, AlgoParams::default(), seed);
+    policies.push(Box::new(StaticScorePolicy::new(
+        "Online",
+        dataset.online_greedy_scores(user),
+    )));
+    policies
+}
+
+/// Figure 10: user u₁ — accept ratio over the first 1000 rounds and
+/// total regret over 10 000 rounds, for `c_u = 5` and `c_u = full`.
+pub fn figure10(opts: &Options) -> Result<(), String> {
+    let dataset = RealDataset::generate(REAL_DATA_SEED);
+    let dir = exp_dir(opts, "fig10");
+    for mode in [CuMode::Five, CuMode::Full] {
+        let rounds = opts.real_regret_rounds;
+        let checkpoints: Vec<u64> = (1..=rounds.min(1000))
+            .filter(|t| t % 10 == 0)
+            .chain(((rounds.min(1000) + 1)..=rounds).filter(|t| t % 100 == 0))
+            .collect();
+        let cfg = RealRunConfig {
+            user: 0,
+            cu_mode: mode,
+            rounds,
+            checkpoints,
+        };
+        let mut policies = policy_set_with_online(&dataset, 0, opts.seed);
+        let results = run_real(&dataset, &cfg, &mut policies);
+
+        // Accept-ratio series (first 1000 rounds) and regret series (all).
+        let mut header = vec!["t".to_string()];
+        header.extend(results.iter().map(|r| r.name.clone()));
+        let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+        let n_cp = results[0].checkpoints.len();
+        let mut ar_rows = Vec::new();
+        let mut regret_rows = Vec::new();
+        for i in 0..n_cp {
+            let t = results[0].checkpoints[i].0;
+            let mut ar = vec![t as f64];
+            let mut rg = vec![t as f64];
+            for r in &results {
+                ar.push(r.checkpoints[i].1);
+                rg.push(r.checkpoints[i].2 as f64);
+            }
+            if t <= 1000 {
+                ar_rows.push(ar);
+            }
+            regret_rows.push(rg);
+        }
+        let label = format!("u1_cu{}", mode.label());
+        fasea_sim::write_csv(
+            &dir.join(format!("{label}_accept_ratio.csv")),
+            &header_refs,
+            &ar_rows,
+        )
+        .map_err(|e| e.to_string())?;
+        fasea_sim::write_csv(
+            &dir.join(format!("{label}_total_regrets.csv")),
+            &header_refs,
+            &regret_rows,
+        )
+        .map_err(|e| e.to_string())?;
+
+        let fk = full_knowledge_ratio(&dataset, 0, mode);
+        let summary: Vec<String> = results
+            .iter()
+            .map(|r| format!("{}={:.2}", r.name, r.accounting.accept_ratio()))
+            .collect();
+        println!(
+            "[fig10 c_u={}] final accept ratios: {}, Full Knowledge={fk:.2}",
+            mode.label(),
+            summary.join(", ")
+        );
+    }
+    Ok(())
+}
+
+/// Table 7: accept ratios after `opts.real_rounds` rounds for every
+/// user × capacity regime, plus the analytic Full Knowledge row, the
+/// Online \[39\] comparator and the `c_u` row.
+pub fn table7(opts: &Options) -> Result<(), String> {
+    let dataset = RealDataset::generate(REAL_DATA_SEED);
+    let dir = exp_dir(opts, "table7");
+    for mode in [CuMode::Five, CuMode::Full] {
+        // One job per user; each runs the six policies for this cell.
+        let jobs: Vec<_> = (0..dataset.num_users())
+            .map(|user| {
+                let dataset = dataset.clone();
+                let opts = opts.clone();
+                move || {
+                    let cfg = RealRunConfig {
+                        user,
+                        cu_mode: mode,
+                        rounds: opts.real_rounds,
+                        checkpoints: vec![opts.real_rounds],
+                    };
+                    let mut policies =
+                        policy_set_with_online(&dataset, user, opts.seed ^ user as u64);
+                    let results = run_real(&dataset, &cfg, &mut policies);
+                    let ratios: Vec<(String, f64)> = results
+                        .iter()
+                        .map(|r| (r.name.clone(), r.accounting.accept_ratio()))
+                        .collect();
+                    (user, ratios)
+                }
+            })
+            .collect();
+        let per_user = run_parallel(jobs, opts.threads);
+
+        // Rows: UCB, TS, eGreedy, Exploit, Random, Full Kn., Online, c_u.
+        let policy_names: Vec<String> =
+            per_user[0].1.iter().map(|(n, _)| n.clone()).collect();
+        let mut header = vec!["row".to_string()];
+        header.extend((1..=dataset.num_users()).map(|u| format!("u{u}")));
+        let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+        let mut table = AsciiTable::new(&header_refs);
+        let mut csv = fasea_sim::CsvWriter::create(
+            &dir.join(format!("table7_cu{}.csv", mode.label())),
+            &header_refs,
+        )
+        .map_err(|e| e.to_string())?;
+
+        let mut emit = |name: &str, values: Vec<String>| -> Result<(), String> {
+            let mut fields = vec![name.to_string()];
+            fields.extend(values);
+            table.row(fields.clone());
+            csv.row(&fields).map_err(|e| e.to_string())
+        };
+
+        for name in &policy_names {
+            let values: Vec<String> = per_user
+                .iter()
+                .map(|(_, ratios)| {
+                    let (_, r) = ratios.iter().find(|(n, _)| n == name).unwrap();
+                    format!("{r:.2}")
+                })
+                .collect();
+            emit(name, values)?;
+        }
+        let fk_values: Vec<String> = (0..dataset.num_users())
+            .map(|u| format!("{:.2}", full_knowledge_ratio(&dataset, u, mode)))
+            .collect();
+        emit("Full Kn.", fk_values)?;
+        let cu_values: Vec<String> = (0..dataset.num_users())
+            .map(|u| mode.capacity(&dataset, u).to_string())
+            .collect();
+        emit("c_u", cu_values)?;
+        csv.finish().map_err(|e| e.to_string())?;
+
+        println!("Table 7, c_u = {}:", mode.label());
+        println!("{}", table.render());
+    }
+    Ok(())
+}

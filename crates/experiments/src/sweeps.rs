@@ -1,0 +1,139 @@
+//! Figures 3–7: one-knob sweeps around the default setting.
+//!
+//! Each figure repeats the default simulation with one Table 4 factor
+//! changed. Cells are independent and run in parallel.
+
+use crate::common::{exp_dir, print_summary, run_cell, write_metric_csvs, AlgoParams};
+use crate::Options;
+use fasea_datagen::{CapacityModel, SyntheticConfig, ValueDistribution};
+use fasea_sim::sweep::run_parallel;
+
+/// Runs a set of labelled configs in parallel and writes each cell's
+/// metric CSVs into `results/<id>/<label>_*.csv`.
+fn run_labelled_cells(
+    id: &str,
+    cells: Vec<(String, SyntheticConfig)>,
+    params: AlgoParams,
+    opts: &Options,
+) -> Result<(), String> {
+    let dir = exp_dir(opts, id);
+    let jobs: Vec<_> = cells
+        .into_iter()
+        .map(|(label, config)| {
+            let opts = opts.clone();
+            move || {
+                let result = run_cell(config, params, &opts, false);
+                (label, result)
+            }
+        })
+        .collect();
+    for (label, result) in run_parallel(jobs, opts.threads) {
+        print_summary(&format!("{id} {label}"), &result);
+        write_metric_csvs(&dir, &label, &result).map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+/// Figure 3: `|V| ∈ {100, 1000}` (the default 500 is Figure 1).
+pub fn effect_of_num_events(opts: &Options) -> Result<(), String> {
+    let cells = [100usize, 1000]
+        .iter()
+        .map(|&n| {
+            (
+                format!("v{n}"),
+                SyntheticConfig {
+                    num_events: n,
+                    seed: opts.seed,
+                    horizon: opts.horizon,
+                    ..Default::default()
+                },
+            )
+        })
+        .collect();
+    run_labelled_cells("fig3", cells, AlgoParams::default(), opts)
+}
+
+/// Figure 4: `d ∈ {1, 5, 10, 15}` (the default 20 is Figure 1).
+pub fn effect_of_dimension(opts: &Options) -> Result<(), String> {
+    let cells = [1usize, 5, 10, 15]
+        .iter()
+        .map(|&d| {
+            (
+                format!("d{d}"),
+                SyntheticConfig {
+                    dim: d,
+                    seed: opts.seed,
+                    horizon: opts.horizon,
+                    ..Default::default()
+                },
+            )
+        })
+        .collect();
+    run_labelled_cells("fig4", cells, AlgoParams::default(), opts)
+}
+
+/// Figure 5: `θ` and features under Normal, Power and Shuffle.
+pub fn effect_of_distributions(opts: &Options) -> Result<(), String> {
+    let cells = [
+        ("normal", ValueDistribution::Normal),
+        ("power", ValueDistribution::Power),
+        ("shuffle", ValueDistribution::Shuffle),
+    ]
+    .iter()
+    .map(|&(label, dist)| {
+        (
+            label.to_string(),
+            SyntheticConfig {
+                theta_dist: dist,
+                x_dist: dist,
+                seed: opts.seed,
+                horizon: opts.horizon,
+                ..Default::default()
+            },
+        )
+    })
+    .collect();
+    run_labelled_cells("fig5", cells, AlgoParams::default(), opts)
+}
+
+/// Figure 6: `c_v ∼ N(100, 100)` and `N(500, 200)` (default N(200,100)
+/// is Figure 1).
+pub fn effect_of_event_capacity(opts: &Options) -> Result<(), String> {
+    let cells = [
+        ("cv100", CapacityModel { mean: 100.0, std: 100.0 }),
+        ("cv500", CapacityModel { mean: 500.0, std: 200.0 }),
+    ]
+    .iter()
+    .map(|&(label, capacity)| {
+        (
+            label.to_string(),
+            SyntheticConfig {
+                capacity,
+                seed: opts.seed,
+                horizon: opts.horizon,
+                ..Default::default()
+            },
+        )
+    })
+    .collect();
+    run_labelled_cells("fig6", cells, AlgoParams::default(), opts)
+}
+
+/// Figure 7: `cr ∈ {0, 0.5, 0.75, 1}` (default 0.25 is Figure 1).
+pub fn effect_of_conflicts(opts: &Options) -> Result<(), String> {
+    let cells = [0.0f64, 0.5, 0.75, 1.0]
+        .iter()
+        .map(|&cr| {
+            (
+                format!("cr{}", (cr * 100.0) as u32),
+                SyntheticConfig {
+                    conflict_ratio: cr,
+                    seed: opts.seed,
+                    horizon: opts.horizon,
+                    ..Default::default()
+                },
+            )
+        })
+        .collect();
+    run_labelled_cells("fig7", cells, AlgoParams::default(), opts)
+}

@@ -1,0 +1,129 @@
+//! Tables 5 and 6: average per-round running time and memory.
+
+use crate::common::{exp_dir, run_cell, AlgoParams};
+use crate::Options;
+use fasea_datagen::SyntheticConfig;
+use fasea_sim::sweep::run_parallel;
+use fasea_sim::{AsciiTable, SimulationResult};
+use std::path::Path;
+
+/// Policy display order for the efficiency tables (paper order; OPT is
+/// excluded as in the paper).
+const TABLE_POLICIES: [&str; 5] = ["UCB", "TS", "eGreedy", "Exploit", "Random"];
+
+fn efficiency_rows(results: &[(String, SimulationResult)]) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+    let mut time_rows = Vec::new();
+    let mut mem_rows = Vec::new();
+    for name in TABLE_POLICIES {
+        let mut time_row = Vec::new();
+        let mut mem_row = Vec::new();
+        for (_, result) in results {
+            let p = result
+                .policies
+                .iter()
+                .find(|p| p.name == name)
+                .unwrap_or_else(|| panic!("policy {name} missing from results"));
+            time_row.push(p.avg_round_secs);
+            mem_row.push(p.memory_mb);
+        }
+        time_rows.push(time_row);
+        mem_rows.push(mem_row);
+    }
+    (time_rows, mem_rows)
+}
+
+fn print_and_write(
+    dir: &Path,
+    id: &str,
+    col_label: &str,
+    results: &[(String, SimulationResult)],
+) -> Result<(), String> {
+    let (time_rows, mem_rows) = efficiency_rows(results);
+    let mut header = vec!["Algorithm".to_string()];
+    header.extend(results.iter().map(|(l, _)| l.clone()));
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+
+    for (title, rows, path, fmt) in [
+        (
+            "Avg Time (sec)",
+            &time_rows,
+            dir.join(format!("{id}_avg_time.csv")),
+            false,
+        ),
+        (
+            "Memory (MB)",
+            &mem_rows,
+            dir.join(format!("{id}_memory.csv")),
+            true,
+        ),
+    ] {
+        let mut table = AsciiTable::new(&header_refs);
+        let mut csv_rows = Vec::new();
+        for (i, name) in TABLE_POLICIES.iter().enumerate() {
+            let mut fields = vec![name.to_string()];
+            fields.extend(rows[i].iter().map(|&x| {
+                if fmt {
+                    format!("{x:.2}")
+                } else {
+                    format!("{x:.2e}")
+                }
+            }));
+            table.row(fields);
+            csv_rows.push(rows[i].clone());
+        }
+        println!("{id} — {title} (columns: {col_label})");
+        println!("{}", table.render());
+        // CSV: numeric body with one row per algorithm (alg order fixed).
+        let csv_header: Vec<&str> = header_refs[1..].to_vec();
+        fasea_sim::write_csv(&path, &csv_header, &csv_rows).map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+/// Table 5: `|V| ∈ {100, 500, 1000}` at the default setting.
+pub fn table5(opts: &Options) -> Result<(), String> {
+    let jobs: Vec<_> = [100usize, 500, 1000]
+        .iter()
+        .map(|&n| {
+            let opts = opts.clone();
+            move || {
+                let config = SyntheticConfig {
+                    num_events: n,
+                    seed: opts.seed,
+                    horizon: opts.horizon,
+                    ..Default::default()
+                };
+                (
+                    format!("|V|={n}"),
+                    run_cell(config, AlgoParams::default(), &opts, false),
+                )
+            }
+        })
+        .collect();
+    let results = run_parallel(jobs, opts.threads);
+    print_and_write(&exp_dir(opts, "table5"), "table5", "|V|", &results)
+}
+
+/// Table 6: `d ∈ {1, 5, 10, 15}` at the default setting.
+pub fn table6(opts: &Options) -> Result<(), String> {
+    let jobs: Vec<_> = [1usize, 5, 10, 15]
+        .iter()
+        .map(|&d| {
+            let opts = opts.clone();
+            move || {
+                let config = SyntheticConfig {
+                    dim: d,
+                    seed: opts.seed,
+                    horizon: opts.horizon,
+                    ..Default::default()
+                };
+                (
+                    format!("d={d}"),
+                    run_cell(config, AlgoParams::default(), &opts, false),
+                )
+            }
+        })
+        .collect();
+    let results = run_parallel(jobs, opts.threads);
+    print_and_write(&exp_dir(opts, "table6"), "table6", "d", &results)
+}

@@ -1,0 +1,292 @@
+//! `fasea-exp verify` — machine-checks the paper's qualitative findings
+//! against the CSV output of a previous `fasea-exp all` run.
+//!
+//! The reproduction target is never the paper's absolute numbers (the
+//! substrate differs) but the *shape* of its results: who wins, where
+//! curves drop, what degrades with `d`. DESIGN.md §5 lists those shapes
+//! as success criteria; this module turns each into an executable check
+//! over `results/`, so "did the reproduction succeed" is one command
+//! rather than a reading exercise.
+
+use crate::Options;
+use fasea_sim::CsvTable;
+use std::path::{Path, PathBuf};
+
+/// Outcome of one shape check.
+#[derive(Debug, Clone)]
+pub struct CheckResult {
+    /// Short identifier, e.g. `fig1-ordering`.
+    pub id: &'static str,
+    /// Human-readable statement of the paper's claim.
+    pub claim: &'static str,
+    /// `Ok(detail)` or `Err(explanation)`.
+    pub outcome: Result<String, String>,
+}
+
+impl CheckResult {
+    fn pass(id: &'static str, claim: &'static str, detail: String) -> Self {
+        CheckResult {
+            id,
+            claim,
+            outcome: Ok(detail),
+        }
+    }
+    fn fail(id: &'static str, claim: &'static str, why: String) -> Self {
+        CheckResult {
+            id,
+            claim,
+            outcome: Err(why),
+        }
+    }
+    fn skip(id: &'static str, claim: &'static str, missing: &Path) -> Self {
+        CheckResult {
+            id,
+            claim,
+            outcome: Err(format!("SKIP — missing {}", missing.display())),
+        }
+    }
+}
+
+fn load(path: &PathBuf) -> Option<CsvTable> {
+    CsvTable::read(path).ok()
+}
+
+/// Check 1 (Figure 1): final-rewards ordering
+/// UCB ≥ Exploit ≈ both > eGreedy > TS > Random, TS > Random.
+fn check_fig1_ordering(out: &Path) -> CheckResult {
+    const ID: &str = "fig1-ordering";
+    const CLAIM: &str = "UCB & Exploit lead, eGreedy close, TS only beats Random";
+    let path = out.join("fig1/default_total_rewards.csv");
+    let Some(t) = load(&path) else {
+        return CheckResult::skip(ID, CLAIM, &path);
+    };
+    let last = |n: &str| t.last(n).unwrap_or(f64::NAN);
+    let (ucb, ts, _eg, ex, rnd) = (
+        last("UCB"),
+        last("TS"),
+        last("eGreedy"),
+        last("Exploit"),
+        last("Random"),
+    );
+    // At T = 100k totals can converge once capacity depletes, so test
+    // at the reward curves' midpoint, where separation is maximal.
+    let mid = t.rows.len() / 2;
+    let mid_val = |n: &str| t.column(n).map(|c| c[mid]).unwrap_or(f64::NAN);
+    let (m_ucb, m_ts, m_eg, m_ex, m_rnd) = (
+        mid_val("UCB"),
+        mid_val("TS"),
+        mid_val("eGreedy"),
+        mid_val("Exploit"),
+        mid_val("Random"),
+    );
+    let ok = m_ucb > m_ts
+        && m_ex > m_ts
+        && m_eg > m_ts
+        && m_ts > m_rnd
+        && ucb >= ts
+        && ex >= ts
+        && ts >= rnd;
+    if ok {
+        CheckResult::pass(
+            ID,
+            CLAIM,
+            format!("mid-run rewards UCB {m_ucb} / Exploit {m_ex} / eGreedy {m_eg} / TS {m_ts} / Random {m_rnd}"),
+        )
+    } else {
+        CheckResult::fail(
+            ID,
+            CLAIM,
+            format!("ordering violated: UCB {m_ucb}, Exploit {m_ex}, eGreedy {m_eg}, TS {m_ts}, Random {m_rnd}"),
+        )
+    }
+}
+
+/// Check 2 (Figure 1c): the sudden total-regret drop after OPT exhausts
+/// capacity — TS's final regret must be well below its running peak.
+fn check_fig1_regret_drop(out: &Path) -> CheckResult {
+    const ID: &str = "fig1-regret-drop";
+    const CLAIM: &str = "total regret drops suddenly once OPT exhausts event capacity";
+    let path = out.join("fig1/default_total_regrets.csv");
+    let Some(t) = load(&path) else {
+        return CheckResult::skip(ID, CLAIM, &path);
+    };
+    let peak = t.max("TS").unwrap_or(f64::NAN);
+    let final_ = t.last("TS").unwrap_or(f64::NAN);
+    if final_ < peak * 0.8 {
+        CheckResult::pass(ID, CLAIM, format!("TS regret peak {peak} → final {final_}"))
+    } else {
+        CheckResult::fail(
+            ID,
+            CLAIM,
+            format!("no drop: TS peak {peak}, final {final_} (need final < 0.8·peak)"),
+        )
+    }
+}
+
+/// Check 3 (Figure 2): Kendall τ — UCB → 1, Random ≈ 0, TS noisy/lower.
+fn check_fig2_kendall(out: &Path) -> CheckResult {
+    const ID: &str = "fig2-kendall";
+    const CLAIM: &str = "UCB's ranking converges to truth (τ→1); Random stays ≈0; TS lags";
+    let path = out.join("fig2/default_kendall.csv");
+    let Some(t) = load(&path) else {
+        return CheckResult::skip(ID, CLAIM, &path);
+    };
+    // Average over the last quarter of checkpoints.
+    let avg_tail = |n: &str| -> f64 {
+        let col = t.column(n).unwrap_or_default();
+        let k = col.len() / 4;
+        let tail = &col[col.len().saturating_sub(k.max(1))..];
+        tail.iter().sum::<f64>() / tail.len() as f64
+    };
+    let (ucb, ts, rnd) = (avg_tail("UCB"), avg_tail("TS"), avg_tail("Random"));
+    if ucb > 0.85 && rnd.abs() < 0.25 && ucb > ts {
+        CheckResult::pass(ID, CLAIM, format!("τ tails: UCB {ucb:.3}, TS {ts:.3}, Random {rnd:.3}"))
+    } else {
+        CheckResult::fail(
+            ID,
+            CLAIM,
+            format!("τ tails: UCB {ucb:.3}, TS {ts:.3}, Random {rnd:.3}"),
+        )
+    }
+}
+
+/// Check 4 (Figure 4): TS is competitive at d = 1 and degrades with d.
+fn check_fig4_dimension(out: &Path) -> CheckResult {
+    const ID: &str = "fig4-ts-dimension";
+    const CLAIM: &str = "TS competes with UCB at d=1 and degrades as d grows";
+    let p1 = out.join("fig4/d1_accept_ratio.csv");
+    let p15 = out.join("fig4/d15_accept_ratio.csv");
+    let (Some(t1), Some(t15)) = (load(&p1), load(&p15)) else {
+        return CheckResult::skip(ID, CLAIM, &p1);
+    };
+    let ratio = |t: &CsvTable| -> f64 {
+        let ts = t.last("TS").unwrap_or(f64::NAN);
+        let ucb = t.last("UCB").unwrap_or(f64::NAN);
+        ts / ucb
+    };
+    let (r1, r15) = (ratio(&t1), ratio(&t15));
+    if r1 > 0.9 && r1 > r15 + 0.1 {
+        CheckResult::pass(ID, CLAIM, format!("TS/UCB accept-ratio: d1 {r1:.3}, d15 {r15:.3}"))
+    } else {
+        CheckResult::fail(ID, CLAIM, format!("TS/UCB accept-ratio: d1 {r1:.3}, d15 {r15:.3}"))
+    }
+}
+
+/// Check 5 (Figure 6): with c_v ∼ N(500,200) the regret drop disappears
+/// (events never run out) while N(100,100) drops early.
+fn check_fig6_capacity(out: &Path) -> CheckResult {
+    const ID: &str = "fig6-capacity";
+    const CLAIM: &str = "regret drop present for cv~N(100,100), absent for cv~N(500,200)";
+    let p_small = out.join("fig6/cv100_total_regrets.csv");
+    let p_large = out.join("fig6/cv500_total_regrets.csv");
+    let (Some(small), Some(large)) = (load(&p_small), load(&p_large)) else {
+        return CheckResult::skip(ID, CLAIM, &p_small);
+    };
+    let drop = |t: &CsvTable, n: &str| -> f64 {
+        let peak = t.max(n).unwrap_or(f64::NAN);
+        let fin = t.last(n).unwrap_or(f64::NAN);
+        if peak <= 0.0 {
+            0.0
+        } else {
+            1.0 - fin / peak
+        }
+    };
+    let small_drop = drop(&small, "TS");
+    let large_drop = drop(&large, "TS");
+    if small_drop > 0.2 && large_drop < small_drop {
+        CheckResult::pass(
+            ID,
+            CLAIM,
+            format!("TS regret drop: cv100 {:.0}%, cv500 {:.0}%", small_drop * 100.0, large_drop * 100.0),
+        )
+    } else {
+        CheckResult::fail(
+            ID,
+            CLAIM,
+            format!("TS regret drop: cv100 {:.0}%, cv500 {:.0}%", small_drop * 100.0, large_drop * 100.0),
+        )
+    }
+}
+
+/// Check 6 (Table 7): UCB's mean real-data accept ratio beats TS's and
+/// Random's decisively in both capacity regimes.
+fn check_table7(out: &Path) -> CheckResult {
+    const ID: &str = "table7-real";
+    const CLAIM: &str = "on real data UCB dominates TS and Random across users";
+    let path = out.join("table7/table7_cu5.csv");
+    let Some(t) = load(&path) else {
+        return CheckResult::skip(ID, CLAIM, &path);
+    };
+    // Rows are algorithms; row order: UCB, TS, eGreedy, Exploit, Random,
+    // Online, Full Kn., c_u — column 0 is the row label (NaN after
+    // parsing), columns 1.. are users.
+    let row_mean = |idx: usize| -> f64 {
+        let row = &t.rows[idx];
+        let vals = &row[1..];
+        vals.iter().sum::<f64>() / vals.len() as f64
+    };
+    let (ucb, ts, random) = (row_mean(0), row_mean(1), row_mean(4));
+    if ucb > ts + 0.2 && ucb > random + 0.2 {
+        CheckResult::pass(
+            ID,
+            CLAIM,
+            format!("mean accept ratios (c_u=5): UCB {ucb:.2}, TS {ts:.2}, Random {random:.2}"),
+        )
+    } else {
+        CheckResult::fail(
+            ID,
+            CLAIM,
+            format!("mean accept ratios (c_u=5): UCB {ucb:.2}, TS {ts:.2}, Random {random:.2}"),
+        )
+    }
+}
+
+/// Check 7 (Figure 11): TS stays bad under the basic contextual bandit.
+fn check_fig11_basic(out: &Path) -> CheckResult {
+    const ID: &str = "fig11-basic";
+    const CLAIM: &str = "TS underperforms UCB under the basic contextual bandit too";
+    let path = out.join("fig11/v500_total_rewards.csv");
+    let Some(t) = load(&path) else {
+        return CheckResult::skip(ID, CLAIM, &path);
+    };
+    let ucb = t.last("UCB").unwrap_or(f64::NAN);
+    let ts = t.last("TS").unwrap_or(f64::NAN);
+    let random = t.last("Random").unwrap_or(f64::NAN);
+    if ucb > ts && ts > random {
+        CheckResult::pass(ID, CLAIM, format!("rewards: UCB {ucb}, TS {ts}, Random {random}"))
+    } else {
+        CheckResult::fail(ID, CLAIM, format!("rewards: UCB {ucb}, TS {ts}, Random {random}"))
+    }
+}
+
+/// Runs all shape checks over `opts.out_dir` and prints a PASS/FAIL
+/// report. Returns an error listing the failed checks (skips count as
+/// failures — a missing artefact means the reproduction is incomplete).
+pub fn verify(opts: &Options) -> Result<(), String> {
+    let out = opts.out_dir.clone();
+    let checks = [
+        check_fig1_ordering(&out),
+        check_fig1_regret_drop(&out),
+        check_fig2_kendall(&out),
+        check_fig4_dimension(&out),
+        check_fig6_capacity(&out),
+        check_table7(&out),
+        check_fig11_basic(&out),
+    ];
+    let mut failed = Vec::new();
+    for c in &checks {
+        match &c.outcome {
+            Ok(detail) => println!("PASS {:<18} {} — {}", c.id, c.claim, detail),
+            Err(why) => {
+                println!("FAIL {:<18} {} — {}", c.id, c.claim, why);
+                failed.push(c.id);
+            }
+        }
+    }
+    if failed.is_empty() {
+        println!("\nall {} shape checks passed", checks.len());
+        Ok(())
+    } else {
+        Err(format!("{} of {} checks failed: {:?}", failed.len(), checks.len(), failed))
+    }
+}

@@ -1,0 +1,283 @@
+//! Cholesky factorisation of symmetric positive-definite matrices.
+
+use crate::{LinalgError, Matrix, Vector};
+
+/// Lower-triangular Cholesky factor `L` of an SPD matrix `A = L Lᵀ`.
+///
+/// FASEA's Thompson-Sampling policy (Algorithm 1, line 7) samples
+/// `θ̃ ∼ N(θ̂, q² Y⁻¹)`. Writing `Y = L Lᵀ`, a standard-normal vector `z`
+/// is mapped to a correlated sample via `θ̃ = θ̂ + q · L⁻ᵀ z`, because
+/// `Cov(L⁻ᵀ z) = L⁻ᵀ L⁻¹ = (L Lᵀ)⁻¹ = Y⁻¹`. [`Cholesky::solve_lt`]
+/// provides exactly that back-substitution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cholesky {
+    /// Lower-triangular factor, stored as a full square matrix with the
+    /// strict upper triangle zeroed.
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factors the SPD matrix `a` into `L Lᵀ`.
+    ///
+    /// # Errors
+    /// * [`LinalgError::NotSquare`] if `a` is not square.
+    /// * [`LinalgError::NotPositiveDefinite`] if a pivot is ≤ 0 (after
+    ///   round-off), i.e. `a` is not numerically SPD.
+    /// * [`LinalgError::NonFinite`] if `a` contains NaN/∞.
+    pub fn factor(a: &Matrix) -> Result<Self, LinalgError> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare(a.rows(), a.cols()));
+        }
+        if !a.is_finite() {
+            return Err(LinalgError::NonFinite);
+        }
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for j in 0..n {
+            // Diagonal entry.
+            let mut sum = a[(j, j)];
+            for k in 0..j {
+                sum -= l[(j, k)] * l[(j, k)];
+            }
+            if sum <= 0.0 || !sum.is_finite() {
+                return Err(LinalgError::NotPositiveDefinite(j, sum));
+            }
+            let ljj = sum.sqrt();
+            l[(j, j)] = ljj;
+            // Column below the diagonal.
+            for i in (j + 1)..n {
+                let mut s = a[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = s / ljj;
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Borrows the lower-triangular factor `L`.
+    pub fn factor_l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solves `L y = b` (forward substitution).
+    ///
+    /// # Panics
+    /// Panics if `b.dim() != self.dim()`.
+    pub fn solve_l(&self, b: &Vector) -> Vector {
+        let n = self.dim();
+        assert_eq!(b.dim(), n, "solve_l: dimension mismatch");
+        let mut y = Vector::zeros(n);
+        for i in 0..n {
+            let mut s = b[i];
+            for k in 0..i {
+                s -= self.l[(i, k)] * y[k];
+            }
+            y[i] = s / self.l[(i, i)];
+        }
+        y
+    }
+
+    /// Solves `Lᵀ x = b` (back substitution).
+    ///
+    /// # Panics
+    /// Panics if `b.dim() != self.dim()`.
+    pub fn solve_lt(&self, b: &Vector) -> Vector {
+        let n = self.dim();
+        assert_eq!(b.dim(), n, "solve_lt: dimension mismatch");
+        let mut x = Vector::zeros(n);
+        for i in (0..n).rev() {
+            let mut s = b[i];
+            for k in (i + 1)..n {
+                s -= self.l[(k, i)] * x[k];
+            }
+            x[i] = s / self.l[(i, i)];
+        }
+        x
+    }
+
+    /// Solves the full system `A x = b` via the two triangular solves.
+    pub fn solve(&self, b: &Vector) -> Vector {
+        self.solve_lt(&self.solve_l(b))
+    }
+
+    /// Explicit inverse `A⁻¹`, built column-by-column from solves. `O(d³)`.
+    pub fn inverse(&self) -> Matrix {
+        let n = self.dim();
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = Vector::zeros(n);
+        for c in 0..n {
+            e[c] = 1.0;
+            let col = self.solve(&e);
+            for r in 0..n {
+                inv[(r, c)] = col[r];
+            }
+            e[c] = 0.0;
+        }
+        inv
+    }
+
+    /// `log det A = 2 Σ log L_{ii}`; numerically stable for small/large
+    /// determinants.
+    pub fn log_det(&self) -> f64 {
+        (0..self.dim()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+
+    /// Determinant of `A` (exp of [`Cholesky::log_det`]; may overflow for
+    /// huge matrices — FASEA only needs `d ≤ 20` so this is fine).
+    pub fn det(&self) -> f64 {
+        self.log_det().exp()
+    }
+
+    /// Quadratic form of the inverse, `xᵀ A⁻¹ x`, computed as `‖L⁻¹x‖²`
+    /// without materialising the inverse.
+    pub fn inv_quadratic_form(&self, x: &Vector) -> f64 {
+        self.solve_l(x).norm_sq()
+    }
+
+    /// Maps an uncorrelated standard-normal vector `z` to a sample with
+    /// covariance `A⁻¹` (mean zero): returns `L⁻ᵀ z`.
+    ///
+    /// This is the sampling primitive of the TS policy: with `A = Y` the
+    /// result has covariance `Y⁻¹`.
+    pub fn correlate_with_inverse_cov(&self, z: &Vector) -> Vector {
+        self.solve_lt(z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// SPD test fixture: A = [[4,2,0],[2,5,1],[0,1,3]].
+    fn spd3() -> Matrix {
+        Matrix::from_rows(3, 3, vec![4.0, 2.0, 0.0, 2.0, 5.0, 1.0, 0.0, 1.0, 3.0])
+    }
+
+    #[test]
+    fn factor_reconstructs() {
+        let a = spd3();
+        let ch = Cholesky::factor(&a).unwrap();
+        let l = ch.factor_l();
+        let recon = l.matmul(&l.transposed());
+        assert!(recon.max_abs_diff(&a) < 1e-12);
+    }
+
+    #[test]
+    fn factor_known_2x2() {
+        // A = [[4, 2], [2, 2]] => L = [[2, 0], [1, 1]]
+        let a = Matrix::from_rows(2, 2, vec![4.0, 2.0, 2.0, 2.0]);
+        let ch = Cholesky::factor(&a).unwrap();
+        let l = ch.factor_l();
+        assert!((l[(0, 0)] - 2.0).abs() < 1e-14);
+        assert!((l[(1, 0)] - 1.0).abs() < 1e-14);
+        assert!((l[(1, 1)] - 1.0).abs() < 1e-14);
+        assert_eq!(l[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn solve_satisfies_system() {
+        let a = spd3();
+        let ch = Cholesky::factor(&a).unwrap();
+        let b = Vector::from([1.0, -2.0, 3.0]);
+        let x = ch.solve(&b);
+        let recon = a.matvec(&x);
+        assert!(crate::max_abs_diff(&recon, &b) < 1e-12);
+    }
+
+    #[test]
+    fn triangular_solves_satisfy_their_systems() {
+        let a = spd3();
+        let ch = Cholesky::factor(&a).unwrap();
+        let b = Vector::from([0.5, 0.25, -1.0]);
+        let y = ch.solve_l(&b);
+        assert!(crate::max_abs_diff(&ch.factor_l().matvec(&y), &b) < 1e-12);
+        let x = ch.solve_lt(&b);
+        assert!(crate::max_abs_diff(&ch.factor_l().transposed().matvec(&x), &b) < 1e-12);
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let a = spd3();
+        let ch = Cholesky::factor(&a).unwrap();
+        let inv = ch.inverse();
+        let prod = a.matmul(&inv);
+        assert!(prod.max_abs_diff(&Matrix::identity(3)) < 1e-12);
+    }
+
+    #[test]
+    fn det_matches_cofactor_expansion() {
+        let a = spd3();
+        // det = 4*(5*3-1) - 2*(2*3-0) + 0 = 56 - 12 = 44
+        let ch = Cholesky::factor(&a).unwrap();
+        assert!((ch.det() - 44.0).abs() < 1e-10);
+        assert!((ch.log_det() - 44f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_factor_is_identity() {
+        let ch = Cholesky::factor(&Matrix::identity(4)).unwrap();
+        assert!(ch.factor_l().max_abs_diff(&Matrix::identity(4)) < 1e-15);
+        assert_eq!(ch.det(), 1.0);
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            Cholesky::factor(&a),
+            Err(LinalgError::NotSquare(2, 3))
+        ));
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        // [[1, 2], [2, 1]] has eigenvalues 3 and -1.
+        let a = Matrix::from_rows(2, 2, vec![1.0, 2.0, 2.0, 1.0]);
+        assert!(matches!(
+            Cholesky::factor(&a),
+            Err(LinalgError::NotPositiveDefinite(1, _))
+        ));
+    }
+
+    #[test]
+    fn rejects_nan() {
+        let mut a = Matrix::identity(2);
+        a[(0, 0)] = f64::NAN;
+        assert!(matches!(Cholesky::factor(&a), Err(LinalgError::NonFinite)));
+    }
+
+    #[test]
+    fn inv_quadratic_form_matches_explicit_inverse() {
+        let a = spd3();
+        let ch = Cholesky::factor(&a).unwrap();
+        let x = Vector::from([0.2, -0.7, 0.4]);
+        let direct = ch.inverse().quadratic_form(&x);
+        assert!((ch.inv_quadratic_form(&x) - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlate_with_inverse_cov_covariance_identity_case() {
+        // For A = I the transform must be the identity map.
+        let ch = Cholesky::factor(&Matrix::identity(3)).unwrap();
+        let z = Vector::from([1.0, -2.0, 0.5]);
+        let s = ch.correlate_with_inverse_cov(&z);
+        assert!(crate::max_abs_diff(&s, &z) < 1e-15);
+    }
+
+    #[test]
+    fn correlate_transform_has_right_covariance_algebra() {
+        // For any z: s = L^{-T} z, so s^T A s = z^T L^{-1} A L^{-T} z = |z|^2.
+        let a = spd3();
+        let ch = Cholesky::factor(&a).unwrap();
+        let z = Vector::from([0.3, 1.1, -0.8]);
+        let s = ch.correlate_with_inverse_cov(&z);
+        assert!((a.quadratic_form(&s) - z.norm_sq()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,81 @@
+//! Error type for linear algebra operations.
+
+use std::fmt;
+
+/// Errors produced by factorisations and solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// The matrix handed to a routine that requires a square matrix was not
+    /// square. Carries `(rows, cols)`.
+    NotSquare(usize, usize),
+    /// Dimension mismatch between two operands. Carries `(expected, got)`.
+    DimensionMismatch(usize, usize),
+    /// Cholesky factorisation encountered a non-positive pivot, meaning the
+    /// matrix is not (numerically) positive definite. Carries the index of
+    /// the offending pivot and its value.
+    NotPositiveDefinite(usize, f64),
+    /// A value expected to be finite was NaN or infinite.
+    NonFinite,
+    /// Sherman–Morrison update would divide by a (numerically) zero
+    /// denominator, i.e. the update would make the matrix singular.
+    SingularUpdate(f64),
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::NotSquare(r, c) => {
+                write!(f, "matrix is not square: {r}x{c}")
+            }
+            LinalgError::DimensionMismatch(expected, got) => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+            LinalgError::NotPositiveDefinite(i, v) => {
+                write!(
+                    f,
+                    "matrix is not positive definite: pivot {i} has value {v:e}"
+                )
+            }
+            LinalgError::NonFinite => write!(f, "non-finite value encountered"),
+            LinalgError::SingularUpdate(denom) => {
+                write!(
+                    f,
+                    "rank-1 update would make the matrix singular (denominator {denom:e})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_not_square() {
+        let e = LinalgError::NotSquare(2, 3);
+        assert_eq!(e.to_string(), "matrix is not square: 2x3");
+    }
+
+    #[test]
+    fn display_dimension_mismatch() {
+        let e = LinalgError::DimensionMismatch(4, 5);
+        assert_eq!(e.to_string(), "dimension mismatch: expected 4, got 5");
+    }
+
+    #[test]
+    fn display_not_positive_definite_mentions_pivot() {
+        let e = LinalgError::NotPositiveDefinite(1, -0.5);
+        let s = e.to_string();
+        assert!(s.contains("positive definite"));
+        assert!(s.contains("pivot 1"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(LinalgError::NonFinite);
+        assert!(e.to_string().contains("non-finite"));
+    }
+}

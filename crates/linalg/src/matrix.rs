@@ -1,0 +1,469 @@
+//! Owned dense row-major matrix.
+
+use crate::{LinalgError, Vector};
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+/// An owned dense `rows × cols` matrix of `f64` in row-major layout.
+///
+/// The FASEA algorithms only ever need small square matrices (`d ≤ 20`
+/// in the paper's experiments), so the representation is a single
+/// contiguous `Vec<f64>` — cache-friendly and allocation-free once built.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Creates `λ · I` — the ridge regularisation seed of the bandit Gram
+    /// matrix (`Y ← λ I_{d×d}`, line 1 of Algorithms 1/3/4).
+    pub fn scaled_identity(n: usize, lambda: f64) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = lambda;
+        }
+        m
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)` at every entry.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Builds a matrix from row-major data.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "from_rows: data length {} != {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `true` if the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Borrows row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        debug_assert!(r < self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrows row `r` as a slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        debug_assert!(r < self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copies column `c` into a new [`Vector`].
+    pub fn col(&self, c: usize) -> Vector {
+        assert!(c < self.cols, "col index out of bounds");
+        Vector::from_fn(self.rows, |r| self[(r, c)])
+    }
+
+    /// Borrows the raw row-major data.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Matrix–vector product `self · x`.
+    ///
+    /// # Panics
+    /// Panics if `x.dim() != self.cols()`.
+    pub fn matvec(&self, x: &Vector) -> Vector {
+        assert_eq!(x.dim(), self.cols, "matvec: dimension mismatch");
+        Vector::from_fn(self.rows, |r| crate::vector::dot_slices(self.row(r), x))
+    }
+
+    /// Matrix–matrix product `self · other`.
+    ///
+    /// # Panics
+    /// Panics if `self.cols() != other.rows()`.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul: inner dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        // ikj loop order: stream through `other` row-wise for locality.
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = other.row(k);
+                let out_row = out.row_mut(i);
+                for (o, &b) in out_row.iter_mut().zip(orow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transposed copy.
+    pub fn transposed(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |r, c| self[(c, r)])
+    }
+
+    /// Symmetric rank-1 update `self += alpha · x xᵀ`.
+    ///
+    /// This is the Gram-matrix update `Y ← Y + x_{t,v} x_{t,v}ᵀ` of
+    /// Algorithms 1/3/4 (line "Y ← Y + Σ x xᵀ").
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square of dimension `x.dim()`.
+    pub fn add_outer(&mut self, x: &Vector, alpha: f64) {
+        assert!(self.is_square(), "add_outer: matrix must be square");
+        assert_eq!(x.dim(), self.rows, "add_outer: dimension mismatch");
+        let n = self.rows;
+        for r in 0..n {
+            let xr = alpha * x[r];
+            let row = &mut self.data[r * n..(r + 1) * n];
+            for (c, entry) in row.iter_mut().enumerate() {
+                *entry += xr * x[c];
+            }
+        }
+    }
+
+    /// Quadratic form `xᵀ · self · x`.
+    ///
+    /// UCB's confidence width (Algorithm 3 line 8) is
+    /// `α √(xᵀ Y⁻¹ x)`; this computes the inner quadratic form against an
+    /// explicit matrix (usually a maintained inverse).
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square of dimension `x.dim()`.
+    pub fn quadratic_form(&self, x: &Vector) -> f64 {
+        assert!(self.is_square(), "quadratic_form: matrix must be square");
+        assert_eq!(x.dim(), self.rows, "quadratic_form: dimension mismatch");
+        let n = self.rows;
+        let mut acc = 0.0;
+        for r in 0..n {
+            let xr = x[r];
+            if xr == 0.0 {
+                continue;
+            }
+            acc += xr * crate::vector::dot_slices(&self.data[r * n..(r + 1) * n], x);
+        }
+        acc
+    }
+
+    /// Frobenius norm `√(Σ a_{ij}²)`.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Maximum absolute entry-wise difference to `other`.
+    ///
+    /// # Panics
+    /// Panics if shapes differ.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f64 {
+        assert_eq!(self.rows, other.rows, "max_abs_diff: row mismatch");
+        assert_eq!(self.cols, other.cols, "max_abs_diff: col mismatch");
+        crate::max_abs_diff(&self.data, &other.data)
+    }
+
+    /// `true` if every entry is finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+
+    /// `true` if the matrix is square and symmetric to within `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        for r in 0..self.rows {
+            for c in (r + 1)..self.cols {
+                if (self[(r, c)] - self[(c, r)]).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Symmetrises the matrix in place: `A ← (A + Aᵀ)/2`. Useful to wash
+    /// out asymmetric round-off before a Cholesky factorisation.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::NotSquare`] for non-square matrices.
+    pub fn symmetrize(&mut self) -> Result<(), LinalgError> {
+        if !self.is_square() {
+            return Err(LinalgError::NotSquare(self.rows, self.cols));
+        }
+        for r in 0..self.rows {
+            for c in (r + 1)..self.cols {
+                let avg = 0.5 * (self[(r, c)] + self[(c, r)]);
+                self[(r, c)] = avg;
+                self[(c, r)] = avg;
+            }
+        }
+        Ok(())
+    }
+
+    /// Trace (sum of diagonal entries).
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square.
+    pub fn trace(&self) -> f64 {
+        assert!(self.is_square(), "trace: matrix must be square");
+        (0..self.rows).map(|i| self[(i, i)]).sum()
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl Add<&Matrix> for &Matrix {
+    type Output = Matrix;
+    fn add(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.rows, rhs.rows, "add: row mismatch");
+        assert_eq!(self.cols, rhs.cols, "add: col mismatch");
+        Matrix::from_fn(self.rows, self.cols, |r, c| self[(r, c)] + rhs[(r, c)])
+    }
+}
+
+impl Sub<&Matrix> for &Matrix {
+    type Output = Matrix;
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.rows, rhs.rows, "sub: row mismatch");
+        assert_eq!(self.cols, rhs.cols, "sub: col mismatch");
+        Matrix::from_fn(self.rows, self.cols, |r, c| self[(r, c)] - rhs[(r, c)])
+    }
+}
+
+impl Mul<f64> for &Matrix {
+    type Output = Matrix;
+    fn mul(self, s: f64) -> Matrix {
+        Matrix::from_fn(self.rows, self.cols, |r, c| self[(r, c)] * s)
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in 0..self.rows {
+            write!(f, "[")?;
+            for c in 0..self.cols {
+                if c > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{:.6}", self[(r, c)])?;
+            }
+            writeln!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+/// Outer product `x yᵀ` as a fresh matrix.
+pub fn outer(x: &Vector, y: &Vector) -> Matrix {
+    Matrix::from_fn(x.dim(), y.dim(), |r, c| x[r] * y[c])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m2(a: f64, b: f64, c: f64, d: f64) -> Matrix {
+        Matrix::from_rows(2, 2, vec![a, b, c, d])
+    }
+
+    #[test]
+    fn identity_and_scaled_identity() {
+        let i = Matrix::identity(3);
+        assert_eq!(i[(0, 0)], 1.0);
+        assert_eq!(i[(0, 1)], 0.0);
+        let l = Matrix::scaled_identity(3, 2.5);
+        assert_eq!(l[(2, 2)], 2.5);
+        assert_eq!(l[(1, 0)], 0.0);
+        assert_eq!(l.trace(), 7.5);
+    }
+
+    #[test]
+    fn matvec_known() {
+        let m = m2(1.0, 2.0, 3.0, 4.0);
+        let x = Vector::from([5.0, 6.0]);
+        let y = m.matvec(&x);
+        assert_eq!(y.as_slice(), &[17.0, 39.0]);
+    }
+
+    #[test]
+    fn matmul_known() {
+        let a = m2(1.0, 2.0, 3.0, 4.0);
+        let b = m2(5.0, 6.0, 7.0, 8.0);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = m2(1.0, 2.0, 3.0, 4.0);
+        let i = Matrix::identity(2);
+        assert_eq!(a.matmul(&i), a);
+        assert_eq!(i.matmul(&a), a);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_rows(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let t = a.transposed();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.cols(), 2);
+        assert_eq!(t[(2, 1)], 6.0);
+        assert_eq!(t.transposed(), a);
+    }
+
+    #[test]
+    fn add_outer_matches_explicit_outer() {
+        let x = Vector::from([1.0, 2.0, 3.0]);
+        let mut m = Matrix::identity(3);
+        m.add_outer(&x, 2.0);
+        let expect = &Matrix::identity(3) + &(&outer(&x, &x) * 2.0);
+        assert!(m.max_abs_diff(&expect) < 1e-14);
+    }
+
+    #[test]
+    fn quadratic_form_known() {
+        // x^T A x with A = [[2,1],[1,3]], x = [1,2] => 2 + 2*1*2 + 3*4 = 18
+        let a = m2(2.0, 1.0, 1.0, 3.0);
+        let x = Vector::from([1.0, 2.0]);
+        assert!((a.quadratic_form(&x) - 18.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn quadratic_form_identity_is_norm_sq() {
+        let x = Vector::from([0.3, -0.4, 0.5]);
+        let i = Matrix::identity(3);
+        assert!((i.quadratic_form(&x) - x.norm_sq()).abs() < 1e-14);
+    }
+
+    #[test]
+    fn symmetry_checks() {
+        let s = m2(1.0, 2.0, 2.0, 5.0);
+        assert!(s.is_symmetric(0.0));
+        let a = m2(1.0, 2.0, 2.1, 5.0);
+        assert!(!a.is_symmetric(1e-3));
+        assert!(a.is_symmetric(0.2));
+        let rect = Matrix::zeros(2, 3);
+        assert!(!rect.is_symmetric(1.0));
+    }
+
+    #[test]
+    fn symmetrize_averages() {
+        let mut a = m2(1.0, 2.0, 4.0, 5.0);
+        a.symmetrize().unwrap();
+        assert_eq!(a[(0, 1)], 3.0);
+        assert_eq!(a[(1, 0)], 3.0);
+        let mut rect = Matrix::zeros(2, 3);
+        assert!(matches!(
+            rect.symmetrize(),
+            Err(LinalgError::NotSquare(2, 3))
+        ));
+    }
+
+    #[test]
+    fn frobenius_norm_known() {
+        let a = m2(3.0, 0.0, 0.0, 4.0);
+        assert_eq!(a.frobenius_norm(), 5.0);
+    }
+
+    #[test]
+    fn row_col_access() {
+        let a = Matrix::from_rows(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(a.col(2).as_slice(), &[3.0, 6.0]);
+    }
+
+    #[test]
+    fn operators() {
+        let a = m2(1.0, 2.0, 3.0, 4.0);
+        let b = m2(10.0, 20.0, 30.0, 40.0);
+        assert_eq!((&a + &b).as_slice(), &[11.0, 22.0, 33.0, 44.0]);
+        assert_eq!((&b - &a).as_slice(), &[9.0, 18.0, 27.0, 36.0]);
+        assert_eq!((&a * 2.0).as_slice(), &[2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "from_rows")]
+    fn from_rows_length_check() {
+        let _ = Matrix::from_rows(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn is_finite_detects_bad_entries() {
+        let mut a = Matrix::identity(2);
+        assert!(a.is_finite());
+        a[(0, 1)] = f64::NAN;
+        assert!(!a.is_finite());
+    }
+
+    #[test]
+    fn display_has_rows() {
+        let a = Matrix::identity(2);
+        let s = a.to_string();
+        assert_eq!(s.lines().count(), 2);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests for fasea-linalg: factorisation round-trips,
+//! Sherman–Morrison agreement with direct inversion, and solver residuals
+//! on randomly generated SPD matrices.
+
+use fasea_linalg::{Cholesky, Matrix, ShermanMorrisonInverse, Vector};
+use proptest::prelude::*;
+
+/// Strategy: a dimension and a batch of bounded vectors of that dimension.
+fn dim_and_vectors() -> impl Strategy<Value = (usize, Vec<Vec<f64>>)> {
+    (1usize..8).prop_flat_map(|d| {
+        (
+            Just(d),
+            proptest::collection::vec(
+                proptest::collection::vec(-1.0f64..1.0, d..=d),
+                1..30,
+            ),
+        )
+    })
+}
+
+/// Builds an SPD matrix λI + Σ x xᵀ from a vector batch.
+fn spd_from(d: usize, lambda: f64, xs: &[Vec<f64>]) -> Matrix {
+    let mut y = Matrix::scaled_identity(d, lambda);
+    for x in xs {
+        y.add_outer(&Vector::from(x.as_slice()), 1.0);
+    }
+    y
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Cholesky reconstruction: L Lᵀ must reproduce A.
+    #[test]
+    fn cholesky_reconstructs((d, xs) in dim_and_vectors()) {
+        let a = spd_from(d, 1.0, &xs);
+        let ch = Cholesky::factor(&a).unwrap();
+        let l = ch.factor_l();
+        let recon = l.matmul(&l.transposed());
+        prop_assert!(recon.max_abs_diff(&a) < 1e-9 * (1.0 + a.frobenius_norm()));
+    }
+
+    /// Solving A x = b must leave a tiny residual.
+    #[test]
+    fn solve_residual_small((d, xs) in dim_and_vectors(), seed in 0u64..1000) {
+        let a = spd_from(d, 0.5, &xs);
+        let b = Vector::from_fn(d, |i| ((seed as f64) * 0.61 + i as f64 * 0.37).sin());
+        let ch = Cholesky::factor(&a).unwrap();
+        let x = ch.solve(&b);
+        let resid = &a.matvec(&x) - &b;
+        prop_assert!(resid.norm_inf() < 1e-8 * (1.0 + b.norm()));
+    }
+
+    /// Sherman–Morrison maintained inverse equals the direct inverse.
+    #[test]
+    fn sherman_morrison_matches_direct((d, xs) in dim_and_vectors()) {
+        let mut sm = ShermanMorrisonInverse::new(d, 1.0);
+        for x in &xs {
+            sm.rank1_update(&Vector::from(x.as_slice())).unwrap();
+        }
+        let direct = Cholesky::factor(sm.y()).unwrap().inverse();
+        prop_assert!(sm.y_inv().max_abs_diff(&direct) < 1e-7);
+    }
+
+    /// Y · Y⁻¹ ≈ I after arbitrary update sequences.
+    #[test]
+    fn maintained_inverse_is_inverse((d, xs) in dim_and_vectors()) {
+        let mut sm = ShermanMorrisonInverse::new(d, 2.0);
+        for x in &xs {
+            sm.rank1_update(&Vector::from(x.as_slice())).unwrap();
+        }
+        let prod = sm.y().matmul(sm.y_inv());
+        prop_assert!(prod.max_abs_diff(&Matrix::identity(d)) < 1e-7);
+    }
+
+    /// The UCB width xᵀY⁻¹x is always positive and bounded by ‖x‖²/λ.
+    #[test]
+    fn quadratic_form_bounds((d, xs) in dim_and_vectors(), probe in proptest::collection::vec(-1.0f64..1.0, 1..8)) {
+        let lambda = 0.5;
+        let mut sm = ShermanMorrisonInverse::new(d, lambda);
+        for x in &xs {
+            sm.rank1_update(&Vector::from(x.as_slice())).unwrap();
+        }
+        let mut p = probe;
+        p.resize(d, 0.3);
+        let x = Vector::from(p);
+        let q = sm.inv_quadratic_form(&x);
+        prop_assert!(q >= -1e-12);
+        // Y >= λI implies Y^{-1} <= (1/λ)I in the PSD order.
+        prop_assert!(q <= x.norm_sq() / lambda + 1e-9);
+    }
+
+    /// log det grows monotonically under rank-1 updates
+    /// (det(Y + xxᵀ) = det(Y)(1 + xᵀY⁻¹x) ≥ det(Y)).
+    #[test]
+    fn log_det_monotone((d, xs) in dim_and_vectors()) {
+        let mut y = Matrix::scaled_identity(d, 1.0);
+        let mut prev = Cholesky::factor(&y).unwrap().log_det();
+        for x in &xs {
+            y.add_outer(&Vector::from(x.as_slice()), 1.0);
+            let cur = Cholesky::factor(&y).unwrap().log_det();
+            prop_assert!(cur >= prev - 1e-10);
+            prev = cur;
+        }
+    }
+
+    /// Vector normalisation produces ‖x‖ ≤ 1 as FASEA requires.
+    #[test]
+    fn normalized_vectors_satisfy_context_bound(raw in proptest::collection::vec(-100.0f64..100.0, 1..32)) {
+        let v = Vector::from(raw).normalized();
+        prop_assert!(v.norm() <= 1.0 + 1e-12);
+    }
+}

@@ -1,0 +1,233 @@
+//! Remark 1 runner: recurring users with individual hidden models.
+//!
+//! Compares two learner architectures over the same multi-user arrival
+//! stream and shared event capacities:
+//!
+//! * **shared** — one policy instance serves everyone (the base FASEA
+//!   assumption: "a set of users with similar interests");
+//! * **per-user** — one policy instance per user id, all drawing on the
+//!   same capacity pool (Remark 1's "an individual θ is learned for
+//!   each user but the information of events … is shared").
+//!
+//! The interesting trade-off this exposes: per-user learners see `U×`
+//! fewer observations each, so at low heterogeneity the shared learner
+//! wins on sample efficiency, while at high heterogeneity the shared
+//! learner converges to a useless average-θ and per-user wins.
+
+use fasea_bandit::{Policy, SelectionView};
+use fasea_core::{validate_arrangement, RegretAccounting, UserArrival};
+use fasea_datagen::MultiUserWorkload;
+use fasea_stats::{Bernoulli, CoinStream};
+
+/// How the learner is organised across users.
+pub enum LearnerArchitecture {
+    /// One policy serves every user.
+    Shared(Box<dyn Policy>),
+    /// One policy per user id, built on demand by the factory.
+    PerUser(Box<dyn FnMut(usize) -> Box<dyn Policy>>),
+}
+
+impl LearnerArchitecture {
+    fn display_name(&self) -> &'static str {
+        match self {
+            LearnerArchitecture::Shared(_) => "shared",
+            LearnerArchitecture::PerUser(_) => "per-user",
+        }
+    }
+}
+
+/// Result of one architecture run.
+#[derive(Debug, Clone)]
+pub struct MultiUserRunResult {
+    /// "shared" or "per-user".
+    pub architecture: &'static str,
+    /// Cumulative accounting over all rounds.
+    pub accounting: RegretAccounting,
+    /// The clairvoyant reference (per-round oracle using each user's
+    /// true θ, with its own shared capacity pool).
+    pub opt_rewards: u64,
+}
+
+/// Runs one learner architecture over the multi-user workload.
+///
+/// Feedback uses common random numbers, and OPT (which knows every
+/// user's θ) is co-simulated with its own capacity pool — so results
+/// across architectures are directly comparable.
+pub fn run_multi_user(
+    workload: &MultiUserWorkload,
+    mut architecture: LearnerArchitecture,
+    horizon: u64,
+    feedback_seed: u64,
+) -> MultiUserRunResult {
+    let instance = &workload.inner.instance;
+    let conflicts = instance.conflicts();
+    let coins = CoinStream::new(feedback_seed);
+    let arch_name = architecture.display_name();
+
+    let mut per_user_policies: Vec<Option<Box<dyn Policy>>> = match &architecture {
+        LearnerArchitecture::Shared(_) => Vec::new(),
+        LearnerArchitecture::PerUser(_) => (0..workload.population()).map(|_| None).collect(),
+    };
+
+    let mut remaining: Vec<u32> = instance.capacities().to_vec();
+    let mut opt_remaining: Vec<u32> = instance.capacities().to_vec();
+    let mut accounting = RegretAccounting::new();
+    let mut opt_rewards = 0u64;
+
+    for t in 0..horizon {
+        let user = workload.user_at(t);
+        let model = workload.model_of(user);
+        let arrival: UserArrival = workload.inner.arrivals.arrival(t);
+
+        // The learner's move.
+        {
+            let policy: &mut dyn Policy = match &mut architecture {
+                LearnerArchitecture::Shared(p) => p.as_mut(),
+                LearnerArchitecture::PerUser(factory) => per_user_policies[user]
+                    .get_or_insert_with(|| factory(user))
+                    .as_mut(),
+            };
+            let view = SelectionView {
+                t,
+                user_capacity: arrival.capacity,
+                contexts: &arrival.contexts,
+                conflicts,
+                remaining: &remaining,
+            };
+            let arrangement = policy.select(&view);
+            validate_arrangement(&arrangement, conflicts, &remaining, arrival.capacity)
+                .unwrap_or_else(|e| panic!("{arch_name} learner infeasible: {e}"));
+            let mut accepted = Vec::with_capacity(arrangement.len());
+            for &v in arrangement.events() {
+                let p = model.accept_probability(&arrival.contexts, v);
+                let ok = Bernoulli::new(p).trial_with(coins.uniform(t, v.index() as u64));
+                if ok {
+                    remaining[v.index()] -= 1;
+                }
+                accepted.push(ok);
+            }
+            let feedback = fasea_core::Feedback::new(accepted);
+            let reward = feedback.reward();
+            policy.observe(t, &arrival.contexts, &arrangement, &feedback);
+            accounting.record_round(arrangement.len(), reward);
+        }
+
+        // OPT's move (true per-user θ, its own capacity pool, same coins).
+        {
+            let scores: Vec<f64> = (0..instance.num_events())
+                .map(|v| model.expected_reward(&arrival.contexts, fasea_core::EventId(v)))
+                .collect();
+            let arrangement = fasea_bandit::oracle_greedy(
+                &scores,
+                conflicts,
+                &opt_remaining,
+                arrival.capacity,
+            );
+            for &v in arrangement.events() {
+                let p = model.accept_probability(&arrival.contexts, v);
+                if Bernoulli::new(p).trial_with(coins.uniform(t, v.index() as u64)) {
+                    opt_remaining[v.index()] -= 1;
+                    opt_rewards += 1;
+                }
+            }
+        }
+    }
+
+    MultiUserRunResult {
+        architecture: arch_name,
+        accounting,
+        opt_rewards,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fasea_bandit::LinUcb;
+    use fasea_datagen::{MultiUserConfig, SyntheticConfig};
+
+    fn workload(h: f64, seed: u64) -> MultiUserWorkload {
+        MultiUserWorkload::generate(MultiUserConfig {
+            base: SyntheticConfig {
+                num_events: 30,
+                dim: 6,
+                seed,
+                ..Default::default()
+            },
+            population: 5,
+            heterogeneity: h,
+        })
+    }
+
+    fn shared(d: usize) -> LearnerArchitecture {
+        LearnerArchitecture::Shared(Box::new(LinUcb::new(d, 1.0, 2.0)))
+    }
+
+    fn per_user(d: usize) -> LearnerArchitecture {
+        LearnerArchitecture::PerUser(Box::new(move |_u| {
+            Box::new(LinUcb::new(d, 1.0, 2.0)) as Box<dyn Policy>
+        }))
+    }
+
+    #[test]
+    fn both_architectures_run_and_account() {
+        let w = workload(0.5, 10);
+        for arch in [shared(6), per_user(6)] {
+            let r = run_multi_user(&w, arch, 400, 3);
+            assert_eq!(r.accounting.rounds(), 400);
+            assert!(r.opt_rewards > 0);
+            assert!(r.accounting.total_rewards() <= r.accounting.total_arranged());
+        }
+    }
+
+    #[test]
+    fn homogeneous_population_favours_shared_learner() {
+        // h = 0: every user has the same θ. The shared learner gets 5x
+        // the data per model and must do at least as well (small slack
+        // for coin noise).
+        let w = workload(0.0, 21);
+        let shared_r = run_multi_user(&w, shared(6), 1500, 7);
+        let per_user_r = run_multi_user(&w, per_user(6), 1500, 7);
+        assert!(
+            shared_r.accounting.total_rewards() as f64
+                >= per_user_r.accounting.total_rewards() as f64 * 0.97,
+            "shared {} vs per-user {}",
+            shared_r.accounting.total_rewards(),
+            per_user_r.accounting.total_rewards()
+        );
+    }
+
+    #[test]
+    fn heterogeneous_population_favours_per_user_learner() {
+        let w = workload(1.0, 33);
+        let shared_r = run_multi_user(&w, shared(6), 3000, 9);
+        let per_user_r = run_multi_user(&w, per_user(6), 3000, 9);
+        assert!(
+            per_user_r.accounting.total_rewards() > shared_r.accounting.total_rewards(),
+            "per-user {} <= shared {}",
+            per_user_r.accounting.total_rewards(),
+            shared_r.accounting.total_rewards()
+        );
+    }
+
+    #[test]
+    fn capacities_are_shared_across_users() {
+        // Small caps: total rewards across the whole run can never
+        // exceed total capacity even though 5 different users consume.
+        let w = MultiUserWorkload::generate(MultiUserConfig {
+            base: SyntheticConfig {
+                num_events: 8,
+                dim: 3,
+                capacity: fasea_datagen::CapacityModel { mean: 5.0, std: 0.0 },
+                seed: 2,
+                ..Default::default()
+            },
+            population: 5,
+            heterogeneity: 0.3,
+        });
+        let total_capacity = w.inner.instance.total_capacity();
+        let r = run_multi_user(&w, shared(3), 2000, 1);
+        assert!(r.accounting.total_rewards() <= total_capacity);
+        assert!(r.opt_rewards <= total_capacity);
+    }
+}

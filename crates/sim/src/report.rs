@@ -1,0 +1,400 @@
+//! Report output: CSV files and fixed-width ASCII tables.
+//!
+//! Output is deliberately hand-rolled (no serde): the experiment harness
+//! only needs numeric series keyed by simple headers, and a transparent
+//! writer keeps the workspace inside the sanctioned dependency set.
+
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{BufWriter, Write as _};
+use std::path::Path;
+
+/// Incremental CSV writer.
+#[derive(Debug)]
+pub struct CsvWriter {
+    out: BufWriter<File>,
+    columns: usize,
+}
+
+impl CsvWriter {
+    /// Creates the file (truncating) and writes the header row.
+    ///
+    /// # Errors
+    /// Propagates I/O errors. Panics if `header` is empty.
+    pub fn create(path: &Path, header: &[&str]) -> std::io::Result<Self> {
+        assert!(!header.is_empty(), "CsvWriter: header must be non-empty");
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let mut out = BufWriter::new(File::create(path)?);
+        writeln!(out, "{}", header.join(","))?;
+        Ok(CsvWriter {
+            out,
+            columns: header.len(),
+        })
+    }
+
+    /// Writes one row of raw (pre-formatted) fields.
+    ///
+    /// # Errors
+    /// Propagates I/O errors. Panics on column-count mismatch or fields
+    /// containing commas/newlines (numeric reports never need quoting).
+    pub fn row(&mut self, fields: &[String]) -> std::io::Result<()> {
+        assert_eq!(fields.len(), self.columns, "CsvWriter: column count mismatch");
+        assert!(
+            fields.iter().all(|f| !f.contains(',') && !f.contains('\n')),
+            "CsvWriter: fields must not need quoting"
+        );
+        writeln!(self.out, "{}", fields.join(","))
+    }
+
+    /// Flushes buffered rows to disk.
+    ///
+    /// # Errors
+    /// Propagates I/O errors.
+    pub fn finish(mut self) -> std::io::Result<()> {
+        self.out.flush()
+    }
+}
+
+/// Convenience: writes a complete numeric table in one call. Each row is
+/// formatted with 6 significant digits.
+///
+/// # Errors
+/// Propagates I/O errors.
+pub fn write_csv(path: &Path, header: &[&str], rows: &[Vec<f64>]) -> std::io::Result<()> {
+    let mut w = CsvWriter::create(path, header)?;
+    for row in rows {
+        let fields: Vec<String> = row.iter().map(|x| format_number(*x)).collect();
+        w.row(&fields)?;
+    }
+    w.finish()
+}
+
+/// Formats a number compactly: integers without decimals, otherwise six
+/// significant digits.
+pub fn format_number(x: f64) -> String {
+    if x.fract() == 0.0 && x.abs() < 1e15 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x:.6}")
+    }
+}
+
+/// Fixed-width ASCII table builder for terminal reports (the printed
+/// analogues of the paper's tables).
+#[derive(Debug, Clone)]
+pub struct AsciiTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl AsciiTable {
+    /// Starts a table with the given header.
+    pub fn new(header: &[&str]) -> Self {
+        AsciiTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics on column-count mismatch.
+    pub fn row(&mut self, fields: Vec<String>) -> &mut Self {
+        assert_eq!(fields.len(), self.header.len(), "AsciiTable: column mismatch");
+        self.rows.push(fields);
+        self
+    }
+
+    /// Renders the table with column alignment and a separator rule.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, f) in row.iter().enumerate() {
+                widths[i] = widths[i].max(f.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |out: &mut String, fields: &[String]| {
+            for i in 0..cols {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{:>width$}", fields[i], width = widths[i]);
+            }
+            out.push('\n');
+        };
+        fmt_row(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// A parsed numeric CSV: header names plus row-major numeric data.
+/// The counterpart of [`write_csv`], used by the result-verification
+/// tooling to re-read experiment output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsvTable {
+    /// Column names from the header row.
+    pub header: Vec<String>,
+    /// Numeric rows; non-numeric fields parse as NaN.
+    pub rows: Vec<Vec<f64>>,
+}
+
+impl CsvTable {
+    /// Reads and parses a CSV written by [`write_csv`] / [`CsvWriter`].
+    ///
+    /// # Errors
+    /// I/O errors, an empty file, or rows with a different field count
+    /// than the header.
+    pub fn read(path: &Path) -> std::io::Result<CsvTable> {
+        let content = std::fs::read_to_string(path)?;
+        let mut lines = content.lines();
+        let header: Vec<String> = lines
+            .next()
+            .ok_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, "empty CSV")
+            })?
+            .split(',')
+            .map(|s| s.to_string())
+            .collect();
+        let mut rows = Vec::new();
+        for (i, line) in lines.enumerate() {
+            let fields: Vec<f64> = line
+                .split(',')
+                .map(|f| f.trim().parse::<f64>().unwrap_or(f64::NAN))
+                .collect();
+            if fields.len() != header.len() {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("row {} has {} fields, header has {}", i + 2, fields.len(), header.len()),
+                ));
+            }
+            rows.push(fields);
+        }
+        Ok(CsvTable { header, rows })
+    }
+
+    /// Index of a named column.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.header.iter().position(|h| h == name)
+    }
+
+    /// Extracts a named column as a vector.
+    pub fn column(&self, name: &str) -> Option<Vec<f64>> {
+        let i = self.column_index(name)?;
+        Some(self.rows.iter().map(|r| r[i]).collect())
+    }
+
+    /// Last value of a named column.
+    pub fn last(&self, name: &str) -> Option<f64> {
+        let i = self.column_index(name)?;
+        self.rows.last().map(|r| r[i])
+    }
+
+    /// Maximum value of a named column (ignoring NaN).
+    pub fn max(&self, name: &str) -> Option<f64> {
+        let col = self.column(name)?;
+        col.iter()
+            .copied()
+            .filter(|x| !x.is_nan())
+            .fold(None, |acc: Option<f64>, x| {
+                Some(acc.map_or(x, |a| a.max(x)))
+            })
+    }
+}
+
+/// Renders one or more named series as a compact ASCII line chart —
+/// enough to eyeball the *shape* of a paper figure (crossovers, sudden
+/// drops) straight from the experiment log.
+///
+/// All series share the x grid implicitly (their indices) and the y
+/// axis is min–max scaled over all series. Each series paints with its
+/// own glyph; later series overpaint earlier ones on collisions.
+pub fn ascii_chart(series: &[(&str, &[f64])], width: usize, height: usize) -> String {
+    assert!(width >= 10 && height >= 3, "ascii_chart: too small");
+    let finite: Vec<f64> = series
+        .iter()
+        .flat_map(|(_, s)| s.iter().copied())
+        .filter(|y| y.is_finite())
+        .collect();
+    if finite.is_empty() {
+        return String::from("(no data)\n");
+    }
+    let y_min = finite.iter().cloned().fold(f64::INFINITY, f64::min);
+    let y_max = finite.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = (y_max - y_min).max(f64::MIN_POSITIVE);
+    const GLYPHS: [char; 8] = ['*', '+', 'x', 'o', '#', '@', '%', '&'];
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, s)) in series.iter().enumerate() {
+        if s.is_empty() {
+            continue;
+        }
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        // Indexing by computed (row, col) is the natural raster write;
+        // an iterator form would obscure it.
+        #[allow(clippy::needless_range_loop)]
+        for col in 0..width {
+            // Nearest sample for this column.
+            let idx = if s.len() == 1 {
+                0
+            } else {
+                (col * (s.len() - 1) + (width - 1) / 2) / (width - 1)
+            };
+            let y = s[idx.min(s.len() - 1)];
+            if !y.is_finite() {
+                continue;
+            }
+            let frac = (y - y_min) / span;
+            let row = height - 1 - ((frac * (height - 1) as f64).round() as usize).min(height - 1);
+            grid[row][col] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{y_max:>12.4} ┐");
+    for row in &grid {
+        let line: String = row.iter().collect();
+        let _ = writeln!(out, "{:>12} │{}", "", line);
+    }
+    let _ = writeln!(out, "{y_min:>12.4} ┘");
+    let legend: Vec<String> = series
+        .iter()
+        .enumerate()
+        .map(|(i, (name, _))| format!("{} {}", GLYPHS[i % GLYPHS.len()], name))
+        .collect();
+    let _ = writeln!(out, "{:>14}{}", "", legend.join("   "));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_round_trip() {
+        let dir = std::env::temp_dir().join("fasea_sim_test_csv");
+        let path = dir.join("out.csv");
+        write_csv(
+            &path,
+            &["t", "value"],
+            &[vec![100.0, 0.5], vec![200.0, 0.75]],
+        )
+        .unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "t,value\n100,0.500000\n200,0.750000\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn csv_writer_incremental() {
+        let dir = std::env::temp_dir().join("fasea_sim_test_csv2");
+        let path = dir.join("inc.csv");
+        let mut w = CsvWriter::create(&path, &["a", "b"]).unwrap();
+        w.row(&["x".into(), "1".into()]).unwrap();
+        w.finish().unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "a,b\nx,1\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn csv_checks_columns() {
+        let dir = std::env::temp_dir().join("fasea_sim_test_csv3");
+        let mut w = CsvWriter::create(&dir.join("x.csv"), &["a", "b"]).unwrap();
+        let _ = w.row(&["only one".into()]);
+    }
+
+    #[test]
+    fn format_number_styles() {
+        assert_eq!(format_number(100.0), "100");
+        assert_eq!(format_number(0.5), "0.500000");
+        assert_eq!(format_number(-3.0), "-3");
+    }
+
+    #[test]
+    fn csv_table_round_trip() {
+        let dir = std::env::temp_dir().join("fasea_sim_test_csv_read");
+        let path = dir.join("t.csv");
+        write_csv(
+            &path,
+            &["t", "UCB", "TS"],
+            &[vec![100.0, 0.5, 0.2], vec![200.0, 0.7, 0.25]],
+        )
+        .unwrap();
+        let table = CsvTable::read(&path).unwrap();
+        assert_eq!(table.header, vec!["t", "UCB", "TS"]);
+        assert_eq!(table.rows.len(), 2);
+        assert_eq!(table.column("UCB").unwrap(), vec![0.5, 0.7]);
+        assert_eq!(table.last("TS"), Some(0.25));
+        assert_eq!(table.max("t"), Some(200.0));
+        assert!(table.column("missing").is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn csv_table_rejects_ragged_rows() {
+        let dir = std::env::temp_dir().join("fasea_sim_test_csv_ragged");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.csv");
+        std::fs::write(&path, "a,b\n1,2\n3\n").unwrap();
+        assert!(CsvTable::read(&path).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ascii_chart_renders_shapes() {
+        let rising: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let falling: Vec<f64> = (0..50).map(|i| 49.0 - i as f64).collect();
+        let s = ascii_chart(&[("up", &rising), ("down", &falling)], 40, 8);
+        let lines: Vec<&str> = s.lines().collect();
+        // Height rows + y_max + y_min + legend.
+        assert_eq!(lines.len(), 8 + 3);
+        assert!(lines[0].contains("49"));
+        assert!(lines.last().unwrap().contains("* up"));
+        assert!(lines.last().unwrap().contains("+ down"));
+        // The rising series ends in the top row's right side, the
+        // falling one starts there.
+        assert!(lines[1].trim_end().ends_with('*'));
+    }
+
+    #[test]
+    fn ascii_chart_flat_and_single_point() {
+        let s = ascii_chart(&[("flat", &[5.0, 5.0, 5.0])], 12, 3);
+        assert!(s.contains("5.0000"));
+        let one = ascii_chart(&[("p", &[1.0])], 12, 3);
+        assert!(one.contains("1.0000"));
+        let empty = ascii_chart(&[("e", &[])], 12, 3);
+        assert_eq!(empty, "(no data)\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn ascii_chart_rejects_tiny_canvas() {
+        let _ = ascii_chart(&[("x", &[1.0])], 2, 1);
+    }
+
+    #[test]
+    fn ascii_table_alignment() {
+        let mut t = AsciiTable::new(&["Algorithm", "Time"]);
+        t.row(vec!["UCB".into(), "0.0055".into()]);
+        t.row(vec!["Random".into(), "8.4e-5".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("Algorithm"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Right-aligned columns: all lines the same width.
+        assert_eq!(lines[0].len(), lines[2].len());
+    }
+}

@@ -1,0 +1,310 @@
+//! A production-style arrangement service.
+//!
+//! [`crate::runner`] drives policies against a *simulated* platform.
+//! This module is the inverse packaging: an [`ArrangementService`] wraps
+//! one policy and the live platform state (remaining capacities,
+//! conflicts) behind the two calls a real EBSN backend would make —
+//! `propose` when a user logs in, `feedback` when their
+//! accept/reject decisions come back — enforcing the FASEA protocol
+//! (Definition 3) at the API boundary:
+//!
+//! * arrangements are validated against capacities and conflicts before
+//!   leaving the service;
+//! * a proposal is **irrevocable**: the next proposal can only be made
+//!   after feedback for the previous one has been recorded;
+//! * feedback must match the pending arrangement slot-for-slot;
+//! * accepted events decrement shared remaining capacity.
+//!
+//! The `arrangement_service` example wraps this in a line-oriented
+//! stdin/stdout protocol.
+
+use fasea_bandit::{Policy, SelectionView};
+use fasea_core::{
+    validate_arrangement, Arrangement, ContextMatrix, EventId, Feedback, ProblemInstance,
+    RegretAccounting, UserArrival,
+};
+use std::fmt;
+
+/// Protocol violations and invariant breaches surfaced by the service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// `propose` was called while an earlier proposal still awaits
+    /// feedback (arrangements are irrevocable and strictly sequential).
+    FeedbackPending,
+    /// `feedback` was called with no outstanding proposal.
+    NoPendingProposal,
+    /// Feedback length does not match the pending arrangement.
+    FeedbackLengthMismatch {
+        /// Slots in the pending arrangement.
+        expected: usize,
+        /// Slots supplied.
+        got: usize,
+    },
+    /// The context block does not match the instance (|V| or d).
+    ContextShapeMismatch,
+    /// The wrapped policy produced an infeasible arrangement — a policy
+    /// bug that the service refuses to expose to users.
+    PolicyProducedInfeasible(String),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::FeedbackPending => {
+                write!(f, "previous arrangement still awaits feedback")
+            }
+            ServiceError::NoPendingProposal => write!(f, "no arrangement awaiting feedback"),
+            ServiceError::FeedbackLengthMismatch { expected, got } => {
+                write!(f, "feedback for {got} events but {expected} were arranged")
+            }
+            ServiceError::ContextShapeMismatch => {
+                write!(f, "context block does not match the instance shape")
+            }
+            ServiceError::PolicyProducedInfeasible(why) => {
+                write!(f, "policy produced an infeasible arrangement: {why}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// The live arrangement service.
+pub struct ArrangementService {
+    policy: Box<dyn Policy>,
+    instance: ProblemInstance,
+    remaining: Vec<u32>,
+    t: u64,
+    pending: Option<(Arrangement, ContextMatrix)>,
+    accounting: RegretAccounting,
+}
+
+impl ArrangementService {
+    /// Creates the service with full capacities.
+    pub fn new(instance: ProblemInstance, policy: Box<dyn Policy>) -> Self {
+        let remaining = instance.capacities().to_vec();
+        ArrangementService {
+            policy,
+            instance,
+            remaining,
+            t: 0,
+            pending: None,
+            accounting: RegretAccounting::new(),
+        }
+    }
+
+    /// The wrapped policy's name.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Rounds completed (proposal + feedback pairs).
+    pub fn rounds_completed(&self) -> u64 {
+        self.t
+    }
+
+    /// Remaining capacity per event.
+    pub fn remaining(&self) -> &[u32] {
+        &self.remaining
+    }
+
+    /// Cumulative accounting over completed rounds.
+    pub fn accounting(&self) -> &RegretAccounting {
+        &self.accounting
+    }
+
+    /// `true` if a proposal awaits feedback.
+    pub fn has_pending(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// Proposes an arrangement for the arriving user. The proposal is
+    /// pending until [`ArrangementService::feedback`] is called.
+    ///
+    /// # Errors
+    /// [`ServiceError::FeedbackPending`] if called out of order,
+    /// [`ServiceError::ContextShapeMismatch`] on malformed input, or
+    /// [`ServiceError::PolicyProducedInfeasible`] if the wrapped policy
+    /// misbehaves (the service re-validates every proposal).
+    pub fn propose(&mut self, user: &UserArrival) -> Result<Arrangement, ServiceError> {
+        if self.pending.is_some() {
+            return Err(ServiceError::FeedbackPending);
+        }
+        if user.contexts.num_events() != self.instance.num_events()
+            || user.contexts.dim() != self.instance.dim()
+        {
+            return Err(ServiceError::ContextShapeMismatch);
+        }
+        let view = SelectionView {
+            t: self.t,
+            user_capacity: user.capacity,
+            contexts: &user.contexts,
+            conflicts: self.instance.conflicts(),
+            remaining: &self.remaining,
+        };
+        let arrangement = self.policy.select(&view);
+        validate_arrangement(
+            &arrangement,
+            self.instance.conflicts(),
+            &self.remaining,
+            user.capacity,
+        )
+        .map_err(|e| ServiceError::PolicyProducedInfeasible(e.to_string()))?;
+        self.pending = Some((arrangement.clone(), user.contexts.clone()));
+        Ok(arrangement)
+    }
+
+    /// Records the user's accept/reject answers for the pending
+    /// proposal, updates the learner, and decrements capacities of
+    /// accepted events. Returns the round reward.
+    ///
+    /// # Errors
+    /// [`ServiceError::NoPendingProposal`] or
+    /// [`ServiceError::FeedbackLengthMismatch`].
+    pub fn feedback(&mut self, accepted: &[bool]) -> Result<u32, ServiceError> {
+        let (arrangement, contexts) = self
+            .pending
+            .take()
+            .ok_or(ServiceError::NoPendingProposal)?;
+        if accepted.len() != arrangement.len() {
+            // Restore the pending state: the caller may retry correctly.
+            let expected = arrangement.len();
+            self.pending = Some((arrangement, contexts));
+            return Err(ServiceError::FeedbackLengthMismatch {
+                expected,
+                got: accepted.len(),
+            });
+        }
+        let fb = Feedback::new(accepted.to_vec());
+        for (v, ok) in fb.zip(&arrangement) {
+            if ok {
+                // Validation at propose time guarantees remaining > 0.
+                self.remaining[v.index()] -= 1;
+            }
+        }
+        self.policy.observe(self.t, &contexts, &arrangement, &fb);
+        let reward = fb.reward();
+        self.accounting.record_round(arrangement.len(), reward);
+        self.t += 1;
+        Ok(reward)
+    }
+
+    /// Number of events that still have capacity.
+    pub fn available_events(&self) -> usize {
+        self.remaining.iter().filter(|&&c| c > 0).count()
+    }
+
+    /// Remaining capacity of one event.
+    pub fn remaining_capacity(&self, v: EventId) -> u32 {
+        self.remaining[v.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fasea_bandit::LinUcb;
+    use fasea_core::{ConflictGraph, ProblemMode};
+
+    fn service(caps: Vec<u32>) -> ArrangementService {
+        let n = caps.len();
+        let instance =
+            ProblemInstance::new(caps, ConflictGraph::new(n), 2, ProblemMode::Fasea);
+        ArrangementService::new(instance, Box::new(LinUcb::new(2, 1.0, 2.0)))
+    }
+
+    fn arrival(n: usize, cu: u32) -> UserArrival {
+        let mut ctx = ContextMatrix::from_fn(n, 2, |v, j| ((v + j + 1) % 3) as f64 * 0.3);
+        ctx.normalize_rows();
+        UserArrival::new(cu, ctx)
+    }
+
+    #[test]
+    fn propose_feedback_cycle() {
+        let mut svc = service(vec![2, 2, 2]);
+        let user = arrival(3, 2);
+        let a = svc.propose(&user).unwrap();
+        assert!(!a.is_empty());
+        assert!(svc.has_pending());
+        let reward = svc.feedback(&vec![true; a.len()]).unwrap();
+        assert_eq!(reward as usize, a.len());
+        assert_eq!(svc.rounds_completed(), 1);
+        assert!(!svc.has_pending());
+        // Accepted events lost capacity.
+        let consumed: u32 = a
+            .iter()
+            .map(|v| 2 - svc.remaining_capacity(v))
+            .sum();
+        assert_eq!(consumed as usize, a.len());
+    }
+
+    #[test]
+    fn double_propose_rejected() {
+        let mut svc = service(vec![1, 1]);
+        let user = arrival(2, 1);
+        let _ = svc.propose(&user).unwrap();
+        assert_eq!(svc.propose(&user), Err(ServiceError::FeedbackPending));
+    }
+
+    #[test]
+    fn feedback_without_proposal_rejected() {
+        let mut svc = service(vec![1]);
+        assert_eq!(svc.feedback(&[true]), Err(ServiceError::NoPendingProposal));
+    }
+
+    #[test]
+    fn mismatched_feedback_keeps_pending_state() {
+        let mut svc = service(vec![1, 1, 1]);
+        let user = arrival(3, 2);
+        let a = svc.propose(&user).unwrap();
+        let err = svc.feedback(&vec![true; a.len() + 1]).unwrap_err();
+        assert!(matches!(err, ServiceError::FeedbackLengthMismatch { .. }));
+        // Still pending; correct feedback now succeeds.
+        assert!(svc.has_pending());
+        assert!(svc.feedback(&vec![false; a.len()]).is_ok());
+    }
+
+    #[test]
+    fn context_shape_checked() {
+        let mut svc = service(vec![1, 1]);
+        let bad = UserArrival::new(1, ContextMatrix::zeros(3, 2));
+        assert_eq!(svc.propose(&bad), Err(ServiceError::ContextShapeMismatch));
+        let bad_dim = UserArrival::new(1, ContextMatrix::zeros(2, 5));
+        assert_eq!(svc.propose(&bad_dim), Err(ServiceError::ContextShapeMismatch));
+    }
+
+    #[test]
+    fn capacities_deplete_until_no_events_available() {
+        let mut svc = service(vec![1, 1]);
+        for _ in 0..2 {
+            let user = arrival(2, 2);
+            let a = svc.propose(&user).unwrap();
+            svc.feedback(&vec![true; a.len()]).unwrap();
+        }
+        assert_eq!(svc.available_events(), 0);
+        // Further proposals return empty arrangements, legally.
+        let user = arrival(2, 2);
+        let a = svc.propose(&user).unwrap();
+        assert!(a.is_empty());
+        svc.feedback(&[]).unwrap();
+    }
+
+    #[test]
+    fn learner_adapts_across_rounds() {
+        // Feed 30 rounds where only event 0 is ever accepted; the
+        // learner should then rank event 0 first.
+        let mut svc = service(vec![100, 100]);
+        for _ in 0..30 {
+            let user = arrival(2, 2);
+            let a = svc.propose(&user).unwrap();
+            let fb: Vec<bool> = a.iter().map(|v| v == EventId(0)).collect();
+            svc.feedback(&fb).unwrap();
+        }
+        let user = arrival(2, 1);
+        let a = svc.propose(&user).unwrap();
+        svc.feedback(&vec![true; a.len()]).unwrap();
+        assert_eq!(a.events(), &[EventId(0)]);
+        assert!(svc.accounting().total_rewards() > 0);
+        assert_eq!(svc.policy_name(), "UCB");
+    }
+}

@@ -1,0 +1,115 @@
+//! Parallel execution of independent experiment cells.
+//!
+//! A paper figure is typically a sweep — the same simulation repeated
+//! over a parameter grid (|V|, d, cr, λ, α, …). Cells are independent,
+//! so they fan out over crossbeam scoped threads, bounded by the
+//! available parallelism.
+
+/// Runs `jobs` (one closure per experiment cell) with at most
+/// `max_threads` running concurrently, returning results in input order.
+///
+/// `max_threads = 0` means "use available parallelism".
+pub fn run_parallel<T, F>(jobs: Vec<F>, max_threads: usize) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let threads = if max_threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    } else {
+        max_threads
+    };
+    let n = jobs.len();
+    let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    if n == 0 {
+        return Vec::new();
+    }
+
+    // Work queue of (index, job); worker threads pop until empty.
+    let queue: std::sync::Mutex<Vec<(usize, F)>> =
+        std::sync::Mutex::new(jobs.into_iter().enumerate().rev().collect());
+    let slots: Vec<std::sync::Mutex<&mut Option<T>>> =
+        results.iter_mut().map(std::sync::Mutex::new).collect();
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            scope.spawn(|_| loop {
+                let job = queue.lock().expect("sweep queue poisoned").pop();
+                match job {
+                    Some((i, f)) => {
+                        let out = f();
+                        **slots[i].lock().expect("sweep slot poisoned") = Some(out);
+                    }
+                    None => break,
+                }
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+
+    drop(slots);
+    results
+        .into_iter()
+        .map(|r| r.expect("sweep job did not produce a result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let jobs: Vec<_> = (0..32)
+            .map(|i| move || i * 10)
+            .collect();
+        let out = run_parallel(jobs, 4);
+        assert_eq!(out, (0..32).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn runs_with_single_thread() {
+        let jobs: Vec<_> = (0..5).map(|i| move || i + 1).collect();
+        assert_eq!(run_parallel(jobs, 1), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn zero_means_available_parallelism() {
+        let jobs: Vec<_> = (0..3).map(|i| move || i).collect();
+        assert_eq!(run_parallel(jobs, 0), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_job_list() {
+        let jobs: Vec<Box<dyn FnOnce() -> i32 + Send>> = vec![];
+        let out: Vec<i32> = run_parallel(jobs, 2);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn jobs_actually_run_concurrently() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::time::Duration;
+        let live = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let jobs: Vec<_> = (0..8)
+            .map(|_| {
+                let live = &live;
+                let peak = &peak;
+                move || {
+                    let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(Duration::from_millis(30));
+                    live.fetch_sub(1, Ordering::SeqCst);
+                }
+            })
+            .collect();
+        run_parallel(jobs, 4);
+        assert!(
+            peak.load(Ordering::SeqCst) >= 2,
+            "no observed concurrency"
+        );
+    }
+}

@@ -1,0 +1,178 @@
+//! Counter-based common random numbers (CRN).
+//!
+//! FASEA compares five policies plus OPT against each other on the same
+//! context stream. If each policy drew its own acceptance coins, regret
+//! curves would mix policy quality with coin-flip luck. Instead the
+//! simulator derives the uniform draw for "does user `t` accept event `v`"
+//! from a **stateless hash** of `(seed, t, v)`: every policy that arranges
+//! event `v` at time `t` sees exactly the same coin, arranged or not.
+//! This is the classic common-random-numbers variance-reduction device,
+//! and it also makes runs resumable and order-independent.
+//!
+//! The hash is SplitMix64's finaliser, which passes the usual avalanche
+//! tests and is two multiplications and three xor-shifts — effectively
+//! free next to the `O(d·|V|)` per-round linear algebra.
+
+/// Stateless uniform streams indexed by `(tag, t, v)` counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoinStream {
+    seed: u64,
+}
+
+/// SplitMix64 finaliser: a bijective avalanche mix on 64 bits.
+#[inline]
+pub fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Converts the top 53 bits of `x` to a uniform `f64` in `[0, 1)`.
+#[inline]
+pub fn u64_to_unit_f64(x: u64) -> f64 {
+    // 2^-53 scaling of a 53-bit integer: exactly representable, never 1.0.
+    (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl CoinStream {
+    /// Creates a stream keyed by `seed`.
+    pub fn new(seed: u64) -> Self {
+        CoinStream { seed }
+    }
+
+    /// The stream's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Uniform draw in `[0, 1)` for counter pair `(t, v)`.
+    ///
+    /// The three inputs are combined with odd multipliers before the
+    /// avalanche mix so that neighbouring `(t, v)` pairs land far apart.
+    #[inline]
+    pub fn uniform(&self, t: u64, v: u64) -> f64 {
+        u64_to_unit_f64(mix64(
+            self.seed
+                ^ t.wrapping_mul(0xA24BAED4963EE407)
+                ^ v.wrapping_mul(0x9FB21C651E98DF25),
+        ))
+    }
+
+    /// Uniform draw with an extra domain-separation tag, for callers that
+    /// need several independent streams over the same `(t, v)` grid
+    /// (e.g. one for feedback coins, one for exploration coins).
+    #[inline]
+    pub fn uniform_tagged(&self, tag: u64, t: u64, v: u64) -> f64 {
+        u64_to_unit_f64(mix64(
+            self.seed
+                ^ mix64(tag)
+                ^ t.wrapping_mul(0xA24BAED4963EE407)
+                ^ v.wrapping_mul(0x9FB21C651E98DF25),
+        ))
+    }
+
+    /// Derives a child stream, e.g. per-policy exploration randomness that
+    /// must *not* be shared across policies.
+    pub fn child(&self, tag: u64) -> CoinStream {
+        CoinStream {
+            seed: mix64(self.seed ^ mix64(tag ^ 0xD6E8FEB86659FD93)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let s = CoinStream::new(123);
+        assert_eq!(s.uniform(5, 9), s.uniform(5, 9));
+        assert_eq!(
+            CoinStream::new(123).uniform(5, 9),
+            CoinStream::new(123).uniform(5, 9)
+        );
+    }
+
+    #[test]
+    fn different_counters_give_different_draws() {
+        let s = CoinStream::new(1);
+        let a = s.uniform(1, 1);
+        assert_ne!(a, s.uniform(1, 2));
+        assert_ne!(a, s.uniform(2, 1));
+        assert_ne!(a, CoinStream::new(2).uniform(1, 1));
+    }
+
+    #[test]
+    fn in_unit_interval() {
+        let s = CoinStream::new(99);
+        for t in 0..100 {
+            for v in 0..100 {
+                let u = s.uniform(t, v);
+                assert!((0.0..1.0).contains(&u), "u={u} at ({t},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn approximately_uniform() {
+        // Chi-square-ish sanity check: 10 buckets over 100k draws should
+        // each hold 10% ± 1%.
+        let s = CoinStream::new(2024);
+        let mut buckets = [0usize; 10];
+        let n = 100_000u64;
+        for i in 0..n {
+            let u = s.uniform(i / 317, i % 317);
+            buckets[(u * 10.0) as usize] += 1;
+        }
+        for (i, &c) in buckets.iter().enumerate() {
+            let frac = c as f64 / n as f64;
+            assert!((frac - 0.1).abs() < 0.01, "bucket {i}: {frac}");
+        }
+    }
+
+    #[test]
+    fn mean_close_to_half() {
+        let s = CoinStream::new(7);
+        let n = 50_000;
+        let sum: f64 = (0..n).map(|i| s.uniform(i, i * 31 + 7)).sum();
+        assert!((sum / n as f64 - 0.5).abs() < 0.005);
+    }
+
+    #[test]
+    fn tagged_streams_are_independent() {
+        let s = CoinStream::new(5);
+        let a = s.uniform_tagged(0, 3, 3);
+        let b = s.uniform_tagged(1, 3, 3);
+        assert_ne!(a, b);
+        // Tag 0 is NOT required to coincide with the untagged stream;
+        // just verify determinism.
+        assert_eq!(a, s.uniform_tagged(0, 3, 3));
+    }
+
+    #[test]
+    fn child_streams_differ_from_parent_and_siblings() {
+        let s = CoinStream::new(42);
+        let c0 = s.child(0);
+        let c1 = s.child(1);
+        assert_ne!(c0.seed(), s.seed());
+        assert_ne!(c0.seed(), c1.seed());
+        assert_ne!(c0.uniform(0, 0), c1.uniform(0, 0));
+    }
+
+    #[test]
+    fn mix64_is_bijective_on_samples() {
+        // Spot-check injectivity over a modest sample.
+        use std::collections::HashSet;
+        let outs: HashSet<u64> = (0..10_000u64).map(mix64).collect();
+        assert_eq!(outs.len(), 10_000);
+    }
+
+    #[test]
+    fn u64_to_unit_f64_bounds() {
+        assert_eq!(u64_to_unit_f64(0), 0.0);
+        assert!(u64_to_unit_f64(u64::MAX) < 1.0);
+        assert!(u64_to_unit_f64(u64::MAX) > 0.999_999_999);
+    }
+}

@@ -1,0 +1,395 @@
+//! Scalar distributions used by the Table 4 synthetic workload.
+//!
+//! Only the raw uniform source comes from `rand`; the transformations
+//! (polar Gaussian, inverse-CDF power law, Bernoulli thresholding) are
+//! implemented here so the workload generator is self-contained and
+//! auditable against the paper.
+
+use rand::Rng as _;
+
+/// A scalar distribution that can be sampled with the workspace RNG.
+pub trait Distribution {
+    /// Draws one sample.
+    fn sample(&self, rng: &mut crate::Rng) -> f64;
+
+    /// Theoretical mean, used by moment-matching tests.
+    fn mean(&self) -> f64;
+
+    /// Theoretical variance, used by moment-matching tests.
+    fn variance(&self) -> f64;
+
+    /// Fills a slice with i.i.d. samples.
+    fn sample_into(&self, rng: &mut crate::Rng, out: &mut [f64]) {
+        for x in out {
+            *x = self.sample(rng);
+        }
+    }
+}
+
+/// Continuous Uniform[a, b].
+///
+/// Table 4's default for both `θ` and `x` is Uniform[-1, 1].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    a: f64,
+    b: f64,
+}
+
+impl Uniform {
+    /// Creates Uniform[a, b].
+    ///
+    /// # Panics
+    /// Panics if `a > b` or either bound is non-finite.
+    pub fn new(a: f64, b: f64) -> Self {
+        assert!(a.is_finite() && b.is_finite(), "Uniform: bounds must be finite");
+        assert!(a <= b, "Uniform: a must be <= b");
+        Uniform { a, b }
+    }
+
+    /// The symmetric unit interval Uniform[-1, 1] used as the paper's
+    /// default distribution.
+    pub fn symmetric_unit() -> Self {
+        Uniform::new(-1.0, 1.0)
+    }
+
+    /// Lower bound.
+    pub fn low(&self) -> f64 {
+        self.a
+    }
+
+    /// Upper bound.
+    pub fn high(&self) -> f64 {
+        self.b
+    }
+}
+
+impl Distribution for Uniform {
+    fn sample(&self, rng: &mut crate::Rng) -> f64 {
+        self.a + (self.b - self.a) * rng.gen::<f64>()
+    }
+
+    fn mean(&self) -> f64 {
+        0.5 * (self.a + self.b)
+    }
+
+    fn variance(&self) -> f64 {
+        let w = self.b - self.a;
+        w * w / 12.0
+    }
+}
+
+/// Normal(μ, σ²) via the Marsaglia polar method.
+///
+/// The polar method produces samples in pairs; to keep `sample(&self)`
+/// stateless (no cached spare) we simply discard the second variate. For
+/// the workload-generation volumes of this project that costs < 2× of an
+/// already-cheap operation and keeps sampling order deterministic and
+/// independent of call history — which matters for reproducibility when
+/// different policies interleave their draws differently.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl Normal {
+    /// Creates Normal(mu, sigma²).
+    ///
+    /// # Panics
+    /// Panics if `sigma < 0` or either parameter is non-finite.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(mu.is_finite() && sigma.is_finite(), "Normal: parameters must be finite");
+        assert!(sigma >= 0.0, "Normal: sigma must be non-negative");
+        Normal { mu, sigma }
+    }
+
+    /// The standard normal N(0, 1).
+    pub fn standard() -> Self {
+        Normal::new(0.0, 1.0)
+    }
+
+    /// Mean parameter μ.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Standard deviation σ.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Draws one standard-normal variate with the polar method.
+    pub fn sample_standard(rng: &mut crate::Rng) -> f64 {
+        loop {
+            let u = 2.0 * rng.gen::<f64>() - 1.0;
+            let v = 2.0 * rng.gen::<f64>() - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                return u * (-2.0 * s.ln() / s).sqrt();
+            }
+        }
+    }
+}
+
+impl Distribution for Normal {
+    fn sample(&self, rng: &mut crate::Rng) -> f64 {
+        self.mu + self.sigma * Normal::sample_standard(rng)
+    }
+
+    fn mean(&self) -> f64 {
+        self.mu
+    }
+
+    fn variance(&self) -> f64 {
+        self.sigma * self.sigma
+    }
+}
+
+/// Power distribution on [0, 1] with density `f(x) = k·x^(k−1)`.
+///
+/// Table 4 lists "Power: 2". Sampling is by inverse CDF: `X = U^(1/k)`.
+/// For k = 2 the mass concentrates near 1 — the paper's Figure 5
+/// discussion ("under Power distribution, the values … are generally
+/// large (closer to 1)") pins down this parameterisation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerLaw {
+    k: f64,
+}
+
+impl PowerLaw {
+    /// Creates Power(k).
+    ///
+    /// # Panics
+    /// Panics if `k <= 0` or non-finite.
+    pub fn new(k: f64) -> Self {
+        assert!(k.is_finite() && k > 0.0, "PowerLaw: k must be positive");
+        PowerLaw { k }
+    }
+
+    /// Exponent k.
+    pub fn k(&self) -> f64 {
+        self.k
+    }
+}
+
+impl Distribution for PowerLaw {
+    fn sample(&self, rng: &mut crate::Rng) -> f64 {
+        rng.gen::<f64>().powf(1.0 / self.k)
+    }
+
+    fn mean(&self) -> f64 {
+        self.k / (self.k + 1.0)
+    }
+
+    fn variance(&self) -> f64 {
+        let k = self.k;
+        k / ((k + 2.0) * (k + 1.0) * (k + 1.0))
+    }
+}
+
+/// Bernoulli(p) returning 1.0 / 0.0, with `p` clamped to [0, 1].
+///
+/// The clamp mirrors the paper's feedback model: the "probability"
+/// `xᵀθ` of accepting an event can fall outside \[0,1\] early on (contexts
+/// and θ are only norm-bounded), in which case it saturates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bernoulli {
+    p: f64,
+}
+
+impl Bernoulli {
+    /// Creates Bernoulli(clamp(p, 0, 1)). NaN is treated as p = 0.
+    pub fn new(p: f64) -> Self {
+        let p = if p.is_nan() { 0.0 } else { p.clamp(0.0, 1.0) };
+        Bernoulli { p }
+    }
+
+    /// Success probability after clamping.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Evaluates the trial against an externally supplied uniform draw in
+    /// [0, 1): returns `true` iff `u < p`. This is how the simulator
+    /// applies common random numbers (see [`crate::crn`]).
+    #[inline]
+    pub fn trial_with(&self, u: f64) -> bool {
+        u < self.p
+    }
+}
+
+impl Distribution for Bernoulli {
+    fn sample(&self, rng: &mut crate::Rng) -> f64 {
+        if self.trial_with(rng.gen::<f64>()) {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        self.p
+    }
+
+    fn variance(&self) -> f64 {
+        self.p * (1.0 - self.p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng_from_seed;
+
+    /// Checks the empirical mean/variance of `dist` against theory.
+    fn check_moments(dist: &dyn Distribution, n: usize, tol_mean: f64, tol_var: f64) {
+        let mut rng = rng_from_seed(42);
+        let mut stats = crate::RunningStats::new();
+        for _ in 0..n {
+            stats.push(dist.sample(&mut rng));
+        }
+        assert!(
+            (stats.mean() - dist.mean()).abs() < tol_mean,
+            "mean {} vs {}",
+            stats.mean(),
+            dist.mean()
+        );
+        assert!(
+            (stats.variance() - dist.variance()).abs() < tol_var,
+            "var {} vs {}",
+            stats.variance(),
+            dist.variance()
+        );
+    }
+
+    #[test]
+    fn uniform_moments() {
+        check_moments(&Uniform::new(-1.0, 1.0), 200_000, 0.01, 0.01);
+        check_moments(&Uniform::new(2.0, 5.0), 200_000, 0.01, 0.02);
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let d = Uniform::new(-3.0, -1.0);
+        let mut rng = rng_from_seed(7);
+        for _ in 0..10_000 {
+            let x = d.sample(&mut rng);
+            assert!((-3.0..=-1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "a must be <= b")]
+    fn uniform_rejects_inverted_bounds() {
+        let _ = Uniform::new(1.0, 0.0);
+    }
+
+    #[test]
+    fn normal_moments() {
+        check_moments(&Normal::standard(), 200_000, 0.02, 0.03);
+        check_moments(&Normal::new(100.0, 10.0), 200_000, 0.2, 3.0);
+    }
+
+    #[test]
+    fn normal_zero_sigma_is_constant() {
+        let d = Normal::new(5.0, 0.0);
+        let mut rng = rng_from_seed(1);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut rng), 5.0);
+        }
+    }
+
+    #[test]
+    fn normal_symmetry() {
+        // P(X > mu) should be ~0.5.
+        let d = Normal::new(2.0, 3.0);
+        let mut rng = rng_from_seed(9);
+        let above = (0..100_000).filter(|_| d.sample(&mut rng) > 2.0).count();
+        let frac = above as f64 / 100_000.0;
+        assert!((frac - 0.5).abs() < 0.01, "frac={frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma must be non-negative")]
+    fn normal_rejects_negative_sigma() {
+        let _ = Normal::new(0.0, -1.0);
+    }
+
+    #[test]
+    fn power_moments() {
+        // k=2: mean 2/3, var 2/(4*9) = 1/18.
+        check_moments(&PowerLaw::new(2.0), 200_000, 0.01, 0.01);
+        check_moments(&PowerLaw::new(5.0), 200_000, 0.01, 0.01);
+    }
+
+    #[test]
+    fn power_concentrates_near_one_for_k2() {
+        let d = PowerLaw::new(2.0);
+        let mut rng = rng_from_seed(3);
+        let above_half = (0..50_000).filter(|_| d.sample(&mut rng) > 0.5).count();
+        // P(X > 0.5) = 1 - 0.25 = 0.75.
+        let frac = above_half as f64 / 50_000.0;
+        assert!((frac - 0.75).abs() < 0.01, "frac={frac}");
+    }
+
+    #[test]
+    fn power_in_unit_interval() {
+        let d = PowerLaw::new(2.0);
+        let mut rng = rng_from_seed(11);
+        for _ in 0..10_000 {
+            let x = d.sample(&mut rng);
+            assert!((0.0..=1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn bernoulli_clamps() {
+        assert_eq!(Bernoulli::new(1.7).p(), 1.0);
+        assert_eq!(Bernoulli::new(-0.2).p(), 0.0);
+        assert_eq!(Bernoulli::new(f64::NAN).p(), 0.0);
+        assert_eq!(Bernoulli::new(0.3).p(), 0.3);
+    }
+
+    #[test]
+    fn bernoulli_moments() {
+        check_moments(&Bernoulli::new(0.3), 200_000, 0.005, 0.005);
+    }
+
+    #[test]
+    fn bernoulli_trial_with_is_threshold() {
+        let b = Bernoulli::new(0.4);
+        assert!(b.trial_with(0.0));
+        assert!(b.trial_with(0.399));
+        assert!(!b.trial_with(0.4));
+        assert!(!b.trial_with(0.999));
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut rng = rng_from_seed(5);
+        let always = Bernoulli::new(1.0);
+        let never = Bernoulli::new(0.0);
+        for _ in 0..1000 {
+            assert_eq!(always.sample(&mut rng), 1.0);
+            assert_eq!(never.sample(&mut rng), 0.0);
+        }
+    }
+
+    #[test]
+    fn sample_into_fills_slice() {
+        let mut rng = rng_from_seed(2);
+        let mut buf = [0.0; 16];
+        Uniform::new(1.0, 2.0).sample_into(&mut rng, &mut buf);
+        assert!(buf.iter().all(|&x| (1.0..=2.0).contains(&x)));
+    }
+
+    #[test]
+    fn sampling_is_deterministic_under_seed() {
+        let d = Normal::standard();
+        let mut a = rng_from_seed(77);
+        let mut b = rng_from_seed(77);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut a), d.sample(&mut b));
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! Kendall's rank correlation coefficient.
+//!
+//! Figure 2 of the paper tracks, over time, the Kendall correlation
+//! between the ranking of events by a policy's *estimated* expected
+//! rewards and the ranking by the *true* expected rewards (`x_{t,v}ᵀθ`).
+//! The paper's formula is τ-a:
+//!
+//! ```text
+//! τ = (#concordant − #discordant) / (n(n−1)/2)
+//! ```
+//!
+//! Two implementations are provided: the transparent `O(n²)` pair count
+//! ([`kendall_tau_naive`]) and Knight's merge-sort inversion count
+//! ([`kendall_tau`]), which is what the experiment harness uses at
+//! |V| = 1000 over many checkpoints. Ties (in either coordinate) count
+//! as neither concordant nor discordant, matching τ-a on continuous data
+//! where ties have probability zero.
+
+/// Naive `O(n²)` Kendall τ-a.
+///
+/// Returns `None` if the slices have different lengths or fewer than two
+/// elements.
+pub fn kendall_tau_naive(a: &[f64], b: &[f64]) -> Option<f64> {
+    if a.len() != b.len() || a.len() < 2 {
+        return None;
+    }
+    let n = a.len();
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let da = a[i].partial_cmp(&a[j])?;
+            let db = b[i].partial_cmp(&b[j])?;
+            use std::cmp::Ordering::Equal;
+            if da == Equal || db == Equal {
+                continue;
+            }
+            if da == db {
+                concordant += 1;
+            } else {
+                discordant += 1;
+            }
+        }
+    }
+    let pairs = (n * (n - 1) / 2) as f64;
+    Some((concordant - discordant) as f64 / pairs)
+}
+
+/// Knight's `O(n log n)` Kendall τ-a.
+///
+/// Sorts by `a` (ties broken by `b`), then counts inversions of the `b`
+/// sequence by merge sort; tied groups are subtracted so the result
+/// matches [`kendall_tau_naive`] exactly. Returns `None` on length
+/// mismatch, fewer than two elements, or NaN input.
+///
+/// # Example
+///
+/// ```
+/// use fasea_stats::kendall_tau;
+///
+/// let truth = [0.9, 0.1, 0.5];
+/// assert_eq!(kendall_tau(&truth, &truth), Some(1.0)); // same ranking
+/// // One discordant pair of three: τ = (2 − 1) / 3.
+/// assert_eq!(kendall_tau(&[0.5, 0.1, 0.9], &truth), Some(1.0 / 3.0));
+/// ```
+pub fn kendall_tau(a: &[f64], b: &[f64]) -> Option<f64> {
+    if a.len() != b.len() || a.len() < 2 {
+        return None;
+    }
+    if a.iter().chain(b).any(|x| x.is_nan()) {
+        return None;
+    }
+    let n = a.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&i, &j| {
+        a[i].partial_cmp(&a[j])
+            .unwrap()
+            .then(b[i].partial_cmp(&b[j]).unwrap())
+    });
+
+    // Ties in `a`: pairs within a tied group never count.
+    let mut tied_a = 0i64;
+    // Pairs tied in both a and b (counted inside a-tied groups).
+    let mut tied_both = 0i64;
+    {
+        let mut i = 0;
+        while i < n {
+            let mut j = i + 1;
+            while j < n && a[idx[j]] == a[idx[i]] {
+                j += 1;
+            }
+            let g = (j - i) as i64;
+            tied_a += g * (g - 1) / 2;
+            // Within the a-tied group, count b-ties (group is b-sorted).
+            let mut k = i;
+            while k < j {
+                let mut m = k + 1;
+                while m < j && b[idx[m]] == b[idx[k]] {
+                    m += 1;
+                }
+                let h = (m - k) as i64;
+                tied_both += h * (h - 1) / 2;
+                k = m;
+            }
+            i = j;
+        }
+    }
+
+    // Extract the b-sequence in a-sorted order and count inversions.
+    let mut seq: Vec<f64> = idx.iter().map(|&i| b[i]).collect();
+    let mut buf = vec![0.0; n];
+    let discordant = merge_count(&mut seq, &mut buf) as i64;
+
+    // Ties in `b` overall (pairs tied in b never count either way).
+    let mut sorted_b: Vec<f64> = b.to_vec();
+    sorted_b.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    let mut tied_b = 0i64;
+    {
+        let mut i = 0;
+        while i < n {
+            let mut j = i + 1;
+            while j < n && sorted_b[j] == sorted_b[i] {
+                j += 1;
+            }
+            let g = (j - i) as i64;
+            tied_b += g * (g - 1) / 2;
+            i = j;
+        }
+    }
+
+    let total = (n as i64) * (n as i64 - 1) / 2;
+    // Pairs that are comparable in both coordinates:
+    //   total − tied_a − tied_b + tied_both   (inclusion–exclusion)
+    // Of those, `discordant` are inversions; concordant is the rest.
+    // Note: merge_count counts strict inversions of b in a-sorted order;
+    // pairs inside a-tied groups are b-sorted so contribute none, and
+    // b-ties are never strict inversions. So `discordant` is exact.
+    let comparable = total - tied_a - tied_b + tied_both;
+    let concordant = comparable - discordant;
+    Some((concordant - discordant) as f64 / total as f64)
+}
+
+/// Merge sort that returns the number of strict inversions.
+fn merge_count(seq: &mut [f64], buf: &mut [f64]) -> u64 {
+    let n = seq.len();
+    if n < 2 {
+        return 0;
+    }
+    let mid = n / 2;
+    let (left, right) = seq.split_at_mut(mid);
+    let mut inv = merge_count(left, &mut buf[..mid]) + merge_count(right, &mut buf[mid..]);
+    // Merge, counting right-before-left placements.
+    let (mut i, mut j, mut k) = (0usize, 0usize, 0usize);
+    while i < left.len() && j < right.len() {
+        if right[j] < left[i] {
+            buf[k] = right[j];
+            j += 1;
+            inv += (left.len() - i) as u64;
+        } else {
+            buf[k] = left[i];
+            i += 1;
+        }
+        k += 1;
+    }
+    while i < left.len() {
+        buf[k] = left[i];
+        i += 1;
+        k += 1;
+    }
+    while j < right.len() {
+        buf[k] = right[j];
+        j += 1;
+        k += 1;
+    }
+    seq.copy_from_slice(&buf[..n]);
+    inv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_rankings_give_one() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(kendall_tau_naive(&a, &a), Some(1.0));
+        assert_eq!(kendall_tau(&a, &a), Some(1.0));
+    }
+
+    #[test]
+    fn reversed_rankings_give_minus_one() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [4.0, 3.0, 2.0, 1.0];
+        assert_eq!(kendall_tau_naive(&a, &b), Some(-1.0));
+        assert_eq!(kendall_tau(&a, &b), Some(-1.0));
+    }
+
+    #[test]
+    fn known_small_example() {
+        // a: 1 2 3; b: 1 3 2 — pairs: (1,2)C, (1,3)C, (2,3)D => (2-1)/3.
+        let a = [1.0, 2.0, 3.0];
+        let b = [1.0, 3.0, 2.0];
+        let expect = (2.0 - 1.0) / 3.0;
+        assert!((kendall_tau_naive(&a, &b).unwrap() - expect).abs() < 1e-15);
+        assert!((kendall_tau(&a, &b).unwrap() - expect).abs() < 1e-15);
+    }
+
+    #[test]
+    fn ties_drop_pairs() {
+        // a has a tie; that pair contributes 0 to the numerator but the
+        // denominator stays n(n-1)/2 (τ-a as in the paper's formula).
+        let a = [1.0, 1.0, 2.0];
+        let b = [1.0, 2.0, 3.0];
+        // Comparable pairs: (0,2) C, (1,2) C => tau = 2/3.
+        let expect = 2.0 / 3.0;
+        assert!((kendall_tau_naive(&a, &b).unwrap() - expect).abs() < 1e-15);
+        assert!((kendall_tau(&a, &b).unwrap() - expect).abs() < 1e-15);
+    }
+
+    #[test]
+    fn fast_matches_naive_on_random_data() {
+        // Deterministic pseudo-random streams, including injected ties.
+        let mut state = 0x1234_5678_9ABC_DEF0u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state >> 16) % 1000) as f64 / 100.0
+        };
+        for n in [2usize, 3, 5, 10, 37, 100] {
+            let a: Vec<f64> = (0..n).map(|_| next()).collect();
+            let b: Vec<f64> = (0..n).map(|_| next()).collect();
+            let naive = kendall_tau_naive(&a, &b).unwrap();
+            let fast = kendall_tau(&a, &b).unwrap();
+            assert!(
+                (naive - fast).abs() < 1e-12,
+                "n={n}: naive {naive} vs fast {fast}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert_eq!(kendall_tau(&[1.0], &[1.0]), None);
+        assert_eq!(kendall_tau(&[1.0, 2.0], &[1.0]), None);
+        assert_eq!(kendall_tau(&[1.0, f64::NAN], &[1.0, 2.0]), None);
+        assert_eq!(kendall_tau_naive(&[], &[]), None);
+    }
+
+    #[test]
+    fn independent_rankings_near_zero() {
+        // Interleaved hash-derived sequences: expect |tau| small.
+        let a: Vec<f64> = (0..500u64)
+            .map(|i| crate::crn::mix64(i) as f64)
+            .collect();
+        let b: Vec<f64> = (0..500u64)
+            .map(|i| crate::crn::mix64(i ^ 0xDEADBEEF) as f64)
+            .collect();
+        let tau = kendall_tau(&a, &b).unwrap();
+        assert!(tau.abs() < 0.08, "tau={tau}");
+    }
+
+    #[test]
+    fn all_tied_gives_zero() {
+        let a = [1.0, 1.0, 1.0];
+        let b = [2.0, 3.0, 1.0];
+        assert_eq!(kendall_tau_naive(&a, &b), Some(0.0));
+        assert_eq!(kendall_tau(&a, &b), Some(0.0));
+    }
+}

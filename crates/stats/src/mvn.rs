@@ -1,0 +1,114 @@
+//! Multivariate normal sampling for Thompson Sampling.
+//!
+//! Algorithm 1 (line 7) samples `θ̃_t ∼ N(θ̂_t, q² Y⁻¹)`. Given the
+//! Cholesky factor `Y = L Lᵀ`, the transform `θ̃ = θ̂ + q · L⁻ᵀ z` with
+//! `z ∼ N(0, I)` has exactly that distribution, because
+//! `Cov(L⁻ᵀ z) = L⁻ᵀ L⁻¹ = Y⁻¹`. Working from the factor of the
+//! *precision* matrix `Y` (rather than factoring the covariance `Y⁻¹`)
+//! avoids ever materialising the inverse for sampling purposes.
+
+use crate::dist::Normal;
+use fasea_linalg::{Cholesky, Vector};
+
+/// Draws `mean + scale · L⁻ᵀ z` where `z ∼ N(0, I)` and `precision_factor`
+/// is the Cholesky factor of the precision matrix `Y`.
+///
+/// The result is distributed `N(mean, scale² · Y⁻¹)` — exactly the TS
+/// posterior sample of Algorithm 1 with `scale = q = R√(9 d ln(t/δ))`.
+///
+/// # Panics
+/// Panics if `mean.dim() != precision_factor.dim()`.
+pub fn sample_gaussian_with_precision_factor(
+    mean: &Vector,
+    scale: f64,
+    precision_factor: &Cholesky,
+    rng: &mut crate::Rng,
+) -> Vector {
+    assert_eq!(
+        mean.dim(),
+        precision_factor.dim(),
+        "sample_gaussian_with_precision_factor: dimension mismatch"
+    );
+    let z = Vector::from_fn(mean.dim(), |_| Normal::sample_standard(rng));
+    let mut sample = precision_factor.correlate_with_inverse_cov(&z);
+    sample.scale_mut(scale);
+    sample += mean;
+    sample
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng_from_seed;
+    use fasea_linalg::Matrix;
+
+    #[test]
+    fn identity_precision_reduces_to_iid_normal() {
+        let mut rng = rng_from_seed(4);
+        let ch = Cholesky::factor(&Matrix::identity(2)).unwrap();
+        let mean = Vector::from([1.0, -2.0]);
+        let mut s0 = crate::RunningStats::new();
+        let mut s1 = crate::RunningStats::new();
+        for _ in 0..50_000 {
+            let s = sample_gaussian_with_precision_factor(&mean, 1.0, &ch, &mut rng);
+            s0.push(s[0]);
+            s1.push(s[1]);
+        }
+        assert!((s0.mean() - 1.0).abs() < 0.02);
+        assert!((s1.mean() + 2.0).abs() < 0.02);
+        assert!((s0.variance() - 1.0).abs() < 0.03);
+        assert!((s1.variance() - 1.0).abs() < 0.03);
+    }
+
+    #[test]
+    fn covariance_matches_inverse_precision() {
+        // Precision Y = [[4, 2], [2, 3]] => covariance Y^{-1} = [[3,-2],[-2,4]]/8.
+        let y = Matrix::from_rows(2, 2, vec![4.0, 2.0, 2.0, 3.0]);
+        let ch = Cholesky::factor(&y).unwrap();
+        let mean = Vector::zeros(2);
+        let mut rng = rng_from_seed(10);
+        let n = 200_000;
+        let (mut c00, mut c01, mut c11) = (0.0, 0.0, 0.0);
+        for _ in 0..n {
+            let s = sample_gaussian_with_precision_factor(&mean, 1.0, &ch, &mut rng);
+            c00 += s[0] * s[0];
+            c01 += s[0] * s[1];
+            c11 += s[1] * s[1];
+        }
+        let nf = n as f64;
+        assert!((c00 / nf - 3.0 / 8.0).abs() < 0.01, "c00={}", c00 / nf);
+        assert!((c01 / nf + 2.0 / 8.0).abs() < 0.01, "c01={}", c01 / nf);
+        assert!((c11 / nf - 4.0 / 8.0).abs() < 0.01, "c11={}", c11 / nf);
+    }
+
+    #[test]
+    fn scale_scales_variance_quadratically() {
+        let ch = Cholesky::factor(&Matrix::identity(1)).unwrap();
+        let mean = Vector::zeros(1);
+        let mut rng = rng_from_seed(20);
+        let mut stats = crate::RunningStats::new();
+        for _ in 0..100_000 {
+            let s = sample_gaussian_with_precision_factor(&mean, 3.0, &ch, &mut rng);
+            stats.push(s[0]);
+        }
+        assert!((stats.variance() - 9.0).abs() < 0.2, "{}", stats.variance());
+    }
+
+    #[test]
+    fn zero_scale_returns_mean_exactly() {
+        let ch = Cholesky::factor(&Matrix::identity(3)).unwrap();
+        let mean = Vector::from([0.5, 0.25, -0.75]);
+        let mut rng = rng_from_seed(30);
+        let s = sample_gaussian_with_precision_factor(&mean, 0.0, &ch, &mut rng);
+        assert_eq!(s.as_slice(), mean.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dimension_mismatch_panics() {
+        let ch = Cholesky::factor(&Matrix::identity(2)).unwrap();
+        let mean = Vector::zeros(3);
+        let mut rng = rng_from_seed(1);
+        let _ = sample_gaussian_with_precision_factor(&mean, 1.0, &ch, &mut rng);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests for fasea-stats.
+
+use fasea_stats::{
+    dist::Distribution, kendall_tau, kendall_tau_naive, rng_from_seed, Bernoulli, CoinStream,
+    Normal, PowerLaw, RunningStats, Uniform,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The fast Kendall implementation agrees with the naive one on
+    /// arbitrary inputs, including heavy ties.
+    #[test]
+    fn kendall_fast_equals_naive(
+        pairs in proptest::collection::vec((0i32..20, 0i32..20), 2..64)
+    ) {
+        let a: Vec<f64> = pairs.iter().map(|&(x, _)| x as f64).collect();
+        let b: Vec<f64> = pairs.iter().map(|&(_, y)| y as f64).collect();
+        let naive = kendall_tau_naive(&a, &b).unwrap();
+        let fast = kendall_tau(&a, &b).unwrap();
+        prop_assert!((naive - fast).abs() < 1e-12, "naive {naive} fast {fast}");
+    }
+
+    /// τ is within [-1, 1] and antisymmetric under reversing one ranking.
+    #[test]
+    fn kendall_range_and_antisymmetry(
+        vals in proptest::collection::vec((-1000i64..1000, -1000i64..1000), 2..40)
+    ) {
+        // De-duplicate to avoid tie subtleties in the antisymmetry check.
+        let a: Vec<f64> = vals.iter().enumerate().map(|(i, &(x, _))| x as f64 + i as f64 * 1e-6).collect();
+        let b: Vec<f64> = vals.iter().enumerate().map(|(i, &(_, y))| y as f64 + i as f64 * 1e-7).collect();
+        let tau = kendall_tau(&a, &b).unwrap();
+        prop_assert!((-1.0..=1.0).contains(&tau));
+        let neg_b: Vec<f64> = b.iter().map(|y| -y).collect();
+        let tau_neg = kendall_tau(&a, &neg_b).unwrap();
+        prop_assert!((tau + tau_neg).abs() < 1e-12);
+    }
+
+    /// Uniform samples always fall inside the bounds.
+    #[test]
+    fn uniform_in_bounds(a in -100.0f64..100.0, width in 0.0f64..50.0, seed in 0u64..1000) {
+        let d = Uniform::new(a, a + width);
+        let mut rng = rng_from_seed(seed);
+        for _ in 0..100 {
+            let x = d.sample(&mut rng);
+            prop_assert!(x >= a && x <= a + width);
+        }
+    }
+
+    /// Power samples always fall inside [0, 1].
+    #[test]
+    fn power_in_unit(k in 0.1f64..10.0, seed in 0u64..1000) {
+        let d = PowerLaw::new(k);
+        let mut rng = rng_from_seed(seed);
+        for _ in 0..100 {
+            let x = d.sample(&mut rng);
+            prop_assert!((0.0..=1.0).contains(&x));
+        }
+    }
+
+    /// Bernoulli samples are exactly 0 or 1 and obey clamping.
+    #[test]
+    fn bernoulli_binary(p in -1.0f64..2.0, seed in 0u64..1000) {
+        let d = Bernoulli::new(p);
+        prop_assert!((0.0..=1.0).contains(&d.p()));
+        let mut rng = rng_from_seed(seed);
+        for _ in 0..50 {
+            let x = d.sample(&mut rng);
+            prop_assert!(x == 0.0 || x == 1.0);
+        }
+    }
+
+    /// Normal with σ=0 is the constant μ.
+    #[test]
+    fn normal_degenerate(mu in -10.0f64..10.0, seed in 0u64..100) {
+        let d = Normal::new(mu, 0.0);
+        let mut rng = rng_from_seed(seed);
+        prop_assert_eq!(d.sample(&mut rng), mu);
+    }
+
+    /// CRN draws are deterministic functions of (seed, t, v) and live in [0,1).
+    #[test]
+    fn crn_deterministic_and_bounded(seed in any::<u64>(), t in any::<u64>(), v in any::<u64>()) {
+        let s1 = CoinStream::new(seed);
+        let s2 = CoinStream::new(seed);
+        let u = s1.uniform(t, v);
+        prop_assert_eq!(u, s2.uniform(t, v));
+        prop_assert!((0.0..1.0).contains(&u));
+    }
+
+    /// RunningStats::merge is associative with sequential pushes.
+    #[test]
+    fn running_stats_merge_consistency(
+        xs in proptest::collection::vec(-1e6f64..1e6, 1..100),
+        split in 0usize..100
+    ) {
+        let split = split.min(xs.len());
+        let mut whole = RunningStats::new();
+        xs.iter().for_each(|&x| whole.push(x));
+        let mut l = RunningStats::new();
+        let mut r = RunningStats::new();
+        xs[..split].iter().for_each(|&x| l.push(x));
+        xs[split..].iter().for_each(|&x| r.push(x));
+        l.merge(&r);
+        prop_assert_eq!(l.count(), whole.count());
+        prop_assert!((l.mean() - whole.mean()).abs() < 1e-6 * (1.0 + whole.mean().abs()));
+        prop_assert!((l.variance() - whole.variance()).abs() < 1e-4 * (1.0 + whole.variance().abs()));
+    }
+}

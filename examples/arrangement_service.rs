@@ -1,0 +1,142 @@
+//! A line-oriented arrangement service over stdin/stdout — the shape a
+//! real EBSN backend would embed [`fasea::sim::ArrangementService`] in.
+//!
+//! Protocol (one request per line):
+//!
+//! ```text
+//! user <c_u> <x_11> … <x_1d>  <x_21> … <x_nd>   propose for an arrival
+//!                                               (n·d context values)
+//! feedback <0|1> <0|1> …                        answers for the pending
+//!                                               arrangement, in order
+//! status                                        remaining capacities
+//! quit
+//! ```
+//!
+//! Demo mode (no stdin piping needed): run without arguments and the
+//! example synthesises 20 users itself, driving the service end-to-end:
+//!
+//! ```text
+//! cargo run --release --example arrangement_service
+//! echo interactive | cargo run --release --example arrangement_service -- --stdin
+//! ```
+
+use fasea::bandit::LinUcb;
+use fasea::core::{ConflictGraph, ContextMatrix, ProblemInstance, ProblemMode, UserArrival};
+use fasea::sim::ArrangementService;
+use std::io::BufRead as _;
+
+const NUM_EVENTS: usize = 8;
+const DIM: usize = 4;
+
+fn make_service() -> ArrangementService {
+    let instance = ProblemInstance::new(
+        vec![5; NUM_EVENTS],
+        ConflictGraph::from_pairs(NUM_EVENTS, &[(0, 1), (2, 3)]),
+        DIM,
+        ProblemMode::Fasea,
+    );
+    ArrangementService::new(instance, Box::new(LinUcb::new(DIM, 1.0, 2.0)))
+}
+
+fn main() {
+    let stdin_mode = std::env::args().any(|a| a == "--stdin");
+    let mut service = make_service();
+    println!(
+        "arrangement service: {} events, d = {}, policy {}",
+        NUM_EVENTS,
+        DIM,
+        service.policy_name()
+    );
+
+    if stdin_mode {
+        run_stdin(&mut service);
+    } else {
+        run_demo(&mut service);
+    }
+}
+
+/// Self-driving demo: synthetic arrivals, feedback from a hidden rule
+/// ("users accept events whose first feature dominates").
+fn run_demo(service: &mut ArrangementService) {
+    for round in 0..20u64 {
+        let mut ctx = ContextMatrix::from_fn(NUM_EVENTS, DIM, |v, j| {
+            (((round as usize + v * 3 + j * 5) % 7) as f64) / 7.0
+        });
+        ctx.normalize_rows();
+        let user = UserArrival::new(2, ctx);
+        let arrangement = service.propose(&user).expect("propose");
+        let accepted: Vec<bool> = arrangement
+            .iter()
+            .map(|v| {
+                let x = user.contexts.context(v);
+                x[0] > 0.5 * x[1..].iter().sum::<f64>()
+            })
+            .collect();
+        let shown: Vec<String> = arrangement.iter().map(|v| v.to_string()).collect();
+        let reward = service.feedback(&accepted).expect("feedback");
+        println!(
+            "round {:>2}: arranged [{}] -> accepted {}/{}",
+            round + 1,
+            shown.join(", "),
+            reward,
+            accepted.len()
+        );
+    }
+    println!(
+        "done: accept ratio {:.2}, events still available: {}",
+        service.accounting().accept_ratio(),
+        service.available_events()
+    );
+}
+
+/// Line-protocol mode.
+fn run_stdin(service: &mut ArrangementService) {
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("user") => {
+                let fields: Vec<f64> = parts.filter_map(|p| p.parse().ok()).collect();
+                if fields.len() != 1 + NUM_EVENTS * DIM {
+                    println!("err expected c_u plus {} context values", NUM_EVENTS * DIM);
+                    continue;
+                }
+                let cu = fields[0] as u32;
+                let ctx = ContextMatrix::from_rows(NUM_EVENTS, DIM, fields[1..].to_vec());
+                match service.propose(&UserArrival::new(cu, ctx)) {
+                    Ok(a) => {
+                        let ids: Vec<String> =
+                            a.iter().map(|v| v.index().to_string()).collect();
+                        println!("arranged {}", ids.join(" "));
+                    }
+                    Err(e) => println!("err {e}"),
+                }
+            }
+            Some("feedback") => {
+                let answers: Vec<bool> = parts.filter_map(|p| p.parse::<u8>().ok())
+                    .map(|b| b != 0)
+                    .collect();
+                match service.feedback(&answers) {
+                    Ok(r) => println!("reward {r}"),
+                    Err(e) => println!("err {e}"),
+                }
+            }
+            Some("status") => {
+                let caps: Vec<String> =
+                    service.remaining().iter().map(|c| c.to_string()).collect();
+                println!(
+                    "rounds {} accept_ratio {:.3} remaining {}",
+                    service.rounds_completed(),
+                    service.accounting().accept_ratio(),
+                    caps.join(" ")
+                );
+            }
+            Some("quit") | None => break,
+            Some(other) => println!("err unknown command {other}"),
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Cross-crate integration tests for the real-dataset pipeline
+//! (Figure 10 / Table 7 machinery).
+
+use fasea::bandit::{Exploit, LinUcb, Policy, RandomPolicy, StaticScorePolicy, ThompsonSampling};
+use fasea::datagen::real::{DIM, PAPER_YES_COUNTS};
+use fasea::datagen::RealDataset;
+use fasea::sim::real_runner::full_knowledge_ratio;
+use fasea::sim::{run_real, CuMode, RealRunConfig};
+
+fn dataset() -> RealDataset {
+    RealDataset::generate(2016)
+}
+
+#[test]
+fn table7_cu_row_reproduced_exactly() {
+    let d = dataset();
+    for (u, &expect) in PAPER_YES_COUNTS.iter().enumerate() {
+        assert_eq!(CuMode::Full.capacity(&d, u), expect as u32);
+    }
+    assert_eq!(CuMode::Five.capacity(&d, 0), 5);
+}
+
+#[test]
+fn ucb_dominates_table7_style_cells() {
+    // Run a subset of users at c_u = 5 and check the paper's ordering:
+    // UCB ahead of TS and Random everywhere, and strong in absolute
+    // terms for most users.
+    let d = dataset();
+    let mut ucb_wins = 0;
+    let users = [0usize, 1, 4, 8, 12];
+    for &user in &users {
+        let cfg = RealRunConfig {
+            user,
+            cu_mode: CuMode::Five,
+            rounds: 600,
+            checkpoints: vec![600],
+        };
+        let mut policies: Vec<Box<dyn Policy>> = vec![
+            Box::new(LinUcb::new(DIM, 1.0, 2.0)),
+            Box::new(ThompsonSampling::new(DIM, 1.0, 0.1, user as u64)),
+            Box::new(RandomPolicy::new(user as u64 ^ 5)),
+        ];
+        let results = run_real(&d, &cfg, &mut policies);
+        let ucb = results[0].accounting.accept_ratio();
+        let ts = results[1].accounting.accept_ratio();
+        let random = results[2].accounting.accept_ratio();
+        assert!(ucb > random, "user {user}: UCB {ucb} <= Random {random}");
+        if ucb > ts {
+            ucb_wins += 1;
+        }
+    }
+    assert!(
+        ucb_wins >= 4,
+        "UCB should beat TS on nearly every user (won {ucb_wins}/5)"
+    );
+}
+
+#[test]
+fn ucb_escapes_deadlocks_exploit_may_not() {
+    // For every user: simulate both policies; wherever Exploit ends at
+    // exactly 0, UCB must not (the paper's u₈/u₁₀/u₁₆ observation).
+    let d = dataset();
+    let mut deadlocked_users = 0;
+    for user in 0..d.num_users() {
+        let cfg = RealRunConfig {
+            user,
+            cu_mode: CuMode::Five,
+            rounds: 400,
+            checkpoints: vec![400],
+        };
+        let mut policies: Vec<Box<dyn Policy>> = vec![
+            Box::new(Exploit::new(DIM, 1.0)),
+            Box::new(LinUcb::new(DIM, 1.0, 2.0)),
+        ];
+        let results = run_real(&d, &cfg, &mut policies);
+        let exploit_ratio = results[0].accounting.accept_ratio();
+        let ucb_ratio = results[1].accounting.accept_ratio();
+        if exploit_ratio == 0.0 {
+            deadlocked_users += 1;
+            assert!(
+                ucb_ratio > 0.0,
+                "user {user}: UCB also stuck at zero"
+            );
+        }
+    }
+    // The dead-lock phenomenon is possible but not guaranteed for our
+    // synthesised labels; the invariant above (UCB never joins a
+    // dead-lock) is the paper's robustness claim.
+    println!("Exploit dead-locked on {deadlocked_users} users");
+}
+
+#[test]
+fn full_knowledge_bounds_every_policy() {
+    let d = dataset();
+    for &user in &[2usize, 9, 17] {
+        for mode in [CuMode::Five, CuMode::Full] {
+            let fk = full_knowledge_ratio(&d, user, mode);
+            let cfg = RealRunConfig {
+                user,
+                cu_mode: mode,
+                rounds: 500,
+                checkpoints: vec![500],
+            };
+            let mut policies: Vec<Box<dyn Policy>> = vec![
+                Box::new(LinUcb::new(DIM, 1.0, 2.0)),
+                Box::new(RandomPolicy::new(3)),
+            ];
+            let results = run_real(&d, &cfg, &mut policies);
+            for r in &results {
+                // Accept ratio can approach but should not exceed the
+                // Full Knowledge bound by more than rounding slack: FK
+                // counts the best achievable simultaneous acceptance.
+                assert!(
+                    r.accounting.accept_ratio() <= fk + 1e-9,
+                    "user {user} mode {} policy {}: {} > FK {fk}",
+                    mode.label(),
+                    r.name,
+                    r.accounting.accept_ratio()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn online_greedy_is_feedback_oblivious_and_static() {
+    let d = dataset();
+    let user = 3;
+    let cfg = RealRunConfig {
+        user,
+        cu_mode: CuMode::Five,
+        rounds: 100,
+        checkpoints: vec![1, 50, 100],
+    };
+    let mut policies: Vec<Box<dyn Policy>> = vec![Box::new(StaticScorePolicy::new(
+        "Online",
+        d.online_greedy_scores(user),
+    ))];
+    let results = run_real(&d, &cfg, &mut policies);
+    let cps = &results[0].checkpoints;
+    // Single-round accept ratio is constant across rounds (the paper
+    // reports its single-round rather than accumulative ratio for this
+    // reason): cumulative ratio at every checkpoint is identical.
+    assert!((cps[0].1 - cps[1].1).abs() < 1e-12);
+    assert!((cps[1].1 - cps[2].1).abs() < 1e-12);
+}
