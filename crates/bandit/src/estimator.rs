@@ -114,10 +114,7 @@ impl RidgeEstimator {
     /// UCB confidence width `√(xᵀ Y⁻¹ x)` (Algorithm 3, line 8, without
     /// the `α` multiplier).
     pub fn confidence_width(&self, x: &[f64]) -> f64 {
-        self.sm
-            .inv_quadratic_form(&Vector::from(x))
-            .max(0.0)
-            .sqrt()
+        self.sm.inv_quadratic_form(&Vector::from(x)).max(0.0).sqrt()
     }
 
     /// A Cholesky factor of the current `Y`, for TS posterior sampling.

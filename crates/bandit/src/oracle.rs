@@ -280,9 +280,7 @@ mod tests {
         let scores = [0.5, 0.9, 0.5, 0.2, 0.3];
         let greedy = oracle_greedy(&scores, &g, &[1; 5], 2);
         let best = oracle_exhaustive(&scores, &g, &[1; 5], 2);
-        assert!(
-            positive_score_sum(&best, &scores) >= positive_score_sum(&greedy, &scores) - 1e-12
-        );
+        assert!(positive_score_sum(&best, &scores) >= positive_score_sum(&greedy, &scores) - 1e-12);
         // Greedy takes v2 (0.9, blocking v1 and v3) then v5 (0.3) = 1.2;
         // the optimum {v2, v5} = 1.2 coincides here — check the exact set.
         assert_eq!(ids(&best), vec![1, 4]);
@@ -301,7 +299,10 @@ mod tests {
         let bs = positive_score_sum(&best, &scores);
         assert_eq!(ids(&greedy), vec![0]); // trapped at the centre
         assert_eq!(ids(&best), vec![1, 2, 3, 4]);
-        assert!(gs >= bs / cu as f64 - 1e-12, "Theorem 1 violated: {gs} < {bs}/{cu}");
+        assert!(
+            gs >= bs / cu as f64 - 1e-12,
+            "Theorem 1 violated: {gs} < {bs}/{cu}"
+        );
     }
 
     #[test]

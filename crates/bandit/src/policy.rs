@@ -1,5 +1,6 @@
 //! The policy interface shared by every FASEA strategy.
 
+use crate::SnapshotError;
 use fasea_core::{Arrangement, ConflictGraph, ContextMatrix, Feedback};
 
 /// Everything a policy may look at when arranging events for the current
@@ -81,6 +82,35 @@ pub trait Policy {
     /// Approximate bytes of learner state (excluding the shared input
     /// data), for the paper's memory columns in Tables 5 and 6.
     fn state_bytes(&self) -> usize;
+
+    /// Serialises the policy's durable learning state (estimator
+    /// matrices, private RNG position, exploration counters) for a
+    /// service snapshot. Policies whose behaviour is fully determined
+    /// by their constructor parameters return an empty blob (the
+    /// default).
+    ///
+    /// Per-round ephemera (`last_scores`, caches) are deliberately
+    /// excluded: crash recovery re-executes `select` on the logged
+    /// contexts, which rebuilds them.
+    fn save_state(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    /// Restores state produced by [`Policy::save_state`] into a
+    /// freshly-constructed policy with identical parameters.
+    ///
+    /// # Errors
+    /// [`SnapshotError`] if the blob is damaged, shaped for different
+    /// parameters, or the policy is stateless but the blob is not.
+    fn restore_state(&mut self, blob: &[u8]) -> Result<(), SnapshotError> {
+        if blob.is_empty() {
+            Ok(())
+        } else {
+            Err(SnapshotError::Corrupt(
+                "policy carries no restorable state but blob is non-empty",
+            ))
+        }
+    }
 }
 
 #[cfg(test)]

@@ -42,7 +42,12 @@ impl Policy for RandomPolicy {
             *s = self.rng.gen::<f64>();
         }
         self.selected_once = true;
-        oracle_greedy(&self.scores, view.conflicts, view.remaining, view.user_capacity)
+        oracle_greedy(
+            &self.scores,
+            view.conflicts,
+            view.remaining,
+            view.user_capacity,
+        )
     }
 
     fn observe(&mut self, _: u64, _: &ContextMatrix, _: &Arrangement, _: &Feedback) {
@@ -58,8 +63,19 @@ impl Policy for RandomPolicy {
     }
 
     fn state_bytes(&self) -> usize {
-        self.scores.len() * std::mem::size_of::<f64>()
-            + std::mem::size_of::<fasea_stats::Rng>()
+        self.scores.len() * std::mem::size_of::<f64>() + std::mem::size_of::<fasea_stats::Rng>()
+    }
+
+    fn save_state(&self) -> Vec<u8> {
+        fasea_stats::rng_state(&self.rng).to_vec()
+    }
+
+    fn restore_state(&mut self, blob: &[u8]) -> Result<(), crate::SnapshotError> {
+        let state: [u8; 32] = blob
+            .try_into()
+            .map_err(|_| crate::SnapshotError::Corrupt("RNG state must be 32 bytes"))?;
+        self.rng = fasea_stats::rng_from_state(state);
+        Ok(())
     }
 }
 

@@ -27,7 +27,10 @@ impl StaticScorePolicy {
     /// # Panics
     /// Panics if `scores` is empty or contains non-finite values.
     pub fn new(name: &'static str, scores: Vec<f64>) -> Self {
-        assert!(!scores.is_empty(), "StaticScorePolicy: scores must be non-empty");
+        assert!(
+            !scores.is_empty(),
+            "StaticScorePolicy: scores must be non-empty"
+        );
         assert!(
             scores.iter().all(|s| s.is_finite()),
             "StaticScorePolicy: scores must be finite"
@@ -57,7 +60,12 @@ impl Policy for StaticScorePolicy {
             "StaticScorePolicy: score vector does not match |V|"
         );
         self.selected_once = true;
-        oracle_greedy(&self.scores, view.conflicts, view.remaining, view.user_capacity)
+        oracle_greedy(
+            &self.scores,
+            view.conflicts,
+            view.remaining,
+            view.user_capacity,
+        )
     }
 
     fn observe(&mut self, _: u64, _: &ContextMatrix, _: &Arrangement, _: &Feedback) {

@@ -103,7 +103,12 @@ impl Policy for ThompsonSampling {
             self.scores[v] = fasea_linalg::dot_slices(x, theta_tilde.as_slice());
         }
         self.selected_once = true;
-        oracle_greedy(&self.scores, view.conflicts, view.remaining, view.user_capacity)
+        oracle_greedy(
+            &self.scores,
+            view.conflicts,
+            view.remaining,
+            view.user_capacity,
+        )
     }
 
     fn observe(
@@ -133,6 +138,29 @@ impl Policy for ThompsonSampling {
         self.estimator.state_bytes()
             + self.scores.len() * std::mem::size_of::<f64>()
             + std::mem::size_of::<fasea_stats::Rng>()
+    }
+
+    fn save_state(&self) -> Vec<u8> {
+        // framed estimator | rng state (32 bytes). The RNG position is
+        // part of durable state: recovery must re-draw exactly the
+        // posterior samples the uninterrupted run would have drawn.
+        let mut out = Vec::new();
+        crate::snapshot::write_estimator_framed(&mut out, &self.estimator);
+        out.extend_from_slice(&fasea_stats::rng_state(&self.rng));
+        out
+    }
+
+    fn restore_state(&mut self, blob: &[u8]) -> Result<(), crate::SnapshotError> {
+        let mut at = 0usize;
+        let est = crate::snapshot::read_estimator_framed(blob, &mut at)?;
+        crate::snapshot::check_estimator_shape(&est, &self.estimator)?;
+        let rng = crate::snapshot::read_array::<32>(blob, &mut at)?;
+        if at != blob.len() {
+            return Err(crate::SnapshotError::Corrupt("trailing policy-state bytes"));
+        }
+        self.estimator = est;
+        self.rng = fasea_stats::rng_from_state(rng);
+        Ok(())
     }
 }
 

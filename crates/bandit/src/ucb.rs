@@ -30,7 +30,10 @@ impl LinUcb {
     /// Panics if `alpha < 0` (use [`crate::Exploit`] for α = 0 — it is
     /// the same policy minus the width computation).
     pub fn new(dim: usize, lambda: f64, alpha: f64) -> Self {
-        assert!(alpha >= 0.0 && alpha.is_finite(), "LinUcb: alpha must be >= 0");
+        assert!(
+            alpha >= 0.0 && alpha.is_finite(),
+            "LinUcb: alpha must be >= 0"
+        );
         LinUcb {
             estimator: RidgeEstimator::new(dim, lambda),
             alpha,
@@ -67,7 +70,12 @@ impl Policy for LinUcb {
             self.scores[v] = point + self.alpha * width;
         }
         self.selected_once = true;
-        oracle_greedy(&self.scores, view.conflicts, view.remaining, view.user_capacity)
+        oracle_greedy(
+            &self.scores,
+            view.conflicts,
+            view.remaining,
+            view.user_capacity,
+        )
     }
 
     fn observe(
@@ -95,6 +103,17 @@ impl Policy for LinUcb {
 
     fn state_bytes(&self) -> usize {
         self.estimator.state_bytes() + self.scores.len() * std::mem::size_of::<f64>()
+    }
+
+    fn save_state(&self) -> Vec<u8> {
+        crate::snapshot::save_estimator(&self.estimator)
+    }
+
+    fn restore_state(&mut self, blob: &[u8]) -> Result<(), crate::SnapshotError> {
+        let est = crate::snapshot::restore_estimator(blob)?;
+        crate::snapshot::check_estimator_shape(&est, &self.estimator)?;
+        self.estimator = est;
+        Ok(())
     }
 }
 

@@ -16,9 +16,8 @@ fn instance_strategy(
     (2usize..12).prop_flat_map(|n| {
         (
             Just(n),
-            proptest::collection::vec((0..n, 0..n), 0..20).prop_map(move |raw| {
-                raw.into_iter().filter(|&(a, b)| a != b).collect::<Vec<_>>()
-            }),
+            proptest::collection::vec((0..n, 0..n), 0..20)
+                .prop_map(move |raw| raw.into_iter().filter(|&(a, b)| a != b).collect::<Vec<_>>()),
             proptest::collection::vec(-1.0f64..1.0, n..=n),
             proptest::collection::vec(0u32..4, n..=n),
             0u32..6,

@@ -36,7 +36,9 @@ fn bench_inverse_maintenance(c: &mut Criterion) {
 fn bench_kendall(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_kendall");
     for &n in &[100usize, 500, 1000] {
-        let a: Vec<f64> = (0..n).map(|i| ((i * 2654435761) % 1000003) as f64).collect();
+        let a: Vec<f64> = (0..n)
+            .map(|i| ((i * 2654435761) % 1000003) as f64)
+            .collect();
         let b_: Vec<f64> = (0..n).map(|i| ((i * 40503 + 7) % 999983) as f64).collect();
         group.bench_with_input(BenchmarkId::new("merge_sort", n), &n, |bch, _| {
             bch.iter(|| black_box(kendall_tau(&a, &b_).unwrap()))

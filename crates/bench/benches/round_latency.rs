@@ -21,26 +21,22 @@ fn bench_round_latency(c: &mut Criterion) {
         for name in POLICY_NAMES {
             let mut policy = policy_by_name(name, 20);
             let mut t = 0u64;
-            group.bench_with_input(
-                BenchmarkId::new(name, num_events),
-                &num_events,
-                |b, _| {
-                    b.iter(|| {
-                        let view = SelectionView {
-                            t,
-                            user_capacity: 3,
-                            contexts: &fixture.arrival.contexts,
-                            conflicts: fixture.workload.instance.conflicts(),
-                            remaining: &remaining,
-                        };
-                        let arrangement = policy.select(&view);
-                        let fb = Feedback::new(vec![false; arrangement.len()]);
-                        policy.observe(t, &fixture.arrival.contexts, &arrangement, &fb);
-                        t += 1;
-                        black_box(arrangement.len())
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, num_events), &num_events, |b, _| {
+                b.iter(|| {
+                    let view = SelectionView {
+                        t,
+                        user_capacity: 3,
+                        contexts: &fixture.arrival.contexts,
+                        conflicts: fixture.workload.instance.conflicts(),
+                        remaining: &remaining,
+                    };
+                    let arrangement = policy.select(&view);
+                    let fb = Feedback::new(vec![false; arrangement.len()]);
+                    policy.observe(t, &fixture.arrival.contexts, &arrangement, &fb);
+                    t += 1;
+                    black_box(arrangement.len())
+                })
+            });
         }
     }
     group.finish();

@@ -1,0 +1,79 @@
+//! Write-ahead log append cost per fsync policy.
+//!
+//! The interesting number is the per-round durability tax the FASEA
+//! service pays for crash safety: `Never` measures pure serialisation
+//! (CRC + framing + buffered write), `EveryN` amortises the fsync over
+//! a batch, and `Always` is the full synchronous-commit price. Records
+//! mimic a realistic round: a Propose with a |V|×d context block plus
+//! its matching Feedback.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fasea_store::{FsyncPolicy, Record, Wal, WalOptions};
+use std::hint::black_box;
+
+const NUM_EVENTS: u32 = 100;
+const DIM: u32 = 10;
+
+fn propose_record(t: u64) -> Record {
+    let contexts: Vec<f64> = (0..(NUM_EVENTS * DIM) as usize)
+        .map(|i| ((i as f64) * 0.137 + t as f64).sin())
+        .collect();
+    Record::Propose {
+        t,
+        user_capacity: 5,
+        num_events: NUM_EVENTS,
+        dim: DIM,
+        context_hash: fasea_store::context_hash(&contexts),
+        contexts,
+        arrangement: vec![1, 7, 12, 40, 99],
+    }
+}
+
+fn feedback_record(t: u64) -> Record {
+    Record::Feedback {
+        t,
+        accepts: vec![true, false, true, true, false],
+    }
+}
+
+fn bench_append(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wal_append");
+    let policies = [
+        FsyncPolicy::Never,
+        FsyncPolicy::EveryN(32),
+        FsyncPolicy::EveryN(8),
+        FsyncPolicy::Always,
+    ];
+    for policy in policies {
+        let dir = std::env::temp_dir().join(format!(
+            "fasea-bench-wal-{}-{}",
+            policy.label(),
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let options = WalOptions {
+            segment_bytes: 64 << 20,
+            fsync: policy,
+        };
+        let (mut wal, _) = Wal::open(&dir, 0xBEEF, options).unwrap();
+        let mut t = 0u64;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(policy.label()),
+            &policy,
+            |b, _| {
+                b.iter(|| {
+                    let seq = wal.append(black_box(&propose_record(t))).unwrap();
+                    wal.append(black_box(&feedback_record(t))).unwrap();
+                    t += 1;
+                    black_box(seq)
+                })
+            },
+        );
+        drop(wal);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_append);
+criterion_main!(benches);

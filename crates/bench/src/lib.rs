@@ -16,9 +16,7 @@
 //!   Kendall, full sort vs the oracle's actual cost profile.
 //! * `datagen_throughput` — arrival-stream generation cost.
 
-use fasea_bandit::{
-    EpsilonGreedy, Exploit, LinUcb, Policy, RandomPolicy, ThompsonSampling,
-};
+use fasea_bandit::{EpsilonGreedy, Exploit, LinUcb, Policy, RandomPolicy, ThompsonSampling};
 use fasea_core::UserArrival;
 use fasea_datagen::{SyntheticConfig, SyntheticWorkload};
 

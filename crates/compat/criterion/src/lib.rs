@@ -1,0 +1,333 @@
+//! Workspace-local stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the subset of the criterion 0.5 API its benches
+//! use: [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`],
+//! [`Throughput`], [`Bencher::iter`] and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple: after a short warm-up, each
+//! benchmark runs timed batches until a fixed wall-clock budget is
+//! spent, then reports the mean, min and max time per iteration (plus
+//! derived throughput when configured). There are no statistical
+//! comparisons or HTML reports; the output is one line per benchmark
+//! on stdout, which is what the repo's perf baselines record.
+
+#![warn(clippy::all)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group (mirrors
+/// `criterion::BenchmarkId`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Units processed per iteration, for derived rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Drives the timed closure of one benchmark.
+pub struct Bencher<'a> {
+    measured: &'a mut Option<Sample>,
+    budget: Duration,
+}
+
+/// One benchmark's aggregated timing result.
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    iters: u64,
+    total: Duration,
+    min: Duration,
+    max: Duration,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, called in batches until the time budget is
+    /// spent. The routine's return value is passed through
+    /// [`black_box`] so the computation is not optimised away.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run for ~10% of the budget (at least once).
+        let warm_budget = self.budget / 10;
+        let warm_start = Instant::now();
+        loop {
+            black_box(routine());
+            if warm_start.elapsed() >= warm_budget {
+                break;
+            }
+        }
+
+        // Choose a batch size aiming for ~1ms per batch.
+        let probe_start = Instant::now();
+        black_box(routine());
+        let probe = probe_start.elapsed().max(Duration::from_nanos(20));
+        let batch =
+            (Duration::from_millis(1).as_nanos() / probe.as_nanos()).clamp(1, 100_000) as u64;
+
+        let mut sample = Sample {
+            iters: 0,
+            total: Duration::ZERO,
+            min: Duration::MAX,
+            max: Duration::ZERO,
+        };
+        let run_start = Instant::now();
+        while run_start.elapsed() < self.budget {
+            let batch_start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = batch_start.elapsed();
+            let per_iter = elapsed / batch as u32;
+            sample.iters += batch;
+            sample.total += elapsed;
+            sample.min = sample.min.min(per_iter);
+            sample.max = sample.max.max(per_iter);
+        }
+        *self.measured = Some(sample);
+    }
+}
+
+/// A named set of related benchmarks (mirrors
+/// `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; this harness sizes work by time
+    /// budget, not sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility (measurement time is fixed).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Sets the per-iteration throughput used for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.label);
+        self.criterion.run_one(&label, self.throughput, f);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.label);
+        self.criterion
+            .run_one(&label, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op; kept for call-shape compatibility).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point (mirrors `criterion::Criterion`).
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // FASEA_BENCH_MS overrides the per-benchmark time budget
+        // (milliseconds); the default keeps full suites quick while
+        // still averaging thousands of iterations for hot paths.
+        let ms = std::env::var("FASEA_BENCH_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(300);
+        Criterion {
+            budget: Duration::from_millis(ms.max(10)),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.into();
+        let label = id.label.clone();
+        self.run_one(&label, None, f);
+        self
+    }
+
+    fn run_one<F>(&mut self, label: &str, throughput: Option<Throughput>, mut f: F)
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut measured = None;
+        let mut bencher = Bencher {
+            measured: &mut measured,
+            budget: self.budget,
+        };
+        f(&mut bencher);
+        match measured {
+            Some(s) => {
+                let mean_ns = s.total.as_nanos() as f64 / s.iters.max(1) as f64;
+                let rate = throughput.map(|t| match t {
+                    Throughput::Elements(n) => {
+                        format!("  thrpt: {:.3} Melem/s", n as f64 / mean_ns * 1e3)
+                    }
+                    Throughput::Bytes(n) => {
+                        format!(
+                            "  thrpt: {:.3} MiB/s",
+                            n as f64 / mean_ns * 1e9 / (1 << 20) as f64
+                        )
+                    }
+                });
+                println!(
+                    "{label:<56} time: [{} {} {}]  iters: {}{}",
+                    fmt_ns(s.min.as_nanos() as f64),
+                    fmt_ns(mean_ns),
+                    fmt_ns(s.max.as_nanos() as f64),
+                    s.iters,
+                    rate.unwrap_or_default(),
+                );
+            }
+            None => println!("{label:<56} (no measurement: Bencher::iter never called)"),
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group function (mirrors
+/// `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main` (mirrors
+/// `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` forwards harness flags such as `--bench`;
+            // this minimal harness ignores them.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures() {
+        std::env::set_var("FASEA_BENCH_MS", "10");
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn group_api_round_trip() {
+        std::env::set_var("FASEA_BENCH_MS", "10");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10).throughput(Throughput::Elements(4));
+        g.bench_with_input(BenchmarkId::new("sum", 4), &4u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.bench_function(BenchmarkId::from_parameter(7), |b| b.iter(|| 7 * 7));
+        g.finish();
+    }
+
+    #[test]
+    fn fmt_ns_units() {
+        assert!(fmt_ns(12.0).contains("ns"));
+        assert!(fmt_ns(12_000.0).contains("µs"));
+        assert!(fmt_ns(12_000_000.0).contains("ms"));
+        assert!(fmt_ns(2_000_000_000.0).contains(" s"));
+    }
+}

@@ -1,0 +1,92 @@
+//! Workspace-local stand-in for the `crossbeam` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the one API it uses: [`thread::scope`] with
+//! [`thread::Scope::spawn`]. Since Rust 1.63 the standard library's
+//! `std::thread::scope` provides the same borrow-the-stack guarantee,
+//! so this shim is a thin adapter that keeps crossbeam's call shape
+//! (the closure receives `&Scope`, and `scope` returns a `Result`
+//! carrying any worker panic instead of unwinding).
+
+#![warn(clippy::all)]
+
+pub mod thread {
+    //! Scoped threads (mirrors `crossbeam::thread`).
+
+    use std::any::Any;
+
+    /// A handle for spawning scoped threads; passed to every spawned
+    /// closure, mirroring crossbeam's nested-spawn-capable signature.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread that may borrow from the enclosing
+        /// stack frame. The join handle can be ignored; all threads are
+        /// joined when the scope ends.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let handle = Scope { inner: self.inner };
+            self.inner.spawn(move || f(&handle))
+        }
+    }
+
+    /// Creates a scope for spawning borrowing threads. Returns `Err`
+    /// with the panic payload if any spawned thread panicked (crossbeam
+    /// semantics), rather than resuming the unwind.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_stack() {
+        let counter = AtomicUsize::new(0);
+        let out = super::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::SeqCst));
+            }
+        });
+        assert!(out.is_ok());
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_err() {
+        let out = super::thread::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(out.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_handle() {
+        let counter = AtomicUsize::new(0);
+        let out = super::thread::scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| counter.fetch_add(1, Ordering::SeqCst));
+            });
+        });
+        assert!(out.is_ok());
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn scope_returns_closure_value() {
+        let out = super::thread::scope(|_| 41 + 1).unwrap();
+        assert_eq!(out, 42);
+    }
+}

@@ -284,8 +284,7 @@ mod tests {
     fn pairs_enumerates_each_once() {
         let src = [(0usize, 1usize), (1, 2), (0, 3)];
         let g = ConflictGraph::from_pairs(4, &src);
-        let mut got: Vec<(usize, usize)> =
-            g.pairs().map(|(a, b)| (a.index(), b.index())).collect();
+        let mut got: Vec<(usize, usize)> = g.pairs().map(|(a, b)| (a.index(), b.index())).collect();
         got.sort_unstable();
         assert_eq!(got, vec![(0, 1), (0, 3), (1, 2)]);
     }

@@ -165,12 +165,8 @@ mod tests {
 
     #[test]
     fn instance_accessors() {
-        let inst = ProblemInstance::new(
-            vec![2, 3, 4],
-            ConflictGraph::new(3),
-            5,
-            ProblemMode::Fasea,
-        );
+        let inst =
+            ProblemInstance::new(vec![2, 3, 4], ConflictGraph::new(3), 5, ProblemMode::Fasea);
         assert_eq!(inst.num_events(), 3);
         assert_eq!(inst.dim(), 5);
         assert_eq!(inst.capacity(EventId(1)), 3);

@@ -28,7 +28,10 @@ impl LinearPayoffModel {
     /// # Panics
     /// Panics if `theta` is empty or non-finite.
     pub fn new(theta: Vector) -> Self {
-        assert!(theta.dim() > 0, "LinearPayoffModel: theta must be non-empty");
+        assert!(
+            theta.dim() > 0,
+            "LinearPayoffModel: theta must be non-empty"
+        );
         assert!(theta.is_finite(), "LinearPayoffModel: theta must be finite");
         LinearPayoffModel { theta }
     }

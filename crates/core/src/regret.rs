@@ -22,6 +22,23 @@ impl RegretAccounting {
         Self::default()
     }
 
+    /// Reassembles accounting from persisted totals (crash recovery).
+    ///
+    /// # Panics
+    /// Panics if `accepted > arranged` — no valid history can accept
+    /// more events than were arranged.
+    pub fn from_parts(rounds: u64, arranged: u64, accepted: u64) -> Self {
+        assert!(
+            accepted <= arranged,
+            "from_parts: accepted {accepted} exceeds arranged {arranged}"
+        );
+        RegretAccounting {
+            arranged,
+            accepted,
+            rounds,
+        }
+    }
+
     /// Records one round: `arranged` slots offered, `reward` of them
     /// accepted.
     ///

@@ -11,11 +11,8 @@ use proptest::prelude::*;
 /// Strategy: a small conflict graph as (n, pair list).
 fn conflict_graph_strategy() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
     (2usize..20).prop_flat_map(|n| {
-        let pairs = proptest::collection::vec((0..n, 0..n), 0..30).prop_map(move |raw| {
-            raw.into_iter()
-                .filter(|&(a, b)| a != b)
-                .collect::<Vec<_>>()
-        });
+        let pairs = proptest::collection::vec((0..n, 0..n), 0..30)
+            .prop_map(move |raw| raw.into_iter().filter(|&(a, b)| a != b).collect::<Vec<_>>());
         (Just(n), pairs)
     })
 }

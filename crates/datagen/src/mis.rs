@@ -17,7 +17,10 @@ use fasea_core::{ConflictGraph, EventId};
 /// `allowed` references an out-of-range event.
 pub fn max_independent_set(conflicts: &ConflictGraph, allowed: &[EventId]) -> usize {
     let n = conflicts.num_events();
-    assert!(n <= 64, "max_independent_set: bitmask solver handles |V| <= 64");
+    assert!(
+        n <= 64,
+        "max_independent_set: bitmask solver handles |V| <= 64"
+    );
     let mut allowed_mask = 0u64;
     for &v in allowed {
         assert!(v.index() < n, "max_independent_set: event out of range");
@@ -170,9 +173,7 @@ mod tests {
                         continue;
                     }
                     for j in (i + 1)..n {
-                        if mask & (1 << j) != 0
-                            && g.are_conflicting(EventId(i), EventId(j))
-                        {
+                        if mask & (1 << j) != 0 && g.are_conflicting(EventId(i), EventId(j)) {
                             continue 'subset;
                         }
                     }

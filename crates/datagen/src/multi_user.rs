@@ -53,7 +53,10 @@ impl MultiUserWorkload {
     /// # Panics
     /// Panics if `population == 0` or `heterogeneity ∉ [0, 1]`.
     pub fn generate(config: MultiUserConfig) -> Self {
-        assert!(config.population > 0, "MultiUserWorkload: population must be > 0");
+        assert!(
+            config.population > 0,
+            "MultiUserWorkload: population must be > 0"
+        );
         assert!(
             (0.0..=1.0).contains(&config.heterogeneity),
             "MultiUserWorkload: heterogeneity must be in [0, 1]"
@@ -106,9 +109,7 @@ impl MultiUserWorkload {
         let mut count = 0usize;
         for i in 0..n {
             for j in (i + 1)..n {
-                sum += self.user_models[i]
-                    .theta()
-                    .dot(self.user_models[j].theta());
+                sum += self.user_models[i].theta().dot(self.user_models[j].theta());
                 count += 1;
             }
         }

@@ -36,8 +36,8 @@ use crate::mis::max_independent_set;
 use fasea_core::{
     ConflictGraph, ContextMatrix, EventId, ProblemInstance, ProblemMode, RewardModel,
 };
-use fasea_stats::{rng_from_seed, Normal, Uniform};
 use fasea_stats::dist::Distribution as _;
+use fasea_stats::{rng_from_seed, Normal, Uniform};
 use rand::Rng as _;
 
 /// Number of events in the study.
@@ -139,8 +139,8 @@ impl RealEvent {
     pub fn encode(&self, normalized_distance: f64) -> Vec<f64> {
         let mut f = Vec::with_capacity(DIM);
         encode_categorical(self.category, CATEGORIES.len(), &mut f); // 3 bits
-        // Sub-categories are coded over the maximum arity (7, Movie) so
-        // every event uses the same layout.
+                                                                     // Sub-categories are coded over the maximum arity (7, Movie) so
+                                                                     // every event uses the same layout.
         let max_sub = CATEGORIES.iter().map(|(_, s)| s.len()).max().unwrap();
         encode_categorical(self.subcategory, max_sub, &mut f); // 3 bits
         encode_categorical(self.performers, PERFORMERS.len(), &mut f); // 2 bits
@@ -305,8 +305,8 @@ impl RealDataset {
             // nearer events).
             let mut w: Vec<f64> = (0..DIM).map(|_| normal.sample(rng)).collect();
             w[DIM - 1] = -w[DIM - 1].abs(); // distance dimension
-            // Score every event with that user's encoded features and
-            // label the top `yes_count` as "Yes".
+                                            // Score every event with that user's encoded features and
+                                            // label the top `yes_count` as "Yes".
             let scores: Vec<f64> = events
                 .iter()
                 .map(|e| {

@@ -134,10 +134,7 @@ mod tests {
         for t in [0u64, 13, 27, 39] {
             let slot = s.slot_at(t);
             for v in 0..40 {
-                assert_eq!(
-                    s.is_available(t, EventId(v)),
-                    s.slot_of(EventId(v)) == slot
-                );
+                assert_eq!(s.is_available(t, EventId(v)), s.slot_of(EventId(v)) == slot);
             }
         }
     }

@@ -85,7 +85,10 @@ impl CapacityModel {
 
     /// Draws one capacity.
     pub fn sample(&self, rng: &mut fasea_stats::Rng) -> u32 {
-        Normal::new(self.mean, self.std).sample(rng).max(0.0).round() as u32
+        Normal::new(self.mean, self.std)
+            .sample(rng)
+            .max(0.0)
+            .round() as u32
     }
 }
 
@@ -149,7 +152,10 @@ impl SyntheticConfig {
     /// Panics on nonsensical configurations (zero events/dim, cr outside
     /// \[0,1\], inverted user-capacity range).
     pub fn validate(&self) {
-        assert!(self.num_events > 0, "SyntheticConfig: num_events must be > 0");
+        assert!(
+            self.num_events > 0,
+            "SyntheticConfig: num_events must be > 0"
+        );
         assert!(self.dim > 0, "SyntheticConfig: dim must be > 0");
         assert!(
             (0.0..=1.0).contains(&self.conflict_ratio),
@@ -177,18 +183,19 @@ pub fn generate_conflicts(n: usize, cr: f64, rng: &mut fasea_stats::Rng) -> Conf
     }
     let max_pairs = n * (n - 1) / 2;
     let target = (cr * max_pairs as f64).round() as usize;
-    let sample_pairs = |count: usize, rng: &mut fasea_stats::Rng| -> std::collections::HashSet<(usize, usize)> {
-        let mut set = std::collections::HashSet::with_capacity(count);
-        while set.len() < count {
-            let i = rng.gen_range(0..n);
-            let j = rng.gen_range(0..n);
-            if i == j {
-                continue;
+    let sample_pairs =
+        |count: usize, rng: &mut fasea_stats::Rng| -> std::collections::HashSet<(usize, usize)> {
+            let mut set = std::collections::HashSet::with_capacity(count);
+            while set.len() < count {
+                let i = rng.gen_range(0..n);
+                let j = rng.gen_range(0..n);
+                if i == j {
+                    continue;
+                }
+                set.insert((i.min(j), i.max(j)));
             }
-            set.insert((i.min(j), i.max(j)));
-        }
-        set
-    };
+            set
+        };
     if target * 2 <= max_pairs {
         let pairs = sample_pairs(target, rng);
         let mut g = ConflictGraph::new(n);
@@ -318,7 +325,13 @@ mod tests {
         assert_eq!(c.dim, 20);
         assert_eq!(c.theta_dist, ValueDistribution::Uniform);
         assert_eq!(c.x_dist, ValueDistribution::Uniform);
-        assert_eq!(c.capacity, CapacityModel { mean: 200.0, std: 100.0 });
+        assert_eq!(
+            c.capacity,
+            CapacityModel {
+                mean: 200.0,
+                std: 100.0
+            }
+        );
         assert_eq!(c.user_capacity, (1, 5));
         assert!((c.conflict_ratio - 0.25).abs() < 1e-15);
         assert_eq!(c.mode, ProblemMode::Fasea);
@@ -403,7 +416,10 @@ mod tests {
 
     #[test]
     fn capacity_model_truncates_at_zero() {
-        let m = CapacityModel { mean: 0.0, std: 50.0 };
+        let m = CapacityModel {
+            mean: 0.0,
+            std: 50.0,
+        };
         let mut rng = rng_from_seed(3);
         for _ in 0..100 {
             // No panics, and values are valid u32 (>= 0 by type).

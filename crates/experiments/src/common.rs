@@ -36,8 +36,18 @@ impl Default for AlgoParams {
 pub fn paper_policy_set(dim: usize, params: AlgoParams, seed: u64) -> Vec<Box<dyn Policy>> {
     vec![
         Box::new(LinUcb::new(dim, params.lambda, params.alpha)),
-        Box::new(ThompsonSampling::new(dim, params.lambda, params.delta, seed ^ 0x7501)),
-        Box::new(EpsilonGreedy::new(dim, params.lambda, params.epsilon, seed ^ 0xE6)),
+        Box::new(ThompsonSampling::new(
+            dim,
+            params.lambda,
+            params.delta,
+            seed ^ 0x7501,
+        )),
+        Box::new(EpsilonGreedy::new(
+            dim,
+            params.lambda,
+            params.epsilon,
+            seed ^ 0xE6,
+        )),
         Box::new(Exploit::new(dim, params.lambda)),
         Box::new(RandomPolicy::new(seed ^ 0x8A4D)),
     ]
@@ -137,7 +147,11 @@ pub fn write_kendall_csv(
             row
         })
         .collect();
-    fasea_sim::write_csv(&dir.join(format!("{prefix}_kendall.csv")), &header_refs, &rows)
+    fasea_sim::write_csv(
+        &dir.join(format!("{prefix}_kendall.csv")),
+        &header_refs,
+        &rows,
+    )
 }
 
 /// Prints the end-of-run summary line for one simulation (final rewards

@@ -6,7 +6,9 @@
 //! of each policy's selection scores against the ground-truth expected
 //! rewards (Figure 2).
 
-use crate::common::{exp_dir, print_summary, run_cell, write_kendall_csv, write_metric_csvs, AlgoParams};
+use crate::common::{
+    exp_dir, print_summary, run_cell, write_kendall_csv, write_metric_csvs, AlgoParams,
+};
 use crate::Options;
 use fasea_datagen::SyntheticConfig;
 use fasea_stats::crn::mix64;
@@ -53,8 +55,7 @@ pub fn run(opts: &Options) -> Result<(), String> {
             )
         })
         .collect();
-    let series_refs: Vec<(&str, &[f64])> =
-        series.iter().map(|(n, s)| (*n, s.as_slice())).collect();
+    let series_refs: Vec<(&str, &[f64])> = series.iter().map(|(n, s)| (*n, s.as_slice())).collect();
     println!("total regret vs t (Figure 1c shape):");
     println!("{}", fasea_sim::ascii_chart(&series_refs, 72, 14));
     Ok(())

@@ -23,13 +23,7 @@ pub fn per_user_models(opts: &Options) -> Result<(), String> {
     let dir = exp_dir(opts, "ext1");
 
     let mut rows: Vec<Vec<f64>> = Vec::new();
-    let mut table = AsciiTable::new(&[
-        "heterogeneity",
-        "cos-sim",
-        "shared",
-        "per-user",
-        "OPT",
-    ]);
+    let mut table = AsciiTable::new(&["heterogeneity", "cos-sim", "shared", "per-user", "OPT"]);
     for &h in &[0.0f64, 0.25, 0.5, 0.75, 1.0] {
         let workload = MultiUserWorkload::generate(MultiUserConfig {
             base: SyntheticConfig {

@@ -110,7 +110,10 @@ pub fn run_experiment(id: &str, opts: &Options) -> Result<(), String> {
                 total += fasea_sim::plot::write_scripts_for_dir(&opts.out_dir.join(id), true)
                     .map_err(|e| e.to_string())?;
             }
-            println!("wrote {total} gnuplot scripts under {}", opts.out_dir.display());
+            println!(
+                "wrote {total} gnuplot scripts under {}",
+                opts.out_dir.display()
+            );
             Ok(())
         }
         "all" => {

@@ -42,10 +42,7 @@ pub fn effect_of_lambda(opts: &Options) -> Result<(), String> {
 
 /// Runs one single-policy simulation (plus OPT) — the Figure 9 cells
 /// compare parameter values of a single algorithm.
-fn run_single_policy(
-    policy: Box<dyn Policy>,
-    opts: &Options,
-) -> SimulationResult {
+fn run_single_policy(policy: Box<dyn Policy>, opts: &Options) -> SimulationResult {
     let config = SyntheticConfig {
         seed: opts.seed,
         horizon: opts.horizon,

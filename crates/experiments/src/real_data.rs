@@ -5,18 +5,12 @@ use crate::Options;
 use fasea_bandit::{Policy, StaticScorePolicy};
 use fasea_datagen::RealDataset;
 use fasea_sim::sweep::run_parallel;
-use fasea_sim::{
-    real_runner::full_knowledge_ratio, run_real, AsciiTable, CuMode, RealRunConfig,
-};
+use fasea_sim::{real_runner::full_knowledge_ratio, run_real, AsciiTable, CuMode, RealRunConfig};
 
 /// Seed of the canonical real-dataset analogue (the collection year).
 pub const REAL_DATA_SEED: u64 = 2016;
 
-fn policy_set_with_online(
-    dataset: &RealDataset,
-    user: usize,
-    seed: u64,
-) -> Vec<Box<dyn Policy>> {
+fn policy_set_with_online(dataset: &RealDataset, user: usize, seed: u64) -> Vec<Box<dyn Policy>> {
     let mut policies = paper_policy_set(fasea_datagen::real::DIM, AlgoParams::default(), seed);
     policies.push(Box::new(StaticScorePolicy::new(
         "Online",
@@ -126,8 +120,7 @@ pub fn table7(opts: &Options) -> Result<(), String> {
         let per_user = run_parallel(jobs, opts.threads);
 
         // Rows: UCB, TS, eGreedy, Exploit, Random, Full Kn., Online, c_u.
-        let policy_names: Vec<String> =
-            per_user[0].1.iter().map(|(n, _)| n.clone()).collect();
+        let policy_names: Vec<String> = per_user[0].1.iter().map(|(n, _)| n.clone()).collect();
         let mut header = vec!["row".to_string()];
         header.extend((1..=dataset.num_users()).map(|u| format!("u{u}")));
         let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();

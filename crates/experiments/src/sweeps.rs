@@ -100,8 +100,20 @@ pub fn effect_of_distributions(opts: &Options) -> Result<(), String> {
 /// is Figure 1).
 pub fn effect_of_event_capacity(opts: &Options) -> Result<(), String> {
     let cells = [
-        ("cv100", CapacityModel { mean: 100.0, std: 100.0 }),
-        ("cv500", CapacityModel { mean: 500.0, std: 200.0 }),
+        (
+            "cv100",
+            CapacityModel {
+                mean: 100.0,
+                std: 100.0,
+            },
+        ),
+        (
+            "cv500",
+            CapacityModel {
+                mean: 500.0,
+                std: 200.0,
+            },
+        ),
     ]
     .iter()
     .map(|&(label, capacity)| {

@@ -10,7 +10,7 @@
 
 use crate::Options;
 use fasea_sim::CsvTable;
-use std::path::{Path, PathBuf};
+use std::path::Path;
 
 /// Outcome of one shape check.
 #[derive(Debug, Clone)]
@@ -47,7 +47,7 @@ impl CheckResult {
     }
 }
 
-fn load(path: &PathBuf) -> Option<CsvTable> {
+fn load(path: &Path) -> Option<CsvTable> {
     CsvTable::read(path).ok()
 }
 
@@ -140,7 +140,11 @@ fn check_fig2_kendall(out: &Path) -> CheckResult {
     };
     let (ucb, ts, rnd) = (avg_tail("UCB"), avg_tail("TS"), avg_tail("Random"));
     if ucb > 0.85 && rnd.abs() < 0.25 && ucb > ts {
-        CheckResult::pass(ID, CLAIM, format!("τ tails: UCB {ucb:.3}, TS {ts:.3}, Random {rnd:.3}"))
+        CheckResult::pass(
+            ID,
+            CLAIM,
+            format!("τ tails: UCB {ucb:.3}, TS {ts:.3}, Random {rnd:.3}"),
+        )
     } else {
         CheckResult::fail(
             ID,
@@ -166,9 +170,17 @@ fn check_fig4_dimension(out: &Path) -> CheckResult {
     };
     let (r1, r15) = (ratio(&t1), ratio(&t15));
     if r1 > 0.9 && r1 > r15 + 0.1 {
-        CheckResult::pass(ID, CLAIM, format!("TS/UCB accept-ratio: d1 {r1:.3}, d15 {r15:.3}"))
+        CheckResult::pass(
+            ID,
+            CLAIM,
+            format!("TS/UCB accept-ratio: d1 {r1:.3}, d15 {r15:.3}"),
+        )
     } else {
-        CheckResult::fail(ID, CLAIM, format!("TS/UCB accept-ratio: d1 {r1:.3}, d15 {r15:.3}"))
+        CheckResult::fail(
+            ID,
+            CLAIM,
+            format!("TS/UCB accept-ratio: d1 {r1:.3}, d15 {r15:.3}"),
+        )
     }
 }
 
@@ -197,13 +209,21 @@ fn check_fig6_capacity(out: &Path) -> CheckResult {
         CheckResult::pass(
             ID,
             CLAIM,
-            format!("TS regret drop: cv100 {:.0}%, cv500 {:.0}%", small_drop * 100.0, large_drop * 100.0),
+            format!(
+                "TS regret drop: cv100 {:.0}%, cv500 {:.0}%",
+                small_drop * 100.0,
+                large_drop * 100.0
+            ),
         )
     } else {
         CheckResult::fail(
             ID,
             CLAIM,
-            format!("TS regret drop: cv100 {:.0}%, cv500 {:.0}%", small_drop * 100.0, large_drop * 100.0),
+            format!(
+                "TS regret drop: cv100 {:.0}%, cv500 {:.0}%",
+                small_drop * 100.0,
+                large_drop * 100.0
+            ),
         )
     }
 }
@@ -253,9 +273,17 @@ fn check_fig11_basic(out: &Path) -> CheckResult {
     let ts = t.last("TS").unwrap_or(f64::NAN);
     let random = t.last("Random").unwrap_or(f64::NAN);
     if ucb > ts && ts > random {
-        CheckResult::pass(ID, CLAIM, format!("rewards: UCB {ucb}, TS {ts}, Random {random}"))
+        CheckResult::pass(
+            ID,
+            CLAIM,
+            format!("rewards: UCB {ucb}, TS {ts}, Random {random}"),
+        )
     } else {
-        CheckResult::fail(ID, CLAIM, format!("rewards: UCB {ucb}, TS {ts}, Random {random}"))
+        CheckResult::fail(
+            ID,
+            CLAIM,
+            format!("rewards: UCB {ucb}, TS {ts}, Random {random}"),
+        )
     }
 }
 
@@ -287,6 +315,11 @@ pub fn verify(opts: &Options) -> Result<(), String> {
         println!("\nall {} shape checks passed", checks.len());
         Ok(())
     } else {
-        Err(format!("{} of {} checks failed: {:?}", failed.len(), checks.len(), failed))
+        Err(format!(
+            "{} of {} checks failed: {:?}",
+            failed.len(),
+            checks.len(),
+            failed
+        ))
     }
 }

@@ -295,9 +295,7 @@ mod tests {
     #[test]
     fn rejects_non_finite() {
         let mut sm = ShermanMorrisonInverse::new(2, 1.0);
-        let err = sm
-            .rank1_update(&Vector::from([f64::NAN, 0.0]))
-            .unwrap_err();
+        let err = sm.rank1_update(&Vector::from([f64::NAN, 0.0])).unwrap_err();
         assert!(matches!(err, LinalgError::NonFinite));
     }
 
@@ -317,7 +315,8 @@ mod tests {
     fn y_inverse_symmetry_is_preserved() {
         let mut sm = ShermanMorrisonInverse::new(5, 1.0);
         for i in 0..50 {
-            sm.rank1_update(&pseudo_vec(5, i + 99).normalized()).unwrap();
+            sm.rank1_update(&pseudo_vec(5, i + 99).normalized())
+                .unwrap();
         }
         assert!(sm.y().is_symmetric(1e-12));
         assert!(sm.y_inv().is_symmetric(1e-10));

@@ -10,10 +10,7 @@ fn dim_and_vectors() -> impl Strategy<Value = (usize, Vec<Vec<f64>>)> {
     (1usize..8).prop_flat_map(|d| {
         (
             Just(d),
-            proptest::collection::vec(
-                proptest::collection::vec(-1.0f64..1.0, d..=d),
-                1..30,
-            ),
+            proptest::collection::vec(proptest::collection::vec(-1.0f64..1.0, d..=d), 1..30),
         )
     })
 }

@@ -1,0 +1,644 @@
+//! Crash-safe wrapper around [`ArrangementService`].
+//!
+//! A [`DurableArrangementService`] writes every protocol step to a
+//! [`fasea_store`] write-ahead log and can be reopened after a crash
+//! with *byte-identical* state — estimator matrices, policy RNG
+//! position, remaining capacities, round counter and regret accounting
+//! all match what an uninterrupted run would hold. The irrevocability
+//! rule of the FASEA protocol (Definition 3) is what makes this
+//! non-negotiable: a proposal a user may have seen cannot be retracted,
+//! so it must never be lost, and a round must never be proposed twice.
+//!
+//! ## Logging discipline
+//!
+//! * **`propose` is compute-then-log.** The policy selects first, then
+//!   the full round input (contexts, capacity) *and* the decision are
+//!   appended as a `Propose` record. If the process dies before the
+//!   record is durable, nothing was exposed that recovery must honour —
+//!   and because the policy's RNG position is itself recovered from the
+//!   log (via snapshot + replay), re-proposing after restart draws
+//!   exactly the same arrangement.
+//! * **`feedback` is validate-log-apply.** The answers are checked
+//!   against the pending proposal, appended as a `Feedback` record, and
+//!   only then applied to the learner and capacities. A crash between
+//!   append and apply replays the record on reopen.
+//!
+//! ## Recovery
+//!
+//! [`DurableArrangementService::open`] loads the newest valid snapshot
+//! (if any), restores the policy's state blob into the caller-supplied
+//! policy, then replays the WAL suffix. Replay *re-executes* each
+//! `Propose` through the real policy and compares the decision with the
+//! logged one — divergence (a changed policy, seed, or numeric
+//! environment) aborts recovery with
+//! [`ServiceError::RecoveryDiverged`] instead of silently forking
+//! history. A log that ends after a `Propose` but before its `Feedback`
+//! surfaces as [`has_pending`](DurableArrangementService::has_pending):
+//! the caller decides whether to re-deliver the proposal or record a
+//! rejection; the service never silently re-proposes.
+//!
+//! Logs and snapshots are bound to a *service fingerprint* (instance
+//! shape, capacities, conflicts, mode, policy name), so state from a
+//! differently-configured service is rejected up front.
+
+use crate::service::{ArrangementService, ServiceError};
+use fasea_bandit::Policy;
+use fasea_core::{
+    Arrangement, ContextMatrix, EventId, ProblemInstance, ProblemMode, RegretAccounting,
+    UserArrival,
+};
+use fasea_store::snapshot::{latest_snapshot, prune_snapshots};
+use fasea_store::wal::Recovered;
+pub use fasea_store::FsyncPolicy;
+use fasea_store::{context_hash, PendingProposal, Record, ServiceSnapshot, Wal, WalOptions};
+use std::path::{Path, PathBuf};
+
+/// Tuning for the durable service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurableOptions {
+    /// WAL segment rotation threshold in bytes.
+    pub segment_bytes: u64,
+    /// When appends reach stable storage.
+    pub fsync: FsyncPolicy,
+    /// How many snapshots to keep on disk (older ones are pruned after
+    /// each successful snapshot; at least 1).
+    pub snapshots_kept: usize,
+}
+
+impl Default for DurableOptions {
+    fn default() -> Self {
+        DurableOptions {
+            segment_bytes: 4 << 20,
+            fsync: FsyncPolicy::EveryN(32),
+            snapshots_kept: 2,
+        }
+    }
+}
+
+/// Crash-safe arrangement service: [`ArrangementService`] + WAL +
+/// snapshots.
+pub struct DurableArrangementService {
+    service: ArrangementService,
+    wal: Wal,
+    dir: PathBuf,
+    fingerprint: u64,
+    options: DurableOptions,
+}
+
+/// FNV-1a fingerprint of everything that must match between the
+/// persisted state and the recovering service: instance shape,
+/// capacities, conflicts, mode, and the policy's name.
+pub fn service_fingerprint(instance: &ProblemInstance, policy_name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    eat(b"fasea-service-v1");
+    eat(&(instance.num_events() as u64).to_le_bytes());
+    eat(&(instance.dim() as u64).to_le_bytes());
+    eat(&[match instance.mode() {
+        ProblemMode::Fasea => 1u8,
+        ProblemMode::BasicContextual => 2u8,
+    }]);
+    for &c in instance.capacities() {
+        eat(&c.to_le_bytes());
+    }
+    let n = instance.num_events();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if instance.conflicts().are_conflicting(EventId(i), EventId(j)) {
+                eat(&(i as u32).to_le_bytes());
+                eat(&(j as u32).to_le_bytes());
+            }
+        }
+    }
+    eat(policy_name.as_bytes());
+    h
+}
+
+impl DurableArrangementService {
+    /// Opens the durable service in `dir`, recovering persisted state
+    /// if any exists; a fresh directory starts a fresh service. The
+    /// supplied `policy` must be constructed with the same parameters
+    /// (dimension, λ, α/ε/δ, seed) as the one that wrote the state —
+    /// its learning state is overwritten from the snapshot, and replay
+    /// verifies its decisions against the log.
+    ///
+    /// # Errors
+    /// Store-level failures ([`ServiceError::Store`]), snapshot
+    /// restoration failures ([`ServiceError::Snapshot`] /
+    /// [`ServiceError::PolicyMismatch`]), and replay divergence
+    /// ([`ServiceError::RecoveryDiverged`]).
+    pub fn open(
+        dir: &Path,
+        instance: ProblemInstance,
+        mut policy: Box<dyn Policy>,
+        options: DurableOptions,
+    ) -> Result<Self, ServiceError> {
+        let fingerprint = service_fingerprint(&instance, policy.name());
+        let snapshot = latest_snapshot(dir, fingerprint)?;
+        let wal_options = WalOptions {
+            segment_bytes: options.segment_bytes,
+            fsync: options.fsync,
+        };
+        let (wal, recovered) = Wal::open(dir, fingerprint, wal_options)?;
+
+        let (mut service, replay_from) = match snapshot {
+            Some(snap) => {
+                if snap.policy_name != policy.name() {
+                    return Err(ServiceError::PolicyMismatch {
+                        expected: snap.policy_name,
+                        found: policy.name().to_string(),
+                    });
+                }
+                policy.restore_state(&snap.policy_state)?;
+                let pending = snap.pending.as_ref().map(pending_to_domain).transpose()?;
+                let accounting =
+                    RegretAccounting::from_parts(snap.rounds, snap.arranged, snap.rewards);
+                let service = ArrangementService::from_parts(
+                    instance,
+                    policy,
+                    snap.remaining.clone(),
+                    snap.t,
+                    pending,
+                    accounting,
+                )?;
+                (service, snap.seq)
+            }
+            None => (ArrangementService::new(instance, policy), 0),
+        };
+
+        replay(&mut service, &recovered, replay_from)?;
+
+        Ok(DurableArrangementService {
+            service,
+            wal,
+            dir: dir.to_path_buf(),
+            fingerprint,
+            options,
+        })
+    }
+
+    /// Proposes an arrangement for the arriving user and logs the full
+    /// round input plus the decision. See
+    /// [`ArrangementService::propose`] for protocol errors.
+    ///
+    /// # Errors
+    /// Protocol violations, or [`ServiceError::Store`] if the append
+    /// fails — after which the service must be dropped and reopened
+    /// (in-memory state may be ahead of the log).
+    pub fn propose(&mut self, user: &UserArrival) -> Result<Arrangement, ServiceError> {
+        let t = self.service.rounds_completed();
+        let arrangement = self.service.propose(user)?;
+        let contexts = user.contexts.as_slice().to_vec();
+        let record = Record::Propose {
+            t,
+            user_capacity: user.capacity,
+            num_events: user.contexts.num_events() as u32,
+            dim: user.contexts.dim() as u32,
+            context_hash: context_hash(&contexts),
+            contexts,
+            arrangement: arrangement.iter().map(|v| v.index() as u32).collect(),
+        };
+        self.wal.append(&record)?;
+        Ok(arrangement)
+    }
+
+    /// Records the user's answers for the pending proposal: validated
+    /// against the pending arrangement, logged, then applied. See
+    /// [`ArrangementService::feedback`] for protocol errors.
+    ///
+    /// # Errors
+    /// Protocol violations leave no trace in the log;
+    /// [`ServiceError::Store`] poisons the service (drop and reopen).
+    pub fn feedback(&mut self, accepted: &[bool]) -> Result<u32, ServiceError> {
+        // Validate *before* logging so an invalid call cannot corrupt
+        // the record stream.
+        match self.service.pending() {
+            None => return Err(ServiceError::NoPendingProposal),
+            Some((a, _)) if a.len() != accepted.len() => {
+                return Err(ServiceError::FeedbackLengthMismatch {
+                    expected: a.len(),
+                    got: accepted.len(),
+                })
+            }
+            Some(_) => {}
+        }
+        let t = self.service.rounds_completed();
+        self.wal.append(&Record::Feedback {
+            t,
+            accepts: accepted.to_vec(),
+        })?;
+        self.service.feedback(accepted)
+    }
+
+    /// Writes a full service snapshot atomically, then rotates the WAL,
+    /// logs a `SnapshotMarker`, compacts fully-covered segments and
+    /// prunes old snapshots. Returns the snapshot path.
+    ///
+    /// # Errors
+    /// [`ServiceError::Store`] on any I/O failure; an existing snapshot
+    /// is never damaged (temp-file + rename).
+    pub fn snapshot(&mut self) -> Result<PathBuf, ServiceError> {
+        // Everything the snapshot covers must be durable first.
+        self.wal.sync()?;
+        let seq = self.wal.next_seq();
+        let accounting = self.service.accounting();
+        let snap = ServiceSnapshot {
+            fingerprint: self.fingerprint,
+            seq,
+            t: self.service.rounds_completed(),
+            rounds: accounting.rounds(),
+            arranged: accounting.total_arranged(),
+            rewards: accounting.total_rewards(),
+            remaining: self.service.remaining().to_vec(),
+            pending: self.service.pending().map(|(a, ctx)| PendingProposal {
+                arrangement: a.iter().map(|v| v.index() as u32).collect(),
+                num_events: ctx.num_events() as u32,
+                dim: ctx.dim() as u32,
+                contexts: ctx.as_slice().to_vec(),
+            }),
+            policy_name: self.service.policy().name().to_string(),
+            policy_state: self.service.policy().save_state(),
+        };
+        let path = snap.write_atomic(&self.dir)?;
+        self.wal.rotate()?;
+        self.wal
+            .append(&Record::SnapshotMarker { snapshot_seq: seq })?;
+        self.wal.compact_below(seq)?;
+        prune_snapshots(&self.dir, self.options.snapshots_kept.max(1))?;
+        Ok(path)
+    }
+
+    /// Forces all appended records to stable storage regardless of the
+    /// fsync policy.
+    ///
+    /// # Errors
+    /// [`ServiceError::Store`] on I/O failure.
+    pub fn sync(&mut self) -> Result<(), ServiceError> {
+        self.wal.sync().map_err(ServiceError::from)
+    }
+
+    /// The wrapped in-memory service (all read accessors).
+    pub fn service(&self) -> &ArrangementService {
+        &self.service
+    }
+
+    /// `true` if a proposal awaits feedback — including one recovered
+    /// from a log that ended mid-round. The caller decides how to
+    /// resolve it; the service never silently re-proposes.
+    pub fn has_pending(&self) -> bool {
+        self.service.has_pending()
+    }
+
+    /// The pending arrangement, if any (e.g. to re-deliver it to the
+    /// user after a crash).
+    pub fn pending_arrangement(&self) -> Option<&Arrangement> {
+        self.service.pending().map(|(a, _)| a)
+    }
+
+    /// Rounds completed (proposal + feedback pairs).
+    pub fn rounds_completed(&self) -> u64 {
+        self.service.rounds_completed()
+    }
+
+    /// This service's instance fingerprint (diagnostics).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The WAL sequence number the next append will receive
+    /// (diagnostics/tests).
+    pub fn next_seq(&self) -> u64 {
+        self.wal.next_seq()
+    }
+}
+
+fn pending_to_domain(p: &PendingProposal) -> Result<(Arrangement, ContextMatrix), ServiceError> {
+    let n = p.num_events as usize;
+    let d = p.dim as usize;
+    if p.contexts.len() != n * d || p.arrangement.iter().any(|&v| v as usize >= n) {
+        return Err(ServiceError::ContextShapeMismatch);
+    }
+    let ctx = ContextMatrix::from_rows(n, d, p.contexts.clone());
+    let arrangement =
+        Arrangement::new(p.arrangement.iter().map(|&v| EventId(v as usize)).collect());
+    Ok((arrangement, ctx))
+}
+
+/// Replays the WAL suffix (`seq >= replay_from`) through the live
+/// service, re-executing proposals and verifying them against the log.
+fn replay(
+    service: &mut ArrangementService,
+    recovered: &Recovered,
+    replay_from: u64,
+) -> Result<(), ServiceError> {
+    for (seq, record) in &recovered.records {
+        if *seq < replay_from {
+            continue;
+        }
+        let seq = *seq;
+        match record {
+            Record::SnapshotMarker { .. } => {}
+            Record::Propose {
+                t,
+                user_capacity,
+                num_events,
+                dim,
+                contexts,
+                arrangement,
+                context_hash: logged_hash,
+            } => {
+                if *t != service.rounds_completed() {
+                    return Err(ServiceError::RecoveryDiverged {
+                        seq,
+                        detail: format!(
+                            "Propose for round {t} but service is at round {}",
+                            service.rounds_completed()
+                        ),
+                    });
+                }
+                if context_hash(contexts) != *logged_hash {
+                    return Err(ServiceError::RecoveryDiverged {
+                        seq,
+                        detail: "context hash mismatch inside a CRC-valid record".to_string(),
+                    });
+                }
+                let n = *num_events as usize;
+                let d = *dim as usize;
+                if contexts.len() != n * d {
+                    return Err(ServiceError::RecoveryDiverged {
+                        seq,
+                        detail: "context block shape is inconsistent".to_string(),
+                    });
+                }
+                let user = UserArrival::new(
+                    *user_capacity,
+                    ContextMatrix::from_rows(n, d, contexts.clone()),
+                );
+                let replayed = service.propose(&user)?;
+                let logged: Vec<EventId> =
+                    arrangement.iter().map(|&v| EventId(v as usize)).collect();
+                if replayed.events() != logged.as_slice() {
+                    return Err(ServiceError::RecoveryDiverged {
+                        seq,
+                        detail: format!(
+                            "replayed arrangement {:?} != logged {:?}",
+                            replayed.events(),
+                            logged
+                        ),
+                    });
+                }
+            }
+            Record::Feedback { t, accepts } => {
+                if *t != service.rounds_completed() {
+                    return Err(ServiceError::RecoveryDiverged {
+                        seq,
+                        detail: format!(
+                            "Feedback for round {t} but service is at round {}",
+                            service.rounds_completed()
+                        ),
+                    });
+                }
+                service.feedback(accepts).map_err(|e| match e {
+                    // A protocol error during replay is log damage, not
+                    // a caller mistake.
+                    ServiceError::NoPendingProposal
+                    | ServiceError::FeedbackLengthMismatch { .. } => {
+                        ServiceError::RecoveryDiverged {
+                            seq,
+                            detail: format!("feedback replay rejected: {e}"),
+                        }
+                    }
+                    other => other,
+                })?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fasea_bandit::{LinUcb, ThompsonSampling};
+    use fasea_core::{ConflictGraph, ProblemMode};
+    use std::fs;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("fasea-durable-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn instance() -> ProblemInstance {
+        ProblemInstance::new(
+            vec![30, 30, 30, 30],
+            ConflictGraph::from_pairs(4, &[(0, 3)]),
+            2,
+            ProblemMode::Fasea,
+        )
+    }
+
+    fn arrival(round: u64) -> UserArrival {
+        let mut ctx = ContextMatrix::from_fn(4, 2, |v, j| {
+            (((round as usize * 5 + v * 3 + j) % 7) as f64) / 7.0 - 0.2
+        });
+        ctx.normalize_rows();
+        UserArrival::new(2, ctx)
+    }
+
+    fn accepts_for(round: u64, a: &Arrangement) -> Vec<bool> {
+        a.iter()
+            .map(|v| (round as usize + v.index()).is_multiple_of(3))
+            .collect()
+    }
+
+    fn ts_policy() -> Box<dyn Policy> {
+        Box::new(ThompsonSampling::new(2, 1.0, 0.1, 17))
+    }
+
+    #[test]
+    fn fresh_open_then_reopen_resumes_identically() {
+        let dir = tmp("resume");
+        let opts = DurableOptions {
+            fsync: FsyncPolicy::Never,
+            ..Default::default()
+        };
+        let reference_state;
+        {
+            let mut svc =
+                DurableArrangementService::open(&dir, instance(), ts_policy(), opts).unwrap();
+            for round in 0..25 {
+                let a = svc.propose(&arrival(round)).unwrap();
+                svc.feedback(&accepts_for(round, &a)).unwrap();
+            }
+            reference_state = svc.service().policy().save_state();
+        }
+        // Reopen (clean shutdown) and verify everything matches.
+        let svc = DurableArrangementService::open(&dir, instance(), ts_policy(), opts).unwrap();
+        assert_eq!(svc.rounds_completed(), 25);
+        assert_eq!(svc.service().policy().save_state(), reference_state);
+        assert!(!svc.has_pending());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_mid_round_surfaces_pending_proposal() {
+        let dir = tmp("pending");
+        let opts = DurableOptions {
+            fsync: FsyncPolicy::Always,
+            ..Default::default()
+        };
+        let proposed;
+        {
+            let mut svc =
+                DurableArrangementService::open(&dir, instance(), ts_policy(), opts).unwrap();
+            for round in 0..5 {
+                let a = svc.propose(&arrival(round)).unwrap();
+                svc.feedback(&accepts_for(round, &a)).unwrap();
+            }
+            proposed = svc.propose(&arrival(5)).unwrap();
+            // Drop without feedback: crash mid-round.
+        }
+        let mut svc = DurableArrangementService::open(&dir, instance(), ts_policy(), opts).unwrap();
+        assert!(
+            svc.has_pending(),
+            "recovered service must surface the pending round"
+        );
+        assert_eq!(
+            svc.pending_arrangement().unwrap().events(),
+            proposed.events()
+        );
+        assert_eq!(svc.rounds_completed(), 5);
+        // Double-propose is still rejected; feedback completes it.
+        assert!(matches!(
+            svc.propose(&arrival(6)),
+            Err(ServiceError::FeedbackPending)
+        ));
+        svc.feedback(&accepts_for(5, &proposed)).unwrap();
+        assert_eq!(svc.rounds_completed(), 6);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_compacts_and_recovery_uses_it() {
+        let dir = tmp("snapshot");
+        let opts = DurableOptions {
+            segment_bytes: 512,
+            fsync: FsyncPolicy::Never,
+            snapshots_kept: 1,
+        };
+        let reference_state;
+        {
+            let mut svc =
+                DurableArrangementService::open(&dir, instance(), ts_policy(), opts).unwrap();
+            for round in 0..30 {
+                let a = svc.propose(&arrival(round)).unwrap();
+                svc.feedback(&accepts_for(round, &a)).unwrap();
+                if round % 10 == 9 {
+                    svc.snapshot().unwrap();
+                }
+            }
+            reference_state = svc.service().policy().save_state();
+        }
+        // Compaction actually removed early segments.
+        let segments: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().starts_with("wal-"))
+            .collect();
+        assert!(
+            segments.len() < 4,
+            "expected compaction to leave few segments, found {}",
+            segments.len()
+        );
+        let svc = DurableArrangementService::open(&dir, instance(), ts_policy(), opts).unwrap();
+        assert_eq!(svc.rounds_completed(), 30);
+        assert_eq!(svc.service().policy().save_state(), reference_state);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn foreign_instance_rejected() {
+        let dir = tmp("foreign");
+        let opts = DurableOptions {
+            fsync: FsyncPolicy::Never,
+            ..Default::default()
+        };
+        {
+            let mut svc =
+                DurableArrangementService::open(&dir, instance(), ts_policy(), opts).unwrap();
+            let a = svc.propose(&arrival(0)).unwrap();
+            svc.feedback(&accepts_for(0, &a)).unwrap();
+            svc.sync().unwrap();
+        }
+        // Different capacities => different fingerprint => rejected.
+        let other = ProblemInstance::new(
+            vec![5, 5, 5, 5],
+            ConflictGraph::from_pairs(4, &[(0, 3)]),
+            2,
+            ProblemMode::Fasea,
+        );
+        assert!(matches!(
+            DurableArrangementService::open(&dir, other, ts_policy(), opts),
+            Err(ServiceError::Store(
+                fasea_store::StoreError::ForeignInstance { .. }
+            ))
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn divergent_policy_seed_detected_on_replay() {
+        let dir = tmp("diverge");
+        let opts = DurableOptions {
+            fsync: FsyncPolicy::Never,
+            ..Default::default()
+        };
+        {
+            let mut svc =
+                DurableArrangementService::open(&dir, instance(), ts_policy(), opts).unwrap();
+            for round in 0..10 {
+                let a = svc.propose(&arrival(round)).unwrap();
+                svc.feedback(&accepts_for(round, &a)).unwrap();
+            }
+            svc.sync().unwrap();
+        }
+        // Same policy name (same fingerprint) but different seed: the
+        // replayed decisions will not match the logged ones.
+        let wrong_seed: Box<dyn Policy> = Box::new(ThompsonSampling::new(2, 1.0, 0.1, 9999));
+        match DurableArrangementService::open(&dir, instance(), wrong_seed, opts) {
+            Err(ServiceError::RecoveryDiverged { .. }) => {}
+            other => panic!("expected RecoveryDiverged, got {:?}", other.map(|_| ())),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn deterministic_policy_recovers_without_snapshot_support_too() {
+        // LinUcb is RNG-free: pure replay (no snapshot taken) must
+        // land in the same state as the uninterrupted run.
+        let dir = tmp("ucb");
+        let opts = DurableOptions {
+            fsync: FsyncPolicy::EveryN(3),
+            ..Default::default()
+        };
+        let ucb = || -> Box<dyn Policy> { Box::new(LinUcb::new(2, 1.0, 2.0)) };
+        let reference_state;
+        {
+            let mut svc = DurableArrangementService::open(&dir, instance(), ucb(), opts).unwrap();
+            for round in 0..20 {
+                let a = svc.propose(&arrival(round)).unwrap();
+                svc.feedback(&accepts_for(round, &a)).unwrap();
+            }
+            reference_state = svc.service().policy().save_state();
+        }
+        let svc = DurableArrangementService::open(&dir, instance(), ucb(), opts).unwrap();
+        assert_eq!(svc.service().policy().save_state(), reference_state);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

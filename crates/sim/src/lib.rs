@@ -28,6 +28,7 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod durable;
 pub mod memory;
 pub mod multi_user;
 pub mod plot;
@@ -38,12 +39,13 @@ pub mod runner;
 pub mod service;
 pub mod sweep;
 
+pub use durable::{service_fingerprint, DurableArrangementService, DurableOptions};
 pub use memory::MemoryModel;
 pub use multi_user::{run_multi_user, LearnerArchitecture, MultiUserRunResult};
-pub use rotating::{run_rotating, RotatingRunResult};
 pub use real_runner::{run_real, CuMode, RealRunConfig, RealRunResult};
 pub use report::{ascii_chart, write_csv, AsciiTable, CsvTable, CsvWriter};
-pub use service::{ArrangementService, ServiceError};
+pub use rotating::{run_rotating, RotatingRunResult};
 pub use runner::{
-    paper_checkpoints, Checkpoint, PolicyRunResult, RunConfig, SimulationResult, run_simulation,
+    paper_checkpoints, run_simulation, Checkpoint, PolicyRunResult, RunConfig, SimulationResult,
 };
+pub use service::{ArrangementService, ServiceError};

@@ -117,12 +117,8 @@ pub fn run_multi_user(
             let scores: Vec<f64> = (0..instance.num_events())
                 .map(|v| model.expected_reward(&arrival.contexts, fasea_core::EventId(v)))
                 .collect();
-            let arrangement = fasea_bandit::oracle_greedy(
-                &scores,
-                conflicts,
-                &opt_remaining,
-                arrival.capacity,
-            );
+            let arrangement =
+                fasea_bandit::oracle_greedy(&scores, conflicts, &opt_remaining, arrival.capacity);
             for &v in arrangement.events() {
                 let p = model.accept_probability(&arrival.contexts, v);
                 if Bernoulli::new(p).trial_with(coins.uniform(t, v.index() as u64)) {
@@ -218,7 +214,10 @@ mod tests {
             base: SyntheticConfig {
                 num_events: 8,
                 dim: 3,
-                capacity: fasea_datagen::CapacityModel { mean: 5.0, std: 0.0 },
+                capacity: fasea_datagen::CapacityModel {
+                    mean: 5.0,
+                    std: 0.0,
+                },
                 seed: 2,
                 ..Default::default()
             },

@@ -40,7 +40,11 @@ impl CsvWriter {
     /// Propagates I/O errors. Panics on column-count mismatch or fields
     /// containing commas/newlines (numeric reports never need quoting).
     pub fn row(&mut self, fields: &[String]) -> std::io::Result<()> {
-        assert_eq!(fields.len(), self.columns, "CsvWriter: column count mismatch");
+        assert_eq!(
+            fields.len(),
+            self.columns,
+            "CsvWriter: column count mismatch"
+        );
         assert!(
             fields.iter().all(|f| !f.contains(',') && !f.contains('\n')),
             "CsvWriter: fields must not need quoting"
@@ -103,7 +107,11 @@ impl AsciiTable {
     /// # Panics
     /// Panics on column-count mismatch.
     pub fn row(&mut self, fields: Vec<String>) -> &mut Self {
-        assert_eq!(fields.len(), self.header.len(), "AsciiTable: column mismatch");
+        assert_eq!(
+            fields.len(),
+            self.header.len(),
+            "AsciiTable: column mismatch"
+        );
         self.rows.push(fields);
         self
     }
@@ -160,9 +168,7 @@ impl CsvTable {
         let mut lines = content.lines();
         let header: Vec<String> = lines
             .next()
-            .ok_or_else(|| {
-                std::io::Error::new(std::io::ErrorKind::InvalidData, "empty CSV")
-            })?
+            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "empty CSV"))?
             .split(',')
             .map(|s| s.to_string())
             .collect();
@@ -175,7 +181,12 @@ impl CsvTable {
             if fields.len() != header.len() {
                 return Err(std::io::Error::new(
                     std::io::ErrorKind::InvalidData,
-                    format!("row {} has {} fields, header has {}", i + 2, fields.len(), header.len()),
+                    format!(
+                        "row {} has {} fields, header has {}",
+                        i + 2,
+                        fields.len(),
+                        header.len()
+                    ),
                 ));
             }
             rows.push(fields);

@@ -85,7 +85,8 @@ pub fn run_rotating(
                 .unwrap_or_else(|e| panic!("{}: {e}", st.policy.name()));
             st.policy
                 .observe(t, &arrival.contexts, &arrangement, &outcome.feedback);
-            st.accounting.record_round(arrangement.len(), outcome.reward);
+            st.accounting
+                .record_round(arrangement.len(), outcome.reward);
         }
     }
 

@@ -232,10 +232,12 @@ fn step_policy<M: RewardModel + Clone>(
     };
     let start = measure_time.then(Instant::now);
     let arrangement = st.policy.select(&view);
-    let outcome = st
-        .env
-        .step(t, arrival, &arrangement)
-        .unwrap_or_else(|e| panic!("policy {} proposed an infeasible arrangement: {e}", st.policy.name()));
+    let outcome = st.env.step(t, arrival, &arrangement).unwrap_or_else(|e| {
+        panic!(
+            "policy {} proposed an infeasible arrangement: {e}",
+            st.policy.name()
+        )
+    });
     st.policy
         .observe(t, &arrival.contexts, &arrangement, &outcome.feedback);
     if let Some(s) = start {
@@ -243,7 +245,8 @@ fn step_policy<M: RewardModel + Clone>(
         st.time.push(secs);
         st.time_p95.push(secs);
     }
-    st.accounting.record_round(arrangement.len(), outcome.reward);
+    st.accounting
+        .record_round(arrangement.len(), outcome.reward);
 }
 
 fn push_checkpoint<M: RewardModel + Clone>(
@@ -305,7 +308,10 @@ mod tests {
         assert_eq!(cps.len(), 9 + 100);
         // Short horizons truncate cleanly.
         assert_eq!(paper_checkpoints(500), vec![100, 200, 300, 400, 500]);
-        assert_eq!(paper_checkpoints(1000), vec![100, 200, 300, 400, 500, 600, 700, 800, 900, 1000]);
+        assert_eq!(
+            paper_checkpoints(1000),
+            vec![100, 200, 300, 400, 500, 600, 700, 800, 900, 1000]
+        );
     }
 
     #[test]
@@ -434,7 +440,10 @@ mod tests {
         let w = SyntheticWorkload::generate(SyntheticConfig {
             num_events: 5,
             dim: 3,
-            capacity: fasea_datagen::CapacityModel { mean: 3.0, std: 0.0 },
+            capacity: fasea_datagen::CapacityModel {
+                mean: 3.0,
+                std: 0.0,
+            },
             conflict_ratio: 0.0,
             horizon: 5000,
             seed: 33,

@@ -18,11 +18,12 @@
 //! The `arrangement_service` example wraps this in a line-oriented
 //! stdin/stdout protocol.
 
-use fasea_bandit::{Policy, SelectionView};
+use fasea_bandit::{Policy, SelectionView, SnapshotError};
 use fasea_core::{
     validate_arrangement, Arrangement, ContextMatrix, EventId, Feedback, ProblemInstance,
     RegretAccounting, UserArrival,
 };
+use fasea_store::StoreError;
 use std::fmt;
 
 /// Protocol violations and invariant breaches surfaced by the service.
@@ -45,6 +46,28 @@ pub enum ServiceError {
     /// The wrapped policy produced an infeasible arrangement — a policy
     /// bug that the service refuses to expose to users.
     PolicyProducedInfeasible(String),
+    /// The durable store failed (I/O, corruption, foreign log, …).
+    Store(StoreError),
+    /// A state snapshot could not be decoded or restored.
+    Snapshot(SnapshotError),
+    /// Deterministic WAL replay produced a different decision than the
+    /// logged one — the policy, RNG stream, or numeric environment
+    /// changed since the log was written, and recovery refuses to
+    /// fabricate history.
+    RecoveryDiverged {
+        /// WAL sequence number of the diverging record.
+        seq: u64,
+        /// What differed.
+        detail: String,
+    },
+    /// The persisted state belongs to a different policy than the one
+    /// supplied for recovery.
+    PolicyMismatch {
+        /// Policy name in the persisted state.
+        expected: String,
+        /// Name of the policy supplied.
+        found: String,
+    },
 }
 
 impl fmt::Display for ServiceError {
@@ -63,11 +86,34 @@ impl fmt::Display for ServiceError {
             ServiceError::PolicyProducedInfeasible(why) => {
                 write!(f, "policy produced an infeasible arrangement: {why}")
             }
+            ServiceError::Store(e) => write!(f, "durable store failure: {e}"),
+            ServiceError::Snapshot(e) => write!(f, "snapshot failure: {e}"),
+            ServiceError::RecoveryDiverged { seq, detail } => {
+                write!(f, "replay diverged from the log at seq {seq}: {detail}")
+            }
+            ServiceError::PolicyMismatch { expected, found } => {
+                write!(
+                    f,
+                    "persisted state is for policy {expected:?}, not {found:?}"
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for ServiceError {}
+
+impl From<StoreError> for ServiceError {
+    fn from(e: StoreError) -> Self {
+        ServiceError::Store(e)
+    }
+}
+
+impl From<SnapshotError> for ServiceError {
+    fn from(e: SnapshotError) -> Self {
+        ServiceError::Snapshot(e)
+    }
+}
 
 /// The live arrangement service.
 pub struct ArrangementService {
@@ -118,6 +164,67 @@ impl ArrangementService {
         self.pending.is_some()
     }
 
+    /// The pending proposal and the context block it was computed from,
+    /// if a proposal awaits feedback.
+    pub fn pending(&self) -> Option<(&Arrangement, &ContextMatrix)> {
+        self.pending.as_ref().map(|(a, c)| (a, c))
+    }
+
+    /// Read access to the wrapped policy (state snapshots).
+    pub fn policy(&self) -> &dyn Policy {
+        self.policy.as_ref()
+    }
+
+    /// The immutable problem description this service runs on.
+    pub fn instance(&self) -> &ProblemInstance {
+        &self.instance
+    }
+
+    /// Reassembles a service from recovered state: a policy whose
+    /// learning state was already restored, the remaining capacities,
+    /// the round counter, the pending proposal (if the service went
+    /// down mid-round), and the accounting totals. Used by
+    /// [`crate::durable::DurableArrangementService`] after loading a
+    /// snapshot; prefer [`ArrangementService::new`] everywhere else.
+    ///
+    /// # Errors
+    /// [`ServiceError::ContextShapeMismatch`] if `remaining` or the
+    /// pending context block do not match the instance shape, or if any
+    /// recovered remaining capacity exceeds the instance capacity.
+    pub fn from_parts(
+        instance: ProblemInstance,
+        policy: Box<dyn Policy>,
+        remaining: Vec<u32>,
+        t: u64,
+        pending: Option<(Arrangement, ContextMatrix)>,
+        accounting: RegretAccounting,
+    ) -> Result<Self, ServiceError> {
+        if remaining.len() != instance.num_events()
+            || remaining
+                .iter()
+                .zip(instance.capacities())
+                .any(|(&r, &c)| r > c)
+        {
+            return Err(ServiceError::ContextShapeMismatch);
+        }
+        if let Some((a, ctx)) = &pending {
+            if ctx.num_events() != instance.num_events()
+                || ctx.dim() != instance.dim()
+                || a.iter().any(|v| v.index() >= instance.num_events())
+            {
+                return Err(ServiceError::ContextShapeMismatch);
+            }
+        }
+        Ok(ArrangementService {
+            policy,
+            instance,
+            remaining,
+            t,
+            pending,
+            accounting,
+        })
+    }
+
     /// Proposes an arrangement for the arriving user. The proposal is
     /// pending until [`ArrangementService::feedback`] is called.
     ///
@@ -162,10 +269,7 @@ impl ArrangementService {
     /// [`ServiceError::NoPendingProposal`] or
     /// [`ServiceError::FeedbackLengthMismatch`].
     pub fn feedback(&mut self, accepted: &[bool]) -> Result<u32, ServiceError> {
-        let (arrangement, contexts) = self
-            .pending
-            .take()
-            .ok_or(ServiceError::NoPendingProposal)?;
+        let (arrangement, contexts) = self.pending.take().ok_or(ServiceError::NoPendingProposal)?;
         if accepted.len() != arrangement.len() {
             // Restore the pending state: the caller may retry correctly.
             let expected = arrangement.len();
@@ -208,8 +312,7 @@ mod tests {
 
     fn service(caps: Vec<u32>) -> ArrangementService {
         let n = caps.len();
-        let instance =
-            ProblemInstance::new(caps, ConflictGraph::new(n), 2, ProblemMode::Fasea);
+        let instance = ProblemInstance::new(caps, ConflictGraph::new(n), 2, ProblemMode::Fasea);
         ArrangementService::new(instance, Box::new(LinUcb::new(2, 1.0, 2.0)))
     }
 
@@ -231,10 +334,7 @@ mod tests {
         assert_eq!(svc.rounds_completed(), 1);
         assert!(!svc.has_pending());
         // Accepted events lost capacity.
-        let consumed: u32 = a
-            .iter()
-            .map(|v| 2 - svc.remaining_capacity(v))
-            .sum();
+        let consumed: u32 = a.iter().map(|v| 2 - svc.remaining_capacity(v)).sum();
         assert_eq!(consumed as usize, a.len());
     }
 
@@ -270,7 +370,10 @@ mod tests {
         let bad = UserArrival::new(1, ContextMatrix::zeros(3, 2));
         assert_eq!(svc.propose(&bad), Err(ServiceError::ContextShapeMismatch));
         let bad_dim = UserArrival::new(1, ContextMatrix::zeros(2, 5));
-        assert_eq!(svc.propose(&bad_dim), Err(ServiceError::ContextShapeMismatch));
+        assert_eq!(
+            svc.propose(&bad_dim),
+            Err(ServiceError::ContextShapeMismatch)
+        );
     }
 
     #[test]

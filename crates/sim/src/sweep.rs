@@ -62,9 +62,7 @@ mod tests {
 
     #[test]
     fn preserves_order() {
-        let jobs: Vec<_> = (0..32)
-            .map(|i| move || i * 10)
-            .collect();
+        let jobs: Vec<_> = (0..32).map(|i| move || i * 10).collect();
         let out = run_parallel(jobs, 4);
         assert_eq!(out, (0..32).map(|i| i * 10).collect::<Vec<_>>());
     }
@@ -107,9 +105,6 @@ mod tests {
             })
             .collect();
         run_parallel(jobs, 4);
-        assert!(
-            peak.load(Ordering::SeqCst) >= 2,
-            "no observed concurrency"
-        );
+        assert!(peak.load(Ordering::SeqCst) >= 2, "no observed concurrency");
     }
 }

@@ -53,9 +53,7 @@ impl CoinStream {
     #[inline]
     pub fn uniform(&self, t: u64, v: u64) -> f64 {
         u64_to_unit_f64(mix64(
-            self.seed
-                ^ t.wrapping_mul(0xA24BAED4963EE407)
-                ^ v.wrapping_mul(0x9FB21C651E98DF25),
+            self.seed ^ t.wrapping_mul(0xA24BAED4963EE407) ^ v.wrapping_mul(0x9FB21C651E98DF25),
         ))
     }
 

@@ -41,7 +41,10 @@ impl Uniform {
     /// # Panics
     /// Panics if `a > b` or either bound is non-finite.
     pub fn new(a: f64, b: f64) -> Self {
-        assert!(a.is_finite() && b.is_finite(), "Uniform: bounds must be finite");
+        assert!(
+            a.is_finite() && b.is_finite(),
+            "Uniform: bounds must be finite"
+        );
         assert!(a <= b, "Uniform: a must be <= b");
         Uniform { a, b }
     }
@@ -98,7 +101,10 @@ impl Normal {
     /// # Panics
     /// Panics if `sigma < 0` or either parameter is non-finite.
     pub fn new(mu: f64, sigma: f64) -> Self {
-        assert!(mu.is_finite() && sigma.is_finite(), "Normal: parameters must be finite");
+        assert!(
+            mu.is_finite() && sigma.is_finite(),
+            "Normal: parameters must be finite"
+        );
         assert!(sigma >= 0.0, "Normal: sigma must be non-negative");
         Normal { mu, sigma }
     }

@@ -250,9 +250,7 @@ mod tests {
     #[test]
     fn independent_rankings_near_zero() {
         // Interleaved hash-derived sequences: expect |tau| small.
-        let a: Vec<f64> = (0..500u64)
-            .map(|i| crate::crn::mix64(i) as f64)
-            .collect();
+        let a: Vec<f64> = (0..500u64).map(|i| crate::crn::mix64(i) as f64).collect();
         let b: Vec<f64> = (0..500u64)
             .map(|i| crate::crn::mix64(i ^ 0xDEADBEEF) as f64)
             .collect();

@@ -50,3 +50,16 @@ pub fn rng_from_seed(seed: u64) -> Rng {
     use rand::SeedableRng;
     Rng::seed_from_u64(seed)
 }
+
+/// Exports the RNG's exact internal state, so durable snapshots can
+/// resume a policy's private randomness mid-stream (crash recovery must
+/// re-draw precisely the values the uninterrupted run would have).
+pub fn rng_state(rng: &Rng) -> [u8; 32] {
+    rng.to_state_bytes()
+}
+
+/// Rebuilds an RNG from a state exported by [`rng_state`], continuing
+/// the stream exactly where it left off.
+pub fn rng_from_state(state: [u8; 32]) -> Rng {
+    Rng::from_state_bytes(state)
+}

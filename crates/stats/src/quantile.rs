@@ -178,10 +178,7 @@ mod tests {
         all.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let truth = exact_quantile(&all, 0.95);
         let v = est.value().unwrap();
-        assert!(
-            (v - truth).abs() < 0.1,
-            "p95 estimate {v} vs exact {truth}"
-        );
+        assert!((v - truth).abs() < 0.1, "p95 estimate {v} vs exact {truth}");
         // Theoretical value: 10 + 1.645*2 ≈ 13.29.
         assert!((v - 13.29).abs() < 0.15, "p95 {v}");
     }
@@ -206,7 +203,10 @@ mod tests {
             est.push(i as f64);
         }
         let v = est.value().unwrap();
-        assert!((v - 9000.0).abs() < 150.0, "p90 of 0..10000 ≈ 9000, got {v}");
+        assert!(
+            (v - 9000.0).abs() < 150.0,
+            "p90 of 0..10000 ≈ 9000, got {v}"
+        );
     }
 
     #[test]
@@ -233,10 +233,7 @@ mod tests {
         all.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let truth = exact_quantile(&all, 0.99);
         let v = est.value().unwrap();
-        assert!(
-            (v - truth).abs() / truth < 0.1,
-            "p99 {v} vs exact {truth}"
-        );
+        assert!((v - truth).abs() / truth < 0.1, "p99 {v} vs exact {truth}");
     }
 
     #[test]

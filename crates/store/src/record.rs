@@ -1,0 +1,471 @@
+//! WAL record types and their binary codec.
+//!
+//! Every mutation of the arrangement service is one [`Record`]. Records
+//! are framed on disk as
+//!
+//! ```text
+//! len  u32   payload length in bytes
+//! crc  u32   CRC-32 of the payload
+//! payload    tag u8 | seq u64 | body
+//! ```
+//!
+//! (all integers little-endian). The frame is what makes torn writes
+//! detectable: a record cut short by a crash either has fewer bytes
+//! than `len` promises or fails the CRC, and the tail of the final
+//! segment is truncated back to the last intact frame. The sequence
+//! number inside the payload makes records self-identifying, so replay
+//! can verify the log is gap-free even across segment boundaries.
+//!
+//! Record bodies:
+//!
+//! | tag | record           | body |
+//! |-----|------------------|------|
+//! | 1   | `Propose`        | `t u64, user_capacity u32, num_events u32, dim u32, contexts f64×(n·d), arr_len u32, arrangement u32×len, context_hash u64` |
+//! | 2   | `Feedback`       | `t u64, len u32, accepts u8×len` |
+//! | 3   | `SnapshotMarker` | `snapshot_seq u64` |
+//!
+//! `Propose` logs the *full* revealed context block, not just its hash:
+//! recovery re-executes the policy's `select` on the logged contexts
+//! and cross-checks the resulting arrangement against the logged one,
+//! which both rebuilds policy-internal state (score caches, RNG
+//! advancement) and detects non-deterministic replay. The hash is kept
+//! as a cheap end-to-end integrity check on the context floats.
+
+use crate::crc::crc32;
+use crate::{StoreError, TAG_FEEDBACK, TAG_PROPOSE, TAG_SNAPSHOT_MARKER};
+use std::io::{self, Read, Write};
+
+/// Upper bound on a record payload (16 MiB). A `len` above this is
+/// treated as corruption rather than an allocation request.
+pub const MAX_PAYLOAD: u32 = 16 << 20;
+
+/// One durable mutation of the arrangement service.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Record {
+    /// An arrangement was proposed to the arriving user at round `t`.
+    /// Logged *after* the policy computed it (compute-then-log): if the
+    /// process dies before this record is durable, recovery re-draws
+    /// the identical proposal from the replayed policy state.
+    Propose {
+        /// Round index of the proposal.
+        t: u64,
+        /// The arriving user's capacity `c_u`.
+        user_capacity: u32,
+        /// Number of events in the revealed context block.
+        num_events: u32,
+        /// Context dimension `d`.
+        dim: u32,
+        /// Row-major revealed contexts (`num_events × dim`).
+        contexts: Vec<f64>,
+        /// Arranged event indices.
+        arrangement: Vec<u32>,
+        /// FNV-1a hash over the context bytes (fast integrity check).
+        context_hash: u64,
+    },
+    /// The user's accept/reject answers for the pending proposal of
+    /// round `t`. Logged *before* being applied (log-then-apply).
+    Feedback {
+        /// Round index the feedback answers.
+        t: u64,
+        /// Accept/reject per arranged slot.
+        accepts: Vec<bool>,
+    },
+    /// A service snapshot covering every record with sequence number
+    /// `< snapshot_seq` exists on disk; older segments are compactable.
+    SnapshotMarker {
+        /// First sequence number *not* covered by the snapshot.
+        snapshot_seq: u64,
+    },
+}
+
+impl Record {
+    /// The frame tag byte for this record type.
+    pub fn tag(&self) -> u8 {
+        match self {
+            Record::Propose { .. } => TAG_PROPOSE,
+            Record::Feedback { .. } => TAG_FEEDBACK,
+            Record::SnapshotMarker { .. } => TAG_SNAPSHOT_MARKER,
+        }
+    }
+
+    /// Short name for diagnostics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Record::Propose { .. } => "Propose",
+            Record::Feedback { .. } => "Feedback",
+            Record::SnapshotMarker { .. } => "SnapshotMarker",
+        }
+    }
+}
+
+/// FNV-1a over the little-endian bytes of a context block, the
+/// `context_hash` carried by [`Record::Propose`].
+pub fn context_hash(contexts: &[f64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in contexts {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    h
+}
+
+/// Serialises the payload (`tag | seq | body`) of one record.
+pub fn encode_payload(seq: u64, record: &Record) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    out.push(record.tag());
+    out.extend_from_slice(&seq.to_le_bytes());
+    match record {
+        Record::Propose {
+            t,
+            user_capacity,
+            num_events,
+            dim,
+            contexts,
+            arrangement,
+            context_hash,
+        } => {
+            out.extend_from_slice(&t.to_le_bytes());
+            out.extend_from_slice(&user_capacity.to_le_bytes());
+            out.extend_from_slice(&num_events.to_le_bytes());
+            out.extend_from_slice(&dim.to_le_bytes());
+            for v in contexts {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            out.extend_from_slice(&(arrangement.len() as u32).to_le_bytes());
+            for v in arrangement {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            out.extend_from_slice(&context_hash.to_le_bytes());
+        }
+        Record::Feedback { t, accepts } => {
+            out.extend_from_slice(&t.to_le_bytes());
+            out.extend_from_slice(&(accepts.len() as u32).to_le_bytes());
+            out.extend(accepts.iter().map(|&b| b as u8));
+        }
+        Record::SnapshotMarker { snapshot_seq } => {
+            out.extend_from_slice(&snapshot_seq.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Writes one framed record (`len | crc | payload`) to `w`. Returns the
+/// number of bytes written.
+pub fn write_frame<W: Write>(w: &mut W, seq: u64, record: &Record) -> io::Result<u64> {
+    let payload = encode_payload(seq, record);
+    let crc = crc32(&payload);
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(&crc.to_le_bytes())?;
+    w.write_all(&payload)?;
+    Ok(8 + payload.len() as u64)
+}
+
+/// Outcome of reading one frame from a stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FrameOutcome {
+    /// A fully intact record.
+    Ok {
+        /// The record's sequence number.
+        seq: u64,
+        /// The decoded record.
+        record: Record,
+        /// Frame size in bytes (header + payload).
+        bytes: u64,
+    },
+    /// Clean end of stream: zero bytes remained.
+    Eof,
+    /// The stream ends inside a frame, or the frame fails its CRC or
+    /// decodes to garbage — a torn or corrupted tail. `valid_prefix`
+    /// additional bytes (always 0 here) are *not* part of the damage;
+    /// the caller truncates the file back to the frame start.
+    Torn {
+        /// Human-readable reason the frame was rejected.
+        why: &'static str,
+    },
+}
+
+/// Reads one framed record. Partial reads (as produced by
+/// [`crate::fault::ShortReader`]) are handled by `read_exact`; only a
+/// genuine end-of-stream inside a frame reports [`FrameOutcome::Torn`].
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<FrameOutcome> {
+    let mut len_buf = [0u8; 4];
+    // Distinguish clean EOF (no bytes) from a torn length field.
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len_buf[filled..])? {
+            0 if filled == 0 => return Ok(FrameOutcome::Eof),
+            0 => {
+                return Ok(FrameOutcome::Torn {
+                    why: "torn length field",
+                })
+            }
+            n => filled += n,
+        }
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len == 0 || len > MAX_PAYLOAD {
+        return Ok(FrameOutcome::Torn {
+            why: "implausible payload length",
+        });
+    }
+    let mut crc_buf = [0u8; 4];
+    if read_exact_or_eof(r, &mut crc_buf)?.is_none() {
+        return Ok(FrameOutcome::Torn {
+            why: "torn checksum field",
+        });
+    }
+    let expect_crc = u32::from_le_bytes(crc_buf);
+    let mut payload = vec![0u8; len as usize];
+    if read_exact_or_eof(r, &mut payload)?.is_none() {
+        return Ok(FrameOutcome::Torn {
+            why: "torn payload",
+        });
+    }
+    if crc32(&payload) != expect_crc {
+        return Ok(FrameOutcome::Torn {
+            why: "checksum mismatch",
+        });
+    }
+    match decode_payload(&payload) {
+        Ok((seq, record)) => Ok(FrameOutcome::Ok {
+            seq,
+            record,
+            bytes: 8 + len as u64,
+        }),
+        // CRC passed but the payload is malformed: an encoder/decoder
+        // mismatch rather than disk damage, but still a rejection.
+        Err(_) => Ok(FrameOutcome::Torn {
+            why: "undecodable payload",
+        }),
+    }
+}
+
+fn read_exact_or_eof<R: Read>(r: &mut R, buf: &mut [u8]) -> io::Result<Option<()>> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..])? {
+            0 => return Ok(None),
+            n => filled += n,
+        }
+    }
+    Ok(Some(()))
+}
+
+/// Decodes a payload (`tag | seq | body`) produced by
+/// [`encode_payload`].
+pub fn decode_payload(payload: &[u8]) -> Result<(u64, Record), StoreError> {
+    let mut at = 0usize;
+    let corrupt = |what: &'static str| StoreError::CorruptRecord { seq: None, what };
+    let take = |at: &mut usize, n: usize| -> Result<&[u8], StoreError> {
+        if *at + n > payload.len() {
+            return Err(corrupt("payload truncated"));
+        }
+        let s = &payload[*at..*at + n];
+        *at += n;
+        Ok(s)
+    };
+
+    let tag = take(&mut at, 1)?[0];
+    let seq = u64::from_le_bytes(take(&mut at, 8)?.try_into().unwrap());
+    let record = match tag {
+        TAG_PROPOSE => {
+            let t = u64::from_le_bytes(take(&mut at, 8)?.try_into().unwrap());
+            let user_capacity = u32::from_le_bytes(take(&mut at, 4)?.try_into().unwrap());
+            let num_events = u32::from_le_bytes(take(&mut at, 4)?.try_into().unwrap());
+            let dim = u32::from_le_bytes(take(&mut at, 4)?.try_into().unwrap());
+            let cells = (num_events as usize)
+                .checked_mul(dim as usize)
+                .ok_or_else(|| corrupt("context shape overflow"))?;
+            let raw = take(&mut at, 8 * cells)?;
+            let contexts: Vec<f64> = raw
+                .chunks_exact(8)
+                .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+                .collect();
+            let arr_len = u32::from_le_bytes(take(&mut at, 4)?.try_into().unwrap());
+            if arr_len > num_events {
+                return Err(corrupt("arrangement longer than event set"));
+            }
+            let raw = take(&mut at, 4 * arr_len as usize)?;
+            let arrangement: Vec<u32> = raw
+                .chunks_exact(4)
+                .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+                .collect();
+            if arrangement.iter().any(|&v| v >= num_events) {
+                return Err(corrupt("arranged event out of range"));
+            }
+            let context_hash = u64::from_le_bytes(take(&mut at, 8)?.try_into().unwrap());
+            Record::Propose {
+                t,
+                user_capacity,
+                num_events,
+                dim,
+                contexts,
+                arrangement,
+                context_hash,
+            }
+        }
+        TAG_FEEDBACK => {
+            let t = u64::from_le_bytes(take(&mut at, 8)?.try_into().unwrap());
+            let len = u32::from_le_bytes(take(&mut at, 4)?.try_into().unwrap());
+            let raw = take(&mut at, len as usize)?;
+            if raw.iter().any(|&b| b > 1) {
+                return Err(corrupt("feedback byte is not a bool"));
+            }
+            let accepts = raw.iter().map(|&b| b == 1).collect();
+            Record::Feedback { t, accepts }
+        }
+        TAG_SNAPSHOT_MARKER => {
+            let snapshot_seq = u64::from_le_bytes(take(&mut at, 8)?.try_into().unwrap());
+            Record::SnapshotMarker { snapshot_seq }
+        }
+        _ => return Err(corrupt("unknown record tag")),
+    };
+    if at != payload.len() {
+        return Err(corrupt("trailing payload bytes"));
+    }
+    Ok((seq, record))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_propose() -> Record {
+        let contexts: Vec<f64> = (0..6).map(|i| i as f64 * 0.25 - 0.5).collect();
+        Record::Propose {
+            t: 41,
+            user_capacity: 3,
+            num_events: 3,
+            dim: 2,
+            context_hash: context_hash(&contexts),
+            contexts,
+            arrangement: vec![2, 0],
+        }
+    }
+
+    #[test]
+    fn round_trip_all_kinds() {
+        let records = [
+            sample_propose(),
+            Record::Feedback {
+                t: 41,
+                accepts: vec![true, false],
+            },
+            Record::SnapshotMarker { snapshot_seq: 84 },
+        ];
+        for (i, rec) in records.iter().enumerate() {
+            let payload = encode_payload(1000 + i as u64, rec);
+            let (seq, decoded) = decode_payload(&payload).unwrap();
+            assert_eq!(seq, 1000 + i as u64);
+            assert_eq!(&decoded, rec);
+        }
+    }
+
+    #[test]
+    fn frame_round_trip() {
+        let mut buf = Vec::new();
+        let rec = sample_propose();
+        let bytes = write_frame(&mut buf, 7, &rec).unwrap();
+        assert_eq!(bytes as usize, buf.len());
+        let mut r = &buf[..];
+        match read_frame(&mut r).unwrap() {
+            FrameOutcome::Ok {
+                seq,
+                record,
+                bytes: b,
+            } => {
+                assert_eq!(seq, 7);
+                assert_eq!(record, rec);
+                assert_eq!(b, bytes);
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        assert_eq!(read_frame(&mut r).unwrap(), FrameOutcome::Eof);
+    }
+
+    #[test]
+    fn torn_frame_detected_at_every_cut() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 0, &sample_propose()).unwrap();
+        for cut in 1..buf.len() {
+            let mut r = &buf[..cut];
+            assert!(
+                matches!(read_frame(&mut r).unwrap(), FrameOutcome::Torn { .. }),
+                "cut at {cut} not reported as torn"
+            );
+        }
+    }
+
+    #[test]
+    fn bit_flip_detected_everywhere_in_payload() {
+        let mut buf = Vec::new();
+        write_frame(
+            &mut buf,
+            3,
+            &Record::Feedback {
+                t: 9,
+                accepts: vec![true, true, false],
+            },
+        )
+        .unwrap();
+        // Flipping any bit after the length field must fail the CRC (a
+        // flip inside `len` instead yields a torn/implausible frame).
+        for byte in 4..buf.len() {
+            for bit in 0..8 {
+                let mut copy = buf.clone();
+                copy[byte] ^= 1 << bit;
+                let mut r = &copy[..];
+                assert!(
+                    matches!(read_frame(&mut r).unwrap(), FrameOutcome::Torn { .. }),
+                    "flip at {byte}:{bit} accepted"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_length_rejected_without_allocating() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.extend_from_slice(&[0u8; 16]);
+        let mut r = &buf[..];
+        assert!(matches!(
+            read_frame(&mut r).unwrap(),
+            FrameOutcome::Torn {
+                why: "implausible payload length"
+            }
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_structural_garbage() {
+        // Unknown tag.
+        let mut payload = encode_payload(0, &Record::SnapshotMarker { snapshot_seq: 1 });
+        payload[0] = 99;
+        assert!(decode_payload(&payload).is_err());
+        // Arrangement index out of range.
+        let bad = Record::Propose {
+            t: 0,
+            user_capacity: 1,
+            num_events: 2,
+            dim: 1,
+            contexts: vec![0.0, 0.0],
+            arrangement: vec![5],
+            context_hash: 0,
+        };
+        let payload = encode_payload(0, &bad);
+        assert!(decode_payload(&payload).is_err());
+        // Trailing bytes.
+        let mut payload = encode_payload(0, &Record::SnapshotMarker { snapshot_seq: 1 });
+        payload.push(0);
+        assert!(decode_payload(&payload).is_err());
+    }
+
+    #[test]
+    fn context_hash_is_order_sensitive() {
+        assert_ne!(context_hash(&[1.0, 2.0]), context_hash(&[2.0, 1.0]));
+        assert_eq!(context_hash(&[]), 0xcbf2_9ce4_8422_2325);
+    }
+}

@@ -1,0 +1,783 @@
+//! The segmented write-ahead log.
+//!
+//! A WAL directory holds segment files named `wal-<first_seq>.log`
+//! (20-digit zero-padded decimal, so lexicographic order is sequence
+//! order). Each segment starts with a 32-byte self-describing header:
+//!
+//! ```text
+//! magic       "FASEAWAL"   8 bytes
+//! version     u32          4 bytes
+//! reserved    u32          4 bytes   (zero)
+//! fingerprint u64          8 bytes   (service-instance fingerprint)
+//! first_seq   u64          8 bytes   (seq of the segment's first record)
+//! ```
+//!
+//! followed by framed records (see [`crate::record`]). The writer
+//! rotates to a fresh segment once the current one crosses
+//! [`WalOptions::segment_bytes`].
+//!
+//! ## Crash semantics
+//!
+//! * A crash mid-append leaves a torn frame at the end of the **final**
+//!   segment; [`Wal::open`] truncates the file back to the last intact
+//!   frame boundary and continues. Nothing before the torn frame is
+//!   touched. (A bit flip inside the final segment is indistinguishable
+//!   from a torn tail and is handled the same way — the log recovers to
+//!   the longest intact prefix, never to a corrupt record.)
+//! * A failed CRC in a segment that has **successors** cannot be a torn
+//!   write — records after the damage were once acknowledged — and is
+//!   reported as [`StoreError::CorruptSegment`] rather than silently
+//!   dropped, since discarding them would fork history.
+//! * Segment headers embed the service-instance fingerprint; replaying
+//!   a log into a differently-configured service fails with
+//!   [`StoreError::ForeignInstance`] instead of corrupting state.
+//!
+//! Durability is tunable per append via [`FsyncPolicy`].
+
+use crate::record::{read_frame, write_frame, FrameOutcome, Record};
+use crate::StoreError;
+use std::fs::{self, File, OpenOptions};
+use std::io::{BufReader, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Magic prefix of every WAL segment.
+pub const MAGIC: &[u8; 8] = b"FASEAWAL";
+/// Current segment-format version.
+pub const VERSION: u32 = 1;
+/// Size of the segment header in bytes.
+pub const HEADER_BYTES: u64 = 32;
+
+/// When `append` forces data to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fsync` after every record — maximum durability, slowest.
+    Always,
+    /// `fsync` after every `n` records (and on rotation/snapshot).
+    EveryN(u32),
+    /// Never `fsync` from `append`; the OS flushes when it pleases.
+    /// A crash may lose the most recent acknowledged records, but the
+    /// log still recovers to a *prefix* of history (torn-tail rule).
+    Never,
+}
+
+impl FsyncPolicy {
+    /// Short stable label used in reports and benches.
+    pub fn label(&self) -> String {
+        match self {
+            FsyncPolicy::Always => "always".to_string(),
+            FsyncPolicy::EveryN(n) => format!("every-{n}"),
+            FsyncPolicy::Never => "never".to_string(),
+        }
+    }
+}
+
+/// Tuning knobs for the log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalOptions {
+    /// Rotate to a new segment once the current one reaches this many
+    /// bytes (header included). Small values are useful in tests.
+    pub segment_bytes: u64,
+    /// Durability policy for `append`.
+    pub fsync: FsyncPolicy,
+}
+
+impl Default for WalOptions {
+    fn default() -> Self {
+        WalOptions {
+            segment_bytes: 4 << 20,
+            fsync: FsyncPolicy::EveryN(32),
+        }
+    }
+}
+
+/// What [`Wal::open`] found on disk.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recovered {
+    /// Every intact record, in sequence order.
+    pub records: Vec<(u64, Record)>,
+    /// Bytes of torn tail truncated from the final segment (0 when the
+    /// shutdown was clean).
+    pub truncated_bytes: u64,
+}
+
+/// The append side of the log.
+#[derive(Debug)]
+pub struct Wal {
+    dir: PathBuf,
+    fingerprint: u64,
+    options: WalOptions,
+    file: File,
+    segment_path: PathBuf,
+    segment_len: u64,
+    next_seq: u64,
+    unsynced: u32,
+}
+
+fn segment_name(first_seq: u64) -> String {
+    format!("wal-{first_seq:020}.log")
+}
+
+fn encode_header(fingerprint: u64, first_seq: u64) -> [u8; HEADER_BYTES as usize] {
+    let mut h = [0u8; HEADER_BYTES as usize];
+    h[0..8].copy_from_slice(MAGIC);
+    h[8..12].copy_from_slice(&VERSION.to_le_bytes());
+    // bytes 12..16 reserved, zero
+    h[16..24].copy_from_slice(&fingerprint.to_le_bytes());
+    h[24..32].copy_from_slice(&first_seq.to_le_bytes());
+    h
+}
+
+fn read_header(path: &Path, r: &mut impl Read, expected_fp: u64) -> Result<u64, StoreError> {
+    let mut h = [0u8; HEADER_BYTES as usize];
+    let mut filled = 0;
+    while filled < h.len() {
+        match r
+            .read(&mut h[filled..])
+            .map_err(|e| StoreError::io("read header", path, &e))?
+        {
+            0 => {
+                return Err(StoreError::CorruptSegment {
+                    path: path.display().to_string(),
+                    what: "shorter than its header".to_string(),
+                })
+            }
+            n => filled += n,
+        }
+    }
+    if &h[0..8] != MAGIC {
+        return Err(StoreError::NotAWalSegment {
+            path: path.display().to_string(),
+        });
+    }
+    let version = u32::from_le_bytes(h[8..12].try_into().unwrap());
+    if version != VERSION {
+        return Err(StoreError::BadVersion { found: version });
+    }
+    let fp = u64::from_le_bytes(h[16..24].try_into().unwrap());
+    if fp != expected_fp {
+        return Err(StoreError::ForeignInstance {
+            expected: expected_fp,
+            found: fp,
+        });
+    }
+    Ok(u64::from_le_bytes(h[24..32].try_into().unwrap()))
+}
+
+/// Lists segment files in `dir` in sequence order.
+fn list_segments(dir: &Path) -> Result<Vec<PathBuf>, StoreError> {
+    let mut out = Vec::new();
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(ref e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(out),
+        Err(e) => return Err(StoreError::io("list segments", dir, &e)),
+    };
+    for entry in entries {
+        let entry = entry.map_err(|e| StoreError::io("list segments", dir, &e))?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with("wal-") && name.ends_with(".log") {
+            out.push(entry.path());
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Scans one segment, appending intact records to `records` and byte
+/// boundaries (positions after the header and after each intact frame)
+/// to `boundaries`. Returns the clean length of the file, whether a
+/// torn tail was found, and the sequence number expected of the next
+/// segment (`first_seq` + records in this one).
+fn scan_segment(
+    path: &Path,
+    expected_fp: u64,
+    expected_first_seq: Option<u64>,
+    records: &mut Vec<(u64, Record)>,
+    boundaries: &mut Vec<(PathBuf, u64)>,
+) -> Result<(u64, Option<&'static str>, u64), StoreError> {
+    let file = File::open(path).map_err(|e| StoreError::io("open segment", path, &e))?;
+    let mut r = BufReader::new(file);
+    let first_seq = read_header(path, &mut r, expected_fp)?;
+    if let Some(expect) = expected_first_seq {
+        if first_seq != expect {
+            return Err(StoreError::SequenceGap {
+                expected: expect,
+                found: first_seq,
+            });
+        }
+    }
+    boundaries.push((path.to_path_buf(), HEADER_BYTES));
+    let mut clean_len = HEADER_BYTES;
+    let mut expect_seq = first_seq;
+    loop {
+        match read_frame(&mut r).map_err(|e| StoreError::io("read record", path, &e))? {
+            FrameOutcome::Eof => return Ok((clean_len, None, expect_seq)),
+            FrameOutcome::Torn { why } => return Ok((clean_len, Some(why), expect_seq)),
+            FrameOutcome::Ok { seq, record, bytes } => {
+                if seq != expect_seq {
+                    return Err(StoreError::SequenceGap {
+                        expected: expect_seq,
+                        found: seq,
+                    });
+                }
+                clean_len += bytes;
+                expect_seq += 1;
+                records.push((seq, record));
+                boundaries.push((path.to_path_buf(), clean_len));
+            }
+        }
+    }
+}
+
+impl Wal {
+    /// Opens (or initialises) the log in `dir`, recovering from a torn
+    /// tail if the last shutdown was a crash.
+    ///
+    /// Returns the writer plus everything intact on disk — the caller
+    /// replays [`Recovered::records`] into its in-memory state.
+    ///
+    /// # Errors
+    /// I/O failures, foreign-instance logs, and corruption anywhere
+    /// other than the final segment's truncatable tail.
+    pub fn open(
+        dir: &Path,
+        fingerprint: u64,
+        options: WalOptions,
+    ) -> Result<(Self, Recovered), StoreError> {
+        fs::create_dir_all(dir).map_err(|e| StoreError::io("create wal dir", dir, &e))?;
+        let segments = list_segments(dir)?;
+        let mut records = Vec::new();
+        let mut boundaries = Vec::new();
+        let mut truncated_bytes = 0u64;
+
+        if segments.is_empty() {
+            let (file, segment_path) = create_segment(dir, fingerprint, 0)?;
+            return Ok((
+                Wal {
+                    dir: dir.to_path_buf(),
+                    fingerprint,
+                    options,
+                    file,
+                    segment_path,
+                    segment_len: HEADER_BYTES,
+                    next_seq: 0,
+                    unsynced: 0,
+                },
+                Recovered {
+                    records,
+                    truncated_bytes,
+                },
+            ));
+        }
+
+        let mut expected_first: Option<u64> = None;
+        let mut last_clean_len = 0u64;
+        let mut next_seq = 0u64;
+        for (i, path) in segments.iter().enumerate() {
+            let is_last = i == segments.len() - 1;
+            let (clean_len, torn, seq_after) = scan_segment(
+                path,
+                fingerprint,
+                expected_first,
+                &mut records,
+                &mut boundaries,
+            )?;
+            if let Some(why) = torn {
+                if !is_last {
+                    // Damage with acknowledged history after it: refuse.
+                    return Err(StoreError::CorruptSegment {
+                        path: path.display().to_string(),
+                        what: format!("{why}, but later segments exist"),
+                    });
+                }
+                let disk_len = fs::metadata(path)
+                    .map_err(|e| StoreError::io("stat segment", path, &e))?
+                    .len();
+                truncated_bytes = disk_len - clean_len;
+                let f = OpenOptions::new()
+                    .write(true)
+                    .open(path)
+                    .map_err(|e| StoreError::io("open segment for truncate", path, &e))?;
+                f.set_len(clean_len)
+                    .map_err(|e| StoreError::io("truncate torn tail", path, &e))?;
+                f.sync_all()
+                    .map_err(|e| StoreError::io("sync truncated segment", path, &e))?;
+            }
+            last_clean_len = clean_len;
+            expected_first = Some(seq_after);
+            next_seq = seq_after;
+        }
+        let segment_path = segments.last().unwrap().clone();
+        let mut file = OpenOptions::new()
+            .write(true)
+            .open(&segment_path)
+            .map_err(|e| StoreError::io("open segment for append", &segment_path, &e))?;
+        file.seek(SeekFrom::Start(last_clean_len))
+            .map_err(|e| StoreError::io("seek to append position", &segment_path, &e))?;
+        Ok((
+            Wal {
+                dir: dir.to_path_buf(),
+                fingerprint,
+                options,
+                file,
+                segment_path,
+                segment_len: last_clean_len,
+                next_seq,
+                unsynced: 0,
+            },
+            Recovered {
+                records,
+                truncated_bytes,
+            },
+        ))
+    }
+
+    /// The sequence number the next append will receive.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// The directory this log lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The active segment's path (diagnostics/tests).
+    pub fn current_segment(&self) -> &Path {
+        &self.segment_path
+    }
+
+    /// Appends one record, applying the fsync policy, rotating the
+    /// segment when full. Returns the record's sequence number.
+    ///
+    /// After an `Err` the writer must be considered poisoned: the
+    /// in-memory service may have diverged from the log, and the safe
+    /// continuation is to drop the service and recover from disk.
+    pub fn append(&mut self, record: &Record) -> Result<u64, StoreError> {
+        let seq = self.next_seq;
+        let bytes = write_frame(&mut self.file, seq, record)
+            .map_err(|e| StoreError::io("append record", &self.segment_path, &e))?;
+        self.next_seq += 1;
+        self.segment_len += bytes;
+        self.unsynced += 1;
+        match self.options.fsync {
+            FsyncPolicy::Always => self.sync()?,
+            FsyncPolicy::EveryN(n) => {
+                if self.unsynced >= n.max(1) {
+                    self.sync()?;
+                }
+            }
+            FsyncPolicy::Never => {}
+        }
+        if self.segment_len >= self.options.segment_bytes {
+            self.rotate()?;
+        }
+        Ok(seq)
+    }
+
+    /// Forces everything appended so far to stable storage.
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        self.file
+            .flush()
+            .and_then(|_| self.file.sync_all())
+            .map_err(|e| StoreError::io("fsync segment", &self.segment_path, &e))?;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// Closes the current segment and starts a fresh one (also done
+    /// automatically when a segment fills). The old segment is synced
+    /// first so rotation is a durability point regardless of policy.
+    /// A no-op (beyond the sync) if the current segment holds no
+    /// records yet — the fresh segment would carry the same first
+    /// sequence number as the existing one.
+    pub fn rotate(&mut self) -> Result<(), StoreError> {
+        self.sync()?;
+        if self.segment_len == HEADER_BYTES {
+            return Ok(());
+        }
+        let (file, path) = create_segment(&self.dir, self.fingerprint, self.next_seq)?;
+        self.file = file;
+        self.segment_path = path;
+        self.segment_len = HEADER_BYTES;
+        Ok(())
+    }
+
+    /// Deletes every segment whose records all have sequence numbers
+    /// below `seq` (never the active segment). Called after a snapshot
+    /// at `seq` makes those records redundant. Returns the number of
+    /// segments removed.
+    pub fn compact_below(&mut self, seq: u64) -> Result<usize, StoreError> {
+        let segments = list_segments(&self.dir)?;
+        let mut removed = 0;
+        for pair in segments.windows(2) {
+            let (path, next) = (&pair[0], &pair[1]);
+            if *path == self.segment_path {
+                break;
+            }
+            // The segment's records end where the next segment starts.
+            let next_first = first_seq_of(next)?;
+            if next_first <= seq {
+                fs::remove_file(path).map_err(|e| StoreError::io("remove segment", path, &e))?;
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+}
+
+fn first_seq_of(path: &Path) -> Result<u64, StoreError> {
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().to_string())
+        .unwrap_or_default();
+    name.strip_prefix("wal-")
+        .and_then(|s| s.strip_suffix(".log"))
+        .and_then(|s| s.parse::<u64>().ok())
+        .ok_or_else(|| StoreError::CorruptSegment {
+            path: path.display().to_string(),
+            what: "unparsable segment file name".to_string(),
+        })
+}
+
+fn create_segment(
+    dir: &Path,
+    fingerprint: u64,
+    first_seq: u64,
+) -> Result<(File, PathBuf), StoreError> {
+    let path = dir.join(segment_name(first_seq));
+    let mut file = OpenOptions::new()
+        .create_new(true)
+        .write(true)
+        .open(&path)
+        .map_err(|e| StoreError::io("create segment", &path, &e))?;
+    file.write_all(&encode_header(fingerprint, first_seq))
+        .map_err(|e| StoreError::io("write header", &path, &e))?;
+    file.sync_all()
+        .map_err(|e| StoreError::io("sync new segment", &path, &e))?;
+    // Make the directory entry durable too, so the segment survives a
+    // crash immediately after rotation (POSIX requires syncing the
+    // parent directory for that).
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok((file, path))
+}
+
+/// What [`scan`] finds: `(records, boundaries, torn_tail_reason)` —
+/// every intact `(seq, record)`, the byte position after the header and
+/// after each intact frame of every segment (kill targets for crash
+/// tests), and whether the final segment ends in a torn tail.
+pub type ScanOutcome = (
+    Vec<(u64, Record)>,
+    Vec<(PathBuf, u64)>,
+    Option<&'static str>,
+);
+
+/// Read-only scan of a log directory: every intact record plus the byte
+/// boundaries after the header and after each record of every segment,
+/// in order. Used by crash-matrix tests to kill a log at an arbitrary
+/// record boundary, and by tooling that inspects logs without opening
+/// them for append.
+///
+/// # Errors
+/// Same validation as [`Wal::open`], except a torn tail is reported in
+/// the outcome (nothing is truncated).
+pub fn scan(dir: &Path, fingerprint: u64) -> Result<ScanOutcome, StoreError> {
+    let segments = list_segments(dir)?;
+    let mut records = Vec::new();
+    let mut boundaries = Vec::new();
+    let mut expected_first = None;
+    let mut torn = None;
+    for (i, path) in segments.iter().enumerate() {
+        let is_last = i == segments.len() - 1;
+        let (_, t, seq_after) = scan_segment(
+            path,
+            fingerprint,
+            expected_first,
+            &mut records,
+            &mut boundaries,
+        )?;
+        if let Some(why) = t {
+            if !is_last {
+                return Err(StoreError::CorruptSegment {
+                    path: path.display().to_string(),
+                    what: format!("{why}, but later segments exist"),
+                });
+            }
+            torn = Some(why);
+        }
+        expected_first = Some(seq_after);
+    }
+    Ok((records, boundaries, torn))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultFile;
+    use std::path::Path;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("fasea-wal-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn marker(n: u64) -> Record {
+        Record::SnapshotMarker { snapshot_seq: n }
+    }
+
+    fn feedback(t: u64, len: usize) -> Record {
+        Record::Feedback {
+            t,
+            accepts: vec![t.is_multiple_of(2); len],
+        }
+    }
+
+    #[test]
+    fn append_reopen_round_trip() {
+        let dir = tmp("round-trip");
+        let opts = WalOptions {
+            segment_bytes: 1 << 20,
+            fsync: FsyncPolicy::Never,
+        };
+        let mut appended = Vec::new();
+        {
+            let (mut wal, rec) = Wal::open(&dir, 42, opts).unwrap();
+            assert!(rec.records.is_empty());
+            for t in 0..50u64 {
+                let r = feedback(t, 3);
+                let seq = wal.append(&r).unwrap();
+                assert_eq!(seq, t);
+                appended.push((seq, r));
+            }
+            wal.sync().unwrap();
+        }
+        let (wal, rec) = Wal::open(&dir, 42, opts).unwrap();
+        assert_eq!(rec.records, appended);
+        assert_eq!(rec.truncated_bytes, 0);
+        assert_eq!(wal.next_seq(), 50);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rotation_spreads_records_over_segments() {
+        let dir = tmp("rotation");
+        let opts = WalOptions {
+            segment_bytes: 128,
+            fsync: FsyncPolicy::Never,
+        };
+        {
+            let (mut wal, _) = Wal::open(&dir, 7, opts).unwrap();
+            for t in 0..40u64 {
+                wal.append(&feedback(t, 2)).unwrap();
+            }
+            wal.sync().unwrap();
+        }
+        let segments = list_segments(&dir).unwrap();
+        assert!(segments.len() > 1, "expected rotation, got {segments:?}");
+        let (_, rec) = Wal::open(&dir, 7, opts).unwrap();
+        assert_eq!(rec.records.len(), 40);
+        for (i, (seq, _)) in rec.records.iter().enumerate() {
+            assert_eq!(*seq, i as u64);
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_open() {
+        let dir = tmp("torn-tail");
+        let opts = WalOptions::default();
+        {
+            let (mut wal, _) = Wal::open(&dir, 1, opts).unwrap();
+            for t in 0..10u64 {
+                wal.append(&feedback(t, 4)).unwrap();
+            }
+            wal.sync().unwrap();
+        }
+        let seg = list_segments(&dir).unwrap().pop().unwrap();
+        let len = fs::metadata(&seg).unwrap().len();
+        FaultFile::new(&seg).torn_write(len - 3).unwrap();
+
+        let (mut wal, rec) = Wal::open(&dir, 1, opts).unwrap();
+        assert_eq!(rec.records.len(), 9, "torn final record dropped");
+        assert!(rec.truncated_bytes > 0);
+        assert_eq!(wal.next_seq(), 9);
+        // The log accepts appends at the recovered position.
+        assert_eq!(wal.append(&feedback(9, 4)).unwrap(), 9);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bit_flip_in_final_segment_recovers_longest_intact_prefix() {
+        let dir = tmp("bit-flip");
+        let opts = WalOptions::default();
+        {
+            let (mut wal, _) = Wal::open(&dir, 1, opts).unwrap();
+            for t in 0..10u64 {
+                wal.append(&feedback(t, 4)).unwrap();
+            }
+            wal.sync().unwrap();
+        }
+        let seg = list_segments(&dir).unwrap().pop().unwrap();
+        // A flip inside the final segment is indistinguishable from a
+        // torn tail; open() recovers the longest intact prefix and must
+        // never hand back a corrupt record.
+        FaultFile::new(&seg).flip_bit(HEADER_BYTES + 30, 3).unwrap();
+        let (_, rec) = Wal::open(&dir, 1, opts).unwrap();
+        assert!(rec.records.len() < 10);
+        for (i, (seq, _)) in rec.records.iter().enumerate() {
+            assert_eq!(*seq, i as u64);
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corruption_in_non_final_segment_is_an_error() {
+        let dir = tmp("mid-corrupt");
+        let opts = WalOptions {
+            segment_bytes: 128,
+            fsync: FsyncPolicy::Never,
+        };
+        {
+            let (mut wal, _) = Wal::open(&dir, 1, opts).unwrap();
+            for t in 0..40u64 {
+                wal.append(&feedback(t, 2)).unwrap();
+            }
+            wal.sync().unwrap();
+        }
+        let first = list_segments(&dir).unwrap().remove(0);
+        FaultFile::new(&first)
+            .flip_bit(HEADER_BYTES + 10, 0)
+            .unwrap();
+        match Wal::open(&dir, 1, opts) {
+            Err(StoreError::CorruptSegment { .. }) => {}
+            other => panic!("expected CorruptSegment, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn foreign_fingerprint_rejected() {
+        let dir = tmp("foreign");
+        let opts = WalOptions::default();
+        {
+            let (mut wal, _) = Wal::open(&dir, 0xAAAA, opts).unwrap();
+            wal.append(&marker(0)).unwrap();
+            wal.sync().unwrap();
+        }
+        match Wal::open(&dir, 0xBBBB, opts) {
+            Err(StoreError::ForeignInstance { expected, found }) => {
+                assert_eq!(expected, 0xBBBB);
+                assert_eq!(found, 0xAAAA);
+            }
+            other => panic!("expected ForeignInstance, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let dir = tmp("magic");
+        let opts = WalOptions::default();
+        {
+            let (mut wal, _) = Wal::open(&dir, 1, opts).unwrap();
+            wal.append(&marker(0)).unwrap();
+            wal.sync().unwrap();
+        }
+        let seg = list_segments(&dir).unwrap().pop().unwrap();
+        FaultFile::new(&seg).flip_bit(0, 0).unwrap();
+        assert!(matches!(
+            Wal::open(&dir, 1, opts),
+            Err(StoreError::NotAWalSegment { .. })
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_removes_only_covered_segments() {
+        let dir = tmp("compact");
+        let opts = WalOptions {
+            segment_bytes: 128,
+            fsync: FsyncPolicy::Never,
+        };
+        let (mut wal, _) = Wal::open(&dir, 1, opts).unwrap();
+        for t in 0..40u64 {
+            wal.append(&feedback(t, 2)).unwrap();
+        }
+        let before = list_segments(&dir).unwrap().len();
+        assert!(before > 2);
+        // Snapshot at the start of the current segment: everything in
+        // earlier segments is covered.
+        let snapshot_seq = first_seq_of(Path::new(wal.current_segment())).unwrap();
+        let removed = wal.compact_below(snapshot_seq).unwrap();
+        assert_eq!(removed, before - 1);
+        // The log still opens cleanly and the surviving records chain
+        // (one post-compaction append, since the fresh segment starts
+        // empty after the final rotation).
+        wal.append(&feedback(40, 2)).unwrap();
+        drop(wal);
+        let (_, rec) = Wal::open(&dir, 1, opts).unwrap();
+        assert_eq!(rec.records.first().map(|(s, _)| *s), Some(snapshot_seq));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fsync_policies_all_append() {
+        for fsync in [
+            FsyncPolicy::Always,
+            FsyncPolicy::EveryN(4),
+            FsyncPolicy::Never,
+        ] {
+            let dir = tmp(&format!("fsync-{}", fsync.label()));
+            let opts = WalOptions {
+                segment_bytes: 1 << 20,
+                fsync,
+            };
+            let (mut wal, _) = Wal::open(&dir, 1, opts).unwrap();
+            for t in 0..10u64 {
+                wal.append(&feedback(t, 1)).unwrap();
+            }
+            drop(wal);
+            let (_, rec) = Wal::open(&dir, 1, opts).unwrap();
+            assert_eq!(rec.records.len(), 10);
+            fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+
+    #[test]
+    fn scan_reports_boundaries_and_torn_tail() {
+        let dir = tmp("scan");
+        let opts = WalOptions {
+            segment_bytes: 1 << 20,
+            fsync: FsyncPolicy::Never,
+        };
+        {
+            let (mut wal, _) = Wal::open(&dir, 1, opts).unwrap();
+            for t in 0..5u64 {
+                wal.append(&feedback(t, 2)).unwrap();
+            }
+            wal.sync().unwrap();
+        }
+        let (records, boundaries, torn) = scan(&dir, 1).unwrap();
+        assert_eq!(records.len(), 5);
+        assert!(torn.is_none());
+        // Header boundary + one per record.
+        assert_eq!(boundaries.len(), 6);
+        assert_eq!(boundaries[0].1, HEADER_BYTES);
+        // Tear the tail: scan reports it without modifying the file.
+        let seg = list_segments(&dir).unwrap().pop().unwrap();
+        let len = fs::metadata(&seg).unwrap().len();
+        FaultFile::new(&seg).torn_write(len - 1).unwrap();
+        let (records, _, torn) = scan(&dir, 1).unwrap();
+        assert_eq!(records.len(), 4);
+        assert!(torn.is_some());
+        assert_eq!(
+            fs::metadata(&seg).unwrap().len(),
+            len - 1,
+            "scan must not truncate"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

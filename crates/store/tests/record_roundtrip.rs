@@ -1,0 +1,129 @@
+//! Property tests: every WAL record type survives encode → frame →
+//! decode byte-exactly, under arbitrary payloads, short reads, and
+//! arbitrary framing damage.
+
+use fasea_store::record::{
+    context_hash, decode_payload, encode_payload, read_frame, write_frame, FrameOutcome,
+};
+use fasea_store::{Record, ShortReader};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Strategy for an arbitrary `Propose` record with a consistent shape.
+fn arb_propose() -> impl Strategy<Value = Record> {
+    (1u32..8, 1u32..5, any::<u64>(), any::<u32>()).prop_flat_map(|(n, d, t, cap)| {
+        (
+            Just((n, d, t, cap)),
+            vec(-1.0f64..1.0, (n * d) as usize..=(n * d) as usize),
+            vec(0u32..n, 0..=(n as usize)),
+        )
+            .prop_map(|((n, d, t, cap), contexts, arrangement)| Record::Propose {
+                t,
+                user_capacity: cap,
+                num_events: n,
+                dim: d,
+                context_hash: context_hash(&contexts),
+                contexts,
+                arrangement,
+            })
+    })
+}
+
+fn arb_feedback() -> impl Strategy<Value = Record> {
+    (any::<u64>(), vec(any::<bool>(), 0..=12))
+        .prop_map(|(t, accepts)| Record::Feedback { t, accepts })
+}
+
+fn arb_marker() -> impl Strategy<Value = Record> {
+    any::<u64>().prop_map(|snapshot_seq| Record::SnapshotMarker { snapshot_seq })
+}
+
+fn roundtrip(seq: u64, record: &Record) -> Record {
+    let payload = encode_payload(seq, record);
+    let (got_seq, decoded) = decode_payload(&payload).expect("decode");
+    assert_eq!(got_seq, seq);
+    decoded
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn propose_roundtrip(seq in any::<u64>(), rec in arb_propose()) {
+        prop_assert_eq!(roundtrip(seq, &rec), rec);
+    }
+
+    #[test]
+    fn feedback_roundtrip(seq in any::<u64>(), rec in arb_feedback()) {
+        prop_assert_eq!(roundtrip(seq, &rec), rec);
+    }
+
+    #[test]
+    fn marker_roundtrip(seq in any::<u64>(), rec in arb_marker()) {
+        prop_assert_eq!(roundtrip(seq, &rec), rec);
+    }
+
+    #[test]
+    fn framed_roundtrip_survives_short_reads(
+        seq in any::<u64>(),
+        rec in arb_propose(),
+        chunk in 1usize..9,
+        split_frac in 0.0f64..1.0,
+    ) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, seq, &rec).unwrap();
+        let split = (buf.len() as f64 * split_frac) as u64;
+        let mut r = ShortReader::new(&buf[..], chunk).with_split(split);
+        match read_frame(&mut r).unwrap() {
+            FrameOutcome::Ok { seq: s, record, bytes } => {
+                prop_assert_eq!(s, seq);
+                prop_assert_eq!(record, rec);
+                prop_assert_eq!(bytes as usize, buf.len());
+            }
+            other => prop_assert!(false, "unexpected outcome {:?}", other),
+        }
+    }
+
+    #[test]
+    fn truncated_frame_never_decodes(
+        seq in any::<u64>(),
+        rec in arb_feedback(),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, seq, &rec).unwrap();
+        let cut = ((buf.len() - 1) as f64 * cut_frac) as usize;
+        let mut r = &buf[..cut];
+        let outcome = read_frame(&mut r).unwrap();
+        if cut == 0 {
+            prop_assert_eq!(outcome, FrameOutcome::Eof);
+        } else {
+            prop_assert!(matches!(outcome, FrameOutcome::Torn { .. }),
+                "cut {} of {} gave {:?}", cut, buf.len(), outcome);
+        }
+    }
+
+    #[test]
+    fn flipped_frame_never_decodes_wrong(
+        seq in any::<u64>(),
+        rec in arb_propose(),
+        byte_frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, seq, &rec).unwrap();
+        let byte = ((buf.len() - 1) as f64 * byte_frac) as usize;
+        buf[byte] ^= 1 << bit;
+        let mut r = &buf[..];
+        // A flip in the length prefix may still frame a CRC-valid
+        // record only if it restores the original length; any decoded
+        // record must therefore be byte-identical to what was written.
+        match read_frame(&mut r).unwrap() {
+            FrameOutcome::Ok { seq: s, record, .. } => {
+                prop_assert_eq!(s, seq);
+                prop_assert_eq!(record, rec);
+            }
+            FrameOutcome::Torn { .. } | FrameOutcome::Eof => {}
+        }
+    }
+}

@@ -109,15 +109,15 @@ fn run_stdin(service: &mut ArrangementService) {
                 let ctx = ContextMatrix::from_rows(NUM_EVENTS, DIM, fields[1..].to_vec());
                 match service.propose(&UserArrival::new(cu, ctx)) {
                     Ok(a) => {
-                        let ids: Vec<String> =
-                            a.iter().map(|v| v.index().to_string()).collect();
+                        let ids: Vec<String> = a.iter().map(|v| v.index().to_string()).collect();
                         println!("arranged {}", ids.join(" "));
                     }
                     Err(e) => println!("err {e}"),
                 }
             }
             Some("feedback") => {
-                let answers: Vec<bool> = parts.filter_map(|p| p.parse::<u8>().ok())
+                let answers: Vec<bool> = parts
+                    .filter_map(|p| p.parse::<u8>().ok())
                     .map(|b| b != 0)
                     .collect();
                 match service.feedback(&answers) {
@@ -126,8 +126,7 @@ fn run_stdin(service: &mut ArrangementService) {
                 }
             }
             Some("status") => {
-                let caps: Vec<String> =
-                    service.remaining().iter().map(|c| c.to_string()).collect();
+                let caps: Vec<String> = service.remaining().iter().map(|c| c.to_string()).collect();
                 println!(
                     "rounds {} accept_ratio {:.3} remaining {}",
                     service.rounds_completed(),

@@ -34,8 +34,7 @@ fn main() {
                     Box::new(ThompsonSampling::new(8, 1.0, 0.1, 1)),
                     Box::new(RandomPolicy::new(2)),
                 ];
-                let result =
-                    run_simulation(&workload, &mut policies, &RunConfig::paper(horizon));
+                let result = run_simulation(&workload, &mut policies, &RunConfig::paper(horizon));
                 (cr, result)
             }
         })
@@ -44,8 +43,7 @@ fn main() {
     let mut table = AsciiTable::new(&["cr", "UCB", "TS", "Random", "OPT", "avg |A_t| (OPT)"]);
     for (cr, result) in run_parallel(jobs, 0) {
         let opt = &result.reference;
-        let avg_arranged =
-            opt.accounting.total_arranged() as f64 / opt.accounting.rounds() as f64;
+        let avg_arranged = opt.accounting.total_arranged() as f64 / opt.accounting.rounds() as f64;
         table.row(vec![
             format!("{cr:.2}"),
             result.policies[0].accounting.total_rewards().to_string(),

@@ -63,7 +63,12 @@ impl Policy for Boltzmann {
             self.scores[v] = point + tau * gumbel;
         }
         self.selected_once = true;
-        oracle_greedy(&self.scores, view.conflicts, view.remaining, view.user_capacity)
+        oracle_greedy(
+            &self.scores,
+            view.conflicts,
+            view.remaining,
+            view.user_capacity,
+        )
     }
 
     fn observe(

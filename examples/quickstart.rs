@@ -46,7 +46,11 @@ fn main() {
         "Total regret",
         "us/round",
     ]);
-    for p in result.policies.iter().chain(std::iter::once(&result.reference)) {
+    for p in result
+        .policies
+        .iter()
+        .chain(std::iter::once(&result.reference))
+    {
         table.row(vec![
             p.name.clone(),
             p.accounting.total_rewards().to_string(),

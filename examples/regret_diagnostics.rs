@@ -33,8 +33,10 @@ fn main() {
     // Drive each policy manually so we can shadow its estimator with a
     // potential tracker (recording widths *before* each update, as the
     // theory requires).
-    let run = |mut policy: Box<dyn Policy>, shadow: &mut RidgeEstimator,
-               potential: &mut EllipticalPotential| -> (u64, u64) {
+    let run = |mut policy: Box<dyn Policy>,
+               shadow: &mut RidgeEstimator,
+               potential: &mut EllipticalPotential|
+     -> (u64, u64) {
         let mut remaining = workload.instance.capacities().to_vec();
         let mut rewards = 0u64;
         let mut opt_rewards = 0u64;
@@ -95,10 +97,7 @@ fn main() {
         "potential/ceiling",
     ]);
     for (name, policy) in [
-        (
-            "UCB",
-            Box::new(LinUcb::new(d, 1.0, 2.0)) as Box<dyn Policy>,
-        ),
+        ("UCB", Box::new(LinUcb::new(d, 1.0, 2.0)) as Box<dyn Policy>),
         (
             "TS",
             Box::new(ThompsonSampling::new(d, 1.0, 0.1, 5)) as Box<dyn Policy>,

@@ -23,8 +23,7 @@ fn main() {
 
     // A 7-slot "week", 50 rounds per day, 15% of events always bookable.
     let schedule = RotatingSchedule::new(num_events, 7, 50, 0.15, 99);
-    let mean_visibility: f64 =
-        (0..350).map(|t| visibility(&schedule, t)).sum::<f64>() / 350.0;
+    let mean_visibility: f64 = (0..350).map(|t| visibility(&schedule, t)).sum::<f64>() / 350.0;
     println!(
         "calendar: 7 slots x 50 rounds, mean visibility {:.0}% of {} events\n",
         mean_visibility * 100.0,

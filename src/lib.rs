@@ -16,7 +16,10 @@
 //!   OnlineGreedy-GEACC comparator.
 //! * [`datagen`] — Table 4 synthetic workloads and the Table 3
 //!   real-dataset analogue.
-//! * [`sim`] — the simulation engine, metrics and reporting.
+//! * [`sim`] — the simulation engine, metrics and reporting, including
+//!   the crash-safe [`DurableArrangementService`].
+//! * [`store`] — the write-ahead round log and snapshot store backing
+//!   durability.
 //! * [`stats`] / [`linalg`] — the statistical and numerical substrates.
 //!
 //! ## Quickstart
@@ -56,6 +59,13 @@ pub use fasea_datagen as datagen;
 
 /// Simulation engine and reporting (re-export of `fasea-sim`).
 pub use fasea_sim as sim;
+
+/// Durable storage: write-ahead log and snapshots (re-export of
+/// `fasea-store`).
+pub use fasea_store as store;
+
+pub use fasea_sim::{ArrangementService, DurableArrangementService, DurableOptions, ServiceError};
+pub use fasea_store::FsyncPolicy;
 
 /// Statistics substrate (re-export of `fasea-stats`).
 pub use fasea_stats as stats;

@@ -83,7 +83,10 @@ fn workload_generation_is_reproducible() {
         b.instance.conflicts().num_conflicts()
     );
     for t in [0u64, 1, 99, 12345] {
-        assert_eq!(a.arrivals.arrival(t).contexts, b.arrivals.arrival(t).contexts);
+        assert_eq!(
+            a.arrivals.arrival(t).contexts,
+            b.arrivals.arrival(t).contexts
+        );
     }
 }
 

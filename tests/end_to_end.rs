@@ -1,9 +1,7 @@
 //! Cross-crate integration tests: the full synthetic pipeline from
 //! workload generation through simulation to metrics.
 
-use fasea::bandit::{
-    EpsilonGreedy, Exploit, LinUcb, Policy, RandomPolicy, ThompsonSampling,
-};
+use fasea::bandit::{EpsilonGreedy, Exploit, LinUcb, Policy, RandomPolicy, ThompsonSampling};
 use fasea::datagen::{CapacityModel, SyntheticConfig, SyntheticWorkload};
 use fasea::sim::{paper_checkpoints, run_simulation, RunConfig};
 
@@ -42,7 +40,11 @@ fn full_pipeline_produces_consistent_metrics() {
         // Cumulative metrics are monotone.
         let mut prev_rewards = 0u64;
         for c in &p.checkpoints {
-            assert!(c.total_rewards >= prev_rewards, "{} rewards decreased", p.name);
+            assert!(
+                c.total_rewards >= prev_rewards,
+                "{} rewards decreased",
+                p.name
+            );
             prev_rewards = c.total_rewards;
             assert!((0.0..=1.0).contains(&c.accept_ratio));
             if let Some(tau) = c.kendall_tau {
@@ -103,7 +105,10 @@ fn regret_drop_when_capacities_deplete() {
     let workload = SyntheticWorkload::generate(SyntheticConfig {
         num_events: 40,
         dim: 5,
-        capacity: CapacityModel { mean: 20.0, std: 5.0 },
+        capacity: CapacityModel {
+            mean: 20.0,
+            std: 5.0,
+        },
         horizon,
         seed: 31,
         ..Default::default()

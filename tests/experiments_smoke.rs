@@ -105,13 +105,13 @@ fn table7_all_users() {
     let (opts, out) = tiny_opts("table7");
     run_experiment("table7", &opts).unwrap();
     assert_csvs(&out, "table7", 2); // cu5 + cufull
-    // Check structure: a row per algorithm + Full Kn. + c_u, 19 user
-    // columns.
+                                    // Check structure: a row per algorithm + Full Kn. + c_u, 19 user
+                                    // columns.
     let content = std::fs::read_to_string(out.join("table7/table7_cufull.csv")).unwrap();
     let lines: Vec<&str> = content.lines().collect();
     assert_eq!(lines[0].split(',').count(), 20); // "row" + u1..u19
     assert_eq!(lines.len(), 1 + 6 + 2); // header + 6 policies + FK + c_u
-    // The c_u row must be the paper's numbers.
+                                        // The c_u row must be the paper's numbers.
     let cu_row = lines.last().unwrap();
     assert!(cu_row.starts_with("c_u,12,26,11,10,15,22,16,7,22,11,13,19,23,11,11,7,9,13,17"));
     std::fs::remove_dir_all(&out).ok();

@@ -106,15 +106,17 @@ fn conflict_ratio_delays_exhaustion() {
         let workload = SyntheticWorkload::generate(SyntheticConfig {
             num_events: 20,
             dim: 4,
-            capacity: fasea::datagen::CapacityModel { mean: 30.0, std: 5.0 },
+            capacity: fasea::datagen::CapacityModel {
+                mean: 30.0,
+                std: 5.0,
+            },
             conflict_ratio: cr,
             horizon,
             seed: 888,
             ..Default::default()
         });
         let mut policies: Vec<Box<dyn Policy>> = vec![Box::new(RandomPolicy::new(1))];
-        run_simulation(&workload, &mut policies, &RunConfig::paper(horizon))
-            .reference_exhausted_at
+        run_simulation(&workload, &mut policies, &RunConfig::paper(horizon)).reference_exhausted_at
     };
     let t0 = exhaustion_at(0.0);
     let t1 = exhaustion_at(1.0);

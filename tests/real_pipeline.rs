@@ -77,10 +77,7 @@ fn ucb_escapes_deadlocks_exploit_may_not() {
         let ucb_ratio = results[1].accounting.accept_ratio();
         if exploit_ratio == 0.0 {
             deadlocked_users += 1;
-            assert!(
-                ucb_ratio > 0.0,
-                "user {user}: UCB also stuck at zero"
-            );
+            assert!(ucb_ratio > 0.0, "user {user}: UCB also stuck at zero");
         }
     }
     // The dead-lock phenomenon is possible but not guaranteed for our

@@ -63,18 +63,32 @@ fn verify_passes_on_well_shaped_synthetic_csvs() {
         .iter()
         .map(|&t| vec![t, 0.9 * t, 0.3 * t, 0.8 * t, 0.9 * t, 0.1 * t, t])
         .collect();
-    fasea_sim::write_csv(&out.join("fig1/default_total_rewards.csv"), &header, &rewards).unwrap();
+    fasea_sim::write_csv(
+        &out.join("fig1/default_total_rewards.csv"),
+        &header,
+        &rewards,
+    )
+    .unwrap();
 
     // fig1 regrets: TS peaks then drops hard.
     let regrets: Vec<Vec<f64>> = t_grid
         .iter()
         .enumerate()
         .map(|(i, &t)| {
-            let ts = if i < 15 { 100.0 * (i as f64 + 1.0) } else { 300.0 };
+            let ts = if i < 15 {
+                100.0 * (i as f64 + 1.0)
+            } else {
+                300.0
+            };
             vec![t, 10.0, ts, 50.0, 10.0, 2000.0, 0.0]
         })
         .collect();
-    fasea_sim::write_csv(&out.join("fig1/default_total_regrets.csv"), &header, &regrets).unwrap();
+    fasea_sim::write_csv(
+        &out.join("fig1/default_total_regrets.csv"),
+        &header,
+        &regrets,
+    )
+    .unwrap();
 
     // fig2 kendall: UCB → 1, Random ≈ 0, TS mid.
     let kheader = ["t", "UCB", "TS", "eGreedy", "Exploit", "Random"];
@@ -85,8 +99,14 @@ fn verify_passes_on_well_shaped_synthetic_csvs() {
     fasea_sim::write_csv(&out.join("fig2/default_kendall.csv"), &kheader, &kendall).unwrap();
 
     // fig4: TS/UCB ≈ 1 at d1, much lower at d15.
-    let ar_d1: Vec<Vec<f64>> = t_grid.iter().map(|&t| vec![t, 0.99, 0.97, 0.9, 0.99, 0.5, 1.0]).collect();
-    let ar_d15: Vec<Vec<f64>> = t_grid.iter().map(|&t| vec![t, 0.6, 0.3, 0.55, 0.6, 0.1, 0.7]).collect();
+    let ar_d1: Vec<Vec<f64>> = t_grid
+        .iter()
+        .map(|&t| vec![t, 0.99, 0.97, 0.9, 0.99, 0.5, 1.0])
+        .collect();
+    let ar_d15: Vec<Vec<f64>> = t_grid
+        .iter()
+        .map(|&t| vec![t, 0.6, 0.3, 0.55, 0.6, 0.1, 0.7])
+        .collect();
     fasea_sim::write_csv(&out.join("fig4/d1_accept_ratio.csv"), &header, &ar_d1).unwrap();
     fasea_sim::write_csv(&out.join("fig4/d15_accept_ratio.csv"), &header, &ar_d15).unwrap();
 
@@ -95,7 +115,11 @@ fn verify_passes_on_well_shaped_synthetic_csvs() {
         .iter()
         .enumerate()
         .map(|(i, &t)| {
-            let ts = if i < 10 { 50.0 * (i as f64 + 1.0) } else { 100.0 };
+            let ts = if i < 10 {
+                50.0 * (i as f64 + 1.0)
+            } else {
+                100.0
+            };
             vec![t, 5.0, ts, 20.0, 5.0, 800.0, 0.0]
         })
         .collect();
@@ -112,7 +136,8 @@ fn verify_passes_on_well_shaped_synthetic_csvs() {
         let mut h = vec!["row".to_string()];
         h.extend((1..=19).map(|u| format!("u{u}")));
         let h_refs: Vec<&str> = h.iter().map(|s| s.as_str()).collect();
-        let mut w = fasea_sim::CsvWriter::create(&out.join("table7/table7_cu5.csv"), &h_refs).unwrap();
+        let mut w =
+            fasea_sim::CsvWriter::create(&out.join("table7/table7_cu5.csv"), &h_refs).unwrap();
         let mk = |name: &str, v: f64| {
             let mut row = vec![name.to_string()];
             row.extend((0..19).map(|_| format!("{v:.2}")));
