@@ -53,7 +53,11 @@ impl SelectionView<'_> {
 /// `select` takes `&mut self` because several policies consume their own
 /// randomness (TS's posterior sample, eGreedy's exploration coin) or
 /// cache the scores they used.
-pub trait Policy {
+///
+/// Policies are `Send`: the serving layer (`fasea-serve`) moves a boxed
+/// policy — inside its `ArrangementService` — onto a dedicated writer
+/// thread. Every policy is plain owned data, so this costs nothing.
+pub trait Policy: Send {
     /// Short stable name used in reports ("UCB", "TS", …).
     fn name(&self) -> &'static str;
 

@@ -40,6 +40,7 @@ pub mod default_setting;
 pub mod extensions;
 pub mod params;
 pub mod real_data;
+pub mod serve_cmd;
 pub mod sweeps;
 pub mod tables;
 pub mod verify;

@@ -10,14 +10,19 @@
 //!              ext1 ext2 verify plots all
 //! ```
 
-use fasea_experiments::{run_experiment, Options, ALL_EXPERIMENTS};
+use fasea_experiments::{run_experiment, serve_cmd, Options, ALL_EXPERIMENTS};
 
 fn print_usage() {
     eprintln!(
         "usage: fasea-exp <experiment> [--t N] [--out DIR] [--seed S] [--threads N] \
          [--real-rounds N] [--real-regret-rounds N] [--reps N]\n\
          experiments: {} verify plots all\n\
-         defaults: --t 100000 (the paper's horizon), --out results, 1000/10000 real rounds, 1 rep",
+         defaults: --t 100000 (the paper's horizon), --out results, 1000/10000 real rounds, 1 rep\n\
+         network service:\n\
+         fasea-exp serve   [--addr H:P] [--dir DIR] [--seed S] [--events N] [--dim D]\n\
+                           [--workers N] [--policy ucb|ts|egreedy] [--fsync always|everyn|never]\n\
+         fasea-exp loadgen [--addr H:P] [--rounds N] [--clients N] [--seed S] [--events N]\n\
+                           [--dim D] [--policy P] [--verify-local 1] [--shutdown 1]",
         ALL_EXPERIMENTS.join(" ")
     );
 }
@@ -29,6 +34,19 @@ fn main() {
         std::process::exit(2);
     }
     let id = args[0].clone();
+    // The serving subcommands take their own flag set.
+    if id == "serve" || id == "loadgen" {
+        let result = if id == "serve" {
+            serve_cmd::serve_main(&args[1..])
+        } else {
+            serve_cmd::loadgen_main(&args[1..])
+        };
+        if let Err(e) = result {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
     let mut opts = Options::default();
     let mut i = 1;
     while i < args.len() {

@@ -1,0 +1,453 @@
+//! `fasea-exp serve` and `fasea-exp loadgen` — run the FASEA network
+//! service and drive load against it.
+//!
+//! Both sides derive the *same* synthetic workload from `--seed`
+//! (instance, payoff model, arrival stream), and the loadgen computes
+//! feedback with common random numbers keyed on `(t, v)` exactly like
+//! [`fasea_core::Environment`]. Because contexts travel the wire as
+//! exact IEEE-754 bytes and rounds execute strictly sequentially, the
+//! server's final accept/regret accounting is **byte-identical** to an
+//! in-process run of the same seed — `loadgen --verify-local` checks
+//! precisely that.
+//!
+//! ```text
+//! fasea-exp serve   [--addr HOST:PORT] [--dir DIR] [--seed S] [--events N]
+//!                   [--dim D] [--workers N] [--policy ucb|ts|egreedy]
+//!                   [--fsync always|everyn|never]
+//! fasea-exp loadgen [--addr HOST:PORT] [--rounds N] [--clients N] [--seed S]
+//!                   [--events N] [--dim D] [--policy ...] [--verify-local]
+//!                   [--shutdown]
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use fasea_bandit::{EpsilonGreedy, LinUcb, Policy, ThompsonSampling};
+use fasea_core::EventId;
+use fasea_datagen::{SyntheticConfig, SyntheticWorkload};
+use fasea_serve::{
+    ClientConfig, ClientError, ErrorCode, ServeClient, Server, ServerConfig, WireStats,
+};
+use fasea_sim::{
+    service_fingerprint, ArrangementService, DurableArrangementService, DurableOptions,
+};
+use fasea_stats::crn::mix64;
+use fasea_stats::CoinStream;
+use fasea_store::FsyncPolicy;
+
+/// Workload knobs shared by `serve` and `loadgen`. Both processes must
+/// agree on these for the fingerprint handshake to pass.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Master seed.
+    pub seed: u64,
+    /// Events `|V|`.
+    pub events: usize,
+    /// Context dimension `d`.
+    pub dim: usize,
+    /// Policy id: `ucb`, `ts`, or `egreedy`.
+    pub policy: String,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            seed: 0x5EED_FA5E_A5E2,
+            events: 40,
+            dim: 5,
+            policy: "ucb".into(),
+        }
+    }
+}
+
+impl WorkloadSpec {
+    /// Generates the deterministic workload for this spec.
+    pub fn workload(&self) -> SyntheticWorkload {
+        SyntheticWorkload::generate(SyntheticConfig {
+            num_events: self.events,
+            dim: self.dim,
+            seed: self.seed,
+            ..SyntheticConfig::default()
+        })
+    }
+
+    /// Builds the policy for this spec (deterministic per seed).
+    pub fn policy(&self) -> Result<Box<dyn Policy>, String> {
+        match self.policy.as_str() {
+            "ucb" => Ok(Box::new(LinUcb::new(self.dim, 1.0, 2.0))),
+            "ts" => Ok(Box::new(ThompsonSampling::new(
+                self.dim,
+                1.0,
+                0.1,
+                mix64(self.seed ^ 0x7507_11CE),
+            ))),
+            "egreedy" => Ok(Box::new(EpsilonGreedy::new(
+                self.dim,
+                1.0,
+                0.1,
+                mix64(self.seed ^ 0xE9_4EED),
+            ))),
+            other => Err(format!("unknown policy '{other}' (ucb|ts|egreedy)")),
+        }
+    }
+
+    /// The coin stream every load client (and the in-process reference)
+    /// uses for acceptance draws — keyed only on the master seed, so
+    /// feedback for `(t, v)` is identical no matter which client
+    /// executes the round.
+    pub fn feedback_coins(&self) -> CoinStream {
+        CoinStream::new(mix64(self.seed ^ 0xFEED_BACC_0FFE_E123))
+    }
+}
+
+fn parse_flags(args: &[String]) -> Result<Vec<(String, String)>, String> {
+    if !args.len().is_multiple_of(2) {
+        return Err("flags come in --name value pairs".into());
+    }
+    args.chunks(2)
+        .map(|pair| {
+            let flag = pair[0]
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected a --flag, got '{}'", pair[0]))?;
+            Ok((flag.to_string(), pair[1].clone()))
+        })
+        .collect()
+}
+
+fn parse_u64(flag: &str, value: &str) -> Result<u64, String> {
+    value
+        .parse::<u64>()
+        .map_err(|_| format!("invalid number '{value}' for --{flag}"))
+}
+
+/// `fasea-exp serve`: open (or recover) the durable service and serve
+/// it until a client sends `SHUTDOWN` (or the process is killed).
+///
+/// # Errors
+/// Flag parse failures, store open failures, and bind failures.
+pub fn serve_main(args: &[String]) -> Result<(), String> {
+    let mut spec = WorkloadSpec::default();
+    let mut addr = "127.0.0.1:4650".to_string();
+    let mut dir = std::path::PathBuf::from("serve-state");
+    let mut config = ServerConfig::default();
+    let mut fsync = FsyncPolicy::EveryN(32);
+    for (flag, value) in parse_flags(args)? {
+        match flag.as_str() {
+            "addr" => addr = value,
+            "dir" => dir = value.into(),
+            "seed" => spec.seed = parse_u64(&flag, &value)?,
+            "events" => spec.events = parse_u64(&flag, &value)? as usize,
+            "dim" => spec.dim = parse_u64(&flag, &value)? as usize,
+            "workers" => config.workers = parse_u64(&flag, &value)? as usize,
+            "policy" => spec.policy = value,
+            "fsync" => {
+                fsync = match value.as_str() {
+                    "always" => FsyncPolicy::Always,
+                    "everyn" => FsyncPolicy::EveryN(32),
+                    "never" => FsyncPolicy::Never,
+                    other => return Err(format!("unknown --fsync '{other}'")),
+                }
+            }
+            other => return Err(format!("unknown flag --{other} for serve")),
+        }
+    }
+    let workload = spec.workload();
+    let policy = spec.policy()?;
+    let fingerprint = service_fingerprint(&workload.instance, policy.name());
+    std::fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    let svc = DurableArrangementService::open(
+        &dir,
+        workload.instance,
+        policy,
+        DurableOptions {
+            fsync,
+            ..DurableOptions::default()
+        },
+    )
+    .map_err(|e| format!("open durable service in {}: {e}", dir.display()))?;
+    println!(
+        "recovered rounds={} pending={} next_seq={}",
+        svc.rounds_completed(),
+        svc.has_pending(),
+        svc.next_seq()
+    );
+    let handle =
+        Server::spawn(svc, &addr as &str, config).map_err(|e| format!("bind {addr}: {e}"))?;
+    println!(
+        "listening on {} fingerprint={fingerprint:#018x} policy={} seed={:#x} events={} dim={}",
+        handle.local_addr(),
+        spec.policy,
+        spec.seed,
+        spec.events,
+        spec.dim
+    );
+    let report = handle.join();
+    if let Some(err) = report.close.error {
+        return Err(format!("close failed: {err}"));
+    }
+    println!(
+        "shut down cleanly: rounds={} snapshot={:?}",
+        report.close.rounds_completed,
+        report.close.snapshot.as_deref()
+    );
+    Ok(())
+}
+
+struct LoadStats {
+    rounds_fed: AtomicU64,
+    rewards: AtomicU64,
+    protocol_errors: AtomicU64,
+    transport_retries: AtomicU64,
+    backoffs: AtomicU64,
+}
+
+/// `fasea-exp loadgen`: drive `--clients` concurrent sessions against a
+/// running server until `--rounds` total rounds are complete, then
+/// print server stats and (optionally) verify the server's accounting
+/// against an in-process run of the same seed.
+///
+/// # Errors
+/// Flag parse failures, connection failures past the retry budget, any
+/// unexpected protocol error, or an accounting mismatch under
+/// `--verify-local`.
+pub fn loadgen_main(args: &[String]) -> Result<(), String> {
+    let mut spec = WorkloadSpec::default();
+    let mut addr = "127.0.0.1:4650".to_string();
+    let mut rounds: u64 = 10_000;
+    let mut clients: usize = 4;
+    let mut verify_local = false;
+    let mut shutdown = false;
+    for (flag, value) in parse_flags(args)? {
+        match flag.as_str() {
+            "addr" => addr = value,
+            "rounds" => rounds = parse_u64(&flag, &value)?,
+            "clients" => clients = parse_u64(&flag, &value)?.max(1) as usize,
+            "seed" => spec.seed = parse_u64(&flag, &value)?,
+            "events" => spec.events = parse_u64(&flag, &value)? as usize,
+            "dim" => spec.dim = parse_u64(&flag, &value)? as usize,
+            "policy" => spec.policy = value,
+            "verify-local" => verify_local = value == "true" || value == "1",
+            "shutdown" => shutdown = value == "true" || value == "1",
+            other => return Err(format!("unknown flag --{other} for loadgen")),
+        }
+    }
+
+    let stats = LoadStats {
+        rounds_fed: AtomicU64::new(0),
+        rewards: AtomicU64::new(0),
+        protocol_errors: AtomicU64::new(0),
+        transport_retries: AtomicU64::new(0),
+        backoffs: AtomicU64::new(0),
+    };
+    let spec = Arc::new(spec);
+    let started = Instant::now();
+    crossbeam::thread::scope(|s| {
+        for client_id in 0..clients {
+            let spec = Arc::clone(&spec);
+            let stats = &stats;
+            let addr = &addr;
+            s.spawn(move |_| {
+                if let Err(e) = drive_client(&spec, addr, rounds, stats) {
+                    stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    eprintln!("client {client_id}: {e}");
+                }
+            });
+        }
+    })
+    .map_err(|_| "a load client panicked".to_string())?;
+    let elapsed = started.elapsed();
+
+    // One control connection for the final server-side numbers.
+    let mut control = ServeClient::connect(addr.clone(), ClientConfig::default())
+        .map_err(|e| format!("control connection: {e}"))?;
+    let server_stats = control.stats().map_err(|e| format!("STATS failed: {e}"))?;
+    let protocol_errors = stats.protocol_errors.load(Ordering::Relaxed);
+    println!(
+        "loadgen: {} rounds fed by {clients} clients in {:.2}s ({:.0} rounds/s) — \
+         client rewards={} transport_retries={} backoffs={} protocol_errors={protocol_errors}",
+        stats.rounds_fed.load(Ordering::Relaxed),
+        elapsed.as_secs_f64(),
+        stats.rounds_fed.load(Ordering::Relaxed) as f64 / elapsed.as_secs_f64().max(1e-9),
+        stats.rewards.load(Ordering::Relaxed),
+        stats.transport_retries.load(Ordering::Relaxed),
+        stats.backoffs.load(Ordering::Relaxed),
+    );
+    print!("{}", server_stats.render());
+
+    let mut failed = protocol_errors > 0;
+    if protocol_errors > 0 {
+        eprintln!("FAIL: {protocol_errors} protocol error(s) during load");
+    }
+    if server_stats.rounds_completed < rounds {
+        eprintln!(
+            "FAIL: server completed {} rounds, wanted ≥ {rounds}",
+            server_stats.rounds_completed
+        );
+        failed = true;
+    }
+    if verify_local && !verify_against_local(&spec, rounds, &server_stats)? {
+        failed = true;
+    }
+    if shutdown {
+        control
+            .shutdown_server()
+            .map_err(|e| format!("SHUTDOWN failed: {e}"))?;
+        println!("server shutdown requested");
+    }
+    if failed {
+        return Err("loadgen checks failed".into());
+    }
+    Ok(())
+}
+
+/// One load client: claim → propose (unless recovering a pending
+/// proposal) → CRN feedback, reconnecting through transport errors,
+/// until the server's round counter reaches `rounds`.
+fn drive_client(
+    spec: &WorkloadSpec,
+    addr: &str,
+    rounds: u64,
+    stats: &LoadStats,
+) -> Result<(), String> {
+    let workload = spec.workload();
+    let coins = spec.feedback_coins();
+    let mut client = ServeClient::connect(addr.to_string(), ClientConfig::default())
+        .map_err(|e| format!("connect: {e}"))?;
+    let expected_fingerprint = {
+        let policy = spec.policy()?;
+        service_fingerprint(&workload.instance, policy.name())
+    };
+    if let Some(info) = client.info() {
+        if info.fingerprint != expected_fingerprint {
+            return Err(format!(
+                "server fingerprint {:#018x} does not match workload {:#018x} — \
+                 differing --seed/--events/--dim/--policy?",
+                info.fingerprint, expected_fingerprint
+            ));
+        }
+    }
+    loop {
+        match run_one_round(&mut client, &workload, &coins, rounds, stats) {
+            Ok(RoundOutcome::Fed) | Ok(RoundOutcome::Idle) => {}
+            Ok(RoundOutcome::Done) => return Ok(()),
+            Err(e) if e.is_transport() => {
+                stats.transport_retries.fetch_add(1, Ordering::Relaxed);
+                client.reconnect().map_err(|e| format!("reconnect: {e}"))?;
+            }
+            Err(ClientError::Protocol { code, detail }) => match code {
+                // Typed backpressure / races are part of normal
+                // operation, not protocol violations.
+                ErrorCode::Overloaded => {
+                    stats.backoffs.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                ErrorCode::ShuttingDown => return Ok(()),
+                _ => return Err(format!("protocol error {code}: {detail}")),
+            },
+            Err(e) => return Err(format!("client error: {e}")),
+        }
+    }
+}
+
+enum RoundOutcome {
+    Fed,
+    Idle,
+    Done,
+}
+
+fn run_one_round(
+    client: &mut ServeClient,
+    workload: &SyntheticWorkload,
+    coins: &CoinStream,
+    rounds: u64,
+    stats: &LoadStats,
+) -> Result<RoundOutcome, ClientError> {
+    let claimed = client.claim()?;
+    let t = claimed.t;
+    if t >= rounds {
+        client.release()?;
+        return Ok(RoundOutcome::Done);
+    }
+    let arrival = workload.arrivals.arrival(t);
+    let arrangement = match claimed.pending {
+        Some(pending) => pending,
+        None => {
+            let (_, arrangement) = client.propose(
+                arrival.capacity,
+                workload.instance.num_events() as u32,
+                workload.instance.dim() as u32,
+                arrival.contexts.as_slice().to_vec(),
+            )?;
+            arrangement
+        }
+    };
+    // The Environment's acceptance rule, reproduced with common random
+    // numbers keyed on (t, v): identical no matter which client (or
+    // server process incarnation) executes the round.
+    let accepts: Vec<bool> = arrangement
+        .iter()
+        .map(|&v| {
+            let event = EventId(v as usize);
+            coins.uniform(t, v as u64) < workload.model.accept_probability(&arrival.contexts, event)
+        })
+        .collect();
+    let (_, reward) = client.feedback(&accepts)?;
+    stats.rounds_fed.fetch_add(1, Ordering::Relaxed);
+    stats.rewards.fetch_add(reward as u64, Ordering::Relaxed);
+    if arrangement.is_empty() {
+        Ok(RoundOutcome::Idle)
+    } else {
+        Ok(RoundOutcome::Fed)
+    }
+}
+
+/// Replays the same workload through an in-process
+/// [`ArrangementService`] and compares the accounting triple. CRN
+/// feedback makes the comparison exact.
+fn verify_against_local(
+    spec: &WorkloadSpec,
+    rounds: u64,
+    server_stats: &WireStats,
+) -> Result<bool, String> {
+    let workload = spec.workload();
+    let policy = spec.policy()?;
+    let coins = spec.feedback_coins();
+    let mut svc = ArrangementService::new(workload.instance.clone(), policy);
+    for t in 0..rounds {
+        let arrival = workload.arrivals.arrival(t);
+        let arrangement = svc
+            .propose(&arrival)
+            .map_err(|e| format!("local propose t={t}: {e}"))?;
+        let accepts: Vec<bool> = arrangement
+            .events()
+            .iter()
+            .map(|&v| {
+                coins.uniform(t, v.index() as u64)
+                    < workload.model.accept_probability(&arrival.contexts, v)
+            })
+            .collect();
+        svc.feedback(&accepts)
+            .map_err(|e| format!("local feedback t={t}: {e}"))?;
+    }
+    let local = (
+        svc.rounds_completed(),
+        svc.accounting().total_arranged(),
+        svc.accounting().total_rewards(),
+    );
+    let remote = (
+        server_stats.rounds_completed,
+        server_stats.total_arranged,
+        server_stats.total_rewards,
+    );
+    if local == remote {
+        println!(
+            "verify-local OK: rounds={} arranged={} rewards={} (networked == in-process)",
+            local.0, local.1, local.2
+        );
+        Ok(true)
+    } else {
+        eprintln!("FAIL verify-local: in-process {local:?} != server {remote:?}");
+        Ok(false)
+    }
+}

@@ -1,0 +1,647 @@
+//! The service actor: a single thread that owns the
+//! [`DurableArrangementService`] and executes commands strictly
+//! sequentially, exactly as the FASEA protocol demands.
+//!
+//! Workers never touch the service directly — they send [`Command`]s
+//! over a channel with a per-request reply sender. Round ownership is
+//! brokered here: a `CLAIM` either grants the next round immediately,
+//! parks the claimant in a bounded FIFO (the backpressure point — a
+//! full queue answers [`ErrorCode::Overloaded`]), or is refused while
+//! draining. Exactly one session owns the in-flight round at any time;
+//! if the owner disconnects, the round (including an already-logged
+//! pending proposal) is re-granted to the next waiter.
+
+use std::collections::VecDeque;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use fasea_core::{ContextMatrix, UserArrival};
+use fasea_sim::{DurableArrangementService, ServiceError};
+
+use crate::metrics::Metrics;
+use crate::proto::{ErrorCode, Response, WireStats};
+
+/// A command sent from a worker to the service actor. Every variant
+/// carrying a `reply` is answered with exactly one [`Response`] (unless
+/// the worker has already hung up, in which case the reply is dropped).
+pub enum Command {
+    /// Session handshake.
+    Hello {
+        /// Reply channel.
+        reply: Sender<Response>,
+    },
+    /// Request ownership of the next round.
+    Claim {
+        /// Session id of the claimant.
+        conn: u64,
+        /// When the claim left the worker (queue-wait metric).
+        enqueued: Instant,
+        /// Reply channel; answered when granted, refused, or draining.
+        reply: Sender<Response>,
+    },
+    /// Give the claimed round back without proposing.
+    Release {
+        /// Session id.
+        conn: u64,
+        /// Reply channel.
+        reply: Sender<Response>,
+    },
+    /// Propose an arrangement for the owned round.
+    Propose {
+        /// Session id.
+        conn: u64,
+        /// The arriving user's capacity.
+        user_capacity: u32,
+        /// Context rows.
+        num_events: u32,
+        /// Context dimension.
+        dim: u32,
+        /// Row-major context block.
+        contexts: Vec<f64>,
+        /// Reply channel.
+        reply: Sender<Response>,
+    },
+    /// Answer the pending proposal of the owned round.
+    Feedback {
+        /// Session id.
+        conn: u64,
+        /// Accept/reject per arranged slot.
+        accepts: Vec<bool>,
+        /// Reply channel.
+        reply: Sender<Response>,
+    },
+    /// Health + metrics snapshot.
+    Stats {
+        /// Reply channel.
+        reply: Sender<Response>,
+    },
+    /// Begin a graceful drain: refuse new claims, answer parked ones
+    /// with `ShuttingDown`, let in-flight rounds finish.
+    Shutdown {
+        /// Reply channel.
+        reply: Sender<Response>,
+    },
+    /// The session's connection closed; release anything it owns.
+    Disconnect {
+        /// Session id.
+        conn: u64,
+    },
+}
+
+/// What the actor thread returns once the command channel closes and
+/// the service has been flushed to disk.
+pub struct CloseReport {
+    /// Rounds completed at close.
+    pub rounds_completed: u64,
+    /// Final snapshot path, if any state existed to snapshot.
+    pub snapshot: Option<PathBuf>,
+    /// The close-time error, if syncing or snapshotting failed.
+    pub error: Option<ServiceError>,
+}
+
+struct Waiter {
+    conn: u64,
+    enqueued: Instant,
+    reply: Sender<Response>,
+}
+
+/// The actor state machine. Owns the durable service for its lifetime.
+pub struct ServiceActor {
+    svc: DurableArrangementService,
+    rx: Receiver<Command>,
+    metrics: Arc<Metrics>,
+    shutdown: Arc<AtomicBool>,
+    max_inflight: usize,
+    poll_interval: Duration,
+    /// Session currently owning the in-flight round.
+    owner: Option<u64>,
+    waiters: VecDeque<Waiter>,
+    /// Set once a store-level failure makes further writes unsafe.
+    poisoned: bool,
+}
+
+fn error_response(code: ErrorCode, detail: impl Into<String>) -> Response {
+    Response::Error {
+        code,
+        detail: detail.into(),
+    }
+}
+
+/// Maps a service-level failure onto its wire error code.
+pub fn service_error_code(err: &ServiceError) -> ErrorCode {
+    match err {
+        ServiceError::FeedbackPending => ErrorCode::FeedbackPending,
+        ServiceError::NoPendingProposal => ErrorCode::NoPendingProposal,
+        ServiceError::FeedbackLengthMismatch { .. } => ErrorCode::FeedbackLengthMismatch,
+        ServiceError::ContextShapeMismatch => ErrorCode::ContextShapeMismatch,
+        ServiceError::PolicyProducedInfeasible(_) => ErrorCode::PolicyInfeasible,
+        _ => ErrorCode::StoreFailure,
+    }
+}
+
+fn is_store_failure(err: &ServiceError) -> bool {
+    service_error_code(err) == ErrorCode::StoreFailure
+}
+
+impl ServiceActor {
+    /// Builds the actor. `shutdown` is shared with the server: the
+    /// actor observes it to drain, and raises it itself on fatal store
+    /// errors or a `SHUTDOWN` request.
+    pub fn new(
+        svc: DurableArrangementService,
+        rx: Receiver<Command>,
+        metrics: Arc<Metrics>,
+        shutdown: Arc<AtomicBool>,
+        max_inflight: usize,
+        poll_interval: Duration,
+    ) -> Self {
+        ServiceActor {
+            svc,
+            rx,
+            metrics,
+            shutdown,
+            max_inflight: max_inflight.max(1),
+            poll_interval,
+            owner: None,
+            waiters: VecDeque::new(),
+            poisoned: false,
+        }
+    }
+
+    /// Runs until every command sender is gone, then flushes and
+    /// snapshots the service.
+    pub fn run(mut self) -> CloseReport {
+        loop {
+            match self.rx.recv_timeout(self.poll_interval) {
+                Ok(cmd) => self.handle(cmd),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+            if self.draining() {
+                self.refuse_waiters();
+            } else {
+                self.grant_next();
+            }
+        }
+        self.refuse_waiters();
+        let rounds_completed = self.svc.rounds_completed();
+        match self.svc.close() {
+            Ok(snapshot) => CloseReport {
+                rounds_completed,
+                snapshot,
+                error: None,
+            },
+            Err(err) => CloseReport {
+                rounds_completed,
+                snapshot: None,
+                error: Some(err),
+            },
+        }
+    }
+
+    fn draining(&self) -> bool {
+        self.poisoned || self.shutdown.load(Ordering::SeqCst)
+    }
+
+    fn handle(&mut self, cmd: Command) {
+        match cmd {
+            Command::Hello { reply } => {
+                let health = self.svc.health();
+                let _ = reply.send(Response::HelloOk {
+                    fingerprint: health.fingerprint,
+                    num_events: self.svc.service().instance().num_events() as u32,
+                    dim: self.svc.service().instance().dim() as u32,
+                    rounds_completed: health.rounds_completed,
+                    has_pending: health.has_pending,
+                });
+            }
+            Command::Claim {
+                conn,
+                enqueued,
+                reply,
+            } => self.handle_claim(conn, enqueued, reply),
+            Command::Release { conn, reply } => {
+                if self.owner != Some(conn) {
+                    self.metrics.protocol_errors.incr();
+                    let _ = reply.send(error_response(
+                        ErrorCode::NotRoundOwner,
+                        "RELEASE from a session that does not own the round",
+                    ));
+                    return;
+                }
+                self.owner = None;
+                self.metrics.releases.incr();
+                let _ = reply.send(Response::ReleaseOk);
+            }
+            Command::Propose {
+                conn,
+                user_capacity,
+                num_events,
+                dim,
+                contexts,
+                reply,
+            } => self.handle_propose(conn, user_capacity, num_events, dim, contexts, reply),
+            Command::Feedback {
+                conn,
+                accepts,
+                reply,
+            } => self.handle_feedback(conn, &accepts, reply),
+            Command::Stats { reply } => {
+                self.metrics.stats_requests.incr();
+                let _ = reply.send(Response::StatsOk(self.wire_stats()));
+            }
+            Command::Shutdown { reply } => {
+                self.shutdown.store(true, Ordering::SeqCst);
+                let _ = reply.send(Response::ShutdownOk);
+            }
+            Command::Disconnect { conn } => {
+                self.waiters.retain(|w| w.conn != conn);
+                if self.owner == Some(conn) {
+                    self.owner = None;
+                    self.metrics.reassigned_rounds.incr();
+                }
+            }
+        }
+    }
+
+    fn handle_claim(&mut self, conn: u64, enqueued: Instant, reply: Sender<Response>) {
+        if self.draining() {
+            self.metrics.protocol_errors.incr();
+            let _ = reply.send(error_response(
+                ErrorCode::ShuttingDown,
+                "server is draining",
+            ));
+            return;
+        }
+        if self.owner == Some(conn) {
+            self.metrics.protocol_errors.incr();
+            let _ = reply.send(error_response(
+                ErrorCode::Internal,
+                "CLAIM from the session that already owns the round",
+            ));
+            return;
+        }
+        self.metrics.claims.incr();
+        if self.waiters.len() >= self.max_inflight {
+            self.metrics.overloaded.incr();
+            self.metrics.protocol_errors.incr();
+            let _ = reply.send(error_response(
+                ErrorCode::Overloaded,
+                format!("claim queue full ({} waiting)", self.waiters.len()),
+            ));
+            return;
+        }
+        self.waiters.push_back(Waiter {
+            conn,
+            enqueued,
+            reply,
+        });
+        self.grant_next();
+    }
+
+    /// Hands the in-flight round to the oldest live waiter, if the
+    /// round is free.
+    fn grant_next(&mut self) {
+        while self.owner.is_none() {
+            let Some(w) = self.waiters.pop_front() else {
+                return;
+            };
+            self.metrics.queue_wait_us.observe(w.enqueued.elapsed());
+            let t = self.svc.rounds_completed();
+            let pending = self
+                .svc
+                .pending_arrangement()
+                .map(|a| a.events().iter().map(|v| v.index() as u32).collect());
+            if w.reply.send(Response::Claimed { t, pending }).is_ok() {
+                self.owner = Some(w.conn);
+            }
+            // A dead reply channel means the claimant's worker already
+            // hung up — fall through and try the next waiter.
+        }
+    }
+
+    fn refuse_waiters(&mut self) {
+        for w in self.waiters.drain(..) {
+            self.metrics.protocol_errors.incr();
+            let _ = w.reply.send(error_response(
+                ErrorCode::ShuttingDown,
+                "server is draining",
+            ));
+        }
+    }
+
+    fn handle_propose(
+        &mut self,
+        conn: u64,
+        user_capacity: u32,
+        num_events: u32,
+        dim: u32,
+        contexts: Vec<f64>,
+        reply: Sender<Response>,
+    ) {
+        if self.owner != Some(conn) {
+            self.metrics.protocol_errors.incr();
+            let _ = reply.send(error_response(
+                ErrorCode::NotRoundOwner,
+                "PROPOSE from a session that does not own the round",
+            ));
+            return;
+        }
+        let instance = self.svc.service().instance();
+        if num_events as usize != instance.num_events()
+            || dim as usize != instance.dim()
+            || contexts.len() != (num_events as usize) * (dim as usize)
+        {
+            self.metrics.protocol_errors.incr();
+            let _ = reply.send(error_response(
+                ErrorCode::ContextShapeMismatch,
+                format!(
+                    "context block is {num_events}x{dim}, instance is {}x{}",
+                    instance.num_events(),
+                    instance.dim()
+                ),
+            ));
+            return;
+        }
+        let user = UserArrival::new(
+            user_capacity,
+            ContextMatrix::from_rows(num_events as usize, dim as usize, contexts),
+        );
+        let t = self.svc.rounds_completed();
+        let started = Instant::now();
+        match self.svc.propose(&user) {
+            Ok(arrangement) => {
+                self.metrics.propose_us.observe(started.elapsed());
+                self.metrics.proposes.incr();
+                let _ = reply.send(Response::Proposed {
+                    t,
+                    arrangement: arrangement
+                        .events()
+                        .iter()
+                        .map(|v| v.index() as u32)
+                        .collect(),
+                });
+            }
+            Err(err) => self.reply_service_error(err, &reply),
+        }
+    }
+
+    fn handle_feedback(&mut self, conn: u64, accepts: &[bool], reply: Sender<Response>) {
+        if self.owner != Some(conn) {
+            self.metrics.protocol_errors.incr();
+            let _ = reply.send(error_response(
+                ErrorCode::NotRoundOwner,
+                "FEEDBACK from a session that does not own the round",
+            ));
+            return;
+        }
+        let t = self.svc.rounds_completed();
+        let started = Instant::now();
+        match self.svc.feedback(accepts) {
+            Ok(reward) => {
+                self.metrics.feedback_us.observe(started.elapsed());
+                self.metrics.feedbacks.incr();
+                self.owner = None;
+                let _ = reply.send(Response::FeedbackOk { t, reward });
+            }
+            Err(err) => self.reply_service_error(err, &reply),
+        }
+    }
+
+    /// Replies with the typed wire error for `err`; a store-level
+    /// failure additionally poisons the actor and raises the shutdown
+    /// flag, since the WAL can no longer be trusted to advance.
+    fn reply_service_error(&mut self, err: ServiceError, reply: &Sender<Response>) {
+        self.metrics.protocol_errors.incr();
+        if is_store_failure(&err) {
+            self.poisoned = true;
+            self.shutdown.store(true, Ordering::SeqCst);
+        }
+        let _ = reply.send(error_response(service_error_code(&err), err.to_string()));
+    }
+
+    fn wire_stats(&self) -> WireStats {
+        let health = self.svc.health();
+        WireStats {
+            fingerprint: health.fingerprint,
+            rounds_completed: health.rounds_completed,
+            total_arranged: health.total_arranged,
+            total_rewards: health.total_rewards,
+            available_events: health.available_events as u32,
+            has_pending: health.has_pending,
+            next_seq: health.next_seq,
+            counters: self.metrics.wire_counters(),
+            histograms: self.metrics.wire_histograms(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fasea_bandit::LinUcb;
+    use fasea_core::ProblemInstance;
+    use fasea_sim::DurableOptions;
+    use fasea_store::FsyncPolicy;
+    use std::sync::mpsc;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("fasea-serve-actor-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn spawn_actor(
+        tag: &str,
+    ) -> (
+        Sender<Command>,
+        Arc<AtomicBool>,
+        std::thread::JoinHandle<CloseReport>,
+    ) {
+        let dir = temp_dir(tag);
+        let instance = ProblemInstance::basic(4, 2);
+        let svc = DurableArrangementService::open(
+            &dir,
+            instance,
+            Box::new(LinUcb::new(2, 1.0, 2.0)),
+            DurableOptions {
+                fsync: FsyncPolicy::Never,
+                ..DurableOptions::default()
+            },
+        )
+        .unwrap();
+        let (tx, rx) = mpsc::channel();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let actor = ServiceActor::new(
+            svc,
+            rx,
+            Arc::new(Metrics::default()),
+            Arc::clone(&shutdown),
+            2,
+            Duration::from_millis(10),
+        );
+        let handle = std::thread::spawn(move || actor.run());
+        (tx, shutdown, handle)
+    }
+
+    fn rpc(tx: &Sender<Command>, build: impl FnOnce(Sender<Response>) -> Command) -> Response {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        tx.send(build(reply_tx)).unwrap();
+        reply_rx.recv_timeout(Duration::from_secs(5)).unwrap()
+    }
+
+    #[test]
+    fn claim_propose_feedback_cycle_and_ownership() {
+        let (tx, _shutdown, handle) = spawn_actor("cycle");
+        let granted = rpc(&tx, |reply| Command::Claim {
+            conn: 1,
+            enqueued: Instant::now(),
+            reply,
+        });
+        assert_eq!(
+            granted,
+            Response::Claimed {
+                t: 0,
+                pending: None
+            }
+        );
+        // A stranger may not propose.
+        let resp = rpc(&tx, |reply| Command::Propose {
+            conn: 2,
+            user_capacity: 1,
+            num_events: 4,
+            dim: 2,
+            contexts: vec![0.5; 8],
+            reply,
+        });
+        assert!(
+            matches!(&resp, Response::Error { code, .. } if *code == ErrorCode::NotRoundOwner),
+            "{resp:?}"
+        );
+        // The owner proposes and answers feedback.
+        let resp = rpc(&tx, |reply| Command::Propose {
+            conn: 1,
+            user_capacity: 1,
+            num_events: 4,
+            dim: 2,
+            contexts: vec![0.5; 8],
+            reply,
+        });
+        let arrangement = match resp {
+            Response::Proposed { t: 0, arrangement } => arrangement,
+            other => panic!("{other:?}"),
+        };
+        let resp = rpc(&tx, |reply| Command::Feedback {
+            conn: 1,
+            accepts: vec![true; arrangement.len()],
+            reply,
+        });
+        assert!(
+            matches!(resp, Response::FeedbackOk { t: 0, .. }),
+            "{resp:?}"
+        );
+        drop(tx);
+        let report = handle.join().unwrap();
+        assert_eq!(report.rounds_completed, 1);
+        assert!(report.error.is_none());
+        assert!(report.snapshot.is_some());
+    }
+
+    #[test]
+    fn overload_and_disconnect_reassignment() {
+        let (tx, _shutdown, handle) = spawn_actor("overload");
+        // conn 1 owns the round; conns 2 and 3 fill the wait queue
+        // (max_inflight = 2); conn 4 is refused.
+        let r1 = rpc(&tx, |reply| Command::Claim {
+            conn: 1,
+            enqueued: Instant::now(),
+            reply,
+        });
+        assert!(matches!(r1, Response::Claimed { .. }));
+        let (w2_tx, w2_rx) = mpsc::channel();
+        tx.send(Command::Claim {
+            conn: 2,
+            enqueued: Instant::now(),
+            reply: w2_tx,
+        })
+        .unwrap();
+        let (w3_tx, w3_rx) = mpsc::channel();
+        tx.send(Command::Claim {
+            conn: 3,
+            enqueued: Instant::now(),
+            reply: w3_tx,
+        })
+        .unwrap();
+        // Let the actor park both waiters before overflowing.
+        std::thread::sleep(Duration::from_millis(50));
+        let r4 = rpc(&tx, |reply| Command::Claim {
+            conn: 4,
+            enqueued: Instant::now(),
+            reply,
+        });
+        assert!(
+            matches!(&r4, Response::Error { code, .. } if *code == ErrorCode::Overloaded),
+            "{r4:?}"
+        );
+        // Owner disconnects: the round passes to conn 2, then a release
+        // passes it to conn 3.
+        tx.send(Command::Disconnect { conn: 1 }).unwrap();
+        let g2 = w2_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(
+            g2,
+            Response::Claimed {
+                t: 0,
+                pending: None
+            }
+        );
+        let rel = rpc(&tx, |reply| Command::Release { conn: 2, reply });
+        assert_eq!(rel, Response::ReleaseOk);
+        let g3 = w3_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert!(matches!(g3, Response::Claimed { .. }), "{g3:?}");
+        drop(tx);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn shutdown_drains_waiters() {
+        let (tx, shutdown, handle) = spawn_actor("drain");
+        let r1 = rpc(&tx, |reply| Command::Claim {
+            conn: 1,
+            enqueued: Instant::now(),
+            reply,
+        });
+        assert!(matches!(r1, Response::Claimed { .. }));
+        let (w2_tx, w2_rx) = mpsc::channel();
+        tx.send(Command::Claim {
+            conn: 2,
+            enqueued: Instant::now(),
+            reply: w2_tx,
+        })
+        .unwrap();
+        let r = rpc(&tx, |reply| Command::Shutdown { reply });
+        assert_eq!(r, Response::ShutdownOk);
+        assert!(shutdown.load(Ordering::SeqCst));
+        let g2 = w2_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert!(
+            matches!(&g2, Response::Error { code, .. } if *code == ErrorCode::ShuttingDown),
+            "{g2:?}"
+        );
+        // New claims are refused while draining.
+        let r3 = rpc(&tx, |reply| Command::Claim {
+            conn: 3,
+            enqueued: Instant::now(),
+            reply,
+        });
+        assert!(
+            matches!(&r3, Response::Error { code, .. } if *code == ErrorCode::ShuttingDown),
+            "{r3:?}"
+        );
+        drop(tx);
+        handle.join().unwrap();
+    }
+}

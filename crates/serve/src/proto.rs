@@ -1,0 +1,902 @@
+//! The FASEA wire protocol.
+//!
+//! Every message travels in the same frame the WAL uses on disk
+//! (`fasea_store::write_raw_frame` / `parse_raw_frame`):
+//!
+//! ```text
+//! len  u32   payload length in bytes
+//! crc  u32   CRC-32 of the payload
+//! payload    verb u8 | request_id u64 | body
+//! ```
+//!
+//! (all integers little-endian, floats as IEEE-754 LE bytes — context
+//! blocks cross the wire byte-identically, which is what preserves
+//! common-random-number feedback between a networked run and an
+//! in-process run of the same seed).
+//!
+//! ## Verbs
+//!
+//! | verb | direction | body |
+//! |------|-----------|------|
+//! | `HELLO` 0x01 | → | `magic u32, version u32` |
+//! | `CLAIM` 0x02 | → | — |
+//! | `PROPOSE` 0x03 | → | `user_capacity u32, num_events u32, dim u32, contexts f64×(n·d)` |
+//! | `FEEDBACK` 0x04 | → | `len u32, accepts u8×len` |
+//! | `RELEASE` 0x05 | → | — |
+//! | `STATS` 0x06 | → | — |
+//! | `SHUTDOWN` 0x07 | → | — |
+//! | `HELLO_OK` 0x81 | ← | `fingerprint u64, num_events u32, dim u32, rounds u64, has_pending u8` |
+//! | `CLAIMED` 0x82 | ← | `t u64, has_pending u8 [, arr_len u32, arrangement u32×len]` |
+//! | `PROPOSED` 0x83 | ← | `t u64, arr_len u32, arrangement u32×len` |
+//! | `FEEDBACK_OK` 0x84 | ← | `t u64, reward u32` |
+//! | `RELEASE_OK` 0x85 | ← | — |
+//! | `STATS_OK` 0x86 | ← | see [`WireStats`] |
+//! | `SHUTDOWN_OK` 0x87 | ← | — |
+//! | `ERROR` 0xEE | ← | `code u16, msg_len u32, msg utf8×len` |
+//!
+//! The FASEA protocol is strictly sequential (Definition 3): exactly
+//! one round is in flight at a time. A session acquires the next round
+//! with `CLAIM`; the server grants rounds first-come-first-served and
+//! parks excess claimants in a bounded queue (overflow is answered
+//! with a typed [`ErrorCode::Overloaded`] instead of unbounded
+//! buffering). The `CLAIMED` grant carries the round index `t` — the
+//! client derives the arrival for `t` and proposes — plus the pending
+//! arrangement when the server recovered (or inherited) a round whose
+//! proposal is already irrevocably logged; the claimant then skips
+//! `PROPOSE` and answers `FEEDBACK` directly.
+
+use std::fmt;
+
+/// Protocol version spoken by this build.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Magic carried by `HELLO` ("FSEA").
+pub const CLIENT_MAGIC: u32 = 0x4653_4541;
+
+/// Hard cap on a decoded context block (`num_events × dim` cells); a
+/// larger request is rejected as malformed rather than allocated.
+pub const MAX_CONTEXT_CELLS: usize = 1 << 21;
+
+const VERB_HELLO: u8 = 0x01;
+const VERB_CLAIM: u8 = 0x02;
+const VERB_PROPOSE: u8 = 0x03;
+const VERB_FEEDBACK: u8 = 0x04;
+const VERB_RELEASE: u8 = 0x05;
+const VERB_STATS: u8 = 0x06;
+const VERB_SHUTDOWN: u8 = 0x07;
+const VERB_HELLO_OK: u8 = 0x81;
+const VERB_CLAIMED: u8 = 0x82;
+const VERB_PROPOSED: u8 = 0x83;
+const VERB_FEEDBACK_OK: u8 = 0x84;
+const VERB_RELEASE_OK: u8 = 0x85;
+const VERB_STATS_OK: u8 = 0x86;
+const VERB_SHUTDOWN_OK: u8 = 0x87;
+const VERB_ERROR: u8 = 0xEE;
+
+/// Typed protocol error codes carried by `ERROR` responses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u16)]
+pub enum ErrorCode {
+    /// The request frame or payload was malformed.
+    BadFrame = 1,
+    /// `HELLO` carried the wrong magic or an unsupported version.
+    BadHello = 2,
+    /// The request verb is unknown to this server.
+    UnknownVerb = 3,
+    /// `PROPOSE`/`FEEDBACK`/`RELEASE` from a session that does not hold
+    /// the current round.
+    NotRoundOwner = 4,
+    /// A proposal already awaits feedback (`ServiceError::FeedbackPending`).
+    FeedbackPending = 5,
+    /// No proposal awaits feedback (`ServiceError::NoPendingProposal`).
+    NoPendingProposal = 6,
+    /// Feedback length does not match the pending arrangement.
+    FeedbackLengthMismatch = 7,
+    /// The context block does not match the instance shape.
+    ContextShapeMismatch = 8,
+    /// The wrapped policy produced an infeasible arrangement.
+    PolicyInfeasible = 9,
+    /// The durable store failed; the server is restarting or dying.
+    StoreFailure = 10,
+    /// The claim queue is full — back off and retry.
+    Overloaded = 11,
+    /// The server is draining for shutdown.
+    ShuttingDown = 12,
+    /// Anything else.
+    Internal = 13,
+}
+
+impl ErrorCode {
+    /// Decodes a wire error code.
+    pub fn from_u16(v: u16) -> Option<ErrorCode> {
+        Some(match v {
+            1 => ErrorCode::BadFrame,
+            2 => ErrorCode::BadHello,
+            3 => ErrorCode::UnknownVerb,
+            4 => ErrorCode::NotRoundOwner,
+            5 => ErrorCode::FeedbackPending,
+            6 => ErrorCode::NoPendingProposal,
+            7 => ErrorCode::FeedbackLengthMismatch,
+            8 => ErrorCode::ContextShapeMismatch,
+            9 => ErrorCode::PolicyInfeasible,
+            10 => ErrorCode::StoreFailure,
+            11 => ErrorCode::Overloaded,
+            12 => ErrorCode::ShuttingDown,
+            13 => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ErrorCode::BadFrame => "BadFrame",
+            ErrorCode::BadHello => "BadHello",
+            ErrorCode::UnknownVerb => "UnknownVerb",
+            ErrorCode::NotRoundOwner => "NotRoundOwner",
+            ErrorCode::FeedbackPending => "FeedbackPending",
+            ErrorCode::NoPendingProposal => "NoPendingProposal",
+            ErrorCode::FeedbackLengthMismatch => "FeedbackLengthMismatch",
+            ErrorCode::ContextShapeMismatch => "ContextShapeMismatch",
+            ErrorCode::PolicyInfeasible => "PolicyInfeasible",
+            ErrorCode::StoreFailure => "StoreFailure",
+            ErrorCode::Overloaded => "Overloaded",
+            ErrorCode::ShuttingDown => "ShuttingDown",
+            ErrorCode::Internal => "Internal",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A client → server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Session handshake; the reply describes the served instance.
+    Hello {
+        /// Must be [`CLIENT_MAGIC`].
+        magic: u32,
+        /// Must be [`PROTOCOL_VERSION`].
+        version: u32,
+    },
+    /// Ask for exclusive ownership of the next round.
+    Claim,
+    /// Propose an arrangement for the claimed round.
+    Propose {
+        /// The arriving user's capacity `c_u`.
+        user_capacity: u32,
+        /// Rows in the context block.
+        num_events: u32,
+        /// Context dimension `d`.
+        dim: u32,
+        /// Row-major revealed contexts (`num_events × dim`).
+        contexts: Vec<f64>,
+    },
+    /// Answer the pending proposal of the claimed round.
+    Feedback {
+        /// Accept/reject per arranged slot.
+        accepts: Vec<bool>,
+    },
+    /// Give up a claimed round without proposing.
+    Release,
+    /// Fetch the server's health + metrics snapshot.
+    Stats,
+    /// Ask the server to drain and shut down gracefully.
+    Shutdown,
+}
+
+impl Request {
+    /// Short name for diagnostics and metrics labels.
+    pub fn verb_name(&self) -> &'static str {
+        match self {
+            Request::Hello { .. } => "HELLO",
+            Request::Claim => "CLAIM",
+            Request::Propose { .. } => "PROPOSE",
+            Request::Feedback { .. } => "FEEDBACK",
+            Request::Release => "RELEASE",
+            Request::Stats => "STATS",
+            Request::Shutdown => "SHUTDOWN",
+        }
+    }
+}
+
+/// One latency histogram summary inside [`WireStats`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireHistogram {
+    /// Metric name ("propose_us", …).
+    pub name: String,
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of observations in microseconds.
+    pub sum_us: u64,
+    /// Approximate median (bucket upper bound), microseconds.
+    pub p50_us: u64,
+    /// Approximate 95th percentile (bucket upper bound), microseconds.
+    pub p95_us: u64,
+    /// Largest single observation, microseconds.
+    pub max_us: u64,
+}
+
+/// The `STATS_OK` body: service health plus the metrics registry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireStats {
+    /// Service fingerprint (instance + policy).
+    pub fingerprint: u64,
+    /// Rounds completed.
+    pub rounds_completed: u64,
+    /// Total slots arranged.
+    pub total_arranged: u64,
+    /// Total slots accepted.
+    pub total_rewards: u64,
+    /// Events with remaining capacity.
+    pub available_events: u32,
+    /// `true` if a proposal awaits feedback.
+    pub has_pending: bool,
+    /// Next WAL sequence number.
+    pub next_seq: u64,
+    /// Named atomic counters, in registry order.
+    pub counters: Vec<(String, u64)>,
+    /// Latency histogram summaries, in registry order.
+    pub histograms: Vec<WireHistogram>,
+}
+
+impl WireStats {
+    /// Accept ratio over completed rounds.
+    pub fn accept_ratio(&self) -> f64 {
+        if self.total_arranged == 0 {
+            0.0
+        } else {
+            self.total_rewards as f64 / self.total_arranged as f64
+        }
+    }
+
+    /// Looks up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Multi-line human-readable rendering (used by `fasea-exp` and the
+    /// `network_service` example).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "service: fingerprint={:#018x} rounds={} arranged={} accepted={} \
+             accept_ratio={:.3} available_events={} pending={} next_seq={}",
+            self.fingerprint,
+            self.rounds_completed,
+            self.total_arranged,
+            self.total_rewards,
+            self.accept_ratio(),
+            self.available_events,
+            self.has_pending,
+            self.next_seq,
+        );
+        let mut line = String::from("counters:");
+        for (name, value) in &self.counters {
+            let _ = write!(line, " {name}={value}");
+        }
+        let _ = writeln!(out, "{line}");
+        for h in &self.histograms {
+            let _ = writeln!(
+                out,
+                "hist {}: count={} mean={:.1}µs p50≤{}µs p95≤{}µs max={}µs",
+                h.name,
+                h.count,
+                if h.count == 0 {
+                    0.0
+                } else {
+                    h.sum_us as f64 / h.count as f64
+                },
+                h.p50_us,
+                h.p95_us,
+                h.max_us,
+            );
+        }
+        out
+    }
+}
+
+/// A server → client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Handshake accepted; describes the served instance.
+    HelloOk {
+        /// Service fingerprint (clients cross-check their workload).
+        fingerprint: u64,
+        /// Events `|V|` in the served instance.
+        num_events: u32,
+        /// Context dimension `d`.
+        dim: u32,
+        /// Rounds completed so far.
+        rounds_completed: u64,
+        /// `true` if a recovered proposal awaits feedback.
+        has_pending: bool,
+    },
+    /// The session now owns round `t`. When `pending` carries an
+    /// arrangement, the proposal for `t` is already logged (crash
+    /// recovery or an abandoned session) — skip `PROPOSE` and answer
+    /// `FEEDBACK`.
+    Claimed {
+        /// The owned round index.
+        t: u64,
+        /// The already-proposed arrangement, if any.
+        pending: Option<Vec<u32>>,
+    },
+    /// The proposal for round `t`, validated and durably logged.
+    Proposed {
+        /// Round index.
+        t: u64,
+        /// Arranged event indices.
+        arrangement: Vec<u32>,
+    },
+    /// Feedback recorded; round `t` is complete.
+    FeedbackOk {
+        /// The completed round index.
+        t: u64,
+        /// Accepted slots (the round reward).
+        reward: u32,
+    },
+    /// The claimed round was released un-proposed.
+    ReleaseOk,
+    /// Health + metrics snapshot.
+    StatsOk(WireStats),
+    /// The server is draining; this session should disconnect.
+    ShutdownOk,
+    /// A typed protocol error; the session stays usable unless the
+    /// transport itself is desynchronised.
+    Error {
+        /// What went wrong.
+        code: ErrorCode,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+impl Response {
+    /// Short name for diagnostics.
+    pub fn verb_name(&self) -> &'static str {
+        match self {
+            Response::HelloOk { .. } => "HELLO_OK",
+            Response::Claimed { .. } => "CLAIMED",
+            Response::Proposed { .. } => "PROPOSED",
+            Response::FeedbackOk { .. } => "FEEDBACK_OK",
+            Response::ReleaseOk => "RELEASE_OK",
+            Response::StatsOk(_) => "STATS_OK",
+            Response::ShutdownOk => "SHUTDOWN_OK",
+            Response::Error { .. } => "ERROR",
+        }
+    }
+}
+
+/// Why a payload failed to decode. Carried into
+/// [`ErrorCode::BadFrame`] responses.
+pub type ProtoViolation = &'static str;
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Serialises one request payload (`verb | request_id | body`).
+pub fn encode_request(request_id: u64, request: &Request) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
+    match request {
+        Request::Hello { magic, version } => {
+            out.push(VERB_HELLO);
+            put_u64(&mut out, request_id);
+            put_u32(&mut out, *magic);
+            put_u32(&mut out, *version);
+        }
+        Request::Claim => {
+            out.push(VERB_CLAIM);
+            put_u64(&mut out, request_id);
+        }
+        Request::Propose {
+            user_capacity,
+            num_events,
+            dim,
+            contexts,
+        } => {
+            out.push(VERB_PROPOSE);
+            put_u64(&mut out, request_id);
+            put_u32(&mut out, *user_capacity);
+            put_u32(&mut out, *num_events);
+            put_u32(&mut out, *dim);
+            for v in contexts {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        Request::Feedback { accepts } => {
+            out.push(VERB_FEEDBACK);
+            put_u64(&mut out, request_id);
+            put_u32(&mut out, accepts.len() as u32);
+            out.extend(accepts.iter().map(|&b| b as u8));
+        }
+        Request::Release => {
+            out.push(VERB_RELEASE);
+            put_u64(&mut out, request_id);
+        }
+        Request::Stats => {
+            out.push(VERB_STATS);
+            put_u64(&mut out, request_id);
+        }
+        Request::Shutdown => {
+            out.push(VERB_SHUTDOWN);
+            put_u64(&mut out, request_id);
+        }
+    }
+    out
+}
+
+/// Serialises one response payload (`verb | request_id | body`).
+pub fn encode_response(request_id: u64, response: &Response) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
+    match response {
+        Response::HelloOk {
+            fingerprint,
+            num_events,
+            dim,
+            rounds_completed,
+            has_pending,
+        } => {
+            out.push(VERB_HELLO_OK);
+            put_u64(&mut out, request_id);
+            put_u64(&mut out, *fingerprint);
+            put_u32(&mut out, *num_events);
+            put_u32(&mut out, *dim);
+            put_u64(&mut out, *rounds_completed);
+            out.push(*has_pending as u8);
+        }
+        Response::Claimed { t, pending } => {
+            out.push(VERB_CLAIMED);
+            put_u64(&mut out, request_id);
+            put_u64(&mut out, *t);
+            match pending {
+                None => out.push(0),
+                Some(arrangement) => {
+                    out.push(1);
+                    put_u32(&mut out, arrangement.len() as u32);
+                    for v in arrangement {
+                        put_u32(&mut out, *v);
+                    }
+                }
+            }
+        }
+        Response::Proposed { t, arrangement } => {
+            out.push(VERB_PROPOSED);
+            put_u64(&mut out, request_id);
+            put_u64(&mut out, *t);
+            put_u32(&mut out, arrangement.len() as u32);
+            for v in arrangement {
+                put_u32(&mut out, *v);
+            }
+        }
+        Response::FeedbackOk { t, reward } => {
+            out.push(VERB_FEEDBACK_OK);
+            put_u64(&mut out, request_id);
+            put_u64(&mut out, *t);
+            put_u32(&mut out, *reward);
+        }
+        Response::ReleaseOk => {
+            out.push(VERB_RELEASE_OK);
+            put_u64(&mut out, request_id);
+        }
+        Response::StatsOk(stats) => {
+            out.push(VERB_STATS_OK);
+            put_u64(&mut out, request_id);
+            put_u64(&mut out, stats.fingerprint);
+            put_u64(&mut out, stats.rounds_completed);
+            put_u64(&mut out, stats.total_arranged);
+            put_u64(&mut out, stats.total_rewards);
+            put_u32(&mut out, stats.available_events);
+            out.push(stats.has_pending as u8);
+            put_u64(&mut out, stats.next_seq);
+            put_u32(&mut out, stats.counters.len() as u32);
+            for (name, value) in &stats.counters {
+                out.push(name.len() as u8);
+                out.extend_from_slice(name.as_bytes());
+                put_u64(&mut out, *value);
+            }
+            put_u32(&mut out, stats.histograms.len() as u32);
+            for h in &stats.histograms {
+                out.push(h.name.len() as u8);
+                out.extend_from_slice(h.name.as_bytes());
+                put_u64(&mut out, h.count);
+                put_u64(&mut out, h.sum_us);
+                put_u64(&mut out, h.p50_us);
+                put_u64(&mut out, h.p95_us);
+                put_u64(&mut out, h.max_us);
+            }
+        }
+        Response::ShutdownOk => {
+            out.push(VERB_SHUTDOWN_OK);
+            put_u64(&mut out, request_id);
+        }
+        Response::Error { code, detail } => {
+            out.push(VERB_ERROR);
+            put_u64(&mut out, request_id);
+            put_u16(&mut out, *code as u16);
+            put_u32(&mut out, detail.len() as u32);
+            out.extend_from_slice(detail.as_bytes());
+        }
+    }
+    out
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, at: 0 }
+    }
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoViolation> {
+        if self.at + n > self.buf.len() {
+            return Err("payload truncated");
+        }
+        let s = &self.buf[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, ProtoViolation> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, ProtoViolation> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32, ProtoViolation> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, ProtoViolation> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn flag(&mut self) -> Result<bool, ProtoViolation> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err("flag byte is not a bool"),
+        }
+    }
+    fn u32s(&mut self, n: usize) -> Result<Vec<u32>, ProtoViolation> {
+        let raw = self.take(4 * n)?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+    fn name(&mut self) -> Result<String, ProtoViolation> {
+        let len = self.u8()? as usize;
+        let raw = self.take(len)?;
+        std::str::from_utf8(raw)
+            .map(|s| s.to_string())
+            .map_err(|_| "name is not utf-8")
+    }
+    fn done(&self) -> Result<(), ProtoViolation> {
+        if self.at == self.buf.len() {
+            Ok(())
+        } else {
+            Err("trailing payload bytes")
+        }
+    }
+}
+
+/// Decodes one request payload produced by [`encode_request`].
+pub fn decode_request(payload: &[u8]) -> Result<(u64, Request), ProtoViolation> {
+    let mut c = Cursor::new(payload);
+    let verb = c.u8()?;
+    let request_id = c.u64()?;
+    let request = match verb {
+        VERB_HELLO => Request::Hello {
+            magic: c.u32()?,
+            version: c.u32()?,
+        },
+        VERB_CLAIM => Request::Claim,
+        VERB_PROPOSE => {
+            let user_capacity = c.u32()?;
+            let num_events = c.u32()?;
+            let dim = c.u32()?;
+            let cells = (num_events as usize)
+                .checked_mul(dim as usize)
+                .filter(|&n| n <= MAX_CONTEXT_CELLS)
+                .ok_or("context shape implausible")?;
+            let raw = c.take(8 * cells)?;
+            let contexts = raw
+                .chunks_exact(8)
+                .map(|b| f64::from_le_bytes(b.try_into().unwrap()))
+                .collect();
+            Request::Propose {
+                user_capacity,
+                num_events,
+                dim,
+                contexts,
+            }
+        }
+        VERB_FEEDBACK => {
+            let len = c.u32()? as usize;
+            let raw = c.take(len)?;
+            if raw.iter().any(|&b| b > 1) {
+                return Err("feedback byte is not a bool");
+            }
+            Request::Feedback {
+                accepts: raw.iter().map(|&b| b == 1).collect(),
+            }
+        }
+        VERB_RELEASE => Request::Release,
+        VERB_STATS => Request::Stats,
+        VERB_SHUTDOWN => Request::Shutdown,
+        _ => return Err("unknown request verb"),
+    };
+    c.done()?;
+    Ok((request_id, request))
+}
+
+/// Decodes one response payload produced by [`encode_response`].
+pub fn decode_response(payload: &[u8]) -> Result<(u64, Response), ProtoViolation> {
+    let mut c = Cursor::new(payload);
+    let verb = c.u8()?;
+    let request_id = c.u64()?;
+    let response = match verb {
+        VERB_HELLO_OK => Response::HelloOk {
+            fingerprint: c.u64()?,
+            num_events: c.u32()?,
+            dim: c.u32()?,
+            rounds_completed: c.u64()?,
+            has_pending: c.flag()?,
+        },
+        VERB_CLAIMED => {
+            let t = c.u64()?;
+            let pending = if c.flag()? {
+                let len = c.u32()? as usize;
+                Some(c.u32s(len)?)
+            } else {
+                None
+            };
+            Response::Claimed { t, pending }
+        }
+        VERB_PROPOSED => {
+            let t = c.u64()?;
+            let len = c.u32()? as usize;
+            Response::Proposed {
+                t,
+                arrangement: c.u32s(len)?,
+            }
+        }
+        VERB_FEEDBACK_OK => Response::FeedbackOk {
+            t: c.u64()?,
+            reward: c.u32()?,
+        },
+        VERB_RELEASE_OK => Response::ReleaseOk,
+        VERB_STATS_OK => {
+            let fingerprint = c.u64()?;
+            let rounds_completed = c.u64()?;
+            let total_arranged = c.u64()?;
+            let total_rewards = c.u64()?;
+            let available_events = c.u32()?;
+            let has_pending = c.flag()?;
+            let next_seq = c.u64()?;
+            let n_counters = c.u32()? as usize;
+            if n_counters > 4096 {
+                return Err("counter list implausible");
+            }
+            let mut counters = Vec::with_capacity(n_counters);
+            for _ in 0..n_counters {
+                let name = c.name()?;
+                let value = c.u64()?;
+                counters.push((name, value));
+            }
+            let n_hists = c.u32()? as usize;
+            if n_hists > 4096 {
+                return Err("histogram list implausible");
+            }
+            let mut histograms = Vec::with_capacity(n_hists);
+            for _ in 0..n_hists {
+                histograms.push(WireHistogram {
+                    name: c.name()?,
+                    count: c.u64()?,
+                    sum_us: c.u64()?,
+                    p50_us: c.u64()?,
+                    p95_us: c.u64()?,
+                    max_us: c.u64()?,
+                });
+            }
+            Response::StatsOk(WireStats {
+                fingerprint,
+                rounds_completed,
+                total_arranged,
+                total_rewards,
+                available_events,
+                has_pending,
+                next_seq,
+                counters,
+                histograms,
+            })
+        }
+        VERB_SHUTDOWN_OK => Response::ShutdownOk,
+        VERB_ERROR => {
+            let code = ErrorCode::from_u16(c.u16()?).ok_or("unknown error code")?;
+            let len = c.u32()? as usize;
+            let raw = c.take(len)?;
+            let detail = std::str::from_utf8(raw)
+                .map_err(|_| "error detail is not utf-8")?
+                .to_string();
+            Response::Error { code, detail }
+        }
+        _ => return Err("unknown response verb"),
+    };
+    c.done()?;
+    Ok((request_id, response))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_stats() -> WireStats {
+        WireStats {
+            fingerprint: 0xDEAD_BEEF_0123_4567,
+            rounds_completed: 42,
+            total_arranged: 99,
+            total_rewards: 60,
+            available_events: 7,
+            has_pending: true,
+            next_seq: 85,
+            counters: vec![("requests".into(), 1234), ("overloaded".into(), 3)],
+            histograms: vec![WireHistogram {
+                name: "propose_us".into(),
+                count: 42,
+                sum_us: 4200,
+                p50_us: 100,
+                p95_us: 250,
+                max_us: 400,
+            }],
+        }
+    }
+
+    #[test]
+    fn request_round_trip_all_verbs() {
+        let requests = [
+            Request::Hello {
+                magic: CLIENT_MAGIC,
+                version: PROTOCOL_VERSION,
+            },
+            Request::Claim,
+            Request::Propose {
+                user_capacity: 3,
+                num_events: 2,
+                dim: 2,
+                contexts: vec![0.25, -0.5, 0.75, 1.0],
+            },
+            Request::Feedback {
+                accepts: vec![true, false, true],
+            },
+            Request::Release,
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for (i, req) in requests.iter().enumerate() {
+            let payload = encode_request(100 + i as u64, req);
+            let (id, decoded) = decode_request(&payload).unwrap();
+            assert_eq!(id, 100 + i as u64);
+            assert_eq!(&decoded, req);
+        }
+    }
+
+    #[test]
+    fn response_round_trip_all_verbs() {
+        let responses = [
+            Response::HelloOk {
+                fingerprint: 7,
+                num_events: 10,
+                dim: 4,
+                rounds_completed: 3,
+                has_pending: false,
+            },
+            Response::Claimed {
+                t: 9,
+                pending: None,
+            },
+            Response::Claimed {
+                t: 9,
+                pending: Some(vec![4, 1]),
+            },
+            Response::Proposed {
+                t: 9,
+                arrangement: vec![0, 2, 5],
+            },
+            Response::FeedbackOk { t: 9, reward: 2 },
+            Response::ReleaseOk,
+            Response::StatsOk(sample_stats()),
+            Response::ShutdownOk,
+            Response::Error {
+                code: ErrorCode::Overloaded,
+                detail: "queue full".into(),
+            },
+        ];
+        for (i, resp) in responses.iter().enumerate() {
+            let payload = encode_response(i as u64, resp);
+            let (id, decoded) = decode_response(&payload).unwrap();
+            assert_eq!(id, i as u64);
+            assert_eq!(&decoded, resp);
+        }
+    }
+
+    #[test]
+    fn malformed_payloads_rejected() {
+        // Unknown verb.
+        assert!(decode_request(&[0x55; 9]).is_err());
+        assert!(decode_response(&[0x55; 9]).is_err());
+        // Truncated.
+        let payload = encode_request(0, &Request::Claim);
+        assert!(decode_request(&payload[..payload.len() - 1]).is_err());
+        // Trailing garbage.
+        let mut payload = encode_request(0, &Request::Claim);
+        payload.push(0);
+        assert!(decode_request(&payload).is_err());
+        // Non-bool feedback byte.
+        let mut payload = encode_request(
+            0,
+            &Request::Feedback {
+                accepts: vec![true],
+            },
+        );
+        *payload.last_mut().unwrap() = 2;
+        assert!(decode_request(&payload).is_err());
+        // Implausible context shape (would overflow / over-allocate).
+        let mut payload = encode_request(
+            0,
+            &Request::Propose {
+                user_capacity: 1,
+                num_events: 1,
+                dim: 1,
+                contexts: vec![0.0],
+            },
+        );
+        // Patch num_events to u32::MAX (offset: verb 1 + id 8 + cap 4).
+        payload[13..17].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_request(&payload).is_err());
+        // Unknown error code.
+        let mut payload = encode_response(
+            0,
+            &Response::Error {
+                code: ErrorCode::Internal,
+                detail: String::new(),
+            },
+        );
+        payload[9..11].copy_from_slice(&999u16.to_le_bytes());
+        assert!(decode_response(&payload).is_err());
+    }
+
+    #[test]
+    fn error_codes_round_trip() {
+        for v in 1..=13u16 {
+            let code = ErrorCode::from_u16(v).unwrap();
+            assert_eq!(code as u16, v);
+            assert!(!code.to_string().is_empty());
+        }
+        assert_eq!(ErrorCode::from_u16(0), None);
+        assert_eq!(ErrorCode::from_u16(14), None);
+    }
+
+    #[test]
+    fn stats_render_and_lookup() {
+        let stats = sample_stats();
+        assert_eq!(stats.counter("requests"), Some(1234));
+        assert_eq!(stats.counter("nope"), None);
+        assert!((stats.accept_ratio() - 60.0 / 99.0).abs() < 1e-12);
+        let text = stats.render();
+        assert!(text.contains("rounds=42"));
+        assert!(text.contains("propose_us"));
+    }
+}

@@ -1,0 +1,554 @@
+//! The TCP server: a listener + worker thread pool in front of the
+//! service actor.
+//!
+//! Thread layout (all inside one `crossbeam::thread::scope`, itself
+//! inside a single owning `std::thread`):
+//!
+//! ```text
+//!             accept loop (non-blocking poll)
+//!                  │ TcpStream
+//!                  ▼
+//!            ConnQueue (Mutex + Condvar, bounded)
+//!        ┌────────┼────────┐
+//!        ▼        ▼        ▼
+//!     worker 0 worker 1 … worker N-1      ── frame I/O, decode,
+//!        │        │        │                 validation, encode
+//!        └───────►┴◄───────┘
+//!             mpsc::Sender<Command>
+//!                  ▼
+//!            service actor (1 thread)     ── owns DurableArrangementService,
+//!                                            strictly sequential rounds
+//! ```
+//!
+//! Each worker serves one connection at a time for that connection's
+//! whole life; connections beyond the pool wait in the queue (and
+//! beyond the queue, are refused at accept). Reads are polled with a
+//! short timeout so every worker notices shutdown, enforces the idle
+//! and mid-frame read deadlines, and still blocks cheaply when quiet.
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use fasea_sim::DurableArrangementService;
+use fasea_store::{parse_raw_frame, write_raw_frame, FrameParse};
+
+use crate::actor::{CloseReport, Command, ServiceActor};
+use crate::metrics::Metrics;
+use crate::proto::{
+    decode_request, encode_response, ErrorCode, Request, Response, CLIENT_MAGIC, PROTOCOL_VERSION,
+};
+
+/// Tunables for [`Server::spawn`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads (each serves one connection at a time).
+    pub workers: usize,
+    /// Claim queue depth before `Overloaded` is returned.
+    pub max_inflight: usize,
+    /// Accepted-but-unserved connections held before refusing more.
+    pub conn_backlog: usize,
+    /// Deadline for completing a frame once its first byte arrives.
+    pub read_timeout: Duration,
+    /// Close a connection after this long with no complete frame.
+    pub idle_timeout: Duration,
+    /// How long a worker waits for the actor to answer one command
+    /// (covers the parked-claim wait).
+    pub claim_wait_timeout: Duration,
+    /// Poll granularity for non-blocking accept and timed reads.
+    pub poll_interval: Duration,
+    /// Period of the operational log line (`None` disables it).
+    pub stats_interval: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            max_inflight: 64,
+            conn_backlog: 128,
+            read_timeout: Duration::from_secs(5),
+            idle_timeout: Duration::from_secs(300),
+            claim_wait_timeout: Duration::from_secs(30),
+            poll_interval: Duration::from_millis(50),
+            stats_interval: Some(Duration::from_secs(10)),
+        }
+    }
+}
+
+/// What [`ServerHandle::join`] returns after a full drain.
+pub struct ServeReport {
+    /// The actor's close report (rounds, final snapshot, close error).
+    pub close: CloseReport,
+}
+
+/// A running server. Dropping the handle does **not** stop the server;
+/// call [`ServerHandle::initiate_shutdown`] then [`ServerHandle::join`].
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    metrics: Arc<Metrics>,
+    thread: std::thread::JoinHandle<ServeReport>,
+}
+
+impl ServerHandle {
+    /// The bound listen address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The live metrics registry.
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Raises the shutdown flag: the listener stops accepting, parked
+    /// claims are refused, in-flight rounds drain, the WAL is synced
+    /// and snapshotted. Idempotent; also raised by the `SHUTDOWN` verb.
+    pub fn initiate_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// `true` once shutdown has been requested (by this handle, the
+    /// `SHUTDOWN` verb, or a fatal store error).
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until the server has fully drained and closed the
+    /// service.
+    ///
+    /// # Panics
+    /// If a server thread panicked.
+    pub fn join(self) -> ServeReport {
+        self.thread.join().expect("server thread panicked")
+    }
+}
+
+/// Bounded handoff queue between the accept loop and the workers.
+struct ConnQueue {
+    inner: Mutex<ConnQueueState>,
+    cv: Condvar,
+    capacity: usize,
+}
+
+struct ConnQueueState {
+    conns: VecDeque<TcpStream>,
+    closed: bool,
+}
+
+impl ConnQueue {
+    fn new(capacity: usize) -> Self {
+        ConnQueue {
+            inner: Mutex::new(ConnQueueState {
+                conns: VecDeque::new(),
+                closed: false,
+            }),
+            cv: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueues a connection; `false` means full or closed (caller
+    /// drops the stream, i.e. refuses the connection).
+    fn push(&self, stream: TcpStream) -> bool {
+        let mut st = self.inner.lock().unwrap();
+        if st.closed || st.conns.len() >= self.capacity {
+            return false;
+        }
+        st.conns.push_back(stream);
+        self.cv.notify_one();
+        true
+    }
+
+    /// Blocks for the next connection; `None` once closed and drained.
+    fn pop(&self) -> Option<TcpStream> {
+        let mut st = self.inner.lock().unwrap();
+        loop {
+            if let Some(stream) = st.conns.pop_front() {
+                return Some(stream);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+
+    fn close(&self) {
+        let mut st = self.inner.lock().unwrap();
+        st.closed = true;
+        st.conns.clear();
+        self.cv.notify_all();
+    }
+}
+
+/// The FASEA network server.
+pub struct Server;
+
+impl Server {
+    /// Binds `addr`, takes ownership of `svc`, and spawns the serving
+    /// threads. Returns once the listener is bound — rounds served so
+    /// far and the final state are reported by [`ServerHandle::join`].
+    ///
+    /// # Errors
+    /// Any socket-level failure binding the listener.
+    pub fn spawn<A: ToSocketAddrs>(
+        svc: DurableArrangementService,
+        addr: A,
+        config: ServerConfig,
+    ) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let metrics = Arc::new(Metrics::default());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let metrics = Arc::clone(&metrics);
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::Builder::new()
+                .name("fasea-serve".into())
+                .spawn(move || run_server(listener, svc, config, metrics, shutdown))?
+        };
+        Ok(ServerHandle {
+            local_addr,
+            shutdown,
+            metrics,
+            thread,
+        })
+    }
+}
+
+fn run_server(
+    listener: TcpListener,
+    svc: DurableArrangementService,
+    config: ServerConfig,
+    metrics: Arc<Metrics>,
+    shutdown: Arc<AtomicBool>,
+) -> ServeReport {
+    let (cmd_tx, cmd_rx) = mpsc::channel::<Command>();
+    let actor = ServiceActor::new(
+        svc,
+        cmd_rx,
+        Arc::clone(&metrics),
+        Arc::clone(&shutdown),
+        config.max_inflight,
+        config.poll_interval,
+    );
+    let queue = ConnQueue::new(config.conn_backlog);
+    let conn_ids = AtomicU64::new(1);
+
+    let close = crossbeam::thread::scope(|s| {
+        let actor_handle = s.spawn(|_| actor.run());
+        for _ in 0..config.workers.max(1) {
+            let cmd_tx = cmd_tx.clone();
+            let queue = &queue;
+            let conn_ids = &conn_ids;
+            let config = &config;
+            let metrics = &metrics;
+            let shutdown = &shutdown;
+            s.spawn(move |_| {
+                while let Some(stream) = queue.pop() {
+                    let conn = conn_ids.fetch_add(1, Ordering::Relaxed);
+                    serve_connection(stream, conn, &cmd_tx, config, metrics, shutdown);
+                    let _ = cmd_tx.send(Command::Disconnect { conn });
+                    metrics.connections_closed.incr();
+                }
+            });
+        }
+
+        // Accept loop, on the scope's own closure thread.
+        let mut last_stats = Instant::now();
+        while !shutdown.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    metrics.connections_opened.incr();
+                    if !queue.push(stream) {
+                        // Dropping the stream closes it: backlog full.
+                        metrics.connections_closed.incr();
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(config.poll_interval);
+                }
+                Err(_) => std::thread::sleep(config.poll_interval),
+            }
+            if let Some(interval) = config.stats_interval {
+                if last_stats.elapsed() >= interval {
+                    eprintln!("[fasea-serve] {}", metrics.log_line());
+                    last_stats = Instant::now();
+                }
+            }
+        }
+        queue.close();
+        drop(cmd_tx);
+        actor_handle.join().expect("actor thread panicked")
+    })
+    .expect("server scope panicked");
+    ServeReport { close }
+}
+
+/// Per-session state tracked by the worker.
+struct Session {
+    conn: u64,
+    /// Whether this session currently owns the in-flight round (set by
+    /// `CLAIMED`, cleared by `FEEDBACK_OK` / `RELEASE_OK`).
+    owns_round: bool,
+}
+
+enum After {
+    Continue,
+    Close,
+}
+
+fn serve_connection(
+    mut stream: TcpStream,
+    conn: u64,
+    cmd_tx: &Sender<Command>,
+    config: &ServerConfig,
+    metrics: &Metrics,
+    shutdown: &AtomicBool,
+) {
+    if stream.set_read_timeout(Some(config.poll_interval)).is_err()
+        || stream.set_write_timeout(Some(config.read_timeout)).is_err()
+        || stream.set_nodelay(true).is_err()
+    {
+        return;
+    }
+    let mut session = Session {
+        conn,
+        owns_round: false,
+    };
+    let mut buf: Vec<u8> = Vec::with_capacity(4096);
+    let mut tmp = [0u8; 8192];
+    let mut last_frame = Instant::now();
+    let mut frame_started: Option<Instant> = None;
+
+    loop {
+        // Drain complete frames already buffered.
+        let decode_started = Instant::now();
+        match parse_raw_frame(&buf) {
+            FrameParse::Frame { payload, consumed } => {
+                metrics.decode_us.observe(decode_started.elapsed());
+                let after = handle_payload(
+                    &payload,
+                    &mut stream,
+                    &mut session,
+                    cmd_tx,
+                    config,
+                    metrics,
+                    shutdown,
+                );
+                buf.drain(..consumed);
+                last_frame = Instant::now();
+                frame_started = if buf.is_empty() {
+                    None
+                } else {
+                    Some(Instant::now())
+                };
+                match after {
+                    After::Continue => continue,
+                    After::Close => return,
+                }
+            }
+            FrameParse::Bad { why } => {
+                metrics.decode_errors.incr();
+                metrics.protocol_errors.incr();
+                // The byte stream is desynchronised — answer once,
+                // typed, then hang up.
+                let _ = send_response(
+                    &mut stream,
+                    0,
+                    &Response::Error {
+                        code: ErrorCode::BadFrame,
+                        detail: why.to_string(),
+                    },
+                );
+                return;
+            }
+            FrameParse::NeedMore => {}
+        }
+
+        if shutdown.load(Ordering::SeqCst) && !session.owns_round && buf.is_empty() {
+            return;
+        }
+
+        match stream.read(&mut tmp) {
+            Ok(0) => return,
+            Ok(n) => {
+                if frame_started.is_none() {
+                    frame_started = Some(Instant::now());
+                }
+                buf.extend_from_slice(&tmp[..n]);
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if let Some(started) = frame_started {
+                    if started.elapsed() >= config.read_timeout {
+                        metrics.decode_errors.incr();
+                        metrics.protocol_errors.incr();
+                        let _ = send_response(
+                            &mut stream,
+                            0,
+                            &Response::Error {
+                                code: ErrorCode::BadFrame,
+                                detail: "frame read timed out".into(),
+                            },
+                        );
+                        return;
+                    }
+                }
+                if last_frame.elapsed() >= config.idle_timeout {
+                    return;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+fn handle_payload(
+    payload: &[u8],
+    stream: &mut TcpStream,
+    session: &mut Session,
+    cmd_tx: &Sender<Command>,
+    config: &ServerConfig,
+    metrics: &Metrics,
+    shutdown: &AtomicBool,
+) -> After {
+    let (request_id, request) = match decode_request(payload) {
+        Ok(decoded) => decoded,
+        Err(why) => {
+            // The frame passed its checksum, so the stream is still
+            // synchronised: answer typed and keep the session.
+            metrics.decode_errors.incr();
+            metrics.protocol_errors.incr();
+            return match send_response(
+                stream,
+                0,
+                &Response::Error {
+                    code: ErrorCode::BadFrame,
+                    detail: why.to_string(),
+                },
+            ) {
+                Ok(()) => After::Continue,
+                Err(_) => After::Close,
+            };
+        }
+    };
+    metrics.requests.incr();
+
+    // HELLO is validated here; everything else is the actor's business.
+    if let Request::Hello { magic, version } = request {
+        if magic != CLIENT_MAGIC || version != PROTOCOL_VERSION {
+            metrics.protocol_errors.incr();
+            let resp = Response::Error {
+                code: ErrorCode::BadHello,
+                detail: format!(
+                    "magic={magic:#010x} version={version} (want {CLIENT_MAGIC:#010x} v{PROTOCOL_VERSION})"
+                ),
+            };
+            return match send_response(stream, request_id, &resp) {
+                Ok(()) => After::Continue,
+                Err(_) => After::Close,
+            };
+        }
+    }
+    if shutdown.load(Ordering::SeqCst) && matches!(request, Request::Claim) {
+        metrics.protocol_errors.incr();
+        let resp = Response::Error {
+            code: ErrorCode::ShuttingDown,
+            detail: "server is draining".into(),
+        };
+        return match send_response(stream, request_id, &resp) {
+            Ok(()) => After::Continue,
+            Err(_) => After::Close,
+        };
+    }
+
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let conn = session.conn;
+    let command = match request {
+        Request::Hello { .. } => Command::Hello { reply: reply_tx },
+        Request::Claim => Command::Claim {
+            conn,
+            enqueued: Instant::now(),
+            reply: reply_tx,
+        },
+        Request::Propose {
+            user_capacity,
+            num_events,
+            dim,
+            contexts,
+        } => Command::Propose {
+            conn,
+            user_capacity,
+            num_events,
+            dim,
+            contexts,
+            reply: reply_tx,
+        },
+        Request::Feedback { accepts } => Command::Feedback {
+            conn,
+            accepts,
+            reply: reply_tx,
+        },
+        Request::Release => Command::Release {
+            conn,
+            reply: reply_tx,
+        },
+        Request::Stats => Command::Stats { reply: reply_tx },
+        Request::Shutdown => Command::Shutdown { reply: reply_tx },
+    };
+    if cmd_tx.send(command).is_err() {
+        // Actor is gone (fatal store error during drain): tell the
+        // client and hang up.
+        let _ = send_response(
+            stream,
+            request_id,
+            &Response::Error {
+                code: ErrorCode::ShuttingDown,
+                detail: "service actor stopped".into(),
+            },
+        );
+        return After::Close;
+    }
+    let response = match reply_rx.recv_timeout(config.claim_wait_timeout) {
+        Ok(resp) => resp,
+        Err(_) => {
+            // Either the claim outlived its patience budget or the
+            // actor died mid-request. Closing sends Disconnect, which
+            // reclaims anything granted to us after we stopped waiting.
+            let _ = send_response(
+                stream,
+                request_id,
+                &Response::Error {
+                    code: ErrorCode::Internal,
+                    detail: "request timed out inside the server".into(),
+                },
+            );
+            return After::Close;
+        }
+    };
+    match &response {
+        Response::Claimed { .. } => session.owns_round = true,
+        Response::FeedbackOk { .. } | Response::ReleaseOk => session.owns_round = false,
+        _ => {}
+    }
+    match send_response(stream, request_id, &response) {
+        Ok(()) => After::Continue,
+        Err(_) => After::Close,
+    }
+}
+
+fn send_response(stream: &mut TcpStream, request_id: u64, response: &Response) -> io::Result<()> {
+    let payload = encode_response(request_id, response);
+    write_raw_frame(stream, &payload)?;
+    stream.flush()
+}

@@ -1,0 +1,186 @@
+//! Golden wire-format fixtures: byte-exact expected encodings for every
+//! protocol verb, in both directions, plus one fully framed message.
+//!
+//! These bytes are the protocol's compatibility contract. If an edit to
+//! `proto.rs` changes any fixture, that edit is a wire-format break:
+//! either revert it or bump `PROTOCOL_VERSION` and regenerate the
+//! fixtures deliberately.
+
+use fasea_serve::proto::{
+    decode_request, decode_response, encode_request, encode_response, ErrorCode, Request, Response,
+    WireHistogram, WireStats, CLIENT_MAGIC, PROTOCOL_VERSION,
+};
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn unhex(s: &str) -> Vec<u8> {
+    assert!(s.len().is_multiple_of(2));
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+        .collect()
+}
+
+fn check_request(request_id: u64, request: &Request, golden: &str) {
+    let encoded = encode_request(request_id, request);
+    assert_eq!(
+        hex(&encoded),
+        golden,
+        "encoding drifted for request {}",
+        request.verb_name()
+    );
+    let (id, decoded) = decode_request(&unhex(golden)).expect("golden request must decode");
+    assert_eq!(id, request_id);
+    assert_eq!(&decoded, request);
+}
+
+fn check_response(request_id: u64, response: &Response, golden: &str) {
+    let encoded = encode_response(request_id, response);
+    assert_eq!(
+        hex(&encoded),
+        golden,
+        "encoding drifted for response {}",
+        response.verb_name()
+    );
+    let (id, decoded) = decode_response(&unhex(golden)).expect("golden response must decode");
+    assert_eq!(id, request_id);
+    assert_eq!(&decoded, response);
+}
+
+#[test]
+fn request_fixtures() {
+    check_request(
+        1,
+        &Request::Hello {
+            magic: CLIENT_MAGIC,
+            version: PROTOCOL_VERSION,
+        },
+        // verb 01 | id 1 | magic "FSEA" LE | version 1
+        "0101000000000000004145534601000000",
+    );
+    check_request(2, &Request::Claim, "020200000000000000");
+    check_request(
+        3,
+        &Request::Propose {
+            user_capacity: 2,
+            num_events: 2,
+            dim: 2,
+            contexts: vec![0.5, -1.0, 0.25, 2.0],
+        },
+        // verb 03 | id | cap 2 | n 2 | d 2 | 4 × f64 LE
+        "030300000000000000020000000200000002000000000000000000e03f000000000000f0bf000000000000d03f0000000000000040",
+    );
+    check_request(
+        4,
+        &Request::Feedback {
+            accepts: vec![true, false, true],
+        },
+        // verb 04 | id | len 3 | 01 00 01
+        "04040000000000000003000000010001",
+    );
+    check_request(5, &Request::Release, "050500000000000000");
+    check_request(6, &Request::Stats, "060600000000000000");
+    check_request(7, &Request::Shutdown, "070700000000000000");
+}
+
+#[test]
+fn response_fixtures() {
+    check_response(
+        1,
+        &Response::HelloOk {
+            fingerprint: 0x1122_3344_5566_7788,
+            num_events: 2,
+            dim: 2,
+            rounds_completed: 9,
+            has_pending: true,
+        },
+        "81010000000000000088776655443322110200000002000000090000000000000001",
+    );
+    check_response(
+        2,
+        &Response::Claimed {
+            t: 9,
+            pending: None,
+        },
+        "820200000000000000090000000000000000",
+    );
+    check_response(
+        2,
+        &Response::Claimed {
+            t: 9,
+            pending: Some(vec![1, 0]),
+        },
+        "820200000000000000090000000000000001020000000100000000000000",
+    );
+    check_response(
+        3,
+        &Response::Proposed {
+            t: 9,
+            arrangement: vec![0, 1],
+        },
+        "8303000000000000000900000000000000020000000000000001000000",
+    );
+    check_response(
+        4,
+        &Response::FeedbackOk { t: 9, reward: 1 },
+        "840400000000000000090000000000000001000000",
+    );
+    check_response(5, &Response::ReleaseOk, "850500000000000000");
+    check_response(
+        6,
+        &Response::StatsOk(WireStats {
+            fingerprint: 0xABCD,
+            rounds_completed: 3,
+            total_arranged: 5,
+            total_rewards: 2,
+            available_events: 2,
+            has_pending: false,
+            next_seq: 6,
+            counters: vec![("requests".into(), 7)],
+            histograms: vec![WireHistogram {
+                name: "propose_us".into(),
+                count: 3,
+                sum_us: 30,
+                p50_us: 10,
+                p95_us: 10,
+                max_us: 12,
+            }],
+        }),
+        "860600000000000000cdab000000000000030000000000000005000000000000000200000000000000\
+         0200000000060000000000000001000000087265717565737473070000000000000001000000\
+         0a70726f706f73655f757303000000000000001e000000000000000a000000000000000a00000000\
+         0000000c00000000000000",
+    );
+    check_response(7, &Response::ShutdownOk, "870700000000000000");
+    check_response(
+        8,
+        &Response::Error {
+            code: ErrorCode::Overloaded,
+            detail: "queue full".into(),
+        },
+        // verb ee | id | code 11 (Overloaded) | len 10 | "queue full"
+        "ee08000000000000000b000a00000071756575652066756c6c",
+    );
+}
+
+/// The full wire framing (the WAL's `len | crc | payload` convention)
+/// around one payload, byte for byte.
+#[test]
+fn framed_message_fixture() {
+    let payload = encode_request(2, &Request::Claim);
+    let mut framed = Vec::new();
+    fasea_store::write_raw_frame(&mut framed, &payload).unwrap();
+    assert_eq!(hex(&framed), "09000000553bda8a020200000000000000");
+    match fasea_store::parse_raw_frame(&framed) {
+        fasea_store::FrameParse::Frame {
+            payload: parsed,
+            consumed,
+        } => {
+            assert_eq!(consumed, framed.len());
+            assert_eq!(parsed, payload);
+        }
+        other => panic!("framed fixture failed to parse: {other:?}"),
+    }
+}

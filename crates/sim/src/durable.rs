@@ -75,6 +75,32 @@ impl Default for DurableOptions {
     }
 }
 
+/// A point-in-time health summary of a [`DurableArrangementService`],
+/// cheap to build and plain data — the serving layer exposes it over
+/// the wire (`STATS`) and in periodic log lines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceHealth {
+    /// The wrapped policy's stable name.
+    pub policy_name: String,
+    /// The service fingerprint (instance shape + capacities + conflicts
+    /// + mode + policy name).
+    pub fingerprint: u64,
+    /// Rounds completed (proposal + feedback pairs).
+    pub rounds_completed: u64,
+    /// `true` if a proposal awaits feedback.
+    pub has_pending: bool,
+    /// Events that still have remaining capacity.
+    pub available_events: usize,
+    /// Sum of remaining capacity over all events.
+    pub remaining_total: u64,
+    /// Total slots arranged over completed rounds.
+    pub total_arranged: u64,
+    /// Total slots accepted over completed rounds.
+    pub total_rewards: u64,
+    /// WAL sequence number the next append will receive.
+    pub next_seq: u64,
+}
+
 /// Crash-safe arrangement service: [`ArrangementService`] + WAL +
 /// snapshots.
 pub struct DurableArrangementService {
@@ -314,6 +340,43 @@ impl DurableArrangementService {
     /// (diagnostics/tests).
     pub fn next_seq(&self) -> u64 {
         self.wal.next_seq()
+    }
+
+    /// A point-in-time health summary (round counter, pending state,
+    /// capacity headroom, accounting totals). Plain data, safe to ship
+    /// across threads or the wire.
+    pub fn health(&self) -> ServiceHealth {
+        let accounting = self.service.accounting();
+        ServiceHealth {
+            policy_name: self.service.policy_name().to_string(),
+            fingerprint: self.fingerprint,
+            rounds_completed: self.service.rounds_completed(),
+            has_pending: self.service.has_pending(),
+            available_events: self.service.available_events(),
+            remaining_total: self.service.remaining().iter().map(|&c| c as u64).sum(),
+            total_arranged: accounting.total_arranged(),
+            total_rewards: accounting.total_rewards(),
+            next_seq: self.wal.next_seq(),
+        }
+    }
+
+    /// Graceful shutdown: forces every appended record to stable
+    /// storage, writes a final snapshot (so the next open skips replay),
+    /// and consumes the service. Returns the snapshot path.
+    ///
+    /// A snapshot is only written once at least one record exists —
+    /// closing a service that never completed a round leaves the
+    /// directory untouched and returns `None`.
+    ///
+    /// # Errors
+    /// [`ServiceError::Store`] on any I/O failure; the WAL is synced
+    /// before snapshotting, so even a failed snapshot loses nothing.
+    pub fn close(mut self) -> Result<Option<PathBuf>, ServiceError> {
+        self.wal.sync()?;
+        if self.wal.next_seq() == 0 {
+            return Ok(None);
+        }
+        self.snapshot().map(Some)
     }
 }
 
@@ -615,6 +678,58 @@ mod tests {
             Err(ServiceError::RecoveryDiverged { .. }) => {}
             other => panic!("expected RecoveryDiverged, got {:?}", other.map(|_| ())),
         }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn health_reflects_state_and_close_snapshots() {
+        let dir = tmp("health");
+        let opts = DurableOptions {
+            fsync: FsyncPolicy::Never,
+            ..Default::default()
+        };
+        let mut svc = DurableArrangementService::open(&dir, instance(), ts_policy(), opts).unwrap();
+        let fresh = svc.health();
+        assert_eq!(fresh.rounds_completed, 0);
+        assert!(!fresh.has_pending);
+        assert_eq!(fresh.policy_name, "TS");
+        assert_eq!(fresh.remaining_total, 120);
+        for round in 0..8 {
+            let a = svc.propose(&arrival(round)).unwrap();
+            svc.feedback(&accepts_for(round, &a)).unwrap();
+        }
+        let a = svc.propose(&arrival(8)).unwrap();
+        let h = svc.health();
+        assert_eq!(h.rounds_completed, 8);
+        assert!(h.has_pending);
+        assert_eq!(h.fingerprint, svc.fingerprint());
+        assert!(h.total_arranged >= h.total_rewards);
+        svc.feedback(&accepts_for(8, &a)).unwrap();
+        let reference_state = svc.service().policy().save_state();
+        // Graceful close writes a snapshot; reopen resumes from it.
+        let snap = svc.close().unwrap();
+        assert!(snap.is_some(), "close after rounds must snapshot");
+        let svc = DurableArrangementService::open(&dir, instance(), ts_policy(), opts).unwrap();
+        assert_eq!(svc.rounds_completed(), 9);
+        assert_eq!(svc.service().policy().save_state(), reference_state);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn close_on_untouched_service_writes_nothing() {
+        let dir = tmp("close-empty");
+        let opts = DurableOptions {
+            fsync: FsyncPolicy::Never,
+            ..Default::default()
+        };
+        let svc = DurableArrangementService::open(&dir, instance(), ts_policy(), opts).unwrap();
+        assert_eq!(svc.close().unwrap(), None);
+        let snapshots: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains("snap"))
+            .collect();
+        assert!(snapshots.is_empty(), "no snapshot for an untouched service");
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -39,7 +39,7 @@ pub mod runner;
 pub mod service;
 pub mod sweep;
 
-pub use durable::{service_fingerprint, DurableArrangementService, DurableOptions};
+pub use durable::{service_fingerprint, DurableArrangementService, DurableOptions, ServiceHealth};
 pub use memory::MemoryModel;
 pub use multi_user::{run_multi_user, LearnerArchitecture, MultiUserRunResult};
 pub use real_runner::{run_real, CuMode, RealRunConfig, RealRunResult};

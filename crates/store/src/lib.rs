@@ -45,7 +45,10 @@ pub mod wal;
 
 pub use crc::{crc32, Crc32};
 pub use fault::{FaultFile, ShortReader};
-pub use record::{context_hash, Record};
+pub use record::{
+    context_hash, parse_raw_frame, read_raw_frame, write_raw_frame, FrameParse, RawFrame, Record,
+    MAX_PAYLOAD,
+};
 pub use snapshot::{PendingProposal, ServiceSnapshot};
 pub use wal::{FsyncPolicy, Wal, WalOptions};
 

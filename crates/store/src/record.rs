@@ -151,15 +151,22 @@ pub fn encode_payload(seq: u64, record: &Record) -> Vec<u8> {
     out
 }
 
+/// Writes one raw frame (`len | crc | payload`) to `w`. Returns the
+/// number of bytes written. This is the framing primitive shared by the
+/// WAL and by `fasea-serve`'s wire protocol; the payload is opaque.
+pub fn write_raw_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<u64> {
+    let crc = crc32(payload);
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(&crc.to_le_bytes())?;
+    w.write_all(payload)?;
+    Ok(8 + payload.len() as u64)
+}
+
 /// Writes one framed record (`len | crc | payload`) to `w`. Returns the
 /// number of bytes written.
 pub fn write_frame<W: Write>(w: &mut W, seq: u64, record: &Record) -> io::Result<u64> {
     let payload = encode_payload(seq, record);
-    let crc = crc32(&payload);
-    w.write_all(&(payload.len() as u32).to_le_bytes())?;
-    w.write_all(&crc.to_le_bytes())?;
-    w.write_all(&payload)?;
-    Ok(8 + payload.len() as u64)
+    write_raw_frame(w, &payload)
 }
 
 /// Outcome of reading one frame from a stream.
@@ -186,18 +193,39 @@ pub enum FrameOutcome {
     },
 }
 
-/// Reads one framed record. Partial reads (as produced by
-/// [`crate::fault::ShortReader`]) are handled by `read_exact`; only a
-/// genuine end-of-stream inside a frame reports [`FrameOutcome::Torn`].
-pub fn read_frame<R: Read>(r: &mut R) -> io::Result<FrameOutcome> {
+/// Outcome of reading one raw frame from a stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RawFrame {
+    /// A CRC-valid payload.
+    Payload {
+        /// The opaque frame payload.
+        payload: Vec<u8>,
+        /// Frame size in bytes (header + payload).
+        bytes: u64,
+    },
+    /// Clean end of stream: zero bytes remained.
+    Eof,
+    /// The stream ends inside a frame, the length field is implausible,
+    /// or the payload fails its CRC.
+    Torn {
+        /// Human-readable reason the frame was rejected.
+        why: &'static str,
+    },
+}
+
+/// Reads one raw frame (`len | crc | payload`). Partial reads (as
+/// produced by [`crate::fault::ShortReader`]) are handled by
+/// `read_exact`; only a genuine end-of-stream inside a frame reports
+/// [`RawFrame::Torn`].
+pub fn read_raw_frame<R: Read>(r: &mut R) -> io::Result<RawFrame> {
     let mut len_buf = [0u8; 4];
     // Distinguish clean EOF (no bytes) from a torn length field.
     let mut filled = 0;
     while filled < 4 {
         match r.read(&mut len_buf[filled..])? {
-            0 if filled == 0 => return Ok(FrameOutcome::Eof),
+            0 if filled == 0 => return Ok(RawFrame::Eof),
             0 => {
-                return Ok(FrameOutcome::Torn {
+                return Ok(RawFrame::Torn {
                     why: "torn length field",
                 })
             }
@@ -206,34 +234,95 @@ pub fn read_frame<R: Read>(r: &mut R) -> io::Result<FrameOutcome> {
     }
     let len = u32::from_le_bytes(len_buf);
     if len == 0 || len > MAX_PAYLOAD {
-        return Ok(FrameOutcome::Torn {
+        return Ok(RawFrame::Torn {
             why: "implausible payload length",
         });
     }
     let mut crc_buf = [0u8; 4];
     if read_exact_or_eof(r, &mut crc_buf)?.is_none() {
-        return Ok(FrameOutcome::Torn {
+        return Ok(RawFrame::Torn {
             why: "torn checksum field",
         });
     }
     let expect_crc = u32::from_le_bytes(crc_buf);
     let mut payload = vec![0u8; len as usize];
     if read_exact_or_eof(r, &mut payload)?.is_none() {
-        return Ok(FrameOutcome::Torn {
+        return Ok(RawFrame::Torn {
             why: "torn payload",
         });
     }
     if crc32(&payload) != expect_crc {
-        return Ok(FrameOutcome::Torn {
+        return Ok(RawFrame::Torn {
             why: "checksum mismatch",
         });
     }
+    Ok(RawFrame::Payload {
+        payload,
+        bytes: 8 + len as u64,
+    })
+}
+
+/// Incremental-parse outcome for one raw frame sitting at the front of
+/// a byte buffer — the non-blocking dual of [`read_raw_frame`], used by
+/// network readers that accumulate bytes under read timeouts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FrameParse {
+    /// The buffer does not yet hold a complete frame; read more bytes.
+    NeedMore,
+    /// A CRC-valid frame was parsed.
+    Frame {
+        /// The opaque frame payload.
+        payload: Vec<u8>,
+        /// Bytes to drain from the front of the buffer.
+        consumed: usize,
+    },
+    /// The buffer front is not a valid frame (implausible length or CRC
+    /// failure); the stream is unrecoverably desynchronised.
+    Bad {
+        /// Human-readable reason the frame was rejected.
+        why: &'static str,
+    },
+}
+
+/// Attempts to parse one raw frame from the front of `buf`.
+pub fn parse_raw_frame(buf: &[u8]) -> FrameParse {
+    if buf.len() < 4 {
+        return FrameParse::NeedMore;
+    }
+    let len = u32::from_le_bytes(buf[..4].try_into().unwrap());
+    if len == 0 || len > MAX_PAYLOAD {
+        return FrameParse::Bad {
+            why: "implausible payload length",
+        };
+    }
+    let total = 8 + len as usize;
+    if buf.len() < total {
+        return FrameParse::NeedMore;
+    }
+    let expect_crc = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+    let payload = &buf[8..total];
+    if crc32(payload) != expect_crc {
+        return FrameParse::Bad {
+            why: "checksum mismatch",
+        };
+    }
+    FrameParse::Frame {
+        payload: payload.to_vec(),
+        consumed: total,
+    }
+}
+
+/// Reads one framed record. Partial reads (as produced by
+/// [`crate::fault::ShortReader`]) are handled by `read_exact`; only a
+/// genuine end-of-stream inside a frame reports [`FrameOutcome::Torn`].
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<FrameOutcome> {
+    let (payload, bytes) = match read_raw_frame(r)? {
+        RawFrame::Eof => return Ok(FrameOutcome::Eof),
+        RawFrame::Torn { why } => return Ok(FrameOutcome::Torn { why }),
+        RawFrame::Payload { payload, bytes } => (payload, bytes),
+    };
     match decode_payload(&payload) {
-        Ok((seq, record)) => Ok(FrameOutcome::Ok {
-            seq,
-            record,
-            bytes: 8 + len as u64,
-        }),
+        Ok((seq, record)) => Ok(FrameOutcome::Ok { seq, record, bytes }),
         // CRC passed but the payload is malformed: an encoder/decoder
         // mismatch rather than disk damage, but still a rejection.
         Err(_) => Ok(FrameOutcome::Torn {
@@ -461,6 +550,63 @@ mod tests {
         let mut payload = encode_payload(0, &Record::SnapshotMarker { snapshot_seq: 1 });
         payload.push(0);
         assert!(decode_payload(&payload).is_err());
+    }
+
+    #[test]
+    fn raw_frame_round_trip_and_parse() {
+        let payload = b"serve-payload".to_vec();
+        let mut buf = Vec::new();
+        let bytes = write_raw_frame(&mut buf, &payload).unwrap();
+        assert_eq!(bytes as usize, buf.len());
+        // Streaming read.
+        let mut r = &buf[..];
+        assert_eq!(
+            read_raw_frame(&mut r).unwrap(),
+            RawFrame::Payload {
+                payload: payload.clone(),
+                bytes
+            }
+        );
+        assert_eq!(read_raw_frame(&mut r).unwrap(), RawFrame::Eof);
+        // Incremental parse: every prefix short of the full frame needs
+        // more bytes; the full buffer parses exactly once.
+        for cut in 0..buf.len() {
+            assert_eq!(parse_raw_frame(&buf[..cut]), FrameParse::NeedMore);
+        }
+        match parse_raw_frame(&buf) {
+            FrameParse::Frame {
+                payload: p,
+                consumed,
+            } => {
+                assert_eq!(p, payload);
+                assert_eq!(consumed, buf.len());
+            }
+            other => panic!("unexpected parse {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_raw_frame_rejects_corruption() {
+        let mut buf = Vec::new();
+        write_raw_frame(&mut buf, b"x".repeat(16).as_slice()).unwrap();
+        // Bit flip in the payload → CRC failure.
+        let mut flipped = buf.clone();
+        flipped[10] ^= 0x40;
+        assert!(matches!(
+            parse_raw_frame(&flipped),
+            FrameParse::Bad {
+                why: "checksum mismatch"
+            }
+        ));
+        // Oversized length field.
+        let mut oversized = buf.clone();
+        oversized[..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            parse_raw_frame(&oversized),
+            FrameParse::Bad {
+                why: "implausible payload length"
+            }
+        ));
     }
 
     #[test]

@@ -13,4 +13,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test -q"
 cargo test -q --workspace
 
+echo "==> cargo build --examples"
+cargo build -q --examples
+
+echo "==> cargo bench --no-run"
+cargo bench -q --no-run
+
 echo "All checks passed."

@@ -20,6 +20,9 @@
 //!   the crash-safe [`DurableArrangementService`].
 //! * [`store`] — the write-ahead round log and snapshot store backing
 //!   durability.
+//! * [`serve`] — the concurrent TCP serving layer over the durable
+//!   service: framed wire protocol, single-writer actor, worker pool,
+//!   metrics, and the matching blocking client.
 //! * [`stats`] / [`linalg`] — the statistical and numerical substrates.
 //!
 //! ## Quickstart
@@ -63,6 +66,9 @@ pub use fasea_sim as sim;
 /// Durable storage: write-ahead log and snapshots (re-export of
 /// `fasea-store`).
 pub use fasea_store as store;
+
+/// Network serving layer (re-export of `fasea-serve`).
+pub use fasea_serve as serve;
 
 pub use fasea_sim::{ArrangementService, DurableArrangementService, DurableOptions, ServiceError};
 pub use fasea_store::FsyncPolicy;
