@@ -1,6 +1,6 @@
 //! eGreedy — the paper's Algorithm 4 (ε-greedy heuristic).
 
-use crate::{oracle_greedy, Policy, RidgeEstimator, SelectionView};
+use crate::{Policy, RidgeEstimator, ScoreWorkspace, SelectionView};
 use fasea_core::{Arrangement, ContextMatrix, Feedback};
 use rand::Rng as _;
 
@@ -19,8 +19,7 @@ pub struct EpsilonGreedy {
     estimator: RidgeEstimator,
     epsilon: f64,
     rng: fasea_stats::Rng,
-    scores: Vec<f64>,
-    selected_once: bool,
+    ws: ScoreWorkspace,
     exploration_rounds: u64,
 }
 
@@ -39,8 +38,7 @@ impl EpsilonGreedy {
             estimator: RidgeEstimator::new(dim, lambda),
             epsilon,
             rng: fasea_stats::rng_from_seed(seed),
-            scores: Vec::new(),
-            selected_once: false,
+            ws: ScoreWorkspace::new(),
             exploration_rounds: 0,
         }
     }
@@ -66,29 +64,32 @@ impl Policy for EpsilonGreedy {
         "eGreedy"
     }
 
-    fn select(&mut self, view: &SelectionView<'_>) -> Arrangement {
+    fn score_into(&mut self, view: &SelectionView<'_>, ws: &mut ScoreWorkspace) {
         let n = view.num_events();
-        self.scores.resize(n, 0.0);
+        let scores = ws.scores_mut(n);
+        // RNG draw order is durable state: one coin, then (explore only)
+        // one priority per event — identical to the pre-batched path.
         let explore = self.rng.gen::<f64>() <= self.epsilon;
         if explore {
             self.exploration_rounds += 1;
-            for s in self.scores.iter_mut() {
+            for s in scores.iter_mut() {
                 *s = self.rng.gen::<f64>();
             }
         } else {
             let theta = self.estimator.theta_hat();
-            for v in 0..n {
+            for (v, s) in scores.iter_mut().enumerate() {
                 let x = view.contexts.context(fasea_core::EventId(v));
-                self.scores[v] = fasea_linalg::dot_slices(x, theta.as_slice());
+                *s = fasea_linalg::dot_slices(x, theta.as_slice());
             }
         }
-        self.selected_once = true;
-        oracle_greedy(
-            &self.scores,
-            view.conflicts,
-            view.remaining,
-            view.user_capacity,
-        )
+    }
+
+    fn workspace(&self) -> &ScoreWorkspace {
+        &self.ws
+    }
+
+    fn workspace_mut(&mut self) -> &mut ScoreWorkspace {
+        &mut self.ws
     }
 
     fn observe(
@@ -105,17 +106,9 @@ impl Policy for EpsilonGreedy {
         }
     }
 
-    fn last_scores(&self) -> Option<&[f64]> {
-        if self.selected_once {
-            Some(&self.scores)
-        } else {
-            None
-        }
-    }
-
     fn state_bytes(&self) -> usize {
         self.estimator.state_bytes()
-            + self.scores.len() * std::mem::size_of::<f64>()
+            + self.ws.state_bytes()
             + std::mem::size_of::<fasea_stats::Rng>()
     }
 

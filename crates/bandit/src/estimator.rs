@@ -43,6 +43,7 @@ pub struct RidgeEstimator {
     b: Vector,
     theta_hat: Vector,
     theta_stale: bool,
+    theta_recomputes: u64,
 }
 
 impl RidgeEstimator {
@@ -56,6 +57,7 @@ impl RidgeEstimator {
             b: Vector::zeros(dim),
             theta_hat: Vector::zeros(dim),
             theta_stale: false, // Y⁻¹b = 0 initially, already correct.
+            theta_recomputes: 0,
         }
     }
 
@@ -86,9 +88,10 @@ impl RidgeEstimator {
         if !reward.is_finite() {
             return Err(LinalgError::NonFinite);
         }
-        let xv = Vector::from(x);
-        self.sm.rank1_update(&xv)?;
-        self.b.axpy(reward, &xv);
+        self.sm.rank1_update(x)?;
+        for (bi, &xi) in self.b.iter_mut().zip(x) {
+            *bi += reward * xi;
+        }
         self.theta_stale = true;
         if self.sm.update_count().is_multiple_of(REFRESH_INTERVAL) {
             self.sm.refresh()?;
@@ -96,25 +99,58 @@ impl RidgeEstimator {
         Ok(())
     }
 
-    /// The ridge estimate `θ̂ = Y⁻¹ b`, recomputed lazily after updates.
+    /// The ridge estimate `θ̂ = Y⁻¹ b`, recomputed lazily after updates:
+    /// repeat `select` rounds between observations reuse the cached
+    /// vector (see [`RidgeEstimator::theta_recomputes`]).
     pub fn theta_hat(&mut self) -> &Vector {
-        if self.theta_stale {
-            self.theta_hat = self.sm.solve(&self.b);
-            self.theta_stale = false;
-        }
+        self.ensure_theta();
         &self.theta_hat
+    }
+
+    /// Borrows `θ̂` (refreshing the cache if stale) **and** the maintained
+    /// inverse in one call — the batched scoring path needs both at once
+    /// and must not clone `θ̂` per round.
+    pub fn theta_and_inverse(&mut self) -> (&Vector, &ShermanMorrisonInverse) {
+        self.ensure_theta();
+        (&self.theta_hat, &self.sm)
+    }
+
+    /// How many times `θ̂` has actually been recomputed from `Y⁻¹b`. The
+    /// regression tests pin this to the number of observe→select
+    /// transitions — scoring rounds alone must not grow it.
+    pub fn theta_recomputes(&self) -> u64 {
+        self.theta_recomputes
+    }
+
+    fn ensure_theta(&mut self) {
+        if self.theta_stale {
+            self.sm.solve_into(&self.b, self.theta_hat.as_mut_slice());
+            self.theta_stale = false;
+            self.theta_recomputes += 1;
+        }
     }
 
     /// Point estimate of an event's expected reward, `xᵀ θ̂`.
     pub fn point_estimate(&mut self, x: &[f64]) -> f64 {
-        let theta = self.theta_hat();
-        fasea_linalg::Vector::from(x).dot(theta)
+        self.ensure_theta();
+        fasea_linalg::dot_slices(x, &self.theta_hat)
     }
 
     /// UCB confidence width `√(xᵀ Y⁻¹ x)` (Algorithm 3, line 8, without
-    /// the `α` multiplier).
+    /// the `α` multiplier). Scalar form; the batched path uses
+    /// [`ShermanMorrisonInverse::widths_into`] on the whole context block.
     pub fn confidence_width(&self, x: &[f64]) -> f64 {
-        self.sm.inv_quadratic_form(&Vector::from(x)).max(0.0).sqrt()
+        self.sm.inv_quadratic_form(x).max(0.0).sqrt()
+    }
+
+    /// Batched confidence widths over a row-major `n × d` context block —
+    /// `out[v] = √(max(x_vᵀ Y⁻¹ x_v, 0))`, bit-identical per row to
+    /// [`RidgeEstimator::confidence_width`].
+    ///
+    /// # Panics
+    /// Panics on a block/output shape mismatch.
+    pub fn widths_into(&self, xs: &[f64], out: &mut [f64]) {
+        self.sm.widths_into(xs, self.dim(), out);
     }
 
     /// A Cholesky factor of the current `Y`, for TS posterior sampling.
@@ -167,6 +203,7 @@ impl RidgeEstimator {
             b,
             theta_hat: Vector::zeros(dim),
             theta_stale: true,
+            theta_recomputes: 0,
         };
         // Eagerly validate by computing θ̂ once.
         let _ = est.theta_hat();
@@ -324,6 +361,59 @@ mod tests {
                 "dim {i}: {} vs {}",
                 got[i],
                 expect[i]
+            );
+        }
+    }
+
+    #[test]
+    fn theta_recomputed_only_after_observe() {
+        let mut e = RidgeEstimator::new(3, 1.0);
+        assert_eq!(e.theta_recomputes(), 0);
+        // Reads without fresh data must reuse the cache.
+        let _ = e.theta_hat();
+        let _ = e.point_estimate(&[1.0, 0.0, 0.0]);
+        let _ = e.theta_and_inverse();
+        assert_eq!(e.theta_recomputes(), 0);
+        e.observe(&[1.0, 0.0, 0.0], 1.0).unwrap();
+        let _ = e.theta_hat();
+        let _ = e.theta_hat();
+        let _ = e.theta_and_inverse();
+        assert_eq!(e.theta_recomputes(), 1, "one recompute per observe batch");
+        e.observe(&[0.0, 1.0, 0.0], 0.0).unwrap();
+        e.observe(&[0.0, 0.0, 1.0], 1.0).unwrap();
+        let _ = e.theta_and_inverse();
+        assert_eq!(e.theta_recomputes(), 2);
+    }
+
+    #[test]
+    fn theta_and_inverse_matches_parts() {
+        let mut e = RidgeEstimator::new(2, 1.0);
+        e.observe(&[0.6, 0.8], 1.0).unwrap();
+        let theta = e.theta_hat().clone();
+        let (th, sm) = e.theta_and_inverse();
+        assert_eq!(th.as_slice(), theta.as_slice());
+        assert_eq!(sm.update_count(), 1);
+    }
+
+    #[test]
+    fn batched_widths_match_scalar() {
+        let mut e = RidgeEstimator::new(3, 0.5);
+        for i in 0..40 {
+            let x = [
+                ((i * 7) % 11) as f64 / 11.0,
+                ((i * 3) % 5) as f64 / 5.0 - 0.4,
+                ((i * 13) % 17) as f64 / 17.0,
+            ];
+            e.observe(&x, (i % 2) as f64).unwrap();
+        }
+        let rows: Vec<f64> = (0..15).map(|k| ((k * 5) % 9) as f64 / 9.0 - 0.3).collect();
+        let mut batched = vec![0.0; 5];
+        e.widths_into(&rows, &mut batched);
+        for (v, chunk) in rows.chunks_exact(3).enumerate() {
+            assert_eq!(
+                batched[v],
+                e.confidence_width(chunk),
+                "width mismatch at row {v}"
             );
         }
     }

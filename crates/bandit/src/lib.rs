@@ -64,16 +64,18 @@ mod snapshot;
 mod static_score;
 mod ts;
 mod ucb;
+mod workspace;
 
 pub use diagnostics::EllipticalPotential;
 pub use egreedy::EpsilonGreedy;
 pub use estimator::RidgeEstimator;
 pub use exploit::Exploit;
 pub use opt::Opt;
-pub use oracle::{oracle_exhaustive, oracle_greedy, positive_score_sum};
+pub use oracle::{oracle_exhaustive, oracle_greedy, oracle_greedy_into, positive_score_sum};
 pub use policy::{Policy, SelectionView};
 pub use random::RandomPolicy;
 pub use snapshot::{restore_estimator, save_estimator, SnapshotError, MAGIC as SNAPSHOT_MAGIC};
 pub use static_score::StaticScorePolicy;
 pub use ts::ThompsonSampling;
 pub use ucb::LinUcb;
+pub use workspace::ScoreWorkspace;

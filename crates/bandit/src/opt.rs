@@ -1,6 +1,6 @@
 //! OPT — the clairvoyant reference strategy.
 
-use crate::{oracle_greedy, Policy, SelectionView};
+use crate::{Policy, ScoreWorkspace, SelectionView};
 use fasea_core::{Arrangement, ContextMatrix, Feedback, LinearPayoffModel};
 
 /// The reference strategy the paper measures regret against: it knows the
@@ -15,8 +15,7 @@ use fasea_core::{Arrangement, ContextMatrix, Feedback, LinearPayoffModel};
 #[derive(Debug, Clone)]
 pub struct Opt {
     model: LinearPayoffModel,
-    scores: Vec<f64>,
-    selected_once: bool,
+    ws: ScoreWorkspace,
 }
 
 impl Opt {
@@ -24,8 +23,7 @@ impl Opt {
     pub fn new(model: LinearPayoffModel) -> Self {
         Opt {
             model,
-            scores: Vec::new(),
-            selected_once: false,
+            ws: ScoreWorkspace::new(),
         }
     }
 
@@ -40,37 +38,29 @@ impl Policy for Opt {
         "OPT"
     }
 
-    fn select(&mut self, view: &SelectionView<'_>) -> Arrangement {
-        let n = view.num_events();
-        self.scores.resize(n, 0.0);
-        for v in 0..n {
-            self.scores[v] = self
+    fn score_into(&mut self, view: &SelectionView<'_>, ws: &mut ScoreWorkspace) {
+        let scores = ws.scores_mut(view.num_events());
+        for (v, s) in scores.iter_mut().enumerate() {
+            *s = self
                 .model
                 .expected_reward(view.contexts, fasea_core::EventId(v));
         }
-        self.selected_once = true;
-        oracle_greedy(
-            &self.scores,
-            view.conflicts,
-            view.remaining,
-            view.user_capacity,
-        )
+    }
+
+    fn workspace(&self) -> &ScoreWorkspace {
+        &self.ws
+    }
+
+    fn workspace_mut(&mut self) -> &mut ScoreWorkspace {
+        &mut self.ws
     }
 
     fn observe(&mut self, _: u64, _: &ContextMatrix, _: &Arrangement, _: &Feedback) {
         // Clairvoyant: nothing to learn.
     }
 
-    fn last_scores(&self) -> Option<&[f64]> {
-        if self.selected_once {
-            Some(&self.scores)
-        } else {
-            None
-        }
-    }
-
     fn state_bytes(&self) -> usize {
-        (self.model.dim() + self.scores.len()) * std::mem::size_of::<f64>()
+        self.model.dim() * std::mem::size_of::<f64>() + self.ws.state_bytes()
     }
 }
 

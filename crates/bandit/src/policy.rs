@@ -1,6 +1,6 @@
 //! The policy interface shared by every FASEA strategy.
 
-use crate::SnapshotError;
+use crate::{ScoreWorkspace, SnapshotError};
 use fasea_core::{Arrangement, ConflictGraph, ContextMatrix, Feedback};
 
 /// Everything a policy may look at when arranging events for the current
@@ -44,15 +44,19 @@ impl SelectionView<'_> {
 ///
 /// ```text
 /// for t in 0..T {
-///     let arrangement = policy.select(&view);          // propose A_t
+///     policy.select_into(&view, &mut arrangement);     // propose A_t
 ///     let outcome = environment.step(t, &user, &arrangement)?;
 ///     policy.observe(t, &user.contexts, &arrangement, &outcome.feedback);
 /// }
 /// ```
 ///
-/// `select` takes `&mut self` because several policies consume their own
+/// The scoring surface is **batched**: a policy implements
+/// [`Policy::score_into`], which writes one score per event into a
+/// [`ScoreWorkspace`], and inherits `select` / `select_into` — they run
+/// `score_into` followed by Oracle-Greedy over the workspace buffers.
+/// Scoring takes `&mut self` because several policies consume their own
 /// randomness (TS's posterior sample, eGreedy's exploration coin) or
-/// cache the scores they used.
+/// refresh a cached `θ̂`.
 ///
 /// Policies are `Send`: the serving layer (`fasea-serve`) moves a boxed
 /// policy — inside its `ArrangementService` — onto a dedicated writer
@@ -61,11 +65,71 @@ pub trait Policy: Send {
     /// Short stable name used in reports ("UCB", "TS", …).
     fn name(&self) -> &'static str;
 
-    /// Proposes an arrangement for the current user. Implementations must
-    /// return a feasible arrangement (≤ `c_u` events, non-conflicting,
-    /// all with remaining capacity) — the environment re-validates and
-    /// an error there is a policy bug.
-    fn select(&mut self, view: &SelectionView<'_>) -> Arrangement;
+    /// Scores all `|V|` events of the round in one batched pass,
+    /// writing into `ws`.
+    ///
+    /// ## Contract
+    ///
+    /// * Write **exactly** `view.num_events()` scores, obtained from
+    ///   `ws.scores_mut(view.num_events())` (or
+    ///   `ws.scores_and_widths_mut` when a width buffer is needed),
+    ///   overwriting every entry — the buffer may hold a previous
+    ///   round's values.
+    /// * Use the matrix-at-a-time linalg kernels
+    ///   (`ShermanMorrisonInverse::widths_into`,
+    ///   `Matrix::quadratic_forms_batch`, `solve_into`) rather than
+    ///   per-event scalar calls: steady-state rounds of the built-in
+    ///   learning policies perform **zero heap allocations**, and the
+    ///   counting-allocator test holds the bar for UCB, Exploit and
+    ///   eGreedy.
+    /// * `ws` is normally the policy's own workspace (threaded through
+    ///   [`Policy::select_into`]), but implementations must not rely on
+    ///   that: any workspace handed in must end up with this round's
+    ///   scores. Policy state (estimator, RNG) lives on `self`, never in
+    ///   the workspace.
+    /// * Determinism: a policy must draw the same RNG stream and produce
+    ///   bit-identical scores whether driven through `select`,
+    ///   `select_into`, or `score_into` directly — crash recovery
+    ///   re-executes selection against logged contexts and compares.
+    fn score_into(&mut self, view: &SelectionView<'_>, ws: &mut ScoreWorkspace);
+
+    /// Borrows the policy's own workspace (scores of the most recent
+    /// round, oracle scratch).
+    fn workspace(&self) -> &ScoreWorkspace;
+
+    /// Mutably borrows the policy's own workspace — `select_into`
+    /// threads it through `score_into` and the oracle.
+    fn workspace_mut(&mut self) -> &mut ScoreWorkspace;
+
+    /// Proposes an arrangement for the current user. The default scores
+    /// through [`Policy::score_into`] and arranges with Oracle-Greedy;
+    /// the returned arrangement is freshly allocated — hot loops use
+    /// [`Policy::select_into`] with a reused buffer instead.
+    ///
+    /// Implementations must produce a feasible arrangement (≤ `c_u`
+    /// events, non-conflicting, all with remaining capacity) — the
+    /// environment re-validates and an error there is a policy bug.
+    fn select(&mut self, view: &SelectionView<'_>) -> Arrangement {
+        let mut out = Arrangement::empty();
+        self.select_into(view, &mut out);
+        out
+    }
+
+    /// [`Policy::select`] into a caller-owned arrangement buffer: scores
+    /// with `score_into` into the policy's workspace, marks the round,
+    /// then runs Oracle-Greedy reusing the workspace's scratch. With a
+    /// warm workspace and a reused `out`, a steady-state round is
+    /// allocation-free for the non-sampling policies.
+    fn select_into(&mut self, view: &SelectionView<'_>, out: &mut Arrangement) {
+        // Move the workspace out so `self` stays free for `score_into`
+        // (a plain field re-borrow is impossible through the trait).
+        // `ScoreWorkspace` is a bundle of `Vec`s, so `take` is move-only.
+        let mut ws = std::mem::take(self.workspace_mut());
+        self.score_into(view, &mut ws);
+        ws.mark_scored();
+        ws.arrange_into(view, out);
+        *self.workspace_mut() = ws;
+    }
 
     /// Consumes the user's feedback on the arranged events. `contexts`
     /// is the same block that was shown to `select` at time `t`.
@@ -80,8 +144,11 @@ pub trait Policy: Send {
     /// Per-event scores used by the most recent `select` call, indexed by
     /// event id; `None` before the first selection. The harness ranks
     /// these against the ground-truth expected rewards to reproduce the
-    /// paper's Kendall-τ plot (Figure 2).
-    fn last_scores(&self) -> Option<&[f64]>;
+    /// paper's Kendall-τ plot (Figure 2). The default reads the policy's
+    /// workspace.
+    fn last_scores(&self) -> Option<&[f64]> {
+        self.workspace().last_scores()
+    }
 
     /// Approximate bytes of learner state (excluding the shared input
     /// data), for the paper's memory columns in Tables 5 and 6.
@@ -122,45 +189,46 @@ mod tests {
     use super::*;
     use fasea_core::EventId;
 
-    /// A trivial policy used to exercise the trait object surface.
+    /// A trivial policy used to exercise the trait object surface: event
+    /// 0 always outranks the rest.
     struct AlwaysFirst {
-        scores: Vec<f64>,
+        ws: ScoreWorkspace,
     }
 
     impl Policy for AlwaysFirst {
         fn name(&self) -> &'static str {
             "AlwaysFirst"
         }
-        fn select(&mut self, view: &SelectionView<'_>) -> Arrangement {
-            self.scores = vec![0.0; view.num_events()];
-            if view.user_capacity > 0 && view.remaining.first().is_some_and(|&c| c > 0) {
-                Arrangement::new(vec![EventId(0)])
-            } else {
-                Arrangement::empty()
+        fn score_into(&mut self, view: &SelectionView<'_>, ws: &mut ScoreWorkspace) {
+            let scores = ws.scores_mut(view.num_events());
+            scores.fill(0.0);
+            if let Some(first) = scores.first_mut() {
+                *first = 1.0;
             }
+        }
+        fn workspace(&self) -> &ScoreWorkspace {
+            &self.ws
+        }
+        fn workspace_mut(&mut self) -> &mut ScoreWorkspace {
+            &mut self.ws
         }
         fn observe(&mut self, _: u64, _: &ContextMatrix, _: &Arrangement, _: &Feedback) {}
-        fn last_scores(&self) -> Option<&[f64]> {
-            if self.scores.is_empty() {
-                None
-            } else {
-                Some(&self.scores)
-            }
-        }
         fn state_bytes(&self) -> usize {
-            self.scores.len() * 8
+            self.ws.state_bytes()
         }
     }
 
     #[test]
     fn trait_object_usable() {
-        let mut p: Box<dyn Policy> = Box::new(AlwaysFirst { scores: vec![] });
+        let mut p: Box<dyn Policy> = Box::new(AlwaysFirst {
+            ws: ScoreWorkspace::new(),
+        });
         let contexts = ContextMatrix::zeros(3, 2);
         let conflicts = ConflictGraph::new(3);
         let remaining = [1u32, 1, 1];
         let view = SelectionView {
             t: 0,
-            user_capacity: 2,
+            user_capacity: 1,
             contexts: &contexts,
             conflicts: &conflicts,
             remaining: &remaining,
@@ -169,9 +237,33 @@ mod tests {
         assert_eq!(view.dim(), 2);
         assert!(p.last_scores().is_none());
         let a = p.select(&view);
-        assert_eq!(a.len(), 1);
+        assert_eq!(a.events(), &[EventId(0)]);
         assert_eq!(p.last_scores().unwrap().len(), 3);
         assert_eq!(p.name(), "AlwaysFirst");
-        assert_eq!(p.state_bytes(), 24);
+        assert!(p.state_bytes() >= 24);
+    }
+
+    #[test]
+    fn select_into_reuses_buffer_and_matches_select() {
+        let mut p = AlwaysFirst {
+            ws: ScoreWorkspace::new(),
+        };
+        let contexts = ContextMatrix::zeros(4, 2);
+        let conflicts = ConflictGraph::new(4);
+        let remaining = [2u32; 4];
+        let view = SelectionView {
+            t: 0,
+            user_capacity: 2,
+            contexts: &contexts,
+            conflicts: &conflicts,
+            remaining: &remaining,
+        };
+        let owned = p.select(&view);
+        let mut reused = Arrangement::new(vec![EventId(3), EventId(2), EventId(1)]);
+        p.select_into(&view, &mut reused);
+        assert_eq!(owned, reused, "select and select_into must agree");
+        // And again, to prove the cleared buffer doesn't leak old events.
+        p.select_into(&view, &mut reused);
+        assert_eq!(owned, reused);
     }
 }

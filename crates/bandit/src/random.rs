@@ -1,6 +1,6 @@
 //! Random — the paper's uninformed baseline.
 
-use crate::{oracle_greedy, Policy, SelectionView};
+use crate::{Policy, ScoreWorkspace, SelectionView};
 use fasea_core::{Arrangement, ContextMatrix, Feedback};
 use rand::Rng as _;
 
@@ -15,8 +15,7 @@ use rand::Rng as _;
 #[derive(Debug, Clone)]
 pub struct RandomPolicy {
     rng: fasea_stats::Rng,
-    scores: Vec<f64>,
-    selected_once: bool,
+    ws: ScoreWorkspace,
 }
 
 impl RandomPolicy {
@@ -24,8 +23,7 @@ impl RandomPolicy {
     pub fn new(seed: u64) -> Self {
         RandomPolicy {
             rng: fasea_stats::rng_from_seed(seed),
-            scores: Vec::new(),
-            selected_once: false,
+            ws: ScoreWorkspace::new(),
         }
     }
 }
@@ -35,35 +33,29 @@ impl Policy for RandomPolicy {
         "Random"
     }
 
-    fn select(&mut self, view: &SelectionView<'_>) -> Arrangement {
-        let n = view.num_events();
-        self.scores.resize(n, 0.0);
-        for s in self.scores.iter_mut() {
+    fn score_into(&mut self, view: &SelectionView<'_>, ws: &mut ScoreWorkspace) {
+        let scores = ws.scores_mut(view.num_events());
+        // One uniform priority per event, in event order — the RNG
+        // stream matches the pre-batched path exactly.
+        for s in scores.iter_mut() {
             *s = self.rng.gen::<f64>();
         }
-        self.selected_once = true;
-        oracle_greedy(
-            &self.scores,
-            view.conflicts,
-            view.remaining,
-            view.user_capacity,
-        )
+    }
+
+    fn workspace(&self) -> &ScoreWorkspace {
+        &self.ws
+    }
+
+    fn workspace_mut(&mut self) -> &mut ScoreWorkspace {
+        &mut self.ws
     }
 
     fn observe(&mut self, _: u64, _: &ContextMatrix, _: &Arrangement, _: &Feedback) {
         // Feedback-oblivious by definition.
     }
 
-    fn last_scores(&self) -> Option<&[f64]> {
-        if self.selected_once {
-            Some(&self.scores)
-        } else {
-            None
-        }
-    }
-
     fn state_bytes(&self) -> usize {
-        self.scores.len() * std::mem::size_of::<f64>() + std::mem::size_of::<fasea_stats::Rng>()
+        self.ws.state_bytes() + std::mem::size_of::<fasea_stats::Rng>()
     }
 
     fn save_state(&self) -> Vec<u8> {

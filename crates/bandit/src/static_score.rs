@@ -1,6 +1,6 @@
 //! Static-score policies: the OnlineGreedy-GEACC comparator.
 
-use crate::{oracle_greedy, Policy, SelectionView};
+use crate::{Policy, ScoreWorkspace, SelectionView};
 use fasea_core::{Arrangement, ContextMatrix, Feedback};
 
 /// A feedback-oblivious policy that greedily arranges on a **fixed**
@@ -18,7 +18,7 @@ use fasea_core::{Arrangement, ContextMatrix, Feedback};
 pub struct StaticScorePolicy {
     name: &'static str,
     scores: Vec<f64>,
-    selected_once: bool,
+    ws: ScoreWorkspace,
 }
 
 impl StaticScorePolicy {
@@ -38,7 +38,7 @@ impl StaticScorePolicy {
         StaticScorePolicy {
             name,
             scores,
-            selected_once: false,
+            ws: ScoreWorkspace::new(),
         }
     }
 
@@ -53,31 +53,26 @@ impl Policy for StaticScorePolicy {
         self.name
     }
 
-    fn select(&mut self, view: &SelectionView<'_>) -> Arrangement {
+    fn score_into(&mut self, view: &SelectionView<'_>, ws: &mut ScoreWorkspace) {
         assert_eq!(
             self.scores.len(),
             view.num_events(),
             "StaticScorePolicy: score vector does not match |V|"
         );
-        self.selected_once = true;
-        oracle_greedy(
-            &self.scores,
-            view.conflicts,
-            view.remaining,
-            view.user_capacity,
-        )
+        ws.scores_mut(view.num_events())
+            .copy_from_slice(&self.scores);
+    }
+
+    fn workspace(&self) -> &ScoreWorkspace {
+        &self.ws
+    }
+
+    fn workspace_mut(&mut self) -> &mut ScoreWorkspace {
+        &mut self.ws
     }
 
     fn observe(&mut self, _: u64, _: &ContextMatrix, _: &Arrangement, _: &Feedback) {
         // Feedback-oblivious by construction.
-    }
-
-    fn last_scores(&self) -> Option<&[f64]> {
-        if self.selected_once {
-            Some(&self.scores)
-        } else {
-            None
-        }
     }
 
     fn state_bytes(&self) -> usize {

@@ -2,7 +2,7 @@
 //! linear-payoff TS of Agrawal & Goyal to the contextual combinatorial
 //! setting.
 
-use crate::{oracle_greedy, Policy, RidgeEstimator, SelectionView};
+use crate::{Policy, RidgeEstimator, ScoreWorkspace, SelectionView};
 use fasea_core::{Arrangement, ContextMatrix, Feedback};
 use fasea_stats::sample_gaussian_with_precision_factor;
 
@@ -28,8 +28,7 @@ pub struct ThompsonSampling {
     delta: f64,
     r_sub_gaussian: f64,
     rng: fasea_stats::Rng,
-    scores: Vec<f64>,
-    selected_once: bool,
+    ws: ScoreWorkspace,
 }
 
 impl ThompsonSampling {
@@ -59,8 +58,7 @@ impl ThompsonSampling {
             delta,
             r_sub_gaussian: r,
             rng: fasea_stats::rng_from_seed(seed),
-            scores: Vec::new(),
-            selected_once: false,
+            ws: ScoreWorkspace::new(),
         }
     }
 
@@ -87,9 +85,12 @@ impl Policy for ThompsonSampling {
         "TS"
     }
 
-    fn select(&mut self, view: &SelectionView<'_>) -> Arrangement {
+    fn score_into(&mut self, view: &SelectionView<'_>, ws: &mut ScoreWorkspace) {
         let n = view.num_events();
-        self.scores.resize(n, 0.0);
+        // TS's posterior sample is inherently allocating (Cholesky of Y
+        // plus the sampled θ̃); the zero-alloc bar applies to the
+        // deterministic-score policies only. RNG draw order (d Gaussians
+        // per round) is identical to the pre-batched path.
         let q = self.sampling_scale(view.t + 1);
         let theta_hat = self.estimator.theta_hat().clone();
         let chol = self
@@ -98,17 +99,19 @@ impl Policy for ThompsonSampling {
             .expect("ThompsonSampling: Y must stay SPD");
         let theta_tilde =
             sample_gaussian_with_precision_factor(&theta_hat, q, &chol, &mut self.rng);
-        for v in 0..n {
+        let scores = ws.scores_mut(n);
+        for (v, s) in scores.iter_mut().enumerate() {
             let x = view.contexts.context(fasea_core::EventId(v));
-            self.scores[v] = fasea_linalg::dot_slices(x, theta_tilde.as_slice());
+            *s = fasea_linalg::dot_slices(x, theta_tilde.as_slice());
         }
-        self.selected_once = true;
-        oracle_greedy(
-            &self.scores,
-            view.conflicts,
-            view.remaining,
-            view.user_capacity,
-        )
+    }
+
+    fn workspace(&self) -> &ScoreWorkspace {
+        &self.ws
+    }
+
+    fn workspace_mut(&mut self) -> &mut ScoreWorkspace {
+        &mut self.ws
     }
 
     fn observe(
@@ -125,18 +128,10 @@ impl Policy for ThompsonSampling {
         }
     }
 
-    fn last_scores(&self) -> Option<&[f64]> {
-        if self.selected_once {
-            Some(&self.scores)
-        } else {
-            None
-        }
-    }
-
     fn state_bytes(&self) -> usize {
-        // Estimator + scores + the RNG state (StdRng is a ChaCha12 core).
+        // Estimator + workspace + the RNG state (StdRng is a ChaCha12 core).
         self.estimator.state_bytes()
-            + self.scores.len() * std::mem::size_of::<f64>()
+            + self.ws.state_bytes()
             + std::mem::size_of::<fasea_stats::Rng>()
     }
 

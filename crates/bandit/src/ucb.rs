@@ -1,7 +1,7 @@
 //! UCB — the paper's Algorithm 3, adapted from the contextual
 //! combinatorial UCB of Qin, Chen & Zhu (SDM'14) / LinUCB.
 
-use crate::{oracle_greedy, Policy, RidgeEstimator, SelectionView};
+use crate::{Policy, RidgeEstimator, ScoreWorkspace, SelectionView};
 use fasea_core::{Arrangement, ContextMatrix, Feedback};
 
 /// Contextual combinatorial UCB (Algorithm 3).
@@ -18,8 +18,7 @@ use fasea_core::{Arrangement, ContextMatrix, Feedback};
 pub struct LinUcb {
     estimator: RidgeEstimator,
     alpha: f64,
-    scores: Vec<f64>,
-    selected_once: bool,
+    ws: ScoreWorkspace,
 }
 
 impl LinUcb {
@@ -37,8 +36,7 @@ impl LinUcb {
         LinUcb {
             estimator: RidgeEstimator::new(dim, lambda),
             alpha,
-            scores: Vec::new(),
-            selected_once: false,
+            ws: ScoreWorkspace::new(),
         }
     }
 
@@ -58,24 +56,33 @@ impl Policy for LinUcb {
         "UCB"
     }
 
-    fn select(&mut self, view: &SelectionView<'_>) -> Arrangement {
+    fn score_into(&mut self, view: &SelectionView<'_>, ws: &mut ScoreWorkspace) {
         let n = view.num_events();
-        self.scores.resize(n, 0.0);
-        // Split borrows: compute θ̂ once, then score rows.
-        let theta = self.estimator.theta_hat().clone();
+        let alpha = self.alpha;
+        let (scores, widths) = ws.scores_and_widths_mut(n);
+        // θ̂ and Y⁻¹ borrowed together: no per-round clone, and the
+        // width pass runs matrix-at-a-time over the whole context block.
+        let (theta, sm) = self.estimator.theta_and_inverse();
+        // One fused pass: point estimates land in `scores`, widths in
+        // `widths`, then the α-combine runs over the two buffers.
+        sm.widths_and_dots_into(
+            view.contexts.as_slice(),
+            view.dim(),
+            theta.as_slice(),
+            widths,
+            scores,
+        );
         for v in 0..n {
-            let x = view.contexts.context(fasea_core::EventId(v));
-            let point = fasea_linalg::dot_slices(x, theta.as_slice());
-            let width = self.estimator.confidence_width(x);
-            self.scores[v] = point + self.alpha * width;
+            scores[v] += alpha * widths[v];
         }
-        self.selected_once = true;
-        oracle_greedy(
-            &self.scores,
-            view.conflicts,
-            view.remaining,
-            view.user_capacity,
-        )
+    }
+
+    fn workspace(&self) -> &ScoreWorkspace {
+        &self.ws
+    }
+
+    fn workspace_mut(&mut self) -> &mut ScoreWorkspace {
+        &mut self.ws
     }
 
     fn observe(
@@ -93,16 +100,8 @@ impl Policy for LinUcb {
         }
     }
 
-    fn last_scores(&self) -> Option<&[f64]> {
-        if self.selected_once {
-            Some(&self.scores)
-        } else {
-            None
-        }
-    }
-
     fn state_bytes(&self) -> usize {
-        self.estimator.state_bytes() + self.scores.len() * std::mem::size_of::<f64>()
+        self.estimator.state_bytes() + self.ws.state_bytes()
     }
 
     fn save_state(&self) -> Vec<u8> {
@@ -216,6 +215,34 @@ mod tests {
     #[should_panic(expected = "alpha must be >= 0")]
     fn negative_alpha_rejected() {
         let _ = LinUcb::new(2, 1.0, -1.0);
+    }
+
+    #[test]
+    fn theta_not_recomputed_per_select() {
+        // The pre-batched hot path recomputed (and cloned) θ̂ on every
+        // select; the workspace path must only refresh it after observe.
+        let mut ucb = LinUcb::new(2, 1.0, 2.0);
+        let ctx = ContextMatrix::from_rows(2, 2, vec![0.9, 0.0, 0.1, 0.2]);
+        let g = ConflictGraph::new(2);
+        let remaining = [10u32; 2];
+        for t in 0..5 {
+            let _ = ucb.select(&view(&ctx, &g, &remaining, 1, t));
+        }
+        assert_eq!(
+            ucb.estimator().theta_recomputes(),
+            0,
+            "select alone must never recompute θ̂"
+        );
+        let a = ucb.select(&view(&ctx, &g, &remaining, 1, 5));
+        ucb.observe(5, &ctx, &a, &Feedback::new(vec![true]));
+        for t in 6..10 {
+            let _ = ucb.select(&view(&ctx, &g, &remaining, 1, t));
+        }
+        assert_eq!(
+            ucb.estimator().theta_recomputes(),
+            1,
+            "exactly one recompute after one observe batch"
+        );
     }
 
     #[test]

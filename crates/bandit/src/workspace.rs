@@ -1,0 +1,168 @@
+//! Reusable per-policy scoring scratch for the batched selection path.
+
+use crate::SelectionView;
+use fasea_core::Arrangement;
+
+/// Per-policy scratch for one scoring round: the score vector the
+/// arrangement oracle consumes, the UCB width buffer, and the oracle's
+/// visiting-order and conflict-mask buffers.
+///
+/// Every buffer is grown on first use and **reused** afterwards, so once
+/// the workspace has seen the instance size a steady-state
+/// [`crate::Policy::select_into`] round performs zero heap allocations
+/// (asserted by the counting-allocator test in `tests/alloc_free.rs`).
+///
+/// Policies own one workspace each (it is part of the policy struct, so
+/// it survives across rounds and across the service layers); external
+/// callers that drive [`crate::Policy::score_into`] directly — the
+/// benches and the property tests — may hold their own.
+///
+/// Invalidation: the workspace caches nothing derived from the
+/// estimator — θ̂ staleness is tracked inside [`crate::RidgeEstimator`]
+/// and invalidated by `observe`. The workspace's `scores` are only
+/// meaningful between a `score_into` and the next `observe`; they are
+/// overwritten wholesale at the start of each round.
+#[derive(Debug, Clone, Default)]
+pub struct ScoreWorkspace {
+    scores: Vec<f64>,
+    widths: Vec<f64>,
+    order: Vec<u32>,
+    mask: Vec<u64>,
+    scored_once: bool,
+}
+
+impl ScoreWorkspace {
+    /// An empty workspace; buffers grow on first round.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A workspace with score/width capacity for `num_events` events.
+    pub fn with_capacity(num_events: usize) -> Self {
+        ScoreWorkspace {
+            scores: Vec::with_capacity(num_events),
+            widths: Vec::with_capacity(num_events),
+            order: Vec::with_capacity(num_events),
+            mask: Vec::new(),
+            scored_once: false,
+        }
+    }
+
+    /// Resizes the score buffer for `|V| = num_events` and returns it.
+    /// Old contents are not cleared — every policy overwrites all `|V|`
+    /// entries.
+    pub fn scores_mut(&mut self, num_events: usize) -> &mut [f64] {
+        self.scores.resize(num_events, 0.0);
+        &mut self.scores
+    }
+
+    /// Like [`ScoreWorkspace::scores_mut`] but also sizes and returns the
+    /// width buffer (UCB's batched `√(xᵀY⁻¹x)` lands here).
+    pub fn scores_and_widths_mut(&mut self, num_events: usize) -> (&mut [f64], &mut [f64]) {
+        self.scores.resize(num_events, 0.0);
+        self.widths.resize(num_events, 0.0);
+        (&mut self.scores, &mut self.widths)
+    }
+
+    /// The scores written by the most recent `score_into` round.
+    pub fn scores(&self) -> &[f64] {
+        &self.scores
+    }
+
+    /// The widths written by the most recent UCB round (empty for
+    /// policies that never score widths).
+    pub fn widths(&self) -> &[f64] {
+        &self.widths
+    }
+
+    /// `Some(scores)` once at least one round has been scored — backs the
+    /// default [`crate::Policy::last_scores`].
+    pub fn last_scores(&self) -> Option<&[f64]> {
+        self.scored_once.then_some(self.scores.as_slice())
+    }
+
+    /// Marks the score buffer as holding a completed round.
+    pub fn mark_scored(&mut self) {
+        self.scored_once = true;
+    }
+
+    /// Runs Oracle-Greedy (Algorithm 2) over the workspace's scores into
+    /// a caller-owned arrangement, reusing the workspace's order and mask
+    /// buffers — the allocation-free twin of [`crate::oracle_greedy`].
+    pub fn arrange_into(&mut self, view: &SelectionView<'_>, out: &mut Arrangement) {
+        let ScoreWorkspace {
+            scores,
+            order,
+            mask,
+            ..
+        } = self;
+        crate::oracle::oracle_greedy_into(
+            scores,
+            view.conflicts,
+            view.remaining,
+            view.user_capacity,
+            order,
+            mask,
+            out,
+        );
+    }
+
+    /// Approximate bytes held by the workspace buffers (for
+    /// [`crate::Policy::state_bytes`] accounting).
+    pub fn state_bytes(&self) -> usize {
+        self.scores.len() * std::mem::size_of::<f64>()
+            + self.widths.len() * std::mem::size_of::<f64>()
+            + self.order.len() * std::mem::size_of::<u32>()
+            + self.mask.len() * std::mem::size_of::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fasea_core::{ConflictGraph, ContextMatrix};
+
+    #[test]
+    fn buffers_resize_and_persist() {
+        let mut ws = ScoreWorkspace::new();
+        assert!(ws.last_scores().is_none());
+        ws.scores_mut(4).copy_from_slice(&[0.1, 0.9, 0.5, 0.7]);
+        ws.mark_scored();
+        assert_eq!(ws.last_scores().unwrap().len(), 4);
+        let (s, w) = ws.scores_and_widths_mut(4);
+        assert_eq!(s.len(), 4);
+        assert_eq!(w.len(), 4);
+        assert!(ws.state_bytes() >= 64);
+    }
+
+    #[test]
+    fn arrange_into_matches_oracle_greedy() {
+        let g = ConflictGraph::from_pairs(4, &[(0, 1)]);
+        let contexts = ContextMatrix::zeros(4, 1);
+        let remaining = [1u32; 4];
+        let view = SelectionView {
+            t: 0,
+            user_capacity: 2,
+            contexts: &contexts,
+            conflicts: &g,
+            remaining: &remaining,
+        };
+        let scores = [1.10, 0.49, 0.82, 2.00];
+        let mut ws = ScoreWorkspace::new();
+        ws.scores_mut(4).copy_from_slice(&scores);
+        let mut out = Arrangement::empty();
+        ws.arrange_into(&view, &mut out);
+        let reference = crate::oracle_greedy(&scores, &g, &remaining, 2);
+        assert_eq!(out, reference);
+        // Reuse: a second round through the same buffers agrees too.
+        ws.arrange_into(&view, &mut out);
+        assert_eq!(out, reference);
+    }
+
+    #[test]
+    fn with_capacity_preallocates() {
+        let mut ws = ScoreWorkspace::with_capacity(128);
+        let s = ws.scores_mut(128);
+        assert_eq!(s.len(), 128);
+    }
+}

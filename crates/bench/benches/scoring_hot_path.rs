@@ -1,0 +1,221 @@
+//! Old-vs-new per-round scoring latency for the batched `Policy` path.
+//!
+//! The pre-redesign UCB round scored one event at a time — clone `θ̂`,
+//! allocate a `Vector` per event for the confidence width, allocate the
+//! oracle's order/mask scratch and a fresh `Arrangement` — while the
+//! batched path (`select_into` + `ScoreWorkspace`) runs the same
+//! arithmetic through `widths_into` with zero steady-state allocations.
+//! This bench times both paths on identical estimator state at
+//! `|V| ∈ {100, 1k, 10k}` × `d ∈ {5, 20}` and reports the speedup.
+//!
+//! The legacy path below is a line-for-line reconstruction of the old
+//! `LinUcb::select`; both paths produce bit-identical scores (asserted
+//! before timing), so the comparison is pure overhead, not numerics.
+//!
+//! Output: one line per cell on stdout. When `FASEA_BENCH_JSON` names a
+//! file, the measured table is also written there as JSON — that is how
+//! the committed `BENCH_scoring.json` is produced:
+//!
+//! ```text
+//! FASEA_BENCH_JSON=BENCH_scoring.json cargo bench --bench scoring_hot_path
+//! ```
+//!
+//! `FASEA_BENCH_MS` bounds the per-measurement budget as in the other
+//! benches (default 300 ms), so CI can smoke-run the whole file in a
+//! couple of seconds without touching the committed numbers.
+
+use fasea_bandit::{oracle_greedy, LinUcb, Policy, RidgeEstimator, SelectionView};
+use fasea_core::{Arrangement, ConflictGraph, ContextMatrix, EventId, Feedback};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// The pre-redesign scalar UCB scoring round, kept verbatim: per-round
+/// `θ̂` clone, per-event `Vector` allocation inside `confidence_width`,
+/// allocating `oracle_greedy`.
+struct LegacyUcb {
+    estimator: RidgeEstimator,
+    alpha: f64,
+    scores: Vec<f64>,
+}
+
+impl LegacyUcb {
+    fn select(&mut self, view: &SelectionView<'_>) -> Arrangement {
+        let n = view.num_events();
+        self.scores.resize(n, 0.0);
+        let theta = self.estimator.theta_hat().clone();
+        for v in 0..n {
+            let x = view.contexts.context(EventId(v));
+            let point = fasea_linalg::dot_slices(x, theta.as_slice());
+            let width = self.estimator.confidence_width(x);
+            self.scores[v] = point + self.alpha * width;
+        }
+        oracle_greedy(
+            &self.scores,
+            view.conflicts,
+            view.remaining,
+            view.user_capacity,
+        )
+    }
+}
+
+/// Deterministic xorshift so fixtures need no `rand` dependency.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next_f64(&mut self) -> f64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        (self.0 >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+struct Cell {
+    num_events: usize,
+    dim: usize,
+    legacy_ns: f64,
+    batched_ns: f64,
+}
+
+fn budget() -> Duration {
+    let ms = std::env::var("FASEA_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(300);
+    Duration::from_millis(ms.max(10))
+}
+
+/// Mean ns per call of `f`, measured in ~1 ms batches until the budget
+/// is spent (same scheme as the workspace's criterion stand-in).
+fn time_ns(budget: Duration, mut f: impl FnMut()) -> f64 {
+    let warm_start = Instant::now();
+    while warm_start.elapsed() < budget / 10 {
+        f();
+    }
+    let probe_start = Instant::now();
+    f();
+    let probe = probe_start.elapsed().max(Duration::from_nanos(20));
+    let batch = (Duration::from_millis(1).as_nanos() / probe.as_nanos()).clamp(1, 100_000) as u64;
+
+    let mut iters = 0u64;
+    let mut total = Duration::ZERO;
+    let run_start = Instant::now();
+    while run_start.elapsed() < budget {
+        let batch_start = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        total += batch_start.elapsed();
+        iters += batch;
+    }
+    total.as_nanos() as f64 / iters.max(1) as f64
+}
+
+fn bench_cell(num_events: usize, dim: usize, budget: Duration) -> Cell {
+    let mut rng = XorShift(0x5C0_71A6 ^ (num_events as u64) << 8 ^ dim as u64);
+    let contexts = ContextMatrix::from_fn(num_events, dim, |_, _| rng.next_f64());
+    // A sparse conflict graph, enough for the oracle's mask checks to
+    // run but not to dominate timing.
+    let pairs: Vec<(usize, usize)> = (0..num_events / 10)
+        .map(|i| (i, i + num_events / 2))
+        .collect();
+    let conflicts = ConflictGraph::from_pairs(num_events, &pairs);
+    let remaining = vec![u32::MAX; num_events];
+    let cu = 5u32;
+
+    // Warm a policy so Y⁻¹ and θ̂ are non-trivial, then clone its
+    // estimator into the legacy path: both score the same model.
+    let mut policy = LinUcb::new(dim, 1.0, 2.0);
+    let mut out = Arrangement::empty();
+    for t in 0..32u64 {
+        let view = SelectionView {
+            t,
+            user_capacity: cu,
+            contexts: &contexts,
+            conflicts: &conflicts,
+            remaining: &remaining,
+        };
+        policy.select_into(&view, &mut out);
+        let fb = Feedback::new(
+            (0..out.len())
+                .map(|i| (t as usize + i).is_multiple_of(2))
+                .collect(),
+        );
+        policy.observe(t, &contexts, &out, &fb);
+    }
+    let mut legacy = LegacyUcb {
+        estimator: policy.estimator().clone(),
+        alpha: policy.alpha(),
+        scores: Vec::new(),
+    };
+
+    let view = SelectionView {
+        t: 32,
+        user_capacity: cu,
+        contexts: &contexts,
+        conflicts: &conflicts,
+        remaining: &remaining,
+    };
+
+    // Same scores, same arrangement — the two paths differ only in cost.
+    let legacy_out = legacy.select(&view);
+    policy.select_into(&view, &mut out);
+    assert_eq!(legacy_out.events(), out.events(), "paths diverge");
+    let batched_scores = policy.last_scores().expect("scores after select");
+    for (v, (b, l)) in batched_scores.iter().zip(&legacy.scores).enumerate() {
+        assert_eq!(b.to_bits(), l.to_bits(), "score {v} differs in bits");
+    }
+
+    let legacy_ns = time_ns(budget, || {
+        black_box(legacy.select(black_box(&view)).len());
+    });
+    let batched_ns = time_ns(budget, || {
+        policy.select_into(black_box(&view), &mut out);
+        black_box(out.len());
+    });
+    Cell {
+        num_events,
+        dim,
+        legacy_ns,
+        batched_ns,
+    }
+}
+
+fn main() {
+    let budget = budget();
+    let mut cells = Vec::new();
+    for &num_events in &[100usize, 1_000, 10_000] {
+        for &dim in &[5usize, 20] {
+            let cell = bench_cell(num_events, dim, budget);
+            println!(
+                "scoring_hot_path/UCB/{}x{:<24} legacy: {:>12.1} ns   batched: {:>12.1} ns   speedup: {:.2}x",
+                cell.num_events,
+                cell.dim,
+                cell.legacy_ns,
+                cell.batched_ns,
+                cell.legacy_ns / cell.batched_ns,
+            );
+            cells.push(cell);
+        }
+    }
+
+    if let Ok(path) = std::env::var("FASEA_BENCH_JSON") {
+        let mut json = String::from(
+            "{\n  \"bench\": \"scoring_hot_path\",\n  \"policy\": \"UCB\",\n  \"units\": \"ns_per_round\",\n  \"cells\": [\n",
+        );
+        for (i, c) in cells.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"num_events\": {}, \"dim\": {}, \"legacy_ns\": {:.1}, \"batched_ns\": {:.1}, \"speedup\": {:.2}}}{}\n",
+                c.num_events,
+                c.dim,
+                c.legacy_ns,
+                c.batched_ns,
+                c.legacy_ns / c.batched_ns,
+                if i + 1 == cells.len() { "" } else { "," },
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        std::fs::write(&path, json).expect("write FASEA_BENCH_JSON");
+        println!("wrote {path}");
+    }
+}

@@ -45,10 +45,7 @@ fn start_server(tag: &str, workers: usize) -> (ServerHandle, std::path::PathBuf)
         &dir,
         workload().instance,
         Box::new(LinUcb::new(DIM, 1.0, 2.0)),
-        DurableOptions {
-            fsync: FsyncPolicy::Never,
-            ..DurableOptions::default()
-        },
+        DurableOptions::new().with_fsync(FsyncPolicy::Never),
     )
     .unwrap();
     let handle = Server::spawn(

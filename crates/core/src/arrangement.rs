@@ -45,6 +45,13 @@ impl Arrangement {
         self.events.push(v);
     }
 
+    /// Removes all events, keeping the allocation. The batched scoring
+    /// path (`Policy::select_into`) reuses one arrangement buffer across
+    /// rounds, so steady-state selection stays allocation-free.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
     /// `true` iff `v` is arranged.
     pub fn contains(&self, v: EventId) -> bool {
         self.events.contains(&v)

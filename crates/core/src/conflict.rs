@@ -145,6 +145,13 @@ impl ConflictGraph {
         vec![0; self.words_per_row]
     }
 
+    /// Number of `u64` words in a mask row — callers that reuse a mask
+    /// buffer across rounds size it with `resize(mask_words(), 0)`.
+    #[inline]
+    pub fn mask_words(&self) -> usize {
+        self.words_per_row
+    }
+
     /// Sets event `v`'s bit in `mask`.
     #[inline]
     pub fn mark_mask(&self, v: EventId, mask: &mut [u64]) {

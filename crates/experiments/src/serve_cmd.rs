@@ -160,10 +160,7 @@ pub fn serve_main(args: &[String]) -> Result<(), String> {
         &dir,
         workload.instance,
         policy,
-        DurableOptions {
-            fsync,
-            ..DurableOptions::default()
-        },
+        DurableOptions::new().with_fsync(fsync),
     )
     .map_err(|e| format!("open durable service in {}: {e}", dir.display()))?;
     println!(

@@ -120,8 +120,23 @@ impl Matrix {
     /// # Panics
     /// Panics if `x.dim() != self.cols()`.
     pub fn matvec(&self, x: &Vector) -> Vector {
-        assert_eq!(x.dim(), self.cols, "matvec: dimension mismatch");
-        Vector::from_fn(self.rows, |r| crate::vector::dot_slices(self.row(r), x))
+        let mut out = Vector::zeros(self.rows);
+        self.matvec_into(x, &mut out);
+        out
+    }
+
+    /// Matrix–vector product written into a caller-owned buffer —
+    /// allocation-free and bit-identical to [`Matrix::matvec`] (same
+    /// per-row summation order).
+    ///
+    /// # Panics
+    /// Panics if `x.len() != self.cols()` or `out.len() != self.rows()`.
+    pub fn matvec_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "matvec: dimension mismatch");
+        assert_eq!(out.len(), self.rows, "matvec_into: output length mismatch");
+        for (r, o) in out.iter_mut().enumerate() {
+            *o = crate::vector::dot_slices(self.row(r), x);
+        }
     }
 
     /// Matrix–matrix product `self · other`.
@@ -129,8 +144,23 @@ impl Matrix {
     /// # Panics
     /// Panics if `self.cols() != other.rows()`.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.cols, other.rows, "matmul: inner dimension mismatch");
         let mut out = Matrix::zeros(self.rows, other.cols);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// Matrix–matrix product written into a caller-owned matrix —
+    /// allocation-free and bit-identical to [`Matrix::matmul`]. `out` is
+    /// overwritten entirely.
+    ///
+    /// # Panics
+    /// Panics if `self.cols() != other.rows()` or `out` is not
+    /// `self.rows() × other.cols()`.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, other.rows, "matmul: inner dimension mismatch");
+        assert_eq!(out.rows, self.rows, "matmul_into: output row mismatch");
+        assert_eq!(out.cols, other.cols, "matmul_into: output col mismatch");
+        out.data.fill(0.0);
         // ikj loop order: stream through `other` row-wise for locality.
         for i in 0..self.rows {
             for k in 0..self.cols {
@@ -145,7 +175,6 @@ impl Matrix {
                 }
             }
         }
-        out
     }
 
     /// Transposed copy.
@@ -181,9 +210,9 @@ impl Matrix {
     ///
     /// # Panics
     /// Panics if the matrix is not square of dimension `x.dim()`.
-    pub fn quadratic_form(&self, x: &Vector) -> f64 {
+    pub fn quadratic_form(&self, x: &[f64]) -> f64 {
         assert!(self.is_square(), "quadratic_form: matrix must be square");
-        assert_eq!(x.dim(), self.rows, "quadratic_form: dimension mismatch");
+        assert_eq!(x.len(), self.rows, "quadratic_form: dimension mismatch");
         let n = self.rows;
         let mut acc = 0.0;
         for r in 0..n {
@@ -194,6 +223,159 @@ impl Matrix {
             acc += xr * crate::vector::dot_slices(&self.data[r * n..(r + 1) * n], x);
         }
         acc
+    }
+
+    /// Batched quadratic forms: `out[i] = x_iᵀ · self · x_i` for every
+    /// `dim`-length row `x_i` of the row-major block `xs` (the layout of a
+    /// context matrix). One pass over the block with the matrix held hot;
+    /// each row's result is bit-identical to [`Matrix::quadratic_form`]
+    /// on that row (same skip-zero, same summation order).
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square of dimension `dim`, if
+    /// `xs.len()` is not a multiple of `dim`, or if `out.len()` does not
+    /// equal the number of rows in `xs`.
+    pub fn quadratic_forms_batch(&self, xs: &[f64], dim: usize, out: &mut [f64]) {
+        assert!(
+            self.is_square(),
+            "quadratic_forms_batch: matrix must be square"
+        );
+        assert_eq!(dim, self.rows, "quadratic_forms_batch: dimension mismatch");
+        assert!(
+            dim > 0 && xs.len().is_multiple_of(dim),
+            "quadratic_forms_batch: block is not row-major n × dim"
+        );
+        assert_eq!(
+            out.len(),
+            xs.len() / dim,
+            "quadratic_forms_batch: output length mismatch"
+        );
+        self.qf_batch_impl(xs, dim, out, None);
+    }
+
+    /// Fused form of [`Matrix::quadratic_forms_batch`] that also
+    /// computes `dots[i] = x_i · y` in the same pass — the UCB scoring
+    /// round's point estimate (`x · θ̂`) and squared confidence width
+    /// (`xᵀ Y⁻¹ x`) share one transposed walk over the context block.
+    /// Each dot is bit-identical to [`crate::dot_slices`]`(x_i, y)`.
+    ///
+    /// # Panics
+    /// As [`Matrix::quadratic_forms_batch`], plus if `y.len() != dim`
+    /// or `dots.len() != qf.len()`.
+    pub fn quadratic_forms_and_dots_batch(
+        &self,
+        xs: &[f64],
+        dim: usize,
+        y: &[f64],
+        qf: &mut [f64],
+        dots: &mut [f64],
+    ) {
+        assert!(
+            self.is_square(),
+            "quadratic_forms_and_dots_batch: matrix must be square"
+        );
+        assert_eq!(
+            dim, self.rows,
+            "quadratic_forms_and_dots_batch: dimension mismatch"
+        );
+        assert!(
+            dim > 0 && xs.len().is_multiple_of(dim),
+            "quadratic_forms_and_dots_batch: block is not row-major n × dim"
+        );
+        assert_eq!(
+            qf.len(),
+            xs.len() / dim,
+            "quadratic_forms_and_dots_batch: output length mismatch"
+        );
+        assert_eq!(y.len(), dim, "quadratic_forms_and_dots_batch: y length");
+        assert_eq!(
+            dots.len(),
+            qf.len(),
+            "quadratic_forms_and_dots_batch: dots length mismatch"
+        );
+        self.qf_batch_impl(xs, dim, qf, Some((y, dots)));
+    }
+
+    /// Shared engine for the batched quadratic forms, with an optional
+    /// fused per-row dot against a fixed vector.
+    ///
+    /// Lane-parallel fast path: QF_LANES events advance together, one
+    /// matrix row at a time, over a transposed copy of the block. Each
+    /// lane performs exactly the scalar sequence (4-way partial sums
+    /// per dot, rows in ascending order, left-associated combine), so
+    /// the results are bit-identical — lanes are independent, nothing
+    /// is reassociated. On x86-64 with AVX the lane loops run as
+    /// explicit 4-wide vector mul/add (never FMA, which would contract
+    /// and change bits); elsewhere a safe scalar-lane kernel takes the
+    /// same shape.
+    fn qf_batch_impl(
+        &self,
+        xs: &[f64],
+        dim: usize,
+        out: &mut [f64],
+        mut dots: Option<(&[f64], &mut [f64])>,
+    ) {
+        let n = xs.len() / dim;
+        let mut xt = [0.0f64; QF_LANES * QF_MAX_DIM]; // xt[j*QF_LANES + e] = x_e[j]
+        #[cfg(target_arch = "x86_64")]
+        let use_avx = std::arch::is_x86_feature_detected!("avx");
+        let mut blk = 0;
+        while blk < n {
+            let bsz = QF_LANES.min(n - blk);
+            let block = &xs[blk * dim..(blk + bsz) * dim];
+            // Transpose into lane-major layout, noting zeros as we go.
+            // Events containing a zero entry take the scalar path: the
+            // scalar kernel *skips* zero rows, and skipping differs
+            // from adding `0 · dot` when that row's dot is non-finite.
+            let mut has_zero = false;
+            if bsz == QF_LANES && dim <= QF_MAX_DIM {
+                for (e, x) in block.chunks_exact(dim).enumerate() {
+                    for (j, &v) in x.iter().enumerate() {
+                        has_zero |= v == 0.0;
+                        xt[j * QF_LANES + e] = v;
+                    }
+                }
+            }
+            if bsz < QF_LANES || dim > QF_MAX_DIM || has_zero {
+                for (e, (x, o)) in block
+                    .chunks_exact(dim)
+                    .zip(out[blk..].iter_mut())
+                    .enumerate()
+                {
+                    *o = self.quadratic_form(x);
+                    if let Some((y, d)) = dots.as_mut() {
+                        d[blk + e] = crate::vector::dot_slices(x, y);
+                    }
+                }
+                blk += bsz;
+                continue;
+            }
+            let mut acc = [0.0f64; QF_LANES];
+            let mut dacc = [0.0f64; QF_LANES];
+            #[cfg(target_arch = "x86_64")]
+            if use_avx {
+                // SAFETY: AVX availability was just detected; `xt`
+                // holds `dim` full lane groups and `self.data` is a
+                // `dim × dim` square (asserted by the public callers).
+                unsafe {
+                    qf_block_avx(&self.data, dim, &xt, &mut acc);
+                    if let Some((y, d)) = dots.as_mut() {
+                        dot_block_avx(y, dim, &xt, &mut dacc);
+                        d[blk..blk + QF_LANES].copy_from_slice(&dacc);
+                    }
+                }
+                out[blk..blk + QF_LANES].copy_from_slice(&acc);
+                blk += QF_LANES;
+                continue;
+            }
+            qf_block_lanes(&self.data, dim, &xt, &mut acc);
+            if let Some((y, d)) = dots.as_mut() {
+                dot_block_lanes(y, dim, &xt, &mut dacc);
+                d[blk..blk + QF_LANES].copy_from_slice(&dacc);
+            }
+            out[blk..blk + QF_LANES].copy_from_slice(&acc);
+            blk += QF_LANES;
+        }
     }
 
     /// Frobenius norm `√(Σ a_{ij}²)`.
@@ -321,6 +503,192 @@ impl fmt::Display for Matrix {
 /// Outer product `x yᵀ` as a fresh matrix.
 pub fn outer(x: &Vector, y: &Vector) -> Matrix {
     Matrix::from_fn(x.dim(), y.dim(), |r, c| x[r] * y[c])
+}
+
+/// Events processed per lane group by [`Matrix::quadratic_forms_batch`].
+const QF_LANES: usize = 8;
+/// Largest dimension the stack-resident transposed block supports;
+/// larger systems fall back to the scalar kernel (FASEA uses d ≤ 20).
+const QF_MAX_DIM: usize = 64;
+
+/// Safe lane kernel: `acc[e] = x_eᵀ M x_e` for the 8 events whose
+/// transposed contexts sit in `xt` (`xt[j*8 + e] = x_e[j]`). Per lane
+/// this is exactly the scalar `quadratic_form` sequence — 4 partial
+/// sums per row dot, combined left-to-right, rows ascending — so each
+/// result is bit-identical to the scalar call. The `e` loops are over
+/// contiguous 8-wide groups, which the compiler auto-vectorises.
+fn qf_block_lanes(m: &[f64], dim: usize, xt: &[f64], acc: &mut [f64; QF_LANES]) {
+    let chunks = dim / 4;
+    for r in 0..dim {
+        let row = &m[r * dim..(r + 1) * dim];
+        let mut s0 = [0.0f64; QF_LANES];
+        let mut s1 = [0.0f64; QF_LANES];
+        let mut s2 = [0.0f64; QF_LANES];
+        let mut s3 = [0.0f64; QF_LANES];
+        for i in 0..chunks {
+            let j = i * 4;
+            let x0 = &xt[j * QF_LANES..(j + 1) * QF_LANES];
+            let x1 = &xt[(j + 1) * QF_LANES..(j + 2) * QF_LANES];
+            let x2 = &xt[(j + 2) * QF_LANES..(j + 3) * QF_LANES];
+            let x3 = &xt[(j + 3) * QF_LANES..(j + 4) * QF_LANES];
+            for e in 0..QF_LANES {
+                s0[e] += row[j] * x0[e];
+                s1[e] += row[j + 1] * x1[e];
+                s2[e] += row[j + 2] * x2[e];
+                s3[e] += row[j + 3] * x3[e];
+            }
+        }
+        let mut dot = [0.0f64; QF_LANES];
+        for e in 0..QF_LANES {
+            dot[e] = s0[e] + s1[e] + s2[e] + s3[e];
+        }
+        for j in chunks * 4..dim {
+            let xj = &xt[j * QF_LANES..(j + 1) * QF_LANES];
+            for e in 0..QF_LANES {
+                dot[e] += row[j] * xj[e];
+            }
+        }
+        let xr = &xt[r * QF_LANES..(r + 1) * QF_LANES];
+        for e in 0..QF_LANES {
+            acc[e] += xr[e] * dot[e];
+        }
+    }
+}
+
+/// Safe lane kernel for the fused per-row dots: `dot[e] = x_e · y` for
+/// the 8 events transposed into `xt`. Per lane this is exactly the
+/// [`crate::dot_slices`] sequence, so each result is bit-identical to
+/// the scalar call.
+fn dot_block_lanes(y: &[f64], dim: usize, xt: &[f64], dot: &mut [f64; QF_LANES]) {
+    let chunks = dim / 4;
+    let mut s0 = [0.0f64; QF_LANES];
+    let mut s1 = [0.0f64; QF_LANES];
+    let mut s2 = [0.0f64; QF_LANES];
+    let mut s3 = [0.0f64; QF_LANES];
+    for i in 0..chunks {
+        let j = i * 4;
+        let x0 = &xt[j * QF_LANES..(j + 1) * QF_LANES];
+        let x1 = &xt[(j + 1) * QF_LANES..(j + 2) * QF_LANES];
+        let x2 = &xt[(j + 2) * QF_LANES..(j + 3) * QF_LANES];
+        let x3 = &xt[(j + 3) * QF_LANES..(j + 4) * QF_LANES];
+        for e in 0..QF_LANES {
+            s0[e] += x0[e] * y[j];
+            s1[e] += x1[e] * y[j + 1];
+            s2[e] += x2[e] * y[j + 2];
+            s3[e] += x3[e] * y[j + 3];
+        }
+    }
+    for e in 0..QF_LANES {
+        dot[e] = s0[e] + s1[e] + s2[e] + s3[e];
+    }
+    for j in chunks * 4..dim {
+        let xj = &xt[j * QF_LANES..(j + 1) * QF_LANES];
+        for e in 0..QF_LANES {
+            dot[e] += xj[e] * y[j];
+        }
+    }
+}
+
+/// AVX form of [`dot_block_lanes`] — `vmulpd`/`vaddpd` only, no FMA,
+/// so each lane remains bit-identical to the scalar [`crate::dot_slices`].
+///
+/// # Safety
+/// The caller must ensure AVX is available, `y.len() >= dim`, and `xt`
+/// holds at least `dim` lane groups of 8.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn dot_block_avx(y: &[f64], dim: usize, xt: &[f64], dot: &mut [f64; QF_LANES]) {
+    use std::arch::x86_64::{
+        _mm256_add_pd, _mm256_loadu_pd, _mm256_mul_pd, _mm256_set1_pd, _mm256_setzero_pd,
+        _mm256_storeu_pd,
+    };
+    debug_assert!(y.len() >= dim && xt.len() >= dim * QF_LANES);
+    let chunks = dim / 4;
+    let xp = xt.as_ptr();
+    let mut s_lo = [_mm256_setzero_pd(); 4];
+    let mut s_hi = [_mm256_setzero_pd(); 4];
+    for i in 0..chunks {
+        let j = i * 4;
+        for (k, (sl, sh)) in s_lo.iter_mut().zip(s_hi.iter_mut()).enumerate() {
+            let yv = _mm256_set1_pd(*y.get_unchecked(j + k));
+            let p = xp.add((j + k) * QF_LANES);
+            *sl = _mm256_add_pd(*sl, _mm256_mul_pd(_mm256_loadu_pd(p), yv));
+            *sh = _mm256_add_pd(*sh, _mm256_mul_pd(_mm256_loadu_pd(p.add(4)), yv));
+        }
+    }
+    let mut dot_lo = _mm256_add_pd(
+        _mm256_add_pd(_mm256_add_pd(s_lo[0], s_lo[1]), s_lo[2]),
+        s_lo[3],
+    );
+    let mut dot_hi = _mm256_add_pd(
+        _mm256_add_pd(_mm256_add_pd(s_hi[0], s_hi[1]), s_hi[2]),
+        s_hi[3],
+    );
+    for j in chunks * 4..dim {
+        let yv = _mm256_set1_pd(*y.get_unchecked(j));
+        let p = xp.add(j * QF_LANES);
+        dot_lo = _mm256_add_pd(dot_lo, _mm256_mul_pd(_mm256_loadu_pd(p), yv));
+        dot_hi = _mm256_add_pd(dot_hi, _mm256_mul_pd(_mm256_loadu_pd(p.add(4)), yv));
+    }
+    _mm256_storeu_pd(dot.as_mut_ptr(), dot_lo);
+    _mm256_storeu_pd(dot.as_mut_ptr().add(4), dot_hi);
+}
+
+/// AVX form of [`qf_block_lanes`]: the same operation sequence with the
+/// 8 lanes held in two 256-bit registers per partial sum. Only `vmulpd`
+/// and `vaddpd` are emitted — never FMA, which would contract the
+/// multiply-add and change the result bits — so each lane remains
+/// bit-identical to the scalar `quadratic_form`.
+///
+/// # Safety
+/// The caller must ensure AVX is available (`is_x86_feature_detected!`),
+/// that `m` holds a `dim × dim` row-major square, and that `xt` holds at
+/// least `dim` lane groups of 8.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn qf_block_avx(m: &[f64], dim: usize, xt: &[f64], acc: &mut [f64; QF_LANES]) {
+    use std::arch::x86_64::{
+        _mm256_add_pd, _mm256_loadu_pd, _mm256_mul_pd, _mm256_set1_pd, _mm256_setzero_pd,
+        _mm256_storeu_pd,
+    };
+    debug_assert!(m.len() >= dim * dim && xt.len() >= dim * QF_LANES);
+    let chunks = dim / 4;
+    let xp = xt.as_ptr();
+    let mut acc_lo = _mm256_setzero_pd();
+    let mut acc_hi = _mm256_setzero_pd();
+    for r in 0..dim {
+        let rp = m.as_ptr().add(r * dim);
+        let mut s_lo = [_mm256_setzero_pd(); 4];
+        let mut s_hi = [_mm256_setzero_pd(); 4];
+        for i in 0..chunks {
+            let j = i * 4;
+            for (k, (sl, sh)) in s_lo.iter_mut().zip(s_hi.iter_mut()).enumerate() {
+                let rv = _mm256_set1_pd(*rp.add(j + k));
+                let p = xp.add((j + k) * QF_LANES);
+                *sl = _mm256_add_pd(*sl, _mm256_mul_pd(rv, _mm256_loadu_pd(p)));
+                *sh = _mm256_add_pd(*sh, _mm256_mul_pd(rv, _mm256_loadu_pd(p.add(4))));
+            }
+        }
+        let mut dot_lo = _mm256_add_pd(
+            _mm256_add_pd(_mm256_add_pd(s_lo[0], s_lo[1]), s_lo[2]),
+            s_lo[3],
+        );
+        let mut dot_hi = _mm256_add_pd(
+            _mm256_add_pd(_mm256_add_pd(s_hi[0], s_hi[1]), s_hi[2]),
+            s_hi[3],
+        );
+        for j in chunks * 4..dim {
+            let rv = _mm256_set1_pd(*rp.add(j));
+            let p = xp.add(j * QF_LANES);
+            dot_lo = _mm256_add_pd(dot_lo, _mm256_mul_pd(rv, _mm256_loadu_pd(p)));
+            dot_hi = _mm256_add_pd(dot_hi, _mm256_mul_pd(rv, _mm256_loadu_pd(p.add(4))));
+        }
+        let pr = xp.add(r * QF_LANES);
+        acc_lo = _mm256_add_pd(acc_lo, _mm256_mul_pd(_mm256_loadu_pd(pr), dot_lo));
+        acc_hi = _mm256_add_pd(acc_hi, _mm256_mul_pd(_mm256_loadu_pd(pr.add(4)), dot_hi));
+    }
+    _mm256_storeu_pd(acc.as_mut_ptr(), acc_lo);
+    _mm256_storeu_pd(acc.as_mut_ptr().add(4), acc_hi);
 }
 
 #[cfg(test)]
@@ -465,5 +833,125 @@ mod tests {
         let a = Matrix::identity(2);
         let s = a.to_string();
         assert_eq!(s.lines().count(), 2);
+    }
+
+    /// Deterministic non-zero pseudo-random values for kernel tests.
+    fn lcg_fill(seed: &mut u64) -> f64 {
+        *seed = seed
+            .wrapping_mul(6364136415821433261)
+            .wrapping_add(1442695040888963407);
+        // Map to (0, 1] then shift away from zero so the skip-zero
+        // fallback is not triggered unless a test wants it.
+        ((*seed >> 11) as f64 / (1u64 << 53) as f64) + 0.001
+    }
+
+    fn random_square(dim: usize, seed: &mut u64) -> Matrix {
+        Matrix::from_fn(dim, dim, |_, _| lcg_fill(seed) - 0.5)
+    }
+
+    #[test]
+    fn batched_quadratic_forms_bit_exact_vs_scalar() {
+        // n = 20 is deliberately not a multiple of the lane width: the
+        // first 16 events take the lane (AVX where available) path, the
+        // last 4 take the scalar tail, and every result must be
+        // bit-identical to the per-row reference.
+        let mut seed = 0x5eed0001u64;
+        for dim in [1usize, 5, 20, 64] {
+            let m = random_square(dim, &mut seed);
+            let n = 20;
+            let xs: Vec<f64> = (0..n * dim).map(|_| lcg_fill(&mut seed) - 0.5).collect();
+            let mut out = vec![0.0; n];
+            m.quadratic_forms_batch(&xs, dim, &mut out);
+            for i in 0..n {
+                let reference = m.quadratic_form(&xs[i * dim..(i + 1) * dim]);
+                assert_eq!(
+                    out[i].to_bits(),
+                    reference.to_bits(),
+                    "dim={dim} event={i}: batched != scalar"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_quadratic_forms_zero_entries_use_scalar_fallback() {
+        // quadratic_form skips rows where x[r] == 0.0; blocks containing
+        // zeros must route to the scalar fallback and stay bit-exact.
+        let mut seed = 0x5eed0002u64;
+        let dim = 8;
+        let m = random_square(dim, &mut seed);
+        let n = 17;
+        let mut xs: Vec<f64> = (0..n * dim).map(|_| lcg_fill(&mut seed) - 0.5).collect();
+        for i in 0..n {
+            xs[i * dim + i % dim] = 0.0;
+        }
+        let mut out = vec![0.0; n];
+        m.quadratic_forms_batch(&xs, dim, &mut out);
+        for i in 0..n {
+            let reference = m.quadratic_form(&xs[i * dim..(i + 1) * dim]);
+            assert_eq!(out[i].to_bits(), reference.to_bits(), "event {i}");
+        }
+    }
+
+    #[test]
+    fn batched_quadratic_forms_dim_above_lane_buffer_falls_back() {
+        // dim > QF_MAX_DIM exceeds the stack transpose buffer; the
+        // batch must silently take the scalar path, not panic.
+        let mut seed = 0x5eed0003u64;
+        let dim = 70;
+        let m = random_square(dim, &mut seed);
+        let n = 9;
+        let xs: Vec<f64> = (0..n * dim).map(|_| lcg_fill(&mut seed) - 0.5).collect();
+        let mut out = vec![0.0; n];
+        m.quadratic_forms_batch(&xs, dim, &mut out);
+        for i in 0..n {
+            let reference = m.quadratic_form(&xs[i * dim..(i + 1) * dim]);
+            assert_eq!(out[i].to_bits(), reference.to_bits(), "event {i}");
+        }
+    }
+
+    #[test]
+    fn fused_quadratic_forms_and_dots_bit_exact() {
+        let mut seed = 0x5eed0004u64;
+        for dim in [3usize, 20] {
+            let m = random_square(dim, &mut seed);
+            let y: Vec<f64> = (0..dim).map(|_| lcg_fill(&mut seed) - 0.5).collect();
+            let n = 21;
+            let xs: Vec<f64> = (0..n * dim).map(|_| lcg_fill(&mut seed) - 0.5).collect();
+            let mut qf = vec![0.0; n];
+            let mut dots = vec![0.0; n];
+            m.quadratic_forms_and_dots_batch(&xs, dim, &y, &mut qf, &mut dots);
+            let mut qf_only = vec![0.0; n];
+            m.quadratic_forms_batch(&xs, dim, &mut qf_only);
+            for i in 0..n {
+                let x = &xs[i * dim..(i + 1) * dim];
+                assert_eq!(
+                    qf[i].to_bits(),
+                    m.quadratic_form(x).to_bits(),
+                    "dim={dim} event={i}: fused qf != scalar"
+                );
+                assert_eq!(
+                    qf[i].to_bits(),
+                    qf_only[i].to_bits(),
+                    "dim={dim} event={i}: fused qf != unfused qf"
+                );
+                assert_eq!(
+                    dots[i].to_bits(),
+                    crate::vector::dot_slices(x, &y).to_bits(),
+                    "dim={dim} event={i}: fused dot != dot_slices"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dots length mismatch")]
+    fn fused_batch_checks_dots_length() {
+        let m = Matrix::identity(2);
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let y = [1.0, 1.0];
+        let mut qf = [0.0; 2];
+        let mut dots = [0.0; 1];
+        m.quadratic_forms_and_dots_batch(&xs, 2, &y, &mut qf, &mut dots);
     }
 }

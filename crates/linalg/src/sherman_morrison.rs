@@ -114,19 +114,19 @@ impl ShermanMorrisonInverse {
     /// * [`LinalgError::SingularUpdate`] if the denominator is not ≥ 1
     ///   (cannot happen for finite input on an SPD state; kept as a
     ///   defensive check against accumulated corruption).
-    pub fn rank1_update(&mut self, x: &Vector) -> Result<(), LinalgError> {
+    pub fn rank1_update(&mut self, x: &[f64]) -> Result<(), LinalgError> {
         let d = self.dim();
-        if x.dim() != d {
-            return Err(LinalgError::DimensionMismatch(d, x.dim()));
+        if x.len() != d {
+            return Err(LinalgError::DimensionMismatch(d, x.len()));
         }
-        if !x.is_finite() {
+        if !x.iter().all(|v| v.is_finite()) {
             return Err(LinalgError::NonFinite);
         }
         // u = Y^{-1} x  (into the scratch buffer)
         for r in 0..d {
             self.scratch[r] = crate::vector::dot_slices(self.y_inv.row(r), x);
         }
-        let denom = 1.0 + x.dot(&self.scratch);
+        let denom = 1.0 + crate::vector::dot_slices(x, &self.scratch);
         // NaN-safe guard: on an SPD state denom >= 1 always holds, so
         // anything below 0.5 (or non-finite) means corrupted state.
         if denom.is_nan() || denom < 0.5 {
@@ -158,12 +158,61 @@ impl ShermanMorrisonInverse {
         self.y_inv.matvec(b)
     }
 
+    /// `Y⁻¹ b` written into a caller-owned buffer — the allocation-free
+    /// form of [`ShermanMorrisonInverse::solve`], bit-identical to it.
+    ///
+    /// # Panics
+    /// Panics if `b.len()` or `out.len()` differ from `self.dim()`.
+    pub fn solve_into(&self, b: &[f64], out: &mut [f64]) {
+        self.y_inv.matvec_into(b, out);
+    }
+
     /// `xᵀ Y⁻¹ x` — UCB's squared confidence width (Algorithm 3 line 8).
     ///
     /// # Panics
-    /// Panics if `x.dim() != self.dim()`.
-    pub fn inv_quadratic_form(&self, x: &Vector) -> f64 {
+    /// Panics if `x.len() != self.dim()`.
+    pub fn inv_quadratic_form(&self, x: &[f64]) -> f64 {
         self.y_inv.quadratic_form(x)
+    }
+
+    /// Batched confidence widths: for every `dim`-length row `x` of the
+    /// row-major block `xs`, writes `√(max(xᵀ Y⁻¹ x, 0))` — the UCB width
+    /// without the `α` multiplier — into `out`. One blocked pass with
+    /// `Y⁻¹` held hot; each row is bit-identical to
+    /// `inv_quadratic_form(x).max(0.0).sqrt()`.
+    ///
+    /// # Panics
+    /// Panics on a block/output shape mismatch (see
+    /// [`crate::Matrix::quadratic_forms_batch`]).
+    pub fn widths_into(&self, xs: &[f64], dim: usize, out: &mut [f64]) {
+        self.y_inv.quadratic_forms_batch(xs, dim, out);
+        for w in out.iter_mut() {
+            *w = w.max(0.0).sqrt();
+        }
+    }
+
+    /// Fused UCB scoring pass: per row of `xs`, the confidence width
+    /// (as [`ShermanMorrisonInverse::widths_into`]) *and* the point
+    /// estimate `x_v · theta` (bit-identical to
+    /// [`crate::dot_slices`]), sharing one transposed walk over the
+    /// block. This is the per-round kernel of the batched LinUCB path.
+    ///
+    /// # Panics
+    /// Panics on a block/output shape mismatch or if
+    /// `theta.len() != dim`.
+    pub fn widths_and_dots_into(
+        &self,
+        xs: &[f64],
+        dim: usize,
+        theta: &[f64],
+        widths: &mut [f64],
+        dots: &mut [f64],
+    ) {
+        self.y_inv
+            .quadratic_forms_and_dots_batch(xs, dim, theta, widths, dots);
+        for w in widths.iter_mut() {
+            *w = w.max(0.0).sqrt();
+        }
     }
 
     /// Periodically re-derives `Y⁻¹` from a fresh Cholesky factorisation of

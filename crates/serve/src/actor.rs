@@ -469,10 +469,7 @@ mod tests {
             &dir,
             instance,
             Box::new(LinUcb::new(2, 1.0, 2.0)),
-            DurableOptions {
-                fsync: FsyncPolicy::Never,
-                ..DurableOptions::default()
-            },
+            DurableOptions::new().with_fsync(FsyncPolicy::Never),
         )
         .unwrap();
         let (tx, rx) = mpsc::channel();

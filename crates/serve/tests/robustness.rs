@@ -32,10 +32,7 @@ fn start_server(tag: &str) -> (ServerHandle, std::path::PathBuf) {
         &dir,
         ProblemInstance::basic(6, DIM),
         Box::new(LinUcb::new(DIM, 1.0, 2.0)),
-        DurableOptions {
-            fsync: FsyncPolicy::Never,
-            ..DurableOptions::default()
-        },
+        DurableOptions::new().with_fsync(FsyncPolicy::Never),
     )
     .unwrap();
     let config = ServerConfig {

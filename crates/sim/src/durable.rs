@@ -54,7 +54,12 @@ use fasea_store::{context_hash, PendingProposal, Record, ServiceSnapshot, Wal, W
 use std::path::{Path, PathBuf};
 
 /// Tuning for the durable service.
+///
+/// Marked `#[non_exhaustive]`: construct it with [`DurableOptions::new`]
+/// (or `Default::default()`) and refine with the builder methods, so new
+/// durability knobs can be added without breaking downstream crates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct DurableOptions {
     /// WAL segment rotation threshold in bytes.
     pub segment_bytes: u64,
@@ -72,6 +77,33 @@ impl Default for DurableOptions {
             fsync: FsyncPolicy::EveryN(32),
             snapshots_kept: 2,
         }
+    }
+}
+
+impl DurableOptions {
+    /// The default tuning (4 MiB segments, fsync every 32 appends, two
+    /// snapshots kept).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the WAL segment rotation threshold in bytes.
+    pub fn with_segment_bytes(mut self, bytes: u64) -> Self {
+        self.segment_bytes = bytes;
+        self
+    }
+
+    /// Sets when appends reach stable storage.
+    pub fn with_fsync(mut self, fsync: FsyncPolicy) -> Self {
+        self.fsync = fsync;
+        self
+    }
+
+    /// Sets how many snapshots to keep on disk (clamped to at least 1
+    /// by the pruning logic).
+    pub fn with_snapshots_kept(mut self, kept: usize) -> Self {
+        self.snapshots_kept = kept;
+        self
     }
 }
 

@@ -73,6 +73,7 @@ pub fn run_multi_user(
     let mut opt_remaining: Vec<u32> = instance.capacities().to_vec();
     let mut accounting = RegretAccounting::new();
     let mut opt_rewards = 0u64;
+    let mut arrangement = fasea_core::Arrangement::empty();
 
     for t in 0..horizon {
         let user = workload.user_at(t);
@@ -94,7 +95,7 @@ pub fn run_multi_user(
                 conflicts,
                 remaining: &remaining,
             };
-            let arrangement = policy.select(&view);
+            policy.select_into(&view, &mut arrangement);
             validate_arrangement(&arrangement, conflicts, &remaining, arrival.capacity)
                 .unwrap_or_else(|e| panic!("{arch_name} learner infeasible: {e}"));
             let mut accepted = Vec::with_capacity(arrangement.len());

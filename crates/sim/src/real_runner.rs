@@ -106,6 +106,7 @@ pub fn run_real(
             let mut accounting = RegretAccounting::new();
             let mut checkpoints = Vec::new();
             let mut next_cp = 0usize;
+            let mut arrangement = fasea_core::Arrangement::empty();
             for t in 0..config.rounds {
                 let arrival = UserArrival::new(cu, contexts.clone());
                 let view = SelectionView {
@@ -115,7 +116,7 @@ pub fn run_real(
                     conflicts: env.instance().conflicts(),
                     remaining: env.remaining(),
                 };
-                let arrangement = policy.select(&view);
+                policy.select_into(&view, &mut arrangement);
                 let outcome = env
                     .step(t, &arrival, &arrangement)
                     .unwrap_or_else(|e| panic!("{}: infeasible arrangement: {e}", policy.name()));

@@ -44,11 +44,13 @@ pub fn run_rotating(
         policy: &'a mut dyn Policy,
         env: Environment,
         accounting: RegretAccounting,
+        arrangement: fasea_core::Arrangement,
     }
     let mut opt_state = State {
         policy: &mut opt,
         env: Environment::new(workload.instance.clone(), workload.model.clone(), coins),
         accounting: RegretAccounting::new(),
+        arrangement: fasea_core::Arrangement::empty(),
     };
     let mut states: Vec<State<'_>> = policies
         .iter_mut()
@@ -56,6 +58,7 @@ pub fn run_rotating(
             policy: p.as_mut(),
             env: Environment::new(workload.instance.clone(), workload.model.clone(), coins),
             accounting: RegretAccounting::new(),
+            arrangement: fasea_core::Arrangement::empty(),
         })
         .collect();
 
@@ -71,7 +74,8 @@ pub fn run_rotating(
                 conflicts: st.env.instance().conflicts(),
                 remaining: &masked,
             };
-            let arrangement = st.policy.select(&view);
+            st.policy.select_into(&view, &mut st.arrangement);
+            let arrangement = &st.arrangement;
             for &v in arrangement.events() {
                 assert!(
                     schedule.is_available(t, v),
@@ -81,10 +85,10 @@ pub fn run_rotating(
             }
             let outcome = st
                 .env
-                .step(t, &arrival, &arrangement)
+                .step(t, &arrival, arrangement)
                 .unwrap_or_else(|e| panic!("{}: {e}", st.policy.name()));
             st.policy
-                .observe(t, &arrival.contexts, &arrangement, &outcome.feedback);
+                .observe(t, &arrival.contexts, arrangement, &outcome.feedback);
             st.accounting
                 .record_round(arrangement.len(), outcome.reward);
         }

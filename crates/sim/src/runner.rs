@@ -27,7 +27,12 @@ pub fn paper_checkpoints(horizon: u64) -> Vec<u64> {
 }
 
 /// Simulation configuration.
+///
+/// Marked `#[non_exhaustive]`: construct it with [`RunConfig::new`] or
+/// [`RunConfig::paper`] and refine with the builder methods — new knobs
+/// can then land without breaking downstream crates.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct RunConfig {
     /// Number of rounds to play.
     pub horizon: u64,
@@ -43,6 +48,19 @@ pub struct RunConfig {
 }
 
 impl RunConfig {
+    /// Minimal config: one checkpoint at the horizon, no Kendall
+    /// tracking, no timing, default feedback seed. Refine with the
+    /// builder methods.
+    pub fn new(horizon: u64) -> Self {
+        RunConfig {
+            horizon,
+            checkpoints: vec![horizon],
+            track_kendall: false,
+            measure_time: false,
+            feedback_seed: 0xFEEDBAC4,
+        }
+    }
+
     /// Paper-style config for a given horizon.
     pub fn paper(horizon: u64) -> Self {
         RunConfig {
@@ -54,9 +72,27 @@ impl RunConfig {
         }
     }
 
+    /// Replaces the checkpoint grid (must be sorted, 1-based).
+    pub fn with_checkpoints(mut self, checkpoints: Vec<u64>) -> Self {
+        self.checkpoints = checkpoints;
+        self
+    }
+
     /// Enables Kendall tracking (Figure 2).
     pub fn with_kendall(mut self) -> Self {
         self.track_kendall = true;
+        self
+    }
+
+    /// Sets whether per-round wall time is measured.
+    pub fn with_timing(mut self, measure: bool) -> Self {
+        self.measure_time = measure;
+        self
+    }
+
+    /// Sets the seed of the common-random-number feedback stream.
+    pub fn with_feedback_seed(mut self, seed: u64) -> Self {
+        self.feedback_seed = seed;
         self
     }
 }
@@ -116,6 +152,8 @@ struct PolicyState<'a, M: RewardModel + Clone> {
     time: RunningStats,
     time_p95: P2Quantile,
     checkpoints: Vec<Checkpoint>,
+    // Reused across rounds so the select path stays allocation-free.
+    arrangement: fasea_core::Arrangement,
 }
 
 /// Runs `policies` plus an OPT reference over the workload's arrival
@@ -138,6 +176,7 @@ pub fn run_simulation(
         time: RunningStats::new(),
         time_p95: P2Quantile::new(0.95),
         checkpoints: Vec::new(),
+        arrangement: fasea_core::Arrangement::empty(),
     };
     let mut states: Vec<PolicyState<'_, _>> = policies
         .iter_mut()
@@ -148,6 +187,7 @@ pub fn run_simulation(
             time: RunningStats::new(),
             time_p95: P2Quantile::new(0.95),
             checkpoints: Vec::new(),
+            arrangement: fasea_core::Arrangement::empty(),
         })
         .collect();
 
@@ -231,22 +271,28 @@ fn step_policy<M: RewardModel + Clone>(
         remaining: st.env.remaining(),
     };
     let start = measure_time.then(Instant::now);
-    let arrangement = st.policy.select(&view);
-    let outcome = st.env.step(t, arrival, &arrangement).unwrap_or_else(|e| {
-        panic!(
-            "policy {} proposed an infeasible arrangement: {e}",
-            st.policy.name()
-        )
-    });
+    // Batched path into the per-policy arrangement buffer: with a warm
+    // workspace, steady-state rounds of the learning policies allocate
+    // nothing.
+    st.policy.select_into(&view, &mut st.arrangement);
+    let outcome = st
+        .env
+        .step(t, arrival, &st.arrangement)
+        .unwrap_or_else(|e| {
+            panic!(
+                "policy {} proposed an infeasible arrangement: {e}",
+                st.policy.name()
+            )
+        });
     st.policy
-        .observe(t, &arrival.contexts, &arrangement, &outcome.feedback);
+        .observe(t, &arrival.contexts, &st.arrangement, &outcome.feedback);
     if let Some(s) = start {
         let secs = s.elapsed().as_secs_f64();
         st.time.push(secs);
         st.time_p95.push(secs);
     }
     st.accounting
-        .record_round(arrangement.len(), outcome.reward);
+        .record_round(st.arrangement.len(), outcome.reward);
 }
 
 fn push_checkpoint<M: RewardModel + Clone>(

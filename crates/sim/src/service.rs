@@ -123,6 +123,10 @@ pub struct ArrangementService {
     t: u64,
     pending: Option<(Arrangement, ContextMatrix)>,
     accounting: RegretAccounting,
+    // Selection buffer reused across proposals; the policy's own
+    // workspace holds the scoring scratch, so a proposal's hot path
+    // allocates only the pending/returned copies.
+    scratch: Arrangement,
 }
 
 impl ArrangementService {
@@ -136,6 +140,7 @@ impl ArrangementService {
             t: 0,
             pending: None,
             accounting: RegretAccounting::new(),
+            scratch: Arrangement::empty(),
         }
     }
 
@@ -222,6 +227,7 @@ impl ArrangementService {
             t,
             pending,
             accounting,
+            scratch: Arrangement::empty(),
         })
     }
 
@@ -249,14 +255,15 @@ impl ArrangementService {
             conflicts: self.instance.conflicts(),
             remaining: &self.remaining,
         };
-        let arrangement = self.policy.select(&view);
+        self.policy.select_into(&view, &mut self.scratch);
         validate_arrangement(
-            &arrangement,
+            &self.scratch,
             self.instance.conflicts(),
             &self.remaining,
             user.capacity,
         )
         .map_err(|e| ServiceError::PolicyProducedInfeasible(e.to_string()))?;
+        let arrangement = self.scratch.clone();
         self.pending = Some((arrangement.clone(), user.contexts.clone()));
         Ok(arrangement)
     }

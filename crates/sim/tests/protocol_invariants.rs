@@ -189,10 +189,7 @@ fn feedback_discipline_after_recovery_pending() {
         std::env::temp_dir().join(format!("fasea-protocol-invariants-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).unwrap();
-    let options = DurableOptions {
-        fsync: FsyncPolicy::Always,
-        ..DurableOptions::default()
-    };
+    let options = DurableOptions::new().with_fsync(FsyncPolicy::Always);
     let make_policy = || -> Box<dyn Policy> { Box::new(LinUcb::new(DIM, 1.0, 2.0)) };
 
     let arr_len = {

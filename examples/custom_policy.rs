@@ -1,17 +1,20 @@
 //! Extending FASEA with your own policy.
 //!
-//! The [`Policy`] trait is the whole integration surface: implement
-//! `select` and `observe` and your strategy runs in the same harness as
-//! the paper's algorithms, with the same metrics, regret reference and
-//! common-random-number feedback. This example adds **Boltzmann
-//! exploration** (softmax over point estimates, a classic alternative
-//! the paper does not evaluate) and races it against UCB and Exploit.
+//! The [`Policy`] trait is the whole integration surface: implement the
+//! batched `score_into` (one score per event, written into the reusable
+//! [`ScoreWorkspace`]) plus `observe`, expose a workspace, and your
+//! strategy runs in the same harness as the paper's algorithms — with
+//! the same metrics, regret reference, common-random-number feedback,
+//! and the allocation-free `select_into` hot path for free. This example
+//! adds **Boltzmann exploration** (softmax over point estimates, a
+//! classic alternative the paper does not evaluate) and races it against
+//! UCB and Exploit.
 //!
 //! ```text
 //! cargo run --release --example custom_policy
 //! ```
 
-use fasea::bandit::{oracle_greedy, Exploit, LinUcb, Policy, RidgeEstimator, SelectionView};
+use fasea::bandit::{Exploit, LinUcb, Policy, RidgeEstimator, ScoreWorkspace, SelectionView};
 use fasea::core::{Arrangement, ContextMatrix, EventId, Feedback};
 use fasea::datagen::{SyntheticConfig, SyntheticWorkload};
 use fasea::sim::{run_simulation, AsciiTable, RunConfig};
@@ -25,8 +28,7 @@ struct Boltzmann {
     estimator: RidgeEstimator,
     temperature: f64,
     rng: fasea::stats::Rng,
-    scores: Vec<f64>,
-    selected_once: bool,
+    ws: ScoreWorkspace,
 }
 
 impl Boltzmann {
@@ -35,8 +37,7 @@ impl Boltzmann {
             estimator: RidgeEstimator::new(dim, lambda),
             temperature,
             rng: fasea::stats::rng_from_seed(seed),
-            scores: Vec::new(),
-            selected_once: false,
+            ws: ScoreWorkspace::new(),
         }
     }
 }
@@ -46,13 +47,16 @@ impl Policy for Boltzmann {
         "Boltzmann"
     }
 
-    fn select(&mut self, view: &SelectionView<'_>) -> Arrangement {
+    /// The batched scoring pass. `ws.scores_mut(n)` hands back a warm
+    /// buffer; `theta_hat()` is cached between observations, so a
+    /// steady-state round performs no heap allocation at all.
+    fn score_into(&mut self, view: &SelectionView<'_>, ws: &mut ScoreWorkspace) {
         let n = view.num_events();
-        self.scores.resize(n, 0.0);
+        let scores = ws.scores_mut(n);
         // Cool the temperature with observations: tau_t = tau / sqrt(1 + obs).
         let tau = self.temperature / (1.0 + self.estimator.observations() as f64).sqrt();
-        let theta = self.estimator.theta_hat().clone();
-        for v in 0..n {
+        let theta = self.estimator.theta_hat();
+        for (v, s) in scores.iter_mut().enumerate() {
             let x = view.contexts.context(EventId(v));
             let point = fasea::linalg::dot_slices(x, theta.as_slice());
             // Adding Gumbel(0, tau) noise and taking the top-k is
@@ -60,15 +64,16 @@ impl Policy for Boltzmann {
             // softmax with temperature tau (the Gumbel-max trick).
             let u: f64 = self.rng.gen::<f64>().max(1e-300);
             let gumbel = -(-u.ln()).ln();
-            self.scores[v] = point + tau * gumbel;
+            *s = point + tau * gumbel;
         }
-        self.selected_once = true;
-        oracle_greedy(
-            &self.scores,
-            view.conflicts,
-            view.remaining,
-            view.user_capacity,
-        )
+    }
+
+    fn workspace(&self) -> &ScoreWorkspace {
+        &self.ws
+    }
+
+    fn workspace_mut(&mut self) -> &mut ScoreWorkspace {
+        &mut self.ws
     }
 
     fn observe(
@@ -85,12 +90,8 @@ impl Policy for Boltzmann {
         }
     }
 
-    fn last_scores(&self) -> Option<&[f64]> {
-        self.selected_once.then_some(self.scores.as_slice())
-    }
-
     fn state_bytes(&self) -> usize {
-        self.estimator.state_bytes() + self.scores.len() * 8
+        self.estimator.state_bytes() + self.ws.state_bytes()
     }
 }
 

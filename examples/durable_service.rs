@@ -36,11 +36,10 @@ fn policy() -> Box<dyn Policy> {
 }
 
 fn options() -> DurableOptions {
-    DurableOptions {
-        segment_bytes: 16 << 10, // small segments so rotation shows up
-        fsync: FsyncPolicy::EveryN(8),
-        snapshots_kept: 2,
-    }
+    DurableOptions::new()
+        .with_segment_bytes(16 << 10) // small segments so rotation shows up
+        .with_fsync(FsyncPolicy::EveryN(8))
+        .with_snapshots_kept(2)
 }
 
 fn arrival(round: u64) -> UserArrival {

@@ -43,10 +43,8 @@ fn main() {
         &dir,
         workload().instance,
         Box::new(LinUcb::new(DIM, 1.0, 2.0)),
-        DurableOptions {
-            fsync: FsyncPolicy::Never, // demo: throughput over durability
-            ..DurableOptions::default()
-        },
+        // demo: throughput over durability
+        DurableOptions::new().with_fsync(FsyncPolicy::Never),
     )
     .expect("open durable service");
 

@@ -19,4 +19,11 @@ cargo build -q --examples
 echo "==> cargo bench --no-run"
 cargo bench -q --no-run
 
+# Smoke the scoring hot path (~2s): exercises the legacy-vs-batched
+# bit-equality assertion with a tiny time budget. Deliberately does NOT
+# set FASEA_BENCH_JSON — the committed BENCH_scoring.json numbers come
+# from a full-budget run, not this smoke.
+echo "==> scoring_hot_path smoke (FASEA_BENCH_MS=25)"
+FASEA_BENCH_MS=25 cargo bench -q -p fasea-bench --bench scoring_hot_path
+
 echo "All checks passed."

@@ -1,0 +1,161 @@
+//! The error umbrella: one enum spanning every layer's failure modes.
+//!
+//! Each workspace crate keeps its own precise error type — linalg
+//! factorisation failures, arrangement-protocol violations, snapshot
+//! decoding, durable-store I/O, service protocol breaches, client
+//! transport faults — but application code driving the facade usually
+//! wants a single `Result<_, FaseaError>` with `?` working across
+//! layers. [`FaseaError`] is that type: a `From` impl per layer error,
+//! `Display` that prefixes the layer, and `std::error::Error::source`
+//! threading to the underlying error where one exists.
+//!
+//! ```
+//! use fasea::error::FaseaError;
+//!
+//! fn fails() -> Result<(), FaseaError> {
+//!     // A non-SPD matrix cannot be Cholesky-factored.
+//!     let m = fasea::linalg::Matrix::from_rows(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
+//!     fasea::linalg::Cholesky::factor(&m)?; // LinalgError -> FaseaError via ?
+//!     Ok(())
+//! }
+//! assert!(matches!(fails(), Err(FaseaError::Linalg(_))));
+//! ```
+
+use std::fmt;
+
+/// Any error the FASEA stack can surface, by layer of origin.
+///
+/// Marked `#[non_exhaustive]`: new layers can add variants without a
+/// breaking release, so downstream `match`es need a `_` arm.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum FaseaError {
+    /// A numerical kernel failed (`fasea-linalg`): non-SPD Cholesky,
+    /// dimension mismatch, singular Sherman–Morrison update, …
+    Linalg(fasea_linalg::LinalgError),
+    /// A proposed arrangement violates Definition 3 (`fasea-core`).
+    Arrangement(fasea_core::ArrangementError),
+    /// A policy-state snapshot would not decode or restore
+    /// (`fasea-bandit`).
+    Snapshot(fasea_bandit::SnapshotError),
+    /// The durable store failed: I/O, corruption, foreign log
+    /// (`fasea-store`).
+    Store(fasea_store::StoreError),
+    /// The arrangement service rejected a call or recovery diverged
+    /// (`fasea-sim`).
+    Service(fasea_sim::ServiceError),
+    /// The blocking TCP client failed (`fasea-serve`).
+    Client(fasea_serve::ClientError),
+}
+
+impl fmt::Display for FaseaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaseaError::Linalg(e) => write!(f, "linalg: {e}"),
+            FaseaError::Arrangement(e) => write!(f, "arrangement: {e}"),
+            FaseaError::Snapshot(e) => write!(f, "snapshot: {e}"),
+            FaseaError::Store(e) => write!(f, "store: {e}"),
+            FaseaError::Service(e) => write!(f, "service: {e}"),
+            FaseaError::Client(e) => write!(f, "client: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FaseaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FaseaError::Linalg(e) => Some(e),
+            FaseaError::Arrangement(e) => Some(e),
+            FaseaError::Snapshot(e) => Some(e),
+            FaseaError::Store(e) => Some(e),
+            FaseaError::Service(e) => Some(e),
+            FaseaError::Client(e) => Some(e),
+        }
+    }
+}
+
+impl From<fasea_linalg::LinalgError> for FaseaError {
+    fn from(e: fasea_linalg::LinalgError) -> Self {
+        FaseaError::Linalg(e)
+    }
+}
+
+impl From<fasea_core::ArrangementError> for FaseaError {
+    fn from(e: fasea_core::ArrangementError) -> Self {
+        FaseaError::Arrangement(e)
+    }
+}
+
+impl From<fasea_bandit::SnapshotError> for FaseaError {
+    fn from(e: fasea_bandit::SnapshotError) -> Self {
+        FaseaError::Snapshot(e)
+    }
+}
+
+impl From<fasea_store::StoreError> for FaseaError {
+    fn from(e: fasea_store::StoreError) -> Self {
+        FaseaError::Store(e)
+    }
+}
+
+impl From<fasea_sim::ServiceError> for FaseaError {
+    fn from(e: fasea_sim::ServiceError) -> Self {
+        FaseaError::Service(e)
+    }
+}
+
+impl From<fasea_serve::ClientError> for FaseaError {
+    fn from(e: fasea_serve::ClientError) -> Self {
+        FaseaError::Client(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn every_layer_converts_and_displays_with_prefix() {
+        let cases: Vec<(FaseaError, &str)> = vec![
+            (fasea_linalg::LinalgError::NonFinite.into(), "linalg: "),
+            (
+                fasea_core::ArrangementError::EventFull(fasea_core::EventId(3)).into(),
+                "arrangement: ",
+            ),
+            (
+                fasea_bandit::SnapshotError::Corrupt("x").into(),
+                "snapshot: ",
+            ),
+            (
+                fasea_sim::ServiceError::NoPendingProposal.into(),
+                "service: ",
+            ),
+            (fasea_serve::ClientError::Malformed("y").into(), "client: "),
+        ];
+        for (err, prefix) in &cases {
+            let msg = err.to_string();
+            assert!(msg.starts_with(prefix), "{msg:?} missing {prefix:?}");
+            assert!(err.source().is_some(), "{msg:?} has no source");
+        }
+    }
+
+    #[test]
+    fn question_mark_propagates_across_layers() {
+        fn linalg_layer() -> Result<(), FaseaError> {
+            // Non-SPD matrix: Cholesky must fail.
+            let m = fasea_linalg::Matrix::from_rows(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
+            fasea_linalg::Cholesky::factor(&m)?;
+            Ok(())
+        }
+        fn service_layer() -> Result<(), FaseaError> {
+            let instance = fasea_core::ProblemInstance::basic(2, 2);
+            let policy = Box::new(fasea_bandit::LinUcb::new(2, 1.0, 2.0));
+            let mut svc = fasea_sim::ArrangementService::new(instance, policy);
+            svc.feedback(&[true])?; // no pending proposal
+            Ok(())
+        }
+        assert!(matches!(linalg_layer(), Err(FaseaError::Linalg(_))));
+        assert!(matches!(service_layer(), Err(FaseaError::Service(_))));
+    }
+}

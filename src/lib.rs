@@ -73,6 +73,9 @@ pub use fasea_serve as serve;
 pub use fasea_sim::{ArrangementService, DurableArrangementService, DurableOptions, ServiceError};
 pub use fasea_store::FsyncPolicy;
 
+pub mod error;
+pub use error::FaseaError;
+
 /// Statistics substrate (re-export of `fasea-stats`).
 pub use fasea_stats as stats;
 

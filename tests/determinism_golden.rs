@@ -29,13 +29,7 @@ fn golden_run() -> Vec<(String, u64)> {
         Box::new(Exploit::new(6, 1.0)),
         Box::new(RandomPolicy::new(13)),
     ];
-    let cfg = RunConfig {
-        horizon,
-        checkpoints: vec![horizon],
-        track_kendall: false,
-        measure_time: false,
-        feedback_seed: 0xFEED,
-    };
+    let cfg = RunConfig::new(horizon).with_feedback_seed(0xFEED);
     let result = run_simulation(&workload, &mut policies, &cfg);
     let mut rows: Vec<(String, u64)> = result
         .policies

@@ -26,13 +26,11 @@ fn full_pipeline_produces_consistent_metrics() {
         ..Default::default()
     });
     let mut policies = paper_policies(6, 11);
-    let cfg = RunConfig {
-        horizon,
-        checkpoints: paper_checkpoints(horizon),
-        track_kendall: true,
-        measure_time: true,
-        feedback_seed: 55,
-    };
+    let cfg = RunConfig::new(horizon)
+        .with_checkpoints(paper_checkpoints(horizon))
+        .with_kendall()
+        .with_timing(true)
+        .with_feedback_seed(55);
     let result = run_simulation(&workload, &mut policies, &cfg);
 
     for p in result.policies.iter().chain([&result.reference]) {
@@ -173,13 +171,7 @@ fn common_random_numbers_make_runs_reproducible() {
         let workload = SyntheticWorkload::generate(config.clone());
         let mut policies: Vec<Box<dyn Policy>> =
             vec![Box::new(EpsilonGreedy::new(4, 1.0, 0.2, 77))];
-        let cfg = RunConfig {
-            horizon: 400,
-            checkpoints: vec![400],
-            track_kendall: false,
-            measure_time: false,
-            feedback_seed: seed,
-        };
+        let cfg = RunConfig::new(400).with_feedback_seed(seed);
         run_simulation(&workload, &mut policies, &cfg).policies[0]
             .accounting
             .total_rewards()

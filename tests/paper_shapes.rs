@@ -58,13 +58,10 @@ fn kendall_convergence_shapes() {
         Box::new(ThompsonSampling::new(8, 1.0, 0.1, 2)),
         Box::new(RandomPolicy::new(3)),
     ];
-    let cfg = RunConfig {
-        horizon,
-        checkpoints: vec![2500, 2600, 2700, 2800, 2900, 3000],
-        track_kendall: true,
-        measure_time: false,
-        feedback_seed: 77,
-    };
+    let cfg = RunConfig::new(horizon)
+        .with_checkpoints(vec![2500, 2600, 2700, 2800, 2900, 3000])
+        .with_kendall()
+        .with_feedback_seed(77);
     let result = run_simulation(&workload, &mut policies, &cfg);
     let avg_tau = |i: usize| -> f64 {
         let cps = &result.policies[i].checkpoints;

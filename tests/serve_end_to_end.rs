@@ -42,10 +42,7 @@ fn open_service(dir: &std::path::Path) -> DurableArrangementService {
         dir,
         spec.workload().instance,
         spec.policy().unwrap(),
-        DurableOptions {
-            fsync: FsyncPolicy::Never,
-            ..DurableOptions::default()
-        },
+        DurableOptions::new().with_fsync(FsyncPolicy::Never),
     )
     .unwrap()
 }

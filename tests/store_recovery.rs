@@ -120,12 +120,11 @@ fn kill_at_every_record_boundary_recovers_exactly() {
     const ROUNDS: u64 = 500;
     let ref_dir = tmp("kill-ref");
     let _ = fs::remove_dir_all(&ref_dir);
-    let opts = DurableOptions {
-        // One segment so the whole history is a single kill target.
-        segment_bytes: u64::MAX,
-        fsync: FsyncPolicy::Never,
-        snapshots_kept: 1,
-    };
+    // One segment so the whole history is a single kill target.
+    let opts = DurableOptions::new()
+        .with_segment_bytes(u64::MAX)
+        .with_fsync(FsyncPolicy::Never)
+        .with_snapshots_kept(1);
 
     // Reference run, capturing the expected state after the k-th record
     // (k = 0 is the freshly-opened service; odd k ends mid-round).
@@ -204,11 +203,10 @@ fn fault_matrix_torn_writes_bit_flips_and_garbage() {
     const ROUNDS: u64 = 40;
     let ref_dir = tmp("fault-ref");
     let _ = fs::remove_dir_all(&ref_dir);
-    let opts = DurableOptions {
-        segment_bytes: u64::MAX,
-        fsync: FsyncPolicy::Never,
-        snapshots_kept: 1,
-    };
+    let opts = DurableOptions::new()
+        .with_segment_bytes(u64::MAX)
+        .with_fsync(FsyncPolicy::Never)
+        .with_snapshots_kept(1);
     {
         let mut svc =
             DurableArrangementService::open(&ref_dir, instance(), policy(), opts).unwrap();
@@ -289,11 +287,10 @@ fn corruption_before_acknowledged_history_is_rejected() {
     // refusal, not a silent truncation that forks history.
     let dir = tmp("nonfinal");
     let _ = fs::remove_dir_all(&dir);
-    let opts = DurableOptions {
-        segment_bytes: 2048,
-        fsync: FsyncPolicy::Never,
-        snapshots_kept: 1,
-    };
+    let opts = DurableOptions::new()
+        .with_segment_bytes(2048)
+        .with_fsync(FsyncPolicy::Never)
+        .with_snapshots_kept(1);
     {
         let mut svc = DurableArrangementService::open(&dir, instance(), policy(), opts).unwrap();
         run_rounds(&mut svc, 60);
@@ -328,11 +325,10 @@ fn golden_crashed_run_matches_uninterrupted_run_exactly() {
             svc.snapshot().unwrap();
         }
     };
-    let opts = DurableOptions {
-        segment_bytes: 8192,
-        fsync: FsyncPolicy::EveryN(8),
-        snapshots_kept: 2,
-    };
+    let opts = DurableOptions::new()
+        .with_segment_bytes(8192)
+        .with_fsync(FsyncPolicy::EveryN(8))
+        .with_snapshots_kept(2);
 
     // Uninterrupted reference.
     let dir_a = tmp("golden-a");
