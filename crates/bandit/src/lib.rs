@@ -60,6 +60,7 @@ mod opt;
 mod oracle;
 mod policy;
 mod random;
+mod score_pool;
 mod snapshot;
 mod static_score;
 mod ts;
@@ -74,6 +75,7 @@ pub use opt::Opt;
 pub use oracle::{oracle_exhaustive, oracle_greedy, oracle_greedy_into, positive_score_sum};
 pub use policy::{Policy, SelectionView};
 pub use random::RandomPolicy;
+pub use score_pool::{live_score_workers, ScorePool, SCORE_CHUNK};
 pub use snapshot::{restore_estimator, save_estimator, SnapshotError, MAGIC as SNAPSHOT_MAGIC};
 pub use static_score::StaticScorePolicy;
 pub use ts::ThompsonSampling;

@@ -1,5 +1,6 @@
 //! Oracle-Greedy (Algorithm 2) and an exhaustive reference oracle.
 
+use crate::score_pool::{ScorePool, ShardWriter, SCORE_CHUNK};
 use fasea_core::{Arrangement, ConflictGraph, EventId};
 
 /// Algorithm 2 of the paper: visit events in non-increasing order of
@@ -105,16 +106,7 @@ pub fn oracle_greedy_into(
     // pairwise fallback the sort comparator uses — but, as with the
     // old full sort, the overall ranking under NaN is unspecified.
     // Arrangements from NaN scores are not meaningful either way.)
-    let ranks_before = |a: u32, b: u32| -> bool {
-        match scores[a as usize].partial_cmp(&scores[b as usize]) {
-            Some(std::cmp::Ordering::Greater) => true,
-            Some(std::cmp::Ordering::Less) => false,
-            _ => a < b,
-        }
-    };
-    // Past this prefix size the O(k) insertion shifts stop paying for
-    // themselves and one full sort is cheaper.
-    const FULL_SORT_CUTOFF: usize = 2048;
+    //
     // Enough slack that one pass suffices unless conflicts are dense
     // around the top of the ranking.
     let mut k = (user_capacity as usize).saturating_mul(4).max(32).min(n);
@@ -125,48 +117,194 @@ pub fn oracle_greedy_into(
             order.clear();
             for v in 0..n as u32 {
                 if order.len() == k {
-                    if !ranks_before(v, order[k - 1]) {
+                    if !ranks_before(scores, v, order[k - 1]) {
                         continue;
                     }
                     order.pop();
                 }
-                let pos = order.partition_point(|&o| ranks_before(o, v));
+                let pos = order.partition_point(|&o| ranks_before(scores, o, v));
                 order.insert(pos, v);
             }
         } else {
             k = n;
+            full_sort(scores, n, order);
+        }
+
+        greedy_scan(order, conflicts, remaining, user_capacity, mask, out);
+        if out.len() >= user_capacity as usize || k == n {
+            return;
+        }
+        // The prefix ran dry before the arrangement filled: rank a
+        // larger prefix and redo the (cheap) greedy scan from scratch.
+        k = k.saturating_mul(4).min(n);
+    }
+}
+
+/// Past this prefix size the O(k) insertion shifts stop paying for
+/// themselves and one full sort is cheaper.
+const FULL_SORT_CUTOFF: usize = 2048;
+
+/// The oracle's total visiting order: score descending, index ascending
+/// on ties (or on NaN-incomparable pairs — see the comment in
+/// [`oracle_greedy_into`]).
+#[inline]
+fn ranks_before(scores: &[f64], a: u32, b: u32) -> bool {
+    match scores[a as usize].partial_cmp(&scores[b as usize]) {
+        Some(std::cmp::Ordering::Greater) => true,
+        Some(std::cmp::Ordering::Less) => false,
+        _ => a < b,
+    }
+}
+
+/// Ranks all `n` events into `order` under the same total order as
+/// [`ranks_before`] (for finite scores).
+fn full_sort(scores: &[f64], n: usize, order: &mut Vec<u32>) {
+    order.clear();
+    order.extend(0..n as u32);
+    order.sort_unstable_by(|&a, &b| {
+        scores[b as usize]
+            .partial_cmp(&scores[a as usize])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+}
+
+/// The Algorithm 2 greedy pass over a ranked candidate prefix: visit in
+/// order, skip full or conflicting events, stop at `c_u`. Shared by the
+/// serial and pooled oracles so their scans are the same code.
+fn greedy_scan(
+    order: &[u32],
+    conflicts: &ConflictGraph,
+    remaining: &[u32],
+    user_capacity: u32,
+    mask: &mut Vec<u64>,
+    out: &mut Arrangement,
+) {
+    out.clear();
+    mask.clear();
+    mask.resize(conflicts.mask_words(), 0);
+    for &vi in order.iter() {
+        if out.len() >= user_capacity as usize {
+            break;
+        }
+        let v = EventId(vi as usize);
+        if remaining[vi as usize] == 0 {
+            continue;
+        }
+        if conflicts.conflicts_with_mask(v, mask) {
+            continue;
+        }
+        conflicts.mark_mask(v, mask);
+        out.push(v);
+    }
+}
+
+/// [`oracle_greedy_into`] with the candidate ranking sharded over a
+/// [`ScorePool`] — **bit-identical arrangements** to the serial oracle
+/// for finite scores.
+///
+/// Each pool chunk runs the same bounded-insertion top-k the serial
+/// path uses, restricted to its own `SCORE_CHUNK`-sized event range,
+/// into its own fixed-size slot of `shard_order` (so shards never
+/// contend). The caller then merges serially: concatenate every
+/// shard's candidates, sort them under the *same* total order
+/// ([`ranks_before`]: score descending, index ascending), truncate to
+/// `k`.
+///
+/// Why the merge equals the serial top-k: the index tiebreak makes the
+/// ranking a strict total order, so the global top-`k` is a unique set;
+/// every global top-`k` member is also in the top-`k` of its own shard
+/// (it beats everything it beats globally), hence the union of shard
+/// candidates contains the global top-`k`, and sorting + truncating
+/// recovers exactly it, in exactly the serial visiting order. The
+/// retry-on-conflict widening (×4, then the serial full-sort fallback
+/// past [`FULL_SORT_CUTOFF`]) and the greedy scan itself are the same
+/// code as the serial oracle.
+///
+/// With NaN scores no total order exists and the shard decomposition —
+/// like the serial bounded-insertion pass itself — has unspecified
+/// ranking; arrangements from NaN scores are not meaningful on either
+/// path.
+///
+/// `shard_order` / `shard_counts` are reused scratch owned by
+/// [`crate::ScoreWorkspace`]; once grown to the instance size the call
+/// allocates nothing.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn oracle_greedy_pooled_into(
+    scores: &[f64],
+    conflicts: &ConflictGraph,
+    remaining: &[u32],
+    user_capacity: u32,
+    order: &mut Vec<u32>,
+    mask: &mut Vec<u64>,
+    shard_order: &mut Vec<u32>,
+    shard_counts: &mut Vec<u32>,
+    pool: &ScorePool,
+    out: &mut Arrangement,
+) {
+    let n = scores.len();
+    assert_eq!(n, conflicts.num_events(), "oracle_greedy: |V| mismatch");
+    assert_eq!(n, remaining.len(), "oracle_greedy: capacity slice mismatch");
+    out.clear();
+    if user_capacity == 0 || n == 0 {
+        return;
+    }
+    let num_chunks = n.div_ceil(SCORE_CHUNK);
+    let mut k = (user_capacity as usize).saturating_mul(4).max(32).min(n);
+    loop {
+        if k < n && k <= FULL_SORT_CUTOFF {
+            // Parallel per-shard bounded top-k into disjoint fixed
+            // slots, then a serial same-order merge.
+            shard_order.resize(num_chunks * k, 0);
+            shard_counts.resize(num_chunks, 0);
+            {
+                let order_writer = ShardWriter::new(shard_order);
+                let count_writer = ShardWriter::new(shard_counts);
+                pool.run(n, SCORE_CHUNK, &|c, range| {
+                    // SAFETY: chunk indices are claimed exactly once,
+                    // so slot `c` and count `c` are touched by exactly
+                    // one worker.
+                    let slot = unsafe { order_writer.slice(c * k..(c + 1) * k) };
+                    let count = unsafe { count_writer.slice(c..c + 1) };
+                    let mut len = 0usize;
+                    for v in range.start as u32..range.end as u32 {
+                        if len == k {
+                            if !ranks_before(scores, v, slot[k - 1]) {
+                                continue;
+                            }
+                            len -= 1;
+                        }
+                        let pos = slot[..len].partition_point(|&o| ranks_before(scores, o, v));
+                        slot.copy_within(pos..len, pos + 1);
+                        slot[pos] = v;
+                        len += 1;
+                    }
+                    count[0] = len as u32;
+                });
+            }
             order.clear();
-            order.extend(0..n as u32);
+            for c in 0..num_chunks {
+                let live = shard_counts[c] as usize;
+                order.extend_from_slice(&shard_order[c * k..c * k + live]);
+            }
             order.sort_unstable_by(|&a, &b| {
                 scores[b as usize]
                     .partial_cmp(&scores[a as usize])
                     .unwrap_or(std::cmp::Ordering::Equal)
                     .then(a.cmp(&b))
             });
+            order.truncate(k);
+        } else {
+            // Full ranking: the serial fallback (rare; only when the
+            // widened prefix outgrew the cutoff without filling `c_u`).
+            k = n;
+            full_sort(scores, n, order);
         }
 
-        out.clear();
-        mask.clear();
-        mask.resize(conflicts.mask_words(), 0);
-        for &vi in order.iter() {
-            if out.len() >= user_capacity as usize {
-                break;
-            }
-            let v = EventId(vi as usize);
-            if remaining[vi as usize] == 0 {
-                continue;
-            }
-            if conflicts.conflicts_with_mask(v, mask) {
-                continue;
-            }
-            conflicts.mark_mask(v, mask);
-            out.push(v);
-        }
+        greedy_scan(order, conflicts, remaining, user_capacity, mask, out);
         if out.len() >= user_capacity as usize || k == n {
             return;
         }
-        // The prefix ran dry before the arrangement filled: rank a
-        // larger prefix and redo the (cheap) greedy scan from scratch.
         k = k.saturating_mul(4).min(n);
     }
 }
@@ -443,6 +581,78 @@ mod tests {
         let expected: Vec<usize> = (150..155).collect();
         assert_eq!(ids(&out), expected);
         assert_eq!(out, oracle_greedy(&scores, &g, &remaining, cu));
+    }
+
+    /// Drives both oracle forms over the same instance and asserts
+    /// equal arrangements.
+    fn assert_pooled_matches_serial(
+        scores: &[f64],
+        conflicts: &ConflictGraph,
+        remaining: &[u32],
+        cu: u32,
+        pool: &ScorePool,
+    ) {
+        let serial = oracle_greedy(scores, conflicts, remaining, cu);
+        let mut order = Vec::new();
+        let mut mask = Vec::new();
+        let mut shard_order = Vec::new();
+        let mut shard_counts = Vec::new();
+        let mut out = Arrangement::empty();
+        oracle_greedy_pooled_into(
+            scores,
+            conflicts,
+            remaining,
+            cu,
+            &mut order,
+            &mut mask,
+            &mut shard_order,
+            &mut shard_counts,
+            pool,
+            &mut out,
+        );
+        assert_eq!(out, serial, "pooled oracle diverged (cu={cu})");
+    }
+
+    #[test]
+    fn pooled_matches_serial_across_shapes() {
+        let pool = ScorePool::new(3);
+        // Multi-chunk with a ragged tail, pseudo-random scores, some
+        // duplicate values (tiebreak exercised), sparse conflicts.
+        let n = 2 * SCORE_CHUNK + 77;
+        let scores: Vec<f64> = (0..n)
+            .map(|i| (((i as u64).wrapping_mul(2654435761) >> 7) % 1000) as f64 / 10.0)
+            .collect();
+        let pairs: Vec<(usize, usize)> = (0..n / 10).map(|i| (i, i + n / 2)).collect();
+        let g = ConflictGraph::from_pairs(n, &pairs);
+        let remaining: Vec<u32> = (0..n).map(|i| (i % 3) as u32).collect();
+        for cu in [0u32, 1, 5, 64] {
+            assert_pooled_matches_serial(&scores, &g, &remaining, cu, &pool);
+        }
+    }
+
+    #[test]
+    fn pooled_matches_serial_small_and_empty() {
+        let pool = ScorePool::new(4);
+        let g = ConflictGraph::from_pairs(4, &[(0, 1)]);
+        assert_pooled_matches_serial(&[1.10, 0.49, 0.82, 2.00], &g, &[1; 4], 2, &pool);
+        let g0 = ConflictGraph::new(0);
+        assert_pooled_matches_serial(&[], &g0, &[], 3, &pool);
+    }
+
+    #[test]
+    fn pooled_matches_serial_through_retry_widening() {
+        // The dry-prefix instances that force the ×4 widening and the
+        // full-sort fallback, pushed past one chunk.
+        let pool = ScorePool::new(2);
+        let n = SCORE_CHUNK + 300;
+        let scores: Vec<f64> = (0..n).map(|i| (n - i) as f64).collect();
+        // All but the tail full: the first prefixes are dry.
+        let mut remaining = vec![0u32; n];
+        for r in remaining.iter_mut().skip(n - 50) {
+            *r = 10;
+        }
+        let g = ConflictGraph::new(n);
+        assert_pooled_matches_serial(&scores, &g, &remaining, 5, &pool);
     }
 
     #[test]

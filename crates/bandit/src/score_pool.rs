@@ -1,0 +1,520 @@
+//! `ScorePool` — the deterministic intra-round parallel scoring engine.
+//!
+//! One FASEA round scores all `|V|` events for the arriving user and
+//! then runs Oracle-Greedy. The scores are independent given the shared
+//! `Y⁻¹`/`θ̂` state, so the scan is embarrassingly parallel — but the
+//! golden-determinism, CRN, and WAL-replay machinery all require the
+//! parallel scores to be **bit-identical** to the serial path. The pool
+//! guarantees that by construction:
+//!
+//! * The event range is cut into fixed-size chunks of [`SCORE_CHUNK`]
+//!   events. Chunk boundaries depend only on `|V|` and the chunk size —
+//!   never on the thread count or on scheduling — and `SCORE_CHUNK` is a
+//!   multiple of [`fasea_linalg::QF_LANES`], so every chunk starts a
+//!   lane group exactly where the serial kernel would. Running the
+//!   existing `_into` kernels on each chunk therefore reproduces the
+//!   serial bits no matter which worker runs which chunk, or in what
+//!   order.
+//! * Each chunk writes a **disjoint** sub-slice of the caller's output
+//!   buffers ([`ShardWriter`]), so there is no reduction whose order
+//!   could vary; merges (the oracle's per-shard top-k) happen serially
+//!   on the caller thread afterwards.
+//! * RNG-consuming score paths (TS posterior draws, eGreedy coins and
+//!   exploration priorities, Random priorities) never enter the pool —
+//!   they stay on the caller thread in the exact pre-parallel draw
+//!   order.
+//!
+//! The pool is persistent: `threads − 1` std workers are spawned once
+//! and parked on a condvar between rounds, so per-round dispatch costs
+//! two mutex acquisitions and no heap allocation (Linux mutexes and
+//! condvars are futex-based) — the zero-alloc steady state of the
+//! batched scoring path extends to the parallel path, which the
+//! counting-allocator test in `tests/alloc_free_parallel.rs` asserts.
+//! The caller participates in chunk execution, so `threads = 1` (or a
+//! pool that is simply absent) degrades to the serial path.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Events per parallel chunk. A multiple of [`fasea_linalg::QF_LANES`]
+/// (so chunk starts coincide with serial lane-group starts — the
+/// bit-equality contract) that is large enough to amortise the claim
+/// atomics and small enough to load-balance `|V| = 100k` over 8 workers.
+pub const SCORE_CHUNK: usize = 2048;
+
+const _: () = assert!(
+    SCORE_CHUNK.is_multiple_of(fasea_linalg::QF_LANES),
+    "SCORE_CHUNK must be a multiple of the kernel lane width"
+);
+
+/// Live pool workers across the whole process — the serving layer's
+/// drain test asserts this returns to zero after a graceful shutdown,
+/// i.e. that dropping the last service handle joined every worker.
+static LIVE_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of `ScorePool` worker threads currently alive in this
+/// process (excludes callers, which only borrow into the pool during
+/// [`ScorePool::run`]).
+pub fn live_score_workers() -> usize {
+    LIVE_WORKERS.load(Ordering::SeqCst)
+}
+
+/// A type-erased borrow of the per-chunk closure. Sound because the
+/// pointer is only dereferenced by a worker holding a validly claimed
+/// chunk of the *current* epoch, and [`ScorePool::run`] does not return
+/// (ending the closure's lifetime) until every chunk of its epoch has
+/// completed — stale wake-ups fail the epoch check in `claim` and never
+/// touch the pointer.
+#[derive(Copy, Clone)]
+struct RawJob(*const (dyn Fn(usize, Range<usize>) + Sync + 'static));
+
+// SAFETY: the pointee is `Sync` (shared across workers by reference)
+// and the lifetime discipline above keeps it alive for every deref.
+unsafe impl Send for RawJob {}
+
+struct Gate {
+    /// Monotone dispatch counter; workers run a job at most once.
+    epoch: u64,
+    /// The current job + its geometry; overwritten by each dispatch.
+    job: Option<(RawJob, usize, usize)>, // (f, n, chunk)
+    /// Last epoch whose chunks have all completed.
+    finished_epoch: u64,
+    shutdown: bool,
+}
+
+struct Shared {
+    gate: Mutex<Gate>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+    /// Packed `(epoch as u32) << 32 | next_chunk`: claims are CAS-gated
+    /// on the epoch so a worker that slept through a whole round can
+    /// never steal a chunk index from a later dispatch.
+    claim: AtomicU64,
+    /// Chunks of the current epoch not yet completed; the worker that
+    /// takes it to zero signals `done_cv`.
+    pending: AtomicUsize,
+    /// Set if a per-chunk closure panicked; the caller re-raises.
+    panicked: AtomicBool,
+    /// Workers that have completed OS-level thread startup and entered
+    /// the dispatch loop (see [`ScorePool::wait_ready`]).
+    started: AtomicUsize,
+}
+
+impl Shared {
+    /// Claims the next chunk index of `epoch32`, or `None` if the pool
+    /// has moved on to a different epoch.
+    fn claim_chunk(&self, epoch32: u32) -> Option<usize> {
+        let mut cur = self.claim.load(Ordering::Acquire);
+        loop {
+            if (cur >> 32) as u32 != epoch32 {
+                return None;
+            }
+            match self.claim.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some((cur & u32::MAX as u64) as usize),
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Runs chunks of `epoch` until the claim counter passes the end.
+    /// Both workers and the dispatching caller execute this.
+    fn run_chunks(&self, job: RawJob, n: usize, chunk: usize, epoch: u64) {
+        let num_chunks = n.div_ceil(chunk);
+        let epoch32 = epoch as u32;
+        while let Some(c) = self.claim_chunk(epoch32) {
+            if c >= num_chunks {
+                return;
+            }
+            let start = c * chunk;
+            let end = (start + chunk).min(n);
+            // SAFETY: chunk `c` of this epoch was claimed exactly once
+            // (CAS above), so the job is still borrowed by the blocked
+            // `run` call; see `RawJob`.
+            let f = unsafe { &*job.0 };
+            let outcome =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(c, start..end)));
+            if outcome.is_err() {
+                self.panicked.store(true, Ordering::Release);
+            }
+            if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                let mut gate = self.gate.lock().expect("score pool gate poisoned");
+                gate.finished_epoch = epoch;
+                drop(gate);
+                self.done_cv.notify_all();
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    struct LiveGuard;
+    impl Drop for LiveGuard {
+        fn drop(&mut self) {
+            LIVE_WORKERS.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+    LIVE_WORKERS.fetch_add(1, Ordering::SeqCst);
+    let _guard = LiveGuard;
+    shared.started.fetch_add(1, Ordering::SeqCst);
+
+    let mut seen_epoch = 0u64;
+    loop {
+        let (job, n, chunk, epoch) = {
+            let mut gate = shared.gate.lock().expect("score pool gate poisoned");
+            loop {
+                if gate.shutdown {
+                    return;
+                }
+                if gate.epoch != seen_epoch {
+                    if let Some((job, n, chunk)) = gate.job {
+                        seen_epoch = gate.epoch;
+                        break (job, n, chunk, gate.epoch);
+                    }
+                }
+                gate = shared.work_cv.wait(gate).expect("score pool gate poisoned");
+            }
+        };
+        shared.run_chunks(job, n, chunk, epoch);
+    }
+}
+
+/// A persistent worker pool for deterministic intra-round parallel
+/// scoring (see the module docs for the determinism argument).
+///
+/// The pool travels inside [`crate::ScoreWorkspace`] as an
+/// `Option<Arc<ScorePool>>`, so one pool is shared by every policy of a
+/// run and survives the workspace round-trip through
+/// [`crate::Policy::select_into`]. Dropping the last `Arc` signals and
+/// joins all workers — graceful service drains lean on this (asserted
+/// via [`live_score_workers`]).
+pub struct ScorePool {
+    shared: Arc<Shared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    /// Caller-visible parallelism: workers + the participating caller.
+    threads: usize,
+}
+
+impl ScorePool {
+    /// Creates a pool with `threads` total participants: `threads − 1`
+    /// parked worker threads plus the caller, which executes chunks
+    /// itself during [`ScorePool::run`]. `threads ≤ 1` spawns no
+    /// workers (the pool degrades to the serial path).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            gate: Mutex::new(Gate {
+                epoch: 0,
+                job: None,
+                finished_epoch: 0,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            claim: AtomicU64::new(0),
+            pending: AtomicUsize::new(0),
+            panicked: AtomicBool::new(false),
+            started: AtomicUsize::new(0),
+        });
+        let handles = (0..threads - 1)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("fasea-score-{i}"))
+                    .spawn(move || worker_loop(shared))
+                    .expect("spawn score pool worker")
+            })
+            .collect();
+        ScorePool {
+            shared,
+            handles,
+            threads,
+        }
+    }
+
+    /// The conventional constructor for the `--score-threads N` knob:
+    /// `None` for `threads ≤ 1` (serial scoring, today's default),
+    /// otherwise a shared pool ready to install into policy workspaces.
+    pub fn shared(threads: usize) -> Option<Arc<ScorePool>> {
+        (threads > 1).then(|| Arc::new(ScorePool::new(threads)))
+    }
+
+    /// Total participants (workers + caller) this pool was sized for.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Blocks (yielding) until every worker has finished OS-level
+    /// thread startup and entered the dispatch loop.
+    ///
+    /// Correctness never requires this — [`ScorePool::run`] completes
+    /// all chunks regardless, with the caller picking up whatever
+    /// still-starting workers haven't claimed. It matters for
+    /// *measurement*: thread startup allocates (libstd's stack-overflow
+    /// handler records the thread name), so the zero-allocation tests
+    /// and benches call this once after construction to keep startup
+    /// out of the measured region.
+    pub fn wait_ready(&self) {
+        while self.shared.started.load(Ordering::SeqCst) < self.handles.len() {
+            std::thread::yield_now();
+        }
+    }
+
+    /// Runs `f(chunk_index, event_range)` once for every
+    /// `chunk_size`-sized chunk of `0..n`, spread over the workers and
+    /// the calling thread, and returns when **all** chunks completed.
+    /// Chunk geometry is a pure function of `(n, chunk_size)` — workers
+    /// race only for *which* chunk they execute, never for its bounds.
+    ///
+    /// Steady-state allocation-free: dispatch uses the pre-spawned
+    /// workers, a condvar, and atomics only.
+    ///
+    /// Calls are serialized internally; `f` must be `Sync` because
+    /// multiple threads execute it concurrently on disjoint chunks.
+    ///
+    /// # Panics
+    /// Re-raises (as a panic on the caller) if any per-chunk closure
+    /// panicked.
+    pub fn run(&self, n: usize, chunk_size: usize, f: &(dyn Fn(usize, Range<usize>) + Sync)) {
+        assert!(chunk_size > 0, "ScorePool::run: chunk_size must be > 0");
+        if n == 0 {
+            return;
+        }
+        let num_chunks = n.div_ceil(chunk_size);
+        // SAFETY (lifetime erasure): `run` blocks until every chunk of
+        // this epoch completes, so `f` outlives all dereferences; the
+        // epoch check in `claim_chunk` stops stale workers from
+        // touching the pointer afterwards.
+        let job = RawJob(unsafe {
+            std::mem::transmute::<
+                *const (dyn Fn(usize, Range<usize>) + Sync),
+                *const (dyn Fn(usize, Range<usize>) + Sync + 'static),
+            >(f as *const _)
+        });
+        let epoch = {
+            let mut gate = self.shared.gate.lock().expect("score pool gate poisoned");
+            gate.epoch += 1;
+            let epoch = gate.epoch;
+            gate.job = Some((job, n, chunk_size));
+            self.shared.pending.store(num_chunks, Ordering::Release);
+            self.shared
+                .claim
+                .store((epoch as u32 as u64) << 32, Ordering::Release);
+            self.shared.work_cv.notify_all();
+            epoch
+        };
+        // The caller is a full participant.
+        self.shared.run_chunks(job, n, chunk_size, epoch);
+        let mut gate = self.shared.gate.lock().expect("score pool gate poisoned");
+        while gate.finished_epoch < epoch {
+            gate = self
+                .shared
+                .done_cv
+                .wait(gate)
+                .expect("score pool gate poisoned");
+        }
+        // Nobody dereferences the erased pointer past this point.
+        gate.job = None;
+        drop(gate);
+        if self.shared.panicked.swap(false, Ordering::AcqRel) {
+            panic!("ScorePool: a per-chunk scoring closure panicked");
+        }
+    }
+}
+
+impl Drop for ScorePool {
+    fn drop(&mut self) {
+        {
+            let mut gate = match self.shared.gate.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            gate.shutdown = true;
+        }
+        self.shared.work_cv.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for ScorePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScorePool")
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+/// Hands each pool chunk a mutable view of its own sub-range of one
+/// output buffer, bypassing the borrow checker for the (provably
+/// disjoint) concurrent writes.
+///
+/// Soundness contract: concurrent callers must pass **disjoint** ranges
+/// — which the pool guarantees, because every chunk index is claimed by
+/// exactly one worker and chunk geometry is fixed — and the buffer must
+/// outlive the [`ScorePool::run`] call, which borrows the writer.
+pub(crate) struct ShardWriter<T> {
+    ptr: *mut T,
+    len: usize,
+}
+
+// SAFETY: the writer only exposes raw provenance; disjointness of the
+// actual accesses is the contract documented above.
+unsafe impl<T: Send> Send for ShardWriter<T> {}
+unsafe impl<T: Send> Sync for ShardWriter<T> {}
+
+impl<T> ShardWriter<T> {
+    pub(crate) fn new(buf: &mut [T]) -> Self {
+        ShardWriter {
+            ptr: buf.as_mut_ptr(),
+            len: buf.len(),
+        }
+    }
+
+    /// The sub-slice for `range`.
+    ///
+    /// # Safety
+    /// `range` must lie within the original buffer and not overlap any
+    /// range given out to a concurrently running chunk.
+    #[allow(clippy::mut_from_ref)] // disjointness is the documented contract
+    pub(crate) unsafe fn slice(&self, range: Range<usize>) -> &mut [T] {
+        debug_assert!(range.start <= range.end && range.end <= self.len);
+        std::slice::from_raw_parts_mut(self.ptr.add(range.start), range.end - range.start)
+    }
+}
+
+/// The chunked form of the per-event dot-product score scan shared by
+/// Exploit, TS (after its serial posterior draw) and eGreedy's exploit
+/// branch: `scores[v] = ⟨x_v, theta⟩` for all events. Per-event
+/// arithmetic is untouched, so this is trivially bit-equal to the
+/// serial loop.
+pub(crate) fn dot_scores_pooled(
+    pool: &ScorePool,
+    contexts: &fasea_core::ContextMatrix,
+    theta: &[f64],
+    scores: &mut [f64],
+) {
+    let n = scores.len();
+    let scores_w = ShardWriter::new(scores);
+    pool.run(n, SCORE_CHUNK, &|_c, range| {
+        // SAFETY: pool chunk ranges are disjoint.
+        let s = unsafe { scores_w.slice(range.clone()) };
+        for (off, v) in range.enumerate() {
+            let x = contexts.context(fasea_core::EventId(v));
+            s[off] = fasea_linalg::dot_slices(x, theta);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_the_range_exactly_once() {
+        let pool = ScorePool::new(4);
+        let n = 3 * SCORE_CHUNK + 17; // ragged tail chunk
+        let mut hits = vec![0u8; n];
+        let writer = ShardWriter::new(&mut hits);
+        pool.run(n, SCORE_CHUNK, &|_c, range| {
+            // SAFETY: pool chunks are disjoint.
+            let slot = unsafe { writer.slice(range) };
+            for h in slot {
+                *h += 1;
+            }
+        });
+        assert!(hits.iter().all(|&h| h == 1), "a chunk ran 0 or 2 times");
+    }
+
+    #[test]
+    fn chunk_index_matches_range() {
+        let pool = ScorePool::new(3);
+        let n = 2 * SCORE_CHUNK + 5;
+        let seen = Mutex::new(Vec::new());
+        pool.run(n, SCORE_CHUNK, &|c, range| {
+            assert_eq!(range.start, c * SCORE_CHUNK);
+            assert_eq!(range.end, ((c + 1) * SCORE_CHUNK).min(n));
+            seen.lock().unwrap().push(c);
+        });
+        let mut seen = seen.into_inner().unwrap();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn reusable_across_rounds_and_sizes() {
+        let pool = ScorePool::new(2);
+        for round in 1..20usize {
+            let n = round * 37;
+            let total = AtomicUsize::new(0);
+            pool.run(n, 64, &|_c, range| {
+                total.fetch_add(range.len(), Ordering::Relaxed);
+            });
+            assert_eq!(total.load(Ordering::Relaxed), n);
+        }
+    }
+
+    #[test]
+    fn empty_range_is_a_noop() {
+        let pool = ScorePool::new(2);
+        pool.run(0, SCORE_CHUNK, &|_, _| panic!("must not run"));
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = ScorePool::new(1);
+        assert_eq!(pool.threads(), 1);
+        let total = AtomicUsize::new(0);
+        pool.run(100, 8, &|_c, r| {
+            total.fetch_add(r.len(), Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn shared_gates_on_thread_count() {
+        assert!(ScorePool::shared(0).is_none());
+        assert!(ScorePool::shared(1).is_none());
+        assert_eq!(ScorePool::shared(4).unwrap().threads(), 4);
+    }
+
+    #[test]
+    fn drop_joins_all_workers() {
+        let before = live_score_workers();
+        {
+            let pool = ScorePool::new(5);
+            assert_eq!(pool.threads(), 5);
+            // Workers may still be starting; run once to sync with them.
+            pool.run(1, 1, &|_, _| {});
+        }
+        // Drop joined the 4 workers: the live counter is back where it
+        // started (other tests may hold pools of their own, so compare
+        // relatively).
+        assert!(live_score_workers() <= before);
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let pool = ScorePool::new(2);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(4 * SCORE_CHUNK, SCORE_CHUNK, &|c, _| {
+                if c == 2 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(result.is_err(), "chunk panic must reach the caller");
+        // The pool survives and later rounds still work.
+        let total = AtomicUsize::new(0);
+        pool.run(10, 4, &|_c, r| {
+            total.fetch_add(r.len(), Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 10);
+    }
+}

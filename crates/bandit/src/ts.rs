@@ -99,10 +99,25 @@ impl Policy for ThompsonSampling {
             .expect("ThompsonSampling: Y must stay SPD");
         let theta_tilde =
             sample_gaussian_with_precision_factor(&theta_hat, q, &chol, &mut self.rng);
+        // The posterior draw above consumed its d Gaussians serially on
+        // this thread; only the deterministic dot scan fans out.
+        let pool = ws.score_pool().cloned();
         let scores = ws.scores_mut(n);
-        for (v, s) in scores.iter_mut().enumerate() {
-            let x = view.contexts.context(fasea_core::EventId(v));
-            *s = fasea_linalg::dot_slices(x, theta_tilde.as_slice());
+        match pool {
+            Some(pool) if pool.threads() > 1 => {
+                crate::score_pool::dot_scores_pooled(
+                    &pool,
+                    view.contexts,
+                    theta_tilde.as_slice(),
+                    scores,
+                );
+            }
+            _ => {
+                for (v, s) in scores.iter_mut().enumerate() {
+                    let x = view.contexts.context(fasea_core::EventId(v));
+                    *s = fasea_linalg::dot_slices(x, theta_tilde.as_slice());
+                }
+            }
         }
     }
 

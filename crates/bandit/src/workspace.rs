@@ -1,7 +1,8 @@
 //! Reusable per-policy scoring scratch for the batched selection path.
 
-use crate::SelectionView;
+use crate::{ScorePool, SelectionView};
 use fasea_core::Arrangement;
+use std::sync::Arc;
 
 /// Per-policy scratch for one scoring round: the score vector the
 /// arrangement oracle consumes, the UCB width buffer, and the oracle's
@@ -22,12 +23,40 @@ use fasea_core::Arrangement;
 /// and invalidated by `observe`. The workspace's `scores` are only
 /// meaningful between a `score_into` and the next `observe`; they are
 /// overwritten wholesale at the start of each round.
+///
+/// ## Slice-length invariant
+///
+/// Every buffer returned by [`ScoreWorkspace::scores_mut`] /
+/// [`ScoreWorkspace::scores_and_widths_mut`] has length **exactly**
+/// `num_events` — asserted once at slicing time. The parallel scoring
+/// paths depend on it: pool chunks write through raw sub-range views of
+/// these buffers, and disjointness of those views is only guaranteed
+/// when the backing slice spans precisely the event range being
+/// sharded.
+///
+/// ## Parallelism
+///
+/// The workspace optionally carries a shared [`ScorePool`]
+/// ([`ScoreWorkspace::set_score_pool`]). When present with more than
+/// one thread, policies fan the batched score scan out over the pool
+/// and [`ScoreWorkspace::arrange_into`] runs the sharded Oracle-Greedy
+/// ranking — both bit-identical to the serial path by the determinism
+/// argument in the `score_pool` module docs. The pool rides inside the
+/// workspace (rather than the policy or the view) so it survives the
+/// `mem::take` round-trip in [`crate::Policy::select_into`] and needs
+/// no `Policy` trait change.
 #[derive(Debug, Clone, Default)]
 pub struct ScoreWorkspace {
     scores: Vec<f64>,
     widths: Vec<f64>,
     order: Vec<u32>,
     mask: Vec<u64>,
+    /// Per-shard top-k candidate ids for the pooled oracle
+    /// (`num_chunks × k`, fixed-size slots).
+    shard_order: Vec<u32>,
+    /// Number of live candidates per shard slot.
+    shard_counts: Vec<u32>,
+    pool: Option<Arc<ScorePool>>,
     scored_once: bool,
 }
 
@@ -43,25 +72,52 @@ impl ScoreWorkspace {
             scores: Vec::with_capacity(num_events),
             widths: Vec::with_capacity(num_events),
             order: Vec::with_capacity(num_events),
-            mask: Vec::new(),
-            scored_once: false,
+            ..Self::default()
         }
     }
 
     /// Resizes the score buffer for `|V| = num_events` and returns it.
     /// Old contents are not cleared — every policy overwrites all `|V|`
     /// entries.
+    ///
+    /// Invariant (checked here, once, at slicing time): the returned
+    /// slice has length exactly `num_events`; parallel shard writers
+    /// derive their disjoint sub-ranges from this length.
     pub fn scores_mut(&mut self, num_events: usize) -> &mut [f64] {
         self.scores.resize(num_events, 0.0);
+        debug_assert_eq!(
+            self.scores.len(),
+            num_events,
+            "score buffer must span exactly the event range"
+        );
         &mut self.scores
     }
 
     /// Like [`ScoreWorkspace::scores_mut`] but also sizes and returns the
-    /// width buffer (UCB's batched `√(xᵀY⁻¹x)` lands here).
+    /// width buffer (UCB's batched `√(xᵀY⁻¹x)` lands here). Both slices
+    /// satisfy the `len == num_events` invariant of
+    /// [`ScoreWorkspace::scores_mut`].
     pub fn scores_and_widths_mut(&mut self, num_events: usize) -> (&mut [f64], &mut [f64]) {
         self.scores.resize(num_events, 0.0);
         self.widths.resize(num_events, 0.0);
+        debug_assert!(
+            self.scores.len() == num_events && self.widths.len() == num_events,
+            "score/width buffers must span exactly the event range"
+        );
         (&mut self.scores, &mut self.widths)
+    }
+
+    /// Installs (or removes, with `None`) the shared worker pool used
+    /// for intra-round parallel scoring. `None` — and any pool with
+    /// `threads() ≤ 1` — means the serial path.
+    pub fn set_score_pool(&mut self, pool: Option<Arc<ScorePool>>) {
+        self.pool = pool;
+    }
+
+    /// The installed scoring pool, if any. Policies clone the `Arc`
+    /// *before* borrowing score buffers so the workspace stays free.
+    pub fn score_pool(&self) -> Option<&Arc<ScorePool>> {
+        self.pool.as_ref()
     }
 
     /// The scores written by the most recent `score_into` round.
@@ -89,22 +145,42 @@ impl ScoreWorkspace {
     /// Runs Oracle-Greedy (Algorithm 2) over the workspace's scores into
     /// a caller-owned arrangement, reusing the workspace's order and mask
     /// buffers — the allocation-free twin of [`crate::oracle_greedy`].
+    /// With a score pool installed ([`ScoreWorkspace::set_score_pool`])
+    /// the candidate ranking runs sharded over the pool with a serial
+    /// merge — bit-identical arrangements either way.
     pub fn arrange_into(&mut self, view: &SelectionView<'_>, out: &mut Arrangement) {
         let ScoreWorkspace {
             scores,
             order,
             mask,
+            shard_order,
+            shard_counts,
+            pool,
             ..
         } = self;
-        crate::oracle::oracle_greedy_into(
-            scores,
-            view.conflicts,
-            view.remaining,
-            view.user_capacity,
-            order,
-            mask,
-            out,
-        );
+        match pool {
+            Some(pool) if pool.threads() > 1 => crate::oracle::oracle_greedy_pooled_into(
+                scores,
+                view.conflicts,
+                view.remaining,
+                view.user_capacity,
+                order,
+                mask,
+                shard_order,
+                shard_counts,
+                pool,
+                out,
+            ),
+            _ => crate::oracle::oracle_greedy_into(
+                scores,
+                view.conflicts,
+                view.remaining,
+                view.user_capacity,
+                order,
+                mask,
+                out,
+            ),
+        }
     }
 
     /// Approximate bytes held by the workspace buffers (for
@@ -114,6 +190,8 @@ impl ScoreWorkspace {
             + self.widths.len() * std::mem::size_of::<f64>()
             + self.order.len() * std::mem::size_of::<u32>()
             + self.mask.len() * std::mem::size_of::<u64>()
+            + self.shard_order.len() * std::mem::size_of::<u32>()
+            + self.shard_counts.len() * std::mem::size_of::<u32>()
     }
 }
 

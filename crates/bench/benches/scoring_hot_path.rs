@@ -1,16 +1,29 @@
-//! Old-vs-new per-round scoring latency for the batched `Policy` path.
+//! Old-vs-new per-round scoring latency for the batched `Policy` path,
+//! plus serial-vs-parallel scaling for the [`ScorePool`] engine.
 //!
 //! The pre-redesign UCB round scored one event at a time — clone `θ̂`,
 //! allocate a `Vector` per event for the confidence width, allocate the
 //! oracle's order/mask scratch and a fresh `Arrangement` — while the
 //! batched path (`select_into` + `ScoreWorkspace`) runs the same
 //! arithmetic through `widths_into` with zero steady-state allocations.
-//! This bench times both paths on identical estimator state at
-//! `|V| ∈ {100, 1k, 10k}` × `d ∈ {5, 20}` and reports the speedup.
+//! This bench times three paths on identical estimator state:
 //!
-//! The legacy path below is a line-for-line reconstruction of the old
-//! `LinUcb::select`; both paths produce bit-identical scores (asserted
-//! before timing), so the comparison is pure overhead, not numerics.
+//! * `legacy`   — the reconstructed pre-redesign scalar round
+//!   (skipped at `|V| ≥ 100k`, where one call alone would blow the
+//!   measurement budget);
+//! * `batched`  — serial `select_into`;
+//! * `parallel` — `select_into` through an 8-thread [`ScorePool`].
+//!
+//! All paths produce bit-identical scores and arrangements (asserted
+//! before timing), so every ratio is pure overhead, not numerics. The
+//! grid is `|V| ∈ {100, 1k, 10k}` × `d ∈ {5, 20}` plus the large cells
+//! `|V| = 100k (d = 20)` and `|V| = 1M (d = 5)` that the parallel
+//! engine exists for.
+//!
+//! `parallel_speedup` is meaningful only when the host actually has
+//! cores to scale onto — the JSON records `host_cores` next to
+//! `threads` so a single-core CI container's ≈1.0× is read as a
+//! machine property, not a regression.
 //!
 //! Output: one line per cell on stdout. When `FASEA_BENCH_JSON` names a
 //! file, the measured table is also written there as JSON — that is how
@@ -24,10 +37,20 @@
 //! benches (default 300 ms), so CI can smoke-run the whole file in a
 //! couple of seconds without touching the committed numbers.
 
-use fasea_bandit::{oracle_greedy, LinUcb, Policy, RidgeEstimator, SelectionView};
+use fasea_bandit::{oracle_greedy, LinUcb, Policy, RidgeEstimator, ScorePool, SelectionView};
 use fasea_core::{Arrangement, ConflictGraph, ContextMatrix, EventId, Feedback};
 use std::hint::black_box;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Pool width for the parallel column (the ISSUE's scaling target is
+/// quoted at 8 threads).
+const POOL_THREADS: usize = 8;
+
+/// Cells at or above this `|V|` skip the legacy path: the per-event
+/// allocating round is ~100× slower, so a single call would eat the
+/// whole budget without telling us anything new.
+const LEGACY_CUTOFF: usize = 100_000;
 
 /// The pre-redesign scalar UCB scoring round, kept verbatim: per-round
 /// `θ̂` clone, per-event `Vector` allocation inside `confidence_width`,
@@ -73,8 +96,10 @@ impl XorShift {
 struct Cell {
     num_events: usize,
     dim: usize,
-    legacy_ns: f64,
+    /// `None` for the large cells where the legacy path is skipped.
+    legacy_ns: Option<f64>,
     batched_ns: f64,
+    parallel_ns: f64,
 }
 
 fn budget() -> Duration {
@@ -111,7 +136,7 @@ fn time_ns(budget: Duration, mut f: impl FnMut()) -> f64 {
     total.as_nanos() as f64 / iters.max(1) as f64
 }
 
-fn bench_cell(num_events: usize, dim: usize, budget: Duration) -> Cell {
+fn bench_cell(num_events: usize, dim: usize, budget: Duration, pool: &Arc<ScorePool>) -> Cell {
     let mut rng = XorShift(0x5C0_71A6 ^ (num_events as u64) << 8 ^ dim as u64);
     let contexts = ContextMatrix::from_fn(num_events, dim, |_, _| rng.next_f64());
     // A sparse conflict graph, enough for the oracle's mask checks to
@@ -124,10 +149,13 @@ fn bench_cell(num_events: usize, dim: usize, budget: Duration) -> Cell {
     let cu = 5u32;
 
     // Warm a policy so Y⁻¹ and θ̂ are non-trivial, then clone its
-    // estimator into the legacy path: both score the same model.
+    // estimator into the legacy path: all paths score the same model.
+    // Large cells get a short warm-up — the estimator state only needs
+    // to be non-trivial, and 32 full scans of |V| = 1M are pure wait.
+    let warm_rounds = if num_events >= LEGACY_CUTOFF { 2 } else { 32 };
     let mut policy = LinUcb::new(dim, 1.0, 2.0);
     let mut out = Arrangement::empty();
-    for t in 0..32u64 {
+    for t in 0..warm_rounds {
         let view = SelectionView {
             t,
             user_capacity: cu,
@@ -143,74 +171,125 @@ fn bench_cell(num_events: usize, dim: usize, budget: Duration) -> Cell {
         );
         policy.observe(t, &contexts, &out, &fb);
     }
-    let mut legacy = LegacyUcb {
-        estimator: policy.estimator().clone(),
-        alpha: policy.alpha(),
-        scores: Vec::new(),
-    };
 
     let view = SelectionView {
-        t: 32,
+        t: warm_rounds,
         user_capacity: cu,
         contexts: &contexts,
         conflicts: &conflicts,
         remaining: &remaining,
     };
 
-    // Same scores, same arrangement — the two paths differ only in cost.
-    let legacy_out = legacy.select(&view);
+    // Serial reference: scores + arrangement every other path must hit.
     policy.select_into(&view, &mut out);
-    assert_eq!(legacy_out.events(), out.events(), "paths diverge");
-    let batched_scores = policy.last_scores().expect("scores after select");
-    for (v, (b, l)) in batched_scores.iter().zip(&legacy.scores).enumerate() {
-        assert_eq!(b.to_bits(), l.to_bits(), "score {v} differs in bits");
-    }
+    let serial_out = out.clone();
+    let serial_scores: Vec<f64> = policy.last_scores().expect("scores after select").to_vec();
 
-    let legacy_ns = time_ns(budget, || {
-        black_box(legacy.select(black_box(&view)).len());
+    let run_legacy = num_events < LEGACY_CUTOFF;
+    let legacy_ns = run_legacy.then(|| {
+        // Same scores, same arrangement — the paths differ only in cost.
+        let mut legacy = LegacyUcb {
+            estimator: policy.estimator().clone(),
+            alpha: policy.alpha(),
+            scores: Vec::new(),
+        };
+        let legacy_out = legacy.select(&view);
+        assert_eq!(legacy_out.events(), serial_out.events(), "paths diverge");
+        for (v, (l, s)) in legacy.scores.iter().zip(&serial_scores).enumerate() {
+            assert_eq!(l.to_bits(), s.to_bits(), "legacy score {v} differs in bits");
+        }
+        time_ns(budget, || {
+            black_box(legacy.select(black_box(&view)).len());
+        })
     });
+
     let batched_ns = time_ns(budget, || {
         policy.select_into(black_box(&view), &mut out);
         black_box(out.len());
     });
+
+    // Parallel: install the shared pool, prove bit-equality against the
+    // serial reference, then time the identical call.
+    policy
+        .workspace_mut()
+        .set_score_pool(Some(Arc::clone(pool)));
+    policy.select_into(&view, &mut out);
+    assert_eq!(out.events(), serial_out.events(), "parallel path diverges");
+    let pooled_scores = policy.last_scores().expect("scores after pooled select");
+    for (v, (p, s)) in pooled_scores.iter().zip(&serial_scores).enumerate() {
+        assert_eq!(
+            p.to_bits(),
+            s.to_bits(),
+            "parallel score {v} differs in bits"
+        );
+    }
+    let parallel_ns = time_ns(budget, || {
+        policy.select_into(black_box(&view), &mut out);
+        black_box(out.len());
+    });
+    policy.workspace_mut().set_score_pool(None);
+
     Cell {
         num_events,
         dim,
         legacy_ns,
         batched_ns,
+        parallel_ns,
     }
 }
 
 fn main() {
     let budget = budget();
+    let pool = ScorePool::shared(POOL_THREADS).expect("multi-thread pool");
+    // Keep worker-thread startup out of the first cell's timing.
+    pool.wait_ready();
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let grid: &[(usize, usize)] = &[
+        (100, 5),
+        (100, 20),
+        (1_000, 5),
+        (1_000, 20),
+        (10_000, 5),
+        (10_000, 20),
+        // The cells the parallel engine exists for; legacy is skipped.
+        (100_000, 20),
+        (1_000_000, 5),
+    ];
     let mut cells = Vec::new();
-    for &num_events in &[100usize, 1_000, 10_000] {
-        for &dim in &[5usize, 20] {
-            let cell = bench_cell(num_events, dim, budget);
-            println!(
-                "scoring_hot_path/UCB/{}x{:<24} legacy: {:>12.1} ns   batched: {:>12.1} ns   speedup: {:.2}x",
-                cell.num_events,
-                cell.dim,
-                cell.legacy_ns,
-                cell.batched_ns,
-                cell.legacy_ns / cell.batched_ns,
-            );
-            cells.push(cell);
-        }
+    for &(num_events, dim) in grid {
+        let cell = bench_cell(num_events, dim, budget, &pool);
+        let legacy = cell
+            .legacy_ns
+            .map_or_else(|| "      (skipped)".into(), |ns| format!("{ns:>12.1} ns"));
+        println!(
+            "scoring_hot_path/UCB/{}x{:<20} legacy: {legacy}   batched: {:>12.1} ns   parallel[{}t]: {:>12.1} ns   par speedup: {:.2}x",
+            cell.num_events,
+            cell.dim,
+            cell.batched_ns,
+            POOL_THREADS,
+            cell.parallel_ns,
+            cell.batched_ns / cell.parallel_ns,
+        );
+        cells.push(cell);
     }
 
     if let Ok(path) = std::env::var("FASEA_BENCH_JSON") {
-        let mut json = String::from(
-            "{\n  \"bench\": \"scoring_hot_path\",\n  \"policy\": \"UCB\",\n  \"units\": \"ns_per_round\",\n  \"cells\": [\n",
+        let mut json = format!(
+            "{{\n  \"bench\": \"scoring_hot_path\",\n  \"policy\": \"UCB\",\n  \"units\": \"ns_per_round\",\n  \"threads\": {POOL_THREADS},\n  \"host_cores\": {host_cores},\n  \"cells\": [\n",
         );
         for (i, c) in cells.iter().enumerate() {
+            let (legacy_ns, legacy_speedup) = match c.legacy_ns {
+                Some(ns) => (format!("{ns:.1}"), format!("{:.2}", ns / c.batched_ns)),
+                None => ("null".into(), "null".into()),
+            };
             json.push_str(&format!(
-                "    {{\"num_events\": {}, \"dim\": {}, \"legacy_ns\": {:.1}, \"batched_ns\": {:.1}, \"speedup\": {:.2}}}{}\n",
+                "    {{\"num_events\": {}, \"dim\": {}, \"legacy_ns\": {legacy_ns}, \"batched_ns\": {:.1}, \"parallel_ns\": {:.1}, \"speedup\": {legacy_speedup}, \"parallel_speedup\": {:.2}}}{}\n",
                 c.num_events,
                 c.dim,
-                c.legacy_ns,
                 c.batched_ns,
-                c.legacy_ns / c.batched_ns,
+                c.parallel_ns,
+                c.batched_ns / c.parallel_ns,
                 if i + 1 == cells.len() { "" } else { "," },
             ));
         }

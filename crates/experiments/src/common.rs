@@ -63,7 +63,7 @@ pub fn run_cell(
 ) -> SimulationResult {
     let workload = SyntheticWorkload::generate(config);
     let mut policies = paper_policy_set(workload.config.dim, params, workload.config.seed);
-    let mut run_cfg = RunConfig::paper(opts.horizon);
+    let mut run_cfg = RunConfig::paper(opts.horizon).with_score_threads(opts.score_threads);
     if kendall {
         run_cfg = run_cfg.with_kendall();
     }

@@ -66,6 +66,10 @@ pub struct Options {
     /// (different workload + feedback seeds); 1 reproduces the paper's
     /// single-run figures, larger values add mean ± std error bars.
     pub replications: u32,
+    /// Intra-round scoring threads per simulation (0/1 = serial; N > 1
+    /// installs a shared [`fasea_bandit::ScorePool`] — results are
+    /// bit-identical either way).
+    pub score_threads: usize,
 }
 
 impl Default for Options {
@@ -78,6 +82,7 @@ impl Default for Options {
             real_rounds: 1000,
             real_regret_rounds: 10_000,
             replications: 1,
+            score_threads: 0,
         }
     }
 }

@@ -4,7 +4,8 @@
 //!
 //! ```text
 //! fasea-exp <experiment> [--t N] [--out DIR] [--seed S] [--threads N]
-//!           [--real-rounds N] [--real-regret-rounds N] [--reps N]
+//!           [--score-threads N] [--real-rounds N] [--real-regret-rounds N]
+//!           [--reps N]
 //!
 //! experiments: fig1 fig2 fig3 … fig13 table5 table6 table7
 //!              ext1 ext2 verify plots all
@@ -15,12 +16,15 @@ use fasea_experiments::{run_experiment, serve_cmd, Options, ALL_EXPERIMENTS};
 fn print_usage() {
     eprintln!(
         "usage: fasea-exp <experiment> [--t N] [--out DIR] [--seed S] [--threads N] \
-         [--real-rounds N] [--real-regret-rounds N] [--reps N]\n\
+         [--score-threads N] [--real-rounds N] [--real-regret-rounds N] [--reps N]\n\
          experiments: {} verify plots all\n\
          defaults: --t 100000 (the paper's horizon), --out results, 1000/10000 real rounds, 1 rep\n\
+         --threads fans experiment cells out; --score-threads N parallelises scoring *inside*\n\
+         each simulation round (0 = serial, results bit-identical either way)\n\
          network service:\n\
          fasea-exp serve   [--addr H:P] [--dir DIR] [--seed S] [--events N] [--dim D]\n\
-                           [--workers N] [--policy ucb|ts|egreedy] [--fsync always|everyn|never]\n\
+                           [--workers N] [--score-threads N] [--policy ucb|ts|egreedy]\n\
+                           [--fsync always|everyn|never]\n\
          fasea-exp loadgen [--addr H:P] [--rounds N] [--clients N] [--seed S] [--events N]\n\
                            [--dim D] [--policy P] [--verify-local 1] [--shutdown 1]",
         ALL_EXPERIMENTS.join(" ")
@@ -65,6 +69,7 @@ fn main() {
             "--t" => opts.horizon = parse_u64(&value),
             "--seed" => opts.seed = parse_u64(&value),
             "--threads" => opts.threads = parse_u64(&value) as usize,
+            "--score-threads" => opts.score_threads = parse_u64(&value) as usize,
             "--real-rounds" => opts.real_rounds = parse_u64(&value),
             "--real-regret-rounds" => opts.real_regret_rounds = parse_u64(&value),
             "--reps" => opts.replications = parse_u64(&value) as u32,

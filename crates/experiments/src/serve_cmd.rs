@@ -12,8 +12,8 @@
 //!
 //! ```text
 //! fasea-exp serve   [--addr HOST:PORT] [--dir DIR] [--seed S] [--events N]
-//!                   [--dim D] [--workers N] [--policy ucb|ts|egreedy]
-//!                   [--fsync always|everyn|never]
+//!                   [--dim D] [--workers N] [--score-threads N]
+//!                   [--policy ucb|ts|egreedy] [--fsync always|everyn|never]
 //! fasea-exp loadgen [--addr HOST:PORT] [--rounds N] [--clients N] [--seed S]
 //!                   [--events N] [--dim D] [--policy ...] [--verify-local]
 //!                   [--shutdown]
@@ -132,6 +132,7 @@ pub fn serve_main(args: &[String]) -> Result<(), String> {
     let mut dir = std::path::PathBuf::from("serve-state");
     let mut config = ServerConfig::default();
     let mut fsync = FsyncPolicy::EveryN(32);
+    let mut score_threads: usize = 0;
     for (flag, value) in parse_flags(args)? {
         match flag.as_str() {
             "addr" => addr = value,
@@ -140,6 +141,7 @@ pub fn serve_main(args: &[String]) -> Result<(), String> {
             "events" => spec.events = parse_u64(&flag, &value)? as usize,
             "dim" => spec.dim = parse_u64(&flag, &value)? as usize,
             "workers" => config.workers = parse_u64(&flag, &value)? as usize,
+            "score-threads" => score_threads = parse_u64(&flag, &value)? as usize,
             "policy" => spec.policy = value,
             "fsync" => {
                 fsync = match value.as_str() {
@@ -160,7 +162,9 @@ pub fn serve_main(args: &[String]) -> Result<(), String> {
         &dir,
         workload.instance,
         policy,
-        DurableOptions::new().with_fsync(fsync),
+        DurableOptions::new()
+            .with_fsync(fsync)
+            .with_score_threads(score_threads),
     )
     .map_err(|e| format!("open durable service in {}: {e}", dir.display()))?;
     println!(

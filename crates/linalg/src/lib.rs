@@ -57,7 +57,7 @@ mod vector;
 
 pub use cholesky::Cholesky;
 pub use error::LinalgError;
-pub use matrix::{outer, Matrix};
+pub use matrix::{outer, Matrix, QF_LANES};
 pub use sherman_morrison::ShermanMorrisonInverse;
 pub use vector::{dot_slices, Vector};
 

@@ -24,6 +24,25 @@ use fasea_store::{parse_raw_frame, write_raw_frame, FrameParse, FsyncPolicy};
 
 const DIM: usize = 3;
 
+/// Scoring threads the robustness server runs with: the attacks must
+/// not disturb a *parallel* scoring engine either, and shutdown must
+/// join its workers (`SCORE_THREADS - 1` of them; the caller thread is
+/// the remaining lane).
+const SCORE_THREADS: usize = 4;
+
+/// Waits (bounded) for the score-pool workers to pass through their
+/// startup preamble; returns the observed live count.
+fn await_live_score_workers(want: usize) -> usize {
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let live = fasea_bandit::live_score_workers();
+        if live == want || std::time::Instant::now() > deadline {
+            return live;
+        }
+        std::thread::yield_now();
+    }
+}
+
 fn start_server(tag: &str) -> (ServerHandle, std::path::PathBuf) {
     let dir = std::env::temp_dir().join(format!("fasea-serve-robust-{tag}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
@@ -32,7 +51,9 @@ fn start_server(tag: &str) -> (ServerHandle, std::path::PathBuf) {
         &dir,
         ProblemInstance::basic(6, DIM),
         Box::new(LinUcb::new(DIM, 1.0, 2.0)),
-        DurableOptions::new().with_fsync(FsyncPolicy::Never),
+        DurableOptions::new()
+            .with_fsync(FsyncPolicy::Never)
+            .with_score_threads(SCORE_THREADS),
     )
     .unwrap();
     let config = ServerConfig {
@@ -127,6 +148,14 @@ impl XorShift {
 #[test]
 fn hostile_streams_get_typed_errors_or_clean_close() {
     let (handle, dir) = start_server("hostile");
+
+    // The server's score pool is alive: SCORE_THREADS - 1 workers (the
+    // actor thread itself is the pool's remaining scoring lane).
+    assert_eq!(
+        await_live_score_workers(SCORE_THREADS - 1),
+        SCORE_THREADS - 1,
+        "score pool workers did not come up"
+    );
 
     // 1. Pure garbage: an implausible length prefix.
     {
@@ -249,6 +278,14 @@ fn hostile_streams_get_typed_errors_or_clean_close() {
     let report = handle.join();
     assert!(report.close.error.is_none());
     assert_eq!(report.close.rounds_completed, 1);
+    // Graceful drain joins the score-pool workers: closing the durable
+    // service drops the pool, and `join` must not return while scoring
+    // threads are still alive.
+    assert_eq!(
+        fasea_bandit::live_score_workers(),
+        0,
+        "drain left score pool workers running"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -68,6 +68,12 @@ pub struct DurableOptions {
     /// How many snapshots to keep on disk (older ones are pruned after
     /// each successful snapshot; at least 1).
     pub snapshots_kept: usize,
+    /// Scoring threads for the wrapped policy: `0` or `1` keeps scoring
+    /// serial, `N > 1` installs an `N`-wide [`fasea_bandit::ScorePool`]
+    /// (installed before WAL replay, so recovery exercises the same
+    /// path). Parallel scoring is bit-identical to serial, so this knob
+    /// never changes decisions — only wall-clock.
+    pub score_threads: usize,
 }
 
 impl Default for DurableOptions {
@@ -76,6 +82,7 @@ impl Default for DurableOptions {
             segment_bytes: 4 << 20,
             fsync: FsyncPolicy::EveryN(32),
             snapshots_kept: 2,
+            score_threads: 0,
         }
     }
 }
@@ -103,6 +110,14 @@ impl DurableOptions {
     /// by the pruning logic).
     pub fn with_snapshots_kept(mut self, kept: usize) -> Self {
         self.snapshots_kept = kept;
+        self
+    }
+
+    /// Sets the scoring thread count (`0`/`1` = serial; `N > 1`
+    /// installs a shared score pool — bit-identical results, faster
+    /// rounds on multi-core hosts).
+    pub fn with_score_threads(mut self, threads: usize) -> Self {
+        self.score_threads = threads;
         self
     }
 }
@@ -228,6 +243,10 @@ impl DurableArrangementService {
             }
             None => (ArrangementService::new(instance, policy), 0),
         };
+
+        // Install the pool before replay so recovery runs through the
+        // same (bit-identical) scoring path the service will serve with.
+        service.install_score_pool(fasea_bandit::ScorePool::shared(options.score_threads));
 
         replay(&mut service, &recovered, replay_from)?;
 
@@ -582,6 +601,39 @@ mod tests {
     }
 
     #[test]
+    fn parallel_recovery_matches_serial_state() {
+        // A log written serially must replay to the identical policy
+        // state through a 4-thread score pool (and keep serving the
+        // same decisions afterwards).
+        let dir = tmp("parallel-recover");
+        let serial_opts = DurableOptions {
+            fsync: FsyncPolicy::Never,
+            ..Default::default()
+        };
+        let reference_state;
+        {
+            let mut svc =
+                DurableArrangementService::open(&dir, instance(), ts_policy(), serial_opts)
+                    .unwrap();
+            for round in 0..20 {
+                let a = svc.propose(&arrival(round)).unwrap();
+                svc.feedback(&accepts_for(round, &a)).unwrap();
+            }
+            reference_state = svc.service().policy().save_state();
+        }
+        let parallel_opts = serial_opts.with_score_threads(4);
+        let mut svc =
+            DurableArrangementService::open(&dir, instance(), ts_policy(), parallel_opts).unwrap();
+        assert_eq!(svc.rounds_completed(), 20);
+        assert_eq!(svc.service().policy().save_state(), reference_state);
+        // The pooled service keeps serving (bit-identical scoring).
+        let a = svc.propose(&arrival(20)).unwrap();
+        svc.feedback(&accepts_for(20, &a)).unwrap();
+        assert_eq!(svc.rounds_completed(), 21);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn crash_mid_round_surfaces_pending_proposal() {
         let dir = tmp("pending");
         let opts = DurableOptions {
@@ -626,6 +678,7 @@ mod tests {
             segment_bytes: 512,
             fsync: FsyncPolicy::Never,
             snapshots_kept: 1,
+            score_threads: 0,
         };
         let reference_state;
         {

@@ -45,6 +45,12 @@ pub struct RunConfig {
     pub measure_time: bool,
     /// Seed of the common-random-number feedback stream.
     pub feedback_seed: u64,
+    /// Intra-round parallel scoring threads. `0` or `1` = serial (the
+    /// default); `N > 1` installs one shared
+    /// [`fasea_bandit::ScorePool`] into every policy for the run —
+    /// results are bit-identical to serial for every policy, only
+    /// wall-clock changes.
+    pub score_threads: usize,
 }
 
 impl RunConfig {
@@ -58,6 +64,7 @@ impl RunConfig {
             track_kendall: false,
             measure_time: false,
             feedback_seed: 0xFEEDBAC4,
+            score_threads: 0,
         }
     }
 
@@ -69,6 +76,7 @@ impl RunConfig {
             track_kendall: false,
             measure_time: true,
             feedback_seed: 0xFEEDBAC4,
+            score_threads: 0,
         }
     }
 
@@ -93,6 +101,13 @@ impl RunConfig {
     /// Sets the seed of the common-random-number feedback stream.
     pub fn with_feedback_seed(mut self, seed: u64) -> Self {
         self.feedback_seed = seed;
+        self
+    }
+
+    /// Sets the intra-round parallel scoring thread count (`0`/`1` =
+    /// serial).
+    pub fn with_score_threads(mut self, threads: usize) -> Self {
+        self.score_threads = threads;
         self
     }
 }
@@ -167,6 +182,18 @@ pub fn run_simulation(
     let model = workload.model.clone();
     let mut opt_policy = Opt::new(model.clone());
     let memory = crate::MemoryModel::for_instance(&workload.instance);
+
+    // One shared scoring pool for the whole run (None when serial).
+    // Installed into every policy's workspace before the loop and
+    // removed afterwards so caller-owned policies don't keep worker
+    // threads alive past the simulation.
+    let score_pool = fasea_bandit::ScorePool::shared(config.score_threads);
+    opt_policy
+        .workspace_mut()
+        .set_score_pool(score_pool.clone());
+    for p in policies.iter_mut() {
+        p.workspace_mut().set_score_pool(score_pool.clone());
+    }
 
     let coins = CoinStream::new(config.feedback_seed);
     let mut opt_state = PolicyState {
@@ -250,11 +277,20 @@ pub fn run_simulation(
         }
     };
 
-    SimulationResult {
+    let result = SimulationResult {
         reference: finish(opt_state),
         policies: states.into_iter().map(finish).collect(),
         reference_exhausted_at,
+    };
+
+    // Caller-owned policies must not keep pool workers alive after the
+    // run; dropping the last Arc joins them.
+    if score_pool.is_some() {
+        for p in policies.iter_mut() {
+            p.workspace_mut().set_score_pool(None);
+        }
     }
+    result
 }
 
 fn step_policy<M: RewardModel + Clone>(
@@ -370,6 +406,7 @@ mod tests {
             track_kendall: true,
             measure_time: true,
             feedback_seed: 42,
+            score_threads: 0,
         };
         let res = run_simulation(&w, &mut policies, &cfg);
         assert_eq!(res.policies.len(), 5);
@@ -400,6 +437,7 @@ mod tests {
             track_kendall: false,
             measure_time: false,
             feedback_seed: 9,
+            score_threads: 0,
         };
         let res = run_simulation(&w, &mut policies, &cfg);
         let random_rewards = res.policies[0].accounting.total_rewards();
@@ -423,6 +461,7 @@ mod tests {
             track_kendall: false,
             measure_time: false,
             feedback_seed: 10,
+            score_threads: 0,
         };
         let res = run_simulation(&w, &mut policies, &cfg);
         let ucb = res.policies[0].accounting.total_rewards();
@@ -440,6 +479,7 @@ mod tests {
             track_kendall: false,
             measure_time: false,
             feedback_seed: 17,
+            score_threads: 0,
         };
         let res = run_simulation(&w, &mut policies, &cfg);
         let p = &res.policies[0];
@@ -464,6 +504,7 @@ mod tests {
             track_kendall: false,
             measure_time: false,
             feedback_seed: 5,
+            score_threads: 0,
         };
         let mut p1: Vec<Box<dyn Policy>> = vec![Box::new(ThompsonSampling::new(5, 1.0, 0.1, 2))];
         let mut p2: Vec<Box<dyn Policy>> = vec![Box::new(ThompsonSampling::new(5, 1.0, 0.1, 2))];
@@ -477,6 +518,41 @@ mod tests {
             r1.reference.accounting.total_rewards(),
             r2.reference.accounting.total_rewards()
         );
+    }
+
+    #[test]
+    fn parallel_scoring_reproduces_serial_results_exactly() {
+        let w = small_workload(19);
+        let cfg_serial = RunConfig {
+            horizon: 250,
+            checkpoints: vec![125, 250],
+            track_kendall: true,
+            measure_time: false,
+            feedback_seed: 77,
+            score_threads: 0,
+        };
+        let cfg_parallel = RunConfig {
+            score_threads: 4,
+            ..cfg_serial.clone()
+        };
+        let mut p1 = full_policy_set(5, 3);
+        let mut p2 = full_policy_set(5, 3);
+        let r1 = run_simulation(&w, &mut p1, &cfg_serial);
+        let r2 = run_simulation(&w, &mut p2, &cfg_parallel);
+        // Checkpoint derives PartialEq over exact counts and exact
+        // floats (accept/regret ratios, Kendall τ): the parallel run
+        // must be indistinguishable from serial.
+        assert_eq!(r1.reference.checkpoints, r2.reference.checkpoints);
+        for (a, b) in r1.policies.iter().zip(&r2.policies) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.checkpoints, b.checkpoints, "{} diverged", a.name);
+            assert_eq!(a.accounting.total_rewards(), b.accounting.total_rewards());
+        }
+        // The run uninstalled the pool from the caller's policies: no
+        // worker threads outlive run_simulation.
+        for p in &mut p2 {
+            assert!(p.workspace_mut().score_pool().is_none());
+        }
     }
 
     #[test]
@@ -502,6 +578,7 @@ mod tests {
             track_kendall: false,
             measure_time: false,
             feedback_seed: 2,
+            score_threads: 0,
         };
         let res = run_simulation(&w, &mut policies, &cfg);
         let exhausted = res.reference_exhausted_at.expect("OPT never exhausted");

@@ -25,6 +25,7 @@ use fasea_core::{
 };
 use fasea_store::StoreError;
 use std::fmt;
+use std::sync::Arc;
 
 /// Protocol violations and invariant breaches surfaced by the service.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -178,6 +179,14 @@ impl ArrangementService {
     /// Read access to the wrapped policy (state snapshots).
     pub fn policy(&self) -> &dyn Policy {
         self.policy.as_ref()
+    }
+
+    /// Installs (or removes, with `None`) a shared [`ScorePool`] in the
+    /// wrapped policy's workspace. Parallel scoring is bit-identical to
+    /// serial, so this can be flipped at any round boundary — including
+    /// before WAL replay — without perturbing decisions.
+    pub fn install_score_pool(&mut self, pool: Option<Arc<fasea_bandit::ScorePool>>) {
+        self.policy.workspace_mut().set_score_pool(pool);
     }
 
     /// The immutable problem description this service runs on.

@@ -9,11 +9,19 @@
 /// `max_threads` running concurrently, returning results in input order.
 ///
 /// `max_threads = 0` means "use available parallelism".
+///
+/// Claiming is lock-free: workers race a single atomic work index over
+/// a pre-split cell array — each `fetch_add` hands out one cell exactly
+/// once, so no queue mutex serialises claim traffic and no per-slot
+/// mutex guards the result writes (the unique claim already makes them
+/// exclusive; the scope join publishes them before reading).
 pub fn run_parallel<T, F>(jobs: Vec<F>, max_threads: usize) -> Vec<T>
 where
     T: Send,
     F: FnOnce() -> T + Send,
 {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
     let threads = if max_threads == 0 {
         std::thread::available_parallelism()
             .map(|n| n.get())
@@ -22,37 +30,48 @@ where
         max_threads
     };
     let n = jobs.len();
-    let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
     if n == 0 {
         return Vec::new();
     }
 
-    // Work queue of (index, job); worker threads pop until empty.
-    let queue: std::sync::Mutex<Vec<(usize, F)>> =
-        std::sync::Mutex::new(jobs.into_iter().enumerate().rev().collect());
-    let slots: Vec<std::sync::Mutex<&mut Option<T>>> =
-        results.iter_mut().map(std::sync::Mutex::new).collect();
+    /// One work cell: the job going in, its result coming out.
+    struct Cell<F, T>(std::cell::UnsafeCell<(Option<F>, Option<T>)>);
+    // SAFETY: every cell is touched by exactly one worker (the atomic
+    // claim below is unique per index), and results are only read after
+    // the scope joins all workers.
+    unsafe impl<F: Send, T: Send> Sync for Cell<F, T> {}
+
+    let cells: Vec<Cell<F, T>> = jobs
+        .into_iter()
+        .map(|f| Cell(std::cell::UnsafeCell::new((Some(f), None))))
+        .collect();
+    let next = AtomicUsize::new(0);
 
     crossbeam::thread::scope(|scope| {
         for _ in 0..threads.min(n) {
             scope.spawn(|_| loop {
-                let job = queue.lock().expect("sweep queue poisoned").pop();
-                match job {
-                    Some((i, f)) => {
-                        let out = f();
-                        **slots[i].lock().expect("sweep slot poisoned") = Some(out);
-                    }
-                    None => break,
+                // Relaxed suffices: claim uniqueness comes from the RMW
+                // itself, and result visibility from the scope join.
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
                 }
+                // SAFETY: index `i` was claimed by this worker alone.
+                let cell = unsafe { &mut *cells[i].0.get() };
+                let f = cell.0.take().expect("sweep job claimed twice");
+                cell.1 = Some(f());
             });
         }
     })
     .expect("sweep worker panicked");
 
-    drop(slots);
-    results
+    cells
         .into_iter()
-        .map(|r| r.expect("sweep job did not produce a result"))
+        .map(|c| {
+            c.0.into_inner()
+                .1
+                .expect("sweep job did not produce a result")
+        })
         .collect()
 }
 

@@ -19,11 +19,17 @@ cargo build -q --examples
 echo "==> cargo bench --no-run"
 cargo bench -q --no-run
 
-# Smoke the scoring hot path (~2s): exercises the legacy-vs-batched
-# bit-equality assertion with a tiny time budget. Deliberately does NOT
+# Smoke the scoring hot path (~2s): exercises the legacy-vs-batched and
+# serial-vs-parallel bit-equality assertions (including the |V| = 100k
+# and 1M ScorePool cells) with a tiny time budget. Deliberately does NOT
 # set FASEA_BENCH_JSON — the committed BENCH_scoring.json numbers come
 # from a full-budget run, not this smoke.
 echo "==> scoring_hot_path smoke (FASEA_BENCH_MS=25)"
 FASEA_BENCH_MS=25 cargo bench -q -p fasea-bench --bench scoring_hot_path
+
+# Golden determinism through the parallel engine: a 4-thread ScorePool
+# run must land on the identical golden totals as serial.
+echo "==> parallel golden determinism (score_threads = 4)"
+cargo test -q --test determinism_golden parallel_scoring_matches_serial_golden
 
 echo "All checks passed."

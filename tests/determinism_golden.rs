@@ -14,6 +14,10 @@ use fasea::datagen::{SyntheticConfig, SyntheticWorkload};
 use fasea::sim::{run_simulation, RunConfig};
 
 fn golden_run() -> Vec<(String, u64)> {
+    golden_run_with(0)
+}
+
+fn golden_run_with(score_threads: usize) -> Vec<(String, u64)> {
     let horizon = 600;
     let workload = SyntheticWorkload::generate(SyntheticConfig {
         num_events: 40,
@@ -29,7 +33,9 @@ fn golden_run() -> Vec<(String, u64)> {
         Box::new(Exploit::new(6, 1.0)),
         Box::new(RandomPolicy::new(13)),
     ];
-    let cfg = RunConfig::new(horizon).with_feedback_seed(0xFEED);
+    let cfg = RunConfig::new(horizon)
+        .with_feedback_seed(0xFEED)
+        .with_score_threads(score_threads);
     let result = run_simulation(&workload, &mut policies, &cfg);
     let mut rows: Vec<(String, u64)> = result
         .policies
@@ -58,6 +64,16 @@ fn run_is_bit_reproducible() {
     assert!(get("UCB") > get("Random"));
     assert!(get("Exploit") > get("Random"));
     assert!(get("OPT") >= get("UCB"));
+}
+
+#[test]
+fn parallel_scoring_matches_serial_golden() {
+    // The ScorePool shards the score scan but must be bit-invisible:
+    // the same run through a 4-thread pool lands on the identical
+    // golden totals for every policy (and the OPT reference).
+    let serial = golden_run_with(0);
+    let pooled = golden_run_with(4);
+    assert_eq!(serial, pooled, "parallel scoring changed a golden total");
 }
 
 #[test]
