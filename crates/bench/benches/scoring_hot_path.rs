@@ -244,6 +244,12 @@ fn main() {
     // Keep worker-thread startup out of the first cell's timing.
     pool.wait_ready();
     let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if host_cores == 1 {
+        println!(
+            "warning: single-core host — parallel_speedup < 1 measures ScorePool \
+             dispatch overhead, not a scaling regression"
+        );
+    }
 
     let grid: &[(usize, usize)] = &[
         (100, 5),

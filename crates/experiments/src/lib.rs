@@ -35,6 +35,7 @@
 #![warn(clippy::all)]
 
 pub mod basic;
+pub mod bench_check;
 pub mod common;
 pub mod default_setting;
 pub mod extensions;

@@ -11,7 +11,7 @@
 //!              ext1 ext2 verify plots all
 //! ```
 
-use fasea_experiments::{run_experiment, serve_cmd, Options, ALL_EXPERIMENTS};
+use fasea_experiments::{bench_check, run_experiment, serve_cmd, Options, ALL_EXPERIMENTS};
 
 fn print_usage() {
     eprintln!(
@@ -24,9 +24,11 @@ fn print_usage() {
          network service:\n\
          fasea-exp serve   [--addr H:P] [--dir DIR] [--seed S] [--events N] [--dim D]\n\
                            [--workers N] [--score-threads N] [--policy ucb|ts|egreedy]\n\
-                           [--fsync always|everyn|never]\n\
+                           [--fsync always|everyn|never] [--group-commit 1]\n\
+                           [--snapshot-every N]\n\
          fasea-exp loadgen [--addr H:P] [--rounds N] [--clients N] [--seed S] [--events N]\n\
-                           [--dim D] [--policy P] [--verify-local 1] [--shutdown 1]",
+                           [--dim D] [--policy P] [--verify-local 1] [--shutdown 1]\n\
+         fasea-exp check-bench [FILE...]   validate BENCH_*.json result tables",
         ALL_EXPERIMENTS.join(" ")
     );
 }
@@ -38,12 +40,12 @@ fn main() {
         std::process::exit(2);
     }
     let id = args[0].clone();
-    // The serving subcommands take their own flag set.
-    if id == "serve" || id == "loadgen" {
-        let result = if id == "serve" {
-            serve_cmd::serve_main(&args[1..])
-        } else {
-            serve_cmd::loadgen_main(&args[1..])
+    // The serving and checking subcommands take their own flag sets.
+    if id == "serve" || id == "loadgen" || id == "check-bench" {
+        let result = match id.as_str() {
+            "serve" => serve_cmd::serve_main(&args[1..]),
+            "loadgen" => serve_cmd::loadgen_main(&args[1..]),
+            _ => bench_check::check_bench_main(&args[1..]),
         };
         if let Err(e) = result {
             eprintln!("error: {e}");

@@ -14,6 +14,7 @@
 //! fasea-exp serve   [--addr HOST:PORT] [--dir DIR] [--seed S] [--events N]
 //!                   [--dim D] [--workers N] [--score-threads N]
 //!                   [--policy ucb|ts|egreedy] [--fsync always|everyn|never]
+//!                   [--group-commit 0|1] [--snapshot-every N]
 //! fasea-exp loadgen [--addr HOST:PORT] [--rounds N] [--clients N] [--seed S]
 //!                   [--events N] [--dim D] [--policy ...] [--verify-local]
 //!                   [--shutdown]
@@ -133,6 +134,7 @@ pub fn serve_main(args: &[String]) -> Result<(), String> {
     let mut config = ServerConfig::default();
     let mut fsync = FsyncPolicy::EveryN(32);
     let mut score_threads: usize = 0;
+    let mut group_commit = false;
     for (flag, value) in parse_flags(args)? {
         match flag.as_str() {
             "addr" => addr = value,
@@ -151,6 +153,15 @@ pub fn serve_main(args: &[String]) -> Result<(), String> {
                     other => return Err(format!("unknown --fsync '{other}'")),
                 }
             }
+            // Group commit: appends flow through the batching syncer
+            // thread, FEEDBACK acks are withheld until the durable
+            // watermark covers them, and snapshots run in the
+            // background. Same acked-implies-durable guarantee, one
+            // fsync shared across concurrent sessions.
+            "group-commit" => group_commit = value == "true" || value == "1",
+            "snapshot-every" => {
+                config.snapshot_every_rounds = Some(parse_u64(&flag, &value)?).filter(|&n| n > 0)
+            }
             other => return Err(format!("unknown flag --{other} for serve")),
         }
     }
@@ -164,7 +175,8 @@ pub fn serve_main(args: &[String]) -> Result<(), String> {
         policy,
         DurableOptions::new()
             .with_fsync(fsync)
-            .with_score_threads(score_threads),
+            .with_score_threads(score_threads)
+            .with_group_commit(group_commit),
     )
     .map_err(|e| format!("open durable service in {}: {e}", dir.display()))?;
     println!(

@@ -10,12 +10,38 @@
 //! draining. Exactly one session owns the in-flight round at any time;
 //! if the owner disconnects, the round (including an already-logged
 //! pending proposal) is re-granted to the next waiter.
+//!
+//! # Group commit: deferred acknowledgements
+//!
+//! When the service runs with group commit, rounds are applied to the
+//! in-memory state immediately (so the *next* round can be granted
+//! while the log writes are still in flight) but the round-completing
+//! `FEEDBACK_OK` reply is withheld in an [`AckQueue`] until the
+//! store's `durable_lsn` watermark covers the round's last LSN — an
+//! acked round still implies a durable round, exactly as in the
+//! synchronous path, but N concurrent sessions now share one fsync.
+//! The commit syncer flushes the queue directly from its own thread
+//! via the commit notifier (no actor wake-up needed), and the actor
+//! re-flushes after every push to close the race where the watermark
+//! advanced between the append and the push.
+//!
+//! `PROPOSED` is *not* withheld: `propose` is compute-then-log (see
+//! DESIGN.md §8) — a crash that loses an unacknowledged-by-fsync
+//! Propose record recovers to the pre-round state and re-draws the
+//! *identical* arrangement when the round is re-delivered, because the
+//! policy's RNG position is restored from the log; recovery asserts
+//! this bit-exactly (`RecoveryDiverged`). The propose record still
+//! travels the commit queue in LSN order, so it is always durable
+//! before the feedback that completes its round is acknowledged.
+//! Keeping the proposal ack off the fsync keeps the fsync out of the
+//! round-sequential critical path: the only durability wait left per
+//! round overlaps the next round's network turnaround.
 
 use std::collections::VecDeque;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use fasea_core::{ContextMatrix, UserArrival};
@@ -108,6 +134,63 @@ struct Waiter {
     reply: Sender<Response>,
 }
 
+/// A reply withheld until the group-commit watermark covers its LSN.
+struct PendingAck {
+    lsn: u64,
+    reply: Sender<Response>,
+    response: Response,
+}
+
+/// Replies awaiting durability, in LSN order (the actor is the only
+/// pusher and its LSNs are monotone). Shared with the commit syncer,
+/// which flushes it from the commit notifier the moment a batch's
+/// watermark is published — client acks ride the fsync that made them
+/// durable instead of waiting for the actor's next poll tick.
+struct AckQueue {
+    inner: Mutex<VecDeque<PendingAck>>,
+}
+
+impl AckQueue {
+    fn new() -> Self {
+        AckQueue {
+            inner: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    fn push(&self, lsn: u64, reply: Sender<Response>, response: Response) {
+        self.inner
+            .lock()
+            .expect("ack queue poisoned")
+            .push_back(PendingAck {
+                lsn,
+                reply,
+                response,
+            });
+    }
+
+    /// Sends every withheld reply whose record the watermark covers
+    /// (count semantics: `lsn < durable`).
+    fn flush(&self, durable: u64) {
+        let mut q = self.inner.lock().expect("ack queue poisoned");
+        while q.front().is_some_and(|p| p.lsn < durable) {
+            let p = q.pop_front().expect("non-empty after front check");
+            let _ = p.reply.send(p.response);
+        }
+    }
+
+    /// Answers every still-withheld reply with a typed error; used when
+    /// the commit pipeline fails and the records will never be durable.
+    fn fail_all(&self, code: ErrorCode, detail: &str) {
+        let mut q = self.inner.lock().expect("ack queue poisoned");
+        for p in q.drain(..) {
+            let _ = p.reply.send(Response::Error {
+                code,
+                detail: detail.to_string(),
+            });
+        }
+    }
+}
+
 /// The actor state machine. Owns the durable service for its lifetime.
 pub struct ServiceActor {
     svc: DurableArrangementService,
@@ -121,6 +204,10 @@ pub struct ServiceActor {
     waiters: VecDeque<Waiter>,
     /// Set once a store-level failure makes further writes unsafe.
     poisoned: bool,
+    /// Replies withheld until their LSN is durable (group commit only).
+    acks: Arc<AckQueue>,
+    /// Request an async snapshot every this many completed rounds.
+    snapshot_every: Option<u64>,
 }
 
 fn error_response(code: ErrorCode, detail: impl Into<String>) -> Response {
@@ -149,7 +236,13 @@ fn is_store_failure(err: &ServiceError) -> bool {
 impl ServiceActor {
     /// Builds the actor. `shutdown` is shared with the server: the
     /// actor observes it to drain, and raises it itself on fatal store
-    /// errors or a `SHUTDOWN` request.
+    /// errors or a `SHUTDOWN` request. `snapshot_every` requests an
+    /// asynchronous snapshot every that many completed rounds.
+    ///
+    /// With group commit enabled this hooks the commit syncer: the
+    /// notifier flushes deferred acks as each batch becomes durable,
+    /// and the observer feeds the `fsync_batch_size` /
+    /// `commit_latency_us` histograms.
     pub fn new(
         svc: DurableArrangementService,
         rx: Receiver<Command>,
@@ -157,7 +250,20 @@ impl ServiceActor {
         shutdown: Arc<AtomicBool>,
         max_inflight: usize,
         poll_interval: Duration,
+        snapshot_every: Option<u64>,
     ) -> Self {
+        let acks = Arc::new(AckQueue::new());
+        if svc.group_commit_enabled() {
+            let for_notifier = Arc::clone(&acks);
+            svc.set_commit_notifier(Some(Arc::new(move |durable| {
+                for_notifier.flush(durable);
+            })));
+            let for_observer = Arc::clone(&metrics);
+            svc.set_commit_observer(Some(Arc::new(move |batch, latency| {
+                for_observer.fsync_batch_size.observe_value(batch as u64);
+                for_observer.commit_latency_us.observe(latency);
+            })));
+        }
         ServiceActor {
             svc,
             rx,
@@ -168,6 +274,8 @@ impl ServiceActor {
             owner: None,
             waiters: VecDeque::new(),
             poisoned: false,
+            acks,
+            snapshot_every: snapshot_every.filter(|&n| n > 0),
         }
     }
 
@@ -187,6 +295,7 @@ impl ServiceActor {
             }
         }
         self.refuse_waiters();
+        self.settle_acks();
         let rounds_completed = self.svc.rounds_completed();
         match self.svc.close() {
             Ok(snapshot) => CloseReport {
@@ -204,6 +313,39 @@ impl ServiceActor {
 
     fn draining(&self) -> bool {
         self.poisoned || self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Resolves every still-deferred reply before the service closes:
+    /// force one last sync so the watermark covers everything appended,
+    /// then flush; if even that fails, the records were lost and the
+    /// withheld replies become typed store errors (never false acks).
+    fn settle_acks(&mut self) {
+        match self.svc.sync() {
+            Ok(()) => self.acks.flush(self.svc.durable_lsn()),
+            Err(_) => {
+                self.acks.flush(self.svc.durable_lsn());
+                self.acks.fail_all(
+                    ErrorCode::StoreFailure,
+                    "commit pipeline failed before this round reached disk",
+                );
+            }
+        }
+    }
+
+    /// Kicks off a background snapshot at the configured round cadence.
+    fn maybe_snapshot(&mut self) {
+        let Some(every) = self.snapshot_every else {
+            return;
+        };
+        let rounds = self.svc.rounds_completed();
+        if rounds > 0 && rounds.is_multiple_of(every) {
+            if let Err(err) = self.svc.snapshot_async() {
+                if is_store_failure(&err) {
+                    self.poisoned = true;
+                    self.shutdown.store(true, Ordering::SeqCst);
+                }
+            }
+        }
     }
 
     fn handle(&mut self, cmd: Command) {
@@ -372,6 +514,28 @@ impl ServiceActor {
         );
         let t = self.svc.rounds_completed();
         let started = Instant::now();
+        if self.svc.group_commit_enabled() {
+            match self.svc.propose_deferred(&user) {
+                Ok((arrangement, _lsn)) => {
+                    self.metrics.propose_us.observe(started.elapsed());
+                    self.metrics.proposes.incr();
+                    // Replied immediately: compute-then-log makes an
+                    // undurable Propose harmless (recovery re-draws it
+                    // identically), and its LSN precedes the feedback
+                    // LSN this round's completion ack will wait on.
+                    let _ = reply.send(Response::Proposed {
+                        t,
+                        arrangement: arrangement
+                            .events()
+                            .iter()
+                            .map(|v| v.index() as u32)
+                            .collect(),
+                    });
+                }
+                Err(err) => self.reply_service_error(err, &reply),
+            }
+            return;
+        }
         match self.svc.propose(&user) {
             Ok(arrangement) => {
                 self.metrics.propose_us.observe(started.elapsed());
@@ -389,6 +553,16 @@ impl ServiceActor {
         }
     }
 
+    /// Withholds `response` until `lsn` is durable. The push-then-flush
+    /// order closes the race against the syncer: the entry is either
+    /// flushed here (watermark already advanced) or by a later notifier
+    /// call — never stranded, never sent twice (the queue pops under
+    /// one lock).
+    fn defer_ack(&mut self, lsn: u64, reply: Sender<Response>, response: Response) {
+        self.acks.push(lsn, reply, response);
+        self.acks.flush(self.svc.durable_lsn());
+    }
+
     fn handle_feedback(&mut self, conn: u64, accepts: &[bool], reply: Sender<Response>) {
         if self.owner != Some(conn) {
             self.metrics.protocol_errors.incr();
@@ -400,12 +574,30 @@ impl ServiceActor {
         }
         let t = self.svc.rounds_completed();
         let started = Instant::now();
+        if self.svc.group_commit_enabled() {
+            match self.svc.feedback_deferred(accepts) {
+                Ok((reward, lsn)) => {
+                    self.metrics.feedback_us.observe(started.elapsed());
+                    self.metrics.feedbacks.incr();
+                    // The round is complete in memory: free it *now* so
+                    // the next claimant proceeds while this round's
+                    // records are still being fsynced — the pipelining
+                    // that lets N sessions share one fsync.
+                    self.owner = None;
+                    self.defer_ack(lsn, reply, Response::FeedbackOk { t, reward });
+                    self.maybe_snapshot();
+                }
+                Err(err) => self.reply_service_error(err, &reply),
+            }
+            return;
+        }
         match self.svc.feedback(accepts) {
             Ok(reward) => {
                 self.metrics.feedback_us.observe(started.elapsed());
                 self.metrics.feedbacks.incr();
                 self.owner = None;
                 let _ = reply.send(Response::FeedbackOk { t, reward });
+                self.maybe_snapshot();
             }
             Err(err) => self.reply_service_error(err, &reply),
         }
@@ -419,6 +611,15 @@ impl ServiceActor {
         if is_store_failure(&err) {
             self.poisoned = true;
             self.shutdown.store(true, Ordering::SeqCst);
+            // Whatever the watermark already covers is genuinely
+            // durable and may still be acked; everything behind the
+            // failure never will be — fail those now rather than let
+            // the sessions time out.
+            self.acks.flush(self.svc.durable_lsn());
+            self.acks.fail_all(
+                ErrorCode::StoreFailure,
+                "commit pipeline failed before this round reached disk",
+            );
         }
         let _ = reply.send(error_response(service_error_code(&err), err.to_string()));
     }
@@ -463,13 +664,24 @@ mod tests {
         Arc<AtomicBool>,
         std::thread::JoinHandle<CloseReport>,
     ) {
+        spawn_actor_with(tag, DurableOptions::new().with_fsync(FsyncPolicy::Never))
+    }
+
+    fn spawn_actor_with(
+        tag: &str,
+        options: DurableOptions,
+    ) -> (
+        Sender<Command>,
+        Arc<AtomicBool>,
+        std::thread::JoinHandle<CloseReport>,
+    ) {
         let dir = temp_dir(tag);
         let instance = ProblemInstance::basic(4, 2);
         let svc = DurableArrangementService::open(
             &dir,
             instance,
             Box::new(LinUcb::new(2, 1.0, 2.0)),
-            DurableOptions::new().with_fsync(FsyncPolicy::Never),
+            options,
         )
         .unwrap();
         let (tx, rx) = mpsc::channel();
@@ -481,6 +693,7 @@ mod tests {
             Arc::clone(&shutdown),
             2,
             Duration::from_millis(10),
+            None,
         );
         let handle = std::thread::spawn(move || actor.run());
         (tx, shutdown, handle)
@@ -547,6 +760,56 @@ mod tests {
         assert_eq!(report.rounds_completed, 1);
         assert!(report.error.is_none());
         assert!(report.snapshot.is_some());
+    }
+
+    #[test]
+    fn group_commit_defers_acks_until_durable() {
+        let (tx, _shutdown, handle) = spawn_actor_with(
+            "group-acks",
+            DurableOptions::new()
+                .with_fsync(FsyncPolicy::Always)
+                .with_group_commit(true),
+        );
+        // Rounds still ack in order and carry the right round indices;
+        // each blocking rpc() below only returns once the commit syncer
+        // (or the actor's own flush) released the deferred reply, so
+        // completing all of them proves acks are never stranded.
+        for t in 0..5u64 {
+            let granted = rpc(&tx, |reply| Command::Claim {
+                conn: 1,
+                enqueued: Instant::now(),
+                reply,
+            });
+            assert!(matches!(granted, Response::Claimed { .. }), "{granted:?}");
+            let resp = rpc(&tx, |reply| Command::Propose {
+                conn: 1,
+                user_capacity: 1,
+                num_events: 4,
+                dim: 2,
+                contexts: vec![0.5; 8],
+                reply,
+            });
+            let arrangement = match resp {
+                Response::Proposed {
+                    t: got,
+                    arrangement,
+                } if got == t => arrangement,
+                other => panic!("{other:?}"),
+            };
+            let resp = rpc(&tx, |reply| Command::Feedback {
+                conn: 1,
+                accepts: vec![true; arrangement.len()],
+                reply,
+            });
+            assert!(
+                matches!(&resp, Response::FeedbackOk { t: got, .. } if *got == t),
+                "{resp:?}"
+            );
+        }
+        drop(tx);
+        let report = handle.join().unwrap();
+        assert_eq!(report.rounds_completed, 5);
+        assert!(report.error.is_none(), "{:?}", report.error);
     }
 
     #[test]

@@ -60,7 +60,13 @@ impl Default for Histogram {
 impl Histogram {
     /// Records one duration.
     pub fn observe(&self, d: Duration) {
-        let us = d.as_micros().min(u64::MAX as u128) as u64;
+        self.observe_value(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Records one raw value against the same bucket bounds. Used for
+    /// unit-less histograms (e.g. batch sizes); the wire summary reuses
+    /// the microsecond field names regardless of unit.
+    pub fn observe_value(&self, us: u64) {
         let idx = BUCKET_BOUNDS_US
             .iter()
             .position(|&b| us <= b)
@@ -174,6 +180,12 @@ registry! {
         decode_us,
         /// Time a `CLAIM` waited in the grant queue.
         queue_wait_us,
+        /// Records per group-commit batch (unit-less; one observation
+        /// per fsync, so `count` is the number of batch commits).
+        fsync_batch_size,
+        /// Queue-to-durable latency of the oldest record in each
+        /// group-commit batch.
+        commit_latency_us,
     }
 }
 
@@ -249,7 +261,23 @@ mod tests {
         assert!(counters.iter().any(|(n, v)| n == "requests" && *v == 2));
         let hists = m.wire_histograms();
         assert_eq!(hists[0].name, "propose_us");
-        assert_eq!(hists.len(), 4);
+        assert_eq!(hists.len(), 6);
+        assert!(hists.iter().any(|h| h.name == "fsync_batch_size"));
+        assert!(hists.iter().any(|h| h.name == "commit_latency_us"));
         assert!(!m.log_line().is_empty());
+    }
+
+    #[test]
+    fn observe_value_buckets_raw_values() {
+        let h = Histogram::default();
+        for batch in [1u64, 8, 8, 64] {
+            h.observe_value(batch);
+        }
+        assert_eq!(h.count(), 4);
+        let snap = h.snapshot("fsync_batch_size");
+        assert_eq!(snap.sum_us, 81);
+        assert_eq!(snap.max_us, 64);
+        // Three of four observations are ≤ 10.
+        assert_eq!(h.quantile_us(0.75), 10);
     }
 }

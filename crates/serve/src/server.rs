@@ -63,6 +63,11 @@ pub struct ServerConfig {
     pub poll_interval: Duration,
     /// Period of the operational log line (`None` disables it).
     pub stats_interval: Option<Duration>,
+    /// Request a service snapshot every this many completed rounds
+    /// (`None` disables periodic snapshots; the close-time snapshot
+    /// always happens). With group commit the snapshot runs on the
+    /// background snapshotter and does not stall the round loop.
+    pub snapshot_every_rounds: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -76,6 +81,7 @@ impl Default for ServerConfig {
             claim_wait_timeout: Duration::from_secs(30),
             poll_interval: Duration::from_millis(50),
             stats_interval: Some(Duration::from_secs(10)),
+            snapshot_every_rounds: None,
         }
     }
 }
@@ -238,6 +244,7 @@ fn run_server(
         Arc::clone(&shutdown),
         config.max_inflight,
         config.poll_interval,
+        config.snapshot_every_rounds,
     );
     let queue = ConnQueue::new(config.conn_backlog);
     let conn_ids = AtomicU64::new(1);

@@ -289,6 +289,110 @@ fn hostile_streams_get_typed_errors_or_clean_close() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// A group-commit server must serve rounds with deferred acks, surface
+/// the commit histograms through `STATS`, run its periodic background
+/// snapshots, and — on graceful drain — join the commit syncer and
+/// snapshotter threads (this is the only test in this binary that
+/// creates them, so the process-wide liveness counters are ours).
+#[test]
+fn group_commit_server_defers_acks_and_drains_cleanly() {
+    let dir = std::env::temp_dir().join(format!("fasea-serve-robust-gc-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let svc = DurableArrangementService::open(
+        &dir,
+        ProblemInstance::basic(6, DIM),
+        Box::new(LinUcb::new(DIM, 1.0, 2.0)),
+        DurableOptions::new()
+            .with_fsync(FsyncPolicy::Always)
+            .with_group_commit(true),
+    )
+    .unwrap();
+    let config = ServerConfig {
+        read_timeout: Duration::from_millis(300),
+        idle_timeout: Duration::from_secs(5),
+        poll_interval: Duration::from_millis(10),
+        stats_interval: None,
+        snapshot_every_rounds: Some(3),
+        ..ServerConfig::default()
+    };
+    let handle = Server::spawn(svc, "127.0.0.1:0", config).unwrap();
+    assert!(
+        fasea_sim::live_snapshotters() >= 1,
+        "group-commit server should have spawned its snapshotter"
+    );
+    assert!(
+        fasea_store::live_commit_syncers() >= 1,
+        "group-commit server should have spawned its commit syncer"
+    );
+
+    const ROUNDS: u64 = 8;
+    for t in 0..ROUNDS {
+        assert_eq!(run_clean_round(&handle), t);
+    }
+
+    // The commit histograms are visible through STATS and have seen
+    // every logged record (2 per round, plus snapshot markers).
+    let stats = {
+        let mut client =
+            ServeClient::connect(handle.local_addr().to_string(), ClientConfig::default()).unwrap();
+        client.stats().unwrap()
+    };
+    assert_eq!(stats.rounds_completed, ROUNDS);
+    let batch = stats
+        .histograms
+        .iter()
+        .find(|h| h.name == "fsync_batch_size")
+        .expect("STATS must carry the fsync_batch_size histogram");
+    assert!(batch.count > 0, "no group-commit batches were observed");
+    assert!(
+        batch.sum_us >= 2 * ROUNDS,
+        "batches covered {} records, want at least {}",
+        batch.sum_us,
+        2 * ROUNDS
+    );
+    let latency = stats
+        .histograms
+        .iter()
+        .find(|h| h.name == "commit_latency_us")
+        .expect("STATS must carry the commit_latency_us histogram");
+    assert_eq!(
+        latency.count, batch.count,
+        "one latency observation per batch"
+    );
+
+    handle.initiate_shutdown();
+    let report = handle.join();
+    assert!(report.close.error.is_none(), "{:?}", report.close.error);
+    assert_eq!(report.close.rounds_completed, ROUNDS);
+    assert!(report.close.snapshot.is_some());
+    // Graceful drain joined the pipeline threads.
+    assert_eq!(
+        fasea_store::live_commit_syncers(),
+        0,
+        "drain left the commit syncer running"
+    );
+    assert_eq!(
+        fasea_sim::live_snapshotters(),
+        0,
+        "drain left the snapshotter running"
+    );
+
+    // Every acked round survived: reopening replays to the same count.
+    let reopened = DurableArrangementService::open(
+        &dir,
+        ProblemInstance::basic(6, DIM),
+        Box::new(LinUcb::new(DIM, 1.0, 2.0)),
+        DurableOptions::new()
+            .with_fsync(FsyncPolicy::Always)
+            .with_group_commit(true),
+    )
+    .unwrap();
+    assert_eq!(reopened.rounds_completed(), ROUNDS);
+    drop(reopened);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Decoder-level fuzzing, no sockets: random mutations of valid
 /// payloads must decode to the original, a different valid message, or
 /// a typed violation — never panic. (Response payloads too: the client

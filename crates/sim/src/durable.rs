@@ -42,6 +42,7 @@
 //! differently-configured service is rejected up front.
 
 use crate::service::{ArrangementService, ServiceError};
+use crate::snapshotter::{run_snapshot, Snapshotter};
 use fasea_bandit::Policy;
 use fasea_core::{
     Arrangement, ContextMatrix, EventId, ProblemInstance, ProblemMode, RegretAccounting,
@@ -50,8 +51,12 @@ use fasea_core::{
 use fasea_store::snapshot::{latest_snapshot, prune_snapshots};
 use fasea_store::wal::Recovered;
 pub use fasea_store::FsyncPolicy;
-use fasea_store::{context_hash, PendingProposal, Record, ServiceSnapshot, Wal, WalOptions};
+use fasea_store::{
+    context_hash, CommitNotifier, CommitObserver, GroupCommitWal, PendingProposal, Record,
+    ServiceSnapshot, StoreError, Wal, WalOptions,
+};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Tuning for the durable service.
 ///
@@ -74,6 +79,15 @@ pub struct DurableOptions {
     /// path). Parallel scoring is bit-identical to serial, so this knob
     /// never changes decisions — only wall-clock.
     pub score_threads: usize,
+    /// Route appends through the group-commit pipeline: a dedicated
+    /// syncer thread batches writes + fsyncs (N records share one
+    /// syscall pair) and snapshots run on a background thread. The
+    /// durability *guarantee* is unchanged per fsync policy — the
+    /// blocking [`DurableArrangementService::propose`] /
+    /// [`DurableArrangementService::feedback`] wait for the watermark,
+    /// and the `_deferred` variants hand the caller an LSN to gate its
+    /// own acknowledgements on.
+    pub group_commit: bool,
 }
 
 impl Default for DurableOptions {
@@ -83,6 +97,7 @@ impl Default for DurableOptions {
             fsync: FsyncPolicy::EveryN(32),
             snapshots_kept: 2,
             score_threads: 0,
+            group_commit: false,
         }
     }
 }
@@ -120,6 +135,13 @@ impl DurableOptions {
         self.score_threads = threads;
         self
     }
+
+    /// Enables (or disables) the group-commit pipeline + background
+    /// snapshotter. See [`DurableOptions::group_commit`].
+    pub fn with_group_commit(mut self, enabled: bool) -> Self {
+        self.group_commit = enabled;
+        self
+    }
 }
 
 /// A point-in-time health summary of a [`DurableArrangementService`],
@@ -146,13 +168,80 @@ pub struct ServiceHealth {
     pub total_rewards: u64,
     /// WAL sequence number the next append will receive.
     pub next_seq: u64,
+    /// Durability watermark: records with LSN strictly below this have
+    /// reached the level the fsync policy promises. Equal to `next_seq`
+    /// without group commit (appends were synchronous); may trail it
+    /// while a group-commit batch is in flight.
+    pub durable_lsn: u64,
+}
+
+/// How appends reach the log: synchronously on the caller, or through
+/// the group-commit queue.
+enum WalBackend {
+    /// PR 1 semantics: the caller's thread writes (and per policy
+    /// fsyncs) inline; everything appended is immediately at its
+    /// policy durability level.
+    Direct(Wal),
+    /// Appends enqueue; the syncer thread batches them. `Arc` because
+    /// the background snapshotter holds a second handle for its ordered
+    /// rotate/marker/compact tasks.
+    Grouped(Arc<GroupCommitWal>),
+}
+
+impl WalBackend {
+    /// Appends one record, returning its LSN. Under `Direct` the record
+    /// is at its policy durability level on return; under `Grouped` it
+    /// is durable only once the watermark passes the LSN.
+    fn append(&mut self, record: Record) -> Result<u64, StoreError> {
+        match self {
+            WalBackend::Direct(w) => w.append(&record),
+            WalBackend::Grouped(g) => g.append(record),
+        }
+    }
+
+    /// The LSN the next append will receive.
+    fn next_seq(&self) -> u64 {
+        match self {
+            WalBackend::Direct(w) => w.next_seq(),
+            WalBackend::Grouped(g) => g.next_lsn(),
+        }
+    }
+
+    /// The durability watermark (count semantics).
+    fn durable_lsn(&self) -> u64 {
+        match self {
+            // Synchronous appends: everything written is already at its
+            // policy durability level.
+            WalBackend::Direct(w) => w.next_seq(),
+            WalBackend::Grouped(g) => g.durable_lsn(),
+        }
+    }
+
+    /// Blocks until `lsn` is covered by the watermark. No-op under
+    /// `Direct`.
+    fn wait_durable(&self, lsn: u64) -> Result<(), StoreError> {
+        match self {
+            WalBackend::Direct(_) => Ok(()),
+            WalBackend::Grouped(g) => g.wait_durable(lsn).map(|_| ()),
+        }
+    }
+
+    /// Forces everything appended so far to stable storage.
+    fn sync(&mut self) -> Result<(), StoreError> {
+        match self {
+            WalBackend::Direct(w) => w.sync(),
+            WalBackend::Grouped(g) => g.sync_barrier(),
+        }
+    }
 }
 
 /// Crash-safe arrangement service: [`ArrangementService`] + WAL +
 /// snapshots.
 pub struct DurableArrangementService {
     service: ArrangementService,
-    wal: Wal,
+    wal: WalBackend,
+    /// Background snapshot thread; `Some` iff group commit is on.
+    snapshotter: Option<Snapshotter>,
     dir: PathBuf,
     fingerprint: u64,
     options: DurableOptions,
@@ -250,9 +339,22 @@ impl DurableArrangementService {
 
         replay(&mut service, &recovered, replay_from)?;
 
+        let (wal, snapshotter) = if options.group_commit {
+            let group = Arc::new(GroupCommitWal::spawn(wal));
+            let snapshotter = Snapshotter::spawn(
+                Arc::clone(&group),
+                dir.to_path_buf(),
+                options.snapshots_kept.max(1),
+            );
+            (WalBackend::Grouped(group), Some(snapshotter))
+        } else {
+            (WalBackend::Direct(wal), None)
+        };
+
         Ok(DurableArrangementService {
             service,
             wal,
+            snapshotter,
             dir: dir.to_path_buf(),
             fingerprint,
             options,
@@ -263,11 +365,41 @@ impl DurableArrangementService {
     /// round input plus the decision. See
     /// [`ArrangementService::propose`] for protocol errors.
     ///
+    /// Blocks until the record reaches its policy durability level —
+    /// with group commit, that means waiting for the watermark. Use
+    /// [`propose_deferred`](DurableArrangementService::propose_deferred)
+    /// to pipeline instead.
+    ///
     /// # Errors
     /// Protocol violations, or [`ServiceError::Store`] if the append
     /// fails — after which the service must be dropped and reopened
     /// (in-memory state may be ahead of the log).
     pub fn propose(&mut self, user: &UserArrival) -> Result<Arrangement, ServiceError> {
+        let (arrangement, lsn) = self.propose_deferred(user)?;
+        self.wal.wait_durable(lsn)?;
+        Ok(arrangement)
+    }
+
+    /// Like [`propose`](DurableArrangementService::propose) but does
+    /// *not* wait for durability: returns the arrangement plus the
+    /// `Propose` record's LSN. The proposal may be acted on in memory
+    /// immediately (the next round can start), but it must not be
+    /// acknowledged to the outside world until
+    /// [`durable_lsn`](DurableArrangementService::durable_lsn) exceeds
+    /// the returned LSN. Without group commit the record is already
+    /// durable on return, so gating on the LSN is a no-op.
+    ///
+    /// Losing a not-yet-durable `Propose` to a crash is safe even if
+    /// later rounds were arranged in memory: proposals are
+    /// compute-then-log and the policy's RNG position is recovered from
+    /// the log, so replay re-draws the identical proposal.
+    ///
+    /// # Errors
+    /// As [`propose`](DurableArrangementService::propose).
+    pub fn propose_deferred(
+        &mut self,
+        user: &UserArrival,
+    ) -> Result<(Arrangement, u64), ServiceError> {
         let t = self.service.rounds_completed();
         let arrangement = self.service.propose(user)?;
         let contexts = user.contexts.as_slice().to_vec();
@@ -280,18 +412,38 @@ impl DurableArrangementService {
             contexts,
             arrangement: arrangement.iter().map(|v| v.index() as u32).collect(),
         };
-        self.wal.append(&record)?;
-        Ok(arrangement)
+        let lsn = self.wal.append(record)?;
+        Ok((arrangement, lsn))
     }
 
     /// Records the user's answers for the pending proposal: validated
     /// against the pending arrangement, logged, then applied. See
     /// [`ArrangementService::feedback`] for protocol errors.
     ///
+    /// Blocks until the record reaches its policy durability level;
+    /// [`feedback_deferred`](DurableArrangementService::feedback_deferred)
+    /// pipelines instead.
+    ///
     /// # Errors
     /// Protocol violations leave no trace in the log;
     /// [`ServiceError::Store`] poisons the service (drop and reopen).
     pub fn feedback(&mut self, accepted: &[bool]) -> Result<u32, ServiceError> {
+        let (rewards, lsn) = self.feedback_deferred(accepted)?;
+        self.wal.wait_durable(lsn)?;
+        Ok(rewards)
+    }
+
+    /// Like [`feedback`](DurableArrangementService::feedback) but does
+    /// *not* wait for durability: the feedback is applied to the
+    /// learner immediately (the round completes in memory and the next
+    /// proposal can be drawn), and the caller receives the `Feedback`
+    /// record's LSN to gate its acknowledgement on. A crash before the
+    /// record is durable recovers to the pre-feedback state — safe
+    /// precisely because the answers were never acknowledged.
+    ///
+    /// # Errors
+    /// As [`feedback`](DurableArrangementService::feedback).
+    pub fn feedback_deferred(&mut self, accepted: &[bool]) -> Result<(u32, u64), ServiceError> {
         // Validate *before* logging so an invalid call cannot corrupt
         // the record stream.
         match self.service.pending() {
@@ -305,26 +457,20 @@ impl DurableArrangementService {
             Some(_) => {}
         }
         let t = self.service.rounds_completed();
-        self.wal.append(&Record::Feedback {
+        let lsn = self.wal.append(Record::Feedback {
             t,
             accepts: accepted.to_vec(),
         })?;
-        self.service.feedback(accepted)
+        let rewards = self.service.feedback(accepted)?;
+        Ok((rewards, lsn))
     }
 
-    /// Writes a full service snapshot atomically, then rotates the WAL,
-    /// logs a `SnapshotMarker`, compacts fully-covered segments and
-    /// prunes old snapshots. Returns the snapshot path.
-    ///
-    /// # Errors
-    /// [`ServiceError::Store`] on any I/O failure; an existing snapshot
-    /// is never damaged (temp-file + rename).
-    pub fn snapshot(&mut self) -> Result<PathBuf, ServiceError> {
-        // Everything the snapshot covers must be durable first.
-        self.wal.sync()?;
-        let seq = self.wal.next_seq();
+    /// Clones the full service state into a [`ServiceSnapshot`] image
+    /// covering every record below `seq`. Cheap: `O(d²)` policy state
+    /// plus the capacity vector.
+    fn build_snapshot(&self, seq: u64) -> ServiceSnapshot {
         let accounting = self.service.accounting();
-        let snap = ServiceSnapshot {
+        ServiceSnapshot {
             fingerprint: self.fingerprint,
             seq,
             t: self.service.rounds_completed(),
@@ -340,23 +486,120 @@ impl DurableArrangementService {
             }),
             policy_name: self.service.policy().name().to_string(),
             policy_state: self.service.policy().save_state(),
-        };
-        let path = snap.write_atomic(&self.dir)?;
-        self.wal.rotate()?;
-        self.wal
-            .append(&Record::SnapshotMarker { snapshot_seq: seq })?;
-        self.wal.compact_below(seq)?;
-        prune_snapshots(&self.dir, self.options.snapshots_kept.max(1))?;
-        Ok(path)
+        }
+    }
+
+    /// Writes a full service snapshot atomically, then rotates the WAL,
+    /// logs a `SnapshotMarker`, compacts fully-covered segments and
+    /// prunes old snapshots. Returns the snapshot path. Synchronous on
+    /// the calling thread regardless of backend; see
+    /// [`snapshot_async`](DurableArrangementService::snapshot_async)
+    /// for the non-blocking variant.
+    ///
+    /// # Errors
+    /// [`ServiceError::Store`] on any I/O failure; an existing snapshot
+    /// is never damaged (temp-file + rename).
+    pub fn snapshot(&mut self) -> Result<PathBuf, ServiceError> {
+        let seq = self.wal.next_seq();
+        let snap = self.build_snapshot(seq);
+        let keep = self.options.snapshots_kept.max(1);
+        match &mut self.wal {
+            WalBackend::Direct(wal) => {
+                // Everything the snapshot covers must be durable first.
+                wal.sync()?;
+                let path = snap.write_atomic(&self.dir)?;
+                wal.rotate()?;
+                wal.append(&Record::SnapshotMarker { snapshot_seq: seq })?;
+                wal.compact_below(seq)?;
+                prune_snapshots(&self.dir, keep)?;
+                Ok(path)
+            }
+            WalBackend::Grouped(group) => {
+                // Same cycle the background snapshotter runs, inline.
+                run_snapshot(group, &self.dir, keep, snap).map_err(ServiceError::from)
+            }
+        }
+    }
+
+    /// Hands a snapshot image to the background snapshotter and returns
+    /// immediately; the write/rename/rotate/compact cycle runs off the
+    /// round loop, and completion is visible via
+    /// [`snapshot_published_seq`](DurableArrangementService::snapshot_published_seq).
+    /// Without group commit there is no snapshotter thread, so this
+    /// falls back to the synchronous
+    /// [`snapshot`](DurableArrangementService::snapshot).
+    ///
+    /// # Errors
+    /// [`ServiceError::Store`] — for the async path, only a *previous*
+    /// background snapshot failure is reported here; the current
+    /// request's failure surfaces on the next call or at close.
+    pub fn snapshot_async(&mut self) -> Result<(), ServiceError> {
+        match &self.snapshotter {
+            Some(snapshotter) => {
+                let seq = self.wal.next_seq();
+                let image = self.build_snapshot(seq);
+                snapshotter.request(image).map_err(ServiceError::from)
+            }
+            None => self.snapshot().map(|_| ()),
+        }
+    }
+
+    /// Seq covered by the newest *completed* background snapshot (0
+    /// before the first one; always 0 without group commit — the
+    /// synchronous path returns its result directly).
+    pub fn snapshot_published_seq(&self) -> u64 {
+        self.snapshotter.as_ref().map_or(0, |s| s.published_seq())
     }
 
     /// Forces all appended records to stable storage regardless of the
-    /// fsync policy.
+    /// fsync policy. With group commit this is a barrier through the
+    /// commit queue: on return everything previously appended is
+    /// fsynced.
     ///
     /// # Errors
     /// [`ServiceError::Store`] on I/O failure.
     pub fn sync(&mut self) -> Result<(), ServiceError> {
         self.wal.sync().map_err(ServiceError::from)
+    }
+
+    /// The durability watermark: records with LSN strictly below this
+    /// have reached the level the fsync policy promises. Gate external
+    /// acknowledgements of `_deferred` results on it. Lock-free.
+    pub fn durable_lsn(&self) -> u64 {
+        self.wal.durable_lsn()
+    }
+
+    /// Blocks until `lsn` is covered by the watermark. No-op without
+    /// group commit.
+    ///
+    /// # Errors
+    /// The pipeline's poisoning error — the record may or may not be on
+    /// disk, so the caller must not acknowledge it.
+    pub fn wait_durable(&self, lsn: u64) -> Result<(), ServiceError> {
+        self.wal.wait_durable(lsn).map_err(ServiceError::from)
+    }
+
+    /// `true` if appends run through the group-commit pipeline.
+    pub fn group_commit_enabled(&self) -> bool {
+        matches!(self.wal, WalBackend::Grouped(_))
+    }
+
+    /// Installs (or clears) the group-commit batch observer, invoked by
+    /// the syncer after each published batch with `(batch_size,
+    /// commit_latency)`. No-op without group commit.
+    pub fn set_commit_observer(&self, observer: Option<CommitObserver>) {
+        if let WalBackend::Grouped(g) = &self.wal {
+            g.set_commit_observer(observer);
+        }
+    }
+
+    /// Installs (or clears) the watermark-advance notifier, invoked by
+    /// the syncer with the new watermark after each published batch.
+    /// No-op without group commit.
+    pub fn set_commit_notifier(&self, notifier: Option<CommitNotifier>) {
+        if let WalBackend::Grouped(g) = &self.wal {
+            g.set_commit_notifier(notifier);
+        }
     }
 
     /// The wrapped in-memory service (all read accessors).
@@ -408,12 +651,15 @@ impl DurableArrangementService {
             total_arranged: accounting.total_arranged(),
             total_rewards: accounting.total_rewards(),
             next_seq: self.wal.next_seq(),
+            durable_lsn: self.wal.durable_lsn(),
         }
     }
 
-    /// Graceful shutdown: forces every appended record to stable
-    /// storage, writes a final snapshot (so the next open skips replay),
-    /// and consumes the service. Returns the snapshot path.
+    /// Graceful shutdown: joins the snapshotter and commit syncer (if
+    /// group commit is on — every queued record is drained first),
+    /// forces every appended record to stable storage, writes a final
+    /// snapshot (so the next open skips replay), and consumes the
+    /// service. Returns the snapshot path.
     ///
     /// A snapshot is only written once at least one record exists —
     /// closing a service that never completed a round leaves the
@@ -422,12 +668,42 @@ impl DurableArrangementService {
     /// # Errors
     /// [`ServiceError::Store`] on any I/O failure; the WAL is synced
     /// before snapshotting, so even a failed snapshot loses nothing.
-    pub fn close(mut self) -> Result<Option<PathBuf>, ServiceError> {
-        self.wal.sync()?;
-        if self.wal.next_seq() == 0 {
+    pub fn close(self) -> Result<Option<PathBuf>, ServiceError> {
+        let DurableArrangementService {
+            service,
+            wal,
+            snapshotter,
+            dir,
+            fingerprint,
+            options,
+        } = self;
+        // Join the snapshotter first: it drops its `GroupCommitWal`
+        // handle, making the syncer uniquely owned below.
+        if let Some(s) = snapshotter {
+            s.close()?;
+        }
+        let wal = match wal {
+            WalBackend::Direct(w) => w,
+            WalBackend::Grouped(g) => Arc::try_unwrap(g)
+                .expect("group-commit handle uniquely owned after snapshotter join")
+                .close()?,
+        };
+        // Collapse to the direct backend for the final synchronous
+        // snapshot — the syncer is gone, so the Wal is single-threaded
+        // again.
+        let mut svc = DurableArrangementService {
+            service,
+            wal: WalBackend::Direct(wal),
+            snapshotter: None,
+            dir,
+            fingerprint,
+            options,
+        };
+        svc.wal.sync()?;
+        if svc.wal.next_seq() == 0 {
             return Ok(None);
         }
-        self.snapshot().map(Some)
+        svc.snapshot().map(Some)
     }
 }
 
@@ -679,6 +955,7 @@ mod tests {
             fsync: FsyncPolicy::Never,
             snapshots_kept: 1,
             score_threads: 0,
+            group_commit: false,
         };
         let reference_state;
         {
@@ -815,6 +1092,164 @@ mod tests {
             .filter(|e| e.file_name().to_string_lossy().contains("snap"))
             .collect();
         assert!(snapshots.is_empty(), "no snapshot for an untouched service");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn group_commit_run_recovers_identically_to_direct_run() {
+        // The same workload through the group-commit pipeline must
+        // leave a log that recovers to byte-identical policy state —
+        // and the blocking API must keep acked-implies-durable (the
+        // watermark covers every completed call).
+        let direct_dir = tmp("gc-direct");
+        let grouped_dir = tmp("gc-grouped");
+        let direct_opts = DurableOptions {
+            fsync: FsyncPolicy::Always,
+            ..Default::default()
+        };
+        let grouped_opts = direct_opts.with_group_commit(true);
+
+        let reference_state;
+        {
+            let mut svc =
+                DurableArrangementService::open(&direct_dir, instance(), ts_policy(), direct_opts)
+                    .unwrap();
+            for round in 0..20 {
+                let a = svc.propose(&arrival(round)).unwrap();
+                svc.feedback(&accepts_for(round, &a)).unwrap();
+            }
+            reference_state = svc.service().policy().save_state();
+        }
+        {
+            let mut svc = DurableArrangementService::open(
+                &grouped_dir,
+                instance(),
+                ts_policy(),
+                grouped_opts,
+            )
+            .unwrap();
+            assert!(svc.group_commit_enabled());
+            for round in 0..20 {
+                let a = svc.propose(&arrival(round)).unwrap();
+                svc.feedback(&accepts_for(round, &a)).unwrap();
+                // Blocking API: the watermark covers everything acked.
+                assert_eq!(svc.durable_lsn(), svc.next_seq());
+            }
+            assert_eq!(svc.service().policy().save_state(), reference_state);
+            // Simulated crash: drop without close; the syncer drains.
+        }
+        let svc =
+            DurableArrangementService::open(&grouped_dir, instance(), ts_policy(), grouped_opts)
+                .unwrap();
+        assert_eq!(svc.rounds_completed(), 20);
+        assert_eq!(svc.service().policy().save_state(), reference_state);
+        fs::remove_dir_all(&direct_dir).unwrap();
+        fs::remove_dir_all(&grouped_dir).unwrap();
+    }
+
+    #[test]
+    fn deferred_rounds_pipeline_and_watermark_gates_acks() {
+        let dir = tmp("gc-deferred");
+        let opts = DurableOptions {
+            fsync: FsyncPolicy::Always,
+            ..Default::default()
+        }
+        .with_group_commit(true);
+        let reference_state;
+        {
+            let mut svc =
+                DurableArrangementService::open(&dir, instance(), ts_policy(), opts).unwrap();
+            let mut last_lsn = 0;
+            for round in 0..30 {
+                // No waiting between rounds: the round loop runs ahead
+                // of the disk, replies would be gated on the LSNs.
+                let (a, propose_lsn) = svc.propose_deferred(&arrival(round)).unwrap();
+                let (_, feedback_lsn) = svc.feedback_deferred(&accepts_for(round, &a)).unwrap();
+                assert_eq!(feedback_lsn, propose_lsn + 1);
+                last_lsn = feedback_lsn;
+            }
+            svc.wait_durable(last_lsn).unwrap();
+            assert!(svc.durable_lsn() > last_lsn);
+            reference_state = svc.service().policy().save_state();
+            let snap = svc.close().unwrap();
+            assert!(snap.is_some());
+        }
+        let svc = DurableArrangementService::open(&dir, instance(), ts_policy(), opts).unwrap();
+        assert_eq!(svc.rounds_completed(), 30);
+        assert_eq!(svc.service().policy().save_state(), reference_state);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn async_snapshot_compacts_in_background_and_recovers() {
+        let dir = tmp("gc-async-snap");
+        let opts = DurableOptions {
+            segment_bytes: 512,
+            fsync: FsyncPolicy::Never,
+            snapshots_kept: 1,
+            score_threads: 0,
+            group_commit: true,
+        };
+        let reference_state;
+        {
+            let mut svc =
+                DurableArrangementService::open(&dir, instance(), ts_policy(), opts).unwrap();
+            for round in 0..30 {
+                let a = svc.propose(&arrival(round)).unwrap();
+                svc.feedback(&accepts_for(round, &a)).unwrap();
+                if round % 10 == 9 {
+                    svc.snapshot_async().unwrap();
+                }
+            }
+            // Wait for the last background snapshot to publish, then
+            // verify it actually compacted.
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+            while svc.snapshot_published_seq() < 40 {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "background snapshot never published (at {})",
+                    svc.snapshot_published_seq()
+                );
+                std::thread::yield_now();
+            }
+            reference_state = svc.service().policy().save_state();
+            svc.close().unwrap();
+        }
+        let segments: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().starts_with("wal-"))
+            .collect();
+        assert!(
+            segments.len() < 4,
+            "expected background compaction to leave few segments, found {}",
+            segments.len()
+        );
+        let svc = DurableArrangementService::open(&dir, instance(), ts_policy(), opts).unwrap();
+        assert_eq!(svc.rounds_completed(), 30);
+        assert_eq!(svc.service().policy().save_state(), reference_state);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn close_joins_syncer_and_snapshotter() {
+        let dir = tmp("gc-join");
+        let opts = DurableOptions::new()
+            .with_fsync(FsyncPolicy::EveryN(8))
+            .with_group_commit(true);
+        let mut svc = DurableArrangementService::open(&dir, instance(), ts_policy(), opts).unwrap();
+        assert!(fasea_store::live_commit_syncers() >= 1);
+        assert!(crate::live_snapshotters() >= 1);
+        for round in 0..10 {
+            let (a, _) = svc.propose_deferred(&arrival(round)).unwrap();
+            svc.feedback_deferred(&accepts_for(round, &a)).unwrap();
+        }
+        svc.snapshot_async().unwrap();
+        // Close must drain the queue, finish the snapshot, and join
+        // both threads — nothing may be lost.
+        svc.close().unwrap();
+        let svc = DurableArrangementService::open(&dir, instance(), ts_policy(), opts).unwrap();
+        assert_eq!(svc.rounds_completed(), 10);
         fs::remove_dir_all(&dir).unwrap();
     }
 

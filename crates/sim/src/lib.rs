@@ -37,6 +37,7 @@ pub mod report;
 pub mod rotating;
 pub mod runner;
 pub mod service;
+pub mod snapshotter;
 pub mod sweep;
 
 pub use durable::{service_fingerprint, DurableArrangementService, DurableOptions, ServiceHealth};
@@ -49,3 +50,4 @@ pub use runner::{
     paper_checkpoints, run_simulation, Checkpoint, PolicyRunResult, RunConfig, SimulationResult,
 };
 pub use service::{ArrangementService, ServiceError};
+pub use snapshotter::{live_snapshotters, Snapshotter};

@@ -19,6 +19,11 @@
 //!   is reported, never silently skipped. Segment headers carry an
 //!   instance fingerprint so a log can never be replayed into the
 //!   wrong service.
+//! * [`group`] — a group-commit pipeline over the WAL: appends land in
+//!   an in-memory commit queue tagged with a monotone LSN, a dedicated
+//!   syncer thread writes + fsyncs whole batches, and a `durable_lsn`
+//!   watermark tells callers when a record may be acknowledged. N
+//!   concurrent producers share one fsync instead of paying one each.
 //! * [`snapshot`] — a full point-in-time image of the service (round
 //!   counter, remaining capacities, regret accounting, the pending
 //!   proposal if any, and an opaque policy-state blob), written via
@@ -39,12 +44,14 @@
 
 pub mod crc;
 pub mod fault;
+pub mod group;
 pub mod record;
 pub mod snapshot;
 pub mod wal;
 
 pub use crc::{crc32, Crc32};
 pub use fault::{FaultFile, ShortReader};
+pub use group::{live_commit_syncers, CommitNotifier, CommitObserver, GroupCommitWal};
 pub use record::{
     context_hash, parse_raw_frame, read_raw_frame, write_raw_frame, FrameParse, RawFrame, Record,
     MAX_PAYLOAD,

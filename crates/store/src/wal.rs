@@ -354,14 +354,39 @@ impl Wal {
     /// in-memory service may have diverged from the log, and the safe
     /// continuation is to drop the service and recover from disk.
     pub fn append(&mut self, record: &Record) -> Result<u64, StoreError> {
+        let seq = self.append_unsynced(record)?;
+        self.apply_fsync_policy()?;
+        Ok(seq)
+    }
+
+    /// Appends one record *without* applying the fsync policy (rotation
+    /// still happens when a segment fills, and rotation remains a
+    /// durability point). The group-commit pipeline uses this to write a
+    /// whole batch and then apply the policy once via
+    /// [`Wal::apply_fsync_policy`], so N records share one fsync.
+    pub fn append_unsynced(&mut self, record: &Record) -> Result<u64, StoreError> {
         let seq = self.next_seq;
         let bytes = write_frame(&mut self.file, seq, record)
             .map_err(|e| StoreError::io("append record", &self.segment_path, &e))?;
         self.next_seq += 1;
         self.segment_len += bytes;
         self.unsynced += 1;
+        if self.segment_len >= self.options.segment_bytes {
+            self.rotate()?;
+        }
+        Ok(seq)
+    }
+
+    /// Applies the configured fsync policy to everything appended since
+    /// the last sync: `Always` syncs unconditionally, `EveryN(n)` syncs
+    /// once at least `n` records are pending, `Never` does nothing.
+    pub fn apply_fsync_policy(&mut self) -> Result<(), StoreError> {
         match self.options.fsync {
-            FsyncPolicy::Always => self.sync()?,
+            FsyncPolicy::Always => {
+                if self.unsynced > 0 {
+                    self.sync()?;
+                }
+            }
             FsyncPolicy::EveryN(n) => {
                 if self.unsynced >= n.max(1) {
                     self.sync()?;
@@ -369,10 +394,19 @@ impl Wal {
             }
             FsyncPolicy::Never => {}
         }
-        if self.segment_len >= self.options.segment_bytes {
-            self.rotate()?;
-        }
-        Ok(seq)
+        Ok(())
+    }
+
+    /// Records appended since the last fsync (diagnostics/tests — the
+    /// every-N regression test asserts this resets at rotation and
+    /// snapshot boundaries rather than drifting).
+    pub fn unsynced_records(&self) -> u32 {
+        self.unsynced
+    }
+
+    /// The configured fsync policy.
+    pub fn fsync_policy(&self) -> FsyncPolicy {
+        self.options.fsync
     }
 
     /// Forces everything appended so far to stable storage.
@@ -744,6 +778,86 @@ mod tests {
             assert_eq!(rec.records.len(), 10);
             fs::remove_dir_all(&dir).unwrap();
         }
+    }
+
+    #[test]
+    fn every_n_counter_resets_at_rotation_and_keeps_cadence() {
+        // Regression: the every-N counter must restart from zero at a
+        // rotation (rotation itself syncs, so the rotated-away records
+        // are a durability point) instead of carrying a stale phase
+        // into the new segment.
+        let dir = tmp("every-n-rotation");
+        let opts = WalOptions {
+            // Header (32) + six 31-byte feedback frames = 218, so a
+            // rotation lands on the 6th append — mid-cadence of
+            // EveryN(4), two past the policy sync.
+            segment_bytes: 210,
+            fsync: FsyncPolicy::EveryN(4),
+        };
+        let (mut wal, _) = Wal::open(&dir, 1, opts).unwrap();
+        let mut seen_rotation_reset = false;
+        let mut seen_policy_sync = false;
+        let mut after_sync = 0u32;
+        for t in 0..32u64 {
+            let before_segment = wal.current_segment().to_path_buf();
+            let before_unsynced = wal.unsynced_records();
+            wal.append(&feedback(t, 2)).unwrap();
+            let rotated = wal.current_segment() != before_segment;
+            if rotated {
+                // Rotation synced: nothing may be left pending.
+                assert_eq!(
+                    wal.unsynced_records(),
+                    0,
+                    "rotation at t={t} left unsynced records"
+                );
+                seen_rotation_reset = true;
+                after_sync = 0;
+            } else if wal.unsynced_records() == 0 {
+                // A policy-driven sync: must fire exactly when the 4th
+                // pending record lands, never earlier or later.
+                assert_eq!(
+                    before_unsynced + 1,
+                    4,
+                    "EveryN(4) synced after {} records at t={t}",
+                    before_unsynced + 1
+                );
+                seen_policy_sync = true;
+                after_sync = 0;
+            } else {
+                after_sync += 1;
+                assert_eq!(
+                    wal.unsynced_records(),
+                    after_sync,
+                    "unsynced counter drifted at t={t}"
+                );
+                assert!(
+                    wal.unsynced_records() < 4,
+                    "counter passed the EveryN threshold without syncing at t={t}"
+                );
+            }
+        }
+        assert!(
+            seen_rotation_reset,
+            "test never exercised a rotation; shrink segment_bytes"
+        );
+        assert!(
+            seen_policy_sync,
+            "test never exercised an EveryN policy sync; grow segment_bytes"
+        );
+        // Snapshot boundary: an explicit sync (what a snapshot performs
+        // first) also restarts the cadence.
+        wal.append(&feedback(100, 2)).unwrap();
+        if wal.unsynced_records() == 0 {
+            wal.append(&feedback(101, 2)).unwrap();
+        }
+        assert!(wal.unsynced_records() > 0);
+        wal.sync().unwrap();
+        assert_eq!(wal.unsynced_records(), 0);
+        // Everything written is recoverable.
+        drop(wal);
+        let (_, rec) = Wal::open(&dir, 1, opts).unwrap();
+        assert!(rec.records.len() >= 33);
+        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

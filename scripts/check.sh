@@ -32,4 +32,10 @@ FASEA_BENCH_MS=25 cargo bench -q -p fasea-bench --bench scoring_hot_path
 echo "==> parallel golden determinism (score_threads = 4)"
 cargo test -q --test determinism_golden parallel_scoring_matches_serial_golden
 
+# Every committed bench-result table must still parse and keep the
+# shared schema (object with "bench"/"units"/non-empty "cells" of flat
+# scalar cells) so downstream tooling never reads a drifted artefact.
+echo "==> check-bench (committed BENCH_*.json schema)"
+cargo run -q -p fasea-experiments --bin fasea-exp -- check-bench BENCH_*.json
+
 echo "All checks passed."

@@ -16,6 +16,13 @@
 //!    rounds, once mid-proposal) and recovered must end with regret
 //!    accounting and policy state byte-identical to an uninterrupted
 //!    run with the same seed.
+//! 4. **Group-commit matrix** — the same kill-at-every-boundary drill
+//!    against a *pipelined* run (deferred acks outstanding, commit
+//!    queue non-empty, batches torn mid-record), plus crashes on both
+//!    sides of the async snapshotter's temp-file rename. The group
+//!    pipeline must write a log byte-identical to the direct run's,
+//!    recover byte-identically from every prefix, and never lose a
+//!    round whose feedback acknowledgement was released.
 
 use fasea::bandit::{Policy, ThompsonSampling};
 use fasea::core::{
@@ -196,6 +203,279 @@ fn kill_at_every_record_boundary_recovers_exactly() {
 
     fs::remove_dir_all(&ref_dir).unwrap();
     fs::remove_dir_all(&scratch).unwrap();
+}
+
+#[test]
+fn group_commit_kill_matrix_recovers_exactly() {
+    const ROUNDS: u64 = 80;
+    let group_opts = DurableOptions::new()
+        .with_segment_bytes(u64::MAX)
+        .with_fsync(FsyncPolicy::Always)
+        .with_group_commit(true)
+        .with_snapshots_kept(1);
+
+    // Reference run through the pipelined API: state advances while
+    // earlier batches are still in flight, so at any instant the commit
+    // queue may be non-empty — exactly the "ack computed, fsync
+    // pending" window the serve actor lives in. Every 16 rounds the run
+    // acknowledges the way the actor does (wait for the feedback LSN to
+    // be covered by the watermark) and records how much history was
+    // necessarily on disk at that moment.
+    let ref_dir = tmp("gc-kill-ref");
+    let _ = fs::remove_dir_all(&ref_dir);
+    let mut expected: Vec<StateDigest> = Vec::with_capacity(2 * ROUNDS as usize + 1);
+    // (records on disk when the ack was released, rounds acked by then)
+    let mut acked: Vec<(u64, u64)> = Vec::new();
+    {
+        let mut svc =
+            DurableArrangementService::open(&ref_dir, instance(), policy(), group_opts).unwrap();
+        assert!(svc.group_commit_enabled());
+        expected.push(digest(&svc));
+        for round in 0..ROUNDS {
+            let (a, propose_lsn) = svc.propose_deferred(&arrival(round)).unwrap();
+            assert_eq!(propose_lsn, 2 * round, "propose LSN must be the WAL seq");
+            expected.push(digest(&svc));
+            let (_, feedback_lsn) = svc.feedback_deferred(&accepts_for(round, &a)).unwrap();
+            assert_eq!(feedback_lsn, 2 * round + 1);
+            expected.push(digest(&svc));
+            if (round + 1).is_multiple_of(16) {
+                // The ack point: once this returns, every record up to
+                // and including feedback_lsn is on stable storage, so
+                // any later crash image contains them.
+                svc.wait_durable(feedback_lsn).unwrap();
+                assert!(svc.durable_lsn() > feedback_lsn);
+                acked.push((feedback_lsn + 1, round + 1));
+            }
+        }
+        svc.sync().unwrap();
+        assert_eq!(svc.durable_lsn(), 2 * ROUNDS);
+        // Crash, not close: drop drains the queue but writes no
+        // snapshot, leaving the bare log a kill would leave.
+    }
+
+    // The pipeline must write the *same log* a direct synchronous run
+    // writes — same records, same framing, byte for byte — so every
+    // fault-matrix result for the direct WAL carries over verbatim.
+    let direct_dir = tmp("gc-kill-direct");
+    let _ = fs::remove_dir_all(&direct_dir);
+    let direct_opts = DurableOptions::new()
+        .with_segment_bytes(u64::MAX)
+        .with_fsync(FsyncPolicy::Never)
+        .with_snapshots_kept(1);
+    {
+        let mut svc =
+            DurableArrangementService::open(&direct_dir, instance(), policy(), direct_opts)
+                .unwrap();
+        run_rounds(&mut svc, ROUNDS);
+        svc.sync().unwrap();
+    }
+    let wal_file = |dir: &Path| {
+        fs::read_dir(dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .find(|e| e.file_name().to_string_lossy().starts_with("wal-"))
+            .unwrap()
+            .path()
+    };
+    assert_eq!(
+        fs::read(wal_file(&ref_dir)).unwrap(),
+        fs::read(wal_file(&direct_dir)).unwrap(),
+        "group-commit log must be byte-identical to the direct log"
+    );
+    fs::remove_dir_all(&direct_dir).unwrap();
+
+    let fingerprint = {
+        let svc =
+            DurableArrangementService::open(&ref_dir, instance(), policy(), group_opts).unwrap();
+        svc.fingerprint()
+    };
+    let (records, boundaries, torn) = wal::scan(&ref_dir, fingerprint).unwrap();
+    assert_eq!(records.len(), 2 * ROUNDS as usize);
+    assert!(torn.is_none());
+    let reference_final = expected.last().unwrap().clone();
+
+    let scratch = tmp("gc-kill-scratch");
+    for (k, (segment, offset)) in boundaries.iter().enumerate() {
+        // Kill with exactly k records on disk — every reachable crash
+        // image of the pipelined run is some such prefix.
+        copy_dir(&ref_dir, &scratch);
+        FaultFile::new(scratch.join(segment.file_name().unwrap()))
+            .torn_write(*offset)
+            .unwrap();
+
+        let mut svc =
+            DurableArrangementService::open(&scratch, instance(), policy(), group_opts).unwrap();
+        let got = digest(&svc);
+        assert_eq!(
+            got, expected[k],
+            "state mismatch after group-commit kill at record boundary {k}"
+        );
+
+        // No acked round lost: when round r's ack was released the log
+        // already held `recs` records, so only boundaries k ≥ recs are
+        // reachable afterwards — and at those, recovery must retain
+        // every acked round.
+        let floor = acked
+            .iter()
+            .filter(|&&(recs, _)| recs <= k as u64)
+            .map(|&(_, rounds)| rounds)
+            .max()
+            .unwrap_or(0);
+        assert!(
+            got.t >= floor,
+            "boundary {k} lost an acked round: recovered t = {} < {floor}",
+            got.t
+        );
+
+        if got.has_pending {
+            assert!(matches!(
+                svc.propose(&arrival(got.t)),
+                Err(ServiceError::FeedbackPending)
+            ));
+        }
+
+        // For a spread of prefixes, re-drive through the group pipeline
+        // to the end: compute-then-log means the recovered RNG re-draws
+        // the lost suffix identically.
+        if k % 37 == 0 || k == boundaries.len() - 1 {
+            run_rounds(&mut svc, ROUNDS);
+            assert_eq!(
+                digest(&svc),
+                reference_final,
+                "continuation from boundary {k} diverged from the reference run"
+            );
+        }
+    }
+
+    // A batch torn *mid-record* — the crash landed part-way through the
+    // syncer's batched write — must recover to the last complete
+    // record, never to a half-applied one.
+    for k in [4usize, 37, 90, 2 * ROUNDS as usize - 1] {
+        let (segment, next_off) = &boundaries[k + 1];
+        copy_dir(&ref_dir, &scratch);
+        FaultFile::new(scratch.join(segment.file_name().unwrap()))
+            .torn_write(next_off - 3)
+            .unwrap();
+        let svc =
+            DurableArrangementService::open(&scratch, instance(), policy(), group_opts).unwrap();
+        assert_eq!(
+            digest(&svc),
+            expected[k],
+            "mid-record cut inside record {k} must land on boundary {k}"
+        );
+    }
+
+    fs::remove_dir_all(&ref_dir).unwrap();
+    fs::remove_dir_all(&scratch).unwrap();
+}
+
+#[test]
+fn group_commit_snapshot_crash_points_recover() {
+    const ROUNDS: u64 = 60;
+    const CRASH_AT: u64 = 40;
+    let opts = DurableOptions::new()
+        .with_segment_bytes(4096)
+        .with_fsync(FsyncPolicy::Always)
+        .with_group_commit(true)
+        .with_snapshots_kept(2);
+
+    // Base image: a multi-segment group-commit log up to round 40,
+    // dropped without close so no snapshot exists yet.
+    let base = tmp("gc-snap-base");
+    let _ = fs::remove_dir_all(&base);
+    let at_crash = {
+        let mut svc = DurableArrangementService::open(&base, instance(), policy(), opts).unwrap();
+        run_rounds(&mut svc, CRASH_AT);
+        svc.sync().unwrap();
+        digest(&svc)
+    };
+
+    // Reference: continue the base image untouched to the end.
+    let reference_final = {
+        let cont = tmp("gc-snap-cont");
+        copy_dir(&base, &cont);
+        let mut svc = DurableArrangementService::open(&cont, instance(), policy(), opts).unwrap();
+        run_rounds(&mut svc, ROUNDS);
+        let d = digest(&svc);
+        drop(svc);
+        fs::remove_dir_all(&cont).unwrap();
+        d
+    };
+
+    // Crash *before* the rename: the snapshotter died after writing its
+    // temp file. The orphan `.tmp-<pid>` must be ignored — recovery
+    // replays the intact WAL as if no snapshot was ever attempted.
+    {
+        let scratch = tmp("gc-snap-prerename");
+        copy_dir(&base, &scratch);
+        fs::write(
+            scratch.join(format!("snap-{:020}.tmp-{}", 2 * CRASH_AT, 12345)),
+            b"half-written snapshot image from a dead snapshotter",
+        )
+        .unwrap();
+        let mut svc =
+            DurableArrangementService::open(&scratch, instance(), policy(), opts).unwrap();
+        assert_eq!(
+            digest(&svc),
+            at_crash,
+            "orphan snapshot temp file changed recovery"
+        );
+
+        // Re-drive to the end with a *live* async snapshot mid-way: the
+        // published-seq watermark must advance and the snapshot must
+        // not perturb the arrangement state.
+        run_rounds(&mut svc, 50);
+        svc.snapshot_async().unwrap();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while svc.snapshot_published_seq() < 100 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "async snapshot never published (seq = {})",
+                svc.snapshot_published_seq()
+            );
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        run_rounds(&mut svc, ROUNDS);
+        assert_eq!(digest(&svc), reference_final);
+        drop(svc);
+
+        // And the snapshot it published must itself recover exactly.
+        let svc = DurableArrangementService::open(&scratch, instance(), policy(), opts).unwrap();
+        assert_eq!(digest(&svc), reference_final);
+        drop(svc);
+        fs::remove_dir_all(&scratch).unwrap();
+    }
+
+    // Crash *after* the rename but before WAL compaction: the snapshot
+    // file is live while the full pre-snapshot history is still on
+    // disk. Recovery must load the snapshot and skip every record below
+    // its seq instead of double-applying them.
+    {
+        let snap_src = tmp("gc-snap-src");
+        copy_dir(&base, &snap_src);
+        let snap_path = {
+            let mut svc =
+                DurableArrangementService::open(&snap_src, instance(), policy(), opts).unwrap();
+            svc.snapshot().unwrap()
+        };
+        let scratch = tmp("gc-snap-postrename");
+        copy_dir(&base, &scratch);
+        fs::copy(&snap_path, scratch.join(snap_path.file_name().unwrap())).unwrap();
+        let mut svc =
+            DurableArrangementService::open(&scratch, instance(), policy(), opts).unwrap();
+        assert_eq!(
+            digest(&svc),
+            at_crash,
+            "snapshot + uncompacted history must not double-apply records"
+        );
+        run_rounds(&mut svc, ROUNDS);
+        assert_eq!(digest(&svc), reference_final);
+        drop(svc);
+        fs::remove_dir_all(&snap_src).unwrap();
+        fs::remove_dir_all(&scratch).unwrap();
+    }
+
+    fs::remove_dir_all(&base).unwrap();
 }
 
 #[test]
