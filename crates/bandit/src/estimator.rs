@@ -216,6 +216,64 @@ impl RidgeEstimator {
         let d = self.dim();
         (2 * d * d + 3 * d) * std::mem::size_of::<f64>()
     }
+
+    /// Whether `θ̂` is stale relative to `(Y⁻¹, b)` — i.e. an `observe`
+    /// has happened since the last `θ̂` read. Exposed so the exact-state
+    /// codec of the personalized model store can preserve the flag: a
+    /// demoted-then-restored estimator must recompute (or not) `θ̂` at
+    /// exactly the same access its never-demoted twin would.
+    pub fn is_theta_stale(&self) -> bool {
+        self.theta_stale
+    }
+
+    /// Borrows the cached `θ̂` **without** refreshing it — possibly stale
+    /// (pair with [`RidgeEstimator::is_theta_stale`]). The exact-state
+    /// codec serialises these bits verbatim; every scoring path keeps
+    /// using [`RidgeEstimator::theta_hat`].
+    pub fn theta_hat_cached(&self) -> &Vector {
+        &self.theta_hat
+    }
+
+    /// Rebuilds an estimator from a **bit-exact** state export: unlike
+    /// [`RidgeEstimator::from_parts`], the maintained inverse and the
+    /// cached `θ̂` are restored verbatim rather than re-derived, so a
+    /// spilled-and-faulted-back estimator is indistinguishable — to the
+    /// last mantissa bit — from one that never left memory. This is the
+    /// restore half of the `fasea-models` residency contract.
+    ///
+    /// # Errors
+    /// Propagates shape/finiteness mismatches between the parts; the
+    /// inverse itself is trusted (callers must only feed back parts
+    /// previously read off a live estimator).
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_exact_parts(
+        lambda: f64,
+        y: fasea_linalg::Matrix,
+        y_inv: fasea_linalg::Matrix,
+        b: Vector,
+        theta_hat: Vector,
+        theta_stale: bool,
+        observations: u64,
+        theta_recomputes: u64,
+    ) -> Result<Self, LinalgError> {
+        let sm = ShermanMorrisonInverse::from_raw_parts(y, y_inv, lambda, observations)?;
+        if sm.dim() != b.dim() {
+            return Err(LinalgError::DimensionMismatch(sm.dim(), b.dim()));
+        }
+        if sm.dim() != theta_hat.dim() {
+            return Err(LinalgError::DimensionMismatch(sm.dim(), theta_hat.dim()));
+        }
+        if !b.is_finite() || !theta_hat.is_finite() {
+            return Err(LinalgError::NonFinite);
+        }
+        Ok(RidgeEstimator {
+            sm,
+            b,
+            theta_hat,
+            theta_stale,
+            theta_recomputes,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -423,5 +481,84 @@ mod tests {
         let e5 = RidgeEstimator::new(5, 1.0);
         let e10 = RidgeEstimator::new(10, 1.0);
         assert!(e10.state_bytes() > 3 * e5.state_bytes());
+    }
+
+    #[test]
+    fn state_bytes_matches_actual_buffer_sizes() {
+        // The accounting the EstimatorStore budgets against must equal
+        // the real float payload: Y + Y⁻¹ (d² each), b + θ̂ + the update
+        // scratch vector (d each), 8 bytes per entry.
+        for d in [1usize, 3, 8, 20] {
+            let mut e = RidgeEstimator::new(d, 1.0);
+            for k in 0..5 {
+                let x: Vec<f64> = (0..d).map(|i| ((k + i) % 3) as f64 * 0.2).collect();
+                e.observe(&x, 1.0).unwrap();
+            }
+            let floats = e.gram_matrix().as_slice().len()
+                + e.y_inv().as_slice().len()
+                + e.b_vector().dim()
+                + e.theta_hat_cached().dim()
+                + d; // the ShermanMorrison scratch vector
+            assert_eq!(
+                e.state_bytes(),
+                floats * std::mem::size_of::<f64>(),
+                "state_bytes drifted from the real buffers at d={d}"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_parts_restore_preserves_stale_flag_and_counters() {
+        let mut e = RidgeEstimator::new(3, 1.0);
+        e.observe(&[0.4, 0.1, -0.2], 1.0).unwrap();
+        let _ = e.theta_hat();
+        e.observe(&[0.0, 0.3, 0.2], 0.0).unwrap(); // leave θ̂ stale
+        assert!(e.is_theta_stale());
+        let r = RidgeEstimator::from_exact_parts(
+            e.lambda(),
+            e.gram_matrix().clone(),
+            e.y_inv().clone(),
+            e.b_vector().clone(),
+            e.theta_hat_cached().clone(),
+            e.is_theta_stale(),
+            e.observations(),
+            e.theta_recomputes(),
+        )
+        .unwrap();
+        assert!(r.is_theta_stale());
+        assert_eq!(r.theta_recomputes(), e.theta_recomputes());
+        assert_eq!(r.observations(), 2);
+        // The stale cached θ̂ carries the pre-second-observe bits.
+        assert_eq!(
+            r.theta_hat_cached().as_slice(),
+            e.theta_hat_cached().as_slice()
+        );
+    }
+
+    #[test]
+    fn exact_parts_rejects_mismatched_shapes() {
+        let e = RidgeEstimator::new(3, 1.0);
+        let bad = RidgeEstimator::from_exact_parts(
+            1.0,
+            e.gram_matrix().clone(),
+            e.y_inv().clone(),
+            Vector::zeros(2), // wrong b
+            Vector::zeros(3),
+            false,
+            0,
+            0,
+        );
+        assert!(bad.is_err());
+        let bad = RidgeEstimator::from_exact_parts(
+            1.0,
+            e.gram_matrix().clone(),
+            fasea_linalg::Matrix::identity(4), // wrong inverse shape
+            Vector::zeros(3),
+            Vector::zeros(3),
+            false,
+            0,
+            0,
+        );
+        assert!(bad.is_err());
     }
 }

@@ -1,0 +1,235 @@
+//! Million-user estimator store: residency accounting, COW
+//! materialization rate, and the steady-state cost of running a
+//! personalized round mix under a memory budget.
+//!
+//! Two phases per cell:
+//!
+//! * **seed** — every user in the population observes one reward, so
+//!   the store materializes `U` distinct private models (and, under a
+//!   budget, demotes/spills the overflow as it goes). The rate is the
+//!   store's worst case: every round is a COW clone plus, beyond the
+//!   budget, a spill append.
+//! * **steady** — the hash schedule of the multi-user workload replays
+//!   a select + observe round mix for a fixed time budget. Warm/spilled
+//!   users fault exact bits back in, so this prices the fault path at
+//!   the cell's residency ratio.
+//!
+//! The headline claim the committed `BENCH_models.json` documents: one
+//! million distinct per-user ridge models (d = 8) fit in ~1.5 GB
+//! unbounded, and under a 64 MiB hot / 16 MiB warm budget the resident
+//! set stays bounded while the full million keep their exact state
+//! reachable through the spill log — bit-equal to the unbounded run
+//! (that part is asserted by the spill-determinism golden test, not
+//! here).
+//!
+//! ```text
+//! FASEA_BENCH_JSON=BENCH_models.json cargo bench --bench models_residency
+//! ```
+//!
+//! `FASEA_BENCH_USERS` scales the full population (default 1 000 000);
+//! `FASEA_BENCH_MS` bounds the steady-phase budget per cell (default
+//! 300 ms) so CI can smoke-run the file without touching committed
+//! numbers.
+
+use fasea_models::{EstimatorStore, StoreConfig, UserId, UserSchedule};
+use fasea_stats::crn::mix64;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+const DIM: usize = 8;
+const LAMBDA: f64 = 1.0;
+const HOT_BUDGET: usize = 64 << 20;
+const WARM_BUDGET: usize = 16 << 20;
+
+fn budget() -> Duration {
+    let ms = std::env::var("FASEA_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(300);
+    Duration::from_millis(ms.max(10))
+}
+
+fn full_population() -> usize {
+    std::env::var("FASEA_BENCH_USERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(1_000_000)
+        .max(100)
+}
+
+fn bench_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("fasea-bench-models-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A cheap deterministic context vector for round `t` (unit-scale
+/// entries; the store does not care about its statistics).
+fn context(t: u64, x: &mut [f64]) {
+    let mut h = mix64(t ^ 0xC0DE);
+    for v in x.iter_mut() {
+        h = mix64(h);
+        *v = (h >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+    }
+}
+
+struct CellResult {
+    population: usize,
+    bounded: bool,
+    seed_users_per_sec: f64,
+    steady_rounds_per_sec: f64,
+    steady_rounds: u64,
+    resident_mb: f64,
+    spill_file_mb: f64,
+    hot: usize,
+    warm: usize,
+    spilled: usize,
+    faults: u64,
+    demotions: u64,
+    evictions: u64,
+}
+
+fn run_cell(population: usize, bounded: bool, steady_budget: Duration) -> CellResult {
+    let dir = bench_dir(&format!(
+        "{population}-{}",
+        if bounded { "bounded" } else { "unbounded" }
+    ));
+    let config = if bounded {
+        StoreConfig::bounded(DIM, LAMBDA, HOT_BUDGET, WARM_BUDGET, &dir)
+    } else {
+        StoreConfig::unbounded(DIM, LAMBDA)
+    };
+    let mut store = EstimatorStore::new(config).expect("open store");
+    let mut x = vec![0.0f64; DIM];
+
+    // Seed: one COW materialization per user, budget enforced as the
+    // runner does after every observe.
+    let seed_start = Instant::now();
+    for u in 0..population as u64 {
+        context(u, &mut x);
+        let h = store.resolve(UserId(u));
+        let est = store.estimator_for_observe(h, u).expect("observe access");
+        est.observe(&x, (u % 2) as f64).expect("rank-1 update");
+        store.enforce_budget(u).expect("budget enforcement");
+    }
+    let seed_secs = seed_start.elapsed().as_secs_f64().max(1e-9);
+
+    // Steady state: the multi-user hash schedule, one select + one
+    // observe per round, until the time budget is spent.
+    let schedule = UserSchedule::new(mix64(0x5EED ^ population as u64), population);
+    let mut t = population as u64;
+    let steady_start = Instant::now();
+    let mut steady_rounds = 0u64;
+    while steady_start.elapsed() < steady_budget {
+        for _ in 0..256 {
+            let user = UserId(schedule.user_at(t));
+            context(t, &mut x);
+            let h = store.resolve(user);
+            let est = store.estimator_for_select(h, t).expect("select access");
+            black_box(est.point_estimate(&x));
+            let est = store.estimator_for_observe(h, t).expect("observe access");
+            est.observe(&x, (t % 2) as f64).expect("rank-1 update");
+            store.enforce_budget(t).expect("budget enforcement");
+            t += 1;
+            steady_rounds += 1;
+        }
+    }
+    let steady_secs = steady_start.elapsed().as_secs_f64().max(1e-9);
+
+    let stats = store.stats();
+    assert_eq!(stats.users, population, "every user must be materialized");
+    assert_eq!(stats.cold, 0, "seed phase leaves no cold users");
+    if bounded {
+        assert!(
+            stats.hot_bytes <= HOT_BUDGET && stats.warm_bytes <= WARM_BUDGET,
+            "tier accounting over budget: hot {}B/{}B warm {}B/{}B",
+            stats.hot_bytes,
+            HOT_BUDGET,
+            stats.warm_bytes,
+            WARM_BUDGET
+        );
+    }
+    let result = CellResult {
+        population,
+        bounded,
+        seed_users_per_sec: population as f64 / seed_secs,
+        steady_rounds_per_sec: steady_rounds as f64 / steady_secs,
+        steady_rounds,
+        resident_mb: store.resident_bytes() as f64 / (1 << 20) as f64,
+        spill_file_mb: stats.spill_file_bytes as f64 / (1 << 20) as f64,
+        hot: stats.hot,
+        warm: stats.warm,
+        spilled: stats.spilled,
+        faults: stats.faults,
+        demotions: stats.demotions,
+        evictions: stats.evictions,
+    };
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
+fn main() {
+    let steady_budget = budget();
+    let full = full_population();
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let mut cells = Vec::new();
+    for population in [(full / 10).max(100), full] {
+        for bounded in [false, true] {
+            cells.push(run_cell(population, bounded, steady_budget));
+        }
+    }
+
+    for c in &cells {
+        println!(
+            "models_residency/u{}/{:<9} seed: {:>10.0} users/s   steady: {:>9.0} rounds/s   \
+             resident: {:>8.1} MiB   hot/warm/spilled: {}/{}/{}   spill file: {:.1} MiB",
+            c.population,
+            if c.bounded { "bounded" } else { "unbounded" },
+            c.seed_users_per_sec,
+            c.steady_rounds_per_sec,
+            c.resident_mb,
+            c.hot,
+            c.warm,
+            c.spilled,
+            c.spill_file_mb,
+        );
+    }
+
+    if let Ok(path) = std::env::var("FASEA_BENCH_JSON") {
+        let mut json = format!(
+            "{{\n  \"bench\": \"models_residency\",\n  \"units\": \"users_or_rounds_per_sec\",\n  \"dim\": {DIM},\n  \
+             \"hot_budget_mb\": {},\n  \"warm_budget_mb\": {},\n  \
+             \"host_cores\": {host_cores},\n  \"cells\": [\n",
+            HOT_BUDGET >> 20,
+            WARM_BUDGET >> 20,
+        );
+        for (i, c) in cells.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"population\": {}, \"bounded\": {}, \
+                 \"seed_users_per_sec\": {:.0}, \"steady_rounds_per_sec\": {:.0}, \
+                 \"steady_rounds\": {}, \"resident_mb\": {:.1}, \"spill_file_mb\": {:.1}, \
+                 \"hot\": {}, \"warm\": {}, \"spilled\": {}, \
+                 \"faults\": {}, \"demotions\": {}, \"evictions\": {}}}{}\n",
+                c.population,
+                c.bounded,
+                c.seed_users_per_sec,
+                c.steady_rounds_per_sec,
+                c.steady_rounds,
+                c.resident_mb,
+                c.spill_file_mb,
+                c.hot,
+                c.warm,
+                c.spilled,
+                c.faults,
+                c.demotions,
+                c.evictions,
+                if i + 1 == cells.len() { "" } else { "," },
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        std::fs::write(&path, json).expect("write FASEA_BENCH_JSON");
+        println!("wrote {path}");
+    }
+}

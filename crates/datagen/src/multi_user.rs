@@ -93,6 +93,14 @@ impl MultiUserWorkload {
         (mix64(self.schedule_seed ^ t) % self.population() as u64) as usize
     }
 
+    /// The seed of the arrival schedule hash. Store-backed policies
+    /// (`fasea-models`) rebuild the exact `user_at` map from this seed
+    /// plus [`MultiUserWorkload::population`], so policy and workload
+    /// agree on who arrives at every round.
+    pub fn schedule_seed(&self) -> u64 {
+        self.schedule_seed
+    }
+
     /// The hidden model of user `u`.
     pub fn model_of(&self, u: usize) -> &LinearPayoffModel {
         &self.user_models[u]

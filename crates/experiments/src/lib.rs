@@ -39,6 +39,7 @@ pub mod bench_check;
 pub mod common;
 pub mod default_setting;
 pub mod extensions;
+pub mod multi_user_cmd;
 pub mod params;
 pub mod real_data;
 pub mod serve_cmd;

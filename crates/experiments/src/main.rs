@@ -11,7 +11,9 @@
 //!              ext1 ext2 verify plots all
 //! ```
 
-use fasea_experiments::{bench_check, run_experiment, serve_cmd, Options, ALL_EXPERIMENTS};
+use fasea_experiments::{
+    bench_check, multi_user_cmd, run_experiment, serve_cmd, Options, ALL_EXPERIMENTS,
+};
 
 fn print_usage() {
     eprintln!(
@@ -27,7 +29,12 @@ fn print_usage() {
                            [--fsync always|everyn|never] [--group-commit 1]\n\
                            [--snapshot-every N]\n\
          fasea-exp loadgen [--addr H:P] [--rounds N] [--clients N] [--seed S] [--events N]\n\
-                           [--dim D] [--policy P] [--verify-local 1] [--shutdown 1]\n\
+                           [--dim D] [--policy P] [--users N] [--verify-local 1] [--shutdown 1]\n\
+         personalized model store:\n\
+         fasea-exp multi-user [--users N] [--t N] [--events N] [--dim D] [--seed S]\n\
+                           [--heterogeneity H] [--policy multi-ucb|multi-ts]\n\
+                           [--budget-mb M] [--warm-budget-kb K] [--spill-dir DIR]\n\
+                           [--verify-determinism 1]\n\
          fasea-exp check-bench [FILE...]   validate BENCH_*.json result tables",
         ALL_EXPERIMENTS.join(" ")
     );
@@ -41,10 +48,11 @@ fn main() {
     }
     let id = args[0].clone();
     // The serving and checking subcommands take their own flag sets.
-    if id == "serve" || id == "loadgen" || id == "check-bench" {
+    if id == "serve" || id == "loadgen" || id == "check-bench" || id == "multi-user" {
         let result = match id.as_str() {
             "serve" => serve_cmd::serve_main(&args[1..]),
             "loadgen" => serve_cmd::loadgen_main(&args[1..]),
+            "multi-user" => multi_user_cmd::multi_user_main(&args[1..]),
             _ => bench_check::check_bench_main(&args[1..]),
         };
         if let Err(e) = result {

@@ -1,0 +1,391 @@
+//! `fasea-exp multi-user` — drive a population of recurring users
+//! through a store-backed personalized policy (`fasea-models`).
+//!
+//! ```text
+//! fasea-exp multi-user [--users N] [--t N] [--events N] [--dim D]
+//!                      [--seed S] [--heterogeneity H]
+//!                      [--policy multi-ucb|multi-ts]
+//!                      [--budget-mb M] [--warm-budget-kb K]
+//!                      [--spill-dir DIR] [--verify-determinism 0|1]
+//! ```
+//!
+//! With `--budget-mb 0` (the default) every materialized model stays
+//! hot. A positive budget bounds the exact-f64 tier to that many
+//! mebibytes (and the quantized warm tier to `--warm-budget-kb`,
+//! default a quarter of the hot budget), spilling the overflow through
+//! the CRC-framed spill log under `--spill-dir` (default: a
+//! process-private temp directory, removed afterwards).
+//!
+//! `--verify-determinism 1` runs the same workload twice — once under
+//! the budget, once unbounded — and asserts bit-equality of the
+//! arrangement digest, the accounting, the OPT co-simulation, and the
+//! full policy state blob (estimator bits; for TS also the RNG
+//! position): the store's headline contract, checked end to end from
+//! the command line.
+
+use crate::serve_cmd::{parse_flags, parse_u64};
+use fasea_bandit::Policy;
+use fasea_datagen::{MultiUserConfig, MultiUserWorkload, SyntheticConfig};
+use fasea_models::{
+    EstimatorStore, PersonalizedTs, PersonalizedUcb, StoreConfig, StoreStats, UserSchedule,
+};
+use fasea_sim::{run_multi_user_stored, AsciiTable, MultiUserRunResult};
+use fasea_stats::crn::mix64;
+use std::path::{Path, PathBuf};
+
+/// Parsed flags of the `multi-user` subcommand.
+#[derive(Debug, Clone)]
+pub struct MultiUserSpec {
+    /// Population size `U`.
+    pub users: usize,
+    /// Rounds to run.
+    pub horizon: u64,
+    /// Events `|V|`.
+    pub events: usize,
+    /// Context dimension `d`.
+    pub dim: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Population heterogeneity `h ∈ [0, 1]`.
+    pub heterogeneity: f64,
+    /// `multi-ucb` or `multi-ts`.
+    pub policy: String,
+    /// Hot-tier budget in MiB (0 = unbounded).
+    pub budget_mb: u64,
+    /// Warm-tier budget in KiB (0 = a quarter of the hot budget).
+    pub warm_budget_kb: u64,
+    /// Spill directory (`None` = process-private temp, removed after).
+    pub spill_dir: Option<PathBuf>,
+    /// Re-run unbounded and assert bit-equality.
+    pub verify_determinism: bool,
+}
+
+impl Default for MultiUserSpec {
+    fn default() -> Self {
+        MultiUserSpec {
+            users: 10_000,
+            horizon: 50_000,
+            events: 50,
+            dim: 8,
+            seed: 0x00FA_5EA0_0517,
+            heterogeneity: 0.8,
+            policy: "multi-ucb".into(),
+            budget_mb: 0,
+            warm_budget_kb: 0,
+            spill_dir: None,
+            verify_determinism: false,
+        }
+    }
+}
+
+/// A store-backed policy, kept as a concrete enum so the driver can
+/// reach the [`EstimatorStore`] for stats after the run (the `Policy`
+/// trait alone does not expose it).
+pub enum StorePolicy {
+    /// Per-user UCB.
+    Ucb(PersonalizedUcb),
+    /// Per-user Thompson Sampling.
+    Ts(PersonalizedTs),
+}
+
+impl StorePolicy {
+    /// The policy as a trait object for the runner.
+    pub fn as_policy_mut(&mut self) -> &mut dyn Policy {
+        match self {
+            StorePolicy::Ucb(p) => p,
+            StorePolicy::Ts(p) => p,
+        }
+    }
+
+    /// The backing store.
+    pub fn store(&self) -> &EstimatorStore {
+        match self {
+            StorePolicy::Ucb(p) => p.store(),
+            StorePolicy::Ts(p) => p.store(),
+        }
+    }
+
+    /// Full state blob (estimator bits; for TS also the RNG state).
+    pub fn save_state(&self) -> Vec<u8> {
+        match self {
+            StorePolicy::Ucb(p) => p.save_state(),
+            StorePolicy::Ts(p) => p.save_state(),
+        }
+    }
+
+    /// TS posterior-RNG digest (None for UCB).
+    pub fn rng_digest(&self) -> Option<u64> {
+        match self {
+            StorePolicy::Ucb(_) => None,
+            StorePolicy::Ts(p) => Some(p.rng_digest()),
+        }
+    }
+}
+
+impl MultiUserSpec {
+    /// Generates the deterministic multi-user workload for this spec.
+    pub fn workload(&self) -> MultiUserWorkload {
+        MultiUserWorkload::generate(MultiUserConfig {
+            base: SyntheticConfig {
+                num_events: self.events,
+                dim: self.dim,
+                seed: self.seed,
+                ..Default::default()
+            },
+            population: self.users,
+            heterogeneity: self.heterogeneity,
+        })
+    }
+
+    fn store_config(&self, spill_dir: Option<&Path>) -> Result<StoreConfig, String> {
+        if self.budget_mb == 0 {
+            return Ok(StoreConfig::unbounded(self.dim, 1.0));
+        }
+        let dir = spill_dir.ok_or("a bounded budget needs a spill directory")?;
+        let hot = (self.budget_mb as usize) << 20;
+        let warm = if self.warm_budget_kb > 0 {
+            (self.warm_budget_kb as usize) << 10
+        } else {
+            hot / 4
+        };
+        Ok(StoreConfig::bounded(self.dim, 1.0, hot, warm, dir))
+    }
+
+    /// Builds the store-backed policy for this spec. `spill_dir` is
+    /// required iff `budget_mb > 0`.
+    pub fn build_policy(&self, spill_dir: Option<&Path>) -> Result<StorePolicy, String> {
+        let config = self.store_config(spill_dir)?;
+        let store = EstimatorStore::new(config).map_err(|e| format!("open store: {e}"))?;
+        // Same salt as MultiUserWorkload::generate, so policy and
+        // workload agree on who arrives at every round.
+        let schedule = UserSchedule::new(mix64(self.seed ^ 0x5C4E_D01E), self.users);
+        match self.policy.as_str() {
+            "multi-ucb" => Ok(StorePolicy::Ucb(PersonalizedUcb::new(store, schedule, 2.0))),
+            "multi-ts" => Ok(StorePolicy::Ts(PersonalizedTs::new(
+                store,
+                schedule,
+                0.1,
+                mix64(self.seed ^ 0x7507_11CE),
+            ))),
+            other => Err(format!("unknown policy '{other}' (multi-ucb|multi-ts)")),
+        }
+    }
+}
+
+/// Entry point of `fasea-exp multi-user`.
+///
+/// # Errors
+/// Flag parse failures, store open failures, or — under
+/// `--verify-determinism 1` — any bit divergence between the budgeted
+/// and the unbounded run.
+pub fn multi_user_main(args: &[String]) -> Result<(), String> {
+    let mut spec = MultiUserSpec::default();
+    for (flag, value) in parse_flags(args)? {
+        match flag.as_str() {
+            "users" => spec.users = parse_u64(&flag, &value)? as usize,
+            "t" => spec.horizon = parse_u64(&flag, &value)?,
+            "events" => spec.events = parse_u64(&flag, &value)? as usize,
+            "dim" => spec.dim = parse_u64(&flag, &value)? as usize,
+            "seed" => spec.seed = parse_u64(&flag, &value)?,
+            "heterogeneity" => {
+                spec.heterogeneity = value
+                    .parse::<f64>()
+                    .map_err(|_| format!("invalid number '{value}' for --heterogeneity"))?
+            }
+            "policy" => spec.policy = value,
+            "budget-mb" => spec.budget_mb = parse_u64(&flag, &value)?,
+            "warm-budget-kb" => spec.warm_budget_kb = parse_u64(&flag, &value)?,
+            "spill-dir" => spec.spill_dir = Some(value.into()),
+            "verify-determinism" => spec.verify_determinism = value == "1" || value == "true",
+            other => return Err(format!("unknown flag --{other} for multi-user")),
+        }
+    }
+
+    let own_temp = spec.budget_mb > 0 && spec.spill_dir.is_none();
+    let spill_dir = spec.spill_dir.clone().unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("fasea-multi-user-{}", std::process::id()))
+    });
+    let report = run_spec(&spec, &spill_dir);
+    if own_temp {
+        let _ = std::fs::remove_dir_all(&spill_dir);
+    }
+    print!("{}", report?);
+    Ok(())
+}
+
+/// Runs the spec (and, if requested, the unbounded control run),
+/// returning the rendered report. Split from [`multi_user_main`] so
+/// tests can exercise the full path without a process.
+pub fn run_spec(spec: &MultiUserSpec, spill_dir: &Path) -> Result<String, String> {
+    let workload = spec.workload();
+    let spill = (spec.budget_mb > 0).then_some(spill_dir);
+    let mut policy = spec.build_policy(spill)?;
+    let result = run_multi_user_stored(
+        &workload,
+        policy.as_policy_mut(),
+        spec.horizon,
+        spec.seed ^ 0xFB,
+    );
+
+    let mut out = String::new();
+    let mut table = AsciiTable::new(&[
+        "policy", "users", "rounds", "rewards", "OPT", "regret", "digest",
+    ]);
+    let regret = result.opt_rewards as i64 - result.accounting.total_rewards() as i64;
+    table.row(vec![
+        spec.policy.clone(),
+        spec.users.to_string(),
+        result.accounting.rounds().to_string(),
+        result.accounting.total_rewards().to_string(),
+        result.opt_rewards.to_string(),
+        regret.to_string(),
+        format!("{:#018x}", result.arrangement_digest),
+    ]);
+    out.push_str(&table.render());
+    out.push_str(&render_store_stats(&policy.store().stats()));
+
+    if spec.verify_determinism {
+        let control_spec = MultiUserSpec {
+            budget_mb: 0,
+            warm_budget_kb: 0,
+            ..spec.clone()
+        };
+        let mut control = control_spec.build_policy(None)?;
+        let control_result = run_multi_user_stored(
+            &workload,
+            control.as_policy_mut(),
+            spec.horizon,
+            spec.seed ^ 0xFB,
+        );
+        verify_bit_equal(&result, &control_result, &policy, &control)?;
+        out.push_str("determinism: OK — budgeted run bit-equal to unbounded run\n");
+    }
+    Ok(out)
+}
+
+/// Asserts the budgeted and unbounded runs are bit-equal:
+/// arrangements, accounting, OPT, the complete policy state blob and
+/// (for TS) the posterior-RNG position.
+pub fn verify_bit_equal(
+    budgeted: &MultiUserRunResult,
+    unbounded: &MultiUserRunResult,
+    budgeted_policy: &StorePolicy,
+    unbounded_policy: &StorePolicy,
+) -> Result<(), String> {
+    if budgeted.arrangement_digest != unbounded.arrangement_digest {
+        return Err(format!(
+            "arrangement digest diverged: {:#x} vs {:#x}",
+            budgeted.arrangement_digest, unbounded.arrangement_digest
+        ));
+    }
+    if budgeted.accounting.total_rewards() != unbounded.accounting.total_rewards()
+        || budgeted.accounting.total_arranged() != unbounded.accounting.total_arranged()
+    {
+        return Err("accounting diverged between budgeted and unbounded runs".into());
+    }
+    if budgeted.opt_rewards != unbounded.opt_rewards {
+        return Err("OPT co-simulation diverged (coin stream desync)".into());
+    }
+    if budgeted_policy.rng_digest() != unbounded_policy.rng_digest() {
+        return Err("TS posterior-RNG position diverged".into());
+    }
+    if budgeted_policy.save_state() != unbounded_policy.save_state() {
+        return Err("policy state blobs diverged between budgeted and unbounded runs".into());
+    }
+    Ok(())
+}
+
+fn render_store_stats(s: &StoreStats) -> String {
+    format!(
+        "store: users={} cold={} hot={} warm={} spilled={} hot_bytes={} warm_bytes={}\n\
+         traffic: materializations={} faults={} demotions={} evictions={} \
+         spill_live={}B spill_file={}B appends={} compactions={}\n",
+        s.users,
+        s.cold,
+        s.hot,
+        s.warm,
+        s.spilled,
+        s.hot_bytes,
+        s.warm_bytes,
+        s.cow_materializations,
+        s.faults,
+        s.demotions,
+        s.evictions,
+        s.spill_live_bytes,
+        s.spill_file_bytes,
+        s.spill_appends,
+        s.spill_compactions,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("fasea-multi-user-cmd-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn small(policy: &str) -> MultiUserSpec {
+        MultiUserSpec {
+            users: 40,
+            horizon: 800,
+            events: 20,
+            dim: 4,
+            seed: 77,
+            heterogeneity: 0.9,
+            policy: policy.into(),
+            budget_mb: 1,
+            warm_budget_kb: 1,
+            spill_dir: None,
+            verify_determinism: true,
+        }
+    }
+
+    #[test]
+    fn verify_determinism_passes_for_both_policies() {
+        for policy in ["multi-ucb", "multi-ts"] {
+            let dir = temp(policy);
+            let report = run_spec(&small(policy), &dir).expect("run_spec failed");
+            assert!(report.contains("determinism: OK"), "{report}");
+            assert!(report.contains("store: users="), "{report}");
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn schedule_matches_the_workload_generator() {
+        let spec = small("multi-ucb");
+        let w = spec.workload();
+        let dir = temp("sched");
+        let policy = spec.build_policy(Some(&dir)).unwrap();
+        let schedule = match &policy {
+            StorePolicy::Ucb(p) => p.schedule(),
+            StorePolicy::Ts(p) => p.schedule(),
+        };
+        for t in 0..500 {
+            assert_eq!(schedule.user_at(t) as usize, w.user_at(t), "t={t}");
+        }
+        drop(policy);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unknown_policy_is_rejected() {
+        let spec = MultiUserSpec {
+            policy: "nope".into(),
+            budget_mb: 0,
+            ..small("nope")
+        };
+        assert!(spec.build_policy(None).is_err());
+    }
+
+    #[test]
+    fn bounded_budget_without_spill_dir_is_rejected() {
+        let spec = small("multi-ucb");
+        assert!(spec.build_policy(None).is_err());
+    }
+}

@@ -13,12 +13,20 @@
 //! ```text
 //! fasea-exp serve   [--addr HOST:PORT] [--dir DIR] [--seed S] [--events N]
 //!                   [--dim D] [--workers N] [--score-threads N]
-//!                   [--policy ucb|ts|egreedy] [--fsync always|everyn|never]
+//!                   [--policy ucb|ts|egreedy|multi-ucb|multi-ts]
+//!                   [--users N] [--model-budget-mb M]
+//!                   [--fsync always|everyn|never]
 //!                   [--group-commit 0|1] [--snapshot-every N]
 //! fasea-exp loadgen [--addr HOST:PORT] [--rounds N] [--clients N] [--seed S]
-//!                   [--events N] [--dim D] [--policy ...] [--verify-local]
-//!                   [--shutdown]
+//!                   [--events N] [--dim D] [--policy ...] [--users N]
+//!                   [--verify-local] [--shutdown]
 //! ```
+//!
+//! The `multi-*` policies route every estimator lookup through a
+//! `fasea-models` [`EstimatorStore`] keyed on a deterministic
+//! round → user schedule over `--users` recurring users;
+//! `--model-budget-mb` bounds the hot tier, spilling cold models to
+//! `DIR/model-spill` through the store's CRC-framed log.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -27,6 +35,7 @@ use std::time::{Duration, Instant};
 use fasea_bandit::{EpsilonGreedy, LinUcb, Policy, ThompsonSampling};
 use fasea_core::EventId;
 use fasea_datagen::{SyntheticConfig, SyntheticWorkload};
+use fasea_models::{EstimatorStore, PersonalizedTs, PersonalizedUcb, StoreConfig, UserSchedule};
 use fasea_serve::{
     ClientConfig, ClientError, ErrorCode, ServeClient, Server, ServerConfig, WireStats,
 };
@@ -47,8 +56,13 @@ pub struct WorkloadSpec {
     pub events: usize,
     /// Context dimension `d`.
     pub dim: usize,
-    /// Policy id: `ucb`, `ts`, or `egreedy`.
+    /// Policy id: `ucb`, `ts`, `egreedy`, `multi-ucb`, or `multi-ts`.
     pub policy: String,
+    /// Recurring-user population for the `multi-*` policies.
+    pub users: usize,
+    /// Hot-tier budget in MiB for the `multi-*` policies
+    /// (0 = unbounded, no spill directory needed).
+    pub model_budget_mb: u64,
 }
 
 impl Default for WorkloadSpec {
@@ -58,6 +72,8 @@ impl Default for WorkloadSpec {
             events: 40,
             dim: 5,
             policy: "ucb".into(),
+            users: 10_000,
+            model_budget_mb: 0,
         }
     }
 }
@@ -74,7 +90,18 @@ impl WorkloadSpec {
     }
 
     /// Builds the policy for this spec (deterministic per seed).
+    /// `multi-*` policies require `model_budget_mb == 0` here; use
+    /// [`WorkloadSpec::policy_in`] to supply a spill directory.
     pub fn policy(&self) -> Result<Box<dyn Policy>, String> {
+        self.policy_in(None)
+    }
+
+    /// Builds the policy, with a spill directory for budget-bounded
+    /// `multi-*` model stores. The directory is created on demand.
+    pub fn policy_in(
+        &self,
+        spill_dir: Option<&std::path::Path>,
+    ) -> Result<Box<dyn Policy>, String> {
         match self.policy.as_str() {
             "ucb" => Ok(Box::new(LinUcb::new(self.dim, 1.0, 2.0))),
             "ts" => Ok(Box::new(ThompsonSampling::new(
@@ -89,7 +116,37 @@ impl WorkloadSpec {
                 0.1,
                 mix64(self.seed ^ 0xE9_4EED),
             ))),
-            other => Err(format!("unknown policy '{other}' (ucb|ts|egreedy)")),
+            "multi-ucb" | "multi-ts" => {
+                let config = if self.model_budget_mb == 0 {
+                    StoreConfig::unbounded(self.dim, 1.0)
+                } else {
+                    let dir = spill_dir
+                        .ok_or("--model-budget-mb needs a durable --dir for the spill log")?;
+                    std::fs::create_dir_all(dir)
+                        .map_err(|e| format!("create {}: {e}", dir.display()))?;
+                    let hot = (self.model_budget_mb as usize) << 20;
+                    StoreConfig::bounded(self.dim, 1.0, hot, hot / 4, dir)
+                };
+                let store =
+                    EstimatorStore::new(config).map_err(|e| format!("open model store: {e}"))?;
+                // The same schedule salt the multi-user workload
+                // generator uses, so server-side models line up with
+                // datagen's per-user ground truth.
+                let schedule = UserSchedule::new(mix64(self.seed ^ 0x5C4E_D01E), self.users);
+                if self.policy == "multi-ucb" {
+                    Ok(Box::new(PersonalizedUcb::new(store, schedule, 2.0)))
+                } else {
+                    Ok(Box::new(PersonalizedTs::new(
+                        store,
+                        schedule,
+                        0.1,
+                        mix64(self.seed ^ 0x7507_11CE),
+                    )))
+                }
+            }
+            other => Err(format!(
+                "unknown policy '{other}' (ucb|ts|egreedy|multi-ucb|multi-ts)"
+            )),
         }
     }
 
@@ -102,7 +159,7 @@ impl WorkloadSpec {
     }
 }
 
-fn parse_flags(args: &[String]) -> Result<Vec<(String, String)>, String> {
+pub(crate) fn parse_flags(args: &[String]) -> Result<Vec<(String, String)>, String> {
     if !args.len().is_multiple_of(2) {
         return Err("flags come in --name value pairs".into());
     }
@@ -116,7 +173,7 @@ fn parse_flags(args: &[String]) -> Result<Vec<(String, String)>, String> {
         .collect()
 }
 
-fn parse_u64(flag: &str, value: &str) -> Result<u64, String> {
+pub(crate) fn parse_u64(flag: &str, value: &str) -> Result<u64, String> {
     value
         .parse::<u64>()
         .map_err(|_| format!("invalid number '{value}' for --{flag}"))
@@ -145,6 +202,8 @@ pub fn serve_main(args: &[String]) -> Result<(), String> {
             "workers" => config.workers = parse_u64(&flag, &value)? as usize,
             "score-threads" => score_threads = parse_u64(&flag, &value)? as usize,
             "policy" => spec.policy = value,
+            "users" => spec.users = parse_u64(&flag, &value)?.max(1) as usize,
+            "model-budget-mb" => spec.model_budget_mb = parse_u64(&flag, &value)?,
             "fsync" => {
                 fsync = match value.as_str() {
                     "always" => FsyncPolicy::Always,
@@ -166,7 +225,7 @@ pub fn serve_main(args: &[String]) -> Result<(), String> {
         }
     }
     let workload = spec.workload();
-    let policy = spec.policy()?;
+    let policy = spec.policy_in(Some(&dir.join("model-spill")))?;
     let fingerprint = service_fingerprint(&workload.instance, policy.name());
     std::fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
     let svc = DurableArrangementService::open(
@@ -240,6 +299,7 @@ pub fn loadgen_main(args: &[String]) -> Result<(), String> {
             "events" => spec.events = parse_u64(&flag, &value)? as usize,
             "dim" => spec.dim = parse_u64(&flag, &value)? as usize,
             "policy" => spec.policy = value,
+            "users" => spec.users = parse_u64(&flag, &value)?.max(1) as usize,
             "verify-local" => verify_local = value == "true" || value == "1",
             "shutdown" => shutdown = value == "true" || value == "1",
             other => return Err(format!("unknown flag --{other} for loadgen")),

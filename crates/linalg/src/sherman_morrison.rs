@@ -81,6 +81,60 @@ impl ShermanMorrisonInverse {
         })
     }
 
+    /// Rebuilds a tracker from a previously exported `(Y, Y⁻¹)` pair
+    /// **without** re-factorising — the bit-exact restore path of the
+    /// personalized model store (`fasea-models`).
+    ///
+    /// Unlike [`ShermanMorrisonInverse::from_state`], the maintained
+    /// inverse is trusted from the caller: a spilled estimator faulted
+    /// back in must carry the *exact* `Y⁻¹` bits the Sherman–Morrison
+    /// recursion had accumulated, because a Cholesky-re-derived inverse
+    /// differs in the low mantissa bits and would break the store's
+    /// bit-equal residency contract. Callers must only feed back a pair
+    /// previously read off a live tracker ([`ShermanMorrisonInverse::y`]
+    /// / [`ShermanMorrisonInverse::y_inv`]); shape and finiteness are
+    /// still validated.
+    ///
+    /// # Errors
+    /// * [`LinalgError::NotSquare`] if either matrix is not square.
+    /// * [`LinalgError::DimensionMismatch`] if the two shapes differ.
+    /// * [`LinalgError::NonFinite`] if either matrix carries NaN/∞.
+    ///
+    /// # Panics
+    /// Panics if `lambda <= 0` (same contract as
+    /// [`ShermanMorrisonInverse::new`]).
+    pub fn from_raw_parts(
+        y: Matrix,
+        y_inv: Matrix,
+        lambda: f64,
+        updates: u64,
+    ) -> Result<Self, LinalgError> {
+        assert!(
+            lambda > 0.0 && lambda.is_finite(),
+            "ShermanMorrisonInverse: lambda must be positive and finite"
+        );
+        if !y.is_square() {
+            return Err(LinalgError::NotSquare(y.rows(), y.cols()));
+        }
+        if !y_inv.is_square() {
+            return Err(LinalgError::NotSquare(y_inv.rows(), y_inv.cols()));
+        }
+        if y.rows() != y_inv.rows() {
+            return Err(LinalgError::DimensionMismatch(y.rows(), y_inv.rows()));
+        }
+        if !y.is_finite() || !y_inv.is_finite() {
+            return Err(LinalgError::NonFinite);
+        }
+        let dim = y.rows();
+        Ok(ShermanMorrisonInverse {
+            y,
+            y_inv,
+            lambda,
+            updates,
+            scratch: Vector::zeros(dim),
+        })
+    }
+
     /// Dimension `d`.
     pub fn dim(&self) -> usize {
         self.y.rows()

@@ -1,0 +1,229 @@
+//! Exact, bit-preserving estimator codec.
+//!
+//! The store's determinism contract — a budget-constrained run must
+//! produce bit-equal arrangements to an unbounded run — forbids the
+//! Cholesky-re-deriving snapshot codec of `fasea-bandit::snapshot`
+//! (`from_parts` re-factorises `Y` and the re-derived inverse differs
+//! from the Sherman–Morrison-maintained one in the low mantissa bits).
+//! This codec instead serialises the estimator's *entire* mutable state
+//! verbatim — `Y`, the maintained `Y⁻¹`, `b`, the cached `θ̂`, the
+//! staleness flag and both counters — and restores it through
+//! [`RidgeEstimator::from_exact_parts`], so a spill→fault round trip is
+//! indistinguishable from never having left memory.
+//!
+//! ## Layout (little-endian)
+//!
+//! ```text
+//! magic    "FASEAMX1"          8 bytes
+//! dim      u32                 4
+//! flags    u32                 4   bit 0 = θ̂ stale
+//! lambda   f64                 8
+//! obs      u64                 8   observation count
+//! recomp   u64                 8   θ̂ recompute count
+//! Y        d·d × f64           row-major
+//! Y⁻¹      d·d × f64           row-major
+//! b        d × f64
+//! θ̂        d × f64             cached value (may be stale; see flags)
+//! ```
+
+use crate::ModelsError;
+use fasea_bandit::RidgeEstimator;
+use fasea_linalg::{Matrix, Vector};
+
+/// Magic prefix of an exact estimator blob.
+pub const EXACT_MAGIC: &[u8; 8] = b"FASEAMX1";
+
+const HEADER_LEN: usize = 8 + 4 + 4 + 8 + 8 + 8;
+
+/// Size in bytes of an exact blob for dimension `d`.
+pub fn exact_blob_len(dim: usize) -> usize {
+    HEADER_LEN + 8 * (2 * dim * dim + 2 * dim)
+}
+
+/// Serialises the full mutable state of `est`, bit-for-bit.
+pub fn encode_exact(est: &RidgeEstimator) -> Vec<u8> {
+    let d = est.dim();
+    let mut out = Vec::with_capacity(exact_blob_len(d));
+    out.extend_from_slice(EXACT_MAGIC);
+    out.extend_from_slice(&(d as u32).to_le_bytes());
+    let flags: u32 = u32::from(est.is_theta_stale());
+    out.extend_from_slice(&flags.to_le_bytes());
+    out.extend_from_slice(&est.lambda().to_le_bytes());
+    out.extend_from_slice(&est.observations().to_le_bytes());
+    out.extend_from_slice(&est.theta_recomputes().to_le_bytes());
+    for &v in est.gram_matrix().as_slice() {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    for &v in est.y_inv().as_slice() {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    for &v in est.b_vector().as_slice() {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    for &v in est.theta_hat_cached().as_slice() {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    debug_assert_eq!(out.len(), exact_blob_len(d));
+    out
+}
+
+/// Appends `est`'s exact blob to `out` without an intermediate `Vec`.
+pub fn encode_exact_into(est: &RidgeEstimator, out: &mut Vec<u8>) {
+    out.extend_from_slice(&encode_exact(est));
+}
+
+fn take<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8], ModelsError> {
+    if buf.len() < n {
+        return Err(ModelsError::Codec("exact blob is truncated"));
+    }
+    let (head, tail) = buf.split_at(n);
+    *buf = tail;
+    Ok(head)
+}
+
+fn take_u32(buf: &mut &[u8]) -> Result<u32, ModelsError> {
+    Ok(u32::from_le_bytes(take(buf, 4)?.try_into().unwrap()))
+}
+
+fn take_u64(buf: &mut &[u8]) -> Result<u64, ModelsError> {
+    Ok(u64::from_le_bytes(take(buf, 8)?.try_into().unwrap()))
+}
+
+fn take_f64(buf: &mut &[u8]) -> Result<f64, ModelsError> {
+    Ok(f64::from_le_bytes(take(buf, 8)?.try_into().unwrap()))
+}
+
+fn take_f64s(buf: &mut &[u8], n: usize) -> Result<Vec<f64>, ModelsError> {
+    let raw = take(buf, 8 * n)?;
+    Ok(raw
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+        .collect())
+}
+
+/// Peeks the dimension field of an exact blob without decoding it.
+pub fn peek_dim(blob: &[u8]) -> Result<usize, ModelsError> {
+    let mut buf = blob;
+    if take(&mut buf, 8)? != EXACT_MAGIC {
+        return Err(ModelsError::Codec("not an exact estimator blob"));
+    }
+    Ok(take_u32(&mut buf)? as usize)
+}
+
+/// Rebuilds an estimator from an exact blob. The result is bit-equal to
+/// the encoded estimator: `θ̂`, widths, counters and future updates all
+/// match to the last mantissa bit.
+pub fn decode_exact(blob: &[u8]) -> Result<RidgeEstimator, ModelsError> {
+    let mut buf = blob;
+    if take(&mut buf, 8)? != EXACT_MAGIC {
+        return Err(ModelsError::Codec("not an exact estimator blob"));
+    }
+    let dim = take_u32(&mut buf)? as usize;
+    if dim == 0 || dim > u16::MAX as usize {
+        return Err(ModelsError::Codec("implausible dimension"));
+    }
+    let flags = take_u32(&mut buf)?;
+    if flags > 1 {
+        return Err(ModelsError::Codec("unknown flag bits set"));
+    }
+    let lambda = take_f64(&mut buf)?;
+    if !(lambda.is_finite() && lambda > 0.0) {
+        return Err(ModelsError::Codec("lambda must be finite and positive"));
+    }
+    let observations = take_u64(&mut buf)?;
+    let recomputes = take_u64(&mut buf)?;
+    let y = Matrix::from_rows(dim, dim, take_f64s(&mut buf, dim * dim)?);
+    let y_inv = Matrix::from_rows(dim, dim, take_f64s(&mut buf, dim * dim)?);
+    let b = Vector::from(take_f64s(&mut buf, dim)?);
+    let theta = Vector::from(take_f64s(&mut buf, dim)?);
+    if !buf.is_empty() {
+        return Err(ModelsError::Codec("trailing bytes after exact blob"));
+    }
+    RidgeEstimator::from_exact_parts(
+        lambda,
+        y,
+        y_inv,
+        b,
+        theta,
+        flags & 1 == 1,
+        observations,
+        recomputes,
+    )
+    .map_err(ModelsError::Linalg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trained(dim: usize, rounds: usize, seed: u64) -> RidgeEstimator {
+        let mut est = RidgeEstimator::new(dim, 0.7);
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        for k in 0..rounds {
+            let x: Vec<f64> = (0..dim)
+                .map(|_| {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    (state as f64 / u64::MAX as f64) * 2.0 - 1.0
+                })
+                .collect();
+            est.observe(&x, (k % 2) as f64).unwrap();
+            if k % 5 == 0 {
+                let _ = est.theta_hat();
+            }
+        }
+        est
+    }
+
+    #[test]
+    fn round_trip_is_bit_equal() {
+        for dim in [1usize, 3, 8] {
+            let est = trained(dim, 37, dim as u64);
+            let blob = encode_exact(&est);
+            assert_eq!(blob.len(), exact_blob_len(dim));
+            assert_eq!(peek_dim(&blob).unwrap(), dim);
+            let back = decode_exact(&blob).unwrap();
+            assert_eq!(back.is_theta_stale(), est.is_theta_stale());
+            assert_eq!(back.observations(), est.observations());
+            assert_eq!(back.theta_recomputes(), est.theta_recomputes());
+            assert_eq!(
+                back.theta_hat_cached().as_slice(),
+                est.theta_hat_cached().as_slice()
+            );
+            assert_eq!(back.y_inv().as_slice(), est.y_inv().as_slice());
+            // A second encode of the decoded estimator is the same blob.
+            assert_eq!(encode_exact(&back), blob);
+        }
+    }
+
+    #[test]
+    fn round_trip_stays_in_lockstep_under_updates() {
+        let mut est = trained(4, 20, 9);
+        let mut back = decode_exact(&encode_exact(&est)).unwrap();
+        for k in 0..10 {
+            let x = [0.3 * k as f64, -0.1, 0.05 * k as f64, 0.7];
+            est.observe(&x, (k % 2) as f64).unwrap();
+            back.observe(&x, (k % 2) as f64).unwrap();
+            assert_eq!(est.theta_hat().as_slice(), back.theta_hat().as_slice());
+        }
+        assert_eq!(encode_exact(&est), encode_exact(&back));
+    }
+
+    #[test]
+    fn rejects_damage() {
+        let est = trained(3, 10, 1);
+        let blob = encode_exact(&est);
+        assert!(decode_exact(&blob[..blob.len() - 1]).is_err());
+        assert!(decode_exact(&[]).is_err());
+        let mut wrong_magic = blob.clone();
+        wrong_magic[0] ^= 0xFF;
+        assert!(decode_exact(&wrong_magic).is_err());
+        let mut trailing = blob.clone();
+        trailing.push(0);
+        assert!(decode_exact(&trailing).is_err());
+        let mut bad_flags = blob.clone();
+        bad_flags[12] = 0xFE;
+        assert!(decode_exact(&bad_flags).is_err());
+    }
+}

@@ -1,0 +1,209 @@
+//! Fixed-point warm-tier representation of an estimator.
+//!
+//! A demoted model keeps a compact, *approximate* copy of its state in
+//! memory: the upper triangle of the symmetric `Y⁻¹`, plus `b` and the
+//! cached `θ̂`, each quantized to `i16` against a per-block scale
+//! (`max|·| / 32767`). For `d = 8` this is 534 bytes against 1 216
+//! bytes of exact state — and the ratio improves quadratically with
+//! `d`, since the triangle stores `d(d+1)/2` lanes of 2 bytes each.
+//!
+//! The quantized copy is strictly a **read-only diagnostic tier**: it
+//! answers approximate point-estimate/width queries (screening,
+//! metrics, memory-pressure introspection) without touching the spill
+//! log. Anything that can influence an arrangement or an update goes
+//! through the exact f64 state, which the store faults back in from its
+//! spill log — quantization is lossy, and the determinism contract
+//! (budget-constrained runs bit-equal to unbounded runs) only survives
+//! because the lossy copy never feeds the decision path.
+
+use fasea_bandit::RidgeEstimator;
+
+/// Quantization half-range: `i16` full scale.
+const Q_FULL: f64 = i16::MAX as f64;
+
+/// A fixed-point compressed snapshot of one estimator's state.
+#[derive(Debug, Clone)]
+pub struct QuantizedModel {
+    dim: u16,
+    observations: u64,
+    /// Per-block scales: `value ≈ code × scale`.
+    scale_yinv: f64,
+    scale_b: f64,
+    scale_theta: f64,
+    /// Upper triangle of `Y⁻¹` (row-major, `d(d+1)/2` codes), then `b`
+    /// (`d` codes), then `θ̂` (`d` codes) — one buffer, one allocation.
+    codes: Box<[i16]>,
+}
+
+fn quantize_block(values: impl Iterator<Item = f64> + Clone, out: &mut Vec<i16>) -> f64 {
+    let max_abs = values
+        .clone()
+        .fold(0.0f64, |acc, v| acc.max(v.abs()))
+        .max(f64::MIN_POSITIVE);
+    let scale = max_abs / Q_FULL;
+    for v in values {
+        // max|v|/scale = Q_FULL exactly, so the cast never saturates.
+        out.push((v / scale).round() as i16);
+    }
+    scale
+}
+
+impl QuantizedModel {
+    /// Compresses the estimator's current state. Reads only cached
+    /// values (`θ̂` may be stale) — never mutates or refreshes `est`.
+    pub fn quantize(est: &RidgeEstimator) -> Self {
+        let d = est.dim();
+        let tri = d * (d + 1) / 2;
+        let mut codes = Vec::with_capacity(tri + 2 * d);
+        let y_inv = est.y_inv();
+        let upper = (0..d).flat_map(|i| (i..d).map(move |j| (i, j)));
+        let scale_yinv = quantize_block(upper.map(|(i, j)| y_inv.row(i)[j]), &mut codes);
+        let scale_b = quantize_block(est.b_vector().as_slice().iter().copied(), &mut codes);
+        let scale_theta = quantize_block(
+            est.theta_hat_cached().as_slice().iter().copied(),
+            &mut codes,
+        );
+        QuantizedModel {
+            dim: d as u16,
+            observations: est.observations(),
+            scale_yinv,
+            scale_b,
+            scale_theta,
+            codes: codes.into_boxed_slice(),
+        }
+    }
+
+    /// Context dimension `d`.
+    pub fn dim(&self) -> usize {
+        self.dim as usize
+    }
+
+    /// Observation count carried over from the exact state.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    fn tri(&self) -> usize {
+        let d = self.dim();
+        d * (d + 1) / 2
+    }
+
+    /// Dequantized `Y⁻¹[i][j]` (symmetric lookup into the triangle).
+    fn y_inv_at(&self, i: usize, j: usize) -> f64 {
+        let (r, c) = if i <= j { (i, j) } else { (j, i) };
+        let d = self.dim();
+        // Row r of the packed upper triangle starts after rows 0..r,
+        // which hold d, d-1, …, d-r+1 entries.
+        let idx = r * d - r * (r + 1) / 2 + c;
+        self.codes[idx] as f64 * self.scale_yinv
+    }
+
+    /// Dequantized `θ̂` entry `i`.
+    pub fn theta_at(&self, i: usize) -> f64 {
+        self.codes[self.tri() + self.dim() + i] as f64 * self.scale_theta
+    }
+
+    /// Dequantized `b` entry `i`.
+    pub fn b_at(&self, i: usize) -> f64 {
+        self.codes[self.tri() + i] as f64 * self.scale_b
+    }
+
+    /// Approximate point estimate `xᵀθ̃` from the quantized `θ̂`.
+    pub fn approx_point_estimate(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.dim(), "context dimension mismatch");
+        x.iter()
+            .enumerate()
+            .map(|(i, &xi)| xi * self.theta_at(i))
+            .sum()
+    }
+
+    /// Approximate confidence width `√(xᵀ Ỹ⁻¹ x)` from the quantized
+    /// inverse (clamped at zero: quantization can nudge the quadratic
+    /// form slightly negative near singular directions).
+    pub fn approx_width(&self, x: &[f64]) -> f64 {
+        let d = self.dim();
+        assert_eq!(x.len(), d, "context dimension mismatch");
+        let mut q = 0.0;
+        for i in 0..d {
+            for j in 0..d {
+                q += x[i] * self.y_inv_at(i, j) * x[j];
+            }
+        }
+        q.max(0.0).sqrt()
+    }
+
+    /// Heap + inline bytes of this representation — the store's warm
+    /// accounting unit, mirroring `RidgeEstimator::state_bytes`.
+    pub fn state_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + std::mem::size_of_val::<[i16]>(&self.codes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trained(dim: usize, rounds: usize) -> RidgeEstimator {
+        let mut est = RidgeEstimator::new(dim, 1.0);
+        for k in 0..rounds {
+            let x: Vec<f64> = (0..dim)
+                .map(|i| ((k * 31 + i * 7) % 17) as f64 / 17.0 - 0.4)
+                .collect();
+            est.observe(&x, (k % 3 == 0) as u8 as f64).unwrap();
+        }
+        let _ = est.theta_hat();
+        est
+    }
+
+    #[test]
+    fn approximations_are_close() {
+        let mut est = trained(6, 200);
+        let q = QuantizedModel::quantize(&est);
+        assert_eq!(q.dim(), 6);
+        assert_eq!(q.observations(), 200);
+        let x = [0.3, -0.2, 0.5, 0.1, -0.4, 0.2];
+        let exact_p = est.point_estimate(&x);
+        let exact_w = est.confidence_width(&x);
+        // i16 fixed point: ~4 decimal digits of the block max.
+        assert!((q.approx_point_estimate(&x) - exact_p).abs() < 1e-3);
+        assert!((q.approx_width(&x) - exact_w).abs() < 1e-3);
+    }
+
+    #[test]
+    fn symmetric_lookup_matches_full_matrix() {
+        let est = trained(5, 80);
+        let q = QuantizedModel::quantize(&est);
+        let y_inv = est.y_inv();
+        for i in 0..5 {
+            for j in 0..5 {
+                let approx = q.y_inv_at(i, j);
+                assert!((approx - y_inv.row(i)[j]).abs() <= q.scale_yinv * 0.5 + 1e-15);
+                assert_eq!(q.y_inv_at(i, j).to_bits(), q.y_inv_at(j, i).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn compresses_relative_to_exact() {
+        for d in [4usize, 8, 16, 32] {
+            let est = trained(d, 30);
+            let q = QuantizedModel::quantize(&est);
+            assert!(
+                q.state_bytes() * 2 < est.state_bytes(),
+                "d={d}: quantized {} vs exact {}",
+                q.state_bytes(),
+                est.state_bytes()
+            );
+        }
+    }
+
+    #[test]
+    fn zero_state_quantizes_without_nan() {
+        // A cold estimator has b = θ̂ = 0: the block scale must not
+        // divide by zero.
+        let est = RidgeEstimator::new(3, 1.0);
+        let q = QuantizedModel::quantize(&est);
+        assert_eq!(q.approx_point_estimate(&[1.0, 1.0, 1.0]), 0.0);
+        assert!(q.approx_width(&[1.0, 0.0, 0.0]).is_finite());
+    }
+}

@@ -1,0 +1,465 @@
+//! The spill log: durable home of evicted estimator state.
+//!
+//! One append-only file of CRC-framed records (the same
+//! `len | crc32 | payload` framing as the round WAL, via
+//! `fasea-store`'s raw-frame primitives). Each payload is
+//! `user_id (u64 LE) | exact estimator blob` (see [`crate::codec`]).
+//! Re-spilling a user appends a new frame; the in-memory index keeps
+//! only the latest offset per user, so on the recovery scan **the last
+//! frame per user wins** — the on-disk analogue of last-writer-wins.
+//!
+//! ## Crash safety
+//!
+//! * Appends are a single frame write; a crash mid-append leaves a torn
+//!   tail that the opening scan CRC-rejects and truncates, exactly like
+//!   the WAL's segment recovery.
+//! * Compaction writes a complete next-generation file
+//!   (`spill-<g+1>.log.tmp`), fsyncs it, then renames it into place —
+//!   the rename is the commit point. Stale `.tmp` files and older
+//!   generations found at open are deleted.
+//! * The header carries an instance fingerprint; opening a directory
+//!   that belongs to a different store instance is refused rather than
+//!   silently mixing state.
+
+use crate::ModelsError;
+use fasea_store::{read_raw_frame, write_raw_frame, RawFrame};
+use std::collections::HashMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{BufReader, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Magic prefix of a spill log file.
+pub const SPILL_MAGIC: &[u8; 8] = b"FASEASPL";
+/// Current on-disk format version.
+pub const SPILL_VERSION: u32 = 1;
+
+const HEADER_LEN: u64 = 8 + 4 + 8;
+/// Compact when dead bytes exceed both live bytes and this floor.
+const COMPACT_MIN_GARBAGE: u64 = 1 << 20;
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    offset: u64,
+    /// Whole-frame length (header + payload) for accounting.
+    frame_len: u64,
+}
+
+/// An append-only, CRC-framed, compacting store of spilled models.
+#[derive(Debug)]
+pub struct SpillLog {
+    dir: PathBuf,
+    generation: u64,
+    file: File,
+    write_pos: u64,
+    fingerprint: u64,
+    index: HashMap<u64, Slot>,
+    live_bytes: u64,
+    appends: u64,
+    compactions: u64,
+}
+
+fn log_path(dir: &Path, generation: u64) -> PathBuf {
+    dir.join(format!("spill-{generation:06}.log"))
+}
+
+fn write_header(file: &mut File, fingerprint: u64) -> std::io::Result<()> {
+    file.write_all(SPILL_MAGIC)?;
+    file.write_all(&SPILL_VERSION.to_le_bytes())?;
+    file.write_all(&fingerprint.to_le_bytes())?;
+    file.sync_data()
+}
+
+fn read_header(file: &mut File, fingerprint: u64) -> Result<(), ModelsError> {
+    let mut magic = [0u8; 8];
+    file.read_exact(&mut magic)?;
+    if &magic != SPILL_MAGIC {
+        return Err(ModelsError::Spill("not a spill log"));
+    }
+    let mut word = [0u8; 4];
+    file.read_exact(&mut word)?;
+    let version = u32::from_le_bytes(word);
+    if version != SPILL_VERSION {
+        return Err(ModelsError::Spill("unsupported spill log version"));
+    }
+    let mut fp = [0u8; 8];
+    file.read_exact(&mut fp)?;
+    if u64::from_le_bytes(fp) != fingerprint {
+        return Err(ModelsError::Spill("spill log belongs to another store"));
+    }
+    Ok(())
+}
+
+impl SpillLog {
+    /// Opens (or creates) the spill log in `dir`, recovering its index
+    /// by scanning frames and truncating any torn tail. `fingerprint`
+    /// ties the directory to one store instance.
+    pub fn open(dir: &Path, fingerprint: u64) -> Result<Self, ModelsError> {
+        fs::create_dir_all(dir)?;
+        let mut generations: Vec<u64> = Vec::new();
+        for entry in fs::read_dir(dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.ends_with(".tmp") {
+                // A compaction that never reached its rename commit.
+                let _ = fs::remove_file(entry.path());
+                continue;
+            }
+            if let Some(g) = name
+                .strip_prefix("spill-")
+                .and_then(|s| s.strip_suffix(".log"))
+                .and_then(|s| s.parse::<u64>().ok())
+            {
+                generations.push(g);
+            }
+        }
+        generations.sort_unstable();
+        let generation = match generations.last() {
+            Some(&g) => {
+                // Older generations were superseded by a committed
+                // compaction that crashed before deleting them.
+                for &old in &generations[..generations.len() - 1] {
+                    let _ = fs::remove_file(log_path(dir, old));
+                }
+                g
+            }
+            None => {
+                let mut file = File::create(log_path(dir, 0))?;
+                write_header(&mut file, fingerprint)?;
+                0
+            }
+        };
+
+        let path = log_path(dir, generation);
+        let mut file = OpenOptions::new().read(true).write(true).open(&path)?;
+        read_header(&mut file, fingerprint)?;
+
+        // Scan: last frame per user wins; stop at the first torn frame
+        // and truncate the file back to the end of the valid prefix.
+        let mut index: HashMap<u64, Slot> = HashMap::new();
+        let mut reader = BufReader::new(&mut file);
+        let mut good_end = HEADER_LEN;
+        loop {
+            match read_raw_frame(&mut reader)? {
+                RawFrame::Eof => break,
+                RawFrame::Torn { .. } => {
+                    drop(reader);
+                    file.set_len(good_end)?;
+                    file.sync_data()?;
+                    break;
+                }
+                RawFrame::Payload { payload, bytes } => {
+                    if payload.len() < 8 {
+                        drop(reader);
+                        file.set_len(good_end)?;
+                        file.sync_data()?;
+                        break;
+                    }
+                    let user = u64::from_le_bytes(payload[..8].try_into().unwrap());
+                    index.insert(
+                        user,
+                        Slot {
+                            offset: good_end,
+                            frame_len: bytes,
+                        },
+                    );
+                    good_end += bytes;
+                }
+            }
+        }
+        let live_bytes = index.values().map(|s| s.frame_len).sum();
+        Ok(SpillLog {
+            dir: dir.to_path_buf(),
+            generation,
+            file,
+            write_pos: good_end,
+            fingerprint,
+            index,
+            live_bytes,
+            appends: 0,
+            compactions: 0,
+        })
+    }
+
+    /// Appends (or replaces) `user`'s exact blob. Durable once
+    /// [`SpillLog::sync`] returns; the write itself is buffered by the
+    /// OS like WAL appends under `FsyncPolicy::Never`.
+    pub fn append(&mut self, user: u64, blob: &[u8]) -> Result<(), ModelsError> {
+        let mut payload = Vec::with_capacity(8 + blob.len());
+        payload.extend_from_slice(&user.to_le_bytes());
+        payload.extend_from_slice(blob);
+        self.file.seek(SeekFrom::Start(self.write_pos))?;
+        let bytes = write_raw_frame(&mut self.file, &payload)?;
+        if let Some(old) = self.index.insert(
+            user,
+            Slot {
+                offset: self.write_pos,
+                frame_len: bytes,
+            },
+        ) {
+            self.live_bytes -= old.frame_len;
+        }
+        self.live_bytes += bytes;
+        self.write_pos += bytes;
+        self.appends += 1;
+        self.maybe_compact()?;
+        Ok(())
+    }
+
+    /// Reads back `user`'s latest exact blob, CRC-verified. `None` if
+    /// the user has never been spilled (or was cleared). Takes `&self`:
+    /// the read seeks a borrowed handle, leaving append state untouched
+    /// (appends re-seek to their own write position).
+    pub fn read(&self, user: u64) -> Result<Option<Vec<u8>>, ModelsError> {
+        let slot = match self.index.get(&user) {
+            Some(s) => *s,
+            None => return Ok(None),
+        };
+        let mut file = &self.file;
+        file.seek(SeekFrom::Start(slot.offset))?;
+        let mut region = file.take(slot.frame_len);
+        match read_raw_frame(&mut region)? {
+            RawFrame::Payload { payload, .. } => {
+                if payload.len() < 8 || u64::from_le_bytes(payload[..8].try_into().unwrap()) != user
+                {
+                    return Err(ModelsError::Spill("spill index points at wrong record"));
+                }
+                Ok(Some(payload[8..].to_vec()))
+            }
+            _ => Err(ModelsError::Spill("spilled record failed its checksum")),
+        }
+    }
+
+    /// Whether `user` has a live spilled record.
+    pub fn contains(&self, user: u64) -> bool {
+        self.index.contains_key(&user)
+    }
+
+    /// Drops every record and starts a fresh generation — used when a
+    /// snapshot restore supersedes all spilled state.
+    pub fn clear(&mut self) -> Result<(), ModelsError> {
+        let next = self.generation + 1;
+        let path = log_path(&self.dir, next);
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        write_header(&mut file, self.fingerprint)?;
+        let _ = fs::remove_file(log_path(&self.dir, self.generation));
+        self.generation = next;
+        self.file = file;
+        self.write_pos = HEADER_LEN;
+        self.index.clear();
+        self.live_bytes = 0;
+        Ok(())
+    }
+
+    /// Flushes appends to disk (fdatasync).
+    pub fn sync(&mut self) -> Result<(), ModelsError> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    fn maybe_compact(&mut self) -> Result<(), ModelsError> {
+        let total = self.write_pos - HEADER_LEN;
+        let garbage = total - self.live_bytes;
+        if garbage <= self.live_bytes || garbage < COMPACT_MIN_GARBAGE {
+            return Ok(());
+        }
+        self.compact()
+    }
+
+    /// Rewrites the log with only live records (latest frame per user),
+    /// committing via rename. Record order is sorted by user id, so the
+    /// compacted file's bytes are a pure function of the live state.
+    pub fn compact(&mut self) -> Result<(), ModelsError> {
+        let next = self.generation + 1;
+        let tmp = self.dir.join(format!("spill-{next:06}.log.tmp"));
+        let mut out = File::create(&tmp)?;
+        write_header(&mut out, self.fingerprint)?;
+
+        let mut users: Vec<u64> = self.index.keys().copied().collect();
+        users.sort_unstable();
+        let mut new_index = HashMap::with_capacity(users.len());
+        let mut pos = HEADER_LEN;
+        for user in users {
+            let blob = self
+                .read(user)?
+                .ok_or(ModelsError::Spill("live record vanished during compaction"))?;
+            let mut payload = Vec::with_capacity(8 + blob.len());
+            payload.extend_from_slice(&user.to_le_bytes());
+            payload.extend_from_slice(&blob);
+            let bytes = write_raw_frame(&mut out, &payload)?;
+            new_index.insert(
+                user,
+                Slot {
+                    offset: pos,
+                    frame_len: bytes,
+                },
+            );
+            pos += bytes;
+        }
+        out.sync_data()?;
+        let committed = log_path(&self.dir, next);
+        fs::rename(&tmp, &committed)?;
+        let old = log_path(&self.dir, self.generation);
+        self.file = OpenOptions::new().read(true).write(true).open(&committed)?;
+        let _ = fs::remove_file(old);
+        self.generation = next;
+        self.write_pos = pos;
+        self.index = new_index;
+        self.live_bytes = pos - HEADER_LEN;
+        self.compactions += 1;
+        Ok(())
+    }
+
+    /// Number of users with a live spilled record.
+    pub fn live_users(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Bytes of live (latest-generation) frames.
+    pub fn live_bytes(&self) -> u64 {
+        self.live_bytes
+    }
+
+    /// Total file size, dead frames included.
+    pub fn file_bytes(&self) -> u64 {
+        self.write_pos
+    }
+
+    /// Lifetime append count (this open).
+    pub fn appends(&self) -> u64 {
+        self.appends
+    }
+
+    /// Lifetime compaction count (this open).
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("fasea-models-spill-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn append_read_round_trip_survives_reopen() {
+        let dir = temp_dir("roundtrip");
+        {
+            let mut log = SpillLog::open(&dir, 42).unwrap();
+            log.append(7, b"seven-v1").unwrap();
+            log.append(9, b"nine").unwrap();
+            log.append(7, b"seven-v2").unwrap();
+            log.sync().unwrap();
+            assert_eq!(log.read(7).unwrap().unwrap(), b"seven-v2");
+            assert_eq!(log.live_users(), 2);
+        }
+        let log = SpillLog::open(&dir, 42).unwrap();
+        assert_eq!(log.read(7).unwrap().unwrap(), b"seven-v2");
+        assert_eq!(log.read(9).unwrap().unwrap(), b"nine");
+        assert_eq!(log.read(8).unwrap(), None);
+        assert_eq!(log.live_users(), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_open() {
+        let dir = temp_dir("torn");
+        let path;
+        {
+            let mut log = SpillLog::open(&dir, 1).unwrap();
+            log.append(1, b"alpha").unwrap();
+            log.append(2, b"beta").unwrap();
+            log.sync().unwrap();
+            path = log_path(&dir, 0);
+        }
+        // Simulate a crash mid-append: garbage tail bytes.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&[0xAB; 11]).unwrap();
+        drop(f);
+        let before = fs::metadata(&path).unwrap().len();
+        let mut log = SpillLog::open(&dir, 1).unwrap();
+        assert_eq!(log.read(1).unwrap().unwrap(), b"alpha");
+        assert_eq!(log.read(2).unwrap().unwrap(), b"beta");
+        assert!(fs::metadata(&path).unwrap().len() < before);
+        // The truncated log accepts new appends at the repaired tail.
+        log.append(3, b"gamma").unwrap();
+        assert_eq!(log.read(3).unwrap().unwrap(), b"gamma");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn foreign_fingerprint_refused() {
+        let dir = temp_dir("foreign");
+        drop(SpillLog::open(&dir, 5).unwrap());
+        assert!(matches!(
+            SpillLog::open(&dir, 6),
+            Err(ModelsError::Spill(_))
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_reclaims_dead_frames_and_commits_atomically() {
+        let dir = temp_dir("compact");
+        let mut log = SpillLog::open(&dir, 3).unwrap();
+        for round in 0..10u8 {
+            for user in 0..8u64 {
+                log.append(user, &[round; 100]).unwrap();
+            }
+        }
+        let before = log.file_bytes();
+        log.compact().unwrap();
+        assert!(log.file_bytes() < before);
+        assert_eq!(log.live_users(), 8);
+        for user in 0..8u64 {
+            assert_eq!(log.read(user).unwrap().unwrap(), vec![9u8; 100]);
+        }
+        drop(log);
+        // The committed generation is what reopen finds.
+        let log = SpillLog::open(&dir, 3).unwrap();
+        assert_eq!(log.live_users(), 8);
+        assert_eq!(log.read(4).unwrap().unwrap(), vec![9u8; 100]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_tmp_from_crashed_compaction_is_removed() {
+        let dir = temp_dir("tmp");
+        {
+            let mut log = SpillLog::open(&dir, 8).unwrap();
+            log.append(1, b"keep").unwrap();
+            log.sync().unwrap();
+        }
+        fs::write(dir.join("spill-000001.log.tmp"), b"half-written").unwrap();
+        let log = SpillLog::open(&dir, 8).unwrap();
+        assert_eq!(log.read(1).unwrap().unwrap(), b"keep");
+        assert!(!dir.join("spill-000001.log.tmp").exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn clear_starts_a_fresh_generation() {
+        let dir = temp_dir("clear");
+        let mut log = SpillLog::open(&dir, 2).unwrap();
+        log.append(1, b"old").unwrap();
+        log.clear().unwrap();
+        assert_eq!(log.live_users(), 0);
+        assert_eq!(log.read(1).unwrap(), None);
+        log.append(1, b"new").unwrap();
+        drop(log);
+        let log = SpillLog::open(&dir, 2).unwrap();
+        assert_eq!(log.read(1).unwrap().unwrap(), b"new");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

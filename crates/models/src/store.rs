@@ -1,0 +1,918 @@
+//! The estimator store: millions of per-user models behind one API.
+//!
+//! ## Residency tiers
+//!
+//! ```text
+//! cold (COW prior)   0 private bytes   reads alias the shared prior
+//!   │ first observe (copy-on-write clone)
+//! hot                exact f64         RidgeEstimator resident in RAM
+//!   │ hot budget exceeded → demote (exact bits appended to spill log)
+//! warm               quantized i16     approximate copy in RAM,
+//!   │ warm budget exceeded → evict     exact bits on disk
+//! spilled            0 resident bytes  exact bits on disk only
+//! ```
+//!
+//! Any access that can influence an arrangement or an update
+//! ([`EstimatorStore::estimator_for_select`] /
+//! [`EstimatorStore::estimator_for_observe`]) faults the exact state
+//! back to hot; the quantized copy only serves approximate reads
+//! ([`EstimatorStore::approx_point_estimate`]). Because the spill codec
+//! is bit-preserving ([`crate::codec`]), a model that travelled
+//! hot → warm → spilled → hot is indistinguishable from one that never
+//! left memory — the foundation of the store's determinism contract.
+//!
+//! ## Eviction determinism
+//!
+//! Demotion/eviction order is the `BTreeSet<(last_access_seq, handle)>`
+//! order: least-recently-accessed first, allocation-order handle as the
+//! tiebreak. Both keys are pure functions of the round sequence, so two
+//! runs with identical access sequences demote identical victims — no
+//! hash-map iteration order, no wall-clock, no pointer values.
+
+use crate::codec::{decode_exact, encode_exact, exact_blob_len};
+use crate::quant::QuantizedModel;
+use crate::spill::SpillLog;
+use crate::ModelsError;
+use fasea_bandit::RidgeEstimator;
+use std::collections::{BTreeSet, HashMap};
+use std::path::PathBuf;
+
+/// A platform user identity (EBSN member id).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct UserId(pub u64);
+
+/// A stable, dense handle to one user's model. Handles are allocated in
+/// [`EstimatorStore::resolve`] order and never invalidated — residency
+/// changes underneath them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ModelHandle(u32);
+
+impl ModelHandle {
+    /// Dense slot index of this handle.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Configuration of an [`EstimatorStore`].
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Context dimension `d` of every model.
+    pub dim: usize,
+    /// Ridge strength λ of every model (and of the prior).
+    pub lambda: f64,
+    /// Byte budget for the hot (exact f64) tier. `usize::MAX` disables
+    /// demotion.
+    pub hot_budget_bytes: usize,
+    /// Byte budget for the warm (quantized) tier. `usize::MAX` disables
+    /// eviction to the spilled tier.
+    pub warm_budget_bytes: usize,
+    /// Directory for the spill log. Required whenever either budget is
+    /// bounded — a demoted model's exact bits must live somewhere.
+    pub spill_dir: Option<PathBuf>,
+    /// Instance fingerprint stamped into the spill log header.
+    pub fingerprint: u64,
+}
+
+impl StoreConfig {
+    /// Unbounded store: every materialized model stays hot forever.
+    pub fn unbounded(dim: usize, lambda: f64) -> Self {
+        StoreConfig {
+            dim,
+            lambda,
+            hot_budget_bytes: usize::MAX,
+            warm_budget_bytes: usize::MAX,
+            spill_dir: None,
+            fingerprint: fasea_stats::crn::mix64(dim as u64 ^ lambda.to_bits()),
+        }
+    }
+
+    /// Budgeted store spilling through `dir`.
+    pub fn bounded(
+        dim: usize,
+        lambda: f64,
+        hot_budget_bytes: usize,
+        warm_budget_bytes: usize,
+        dir: impl Into<PathBuf>,
+    ) -> Self {
+        StoreConfig {
+            hot_budget_bytes,
+            warm_budget_bytes,
+            spill_dir: Some(dir.into()),
+            ..StoreConfig::unbounded(dim, lambda)
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Residency {
+    /// Cold: aliases the shared prior; zero private bytes.
+    Prior,
+    /// Hot: exact f64 state resident.
+    Hot(Box<RidgeEstimator>),
+    /// Warm: quantized copy resident, exact bits in the spill log.
+    Warm(Box<QuantizedModel>),
+    /// Spilled: exact bits in the spill log only.
+    Spilled,
+}
+
+#[derive(Debug)]
+struct Slot {
+    user: u64,
+    residency: Residency,
+    last_access: u64,
+    /// Hot state newer than the spill log's copy (re-demotion of a
+    /// clean fault-in skips the redundant append).
+    dirty: bool,
+}
+
+/// A point-in-time snapshot of store occupancy and traffic counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Users interned via [`EstimatorStore::resolve`].
+    pub users: usize,
+    /// Cold users still aliasing the COW prior.
+    pub cold: usize,
+    /// Models resident as exact f64 state.
+    pub hot: usize,
+    /// Models resident as quantized state (exact bits on disk).
+    pub warm: usize,
+    /// Models with no resident state (exact bits on disk).
+    pub spilled: usize,
+    /// Bytes of hot-tier model state.
+    pub hot_bytes: usize,
+    /// Bytes of warm-tier model state.
+    pub warm_bytes: usize,
+    /// Copy-on-write materializations (first observe per user).
+    pub cow_materializations: u64,
+    /// Exact-state fault-ins from the spill log.
+    pub faults: u64,
+    /// Hot → warm demotions.
+    pub demotions: u64,
+    /// Warm → spilled evictions.
+    pub evictions: u64,
+    /// Live bytes in the spill log.
+    pub spill_live_bytes: u64,
+    /// Total spill log file size (dead frames included).
+    pub spill_file_bytes: u64,
+    /// Appends to the spill log since open.
+    pub spill_appends: u64,
+    /// Spill log compactions since open.
+    pub spill_compactions: u64,
+}
+
+/// Millions of per-user [`RidgeEstimator`]s behind a stable
+/// `UserId -> ModelHandle` API — COW prior, quantized residency,
+/// WAL-framed spill. See the module docs for the tier lifecycle.
+#[derive(Debug)]
+pub struct EstimatorStore {
+    config: StoreConfig,
+    prior: RidgeEstimator,
+    slots: Vec<Slot>,
+    by_user: HashMap<u64, u32>,
+    /// Hot slots, least-recently-accessed first.
+    lru_hot: BTreeSet<(u64, u32)>,
+    /// Warm slots, least-recently-accessed first.
+    lru_warm: BTreeSet<(u64, u32)>,
+    hot_bytes: usize,
+    warm_bytes: usize,
+    /// Slots that have left the Prior tier (hot + warm + spilled).
+    private: usize,
+    spill: Option<SpillLog>,
+    cow_materializations: u64,
+    faults: u64,
+    demotions: u64,
+    evictions: u64,
+}
+
+const SAVE_MAGIC: &[u8; 8] = b"FASEAMS1";
+
+impl EstimatorStore {
+    /// Creates a store whose COW prior is the cold-start ridge state
+    /// (`Y = λI`, `b = 0`).
+    pub fn new(config: StoreConfig) -> Result<Self, ModelsError> {
+        let prior = RidgeEstimator::new(config.dim, config.lambda);
+        Self::with_prior(config, prior)
+    }
+
+    /// Creates a store with a pre-trained shared prior — e.g. a global
+    /// estimator fitted on pooled history. Fresh users score through it
+    /// at zero marginal memory until their first observation.
+    pub fn with_prior(config: StoreConfig, prior: RidgeEstimator) -> Result<Self, ModelsError> {
+        if config.dim == 0 {
+            return Err(ModelsError::Config("dim must be positive"));
+        }
+        if !(config.lambda.is_finite() && config.lambda > 0.0) {
+            return Err(ModelsError::Config("lambda must be finite and positive"));
+        }
+        if prior.dim() != config.dim {
+            return Err(ModelsError::Config("prior dimension mismatch"));
+        }
+        let bounded =
+            config.hot_budget_bytes != usize::MAX || config.warm_budget_bytes != usize::MAX;
+        if bounded && config.spill_dir.is_none() {
+            return Err(ModelsError::Config(
+                "bounded budgets require a spill directory (exact bits must live somewhere)",
+            ));
+        }
+        let spill = match &config.spill_dir {
+            Some(dir) => Some(SpillLog::open(dir, config.fingerprint)?),
+            None => None,
+        };
+        Ok(EstimatorStore {
+            config,
+            prior,
+            slots: Vec::new(),
+            by_user: HashMap::new(),
+            lru_hot: BTreeSet::new(),
+            lru_warm: BTreeSet::new(),
+            hot_bytes: 0,
+            warm_bytes: 0,
+            private: 0,
+            spill,
+            cow_materializations: 0,
+            faults: 0,
+            demotions: 0,
+            evictions: 0,
+        })
+    }
+
+    /// The store's configuration.
+    pub fn config(&self) -> &StoreConfig {
+        &self.config
+    }
+
+    /// Context dimension `d`.
+    pub fn dim(&self) -> usize {
+        self.config.dim
+    }
+
+    /// Read access to the shared COW prior.
+    pub fn prior(&self) -> &RidgeEstimator {
+        &self.prior
+    }
+
+    /// Interns `user`, returning its stable handle. A fresh user costs
+    /// one slot entry (it aliases the prior — no model state).
+    pub fn resolve(&mut self, user: UserId) -> ModelHandle {
+        if let Some(&idx) = self.by_user.get(&user.0) {
+            return ModelHandle(idx);
+        }
+        let idx = u32::try_from(self.slots.len()).expect("more than 2^32 users");
+        self.slots.push(Slot {
+            user: user.0,
+            residency: Residency::Prior,
+            last_access: 0,
+            dirty: false,
+        });
+        self.by_user.insert(user.0, idx);
+        ModelHandle(idx)
+    }
+
+    /// Looks up an already-interned user.
+    pub fn lookup(&self, user: UserId) -> Option<ModelHandle> {
+        self.by_user.get(&user.0).copied().map(ModelHandle)
+    }
+
+    /// Number of interned users.
+    pub fn num_users(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The user owning `handle`.
+    pub fn user_of(&self, handle: ModelHandle) -> Option<UserId> {
+        self.slots.get(handle.index()).map(|s| UserId(s.user))
+    }
+
+    fn check(&self, handle: ModelHandle) -> Result<usize, ModelsError> {
+        let idx = handle.index();
+        if idx >= self.slots.len() {
+            return Err(ModelsError::UnknownHandle);
+        }
+        Ok(idx)
+    }
+
+    fn lru_remove(&mut self, idx: usize) {
+        let key = (self.slots[idx].last_access, idx as u32);
+        match self.slots[idx].residency {
+            Residency::Hot(_) => {
+                self.lru_hot.remove(&key);
+            }
+            Residency::Warm(_) => {
+                self.lru_warm.remove(&key);
+            }
+            _ => {}
+        }
+    }
+
+    fn lru_insert(&mut self, idx: usize) {
+        let key = (self.slots[idx].last_access, idx as u32);
+        match self.slots[idx].residency {
+            Residency::Hot(_) => {
+                self.lru_hot.insert(key);
+            }
+            Residency::Warm(_) => {
+                self.lru_warm.insert(key);
+            }
+            _ => {}
+        }
+    }
+
+    fn touch(&mut self, idx: usize, seq: u64) {
+        self.lru_remove(idx);
+        self.slots[idx].last_access = seq;
+        self.lru_insert(idx);
+    }
+
+    /// Faults the exact state of a Warm/Spilled slot back to Hot.
+    fn fault_in(&mut self, idx: usize) -> Result<(), ModelsError> {
+        let user = self.slots[idx].user;
+        let spill = self
+            .spill
+            .as_mut()
+            .ok_or(ModelsError::Spill("no spill log configured"))?;
+        let blob = spill.read(user)?.ok_or(ModelsError::Spill(
+            "non-resident model missing from spill log",
+        ))?;
+        let est = Box::new(decode_exact(&blob)?);
+        self.lru_remove(idx);
+        if let Residency::Warm(q) = &self.slots[idx].residency {
+            self.warm_bytes -= q.state_bytes();
+        }
+        self.hot_bytes += est.state_bytes();
+        self.slots[idx].residency = Residency::Hot(est);
+        self.slots[idx].dirty = false;
+        self.lru_insert(idx);
+        self.faults += 1;
+        Ok(())
+    }
+
+    /// Borrows the estimator backing `handle` for *scoring* at round
+    /// `seq`. A cold user reads through the shared prior (no
+    /// materialization); a demoted user's exact state is faulted back
+    /// in first.
+    pub fn estimator_for_select(
+        &mut self,
+        handle: ModelHandle,
+        seq: u64,
+    ) -> Result<&mut RidgeEstimator, ModelsError> {
+        let idx = self.check(handle)?;
+        match self.slots[idx].residency {
+            Residency::Prior => return Ok(&mut self.prior),
+            Residency::Hot(_) => {}
+            Residency::Warm(_) | Residency::Spilled => self.fault_in(idx)?,
+        }
+        self.touch(idx, seq);
+        match &mut self.slots[idx].residency {
+            Residency::Hot(est) => Ok(est),
+            _ => unreachable!("fault_in leaves the slot hot"),
+        }
+    }
+
+    /// Borrows the estimator backing `handle` for an *update* at round
+    /// `seq`. A cold user is materialized copy-on-write (the prior is
+    /// cloned into private hot state); the slot is marked dirty.
+    pub fn estimator_for_observe(
+        &mut self,
+        handle: ModelHandle,
+        seq: u64,
+    ) -> Result<&mut RidgeEstimator, ModelsError> {
+        let idx = self.check(handle)?;
+        match self.slots[idx].residency {
+            Residency::Prior => {
+                let est = Box::new(self.prior.clone());
+                self.hot_bytes += est.state_bytes();
+                self.slots[idx].residency = Residency::Hot(est);
+                self.private += 1;
+                self.cow_materializations += 1;
+            }
+            Residency::Hot(_) => {}
+            Residency::Warm(_) | Residency::Spilled => self.fault_in(idx)?,
+        }
+        self.slots[idx].dirty = true;
+        self.touch(idx, seq);
+        match &mut self.slots[idx].residency {
+            Residency::Hot(est) => Ok(est),
+            _ => unreachable!("observe access leaves the slot hot"),
+        }
+    }
+
+    /// Approximate point estimate `xᵀθ̃` answered from the *resident*
+    /// representation without faulting: quantized for warm slots, exact
+    /// for hot, prior for cold. `None` for spilled slots — answering
+    /// would cost a disk fault, which is the caller's call to make.
+    pub fn approx_point_estimate(&self, handle: ModelHandle, x: &[f64]) -> Option<f64> {
+        let slot = self.slots.get(handle.index())?;
+        match &slot.residency {
+            Residency::Prior => Some(
+                x.iter()
+                    .zip(self.prior.theta_hat_cached().as_slice())
+                    .map(|(a, b)| a * b)
+                    .sum(),
+            ),
+            Residency::Hot(est) => Some(
+                x.iter()
+                    .zip(est.theta_hat_cached().as_slice())
+                    .map(|(a, b)| a * b)
+                    .sum(),
+            ),
+            Residency::Warm(q) => Some(q.approx_point_estimate(x)),
+            Residency::Spilled => None,
+        }
+    }
+
+    fn demote_lru_hot(&mut self) -> Result<bool, ModelsError> {
+        let Some(&(_, idx)) = self.lru_hot.iter().next() else {
+            return Ok(false);
+        };
+        let idx = idx as usize;
+        self.lru_remove(idx);
+        let residency = std::mem::replace(&mut self.slots[idx].residency, Residency::Spilled);
+        let Residency::Hot(est) = residency else {
+            unreachable!("lru_hot only holds hot slots");
+        };
+        let user = self.slots[idx].user;
+        let spill = self
+            .spill
+            .as_mut()
+            .ok_or(ModelsError::Spill("no spill log configured"))?;
+        if self.slots[idx].dirty || !spill.contains(user) {
+            spill.append(user, &encode_exact(&est))?;
+        }
+        let quant = Box::new(QuantizedModel::quantize(&est));
+        self.hot_bytes -= est.state_bytes();
+        self.warm_bytes += quant.state_bytes();
+        self.slots[idx].residency = Residency::Warm(quant);
+        self.slots[idx].dirty = false;
+        self.lru_insert(idx);
+        self.demotions += 1;
+        Ok(true)
+    }
+
+    fn evict_lru_warm(&mut self) -> Result<bool, ModelsError> {
+        let Some(&(_, idx)) = self.lru_warm.iter().next() else {
+            return Ok(false);
+        };
+        let idx = idx as usize;
+        self.lru_remove(idx);
+        let residency = std::mem::replace(&mut self.slots[idx].residency, Residency::Spilled);
+        let Residency::Warm(q) = residency else {
+            unreachable!("lru_warm only holds warm slots");
+        };
+        self.warm_bytes -= q.state_bytes();
+        self.evictions += 1;
+        Ok(true)
+    }
+
+    /// Enforces the memory budgets at round `seq`: demotes
+    /// least-recently-accessed hot slots until the hot tier fits, then
+    /// evicts least-recently-accessed warm slots until the warm tier
+    /// fits. Deterministic: victim order is `(last_access, handle)`.
+    pub fn enforce_budget(&mut self, _seq: u64) -> Result<(), ModelsError> {
+        while self.hot_bytes > self.config.hot_budget_bytes {
+            if !self.demote_lru_hot()? {
+                break;
+            }
+        }
+        while self.warm_bytes > self.config.warm_budget_bytes {
+            if !self.evict_lru_warm()? {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Flushes the spill log to disk.
+    pub fn sync(&mut self) -> Result<(), ModelsError> {
+        if let Some(spill) = &mut self.spill {
+            spill.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Resident bytes across tiers, prior included — the store's
+    /// contribution to a policy's `state_bytes()`.
+    pub fn resident_bytes(&self) -> usize {
+        self.hot_bytes + self.warm_bytes + self.prior.state_bytes()
+    }
+
+    /// Occupancy and traffic snapshot.
+    pub fn stats(&self) -> StoreStats {
+        let hot = self.lru_hot.len();
+        let warm = self.lru_warm.len();
+        StoreStats {
+            users: self.slots.len(),
+            cold: self.slots.len() - self.private,
+            hot,
+            warm,
+            spilled: self.private - hot - warm,
+            hot_bytes: self.hot_bytes,
+            warm_bytes: self.warm_bytes,
+            cow_materializations: self.cow_materializations,
+            faults: self.faults,
+            demotions: self.demotions,
+            evictions: self.evictions,
+            spill_live_bytes: self.spill.as_ref().map_or(0, |s| s.live_bytes()),
+            spill_file_bytes: self.spill.as_ref().map_or(0, |s| s.file_bytes()),
+            spill_appends: self.spill.as_ref().map_or(0, |s| s.appends()),
+            spill_compactions: self.spill.as_ref().map_or(0, |s| s.compactions()),
+        }
+    }
+
+    /// Serialises the complete logical state — prior, every user's
+    /// exact model bits (read back from the spill log for non-hot
+    /// slots) and access stamps. **Residency-independent**: a budgeted
+    /// store and an unbounded store that processed the same rounds
+    /// produce byte-identical blobs.
+    pub fn save_state(&self) -> Vec<u8> {
+        let d = self.config.dim;
+        let per_user = 8 + 8 + 1 + 4 + exact_blob_len(d);
+        let mut out = Vec::with_capacity(64 + exact_blob_len(d) + self.slots.len() * per_user / 4);
+        out.extend_from_slice(SAVE_MAGIC);
+        out.extend_from_slice(&(d as u32).to_le_bytes());
+        out.extend_from_slice(&self.config.lambda.to_le_bytes());
+        let prior_blob = encode_exact(&self.prior);
+        out.extend_from_slice(&(prior_blob.len() as u32).to_le_bytes());
+        out.extend_from_slice(&prior_blob);
+        out.extend_from_slice(&(self.slots.len() as u64).to_le_bytes());
+        for slot in &self.slots {
+            out.extend_from_slice(&slot.user.to_le_bytes());
+            out.extend_from_slice(&slot.last_access.to_le_bytes());
+            match &slot.residency {
+                Residency::Prior => out.push(0),
+                Residency::Hot(est) => {
+                    out.push(1);
+                    let blob = encode_exact(est);
+                    out.extend_from_slice(&(blob.len() as u32).to_le_bytes());
+                    out.extend_from_slice(&blob);
+                }
+                Residency::Warm(_) | Residency::Spilled => {
+                    out.push(1);
+                    // Warm/spilled slots are never dirty: the spill log
+                    // holds their authoritative exact bits.
+                    let blob = self
+                        .spill
+                        .as_ref()
+                        .and_then(|s| s.read(slot.user).ok().flatten())
+                        .expect("non-resident model missing from spill log");
+                    out.extend_from_slice(&(blob.len() as u32).to_le_bytes());
+                    out.extend_from_slice(&blob);
+                }
+            }
+        }
+        out
+    }
+
+    /// 64-bit FNV-1a digest of [`EstimatorStore::save_state`] — a cheap
+    /// residency-independent fingerprint of the store's logical state.
+    pub fn state_digest(&self) -> u64 {
+        fnv1a(&self.save_state())
+    }
+
+    /// Restores the logical state saved by
+    /// [`EstimatorStore::save_state`]. Every private model comes back
+    /// *hot* (and dirty); the next [`EstimatorStore::enforce_budget`]
+    /// re-demotes to fit. Any existing spill log content is superseded
+    /// and cleared.
+    pub fn restore_state(&mut self, blob: &[u8]) -> Result<(), ModelsError> {
+        let mut buf = blob;
+        let magic = take(&mut buf, 8)?;
+        if magic != SAVE_MAGIC {
+            return Err(ModelsError::Codec("not an estimator store snapshot"));
+        }
+        let dim = u32::from_le_bytes(take(&mut buf, 4)?.try_into().unwrap()) as usize;
+        if dim != self.config.dim {
+            return Err(ModelsError::Config("snapshot dimension mismatch"));
+        }
+        let lambda = f64::from_le_bytes(take(&mut buf, 8)?.try_into().unwrap());
+        if lambda.to_bits() != self.config.lambda.to_bits() {
+            return Err(ModelsError::Config("snapshot lambda mismatch"));
+        }
+        let prior_len = u32::from_le_bytes(take(&mut buf, 4)?.try_into().unwrap()) as usize;
+        let prior = decode_exact(take(&mut buf, prior_len)?)?;
+        let count = u64::from_le_bytes(take(&mut buf, 8)?.try_into().unwrap()) as usize;
+
+        let mut slots = Vec::with_capacity(count);
+        let mut by_user = HashMap::with_capacity(count);
+        let mut lru_hot = BTreeSet::new();
+        let mut hot_bytes = 0usize;
+        let mut private = 0usize;
+        for idx in 0..count {
+            let user = u64::from_le_bytes(take(&mut buf, 8)?.try_into().unwrap());
+            let last_access = u64::from_le_bytes(take(&mut buf, 8)?.try_into().unwrap());
+            let tag = take(&mut buf, 1)?[0];
+            let residency = match tag {
+                0 => Residency::Prior,
+                1 => {
+                    let len = u32::from_le_bytes(take(&mut buf, 4)?.try_into().unwrap()) as usize;
+                    let est = Box::new(decode_exact(take(&mut buf, len)?)?);
+                    hot_bytes += est.state_bytes();
+                    private += 1;
+                    lru_hot.insert((last_access, idx as u32));
+                    Residency::Hot(est)
+                }
+                _ => return Err(ModelsError::Codec("unknown slot tag")),
+            };
+            if by_user.insert(user, idx as u32).is_some() {
+                return Err(ModelsError::Codec("duplicate user in snapshot"));
+            }
+            slots.push(Slot {
+                user,
+                residency,
+                last_access,
+                dirty: tag == 1,
+            });
+        }
+        if !buf.is_empty() {
+            return Err(ModelsError::Codec("trailing bytes after store snapshot"));
+        }
+        if let Some(spill) = &mut self.spill {
+            spill.clear()?;
+        }
+        self.prior = prior;
+        self.slots = slots;
+        self.by_user = by_user;
+        self.lru_hot = lru_hot;
+        self.lru_warm = BTreeSet::new();
+        self.hot_bytes = hot_bytes;
+        self.warm_bytes = 0;
+        self.private = private;
+        Ok(())
+    }
+}
+
+fn take<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8], ModelsError> {
+    if buf.len() < n {
+        return Err(ModelsError::Codec("store snapshot is truncated"));
+    }
+    let (head, tail) = buf.split_at(n);
+    *buf = tail;
+    Ok(head)
+}
+
+/// 64-bit FNV-1a.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("fasea-models-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn context(user: u64, t: u64, dim: usize) -> Vec<f64> {
+        (0..dim)
+            .map(|i| {
+                let z = fasea_stats::crn::mix64(user ^ t.wrapping_mul(31) ^ i as u64);
+                (z % 1000) as f64 / 1000.0 - 0.5
+            })
+            .collect()
+    }
+
+    /// Drives `rounds` rounds of a fixed access trace against `store`.
+    fn drive(store: &mut EstimatorStore, users: u64, rounds: u64) {
+        let dim = store.dim();
+        for t in 0..rounds {
+            let user = fasea_stats::crn::mix64(t ^ 0xFACE) % users;
+            let h = store.resolve(UserId(user));
+            let x = context(user, t, dim);
+            // Select: read a width through the current inverse.
+            let _ = store
+                .estimator_for_select(h, t)
+                .unwrap()
+                .confidence_width(&x);
+            let r = (fasea_stats::crn::mix64(user ^ t) % 2) as f64;
+            store
+                .estimator_for_observe(h, t)
+                .unwrap()
+                .observe(&x, r)
+                .unwrap();
+            store.enforce_budget(t).unwrap();
+        }
+    }
+
+    #[test]
+    fn cold_users_cost_zero_private_bytes() {
+        let mut store = EstimatorStore::new(StoreConfig::unbounded(4, 1.0)).unwrap();
+        for u in 0..1000 {
+            let h = store.resolve(UserId(u));
+            let _ = store
+                .estimator_for_select(h, u)
+                .unwrap()
+                .confidence_width(&[0.1, 0.2, 0.3, 0.4]);
+        }
+        let s = store.stats();
+        assert_eq!(s.users, 1000);
+        assert_eq!(s.cold, 1000);
+        assert_eq!(s.hot_bytes, 0);
+        assert_eq!(s.cow_materializations, 0);
+        // First observe materializes exactly one private model.
+        let h = store.lookup(UserId(7)).unwrap();
+        store
+            .estimator_for_observe(h, 1000)
+            .unwrap()
+            .observe(&[0.1, 0.2, 0.3, 0.4], 1.0)
+            .unwrap();
+        let s = store.stats();
+        assert_eq!(s.cow_materializations, 1);
+        assert_eq!(s.hot, 1);
+        assert_eq!(s.cold, 999);
+        assert_eq!(s.hot_bytes, store.prior().state_bytes());
+    }
+
+    #[test]
+    fn resolve_is_idempotent_and_handles_are_stable() {
+        let mut store = EstimatorStore::new(StoreConfig::unbounded(2, 1.0)).unwrap();
+        let a = store.resolve(UserId(99));
+        let b = store.resolve(UserId(11));
+        assert_eq!(store.resolve(UserId(99)), a);
+        assert_ne!(a, b);
+        assert_eq!(store.user_of(a), Some(UserId(99)));
+        assert_eq!(store.lookup(UserId(11)), Some(b));
+        assert_eq!(store.lookup(UserId(12)), None);
+        assert!(store
+            .estimator_for_select(ModelHandle(77), 0)
+            .is_err_and(|e| matches!(e, ModelsError::UnknownHandle)));
+    }
+
+    #[test]
+    fn bounded_budget_without_spill_dir_is_rejected() {
+        let cfg = StoreConfig {
+            hot_budget_bytes: 4096,
+            ..StoreConfig::unbounded(3, 1.0)
+        };
+        assert!(matches!(
+            EstimatorStore::new(cfg),
+            Err(ModelsError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn budget_pressure_demotes_evicts_and_faults() {
+        let dir = temp_dir("pressure");
+        let one = RidgeEstimator::new(4, 1.0).state_bytes();
+        // Room for ~3 hot models and ~4 warm models.
+        let cfg = StoreConfig::bounded(4, 1.0, 3 * one, 400, &dir);
+        let mut store = EstimatorStore::new(cfg).unwrap();
+        drive(&mut store, 12, 400);
+        let s = store.stats();
+        assert!(s.hot_bytes <= 3 * one);
+        assert!(s.demotions > 0, "no demotions under pressure: {s:?}");
+        assert!(s.evictions > 0, "no evictions under pressure: {s:?}");
+        assert!(s.faults > 0, "no fault-ins under pressure: {s:?}");
+        assert_eq!(s.cold + s.hot + s.warm + s.spilled, s.users);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn budgeted_store_is_bit_equal_to_unbounded() {
+        let dir = temp_dir("parity");
+        let one = RidgeEstimator::new(3, 0.5).state_bytes();
+        let mut tiny = EstimatorStore::new(StoreConfig::bounded(3, 0.5, one, one, &dir)).unwrap();
+        let mut unbounded = EstimatorStore::new(StoreConfig::unbounded(3, 0.5)).unwrap();
+        drive(&mut tiny, 9, 300);
+        drive(&mut unbounded, 9, 300);
+        assert!(tiny.stats().demotions > 0);
+        // Logical state identical down to the byte, residency aside.
+        assert_eq!(tiny.save_state(), unbounded.save_state());
+        assert_eq!(tiny.state_digest(), unbounded.state_digest());
+        // And live reads agree bit-for-bit.
+        for u in 0..9 {
+            let (ht, hu) = (
+                tiny.lookup(UserId(u)).unwrap(),
+                unbounded.lookup(UserId(u)).unwrap(),
+            );
+            let x = context(u, 7777, 3);
+            let a = tiny
+                .estimator_for_select(ht, 10_000)
+                .unwrap()
+                .confidence_width(&x);
+            let b = unbounded
+                .estimator_for_select(hu, 10_000)
+                .unwrap()
+                .confidence_width(&x);
+            assert_eq!(a.to_bits(), b.to_bits(), "user {u} width bits differ");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn save_restore_round_trip_preserves_logical_state() {
+        let dir = temp_dir("snap");
+        let one = RidgeEstimator::new(3, 1.0).state_bytes();
+        let mut store =
+            EstimatorStore::new(StoreConfig::bounded(3, 1.0, 2 * one, 1024, &dir)).unwrap();
+        drive(&mut store, 8, 200);
+        let blob = store.save_state();
+        let digest = store.state_digest();
+
+        let dir2 = temp_dir("snap2");
+        let mut fresh =
+            EstimatorStore::new(StoreConfig::bounded(3, 1.0, 2 * one, 1024, &dir2)).unwrap();
+        fresh.restore_state(&blob).unwrap();
+        assert_eq!(fresh.state_digest(), digest);
+        assert_eq!(fresh.num_users(), store.num_users());
+        // Continuing in lockstep keeps the two stores bit-equal.
+        drive(&mut store, 8, 50);
+        drive(&mut fresh, 8, 50);
+        assert_eq!(fresh.state_digest(), store.state_digest());
+        // Garbage is rejected.
+        assert!(fresh.restore_state(b"junk").is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&dir2);
+    }
+
+    #[test]
+    fn approx_reads_never_fault() {
+        let dir = temp_dir("approx");
+        let one = RidgeEstimator::new(3, 1.0).state_bytes();
+        let mut store = EstimatorStore::new(StoreConfig::bounded(3, 1.0, one, 700, &dir)).unwrap();
+        drive(&mut store, 6, 120);
+        let faults_before = store.stats().faults;
+        let mut answered = 0;
+        for u in 0..6 {
+            let h = store.lookup(UserId(u)).unwrap();
+            if let Some(p) = store.approx_point_estimate(h, &[0.2, -0.1, 0.4]) {
+                assert!(p.is_finite());
+                answered += 1;
+            }
+        }
+        assert!(answered > 0, "warm/hot slots must answer approximate reads");
+        assert_eq!(store.stats().faults, faults_before, "approx reads faulted");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn clean_redemotion_skips_spill_append() {
+        let dir = temp_dir("clean");
+        let one = RidgeEstimator::new(2, 1.0).state_bytes();
+        let mut store =
+            EstimatorStore::new(StoreConfig::bounded(2, 1.0, one, usize::MAX, &dir)).unwrap();
+        // Two users ping-ponging through a one-model hot tier.
+        for u in [1u64, 2] {
+            let h = store.resolve(UserId(u));
+            store
+                .estimator_for_observe(h, u)
+                .unwrap()
+                .observe(&[0.1, 0.2], 1.0)
+                .unwrap();
+            store.enforce_budget(u).unwrap();
+        }
+        // Select-only traffic faults models in clean; once both users'
+        // latest bits are on disk, re-demoting them must not re-append
+        // identical state. The first two select rounds may still spill
+        // the not-yet-persisted hot resident; after that, steady state.
+        let mut steady_appends = None;
+        for t in 10..30u64 {
+            let h = store.resolve(UserId(1 + (t % 2)));
+            let _ = store
+                .estimator_for_select(h, t)
+                .unwrap()
+                .confidence_width(&[0.3, 0.4]);
+            store.enforce_budget(t).unwrap();
+            if t == 12 {
+                steady_appends = Some(store.stats().spill_appends);
+            }
+        }
+        assert_eq!(
+            Some(store.stats().spill_appends),
+            steady_appends,
+            "clean fault-ins were re-spilled"
+        );
+        assert!(store.stats().faults > 10);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spill_survives_reopen_via_same_config() {
+        let dir = temp_dir("reopen");
+        let one = RidgeEstimator::new(2, 1.0).state_bytes();
+        let cfg = StoreConfig::bounded(2, 1.0, one, one, &dir);
+        let digest;
+        {
+            let mut store = EstimatorStore::new(cfg.clone()).unwrap();
+            drive(&mut store, 5, 80);
+            store.sync().unwrap();
+            digest = store.state_digest();
+            assert!(store.stats().demotions > 0);
+        }
+        // A new store over the same directory sees the spilled frames
+        // (the slot map is rebuilt from a snapshot in real use; here we
+        // check the log itself survives with its fingerprint).
+        let store = EstimatorStore::new(cfg).unwrap();
+        assert!(store.stats().spill_live_bytes > 0);
+        let _ = digest;
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -42,7 +42,9 @@ pub mod sweep;
 
 pub use durable::{service_fingerprint, DurableArrangementService, DurableOptions, ServiceHealth};
 pub use memory::MemoryModel;
-pub use multi_user::{run_multi_user, LearnerArchitecture, MultiUserRunResult};
+pub use multi_user::{
+    run_multi_user, run_multi_user_stored, LearnerArchitecture, MultiUserRunResult,
+};
 pub use real_runner::{run_real, CuMode, RealRunConfig, RealRunResult};
 pub use report::{ascii_chart, write_csv, AsciiTable, CsvTable, CsvWriter};
 pub use rotating::{run_rotating, RotatingRunResult};

@@ -7,27 +7,38 @@
 //!   assumption: "a set of users with similar interests");
 //! * **per-user** — one policy instance per user id, all drawing on the
 //!   same capacity pool (Remark 1's "an individual θ is learned for
-//!   each user but the information of events … is shared").
+//!   each user but the information of events … is shared");
+//! * **stored** ([`run_multi_user_stored`]) — one store-backed policy
+//!   (`fasea-models`: `PersonalizedUcb` / `PersonalizedTs`) that shards
+//!   per-user state internally behind a memory budget.
 //!
 //! The interesting trade-off this exposes: per-user learners see `U×`
 //! fewer observations each, so at low heterogeneity the shared learner
 //! wins on sample efficiency, while at high heterogeneity the shared
 //! learner converges to a useless average-θ and per-user wins.
+//!
+//! The workload types themselves ([`MultiUserConfig`],
+//! [`MultiUserWorkload`]) live in `fasea-datagen` and are re-exported
+//! here — this module adds only the runner.
 
-use fasea_bandit::{Policy, SelectionView};
-use fasea_core::{validate_arrangement, RegretAccounting, UserArrival};
-use fasea_datagen::MultiUserWorkload;
+use fasea_bandit::{Policy, ScoreWorkspace, SelectionView};
+use fasea_core::{
+    validate_arrangement, Arrangement, ContextMatrix, Feedback, RegretAccounting, UserArrival,
+};
+pub use fasea_datagen::{MultiUserConfig, MultiUserWorkload};
 use fasea_stats::{Bernoulli, CoinStream};
 
-/// How the learner is organised across users.
-pub enum LearnerArchitecture {
+/// How the learner is organised across users. The lifetime allows a
+/// *borrowed* shared policy ([`run_multi_user_stored`]); owned
+/// policies use `LearnerArchitecture<'static>` as before.
+pub enum LearnerArchitecture<'a> {
     /// One policy serves every user.
-    Shared(Box<dyn Policy>),
+    Shared(Box<dyn Policy + 'a>),
     /// One policy per user id, built on demand by the factory.
-    PerUser(Box<dyn FnMut(usize) -> Box<dyn Policy>>),
+    PerUser(Box<dyn FnMut(usize) -> Box<dyn Policy> + 'a>),
 }
 
-impl LearnerArchitecture {
+impl LearnerArchitecture<'_> {
     fn display_name(&self) -> &'static str {
         match self {
             LearnerArchitecture::Shared(_) => "shared",
@@ -39,13 +50,43 @@ impl LearnerArchitecture {
 /// Result of one architecture run.
 #[derive(Debug, Clone)]
 pub struct MultiUserRunResult {
-    /// "shared" or "per-user".
+    /// "shared", "per-user" or "stored".
     pub architecture: &'static str,
     /// Cumulative accounting over all rounds.
     pub accounting: RegretAccounting,
     /// The clairvoyant reference (per-round oracle using each user's
     /// true θ, with its own shared capacity pool).
     pub opt_rewards: u64,
+    /// FNV-1a digest over every round's `(t, arranged event ids)` —
+    /// two runs arranged identically iff their digests match, which is
+    /// how the spill-determinism golden test compares a budgeted run
+    /// against an unbounded one without retaining every arrangement.
+    pub arrangement_digest: u64,
+}
+
+/// Incremental FNV-1a over round arrangements.
+#[derive(Debug, Clone, Copy)]
+struct ArrangementDigest(u64);
+
+impl ArrangementDigest {
+    fn new() -> Self {
+        ArrangementDigest(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn absorb_u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    fn absorb_round(&mut self, t: u64, arrangement: &Arrangement) {
+        self.absorb_u64(t);
+        self.absorb_u64(arrangement.len() as u64);
+        for &v in arrangement.events() {
+            self.absorb_u64(v.index() as u64);
+        }
+    }
 }
 
 /// Runs one learner architecture over the multi-user workload.
@@ -55,7 +96,7 @@ pub struct MultiUserRunResult {
 /// across architectures are directly comparable.
 pub fn run_multi_user(
     workload: &MultiUserWorkload,
-    mut architecture: LearnerArchitecture,
+    mut architecture: LearnerArchitecture<'_>,
     horizon: u64,
     feedback_seed: u64,
 ) -> MultiUserRunResult {
@@ -74,6 +115,7 @@ pub fn run_multi_user(
     let mut accounting = RegretAccounting::new();
     let mut opt_rewards = 0u64;
     let mut arrangement = fasea_core::Arrangement::empty();
+    let mut digest = ArrangementDigest::new();
 
     for t in 0..horizon {
         let user = workload.user_at(t);
@@ -98,6 +140,7 @@ pub fn run_multi_user(
             policy.select_into(&view, &mut arrangement);
             validate_arrangement(&arrangement, conflicts, &remaining, arrival.capacity)
                 .unwrap_or_else(|e| panic!("{arch_name} learner infeasible: {e}"));
+            digest.absorb_round(t, &arrangement);
             let mut accepted = Vec::with_capacity(arrangement.len());
             for &v in arrangement.events() {
                 let p = model.accept_probability(&arrival.contexts, v);
@@ -134,7 +177,75 @@ pub fn run_multi_user(
         architecture: arch_name,
         accounting,
         opt_rewards,
+        arrangement_digest: digest.0,
     }
+}
+
+/// A borrowed view of a policy, so a caller can run the multi-user
+/// loop without giving up ownership (and afterwards read store stats,
+/// digests, …) — the plumbing behind [`run_multi_user_stored`].
+struct BorrowedPolicy<'a>(&'a mut dyn Policy);
+
+impl Policy for BorrowedPolicy<'_> {
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+    fn score_into(&mut self, view: &SelectionView<'_>, ws: &mut ScoreWorkspace) {
+        self.0.score_into(view, ws)
+    }
+    fn workspace(&self) -> &ScoreWorkspace {
+        self.0.workspace()
+    }
+    fn workspace_mut(&mut self) -> &mut ScoreWorkspace {
+        self.0.workspace_mut()
+    }
+    fn select_into(&mut self, view: &SelectionView<'_>, out: &mut Arrangement) {
+        self.0.select_into(view, out)
+    }
+    fn observe(
+        &mut self,
+        t: u64,
+        contexts: &ContextMatrix,
+        arrangement: &Arrangement,
+        feedback: &Feedback,
+    ) {
+        self.0.observe(t, contexts, arrangement, feedback)
+    }
+    fn state_bytes(&self) -> usize {
+        self.0.state_bytes()
+    }
+    fn save_state(&self) -> Vec<u8> {
+        self.0.save_state()
+    }
+    fn restore_state(&mut self, blob: &[u8]) -> Result<(), fasea_bandit::SnapshotError> {
+        self.0.restore_state(blob)
+    }
+}
+
+/// Runs a *store-backed* policy (one policy instance sharding per-user
+/// state internally, e.g. `fasea-models`' `PersonalizedUcb`) over the
+/// multi-user workload. The policy is borrowed, not consumed, so the
+/// caller keeps access to its store for stats and digests after the
+/// run. Feedback coins, OPT co-simulation and accounting are identical
+/// to [`run_multi_user`]; the result is labelled `"stored"`.
+///
+/// The policy must derive each round's user from `view.t` with the
+/// same schedule as the workload
+/// (`MultiUserWorkload::schedule_seed` / `population`).
+pub fn run_multi_user_stored(
+    workload: &MultiUserWorkload,
+    policy: &mut dyn Policy,
+    horizon: u64,
+    feedback_seed: u64,
+) -> MultiUserRunResult {
+    let mut result = run_multi_user(
+        workload,
+        LearnerArchitecture::Shared(Box::new(BorrowedPolicy(policy))),
+        horizon,
+        feedback_seed,
+    );
+    result.architecture = "stored";
+    result
 }
 
 #[cfg(test)]
@@ -156,11 +267,11 @@ mod tests {
         })
     }
 
-    fn shared(d: usize) -> LearnerArchitecture {
+    fn shared(d: usize) -> LearnerArchitecture<'static> {
         LearnerArchitecture::Shared(Box::new(LinUcb::new(d, 1.0, 2.0)))
     }
 
-    fn per_user(d: usize) -> LearnerArchitecture {
+    fn per_user(d: usize) -> LearnerArchitecture<'static> {
         LearnerArchitecture::PerUser(Box::new(move |_u| {
             Box::new(LinUcb::new(d, 1.0, 2.0)) as Box<dyn Policy>
         }))
@@ -205,6 +316,43 @@ mod tests {
             per_user_r.accounting.total_rewards(),
             shared_r.accounting.total_rewards()
         );
+    }
+
+    #[test]
+    fn arrangement_digest_is_reproducible_and_discriminating() {
+        let w = workload(0.5, 44);
+        let a = run_multi_user(&w, shared(6), 300, 3);
+        let b = run_multi_user(&w, shared(6), 300, 3);
+        assert_eq!(a.arrangement_digest, b.arrangement_digest);
+        // A different feedback seed changes what gets arranged.
+        let c = run_multi_user(&w, shared(6), 300, 4);
+        assert_ne!(a.arrangement_digest, c.arrangement_digest);
+    }
+
+    #[test]
+    fn stored_runner_borrows_the_policy_and_matches_itself() {
+        use fasea_models::{EstimatorStore, PersonalizedUcb, StoreConfig, UserSchedule};
+        let w = workload(0.8, 55);
+        let schedule = UserSchedule::new(w.schedule_seed(), w.population());
+        let make = || {
+            PersonalizedUcb::new(
+                EstimatorStore::new(StoreConfig::unbounded(6, 1.0)).unwrap(),
+                schedule,
+                2.0,
+            )
+        };
+        let mut p1 = make();
+        let mut p2 = make();
+        let r1 = run_multi_user_stored(&w, &mut p1, 400, 9);
+        let r2 = run_multi_user_stored(&w, &mut p2, 400, 9);
+        assert_eq!(r1.architecture, "stored");
+        assert_eq!(r1.arrangement_digest, r2.arrangement_digest);
+        assert_eq!(r1.accounting.total_rewards(), r2.accounting.total_rewards());
+        // The caller keeps the policy: store stats are readable.
+        let stats = p1.store().stats();
+        assert!(stats.cow_materializations > 0);
+        assert_eq!(stats.users, p1.store().num_users());
+        assert_eq!(p1.save_state(), p2.save_state());
     }
 
     #[test]

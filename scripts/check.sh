@@ -32,6 +32,19 @@ FASEA_BENCH_MS=25 cargo bench -q -p fasea-bench --bench scoring_hot_path
 echo "==> parallel golden determinism (score_threads = 4)"
 cargo test -q --test determinism_golden parallel_scoring_matches_serial_golden
 
+# Spill determinism: a personalized-policy run under a tiny model-store
+# memory budget (constant demotion/eviction/faulting through the spill
+# log) must stay bit-equal to the unbounded run for both policies.
+echo "==> models spill-determinism golden tests"
+cargo test -q --test models_spill_determinism
+
+# Smoke the million-user residency bench at a small population so the
+# seed/steady phases, tier accounting asserts, and spill I/O all run in
+# ~1s. The committed BENCH_models.json comes from the full
+# FASEA_BENCH_USERS=1000000 run, not this smoke.
+echo "==> models_residency smoke (FASEA_BENCH_USERS=20000, FASEA_BENCH_MS=25)"
+FASEA_BENCH_USERS=20000 FASEA_BENCH_MS=25 cargo bench -q -p fasea-bench --bench models_residency
+
 # Every committed bench-result table must still parse and keep the
 # shared schema (object with "bench"/"units"/non-empty "cells" of flat
 # scalar cells) so downstream tooling never reads a drifted artefact.

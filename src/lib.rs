@@ -18,6 +18,10 @@
 //!   real-dataset analogue.
 //! * [`sim`] — the simulation engine, metrics and reporting, including
 //!   the crash-safe [`DurableArrangementService`].
+//! * [`models`] — the million-user personalized estimator store: COW
+//!   priors, quantized warm residency, deterministic LRU demotion, and
+//!   a CRC-framed spill log — plus the store-backed `PersonalizedUcb`
+//!   and `PersonalizedTs` policies.
 //! * [`store`] — the write-ahead round log and snapshot store backing
 //!   durability.
 //! * [`serve`] — the concurrent TCP serving layer over the durable
@@ -62,6 +66,9 @@ pub use fasea_datagen as datagen;
 
 /// Simulation engine and reporting (re-export of `fasea-sim`).
 pub use fasea_sim as sim;
+
+/// Personalized per-user model store (re-export of `fasea-models`).
+pub use fasea_models as models;
 
 /// Durable storage: write-ahead log and snapshots (re-export of
 /// `fasea-store`).

@@ -26,6 +26,8 @@ fn spec() -> WorkloadSpec {
         events: 10,
         dim: 3,
         policy: "ucb".into(),
+        users: 10_000,
+        model_budget_mb: 0,
     }
 }
 
