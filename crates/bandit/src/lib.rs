@@ -72,7 +72,10 @@ pub use egreedy::EpsilonGreedy;
 pub use estimator::RidgeEstimator;
 pub use exploit::Exploit;
 pub use opt::Opt;
-pub use oracle::{oracle_exhaustive, oracle_greedy, oracle_greedy_into, positive_score_sum};
+pub use oracle::{
+    oracle_exhaustive, oracle_greedy, oracle_greedy_dist_into, oracle_greedy_into,
+    positive_score_sum, subset_top_k,
+};
 pub use policy::{Policy, SelectionView};
 pub use random::RandomPolicy;
 pub use score_pool::{live_score_workers, ScorePool, SCORE_CHUNK};
@@ -80,4 +83,4 @@ pub use snapshot::{restore_estimator, save_estimator, SnapshotError, MAGIC as SN
 pub use static_score::StaticScorePolicy;
 pub use ts::ThompsonSampling;
 pub use ucb::LinUcb;
-pub use workspace::ScoreWorkspace;
+pub use workspace::{Arranger, ScoreWorkspace};

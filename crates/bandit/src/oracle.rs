@@ -309,6 +309,108 @@ pub(crate) fn oracle_greedy_pooled_into(
     }
 }
 
+/// Bounded-insertion top-`k` over an arbitrary *subset* of events: the
+/// at most `min(k, members.len())` best-ranked members under the
+/// oracle's total order (score descending, index ascending on ties),
+/// appended to `out` best-first. This is the per-shard half of
+/// [`oracle_greedy_dist_into`]: a shard actor runs it over the event
+/// ids it owns and ships the result to the coordinator.
+///
+/// The same bounded-insertion scan as the serial and pooled oracles —
+/// one comparison per member, an O(k) shift only when a member beats
+/// the current k-th best — so a shard's pass is O(|members|) for the
+/// k values the oracle asks for.
+///
+/// # Panics
+/// Debug-panics if a member id is out of range for `scores`.
+pub fn subset_top_k(scores: &[f64], members: &[u32], k: usize, out: &mut Vec<u32>) {
+    out.clear();
+    if k == 0 {
+        return;
+    }
+    for &v in members {
+        debug_assert!((v as usize) < scores.len(), "subset_top_k: id out of range");
+        if out.len() == k {
+            if !ranks_before(scores, v, out[k - 1]) {
+                continue;
+            }
+            out.pop();
+        }
+        let pos = out.partition_point(|&o| ranks_before(scores, o, v));
+        out.insert(pos, v);
+    }
+}
+
+/// [`oracle_greedy_into`] with the candidate ranking gathered from
+/// *external* per-shard top-k passes — **identical arrangements** to
+/// the serial oracle for finite scores.
+///
+/// `gather` is called with the prefix size `k` and must append every
+/// shard's [`subset_top_k`] candidates for that `k` to the supplied
+/// buffer (order across shards is irrelevant — the merge re-sorts).
+/// The merge is the same as [`oracle_greedy_pooled_into`]'s: sort the
+/// union under the oracle's total order ([`ranks_before`]: score
+/// descending, index ascending), truncate to `k`, greedy-scan. The
+/// correctness argument is identical — the index tiebreak makes the
+/// ranking a strict total order, every global top-`k` member is in its
+/// own shard's top-`k`, so the union contains the global top-`k` and
+/// sort + truncate recovers exactly the serial visiting prefix.
+///
+/// Retry-on-conflict widening (×4) re-invokes `gather` with the larger
+/// `k`; past [`FULL_SORT_CUTOFF`] (or at `k = n`) the coordinator falls
+/// back to its local full sort and the shards are not consulted — the
+/// same fallback the serial and pooled paths take.
+///
+/// # Panics
+/// Panics if `scores.len()`, the conflict graph and `remaining`
+/// disagree on `|V|`, or if `gather` appends an out-of-range id.
+#[allow(clippy::too_many_arguments)]
+pub fn oracle_greedy_dist_into(
+    scores: &[f64],
+    conflicts: &ConflictGraph,
+    remaining: &[u32],
+    user_capacity: u32,
+    order: &mut Vec<u32>,
+    mask: &mut Vec<u64>,
+    out: &mut Arrangement,
+    gather: &mut dyn FnMut(usize, &mut Vec<u32>),
+) {
+    let n = scores.len();
+    assert_eq!(n, conflicts.num_events(), "oracle_greedy: |V| mismatch");
+    assert_eq!(n, remaining.len(), "oracle_greedy: capacity slice mismatch");
+    out.clear();
+    if user_capacity == 0 || n == 0 {
+        return;
+    }
+    let mut k = (user_capacity as usize).saturating_mul(4).max(32).min(n);
+    loop {
+        if k < n && k <= FULL_SORT_CUTOFF {
+            order.clear();
+            gather(k, order);
+            assert!(
+                order.iter().all(|&v| (v as usize) < n),
+                "oracle_greedy_dist: gathered id out of range"
+            );
+            order.sort_unstable_by(|&a, &b| {
+                scores[b as usize]
+                    .partial_cmp(&scores[a as usize])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.cmp(&b))
+            });
+            order.truncate(k);
+        } else {
+            k = n;
+            full_sort(scores, n, order);
+        }
+
+        greedy_scan(order, conflicts, remaining, user_capacity, mask, out);
+        if out.len() >= user_capacity as usize || k == n {
+            return;
+        }
+        k = k.saturating_mul(4).min(n);
+    }
+}
+
 /// Sum of the **positive** scores of an arrangement — the quantity
 /// Theorem 1's `1/c_u` approximation guarantee speaks about
 /// (`Σ_{v∈A_t | r̂>0} r̂_{t,v}`).
@@ -653,6 +755,97 @@ mod tests {
         }
         let g = ConflictGraph::new(n);
         assert_pooled_matches_serial(&scores, &g, &remaining, 5, &pool);
+    }
+
+    /// Drives the dist oracle over `shards` disjoint member lists
+    /// (simulated in-process) and asserts the serial arrangement.
+    fn assert_dist_matches_serial(
+        scores: &[f64],
+        conflicts: &ConflictGraph,
+        remaining: &[u32],
+        cu: u32,
+        shards: usize,
+    ) {
+        let n = scores.len();
+        // Round-robin membership: deliberately *not* component-aligned —
+        // the merge theorem needs only disjoint covering subsets.
+        let members: Vec<Vec<u32>> = (0..shards)
+            .map(|s| {
+                (0..n as u32)
+                    .filter(|v| (*v as usize) % shards == s)
+                    .collect()
+            })
+            .collect();
+        let serial = oracle_greedy(scores, conflicts, remaining, cu);
+        let mut order = Vec::new();
+        let mut mask = Vec::new();
+        let mut out = Arrangement::empty();
+        let mut scratch = Vec::new();
+        oracle_greedy_dist_into(
+            scores,
+            conflicts,
+            remaining,
+            cu,
+            &mut order,
+            &mut mask,
+            &mut out,
+            &mut |k, order| {
+                for m in &members {
+                    subset_top_k(scores, m, k, &mut scratch);
+                    order.extend_from_slice(&scratch);
+                }
+            },
+        );
+        assert_eq!(
+            out, serial,
+            "dist oracle diverged (cu={cu}, shards={shards})"
+        );
+    }
+
+    #[test]
+    fn dist_matches_serial_across_shapes() {
+        let n = 500usize;
+        let scores: Vec<f64> = (0..n)
+            .map(|i| (((i as u64).wrapping_mul(2654435761) >> 7) % 100) as f64 / 10.0)
+            .collect();
+        let pairs: Vec<(usize, usize)> = (0..n / 10).map(|i| (i, i + n / 2)).collect();
+        let g = ConflictGraph::from_pairs(n, &pairs);
+        let remaining: Vec<u32> = (0..n).map(|i| (i % 3) as u32).collect();
+        for shards in [1usize, 2, 4, 7] {
+            for cu in [0u32, 1, 5, 64] {
+                assert_dist_matches_serial(&scores, &g, &remaining, cu, shards);
+            }
+        }
+    }
+
+    #[test]
+    fn dist_matches_serial_through_retry_widening() {
+        // Dry-prefix instance: only the 50 worst-scored events have
+        // capacity, forcing the ×4 widening and the local full-sort
+        // fallback past the cutoff.
+        let n = 300usize;
+        let scores: Vec<f64> = (0..n).map(|i| (n - i) as f64).collect();
+        let mut remaining = vec![0u32; n];
+        for r in remaining.iter_mut().skip(n - 50) {
+            *r = 10;
+        }
+        let g = ConflictGraph::new(n);
+        assert_dist_matches_serial(&scores, &g, &remaining, 5, 3);
+    }
+
+    #[test]
+    fn subset_top_k_ranks_like_the_oracle() {
+        let scores = [0.5, 0.9, 0.9, 0.1, 0.7];
+        let mut out = Vec::new();
+        subset_top_k(&scores, &[0, 1, 2, 3, 4], 3, &mut out);
+        // Tie between 1 and 2 breaks to the lower id.
+        assert_eq!(out, vec![1, 2, 4]);
+        subset_top_k(&scores, &[3, 0], 8, &mut out);
+        assert_eq!(out, vec![0, 3]);
+        subset_top_k(&scores, &[3, 0], 0, &mut out);
+        assert!(out.is_empty());
+        subset_top_k(&scores, &[], 2, &mut out);
+        assert!(out.is_empty());
     }
 
     #[test]

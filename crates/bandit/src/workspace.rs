@@ -4,6 +4,40 @@ use crate::{ScorePool, SelectionView};
 use fasea_core::Arrangement;
 use std::sync::Arc;
 
+/// A pluggable replacement for the oracle ranking step of
+/// [`ScoreWorkspace::arrange_into`].
+///
+/// When installed ([`ScoreWorkspace::set_arranger`]), the workspace
+/// hands the arranger the finished score vector plus its reusable
+/// `order`/`mask` scratch and lets it fill `out` — instead of running
+/// the local serial or pooled Oracle-Greedy. The sharded coordinator
+/// uses this seam to fan the top-k ranking out over shard actors
+/// (via [`crate::oracle_greedy_dist_into`]) while scoring and every
+/// RNG draw still happen exactly once, in the policy, on the calling
+/// thread — which is what keeps an N-shard run byte-identical to the
+/// single-actor run.
+///
+/// **Contract:** for finite scores the arrangement written to `out`
+/// must equal [`crate::oracle_greedy`] on the same inputs. Everything
+/// downstream (the WAL `Propose` records, recovery's replay
+/// cross-check, the golden parity tests) assumes it.
+///
+/// `Send + Sync` because the owning workspace lives inside policies
+/// that cross thread boundaries; `Debug` so the workspace's derives
+/// survive.
+pub trait Arranger: Send + Sync + std::fmt::Debug {
+    /// Fills `out` with the Oracle-Greedy arrangement for `scores`
+    /// under `view`, reusing `order`/`mask` as scratch.
+    fn arrange(
+        &self,
+        scores: &[f64],
+        view: &SelectionView<'_>,
+        order: &mut Vec<u32>,
+        mask: &mut Vec<u64>,
+        out: &mut Arrangement,
+    );
+}
+
 /// Per-policy scratch for one scoring round: the score vector the
 /// arrangement oracle consumes, the UCB width buffer, and the oracle's
 /// visiting-order and conflict-mask buffers.
@@ -57,6 +91,7 @@ pub struct ScoreWorkspace {
     /// Number of live candidates per shard slot.
     shard_counts: Vec<u32>,
     pool: Option<Arc<ScorePool>>,
+    arranger: Option<Arc<dyn Arranger>>,
     scored_once: bool,
 }
 
@@ -120,6 +155,18 @@ impl ScoreWorkspace {
         self.pool.as_ref()
     }
 
+    /// Installs (or removes, with `None`) an external [`Arranger`] that
+    /// replaces the local oracle in [`ScoreWorkspace::arrange_into`].
+    /// Takes precedence over the score pool's sharded ranking.
+    pub fn set_arranger(&mut self, arranger: Option<Arc<dyn Arranger>>) {
+        self.arranger = arranger;
+    }
+
+    /// The installed external arranger, if any.
+    pub fn arranger(&self) -> Option<&Arc<dyn Arranger>> {
+        self.arranger.as_ref()
+    }
+
     /// The scores written by the most recent `score_into` round.
     pub fn scores(&self) -> &[f64] {
         &self.scores
@@ -147,7 +194,10 @@ impl ScoreWorkspace {
     /// buffers — the allocation-free twin of [`crate::oracle_greedy`].
     /// With a score pool installed ([`ScoreWorkspace::set_score_pool`])
     /// the candidate ranking runs sharded over the pool with a serial
-    /// merge — bit-identical arrangements either way.
+    /// merge — bit-identical arrangements either way. An installed
+    /// [`Arranger`] ([`ScoreWorkspace::set_arranger`]) takes precedence
+    /// over both and owns the whole step, under the same
+    /// must-equal-the-serial-oracle contract.
     pub fn arrange_into(&mut self, view: &SelectionView<'_>, out: &mut Arrangement) {
         let ScoreWorkspace {
             scores,
@@ -156,8 +206,13 @@ impl ScoreWorkspace {
             shard_order,
             shard_counts,
             pool,
+            arranger,
             ..
         } = self;
+        if let Some(arranger) = arranger {
+            arranger.arrange(scores, view, order, mask, out);
+            return;
+        }
         match pool {
             Some(pool) if pool.threads() > 1 => crate::oracle::oracle_greedy_pooled_into(
                 scores,
@@ -235,6 +290,50 @@ mod tests {
         // Reuse: a second round through the same buffers agrees too.
         ws.arrange_into(&view, &mut out);
         assert_eq!(out, reference);
+    }
+
+    #[test]
+    fn installed_arranger_owns_the_arrangement_step() {
+        use fasea_core::EventId;
+
+        #[derive(Debug)]
+        struct Fixed;
+        impl Arranger for Fixed {
+            fn arrange(
+                &self,
+                scores: &[f64],
+                _view: &SelectionView<'_>,
+                _order: &mut Vec<u32>,
+                _mask: &mut Vec<u64>,
+                out: &mut Arrangement,
+            ) {
+                assert_eq!(scores.len(), 4);
+                out.clear();
+                out.push(EventId(3));
+            }
+        }
+
+        let g = ConflictGraph::new(4);
+        let contexts = ContextMatrix::zeros(4, 1);
+        let remaining = [1u32; 4];
+        let view = SelectionView {
+            t: 0,
+            user_capacity: 2,
+            contexts: &contexts,
+            conflicts: &g,
+            remaining: &remaining,
+        };
+        let mut ws = ScoreWorkspace::new();
+        ws.scores_mut(4).copy_from_slice(&[1.0, 2.0, 3.0, 0.5]);
+        ws.set_arranger(Some(Arc::new(Fixed)));
+        assert!(ws.arranger().is_some());
+        let mut out = Arrangement::empty();
+        ws.arrange_into(&view, &mut out);
+        assert_eq!(out.events(), &[EventId(3)]);
+        // Uninstalling restores the local oracle.
+        ws.set_arranger(None);
+        ws.arrange_into(&view, &mut out);
+        assert_eq!(out.events(), &[EventId(2), EventId(1)]);
     }
 
     #[test]

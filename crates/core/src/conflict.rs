@@ -190,6 +190,43 @@ impl ConflictGraph {
         })
     }
 
+    /// Connected components of the conflict graph, each a sorted list of
+    /// event ids, ordered by their smallest member. Isolated events form
+    /// singleton components, so the component lists partition `0..n`.
+    ///
+    /// Sharding keys off this: a component is the unit of capacity
+    /// contention (events in different components never appear together
+    /// in a conflict check), so a partition that keeps components intact
+    /// lets each shard run its slice of Oracle-Greedy without consulting
+    /// any other shard's adjacency. The ordering is a pure function of
+    /// the graph, which the deterministic shard plan relies on.
+    pub fn components(&self) -> Vec<Vec<usize>> {
+        let mut seen = vec![false; self.n];
+        let mut out = Vec::new();
+        let mut queue = Vec::new();
+        for start in 0..self.n {
+            if seen[start] {
+                continue;
+            }
+            seen[start] = true;
+            queue.clear();
+            queue.push(start);
+            let mut comp = Vec::new();
+            while let Some(v) = queue.pop() {
+                comp.push(v);
+                for nb in self.neighbours(EventId(v)) {
+                    if !seen[nb.index()] {
+                        seen[nb.index()] = true;
+                        queue.push(nb.index());
+                    }
+                }
+            }
+            comp.sort_unstable();
+            out.push(comp);
+        }
+        out
+    }
+
     /// Iterates over all conflicting pairs `(i, j)` with `i < j`.
     pub fn pairs(&self) -> impl Iterator<Item = (EventId, EventId)> + '_ {
         (0..self.n).flat_map(move |i| {
@@ -305,6 +342,34 @@ mod tests {
         assert_eq!(g.degree(EventId(63)), 1);
         let nb: Vec<usize> = g.neighbours(EventId(64)).map(|e| e.index()).collect();
         assert_eq!(nb, vec![63]);
+    }
+
+    #[test]
+    fn components_partition_the_event_set() {
+        // Two chained components plus isolated events, across the word
+        // boundary.
+        let g = ConflictGraph::from_pairs(70, &[(0, 65), (65, 3), (10, 11)]);
+        let comps = g.components();
+        assert_eq!(comps[0], vec![0, 3, 65]);
+        // Components appear ordered by smallest member; every event
+        // appears exactly once.
+        let mut all: Vec<usize> = comps.iter().flatten().copied().collect();
+        assert!(comps
+            .windows(2)
+            .all(|w| w[0].first().unwrap() < w[1].first().unwrap()));
+        all.sort_unstable();
+        assert_eq!(all, (0..70).collect::<Vec<_>>());
+        assert!(comps.contains(&vec![10, 11]));
+        // The rest are singletons.
+        assert_eq!(comps.len(), 2 + (70 - 5));
+    }
+
+    #[test]
+    fn components_of_complete_graph_is_one() {
+        let g = ConflictGraph::complete(9);
+        let comps = g.components();
+        assert_eq!(comps, vec![(0..9).collect::<Vec<_>>()]);
+        assert_eq!(ConflictGraph::new(0).components(), Vec::<Vec<usize>>::new());
     }
 
     #[test]

@@ -306,6 +306,24 @@ pub fn check_bench_doc(doc: &Json) -> Result<(), String> {
     if cells.is_empty() {
         return Err("\"cells\" must not be empty".into());
     }
+    // Optional metadata: benches whose numbers depend on available
+    // parallelism (e.g. shard_scaling) record the host's core count so
+    // the committed table is interpretable — when present it must be a
+    // positive number.
+    if let Some(host_cores) = top.get("host_cores") {
+        match host_cores {
+            Json::Number(n) if *n > 0.0 => {}
+            other => {
+                return Err(format!(
+                    "\"host_cores\" must be a positive number when present, got {}",
+                    match other {
+                        Json::Number(n) => format!("{n}"),
+                        other => other.type_name().to_string(),
+                    }
+                ))
+            }
+        }
+    }
     for (i, cell) in cells.iter().enumerate() {
         let Json::Object(fields) = cell else {
             return Err(format!(
@@ -446,6 +464,14 @@ mod tests {
             (
                 r#"{"bench": "x", "units": "y", "cells": [{"a": [1]}]}"#,
                 "scalar",
+            ),
+            (
+                r#"{"bench": "x", "units": "y", "host_cores": 0, "cells": [{"a": 1}]}"#,
+                "\"host_cores\"",
+            ),
+            (
+                r#"{"bench": "x", "units": "y", "host_cores": "8", "cells": [{"a": 1}]}"#,
+                "\"host_cores\"",
             ),
         ];
         for (text, needle) in cases {

@@ -27,7 +27,7 @@ fn print_usage() {
          fasea-exp serve   [--addr H:P] [--dir DIR] [--seed S] [--events N] [--dim D]\n\
                            [--workers N] [--score-threads N] [--policy ucb|ts|egreedy]\n\
                            [--fsync always|everyn|never] [--group-commit 1]\n\
-                           [--snapshot-every N]\n\
+                           [--snapshot-every N] [--shards N]\n\
          fasea-exp loadgen [--addr H:P] [--rounds N] [--clients N] [--seed S] [--events N]\n\
                            [--dim D] [--policy P] [--users N] [--verify-local 1] [--shutdown 1]\n\
          personalized model store:\n\

@@ -17,6 +17,7 @@
 //!                   [--users N] [--model-budget-mb M]
 //!                   [--fsync always|everyn|never]
 //!                   [--group-commit 0|1] [--snapshot-every N]
+//!                   [--shards N]
 //! fasea-exp loadgen [--addr HOST:PORT] [--rounds N] [--clients N] [--seed S]
 //!                   [--events N] [--dim D] [--policy ...] [--users N]
 //!                   [--verify-local] [--shutdown]
@@ -37,8 +38,10 @@ use fasea_core::EventId;
 use fasea_datagen::{SyntheticConfig, SyntheticWorkload};
 use fasea_models::{EstimatorStore, PersonalizedTs, PersonalizedUcb, StoreConfig, UserSchedule};
 use fasea_serve::{
-    ClientConfig, ClientError, ErrorCode, ServeClient, Server, ServerConfig, WireStats,
+    BackendService, ClientConfig, ClientError, ErrorCode, ServeClient, Server, ServerConfig,
+    WireStats,
 };
+use fasea_shard::ShardedArrangementService;
 use fasea_sim::{
     service_fingerprint, ArrangementService, DurableArrangementService, DurableOptions,
 };
@@ -192,6 +195,7 @@ pub fn serve_main(args: &[String]) -> Result<(), String> {
     let mut fsync = FsyncPolicy::EveryN(32);
     let mut score_threads: usize = 0;
     let mut group_commit = false;
+    let mut shards: usize = 0;
     for (flag, value) in parse_flags(args)? {
         match flag.as_str() {
             "addr" => addr = value,
@@ -218,6 +222,13 @@ pub fn serve_main(args: &[String]) -> Result<(), String> {
             // background. Same acked-implies-durable guarantee, one
             // fsync shared across concurrent sessions.
             "group-commit" => group_commit = value == "true" || value == "1",
+            // Sharded backend: partition the event universe over N
+            // shard actors with cross-shard two-phase commit. 0 (the
+            // default) keeps the classic single-actor service; any
+            // N ≥ 1 serves the identical byte-for-byte state through
+            // fasea-shard (N = 1 exercises the 2PC machinery with no
+            // actual cross-shard traffic).
+            "shards" => shards = parse_u64(&flag, &value)? as usize,
             "snapshot-every" => {
                 config.snapshot_every_rounds = Some(parse_u64(&flag, &value)?).filter(|&n| n > 0)
             }
@@ -228,31 +239,38 @@ pub fn serve_main(args: &[String]) -> Result<(), String> {
     let policy = spec.policy_in(Some(&dir.join("model-spill")))?;
     let fingerprint = service_fingerprint(&workload.instance, policy.name());
     std::fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
-    let svc = DurableArrangementService::open(
-        &dir,
-        workload.instance,
-        policy,
-        DurableOptions::new()
-            .with_fsync(fsync)
-            .with_score_threads(score_threads)
-            .with_group_commit(group_commit),
-    )
-    .map_err(|e| format!("open durable service in {}: {e}", dir.display()))?;
+    let options = DurableOptions::new()
+        .with_fsync(fsync)
+        .with_score_threads(score_threads)
+        .with_group_commit(group_commit);
+    let svc: BackendService = if shards >= 1 {
+        ShardedArrangementService::open(&dir, workload.instance, policy, options, shards)
+            .map_err(|e| format!("open sharded service in {}: {e}", dir.display()))?
+            .into()
+    } else {
+        DurableArrangementService::open(&dir, workload.instance, policy, options)
+            .map_err(|e| format!("open durable service in {}: {e}", dir.display()))?
+            .into()
+    };
+    let health = svc.health();
     println!(
-        "recovered rounds={} pending={} next_seq={}",
-        svc.rounds_completed(),
-        svc.has_pending(),
-        svc.next_seq()
+        "recovered rounds={} pending={} next_seq={} shards={}",
+        health.rounds_completed,
+        health.has_pending,
+        health.next_seq,
+        svc.num_shards(),
     );
+    let num_shards = svc.num_shards();
     let handle =
         Server::spawn(svc, &addr as &str, config).map_err(|e| format!("bind {addr}: {e}"))?;
     println!(
-        "listening on {} fingerprint={fingerprint:#018x} policy={} seed={:#x} events={} dim={}",
+        "listening on {} fingerprint={fingerprint:#018x} policy={} seed={:#x} events={} dim={} shards={}",
         handle.local_addr(),
         spec.policy,
         spec.seed,
         spec.events,
-        spec.dim
+        spec.dim,
+        num_shards,
     );
     let report = handle.join();
     if let Some(err) = report.close.error {

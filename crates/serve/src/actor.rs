@@ -45,8 +45,9 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use fasea_core::{ContextMatrix, UserArrival};
-use fasea_sim::{DurableArrangementService, ServiceError};
+use fasea_sim::ServiceError;
 
+use crate::backend::BackendService;
 use crate::metrics::Metrics;
 use crate::proto::{ErrorCode, Response, WireStats};
 
@@ -193,7 +194,7 @@ impl AckQueue {
 
 /// The actor state machine. Owns the durable service for its lifetime.
 pub struct ServiceActor {
-    svc: DurableArrangementService,
+    svc: BackendService,
     rx: Receiver<Command>,
     metrics: Arc<Metrics>,
     shutdown: Arc<AtomicBool>,
@@ -244,7 +245,7 @@ impl ServiceActor {
     /// and the observer feeds the `fsync_batch_size` /
     /// `commit_latency_us` histograms.
     pub fn new(
-        svc: DurableArrangementService,
+        svc: impl Into<BackendService>,
         rx: Receiver<Command>,
         metrics: Arc<Metrics>,
         shutdown: Arc<AtomicBool>,
@@ -252,6 +253,7 @@ impl ServiceActor {
         poll_interval: Duration,
         snapshot_every: Option<u64>,
     ) -> Self {
+        let svc = svc.into();
         let acks = Arc::new(AckQueue::new());
         if svc.group_commit_enabled() {
             let for_notifier = Arc::clone(&acks);
@@ -519,6 +521,7 @@ impl ServiceActor {
                 Ok((arrangement, _lsn)) => {
                     self.metrics.propose_us.observe(started.elapsed());
                     self.metrics.proposes.incr();
+                    self.svc.drain_shard_metrics(&self.metrics);
                     // Replied immediately: compute-then-log makes an
                     // undurable Propose harmless (recovery re-draws it
                     // identically), and its LSN precedes the feedback
@@ -540,6 +543,7 @@ impl ServiceActor {
             Ok(arrangement) => {
                 self.metrics.propose_us.observe(started.elapsed());
                 self.metrics.proposes.incr();
+                self.svc.drain_shard_metrics(&self.metrics);
                 let _ = reply.send(Response::Proposed {
                     t,
                     arrangement: arrangement
@@ -579,6 +583,7 @@ impl ServiceActor {
                 Ok((reward, lsn)) => {
                     self.metrics.feedback_us.observe(started.elapsed());
                     self.metrics.feedbacks.incr();
+                    self.svc.drain_shard_metrics(&self.metrics);
                     // The round is complete in memory: free it *now* so
                     // the next claimant proceeds while this round's
                     // records are still being fsynced — the pipelining
@@ -595,6 +600,7 @@ impl ServiceActor {
             Ok(reward) => {
                 self.metrics.feedback_us.observe(started.elapsed());
                 self.metrics.feedbacks.incr();
+                self.svc.drain_shard_metrics(&self.metrics);
                 self.owner = None;
                 let _ = reply.send(Response::FeedbackOk { t, reward });
                 self.maybe_snapshot();
@@ -645,7 +651,7 @@ mod tests {
     use super::*;
     use fasea_bandit::LinUcb;
     use fasea_core::ProblemInstance;
-    use fasea_sim::DurableOptions;
+    use fasea_sim::{DurableArrangementService, DurableOptions};
     use fasea_store::FsyncPolicy;
     use std::sync::mpsc;
 

@@ -43,12 +43,14 @@
 #![warn(clippy::all)]
 
 pub mod actor;
+pub mod backend;
 pub mod client;
 pub mod metrics;
 pub mod proto;
 pub mod server;
 
 pub use actor::{service_error_code, CloseReport, Command, ServiceActor};
+pub use backend::BackendService;
 pub use client::{ClaimedRound, ClientConfig, ClientError, ServeClient, ServerInfo};
 pub use metrics::{Counter, Histogram, Metrics};
 pub use proto::{

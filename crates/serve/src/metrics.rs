@@ -186,6 +186,15 @@ registry! {
         /// Queue-to-durable latency of the oldest record in each
         /// group-commit batch.
         commit_latency_us,
+        /// Candidate fan-out (route + merge) latency across the shard
+        /// actors; empty on a single-actor server.
+        shard_route_us,
+        /// Cross-shard two-phase commit latency (prepare fan-out through
+        /// commit fan-out); empty on a single-actor server.
+        cross_shard_commit_us,
+        /// Peak per-shard request-queue depth sampled at each fan-out
+        /// (unit-less; one observation per shard per drain).
+        shard_queue_depth,
     }
 }
 
@@ -261,9 +270,12 @@ mod tests {
         assert!(counters.iter().any(|(n, v)| n == "requests" && *v == 2));
         let hists = m.wire_histograms();
         assert_eq!(hists[0].name, "propose_us");
-        assert_eq!(hists.len(), 6);
+        assert_eq!(hists.len(), 9);
         assert!(hists.iter().any(|h| h.name == "fsync_batch_size"));
         assert!(hists.iter().any(|h| h.name == "commit_latency_us"));
+        assert!(hists.iter().any(|h| h.name == "shard_route_us"));
+        assert!(hists.iter().any(|h| h.name == "cross_shard_commit_us"));
+        assert!(hists.iter().any(|h| h.name == "shard_queue_depth"));
         assert!(!m.log_line().is_empty());
     }
 

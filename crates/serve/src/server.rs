@@ -34,10 +34,10 @@ use std::sync::mpsc::{self, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use fasea_sim::DurableArrangementService;
 use fasea_store::{parse_raw_frame, write_raw_frame, FrameParse};
 
 use crate::actor::{CloseReport, Command, ServiceActor};
+use crate::backend::BackendService;
 use crate::metrics::Metrics;
 use crate::proto::{
     decode_request, encode_response, ErrorCode, Request, Response, CLIENT_MAGIC, PROTOCOL_VERSION,
@@ -204,10 +204,11 @@ impl Server {
     /// # Errors
     /// Any socket-level failure binding the listener.
     pub fn spawn<A: ToSocketAddrs>(
-        svc: DurableArrangementService,
+        svc: impl Into<BackendService>,
         addr: A,
         config: ServerConfig,
     ) -> io::Result<ServerHandle> {
+        let svc = svc.into();
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
@@ -231,7 +232,7 @@ impl Server {
 
 fn run_server(
     listener: TcpListener,
-    svc: DurableArrangementService,
+    svc: BackendService,
     config: ServerConfig,
     metrics: Arc<Metrics>,
     shutdown: Arc<AtomicBool>,

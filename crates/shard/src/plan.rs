@@ -1,0 +1,137 @@
+//! Deterministic component-preserving event partition.
+
+use fasea_core::ConflictGraph;
+
+/// The partition of the event universe into `num_shards` shards.
+///
+/// Built from nothing but the conflict graph and the shard count, so
+/// every process that knows the instance derives the *same* plan — the
+/// first leg of the sharded determinism argument (the second is the
+/// fixed ascending-shard commit order in the coordinator).
+///
+/// Rules, in order:
+///
+/// 1. **Components stay intact.** A conflict-graph component is the
+///    unit of capacity contention; keeping it on one shard means a
+///    shard's top-k pass never needs another shard's adjacency rows.
+/// 2. Components are taken in ascending order of their smallest event
+///    id (the order [`ConflictGraph::components`] yields).
+/// 3. Each component goes to the shard currently holding the fewest
+///    events; ties break to the lowest shard index.
+///
+/// Shards may end up empty (more shards than components — e.g. a
+/// complete conflict graph has one component); an empty shard simply
+/// answers empty top-k queries and never joins a transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    shard_of: Vec<u32>,
+    members: Vec<Vec<u32>>,
+}
+
+impl ShardPlan {
+    /// Builds the plan for `conflicts` over `num_shards` shards.
+    ///
+    /// # Panics
+    /// Panics if `num_shards == 0`.
+    pub fn build(conflicts: &ConflictGraph, num_shards: usize) -> Self {
+        assert!(num_shards >= 1, "ShardPlan: at least one shard");
+        let mut shard_of = vec![0u32; conflicts.num_events()];
+        let mut members: Vec<Vec<u32>> = vec![Vec::new(); num_shards];
+        for comp in conflicts.components() {
+            let lightest = (0..num_shards)
+                .min_by_key(|&s| (members[s].len(), s))
+                .expect("num_shards >= 1");
+            for &v in &comp {
+                shard_of[v] = lightest as u32;
+                members[lightest].push(v as u32);
+            }
+        }
+        // Components arrive ordered by smallest member, but a shard can
+        // receive later components with smaller ids than nothing — keep
+        // each member list sorted so binary search and ascending
+        // write-set encoding hold by construction.
+        for m in &mut members {
+            m.sort_unstable();
+        }
+        ShardPlan { shard_of, members }
+    }
+
+    /// Number of shards (including empty ones).
+    pub fn num_shards(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Number of events across all shards.
+    pub fn num_events(&self) -> usize {
+        self.shard_of.len()
+    }
+
+    /// The shard owning event `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    pub fn shard_of(&self, v: u32) -> usize {
+        self.shard_of[v as usize] as usize
+    }
+
+    /// The event ids owned by shard `s`, ascending.
+    pub fn members(&self, s: usize) -> &[u32] {
+        &self.members[s]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_partitions_and_keeps_components_intact() {
+        // Components {0,3,65}, {10,11}, singletons elsewhere.
+        let g = ConflictGraph::from_pairs(70, &[(0, 65), (65, 3), (10, 11)]);
+        for shards in [1usize, 2, 3, 4, 7] {
+            let plan = ShardPlan::build(&g, shards);
+            assert_eq!(plan.num_shards(), shards);
+            // Partition: every event on exactly one shard, members
+            // agree with shard_of, lists ascending.
+            let mut all = Vec::new();
+            for s in 0..shards {
+                for &v in plan.members(s) {
+                    assert_eq!(plan.shard_of(v), s);
+                    all.push(v);
+                }
+                assert!(plan.members(s).windows(2).all(|w| w[0] < w[1]));
+            }
+            all.sort_unstable();
+            assert_eq!(all, (0..70u32).collect::<Vec<_>>());
+            // Components intact.
+            assert_eq!(plan.shard_of(0), plan.shard_of(3));
+            assert_eq!(plan.shard_of(0), plan.shard_of(65));
+            assert_eq!(plan.shard_of(10), plan.shard_of(11));
+        }
+    }
+
+    #[test]
+    fn plan_is_a_pure_function_of_graph_and_count() {
+        let g = ConflictGraph::from_pairs(40, &[(1, 2), (5, 9), (30, 31)]);
+        assert_eq!(ShardPlan::build(&g, 4), ShardPlan::build(&g, 4));
+    }
+
+    #[test]
+    fn plan_balances_by_event_count() {
+        // 64 singletons over 4 shards: a perfect 16/16/16/16 split.
+        let g = ConflictGraph::new(64);
+        let plan = ShardPlan::build(&g, 4);
+        for s in 0..4 {
+            assert_eq!(plan.members(s).len(), 16);
+        }
+    }
+
+    #[test]
+    fn complete_graph_leaves_extra_shards_empty() {
+        let g = ConflictGraph::complete(6);
+        let plan = ShardPlan::build(&g, 3);
+        assert_eq!(plan.members(0).len(), 6);
+        assert!(plan.members(1).is_empty());
+        assert!(plan.members(2).is_empty());
+    }
+}

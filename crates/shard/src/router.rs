@@ -1,0 +1,138 @@
+//! The coordinator-side [`Arranger`]: fans Oracle-Greedy's top-k
+//! ranking out over the shard actors.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::{Duration, Instant};
+
+use fasea_bandit::{oracle_greedy_dist_into, Arranger, SelectionView};
+use fasea_core::Arrangement;
+
+use crate::actor::{Reply, Request, ShardChannel};
+
+/// Shard timing samples for the serve metrics layer: the most recent
+/// route (candidate fan-out) and cross-shard commit durations, in
+/// microseconds, `u64::MAX` meaning "no sample since last drain".
+#[derive(Debug, Default)]
+pub(crate) struct ShardTimings {
+    route_us: AtomicU64,
+    commit_us: AtomicU64,
+}
+
+const NO_SAMPLE: u64 = u64::MAX;
+
+impl ShardTimings {
+    pub(crate) fn new() -> Self {
+        ShardTimings {
+            route_us: AtomicU64::new(NO_SAMPLE),
+            commit_us: AtomicU64::new(NO_SAMPLE),
+        }
+    }
+
+    fn as_us(d: Duration) -> u64 {
+        (d.as_micros() as u64).min(NO_SAMPLE - 1)
+    }
+
+    pub(crate) fn record_route(&self, d: Duration) {
+        self.route_us.store(Self::as_us(d), Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_commit(&self, d: Duration) {
+        self.commit_us.store(Self::as_us(d), Ordering::Relaxed);
+    }
+
+    pub(crate) fn take_route_us(&self) -> Option<u64> {
+        match self.route_us.swap(NO_SAMPLE, Ordering::Relaxed) {
+            NO_SAMPLE => None,
+            v => Some(v),
+        }
+    }
+
+    pub(crate) fn take_commit_us(&self) -> Option<u64> {
+        match self.commit_us.swap(NO_SAMPLE, Ordering::Relaxed) {
+            NO_SAMPLE => None,
+            v => Some(v),
+        }
+    }
+}
+
+/// Implements [`Arranger`] by staging the round's score vector where
+/// the shard actors can read it, then running
+/// [`oracle_greedy_dist_into`] with a gather callback that fans
+/// `TopK{k}` out to every shard and concatenates the answers.
+///
+/// Installed in the coordinator policy's workspace, so the policy's
+/// scoring pass and every RNG draw happen exactly once on the
+/// coordinator thread — the shards only ever *rank* finished scores,
+/// which is why the sharded run is byte-identical to the single-actor
+/// run (see the merge-equals-serial argument on
+/// [`oracle_greedy_dist_into`]).
+pub(crate) struct ShardRouter {
+    channels: Arc<Vec<ShardChannel>>,
+    staging: Arc<RwLock<Vec<f64>>>,
+    timings: Arc<ShardTimings>,
+}
+
+impl ShardRouter {
+    pub(crate) fn new(
+        channels: Arc<Vec<ShardChannel>>,
+        staging: Arc<RwLock<Vec<f64>>>,
+        timings: Arc<ShardTimings>,
+    ) -> Self {
+        ShardRouter {
+            channels,
+            staging,
+            timings,
+        }
+    }
+}
+
+impl std::fmt::Debug for ShardRouter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardRouter")
+            .field("shards", &self.channels.len())
+            .finish()
+    }
+}
+
+impl Arranger for ShardRouter {
+    fn arrange(
+        &self,
+        scores: &[f64],
+        view: &SelectionView<'_>,
+        order: &mut Vec<u32>,
+        mask: &mut Vec<u64>,
+        out: &mut Arrangement,
+    ) {
+        let started = Instant::now();
+        {
+            let mut staged = self.staging.write().expect("score staging poisoned");
+            staged.clear();
+            staged.extend_from_slice(scores);
+        }
+        oracle_greedy_dist_into(
+            scores,
+            view.conflicts,
+            view.remaining,
+            view.user_capacity,
+            order,
+            mask,
+            out,
+            &mut |k, order| {
+                for ch in self.channels.iter() {
+                    ch.send(Request::TopK { k });
+                }
+                for ch in self.channels.iter() {
+                    ch.sample_depth();
+                }
+                for ch in self.channels.iter() {
+                    match ch.recv() {
+                        Reply::TopK(candidates) => order.extend_from_slice(&candidates),
+                        other => panic!("shard answered TopK with {other:?}"),
+                    }
+                }
+            },
+        );
+        self.timings.record_route(started.elapsed());
+    }
+}

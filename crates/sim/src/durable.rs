@@ -607,6 +607,19 @@ impl DurableArrangementService {
         &self.service
     }
 
+    /// Installs (or removes) an external [`fasea_bandit::Arranger`] in
+    /// the wrapped policy's workspace (see
+    /// [`ArrangementService::install_arranger`]). The sharded
+    /// coordinator installs its router here *after* `open` — recovery
+    /// replay runs the local oracle, which produces identical
+    /// arrangements by the arranger contract.
+    pub fn install_arranger(
+        &mut self,
+        arranger: Option<std::sync::Arc<dyn fasea_bandit::Arranger>>,
+    ) {
+        self.service.install_arranger(arranger);
+    }
+
     /// `true` if a proposal awaits feedback — including one recovered
     /// from a log that ended mid-round. The caller decides how to
     /// resolve it; the service never silently re-proposes.
@@ -805,6 +818,14 @@ fn replay(
                     }
                     other => other,
                 })?;
+            }
+            // Transaction records belong to *shard* logs (fasea-shard);
+            // one in a coordinator/single-service log is damage.
+            Record::TxnPrepare { .. } | Record::TxnCommit { .. } | Record::TxnAbort { .. } => {
+                return Err(ServiceError::RecoveryDiverged {
+                    seq,
+                    detail: format!("{} record in a service round log", record.kind()),
+                });
             }
         }
     }

@@ -65,6 +65,12 @@ pub const TAG_PROPOSE: u8 = 1;
 pub const TAG_FEEDBACK: u8 = 2;
 /// Frame tag for [`Record::SnapshotMarker`].
 pub const TAG_SNAPSHOT_MARKER: u8 = 3;
+/// Frame tag for [`Record::TxnPrepare`].
+pub const TAG_TXN_PREPARE: u8 = 4;
+/// Frame tag for [`Record::TxnCommit`].
+pub const TAG_TXN_COMMIT: u8 = 5;
+/// Frame tag for [`Record::TxnAbort`].
+pub const TAG_TXN_ABORT: u8 = 6;
 
 /// Errors surfaced by the store.
 ///

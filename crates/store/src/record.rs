@@ -23,6 +23,9 @@
 //! | 1   | `Propose`        | `t u64, user_capacity u32, num_events u32, dim u32, contexts f64×(n·d), arr_len u32, arrangement u32×len, context_hash u64` |
 //! | 2   | `Feedback`       | `t u64, len u32, accepts u8×len` |
 //! | 3   | `SnapshotMarker` | `snapshot_seq u64` |
+//! | 4   | `TxnPrepare`     | `txn u64, len u32, (event u32, dec u32)×len` |
+//! | 5   | `TxnCommit`      | `txn u64` |
+//! | 6   | `TxnAbort`       | `txn u64` |
 //!
 //! `Propose` logs the *full* revealed context block, not just its hash:
 //! recovery re-executes the policy's `select` on the logged contexts
@@ -32,7 +35,10 @@
 //! as a cheap end-to-end integrity check on the context floats.
 
 use crate::crc::crc32;
-use crate::{StoreError, TAG_FEEDBACK, TAG_PROPOSE, TAG_SNAPSHOT_MARKER};
+use crate::{
+    StoreError, TAG_FEEDBACK, TAG_PROPOSE, TAG_SNAPSHOT_MARKER, TAG_TXN_ABORT, TAG_TXN_COMMIT,
+    TAG_TXN_PREPARE,
+};
 use std::io::{self, Read, Write};
 
 /// Upper bound on a record payload (16 MiB). A `len` above this is
@@ -76,6 +82,32 @@ pub enum Record {
         /// First sequence number *not* covered by the snapshot.
         snapshot_seq: u64,
     },
+    /// Phase 1 of a cross-shard capacity transaction: this shard's
+    /// write set (per-event capacity decrements) for transaction `txn`.
+    /// Written to a *shard* log and made durable before the coordinator
+    /// takes its commit decision; a prepare without a matching
+    /// [`Record::TxnCommit`] or [`Record::TxnAbort`] later in the log
+    /// is in-doubt and resolved from the coordinator log on recovery.
+    TxnPrepare {
+        /// Transaction id (the coordinator's round index, or a repair
+        /// id with the high bit set).
+        txn: u64,
+        /// The write set: `(event id, capacity decrement)` pairs, in
+        /// ascending event order.
+        decs: Vec<(u32, u32)>,
+    },
+    /// Phase 2 outcome: the decrements of the matching
+    /// [`Record::TxnPrepare`] took effect.
+    TxnCommit {
+        /// Transaction id being committed.
+        txn: u64,
+    },
+    /// Phase 2 outcome: the matching [`Record::TxnPrepare`] was
+    /// discarded without effect.
+    TxnAbort {
+        /// Transaction id being aborted.
+        txn: u64,
+    },
 }
 
 impl Record {
@@ -85,6 +117,9 @@ impl Record {
             Record::Propose { .. } => TAG_PROPOSE,
             Record::Feedback { .. } => TAG_FEEDBACK,
             Record::SnapshotMarker { .. } => TAG_SNAPSHOT_MARKER,
+            Record::TxnPrepare { .. } => TAG_TXN_PREPARE,
+            Record::TxnCommit { .. } => TAG_TXN_COMMIT,
+            Record::TxnAbort { .. } => TAG_TXN_ABORT,
         }
     }
 
@@ -94,6 +129,9 @@ impl Record {
             Record::Propose { .. } => "Propose",
             Record::Feedback { .. } => "Feedback",
             Record::SnapshotMarker { .. } => "SnapshotMarker",
+            Record::TxnPrepare { .. } => "TxnPrepare",
+            Record::TxnCommit { .. } => "TxnCommit",
+            Record::TxnAbort { .. } => "TxnAbort",
         }
     }
 }
@@ -146,6 +184,20 @@ pub fn encode_payload(seq: u64, record: &Record) -> Vec<u8> {
         }
         Record::SnapshotMarker { snapshot_seq } => {
             out.extend_from_slice(&snapshot_seq.to_le_bytes());
+        }
+        Record::TxnPrepare { txn, decs } => {
+            out.extend_from_slice(&txn.to_le_bytes());
+            out.extend_from_slice(&(decs.len() as u32).to_le_bytes());
+            for (event, dec) in decs {
+                out.extend_from_slice(&event.to_le_bytes());
+                out.extend_from_slice(&dec.to_le_bytes());
+            }
+        }
+        Record::TxnCommit { txn } => {
+            out.extend_from_slice(&txn.to_le_bytes());
+        }
+        Record::TxnAbort { txn } => {
+            out.extend_from_slice(&txn.to_le_bytes());
         }
     }
     out
@@ -409,6 +461,35 @@ pub fn decode_payload(payload: &[u8]) -> Result<(u64, Record), StoreError> {
             let snapshot_seq = u64::from_le_bytes(take(&mut at, 8)?.try_into().unwrap());
             Record::SnapshotMarker { snapshot_seq }
         }
+        TAG_TXN_PREPARE => {
+            let txn = u64::from_le_bytes(take(&mut at, 8)?.try_into().unwrap());
+            let len = u32::from_le_bytes(take(&mut at, 4)?.try_into().unwrap());
+            let bytes = (len as usize)
+                .checked_mul(8)
+                .ok_or_else(|| corrupt("write-set length overflow"))?;
+            let raw = take(&mut at, bytes)?;
+            let decs: Vec<(u32, u32)> = raw
+                .chunks_exact(8)
+                .map(|c| {
+                    (
+                        u32::from_le_bytes(c[..4].try_into().unwrap()),
+                        u32::from_le_bytes(c[4..].try_into().unwrap()),
+                    )
+                })
+                .collect();
+            if decs.windows(2).any(|w| w[0].0 >= w[1].0) {
+                return Err(corrupt("write set not in ascending event order"));
+            }
+            Record::TxnPrepare { txn, decs }
+        }
+        TAG_TXN_COMMIT => {
+            let txn = u64::from_le_bytes(take(&mut at, 8)?.try_into().unwrap());
+            Record::TxnCommit { txn }
+        }
+        TAG_TXN_ABORT => {
+            let txn = u64::from_le_bytes(take(&mut at, 8)?.try_into().unwrap());
+            Record::TxnAbort { txn }
+        }
         _ => return Err(corrupt("unknown record tag")),
     };
     if at != payload.len() {
@@ -443,6 +524,16 @@ mod tests {
                 accepts: vec![true, false],
             },
             Record::SnapshotMarker { snapshot_seq: 84 },
+            Record::TxnPrepare {
+                txn: 41,
+                decs: vec![(2, 1), (7, 3)],
+            },
+            Record::TxnPrepare {
+                txn: (1 << 63) | 9,
+                decs: vec![],
+            },
+            Record::TxnCommit { txn: 41 },
+            Record::TxnAbort { txn: 42 },
         ];
         for (i, rec) in records.iter().enumerate() {
             let payload = encode_payload(1000 + i as u64, rec);
@@ -549,6 +640,23 @@ mod tests {
         // Trailing bytes.
         let mut payload = encode_payload(0, &Record::SnapshotMarker { snapshot_seq: 1 });
         payload.push(0);
+        assert!(decode_payload(&payload).is_err());
+        // Prepare write set out of order (also catches duplicates).
+        let bad = Record::TxnPrepare {
+            txn: 3,
+            decs: vec![(5, 1), (5, 2)],
+        };
+        assert!(decode_payload(&encode_payload(0, &bad)).is_err());
+        // Prepare whose length field promises more pairs than exist.
+        let mut payload = encode_payload(
+            0,
+            &Record::TxnPrepare {
+                txn: 3,
+                decs: vec![(1, 1)],
+            },
+        );
+        let at = 1 + 8 + 8; // tag | seq | txn → length field
+        payload[at..at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(decode_payload(&payload).is_err());
     }
 

@@ -45,6 +45,13 @@ cargo test -q --test models_spill_determinism
 echo "==> models_residency smoke (FASEA_BENCH_USERS=20000, FASEA_BENCH_MS=25)"
 FASEA_BENCH_USERS=20000 FASEA_BENCH_MS=25 cargo bench -q -p fasea-bench --bench models_residency
 
+# Sharded-vs-single byte parity: every policy at 1/2/4 shards must land
+# on the identical StateDigest (capacities, accounting, policy RNG) as
+# the single-actor service, and the 2PC kill matrix must recover from a
+# cut at every shard-log and coordinator-log record boundary.
+echo "==> sharded-vs-single parity + 2PC kill matrix"
+cargo test -q --test shard_parity
+
 # Every committed bench-result table must still parse and keep the
 # shared schema (object with "bench"/"units"/non-empty "cells" of flat
 # scalar cells) so downstream tooling never reads a drifted artefact.

@@ -27,6 +27,9 @@
 //! * [`serve`] — the concurrent TCP serving layer over the durable
 //!   service: framed wire protocol, single-writer actor, worker pool,
 //!   metrics, and the matching blocking client.
+//! * [`shard`] — the sharded event universe: component-preserving
+//!   partition, per-shard transaction logs, deterministic cross-shard
+//!   two-phase commit, byte-identical to the single-actor service.
 //! * [`stats`] / [`linalg`] — the statistical and numerical substrates.
 //!
 //! ## Quickstart
@@ -77,6 +80,11 @@ pub use fasea_store as store;
 /// Network serving layer (re-export of `fasea-serve`).
 pub use fasea_serve as serve;
 
+/// Sharded event universe with deterministic cross-shard commit
+/// (re-export of `fasea-shard`).
+pub use fasea_shard as shard;
+
+pub use fasea_shard::ShardedArrangementService;
 pub use fasea_sim::{ArrangementService, DurableArrangementService, DurableOptions, ServiceError};
 pub use fasea_store::FsyncPolicy;
 
