@@ -58,6 +58,7 @@ mod estimator;
 mod exploit;
 mod opt;
 mod oracle;
+mod oracle_api;
 mod policy;
 mod random;
 mod score_pool;
@@ -72,9 +73,11 @@ pub use egreedy::EpsilonGreedy;
 pub use estimator::RidgeEstimator;
 pub use exploit::Exploit;
 pub use opt::Opt;
-pub use oracle::{
-    oracle_exhaustive, oracle_greedy, oracle_greedy_dist_into, oracle_greedy_into,
-    positive_score_sum, subset_top_k,
+pub use oracle::{oracle_exhaustive, positive_score_sum, subset_top_k};
+#[allow(deprecated)]
+pub use oracle::{oracle_greedy, oracle_greedy_dist_into, oracle_greedy_into};
+pub use oracle_api::{
+    GreedyOracle, Oracle, OracleKind, OracleOptions, OracleWorkspace, TabuFitness, TabuOracle,
 };
 pub use policy::{Policy, SelectionView};
 pub use random::RandomPolicy;

@@ -20,24 +20,28 @@ use fasea_core::{Arrangement, ConflictGraph, EventId};
 /// Complexity: `O(|V| log |V|)` sort + `O(c_u |V| / 64)` masked conflict
 /// checks, matching the paper's `|V|(log|V| + c_u)` analysis.
 ///
-/// # Example
-///
-/// The paper's Example 3 (UCB, round 1): scores 1.10, 0.49, 0.82, 2.00
-/// with v₁ conflicting v₂ and `c_u = 2` arranges v₄ then v₁:
-///
-/// ```
-/// use fasea_bandit::oracle_greedy;
-/// use fasea_core::{ConflictGraph, EventId};
-///
-/// let conflicts = ConflictGraph::from_pairs(4, &[(0, 1)]);
-/// let arrangement = oracle_greedy(&[1.10, 0.49, 0.82, 2.00], &conflicts, &[1; 4], 2);
-/// assert_eq!(arrangement.events(), &[EventId(3), EventId(0)]);
-/// ```
+/// See [`crate::GreedyOracle`] for an example through the trait (the
+/// paper's Example 3).
 ///
 /// # Panics
 /// Panics if `scores.len()`, the conflict graph and `remaining` disagree
 /// on `|V|`.
+#[deprecated(
+    note = "use GreedyOracle through the Oracle trait (fasea_bandit::{GreedyOracle, Oracle})"
+)]
 pub fn oracle_greedy(
+    scores: &[f64],
+    conflicts: &ConflictGraph,
+    remaining: &[u32],
+    user_capacity: u32,
+) -> Arrangement {
+    greedy(scores, conflicts, remaining, user_capacity)
+}
+
+/// Allocating Oracle-Greedy — the crate-internal form behind the
+/// deprecated [`oracle_greedy`] wrapper and [`crate::GreedyOracle`];
+/// identical semantics.
+pub(crate) fn greedy(
     scores: &[f64],
     conflicts: &ConflictGraph,
     remaining: &[u32],
@@ -46,7 +50,7 @@ pub fn oracle_greedy(
     let mut order = Vec::new();
     let mut mask = Vec::new();
     let mut arrangement = Arrangement::empty();
-    oracle_greedy_into(
+    greedy_into(
         scores,
         conflicts,
         remaining,
@@ -70,8 +74,35 @@ pub fn oracle_greedy(
 /// # Panics
 /// Panics if `scores.len()`, the conflict graph and `remaining` disagree
 /// on `|V|`.
+#[deprecated(
+    note = "use GreedyOracle::arrange_into with an OracleWorkspace (fasea_bandit::{GreedyOracle, Oracle, OracleWorkspace})"
+)]
 #[allow(clippy::too_many_arguments)]
 pub fn oracle_greedy_into(
+    scores: &[f64],
+    conflicts: &ConflictGraph,
+    remaining: &[u32],
+    user_capacity: u32,
+    order: &mut Vec<u32>,
+    mask: &mut Vec<u64>,
+    out: &mut Arrangement,
+) {
+    greedy_into(
+        scores,
+        conflicts,
+        remaining,
+        user_capacity,
+        order,
+        mask,
+        out,
+    );
+}
+
+/// The allocation-free Oracle-Greedy core — crate-internal twin of the
+/// deprecated [`oracle_greedy_into`] wrapper; identical semantics and
+/// buffers.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn greedy_into(
     scores: &[f64],
     conflicts: &ConflictGraph,
     remaining: &[u32],
@@ -199,9 +230,10 @@ fn greedy_scan(
     }
 }
 
-/// [`oracle_greedy_into`] with the candidate ranking sharded over a
+/// [`greedy_into`] with the candidate ranking sharded over a
 /// [`ScorePool`] — **bit-identical arrangements** to the serial oracle
-/// for finite scores.
+/// for finite scores. Reached through [`crate::GreedyOracle`] when the
+/// oracle workspace carries a multi-thread pool.
 ///
 /// Each pool chunk runs the same bounded-insertion top-k the serial
 /// path uses, restricted to its own `SCORE_CHUNK`-sized event range,
@@ -230,7 +262,7 @@ fn greedy_scan(
 /// [`crate::ScoreWorkspace`]; once grown to the instance size the call
 /// allocates nothing.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn oracle_greedy_pooled_into(
+pub(crate) fn greedy_pooled_into(
     scores: &[f64],
     conflicts: &ConflictGraph,
     remaining: &[u32],
@@ -319,7 +351,9 @@ pub(crate) fn oracle_greedy_pooled_into(
 /// The same bounded-insertion scan as the serial and pooled oracles —
 /// one comparison per member, an O(k) shift only when a member beats
 /// the current k-th best — so a shard's pass is O(|members|) for the
-/// k values the oracle asks for.
+/// k values the oracle asks for. (This per-shard primitive is **not**
+/// deprecated: it is the half of the gathered ranking that runs *on*
+/// the shard actors, below the [`crate::Oracle`] seam.)
 ///
 /// # Panics
 /// Debug-panics if a member id is out of range for `scores`.
@@ -341,14 +375,14 @@ pub fn subset_top_k(scores: &[f64], members: &[u32], k: usize, out: &mut Vec<u32
     }
 }
 
-/// [`oracle_greedy_into`] with the candidate ranking gathered from
+/// [`greedy_into`] with the candidate ranking gathered from
 /// *external* per-shard top-k passes — **identical arrangements** to
 /// the serial oracle for finite scores.
 ///
 /// `gather` is called with the prefix size `k` and must append every
 /// shard's [`subset_top_k`] candidates for that `k` to the supplied
 /// buffer (order across shards is irrelevant — the merge re-sorts).
-/// The merge is the same as [`oracle_greedy_pooled_into`]'s: sort the
+/// The merge is the same as [`greedy_pooled_into`]'s: sort the
 /// union under the oracle's total order ([`ranks_before`]: score
 /// descending, index ascending), truncate to `k`, greedy-scan. The
 /// correctness argument is identical — the index tiebreak makes the
@@ -364,8 +398,37 @@ pub fn subset_top_k(scores: &[f64], members: &[u32], k: usize, out: &mut Vec<u32
 /// # Panics
 /// Panics if `scores.len()`, the conflict graph and `remaining`
 /// disagree on `|V|`, or if `gather` appends an out-of-range id.
+#[deprecated(
+    note = "use GreedyOracle::arrange_gathered (fasea_bandit::{GreedyOracle, Oracle, OracleWorkspace})"
+)]
 #[allow(clippy::too_many_arguments)]
 pub fn oracle_greedy_dist_into(
+    scores: &[f64],
+    conflicts: &ConflictGraph,
+    remaining: &[u32],
+    user_capacity: u32,
+    order: &mut Vec<u32>,
+    mask: &mut Vec<u64>,
+    out: &mut Arrangement,
+    gather: &mut dyn FnMut(usize, &mut Vec<u32>),
+) {
+    greedy_dist_into(
+        scores,
+        conflicts,
+        remaining,
+        user_capacity,
+        order,
+        mask,
+        out,
+        gather,
+    );
+}
+
+/// The gathered-ranking core behind the deprecated
+/// [`oracle_greedy_dist_into`] wrapper and
+/// [`crate::GreedyOracle`]'s `arrange_gathered`; identical semantics.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn greedy_dist_into(
     scores: &[f64],
     conflicts: &ConflictGraph,
     remaining: &[u32],
@@ -408,6 +471,31 @@ pub fn oracle_greedy_dist_into(
             return;
         }
         k = k.saturating_mul(4).min(n);
+    }
+}
+
+/// Bounded-insertion top-`k` over the **non-full** events under the
+/// oracle's total order ([`ranks_before`]) — the candidate
+/// neighbourhood [`crate::TabuOracle`] explores. `out` holds at most
+/// `k` ids, best-first.
+pub(crate) fn ranked_prefix(scores: &[f64], remaining: &[u32], k: usize, out: &mut Vec<u32>) {
+    debug_assert_eq!(scores.len(), remaining.len(), "ranked_prefix: |V| mismatch");
+    out.clear();
+    if k == 0 {
+        return;
+    }
+    for v in 0..scores.len() as u32 {
+        if remaining[v as usize] == 0 {
+            continue;
+        }
+        if out.len() == k {
+            if !ranks_before(scores, v, out[k - 1]) {
+                continue;
+            }
+            out.pop();
+        }
+        let pos = out.partition_point(|&o| ranks_before(scores, o, v));
+        out.insert(pos, v);
     }
 }
 
@@ -540,7 +628,7 @@ mod tests {
     #[test]
     fn greedy_picks_top_scores_without_conflicts() {
         let g = ConflictGraph::new(4);
-        let a = oracle_greedy(&[0.1, 0.9, 0.5, 0.7], &g, &[1; 4], 2);
+        let a = greedy(&[0.1, 0.9, 0.5, 0.7], &g, &[1; 4], 2);
         assert_eq!(a.events(), &[EventId(1), EventId(3)]);
     }
 
@@ -550,7 +638,7 @@ mod tests {
         let g = ConflictGraph::from_pairs(4, &[(0, 1)]);
         // Example 3 (UCB round 1): scores 1.10, 0.49, 0.82, 2.00, c_u = 2
         // => v4 then v1 are arranged.
-        let a = oracle_greedy(&[1.10, 0.49, 0.82, 2.00], &g, &[1; 4], 2);
+        let a = greedy(&[1.10, 0.49, 0.82, 2.00], &g, &[1; 4], 2);
         assert_eq!(a.events(), &[EventId(3), EventId(0)]);
     }
 
@@ -559,14 +647,14 @@ mod tests {
         // Example 2 (TS round 1): estimated rewards −3.94, −0.30, 1.74,
         // −13.07, conflicts {v1,v2}, c_u = 2 => v3 then v2.
         let g = ConflictGraph::from_pairs(4, &[(0, 1)]);
-        let a = oracle_greedy(&[-3.94, -0.30, 1.74, -13.07], &g, &[1; 4], 2);
+        let a = greedy(&[-3.94, -0.30, 1.74, -13.07], &g, &[1; 4], 2);
         assert_eq!(a.events(), &[EventId(2), EventId(1)]);
     }
 
     #[test]
     fn greedy_includes_negative_scores_when_room_remains() {
         let g = ConflictGraph::new(3);
-        let a = oracle_greedy(&[-0.5, -0.1, -0.9], &g, &[1; 3], 2);
+        let a = greedy(&[-0.5, -0.1, -0.9], &g, &[1; 3], 2);
         // Visits in order v2(−0.1), v1(−0.5): both arranged.
         assert_eq!(a.events(), &[EventId(1), EventId(0)]);
     }
@@ -574,14 +662,14 @@ mod tests {
     #[test]
     fn greedy_skips_full_events() {
         let g = ConflictGraph::new(3);
-        let a = oracle_greedy(&[0.9, 0.5, 0.1], &g, &[0, 1, 1], 2);
+        let a = greedy(&[0.9, 0.5, 0.1], &g, &[0, 1, 1], 2);
         assert_eq!(a.events(), &[EventId(1), EventId(2)]);
     }
 
     #[test]
     fn greedy_stops_at_user_capacity() {
         let g = ConflictGraph::new(5);
-        let a = oracle_greedy(&[0.5; 5], &g, &[1; 5], 3);
+        let a = greedy(&[0.5; 5], &g, &[1; 5], 3);
         assert_eq!(a.len(), 3);
         // Tie-break towards lower ids.
         assert_eq!(a.events(), &[EventId(0), EventId(1), EventId(2)]);
@@ -590,13 +678,13 @@ mod tests {
     #[test]
     fn greedy_zero_capacity_user() {
         let g = ConflictGraph::new(3);
-        assert!(oracle_greedy(&[1.0, 1.0, 1.0], &g, &[1; 3], 0).is_empty());
+        assert!(greedy(&[1.0, 1.0, 1.0], &g, &[1; 3], 0).is_empty());
     }
 
     #[test]
     fn greedy_complete_conflicts_arranges_single_event() {
         let g = ConflictGraph::complete(6);
-        let a = oracle_greedy(&[0.1, 0.2, 0.9, 0.3, 0.4, 0.5], &g, &[1; 6], 4);
+        let a = greedy(&[0.1, 0.2, 0.9, 0.3, 0.4, 0.5], &g, &[1; 6], 4);
         assert_eq!(a.events(), &[EventId(2)]);
     }
 
@@ -604,8 +692,8 @@ mod tests {
     fn greedy_is_deterministic() {
         let g = ConflictGraph::from_pairs(6, &[(0, 1), (2, 3)]);
         let scores = [0.3, 0.3, 0.3, 0.3, 0.3, 0.3];
-        let a1 = oracle_greedy(&scores, &g, &[1; 6], 3);
-        let a2 = oracle_greedy(&scores, &g, &[1; 6], 3);
+        let a1 = greedy(&scores, &g, &[1; 6], 3);
+        let a2 = greedy(&scores, &g, &[1; 6], 3);
         assert_eq!(a1, a2);
     }
 
@@ -613,7 +701,7 @@ mod tests {
     fn exhaustive_beats_or_matches_greedy() {
         let g = ConflictGraph::from_pairs(5, &[(0, 1), (1, 2), (3, 4)]);
         let scores = [0.5, 0.9, 0.5, 0.2, 0.3];
-        let greedy = oracle_greedy(&scores, &g, &[1; 5], 2);
+        let greedy = greedy(&scores, &g, &[1; 5], 2);
         let best = oracle_exhaustive(&scores, &g, &[1; 5], 2);
         assert!(positive_score_sum(&best, &scores) >= positive_score_sum(&greedy, &scores) - 1e-12);
         // Greedy takes v2 (0.9, blocking v1 and v3) then v5 (0.3) = 1.2;
@@ -628,7 +716,7 @@ mod tests {
         let g = ConflictGraph::from_pairs(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
         let scores = [0.51, 0.5, 0.5, 0.5, 0.5];
         let cu = 4u32;
-        let greedy = oracle_greedy(&scores, &g, &[1; 5], cu);
+        let greedy = greedy(&scores, &g, &[1; 5], cu);
         let best = oracle_exhaustive(&scores, &g, &[1; 5], cu);
         let gs = positive_score_sum(&greedy, &scores);
         let bs = positive_score_sum(&best, &scores);
@@ -658,7 +746,7 @@ mod tests {
     #[test]
     fn empty_instance() {
         let g = ConflictGraph::new(0);
-        assert!(oracle_greedy(&[], &g, &[], 3).is_empty());
+        assert!(greedy(&[], &g, &[], 3).is_empty());
         assert!(oracle_exhaustive(&[], &g, &[], 3).is_empty());
     }
 
@@ -679,10 +767,10 @@ mod tests {
         let mut order = Vec::new();
         let mut mask = Vec::new();
         let mut out = Arrangement::empty();
-        oracle_greedy_into(&scores, &g, &remaining, cu, &mut order, &mut mask, &mut out);
+        greedy_into(&scores, &g, &remaining, cu, &mut order, &mut mask, &mut out);
         let expected: Vec<usize> = (150..155).collect();
         assert_eq!(ids(&out), expected);
-        assert_eq!(out, oracle_greedy(&scores, &g, &remaining, cu));
+        assert_eq!(out, greedy(&scores, &g, &remaining, cu));
     }
 
     /// Drives both oracle forms over the same instance and asserts
@@ -694,13 +782,13 @@ mod tests {
         cu: u32,
         pool: &ScorePool,
     ) {
-        let serial = oracle_greedy(scores, conflicts, remaining, cu);
+        let serial = greedy(scores, conflicts, remaining, cu);
         let mut order = Vec::new();
         let mut mask = Vec::new();
         let mut shard_order = Vec::new();
         let mut shard_counts = Vec::new();
         let mut out = Arrangement::empty();
-        oracle_greedy_pooled_into(
+        greedy_pooled_into(
             scores,
             conflicts,
             remaining,
@@ -776,12 +864,12 @@ mod tests {
                     .collect()
             })
             .collect();
-        let serial = oracle_greedy(scores, conflicts, remaining, cu);
+        let serial = greedy(scores, conflicts, remaining, cu);
         let mut order = Vec::new();
         let mut mask = Vec::new();
         let mut out = Arrangement::empty();
         let mut scratch = Vec::new();
-        oracle_greedy_dist_into(
+        greedy_dist_into(
             scores,
             conflicts,
             remaining,
@@ -862,9 +950,9 @@ mod tests {
         let mut order = Vec::new();
         let mut mask = Vec::new();
         let mut out = Arrangement::empty();
-        oracle_greedy_into(&scores, &g, &remaining, cu, &mut order, &mut mask, &mut out);
+        greedy_into(&scores, &g, &remaining, cu, &mut order, &mut mask, &mut out);
         // Event 0 first, then the best non-conflicting ones: 61, 62, 63.
         assert_eq!(ids(&out), vec![0, 61, 62, 63]);
-        assert_eq!(out, oracle_greedy(&scores, &g, &remaining, cu));
+        assert_eq!(out, greedy(&scores, &g, &remaining, cu));
     }
 }

@@ -1,6 +1,6 @@
 //! Reusable per-policy scoring scratch for the batched selection path.
 
-use crate::{ScorePool, SelectionView};
+use crate::{Oracle, OracleWorkspace, ScorePool, SelectionView};
 use fasea_core::Arrangement;
 use std::sync::Arc;
 
@@ -9,38 +9,40 @@ use std::sync::Arc;
 ///
 /// When installed ([`ScoreWorkspace::set_arranger`]), the workspace
 /// hands the arranger the finished score vector plus its reusable
-/// `order`/`mask` scratch and lets it fill `out` — instead of running
-/// the local serial or pooled Oracle-Greedy. The sharded coordinator
+/// [`OracleWorkspace`] scratch and lets it fill `out` — instead of
+/// running the locally installed [`Oracle`]. The sharded coordinator
 /// uses this seam to fan the top-k ranking out over shard actors
-/// (via [`crate::oracle_greedy_dist_into`]) while scoring and every
-/// RNG draw still happen exactly once, in the policy, on the calling
-/// thread — which is what keeps an N-shard run byte-identical to the
+/// (via [`Oracle::arrange_gathered`]) while scoring and every RNG draw
+/// still happen exactly once, in the policy, on the calling thread —
+/// which is what keeps an N-shard run byte-identical to the
 /// single-actor run.
 ///
-/// **Contract:** for finite scores the arrangement written to `out`
-/// must equal [`crate::oracle_greedy`] on the same inputs. Everything
-/// downstream (the WAL `Propose` records, recovery's replay
-/// cross-check, the golden parity tests) assumes it.
+/// **Contract:** the arrangement written to `out` must equal what the
+/// service's configured [`Oracle`] produces locally on the same inputs
+/// (for the default [`crate::GreedyOracle`], that is
+/// [`crate::oracle_greedy`]'s arrangement). Everything downstream (the
+/// WAL `Propose` records, recovery's replay cross-check, the golden
+/// parity tests) assumes it.
 ///
 /// `Send + Sync` because the owning workspace lives inside policies
 /// that cross thread boundaries; `Debug` so the workspace's derives
 /// survive.
 pub trait Arranger: Send + Sync + std::fmt::Debug {
-    /// Fills `out` with the Oracle-Greedy arrangement for `scores`
-    /// under `view`, reusing `order`/`mask` as scratch.
+    /// Fills `out` with the arrangement for `scores` under `view`,
+    /// reusing `ws` as scratch.
     fn arrange(
         &self,
         scores: &[f64],
         view: &SelectionView<'_>,
-        order: &mut Vec<u32>,
-        mask: &mut Vec<u64>,
+        ws: &mut OracleWorkspace,
         out: &mut Arrangement,
     );
 }
 
 /// Per-policy scratch for one scoring round: the score vector the
 /// arrangement oracle consumes, the UCB width buffer, and the oracle's
-/// visiting-order and conflict-mask buffers.
+/// [`OracleWorkspace`] (visiting-order, conflict-mask and local-search
+/// buffers).
 ///
 /// Every buffer is grown on first use and **reused** afterwards, so once
 /// the workspace has seen the instance size a steady-state
@@ -68,29 +70,36 @@ pub trait Arranger: Send + Sync + std::fmt::Debug {
 /// when the backing slice spans precisely the event range being
 /// sharded.
 ///
+/// ## Oracle dispatch
+///
+/// [`ScoreWorkspace::arrange_into`] picks the arrangement engine in
+/// precedence order:
+///
+/// 1. an installed [`Arranger`] ([`ScoreWorkspace::set_arranger`]) —
+///    the sharded coordinator's distributed ranking;
+/// 2. an installed [`Oracle`] ([`ScoreWorkspace::set_oracle`]) — e.g.
+///    [`crate::TabuOracle`], or an explicit [`crate::GreedyOracle`];
+/// 3. the built-in default: [`crate::GreedyOracle`] semantics (serial,
+///    or pooled when a multi-thread [`ScorePool`] is installed) —
+///    bit-identical to an explicitly installed greedy oracle.
+///
 /// ## Parallelism
 ///
 /// The workspace optionally carries a shared [`ScorePool`]
 /// ([`ScoreWorkspace::set_score_pool`]). When present with more than
 /// one thread, policies fan the batched score scan out over the pool
-/// and [`ScoreWorkspace::arrange_into`] runs the sharded Oracle-Greedy
-/// ranking — both bit-identical to the serial path by the determinism
-/// argument in the `score_pool` module docs. The pool rides inside the
-/// workspace (rather than the policy or the view) so it survives the
-/// `mem::take` round-trip in [`crate::Policy::select_into`] and needs
-/// no `Policy` trait change.
+/// and the greedy ranking runs sharded — both bit-identical to the
+/// serial path by the determinism argument in the `score_pool` module
+/// docs. The pool rides inside the workspace (rather than the policy or
+/// the view) so it survives the `mem::take` round-trip in
+/// [`crate::Policy::select_into`] and needs no `Policy` trait change.
 #[derive(Debug, Clone, Default)]
 pub struct ScoreWorkspace {
     scores: Vec<f64>,
     widths: Vec<f64>,
-    order: Vec<u32>,
-    mask: Vec<u64>,
-    /// Per-shard top-k candidate ids for the pooled oracle
-    /// (`num_chunks × k`, fixed-size slots).
-    shard_order: Vec<u32>,
-    /// Number of live candidates per shard slot.
-    shard_counts: Vec<u32>,
+    oracle_ws: OracleWorkspace,
     pool: Option<Arc<ScorePool>>,
+    oracle: Option<Arc<dyn Oracle>>,
     arranger: Option<Arc<dyn Arranger>>,
     scored_once: bool,
 }
@@ -106,7 +115,6 @@ impl ScoreWorkspace {
         ScoreWorkspace {
             scores: Vec::with_capacity(num_events),
             widths: Vec::with_capacity(num_events),
-            order: Vec::with_capacity(num_events),
             ..Self::default()
         }
     }
@@ -146,7 +154,8 @@ impl ScoreWorkspace {
     /// for intra-round parallel scoring. `None` — and any pool with
     /// `threads() ≤ 1` — means the serial path.
     pub fn set_score_pool(&mut self, pool: Option<Arc<ScorePool>>) {
-        self.pool = pool;
+        self.pool = pool.clone();
+        self.oracle_ws.set_score_pool(pool);
     }
 
     /// The installed scoring pool, if any. Policies clone the `Arc`
@@ -155,9 +164,23 @@ impl ScoreWorkspace {
         self.pool.as_ref()
     }
 
+    /// Installs (or removes, with `None`) the [`Oracle`] that owns the
+    /// arrangement step of [`ScoreWorkspace::arrange_into`]. `None`
+    /// means the built-in [`crate::GreedyOracle`] semantics. An
+    /// installed [`Arranger`] still takes precedence.
+    pub fn set_oracle(&mut self, oracle: Option<Arc<dyn Oracle>>) {
+        self.oracle = oracle;
+    }
+
+    /// The installed oracle, if any.
+    pub fn oracle(&self) -> Option<&Arc<dyn Oracle>> {
+        self.oracle.as_ref()
+    }
+
     /// Installs (or removes, with `None`) an external [`Arranger`] that
     /// replaces the local oracle in [`ScoreWorkspace::arrange_into`].
-    /// Takes precedence over the score pool's sharded ranking.
+    /// Takes precedence over both an installed [`Oracle`] and the score
+    /// pool's sharded ranking.
     pub fn set_arranger(&mut self, arranger: Option<Arc<dyn Arranger>>) {
         self.arranger = arranger;
     }
@@ -189,53 +212,45 @@ impl ScoreWorkspace {
         self.scored_once = true;
     }
 
-    /// Runs Oracle-Greedy (Algorithm 2) over the workspace's scores into
-    /// a caller-owned arrangement, reusing the workspace's order and mask
-    /// buffers — the allocation-free twin of [`crate::oracle_greedy`].
-    /// With a score pool installed ([`ScoreWorkspace::set_score_pool`])
-    /// the candidate ranking runs sharded over the pool with a serial
-    /// merge — bit-identical arrangements either way. An installed
-    /// [`Arranger`] ([`ScoreWorkspace::set_arranger`]) takes precedence
-    /// over both and owns the whole step, under the same
-    /// must-equal-the-serial-oracle contract.
+    /// Runs the installed arrangement engine over the workspace's
+    /// scores into a caller-owned arrangement, reusing the workspace's
+    /// [`OracleWorkspace`] buffers — see the *Oracle dispatch* section
+    /// of the type docs for the precedence order. With no oracle or
+    /// arranger installed this is the allocation-free twin of
+    /// [`crate::oracle_greedy`] (pooled when a multi-thread
+    /// [`ScorePool`] is installed — bit-identical arrangements either
+    /// way).
     pub fn arrange_into(&mut self, view: &SelectionView<'_>, out: &mut Arrangement) {
         let ScoreWorkspace {
             scores,
-            order,
-            mask,
-            shard_order,
-            shard_counts,
-            pool,
+            oracle_ws,
+            oracle,
             arranger,
             ..
         } = self;
         if let Some(arranger) = arranger {
-            arranger.arrange(scores, view, order, mask, out);
+            arranger.arrange(scores, view, oracle_ws, out);
             return;
         }
-        match pool {
-            Some(pool) if pool.threads() > 1 => crate::oracle::oracle_greedy_pooled_into(
+        if let Some(oracle) = oracle {
+            oracle.arrange_into(
                 scores,
                 view.conflicts,
                 view.remaining,
                 view.user_capacity,
-                order,
-                mask,
-                shard_order,
-                shard_counts,
-                pool,
+                oracle_ws,
                 out,
-            ),
-            _ => crate::oracle::oracle_greedy_into(
-                scores,
-                view.conflicts,
-                view.remaining,
-                view.user_capacity,
-                order,
-                mask,
-                out,
-            ),
+            );
+            return;
         }
+        crate::GreedyOracle.arrange_into(
+            scores,
+            view.conflicts,
+            view.remaining,
+            view.user_capacity,
+            oracle_ws,
+            out,
+        );
     }
 
     /// Approximate bytes held by the workspace buffers (for
@@ -243,16 +258,14 @@ impl ScoreWorkspace {
     pub fn state_bytes(&self) -> usize {
         self.scores.len() * std::mem::size_of::<f64>()
             + self.widths.len() * std::mem::size_of::<f64>()
-            + self.order.len() * std::mem::size_of::<u32>()
-            + self.mask.len() * std::mem::size_of::<u64>()
-            + self.shard_order.len() * std::mem::size_of::<u32>()
-            + self.shard_counts.len() * std::mem::size_of::<u32>()
+            + self.oracle_ws.state_bytes()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{GreedyOracle, TabuOracle};
     use fasea_core::{ConflictGraph, ContextMatrix};
 
     #[test]
@@ -285,11 +298,47 @@ mod tests {
         ws.scores_mut(4).copy_from_slice(&scores);
         let mut out = Arrangement::empty();
         ws.arrange_into(&view, &mut out);
-        let reference = crate::oracle_greedy(&scores, &g, &remaining, 2);
+        let reference = crate::oracle::greedy(&scores, &g, &remaining, 2);
         assert_eq!(out, reference);
         // Reuse: a second round through the same buffers agrees too.
         ws.arrange_into(&view, &mut out);
         assert_eq!(out, reference);
+        // An explicitly installed GreedyOracle is bit-identical to the
+        // built-in default path.
+        ws.set_oracle(Some(Arc::new(GreedyOracle)));
+        ws.arrange_into(&view, &mut out);
+        assert_eq!(out, reference);
+    }
+
+    #[test]
+    fn installed_oracle_owns_the_arrangement_step() {
+        use fasea_core::EventId;
+        // The star trap: greedy keeps the centre, tabu escapes to the
+        // leaves — observable only if the installed oracle really runs.
+        let g = ConflictGraph::from_pairs(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let contexts = ContextMatrix::zeros(5, 1);
+        let remaining = [1u32; 5];
+        let view = SelectionView {
+            t: 0,
+            user_capacity: 4,
+            contexts: &contexts,
+            conflicts: &g,
+            remaining: &remaining,
+        };
+        let mut ws = ScoreWorkspace::new();
+        ws.scores_mut(5)
+            .copy_from_slice(&[0.51, 0.5, 0.5, 0.5, 0.5]);
+        let mut out = Arrangement::empty();
+        ws.arrange_into(&view, &mut out);
+        assert_eq!(out.events(), &[EventId(0)]);
+        ws.set_oracle(Some(Arc::new(TabuOracle::default())));
+        assert!(ws.oracle().is_some());
+        ws.arrange_into(&view, &mut out);
+        assert_eq!(out.len(), 4, "tabu oracle was not dispatched");
+        // Uninstalling restores the greedy default.
+        ws.set_oracle(None);
+        ws.arrange_into(&view, &mut out);
+        assert_eq!(out.events(), &[EventId(0)]);
     }
 
     #[test]
@@ -303,8 +352,7 @@ mod tests {
                 &self,
                 scores: &[f64],
                 _view: &SelectionView<'_>,
-                _order: &mut Vec<u32>,
-                _mask: &mut Vec<u64>,
+                _ws: &mut OracleWorkspace,
                 out: &mut Arrangement,
             ) {
                 assert_eq!(scores.len(), 4);

@@ -3,11 +3,23 @@
 //! policy feasibility under arbitrary instances.
 
 use fasea_bandit::{
-    oracle_exhaustive, oracle_greedy, positive_score_sum, EpsilonGreedy, Exploit, LinUcb, Policy,
-    RandomPolicy, RidgeEstimator, SelectionView, ThompsonSampling,
+    oracle_exhaustive, positive_score_sum, EpsilonGreedy, Exploit, GreedyOracle, LinUcb, Oracle,
+    OracleOptions, OracleWorkspace, Policy, RandomPolicy, RidgeEstimator, SelectionView,
+    TabuFitness, ThompsonSampling,
 };
-use fasea_core::{validate_arrangement, ConflictGraph, ContextMatrix, EventId, Feedback};
+use fasea_core::{
+    validate_arrangement, Arrangement, ConflictGraph, ContextMatrix, EventId, Feedback,
+};
 use proptest::prelude::*;
+
+/// Oracle-Greedy through the public trait — the sole arrangement entry
+/// point since the free functions were deprecated.
+fn oracle_greedy(scores: &[f64], g: &ConflictGraph, caps: &[u32], cu: u32) -> Arrangement {
+    let mut ws = OracleWorkspace::new();
+    let mut out = Arrangement::empty();
+    GreedyOracle.arrange_into(scores, g, caps, cu, &mut ws, &mut out);
+    out
+}
 
 /// Strategy: a small FASEA instance (n, conflict pairs, scores, capacities, c_u).
 #[allow(clippy::type_complexity)]
@@ -136,6 +148,43 @@ proptest! {
         let a = oracle_greedy(&scores, &g, &caps, cu);
         prop_assert_eq!(a.len(), 1); // complete graph: single event max
         prop_assert_eq!(a.events()[0], EventId(0)); // deterministic tie-break
+    }
+
+    /// Tabu search always returns a feasible arrangement, under either
+    /// fitness function, and is deterministic across repeated runs.
+    #[test]
+    fn tabu_oracle_feasible_and_deterministic(
+        (n, pairs, scores, caps, cu) in instance_strategy(),
+        balanced in any::<bool>(),
+    ) {
+        let g = ConflictGraph::from_pairs(n, &pairs);
+        let fitness = if balanced { TabuFitness::BalancedFill } else { TabuFitness::MaxAttendance };
+        let oracle = OracleOptions::tabu().with_tabu_fitness(fitness).build();
+        let mut ws = OracleWorkspace::new();
+        let mut a = Arrangement::empty();
+        oracle.arrange_into(&scores, &g, &caps, cu, &mut ws, &mut a);
+        prop_assert!(validate_arrangement(&a, &g, &caps, cu).is_ok());
+        // Same inputs, fresh workspace: identical output (no hidden RNG).
+        let mut ws2 = OracleWorkspace::new();
+        let mut b = Arrangement::empty();
+        oracle.arrange_into(&scores, &g, &caps, cu, &mut ws2, &mut b);
+        prop_assert_eq!(a.events(), b.events());
+    }
+
+    /// Under MaxAttendance fitness, tabu never scores below its greedy
+    /// seed on positive-score mass.
+    #[test]
+    fn tabu_oracle_never_below_greedy_seed((n, pairs, scores, caps, cu) in instance_strategy()) {
+        let g = ConflictGraph::from_pairs(n, &pairs);
+        let greedy = oracle_greedy(&scores, &g, &caps, cu);
+        let tabu = OracleOptions::tabu().build();
+        let mut ws = OracleWorkspace::new();
+        let mut a = Arrangement::empty();
+        tabu.arrange_into(&scores, &g, &caps, cu, &mut ws, &mut a);
+        prop_assert!(
+            positive_score_sum(&a, &scores) + 1e-12 >= positive_score_sum(&greedy, &scores),
+            "tabu lost positive-score mass relative to its greedy seed"
+        );
     }
 
     /// Exact-parts round trip: exporting an estimator's raw state and

@@ -4,7 +4,8 @@
 //! conflict probes.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fasea_bandit::oracle_greedy;
+use fasea_bandit::{GreedyOracle, Oracle, OracleWorkspace};
+use fasea_core::Arrangement;
 use fasea_datagen::synthetic::generate_conflicts;
 use fasea_stats::rng_from_seed;
 use std::hint::black_box;
@@ -22,8 +23,13 @@ fn bench_by_num_events(c: &mut Criterion) {
         let conflicts = generate_conflicts(n, 0.25, &mut rng);
         let scores = scores_for(n);
         let remaining = vec![10u32; n];
+        let mut ws = OracleWorkspace::new();
+        let mut out = Arrangement::empty();
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| black_box(oracle_greedy(&scores, &conflicts, &remaining, 5)))
+            b.iter(|| {
+                GreedyOracle.arrange_into(&scores, &conflicts, &remaining, 5, &mut ws, &mut out);
+                black_box(out.len())
+            })
         });
     }
     group.finish();
@@ -37,10 +43,18 @@ fn bench_by_conflict_ratio(c: &mut Criterion) {
     for &cr in &[0.0f64, 0.25, 0.5, 0.75, 1.0] {
         let mut rng = rng_from_seed(2);
         let conflicts = generate_conflicts(n, cr, &mut rng);
+        let mut ws = OracleWorkspace::new();
+        let mut out = Arrangement::empty();
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("cr{}", (cr * 100.0) as u32)),
             &cr,
-            |b, _| b.iter(|| black_box(oracle_greedy(&scores, &conflicts, &remaining, 5))),
+            |b, _| {
+                b.iter(|| {
+                    GreedyOracle
+                        .arrange_into(&scores, &conflicts, &remaining, 5, &mut ws, &mut out);
+                    black_box(out.len())
+                })
+            },
         );
     }
     group.finish();

@@ -37,7 +37,9 @@
 //! benches (default 300 ms), so CI can smoke-run the whole file in a
 //! couple of seconds without touching the committed numbers.
 
-use fasea_bandit::{oracle_greedy, LinUcb, Policy, RidgeEstimator, ScorePool, SelectionView};
+use fasea_bandit::{
+    GreedyOracle, LinUcb, Oracle, OracleWorkspace, Policy, RidgeEstimator, ScorePool, SelectionView,
+};
 use fasea_core::{Arrangement, ConflictGraph, ContextMatrix, EventId, Feedback};
 use std::hint::black_box;
 use std::sync::Arc;
@@ -54,7 +56,8 @@ const LEGACY_CUTOFF: usize = 100_000;
 
 /// The pre-redesign scalar UCB scoring round, kept verbatim: per-round
 /// `θ̂` clone, per-event `Vector` allocation inside `confidence_width`,
-/// allocating `oracle_greedy`.
+/// and a cold greedy-oracle call (fresh workspace and arrangement every
+/// round, the legacy `oracle_greedy` allocation profile).
 struct LegacyUcb {
     estimator: RidgeEstimator,
     alpha: f64,
@@ -72,12 +75,17 @@ impl LegacyUcb {
             let width = self.estimator.confidence_width(x);
             self.scores[v] = point + self.alpha * width;
         }
-        oracle_greedy(
+        let mut ws = OracleWorkspace::new();
+        let mut out = Arrangement::empty();
+        GreedyOracle.arrange_into(
             &self.scores,
             view.conflicts,
             view.remaining,
             view.user_capacity,
-        )
+            &mut ws,
+            &mut out,
+        );
+        out
     }
 }
 

@@ -7,8 +7,10 @@
 //!   `|V| ∈ {100, 500, 1000}` (Table 5's time column).
 //! * `dimension_latency` — per-round time at `d ∈ {1, 5, 10, 15, 20}`
 //!   (Table 6's time column).
-//! * `oracle_greedy` — the arrangement oracle alone, across `|V|` and
-//!   conflict ratios.
+//! * `oracle_greedy` — the greedy arrangement oracle alone (through the
+//!   `Oracle` trait), across `|V|` and conflict ratios.
+//! * `oracle_compare` — greedy vs tabu oracles: fitness and latency
+//!   side by side (the committed `BENCH_oracle.json`).
 //! * `linalg_micro` — Cholesky, Sherman–Morrison and quadratic forms at
 //!   bandit-relevant dimensions.
 //! * `ablations` — the design choices DESIGN.md calls out:

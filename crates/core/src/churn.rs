@@ -1,0 +1,220 @@
+//! Deterministic event lifecycle (churn) schedules.
+//!
+//! The paper's protocol fixes the event set up front; a real EBSN
+//! platform re-plans while the arrival stream is live — organisers
+//! close events, expire them, or change the number of seats. A
+//! [`ChurnSchedule`] is the deterministic description of that process:
+//! a sorted list of [`LifecycleAction`]s, each saying "immediately
+//! before round `at`, set event `event`'s remaining capacity to
+//! `capacity`". Capacity `0` closes (or expires) the event; a later
+//! action on the same event re-opens it.
+//!
+//! Determinism is the point. The schedule is pure data, generated from
+//! a seed by [`ChurnSchedule::generate`] or supplied explicitly, and
+//! every consumer (the simulator, the durable service's WAL, the
+//! sharded coordinator) applies the *same* actions at the *same* round
+//! boundaries. Durable runs additionally log each applied action as a
+//! `Lifecycle` WAL record so that crash recovery replays the churn
+//! byte-identically, and the OPT reference strategy sees the same
+//! moving capacity vector — which is what turns the paper's fixed-OPT
+//! regret into a regret against a *moving* optimum.
+//!
+//! Applied capacities are clamped to the instance's planned capacity
+//! (see [`crate::Environment::apply_lifecycle`]): a re-plan can shrink
+//! or restore an event, never grow it beyond the capacity the
+//! fingerprinted instance promised.
+
+/// One scheduled capacity re-plan: immediately before round `at`, set
+/// event `event`'s remaining capacity to `capacity` (0 = close).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LifecycleAction {
+    /// Round index the action fires before (actions at `at == t` apply
+    /// before the round-`t` user is served).
+    pub at: u64,
+    /// The event being re-planned.
+    pub event: u32,
+    /// The new remaining capacity (0 closes the event).
+    pub capacity: u32,
+}
+
+/// A deterministic, sorted schedule of [`LifecycleAction`]s.
+///
+/// Actions are ordered by `(at, event)`; multiple actions on the same
+/// event at the same round apply in order, so the last one wins —
+/// set-capacity semantics make replay idempotent.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChurnSchedule {
+    actions: Vec<LifecycleAction>,
+}
+
+impl ChurnSchedule {
+    /// Builds a schedule from explicit actions (sorted internally by
+    /// `(at, event)`; the supplied order breaks ties beyond that).
+    pub fn new(mut actions: Vec<LifecycleAction>) -> Self {
+        actions.sort_by_key(|a| (a.at, a.event));
+        ChurnSchedule { actions }
+    }
+
+    /// An empty schedule (no churn).
+    pub fn none() -> Self {
+        ChurnSchedule::default()
+    }
+
+    /// Generates a deterministic open/close/re-plan schedule: every
+    /// `period` rounds one event (chosen by hashing the seed and the
+    /// tick index) is either closed, re-planned to a smaller capacity,
+    /// or restored to its planned capacity, cycling so closed events
+    /// re-open later. Pure function of its arguments.
+    ///
+    /// Returns an empty schedule when `period == 0`, there are no
+    /// events, or the horizon is too short for a single tick.
+    pub fn generate(capacities: &[u32], horizon: u64, period: u64, seed: u64) -> Self {
+        if period == 0 || capacities.is_empty() {
+            return ChurnSchedule::none();
+        }
+        let n = capacities.len() as u64;
+        let mut actions = Vec::new();
+        // Track the capacity the schedule itself has driven each event
+        // to, so closes and re-opens alternate per event.
+        let mut current: Vec<u32> = capacities.to_vec();
+        let mut tick = 0u64;
+        let mut at = period;
+        while at < horizon {
+            let h = splitmix(seed ^ tick.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let event = (h % n) as usize;
+            let planned = capacities[event];
+            let capacity = if current[event] == 0 {
+                // Re-open at the planned capacity.
+                planned
+            } else if h & (1 << 40) != 0 || planned <= 1 {
+                // Close / expire.
+                0
+            } else {
+                // Re-plan: shrink to a deterministic value in [1, planned).
+                1 + ((h >> 41) % (planned as u64 - 1).max(1)) as u32
+            };
+            current[event] = capacity;
+            actions.push(LifecycleAction {
+                at,
+                event: event as u32,
+                capacity,
+            });
+            tick += 1;
+            at += period;
+        }
+        ChurnSchedule::new(actions)
+    }
+
+    /// All actions, sorted by `(at, event)`.
+    pub fn actions(&self) -> &[LifecycleAction] {
+        &self.actions
+    }
+
+    /// The actions that fire immediately before round `t` (possibly
+    /// empty). Binary search: `O(log n + k)`.
+    pub fn actions_at(&self, t: u64) -> &[LifecycleAction] {
+        let lo = self.actions.partition_point(|a| a.at < t);
+        let hi = self.actions.partition_point(|a| a.at <= t);
+        &self.actions[lo..hi]
+    }
+
+    /// `true` when the schedule holds no actions.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// Total number of scheduled actions.
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+}
+
+/// SplitMix64 finaliser — the stateless hash behind
+/// [`ChurnSchedule::generate`].
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn actions_are_sorted_and_queryable_by_round() {
+        let s = ChurnSchedule::new(vec![
+            LifecycleAction {
+                at: 9,
+                event: 2,
+                capacity: 0,
+            },
+            LifecycleAction {
+                at: 3,
+                event: 1,
+                capacity: 4,
+            },
+            LifecycleAction {
+                at: 9,
+                event: 0,
+                capacity: 7,
+            },
+        ]);
+        assert_eq!(s.len(), 3);
+        assert!(s.actions_at(0).is_empty());
+        assert_eq!(s.actions_at(3).len(), 1);
+        let at9 = s.actions_at(9);
+        assert_eq!(at9.len(), 2);
+        // Ties at the same round are ordered by event id.
+        assert_eq!(at9[0].event, 0);
+        assert_eq!(at9[1].event, 2);
+    }
+
+    #[test]
+    fn generate_is_deterministic_and_bounded() {
+        let caps = vec![5, 3, 8, 1];
+        let a = ChurnSchedule::generate(&caps, 200, 10, 42);
+        let b = ChurnSchedule::generate(&caps, 200, 10, 42);
+        assert_eq!(a, b, "same seed must reproduce the schedule");
+        assert!(!a.is_empty());
+        for act in a.actions() {
+            assert!(act.at < 200);
+            assert!((act.event as usize) < caps.len());
+            assert!(act.capacity <= caps[act.event as usize]);
+        }
+        let c = ChurnSchedule::generate(&caps, 200, 10, 43);
+        assert_ne!(a, c, "different seed must move the schedule");
+    }
+
+    #[test]
+    fn generate_reopens_closed_events() {
+        // With a long horizon every event that closes must eventually
+        // re-open to its planned capacity (the alternation rule).
+        let caps = vec![4, 4];
+        let s = ChurnSchedule::generate(&caps, 10_000, 7, 9);
+        let mut saw_close = false;
+        let mut saw_reopen_after_close = false;
+        let mut closed = [false; 2];
+        for a in s.actions() {
+            let e = a.event as usize;
+            if a.capacity == 0 {
+                saw_close = true;
+                closed[e] = true;
+            } else if closed[e] {
+                assert_eq!(a.capacity, caps[e], "re-open restores planned capacity");
+                saw_reopen_after_close = true;
+                closed[e] = false;
+            }
+        }
+        assert!(saw_close && saw_reopen_after_close);
+    }
+
+    #[test]
+    fn degenerate_inputs_yield_empty_schedules() {
+        assert!(ChurnSchedule::generate(&[3, 3], 100, 0, 1).is_empty());
+        assert!(ChurnSchedule::generate(&[], 100, 5, 1).is_empty());
+        assert!(ChurnSchedule::generate(&[3], 5, 5, 1).is_empty());
+        assert!(ChurnSchedule::none().is_empty());
+    }
+}

@@ -107,6 +107,28 @@ impl<M: RewardModel> Environment<M> {
         self.rounds_played
     }
 
+    /// Applies one lifecycle action: sets `event`'s remaining capacity
+    /// to `capacity`, clamped to the instance's planned capacity (a
+    /// re-plan can shrink, close, or restore an event, never grow it
+    /// beyond what the fingerprinted instance promised). Idempotent —
+    /// re-applying the same action is a no-op, which is what makes
+    /// churn replay after crash recovery safe. Returns the capacity
+    /// actually installed.
+    ///
+    /// # Panics
+    /// Panics if `event` is out of range for the instance.
+    pub fn apply_lifecycle(&mut self, event: u32, capacity: u32) -> u32 {
+        let e = event as usize;
+        assert!(
+            e < self.remaining.len(),
+            "apply_lifecycle: event {event} out of range ({} events)",
+            self.remaining.len()
+        );
+        let clamped = capacity.min(self.instance.capacities()[e]);
+        self.remaining[e] = clamped;
+        clamped
+    }
+
     /// Plays one round: validates `arrangement` for `user` at time `t`,
     /// draws feedback, and decrements capacities of accepted events.
     ///
@@ -284,6 +306,25 @@ mod tests {
             LinearPayoffModel::new(Vector::from([1.0])),
             CoinStream::new(0),
         );
+    }
+
+    #[test]
+    fn apply_lifecycle_sets_clamps_and_idempotent() {
+        let mut env = env_with(vec![1.0], vec![3, 5], 1);
+        assert_eq!(env.apply_lifecycle(0, 0), 0); // close
+        assert_eq!(env.remaining(), &[0, 5]);
+        assert_eq!(env.apply_lifecycle(0, 9), 3); // clamped to planned 3
+        assert_eq!(env.remaining(), &[3, 5]);
+        assert_eq!(env.apply_lifecycle(1, 2), 2); // shrink
+        assert_eq!(env.apply_lifecycle(1, 2), 2); // idempotent
+        assert_eq!(env.remaining(), &[3, 2]);
+        // A closed event cannot be arranged.
+        env.apply_lifecycle(0, 0);
+        let user = UserArrival::new(1, sure_accept_contexts(2));
+        let err = env
+            .step(0, &user, &Arrangement::new(vec![EventId(0)]))
+            .unwrap_err();
+        assert_eq!(err, ArrangementError::EventFull(EventId(0)));
     }
 
     #[test]

@@ -34,11 +34,15 @@
 //!   bandit" ablation (no capacities, no conflicts, one event per round;
 //!   Figures 11–13).
 //! * [`RegretAccounting`] — cumulative rewards / regrets / accept ratio.
+//! * [`ChurnSchedule`], [`LifecycleAction`] — deterministic event
+//!   lifecycle (open/close/re-plan) schedules applied at round
+//!   boundaries, so regret is measured against a *moving* optimum.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
 mod arrangement;
+mod churn;
 mod conflict;
 mod context;
 mod environment;
@@ -49,6 +53,7 @@ mod regret;
 mod reward_model;
 
 pub use arrangement::{validate_arrangement, Arrangement, Feedback};
+pub use churn::{ChurnSchedule, LifecycleAction};
 pub use conflict::ConflictGraph;
 pub use context::ContextMatrix;
 pub use environment::{Environment, RoundOutcome};

@@ -346,6 +346,50 @@ pub fn check_bench_doc(doc: &Json) -> Result<(), String> {
             }
         }
     }
+    if matches!(top.get("bench"), Some(Json::String(name)) if name == "oracle_compare") {
+        check_oracle_compare_doc(top, cells)?;
+    }
+    Ok(())
+}
+
+/// The bench-specific schema for `BENCH_oracle.json` (the
+/// `oracle_compare` bench): latency numbers comparing oracles are only
+/// interpretable when each row names the oracle and the instance size,
+/// carries a throughput, and the file records the host's parallelism.
+fn check_oracle_compare_doc(top: &BTreeMap<String, Json>, cells: &[Json]) -> Result<(), String> {
+    if top.get("host_cores").is_none() {
+        return Err("oracle_compare: missing required key \"host_cores\"".into());
+    }
+    for (i, cell) in cells.iter().enumerate() {
+        let Json::Object(fields) = cell else {
+            unreachable!("cell shape checked by the shared schema");
+        };
+        match fields.get("oracle") {
+            Some(Json::String(s)) if !s.is_empty() => {}
+            Some(other) => {
+                return Err(format!(
+                    "oracle_compare: cells[{i}].oracle must be a non-empty string, got {}",
+                    other.type_name()
+                ))
+            }
+            None => return Err(format!("oracle_compare: cells[{i}] is missing \"oracle\"")),
+        }
+        for key in ["num_events", "rounds_per_sec"] {
+            match fields.get(key) {
+                Some(Json::Number(n)) if *n > 0.0 => {}
+                Some(other) => {
+                    return Err(format!(
+                        "oracle_compare: cells[{i}].{key} must be a positive number, got {}",
+                        match other {
+                            Json::Number(n) => format!("{n}"),
+                            other => other.type_name().to_string(),
+                        }
+                    ))
+                }
+                None => return Err(format!("oracle_compare: cells[{i}] is missing \"{key}\"")),
+            }
+        }
+    }
     Ok(())
 }
 
@@ -450,6 +494,63 @@ mod tests {
               ]
             }"#);
         check_bench_doc(&doc).unwrap();
+    }
+
+    #[test]
+    fn oracle_compare_schema_is_enforced() {
+        let good = obj(r#"{
+              "bench": "oracle_compare", "units": "rounds_per_sec", "host_cores": 4,
+              "cells": [
+                {"oracle": "greedy", "num_events": 500, "rounds_per_sec": 400000.0,
+                 "attendance": 4.998, "arranged": 5},
+                {"oracle": "tabu-max", "num_events": 500, "rounds_per_sec": 35000.0,
+                 "attendance": 4.998, "arranged": 5}
+              ]
+            }"#);
+        check_bench_doc(&good).unwrap();
+
+        let cases = [
+            // host_cores is required for this bench, not just optional.
+            (
+                r#"{"bench": "oracle_compare", "units": "rounds_per_sec",
+                    "cells": [{"oracle": "greedy", "num_events": 500, "rounds_per_sec": 1.0}]}"#,
+                "host_cores",
+            ),
+            // Every cell must name its oracle.
+            (
+                r#"{"bench": "oracle_compare", "units": "rounds_per_sec", "host_cores": 1,
+                    "cells": [{"num_events": 500, "rounds_per_sec": 1.0}]}"#,
+                "oracle",
+            ),
+            // Throughput must be a positive number.
+            (
+                r#"{"bench": "oracle_compare", "units": "rounds_per_sec", "host_cores": 1,
+                    "cells": [{"oracle": "greedy", "num_events": 500, "rounds_per_sec": 0}]}"#,
+                "rounds_per_sec",
+            ),
+            // The instance size must be present.
+            (
+                r#"{"bench": "oracle_compare", "units": "rounds_per_sec", "host_cores": 1,
+                    "cells": [{"oracle": "greedy", "rounds_per_sec": 1.0}]}"#,
+                "num_events",
+            ),
+        ];
+        for (text, needle) in cases {
+            let err = check_bench_doc(&obj(text)).unwrap_err();
+            assert!(err.contains(needle), "{err} should mention {needle}");
+        }
+    }
+
+    #[test]
+    fn the_committed_oracle_table_passes() {
+        // The repo commits BENCH_oracle.json at the workspace root; the
+        // gate must accept it as long as it is present.
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join("BENCH_oracle.json");
+        if path.exists() {
+            check_bench_file(&path).unwrap();
+        }
     }
 
     #[test]

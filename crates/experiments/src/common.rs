@@ -3,8 +3,10 @@
 
 use crate::Options;
 use fasea_bandit::{EpsilonGreedy, Exploit, LinUcb, Policy, RandomPolicy, ThompsonSampling};
+use fasea_core::ChurnSchedule;
 use fasea_datagen::{SyntheticConfig, SyntheticWorkload};
 use fasea_sim::{run_simulation, RunConfig, SimulationResult};
+use fasea_stats::crn::mix64;
 use std::path::{Path, PathBuf};
 
 /// Default algorithm parameters (Table 4 bold): λ = 1, α = 2, δ = 0.1,
@@ -53,6 +55,19 @@ pub fn paper_policy_set(dim: usize, params: AlgoParams, seed: u64) -> Vec<Box<dy
     ]
 }
 
+/// The churn schedule `--churn N` asks for, derived from a workload's
+/// planned capacities (empty when the period is 0). Seeded off the
+/// workload seed so every policy in a cell — and OPT — sees the same
+/// moving universe.
+pub fn churn_for(workload: &SyntheticWorkload, horizon: u64, period: u64) -> ChurnSchedule {
+    ChurnSchedule::generate(
+        workload.instance.capacities(),
+        horizon,
+        period,
+        mix64(workload.config.seed ^ 0xC4A2_11FE),
+    )
+}
+
 /// Runs one simulation cell: the paper's five policies plus OPT under
 /// `config` for `opts.horizon` rounds.
 pub fn run_cell(
@@ -63,7 +78,12 @@ pub fn run_cell(
 ) -> SimulationResult {
     let workload = SyntheticWorkload::generate(config);
     let mut policies = paper_policy_set(workload.config.dim, params, workload.config.seed);
-    let mut run_cfg = RunConfig::paper(opts.horizon).with_score_threads(opts.score_threads);
+    let mut run_cfg = RunConfig::paper(opts.horizon)
+        .with_score_threads(opts.score_threads)
+        .with_oracle(opts.oracle);
+    if opts.churn_period > 0 {
+        run_cfg = run_cfg.with_churn(churn_for(&workload, opts.horizon, opts.churn_period));
+    }
     if kendall {
         run_cfg = run_cfg.with_kendall();
     }

@@ -72,6 +72,14 @@ pub struct Options {
     /// installs a shared [`fasea_bandit::ScorePool`] — results are
     /// bit-identical either way).
     pub score_threads: usize,
+    /// Arrangement oracle every simulation runs through
+    /// (`--oracle greedy|tabu`; greedy reproduces the paper exactly).
+    pub oracle: fasea_bandit::OracleOptions,
+    /// Event-churn period in rounds (`--churn N`): every `N` rounds one
+    /// event is closed, shrunk or re-opened by a deterministic
+    /// [`fasea_core::ChurnSchedule`]. 0 (the default) keeps the paper's
+    /// static event universe.
+    pub churn_period: u64,
 }
 
 impl Default for Options {
@@ -85,6 +93,8 @@ impl Default for Options {
             real_regret_rounds: 10_000,
             replications: 1,
             score_threads: 0,
+            oracle: fasea_bandit::OracleOptions::greedy(),
+            churn_period: 0,
         }
     }
 }

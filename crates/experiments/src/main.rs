@@ -5,7 +5,7 @@
 //! ```text
 //! fasea-exp <experiment> [--t N] [--out DIR] [--seed S] [--threads N]
 //!           [--score-threads N] [--real-rounds N] [--real-regret-rounds N]
-//!           [--reps N]
+//!           [--reps N] [--oracle greedy|tabu] [--churn N]
 //!
 //! experiments: fig1 fig2 fig3 … fig13 table5 table6 table7
 //!              ext1 ext2 verify plots all
@@ -18,18 +18,23 @@ use fasea_experiments::{
 fn print_usage() {
     eprintln!(
         "usage: fasea-exp <experiment> [--t N] [--out DIR] [--seed S] [--threads N] \
-         [--score-threads N] [--real-rounds N] [--real-regret-rounds N] [--reps N]\n\
+         [--score-threads N] [--real-rounds N] [--real-regret-rounds N] [--reps N] \
+         [--oracle greedy|tabu] [--churn N]\n\
          experiments: {} verify plots all\n\
          defaults: --t 100000 (the paper's horizon), --out results, 1000/10000 real rounds, 1 rep\n\
          --threads fans experiment cells out; --score-threads N parallelises scoring *inside*\n\
          each simulation round (0 = serial, results bit-identical either way)\n\
+         --oracle picks the arrangement oracle (greedy = the paper's Algorithm 2);\n\
+         --churn N closes/shrinks/re-opens one event every N rounds (0 = static universe)\n\
          network service:\n\
          fasea-exp serve   [--addr H:P] [--dir DIR] [--seed S] [--events N] [--dim D]\n\
                            [--workers N] [--score-threads N] [--policy ucb|ts|egreedy]\n\
                            [--fsync always|everyn|never] [--group-commit 1]\n\
-                           [--snapshot-every N] [--shards N]\n\
+                           [--snapshot-every N] [--shards N] [--oracle greedy|tabu]\n\
+                           [--churn N] [--churn-horizon H]\n\
          fasea-exp loadgen [--addr H:P] [--rounds N] [--clients N] [--seed S] [--events N]\n\
                            [--dim D] [--policy P] [--users N] [--verify-local 1] [--shutdown 1]\n\
+                           [--oracle greedy|tabu] [--churn N] [--churn-horizon H]\n\
          personalized model store:\n\
          fasea-exp multi-user [--users N] [--t N] [--events N] [--dim D] [--seed S]\n\
                            [--heterogeneity H] [--policy multi-ucb|multi-ts]\n\
@@ -84,6 +89,13 @@ fn main() {
             "--real-regret-rounds" => opts.real_regret_rounds = parse_u64(&value),
             "--reps" => opts.replications = parse_u64(&value) as u32,
             "--out" => opts.out_dir = value.clone().into(),
+            "--oracle" => {
+                opts.oracle = fasea_bandit::OracleOptions::parse(&value).unwrap_or_else(|| {
+                    eprintln!("unknown oracle '{value}' (greedy|tabu)");
+                    std::process::exit(2);
+                })
+            }
+            "--churn" => opts.churn_period = parse_u64(&value),
             other => {
                 eprintln!("unknown flag {other}");
                 print_usage();

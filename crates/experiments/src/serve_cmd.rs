@@ -17,11 +17,20 @@
 //!                   [--users N] [--model-budget-mb M]
 //!                   [--fsync always|everyn|never]
 //!                   [--group-commit 0|1] [--snapshot-every N]
-//!                   [--shards N]
+//!                   [--shards N] [--oracle greedy|tabu]
+//!                   [--churn N] [--churn-horizon H]
 //! fasea-exp loadgen [--addr HOST:PORT] [--rounds N] [--clients N] [--seed S]
 //!                   [--events N] [--dim D] [--policy ...] [--users N]
 //!                   [--verify-local] [--shutdown]
+//!                   [--oracle greedy|tabu] [--churn N] [--churn-horizon H]
 //! ```
+//!
+//! `--oracle` swaps the arrangement oracle (non-greedy oracles perturb
+//! the fingerprint, so both sides must agree); `--churn N` drives a
+//! deterministic event-lifecycle schedule — the server re-plans
+//! capacities at each round boundary and logs every applied action as a
+//! durable `Lifecycle` record, and the loadgen's `--verify-local`
+//! replica replays the identical schedule in-process.
 //!
 //! The `multi-*` policies route every estimator lookup through a
 //! `fasea-models` [`EstimatorStore`] keyed on a deterministic
@@ -43,7 +52,7 @@ use fasea_serve::{
 };
 use fasea_shard::ShardedArrangementService;
 use fasea_sim::{
-    service_fingerprint, ArrangementService, DurableArrangementService, DurableOptions,
+    service_fingerprint_with_oracle, ArrangementService, DurableArrangementService, DurableOptions,
 };
 use fasea_stats::crn::mix64;
 use fasea_stats::CoinStream;
@@ -66,6 +75,17 @@ pub struct WorkloadSpec {
     /// Hot-tier budget in MiB for the `multi-*` policies
     /// (0 = unbounded, no spill directory needed).
     pub model_budget_mb: u64,
+    /// Arrangement oracle (`--oracle greedy|tabu`). Non-greedy oracles
+    /// perturb the service fingerprint, so both sides must agree.
+    pub oracle: fasea_bandit::OracleOptions,
+    /// Event-churn period in rounds (`--churn N`, 0 = static universe).
+    /// Server and loadgen must pass the same value for
+    /// `--verify-local` to replay the same moving capacity vector.
+    pub churn_period: u64,
+    /// Horizon the churn schedule is generated up to (`--churn-horizon`;
+    /// actions past it never fire). Part of the shared spec like the
+    /// seed: both sides must agree.
+    pub churn_horizon: u64,
 }
 
 impl Default for WorkloadSpec {
@@ -77,6 +97,9 @@ impl Default for WorkloadSpec {
             policy: "ucb".into(),
             users: 10_000,
             model_budget_mb: 0,
+            oracle: fasea_bandit::OracleOptions::greedy(),
+            churn_period: 0,
+            churn_horizon: 100_000,
         }
     }
 }
@@ -160,6 +183,35 @@ impl WorkloadSpec {
     pub fn feedback_coins(&self) -> CoinStream {
         CoinStream::new(mix64(self.seed ^ 0xFEED_BACC_0FFE_E123))
     }
+
+    /// The churn schedule this spec asks for (empty unless `--churn`).
+    /// A pure function of the spec, so the server and the loadgen's
+    /// `--verify-local` replica derive the identical moving universe.
+    pub fn churn(&self) -> fasea_core::ChurnSchedule {
+        if self.churn_period == 0 {
+            return fasea_core::ChurnSchedule::none();
+        }
+        let workload = self.workload();
+        fasea_core::ChurnSchedule::generate(
+            workload.instance.capacities(),
+            self.churn_horizon,
+            self.churn_period,
+            mix64(self.seed ^ 0xC4A2_11FE),
+        )
+    }
+
+    /// The wire fingerprint for this spec: the instance/policy
+    /// fingerprint with the configured oracle mixed in (greedy — the
+    /// default — contributes nothing).
+    pub fn fingerprint(&self) -> Result<u64, String> {
+        let workload = self.workload();
+        let policy = self.policy()?;
+        Ok(service_fingerprint_with_oracle(
+            &workload.instance,
+            policy.name(),
+            &self.oracle,
+        ))
+    }
 }
 
 pub(crate) fn parse_flags(args: &[String]) -> Result<Vec<(String, String)>, String> {
@@ -232,17 +284,26 @@ pub fn serve_main(args: &[String]) -> Result<(), String> {
             "snapshot-every" => {
                 config.snapshot_every_rounds = Some(parse_u64(&flag, &value)?).filter(|&n| n > 0)
             }
+            "oracle" => {
+                spec.oracle = fasea_bandit::OracleOptions::parse(&value)
+                    .ok_or_else(|| format!("unknown --oracle '{value}' (greedy|tabu)"))?
+            }
+            "churn" => spec.churn_period = parse_u64(&flag, &value)?,
+            "churn-horizon" => spec.churn_horizon = parse_u64(&flag, &value)?,
             other => return Err(format!("unknown flag --{other} for serve")),
         }
     }
     let workload = spec.workload();
     let policy = spec.policy_in(Some(&dir.join("model-spill")))?;
-    let fingerprint = service_fingerprint(&workload.instance, policy.name());
+    let fingerprint =
+        service_fingerprint_with_oracle(&workload.instance, policy.name(), &spec.oracle);
+    config.churn = spec.churn();
     std::fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
     let options = DurableOptions::new()
         .with_fsync(fsync)
         .with_score_threads(score_threads)
-        .with_group_commit(group_commit);
+        .with_group_commit(group_commit)
+        .with_oracle(spec.oracle);
     let svc: BackendService = if shards >= 1 {
         ShardedArrangementService::open(&dir, workload.instance, policy, options, shards)
             .map_err(|e| format!("open sharded service in {}: {e}", dir.display()))?
@@ -320,6 +381,12 @@ pub fn loadgen_main(args: &[String]) -> Result<(), String> {
             "users" => spec.users = parse_u64(&flag, &value)?.max(1) as usize,
             "verify-local" => verify_local = value == "true" || value == "1",
             "shutdown" => shutdown = value == "true" || value == "1",
+            "oracle" => {
+                spec.oracle = fasea_bandit::OracleOptions::parse(&value)
+                    .ok_or_else(|| format!("unknown --oracle '{value}' (greedy|tabu)"))?
+            }
+            "churn" => spec.churn_period = parse_u64(&flag, &value)?,
+            "churn-horizon" => spec.churn_horizon = parse_u64(&flag, &value)?,
             other => return Err(format!("unknown flag --{other} for loadgen")),
         }
     }
@@ -405,15 +472,12 @@ fn drive_client(
     let coins = spec.feedback_coins();
     let mut client = ServeClient::connect(addr.to_string(), ClientConfig::default())
         .map_err(|e| format!("connect: {e}"))?;
-    let expected_fingerprint = {
-        let policy = spec.policy()?;
-        service_fingerprint(&workload.instance, policy.name())
-    };
+    let expected_fingerprint = spec.fingerprint()?;
     if let Some(info) = client.info() {
         if info.fingerprint != expected_fingerprint {
             return Err(format!(
                 "server fingerprint {:#018x} does not match workload {:#018x} — \
-                 differing --seed/--events/--dim/--policy?",
+                 differing --seed/--events/--dim/--policy/--oracle?",
                 info.fingerprint, expected_fingerprint
             ));
         }
@@ -504,8 +568,16 @@ fn verify_against_local(
     let workload = spec.workload();
     let policy = spec.policy()?;
     let coins = spec.feedback_coins();
+    let churn = spec.churn();
     let mut svc = ArrangementService::new(workload.instance.clone(), policy);
+    svc.install_oracle(Some(spec.oracle.build()));
     for t in 0..rounds {
+        // The server applies round-t churn before granting round t; the
+        // replica must re-plan at the same boundary to stay in lockstep.
+        for action in churn.actions_at(t) {
+            svc.apply_lifecycle(action.event, action.capacity)
+                .map_err(|e| format!("local lifecycle t={t}: {e}"))?;
+        }
         let arrival = workload.arrivals.arrival(t);
         let arrangement = svc
             .propose(&arrival)

@@ -209,6 +209,12 @@ pub struct ServiceActor {
     acks: Arc<AckQueue>,
     /// Request an async snapshot every this many completed rounds.
     snapshot_every: Option<u64>,
+    /// Event lifecycle schedule, applied (and durably logged) before a
+    /// round is granted to a claimant.
+    churn: fasea_core::ChurnSchedule,
+    /// One past the last round whose churn actions were applied in this
+    /// process life (earlier rounds' records replay from the WAL).
+    churn_applied_through: u64,
 }
 
 fn error_response(code: ErrorCode, detail: impl Into<String>) -> Response {
@@ -244,6 +250,7 @@ impl ServiceActor {
     /// notifier flushes deferred acks as each batch becomes durable,
     /// and the observer feeds the `fsync_batch_size` /
     /// `commit_latency_us` histograms.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         svc: impl Into<BackendService>,
         rx: Receiver<Command>,
@@ -252,6 +259,7 @@ impl ServiceActor {
         max_inflight: usize,
         poll_interval: Duration,
         snapshot_every: Option<u64>,
+        churn: fasea_core::ChurnSchedule,
     ) -> Self {
         let svc = svc.into();
         let acks = Arc::new(AckQueue::new());
@@ -278,6 +286,8 @@ impl ServiceActor {
             poisoned: false,
             acks,
             snapshot_every: snapshot_every.filter(|&n| n > 0),
+            churn,
+            churn_applied_through: 0,
         }
     }
 
@@ -446,6 +456,27 @@ impl ServiceActor {
         self.grant_next();
     }
 
+    /// Applies round `t`'s lifecycle actions, exactly once per round
+    /// per process life. Skipped while a proposal is pending (the
+    /// actions already ran before that propose was logged); re-applied
+    /// records after a crash are idempotent set-capacity writes.
+    fn apply_churn(&mut self, t: u64) {
+        if self.churn_applied_through > t || self.svc.pending_arrangement().is_some() {
+            return;
+        }
+        self.churn_applied_through = t + 1;
+        let actions = self.churn.actions_at(t).to_vec();
+        for a in actions {
+            if let Err(err) = self.svc.lifecycle(a.event, a.capacity) {
+                if is_store_failure(&err) {
+                    self.poisoned = true;
+                    self.shutdown.store(true, Ordering::SeqCst);
+                }
+                return;
+            }
+        }
+    }
+
     /// Hands the in-flight round to the oldest live waiter, if the
     /// round is free.
     fn grant_next(&mut self) {
@@ -455,6 +486,7 @@ impl ServiceActor {
             };
             self.metrics.queue_wait_us.observe(w.enqueued.elapsed());
             let t = self.svc.rounds_completed();
+            self.apply_churn(t);
             let pending = self
                 .svc
                 .pending_arrangement()
@@ -700,6 +732,7 @@ mod tests {
             2,
             Duration::from_millis(10),
             None,
+            fasea_core::ChurnSchedule::none(),
         );
         let handle = std::thread::spawn(move || actor.run());
         (tx, shutdown, handle)

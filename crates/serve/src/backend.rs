@@ -97,6 +97,12 @@ impl BackendService {
         delegate!(self.feedback_deferred(accepted))
     }
 
+    /// See [`DurableArrangementService::lifecycle`] — an event capacity
+    /// re-plan, fanned out to the owning shard on the sharded backend.
+    pub fn lifecycle(&mut self, event: u32, capacity: u32) -> Result<u32, ServiceError> {
+        delegate!(self.lifecycle(event, capacity))
+    }
+
     /// See [`DurableArrangementService::sync`].
     pub fn sync(&mut self) -> Result<(), ServiceError> {
         delegate!(self.sync())

@@ -68,6 +68,11 @@ pub struct ServerConfig {
     /// always happens). With group commit the snapshot runs on the
     /// background snapshotter and does not stall the round loop.
     pub snapshot_every_rounds: Option<u64>,
+    /// Event lifecycle schedule: capacity re-plans the actor applies
+    /// (and durably logs) before granting the matching round. Empty by
+    /// default. Clients driving a local verification replica must use
+    /// the same schedule to stay byte-identical.
+    pub churn: fasea_core::ChurnSchedule,
 }
 
 impl Default for ServerConfig {
@@ -82,6 +87,7 @@ impl Default for ServerConfig {
             poll_interval: Duration::from_millis(50),
             stats_interval: Some(Duration::from_secs(10)),
             snapshot_every_rounds: None,
+            churn: fasea_core::ChurnSchedule::none(),
         }
     }
 }
@@ -246,6 +252,7 @@ fn run_server(
         config.max_inflight,
         config.poll_interval,
         config.snapshot_every_rounds,
+        config.churn.clone(),
     );
     let queue = ConnQueue::new(config.conn_backlog);
     let conn_ids = AtomicU64::new(1);

@@ -78,6 +78,17 @@ pub(crate) enum Request {
         /// Transaction id.
         txn: u64,
     },
+    /// Event lifecycle re-plan: durably log and install a new remaining
+    /// capacity for a member event (set-capacity semantics, already
+    /// clamped by the coordinator).
+    Lifecycle {
+        /// Coordinator round counter when the re-plan was decided.
+        t: u64,
+        /// Member event id.
+        event: u32,
+        /// New remaining capacity.
+        capacity: u32,
+    },
     /// The shard's `(event, remaining)` pairs (diagnostics/tests).
     Remaining,
     /// Barrier: everything appended so far is durable on return.
@@ -182,6 +193,18 @@ impl ShardState {
             Record::TxnAbort { txn } => {
                 self.prepared.remove(txn);
             }
+            Record::Lifecycle {
+                event, capacity, ..
+            } => {
+                let i =
+                    self.members
+                        .binary_search(event)
+                        .map_err(|_| StoreError::CorruptRecord {
+                            seq: Some(seq),
+                            what: "lifecycle record names an event this shard does not own",
+                        })?;
+                self.remaining[i] = *capacity;
+            }
             _ => {
                 return Err(StoreError::CorruptRecord {
                     seq: Some(seq),
@@ -247,6 +270,37 @@ impl ShardState {
         self.fold(seq, &Record::TxnCommit { txn })
     }
 
+    /// Lifecycle re-plan for a member event. Durable before the `Ok`
+    /// ack — the coordinator's own `Lifecycle` record is already on
+    /// disk by the time this runs, and replaying either log reproduces
+    /// the same counter (set-capacity records are idempotent).
+    ///
+    /// Like [`ShardState::prepare`], a re-plan decided at a round this
+    /// shard has already committed past is a re-delivered duplicate
+    /// (the coordinator is re-running history after losing log tail)
+    /// and acks as a no-op — applying it would clobber the decrements
+    /// of the later rounds, which no-op on their own re-delivery.
+    pub(crate) fn lifecycle(
+        &mut self,
+        t: u64,
+        event: u32,
+        capacity: u32,
+    ) -> Result<(), StoreError> {
+        if t < self.committed_below {
+            return Ok(());
+        }
+        if self.members.binary_search(&event).is_err() {
+            return Err(StoreError::CorruptRecord {
+                seq: Some(self.wal().next_lsn()),
+                what: "lifecycle record names an event this shard does not own",
+            });
+        }
+        let record = Record::Lifecycle { t, event, capacity };
+        let seq = self.wal().append(record.clone())?;
+        self.wal().wait_durable(seq)?;
+        self.fold(seq, &record)
+    }
+
     /// Phase 2 abort.
     pub(crate) fn abort(&mut self, txn: u64) -> Result<(), StoreError> {
         if !self.prepared.contains_key(&txn) {
@@ -278,35 +332,57 @@ impl ShardState {
     /// Brings the shard's counters back in line with the coordinator's
     /// capacity mirror after in-doubt resolution.
     ///
-    /// * Shard **behind** (counter above the mirror): a torn shard log
-    ///   lost durably-acked work — write one repair transaction
-    ///   (prepare + commit, [`REPAIR_BIT`]-tagged id) re-applying the
-    ///   missing decrements, so the log stays the full history of every
-    ///   counter change.
-    /// * Shard **ahead** (counter below the mirror): the shard
-    ///   committed a round whose `Feedback` record the coordinator
-    ///   lost. Nothing to write: the coordinator re-runs that round,
-    ///   re-proposes identically (determinism), and the re-delivered
-    ///   prepare/commit no-op against `committed_below` while the
-    ///   mirror catches up.
+    /// The committed watermark decides who is authoritative. If the
+    /// shard committed a round whose `Feedback` record the coordinator
+    /// lost (`committed_below > rounds_completed`), the shard is
+    /// **ahead**: its counters embed decrements — and lifecycle
+    /// re-plans, which fan out in the same order — from rounds the
+    /// coordinator is about to re-run, so its counters may sit on
+    /// either side of the stale mirror. Write nothing: the coordinator
+    /// re-proposes identically (determinism), and the re-delivered
+    /// prepares/commits/lifecycles all no-op against `committed_below`
+    /// while the mirror catches up.
+    ///
+    /// Otherwise everything the shard's log holds belongs to rounds the
+    /// coordinator already completed, so any divergence from the mirror
+    /// is durably-acked work a torn shard log lost:
+    ///
+    /// * counter **above** the mirror — lost decrements; write one
+    ///   repair transaction (prepare + commit, [`REPAIR_BIT`]-tagged
+    ///   id) re-applying them, so the log stays the full history of
+    ///   every counter change;
+    /// * counter **below** the mirror — a lost lifecycle *raise*; write
+    ///   a repair `Lifecycle` record lifting the counter back to the
+    ///   mirror.
     pub(crate) fn reconcile(
         &mut self,
         mirror: &[u32],
         rounds_completed: u64,
     ) -> Result<(), StoreError> {
+        if self.committed_below > rounds_completed {
+            return Ok(());
+        }
         let mut decs = Vec::new();
+        let mut raises = Vec::new();
         for (i, &event) in self.members.iter().enumerate() {
             let expected = mirror[event as usize];
             if self.remaining[i] > expected {
                 decs.push((event, self.remaining[i] - expected));
+            } else if self.remaining[i] < expected {
+                raises.push((event, expected));
             }
         }
-        if decs.is_empty() {
+        if decs.is_empty() && raises.is_empty() {
             return Ok(());
         }
-        let txn = REPAIR_BIT | rounds_completed;
-        self.prepare(txn, decs)?;
-        self.commit(txn)?;
+        for (event, capacity) in raises {
+            self.lifecycle(rounds_completed, event, capacity)?;
+        }
+        if !decs.is_empty() {
+            let txn = REPAIR_BIT | rounds_completed;
+            self.prepare(txn, decs)?;
+            self.commit(txn)?;
+        }
         self.wal().sync_barrier()
     }
 
@@ -421,6 +497,9 @@ fn run_actor(
             Request::Prepare { txn, decs } => Reply::Done(state.prepare(txn, decs)),
             Request::Commit { txn } => Reply::Done(state.commit(txn)),
             Request::Abort { txn } => Reply::Done(state.abort(txn)),
+            Request::Lifecycle { t, event, capacity } => {
+                Reply::Done(state.lifecycle(t, event, capacity))
+            }
             Request::Remaining => Reply::Remaining(state.remaining_pairs()),
             Request::Sync => Reply::Done(state.wal().sync_barrier()),
             Request::Close => Reply::Done(state.close()),

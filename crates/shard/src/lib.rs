@@ -10,10 +10,11 @@
 //! [`fasea_sim::DurableArrangementService`]) keeps the policy, the
 //! round WAL and the snapshots; two operations cross the boundary:
 //!
-//! * **Routing** — Oracle-Greedy's candidate ranking fans out as
-//!   per-shard `subset_top_k` queries and merges under the oracle's own
-//!   comparator, which provably reproduces the serial candidate order
-//!   (see [`fasea_bandit::oracle_greedy_dist_into`]).
+//! * **Routing** — the configured [`fasea_bandit::Oracle`]'s candidate
+//!   ranking fans out as per-shard `subset_top_k` queries and merges
+//!   under the oracle's own comparator, which provably reproduces the
+//!   serial candidate order (see
+//!   [`fasea_bandit::Oracle::arrange_gathered`]).
 //! * **Commit** — accepted events become per-shard write sets committed
 //!   with a two-phase protocol: durable `TxnPrepare` on every involved
 //!   shard *before* the coordinator's `Feedback` record (the commit

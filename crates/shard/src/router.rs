@@ -5,7 +5,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
 
-use fasea_bandit::{oracle_greedy_dist_into, Arranger, SelectionView};
+use fasea_bandit::{Arranger, Oracle, OracleWorkspace, SelectionView};
 use fasea_core::Arrangement;
 
 use crate::actor::{Reply, Request, ShardChannel};
@@ -57,8 +57,8 @@ impl ShardTimings {
 }
 
 /// Implements [`Arranger`] by staging the round's score vector where
-/// the shard actors can read it, then running
-/// [`oracle_greedy_dist_into`] with a gather callback that fans
+/// the shard actors can read it, then running the configured
+/// [`Oracle`]'s `arrange_gathered` with a gather callback that fans
 /// `TopK{k}` out to every shard and concatenates the answers.
 ///
 /// Installed in the coordinator policy's workspace, so the policy's
@@ -66,11 +66,12 @@ impl ShardTimings {
 /// coordinator thread — the shards only ever *rank* finished scores,
 /// which is why the sharded run is byte-identical to the single-actor
 /// run (see the merge-equals-serial argument on
-/// [`oracle_greedy_dist_into`]).
+/// [`fasea_bandit::GreedyOracle`]'s gathered path).
 pub(crate) struct ShardRouter {
     channels: Arc<Vec<ShardChannel>>,
     staging: Arc<RwLock<Vec<f64>>>,
     timings: Arc<ShardTimings>,
+    oracle: Arc<dyn Oracle>,
 }
 
 impl ShardRouter {
@@ -78,11 +79,13 @@ impl ShardRouter {
         channels: Arc<Vec<ShardChannel>>,
         staging: Arc<RwLock<Vec<f64>>>,
         timings: Arc<ShardTimings>,
+        oracle: Arc<dyn Oracle>,
     ) -> Self {
         ShardRouter {
             channels,
             staging,
             timings,
+            oracle,
         }
     }
 }
@@ -100,8 +103,7 @@ impl Arranger for ShardRouter {
         &self,
         scores: &[f64],
         view: &SelectionView<'_>,
-        order: &mut Vec<u32>,
-        mask: &mut Vec<u64>,
+        ws: &mut OracleWorkspace,
         out: &mut Arrangement,
     ) {
         let started = Instant::now();
@@ -110,13 +112,12 @@ impl Arranger for ShardRouter {
             staged.clear();
             staged.extend_from_slice(scores);
         }
-        oracle_greedy_dist_into(
+        self.oracle.arrange_gathered(
             scores,
             view.conflicts,
             view.remaining,
             view.user_capacity,
-            order,
-            mask,
+            ws,
             out,
             &mut |k, order| {
                 for ch in self.channels.iter() {

@@ -39,8 +39,8 @@ use crate::router::{ShardRouter, ShardTimings};
 ///   [`ShardRouter`] replaces the local top-k ranking with a fan-out
 ///   over the shards' [`fasea_bandit::subset_top_k`] answers, merged
 ///   under the oracle's own comparator. Identical arrangements to the
-///   single-actor service (merge theorem on
-///   [`fasea_bandit::oracle_greedy_dist_into`]).
+///   single-actor service (merge theorem on the gathered form of
+///   [`fasea_bandit::Oracle::arrange_gathered`]).
 /// * `feedback` — accepted events become per-shard write sets. Phase 1
 ///   sends `Prepare{txn = round, decs}` to the involved shards in
 ///   ascending shard order; each makes the prepare durable before
@@ -84,6 +84,10 @@ impl ShardedArrangementService {
         assert!(num_shards >= 1, "at least one shard");
         let plan = ShardPlan::build(instance.conflicts(), num_shards);
         let capacities = instance.capacities().to_vec();
+        // Same oracle the coordinator installs for replay: the router
+        // reuses it so the sharded selection matches the local one
+        // bit for bit.
+        let oracle = options.oracle.build();
         let mut inner =
             DurableArrangementService::open(&dir.join("coordinator"), instance, policy, options)?;
 
@@ -131,6 +135,7 @@ impl ShardedArrangementService {
             Arc::clone(&channels),
             staging,
             Arc::clone(&timings),
+            oracle,
         ));
         // Installed *after* open: recovery replay ran the local oracle,
         // which produces identical arrangements by the arranger
@@ -178,6 +183,35 @@ impl ShardedArrangementService {
         let result = self.inner.feedback_deferred(accepted);
         self.finish_commit(staged, result.is_ok())?;
         result
+    }
+
+    /// Event lifecycle re-plan ([`DurableArrangementService::lifecycle`])
+    /// fanned out to the owning shard.
+    ///
+    /// The coordinator's `Lifecycle` record is the decision: it is
+    /// durable (and applied to the capacity mirror) *before* the owning
+    /// shard logs and installs its own copy. A crash in between leaves
+    /// the shard's counter stale, which recovery's
+    /// reconciliation repairs from the mirror — a lost lower shows up
+    /// as drift-above, a lost raise as drift-below with no committed
+    /// round to explain it.
+    ///
+    /// Returns the installed remaining capacity (clamped to the planned
+    /// capacity), like the inner call.
+    pub fn lifecycle(&mut self, event: u32, capacity: u32) -> Result<u32, ServiceError> {
+        let t = self.inner.rounds_completed();
+        let installed = self.inner.lifecycle(event, capacity)?;
+        let shard = self.plan.shard_of(event);
+        self.channels[shard].send(Request::Lifecycle {
+            t,
+            event,
+            capacity: installed,
+        });
+        match self.channels[shard].recv() {
+            Reply::Done(r) => r.map_err(ServiceError::Store)?,
+            other => panic!("shard answered Lifecycle with {other:?}"),
+        }
+        Ok(installed)
     }
 
     /// Phase 1: validates the feedback shape, builds the per-shard

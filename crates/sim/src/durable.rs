@@ -88,6 +88,14 @@ pub struct DurableOptions {
     /// and the `_deferred` variants hand the caller an LSN to gate its
     /// own acknowledgements on.
     pub group_commit: bool,
+    /// Which arrangement [`fasea_bandit::Oracle`] the service runs.
+    /// The default ([`fasea_bandit::OracleKind::Greedy`]) is
+    /// bit-identical to the historical behaviour and keeps existing
+    /// logs valid; a non-greedy oracle changes decisions, so its name
+    /// is mixed into the service fingerprint and the oracle is
+    /// installed *before* WAL replay (recovery re-executes proposals
+    /// through it).
+    pub oracle: fasea_bandit::OracleOptions,
 }
 
 impl Default for DurableOptions {
@@ -98,6 +106,7 @@ impl Default for DurableOptions {
             snapshots_kept: 2,
             score_threads: 0,
             group_commit: false,
+            oracle: fasea_bandit::OracleOptions::new(),
         }
     }
 }
@@ -140,6 +149,12 @@ impl DurableOptions {
     /// snapshotter. See [`DurableOptions::group_commit`].
     pub fn with_group_commit(mut self, enabled: bool) -> Self {
         self.group_commit = enabled;
+        self
+    }
+
+    /// Selects the arrangement oracle. See [`DurableOptions::oracle`].
+    pub fn with_oracle(mut self, oracle: fasea_bandit::OracleOptions) -> Self {
+        self.oracle = oracle;
         self
     }
 }
@@ -281,6 +296,26 @@ pub fn service_fingerprint(instance: &ProblemInstance, policy_name: &str) -> u64
     h
 }
 
+/// [`service_fingerprint`] with the configured oracle mixed in. The
+/// default greedy oracle contributes nothing — logs written before
+/// oracles were configurable stay valid — while any other oracle's
+/// name perturbs the fingerprint, since its decisions (and therefore
+/// the log contents) differ.
+pub fn service_fingerprint_with_oracle(
+    instance: &ProblemInstance,
+    policy_name: &str,
+    oracle: &fasea_bandit::OracleOptions,
+) -> u64 {
+    let mut h = service_fingerprint(instance, policy_name);
+    if oracle.kind != fasea_bandit::OracleKind::Greedy {
+        for &b in oracle.name().as_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    h
+}
+
 impl DurableArrangementService {
     /// Opens the durable service in `dir`, recovering persisted state
     /// if any exists; a fresh directory starts a fresh service. The
@@ -300,7 +335,8 @@ impl DurableArrangementService {
         mut policy: Box<dyn Policy>,
         options: DurableOptions,
     ) -> Result<Self, ServiceError> {
-        let fingerprint = service_fingerprint(&instance, policy.name());
+        let fingerprint =
+            service_fingerprint_with_oracle(&instance, policy.name(), &options.oracle);
         let snapshot = latest_snapshot(dir, fingerprint)?;
         let wal_options = WalOptions {
             segment_bytes: options.segment_bytes,
@@ -333,9 +369,11 @@ impl DurableArrangementService {
             None => (ArrangementService::new(instance, policy), 0),
         };
 
-        // Install the pool before replay so recovery runs through the
-        // same (bit-identical) scoring path the service will serve with.
+        // Install the pool and the oracle before replay so recovery
+        // runs through the same (bit-identical) decision path the
+        // service will serve with.
         service.install_score_pool(fasea_bandit::ScorePool::shared(options.score_threads));
+        service.install_oracle(Some(options.oracle.build()));
 
         replay(&mut service, &recovered, replay_from)?;
 
@@ -463,6 +501,38 @@ impl DurableArrangementService {
         })?;
         let rewards = self.service.feedback(accepted)?;
         Ok((rewards, lsn))
+    }
+
+    /// Applies one event-lifecycle action (validate-log-apply, like
+    /// feedback): sets `event`'s remaining capacity to `capacity`
+    /// (clamped to the instance's planned capacity), durably logging a
+    /// `Lifecycle` record first so crash recovery replays the churn
+    /// byte-identically. Blocks until the record reaches its policy
+    /// durability level. Returns the capacity actually installed.
+    ///
+    /// Idempotent per round: set-capacity semantics mean a driver that
+    /// re-issues the round's churn actions after recovery cannot
+    /// corrupt state.
+    ///
+    /// # Errors
+    /// [`ServiceError::FeedbackPending`] while a proposal is in flight,
+    /// [`ServiceError::EventOutOfRange`], or [`ServiceError::Store`]
+    /// if the append fails (drop and reopen).
+    pub fn lifecycle(&mut self, event: u32, capacity: u32) -> Result<u32, ServiceError> {
+        // Validate *before* logging so an invalid call cannot corrupt
+        // the record stream.
+        if self.service.has_pending() {
+            return Err(ServiceError::FeedbackPending);
+        }
+        let num_events = self.service.instance().num_events();
+        if event as usize >= num_events {
+            return Err(ServiceError::EventOutOfRange { event, num_events });
+        }
+        let t = self.service.rounds_completed();
+        let lsn = self.wal.append(Record::Lifecycle { t, event, capacity })?;
+        let installed = self.service.apply_lifecycle(event, capacity)?;
+        self.wal.wait_durable(lsn)?;
+        Ok(installed)
     }
 
     /// Clones the full service state into a [`ServiceSnapshot`] image
@@ -819,6 +889,23 @@ fn replay(
                     other => other,
                 })?;
             }
+            Record::Lifecycle { t, event, capacity } => {
+                if *t != service.rounds_completed() {
+                    return Err(ServiceError::RecoveryDiverged {
+                        seq,
+                        detail: format!(
+                            "Lifecycle for round {t} but service is at round {}",
+                            service.rounds_completed()
+                        ),
+                    });
+                }
+                service.apply_lifecycle(*event, *capacity).map_err(|e| {
+                    ServiceError::RecoveryDiverged {
+                        seq,
+                        detail: format!("lifecycle replay rejected: {e}"),
+                    }
+                })?;
+            }
             // Transaction records belong to *shard* logs (fasea-shard);
             // one in a coordinator/single-service log is damage.
             Record::TxnPrepare { .. } | Record::TxnCommit { .. } | Record::TxnAbort { .. } => {
@@ -971,13 +1058,10 @@ mod tests {
     #[test]
     fn snapshot_compacts_and_recovery_uses_it() {
         let dir = tmp("snapshot");
-        let opts = DurableOptions {
-            segment_bytes: 512,
-            fsync: FsyncPolicy::Never,
-            snapshots_kept: 1,
-            score_threads: 0,
-            group_commit: false,
-        };
+        let opts = DurableOptions::new()
+            .with_segment_bytes(512)
+            .with_fsync(FsyncPolicy::Never)
+            .with_snapshots_kept(1);
         let reference_state;
         {
             let mut svc =
@@ -1204,13 +1288,11 @@ mod tests {
     #[test]
     fn async_snapshot_compacts_in_background_and_recovers() {
         let dir = tmp("gc-async-snap");
-        let opts = DurableOptions {
-            segment_bytes: 512,
-            fsync: FsyncPolicy::Never,
-            snapshots_kept: 1,
-            score_threads: 0,
-            group_commit: true,
-        };
+        let opts = DurableOptions::new()
+            .with_segment_bytes(512)
+            .with_fsync(FsyncPolicy::Never)
+            .with_snapshots_kept(1)
+            .with_group_commit(true);
         let reference_state;
         {
             let mut svc =
@@ -1271,6 +1353,112 @@ mod tests {
         svc.close().unwrap();
         let svc = DurableArrangementService::open(&dir, instance(), ts_policy(), opts).unwrap();
         assert_eq!(svc.rounds_completed(), 10);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn lifecycle_records_replay_byte_identically() {
+        // Interleave churn with rounds, crash (drop without close),
+        // reopen: the recovered state must equal the uninterrupted run.
+        let dir = tmp("lifecycle");
+        let opts = DurableOptions {
+            fsync: FsyncPolicy::Never,
+            ..Default::default()
+        };
+        let churn = [(3u64, 2u32, 0u32), (3, 0, 1), (7, 2, 30), (11, 1, 0)];
+        let run = |dir: &Path, rounds: std::ops::Range<u64>| {
+            let mut svc =
+                DurableArrangementService::open(dir, instance(), ts_policy(), opts).unwrap();
+            for round in rounds {
+                for &(at, event, cap) in &churn {
+                    if at == round {
+                        svc.lifecycle(event, cap).unwrap();
+                    }
+                }
+                let a = svc.propose(&arrival(round)).unwrap();
+                svc.feedback(&accepts_for(round, &a)).unwrap();
+            }
+            svc
+        };
+        let reference_dir = tmp("lifecycle-ref");
+        let reference = run(&reference_dir, 0..20);
+        let ref_state = reference.service().policy().save_state();
+        let ref_remaining = reference.service().remaining().to_vec();
+        drop(reference);
+
+        {
+            let svc = run(&dir, 0..13);
+            drop(svc); // crash: no close, no snapshot
+        }
+        let mut svc = DurableArrangementService::open(&dir, instance(), ts_policy(), opts).unwrap();
+        assert_eq!(svc.rounds_completed(), 13);
+        for round in 13..20 {
+            let a = svc.propose(&arrival(round)).unwrap();
+            svc.feedback(&accepts_for(round, &a)).unwrap();
+        }
+        assert_eq!(svc.service().remaining(), &ref_remaining[..]);
+        assert_eq!(svc.service().policy().save_state(), ref_state);
+        fs::remove_dir_all(&dir).unwrap();
+        fs::remove_dir_all(&reference_dir).unwrap();
+    }
+
+    #[test]
+    fn lifecycle_validates_before_logging() {
+        let dir = tmp("lifecycle-validate");
+        let opts = DurableOptions {
+            fsync: FsyncPolicy::Never,
+            ..Default::default()
+        };
+        let mut svc = DurableArrangementService::open(&dir, instance(), ts_policy(), opts).unwrap();
+        assert!(matches!(
+            svc.lifecycle(99, 1),
+            Err(ServiceError::EventOutOfRange { .. })
+        ));
+        let a = svc.propose(&arrival(0)).unwrap();
+        assert!(matches!(
+            svc.lifecycle(0, 1),
+            Err(ServiceError::FeedbackPending)
+        ));
+        svc.feedback(&accepts_for(0, &a)).unwrap();
+        // Re-open clamps to planned capacity (30 in `instance()`).
+        assert_eq!(svc.lifecycle(0, 99).unwrap(), 30);
+        // Neither rejected call left a record behind: reopen replays
+        // cleanly.
+        drop(svc);
+        let svc = DurableArrangementService::open(&dir, instance(), ts_policy(), opts).unwrap();
+        assert_eq!(svc.rounds_completed(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn non_greedy_oracle_changes_fingerprint_and_recovers() {
+        let dir = tmp("oracle-tabu");
+        let greedy_opts = DurableOptions {
+            fsync: FsyncPolicy::Never,
+            ..Default::default()
+        };
+        let tabu_opts = greedy_opts.with_oracle(fasea_bandit::OracleOptions::tabu());
+        {
+            let mut svc =
+                DurableArrangementService::open(&dir, instance(), ts_policy(), tabu_opts).unwrap();
+            for round in 0..15 {
+                let a = svc.propose(&arrival(round)).unwrap();
+                svc.feedback(&accepts_for(round, &a)).unwrap();
+            }
+            svc.sync().unwrap();
+        }
+        // A greedy-configured open must refuse the tabu log (different
+        // fingerprint), not silently diverge.
+        assert!(matches!(
+            DurableArrangementService::open(&dir, instance(), ts_policy(), greedy_opts),
+            Err(ServiceError::Store(
+                fasea_store::StoreError::ForeignInstance { .. }
+            ))
+        ));
+        // The matching oracle replays the log through TabuOracle.
+        let svc =
+            DurableArrangementService::open(&dir, instance(), ts_policy(), tabu_opts).unwrap();
+        assert_eq!(svc.rounds_completed(), 15);
         fs::remove_dir_all(&dir).unwrap();
     }
 

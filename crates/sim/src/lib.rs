@@ -40,7 +40,10 @@ pub mod service;
 pub mod snapshotter;
 pub mod sweep;
 
-pub use durable::{service_fingerprint, DurableArrangementService, DurableOptions, ServiceHealth};
+pub use durable::{
+    service_fingerprint, service_fingerprint_with_oracle, DurableArrangementService,
+    DurableOptions, ServiceHealth,
+};
 pub use memory::MemoryModel;
 pub use multi_user::{
     run_multi_user, run_multi_user_stored, LearnerArchitecture, MultiUserRunResult,

@@ -21,7 +21,7 @@
 //! [`MultiUserWorkload`]) live in `fasea-datagen` and are re-exported
 //! here — this module adds only the runner.
 
-use fasea_bandit::{Policy, ScoreWorkspace, SelectionView};
+use fasea_bandit::{GreedyOracle, Oracle, OracleWorkspace, Policy, ScoreWorkspace, SelectionView};
 use fasea_core::{
     validate_arrangement, Arrangement, ContextMatrix, Feedback, RegretAccounting, UserArrival,
 };
@@ -112,6 +112,8 @@ pub fn run_multi_user(
 
     let mut remaining: Vec<u32> = instance.capacities().to_vec();
     let mut opt_remaining: Vec<u32> = instance.capacities().to_vec();
+    let mut opt_ws = OracleWorkspace::new();
+    let mut opt_arrangement = Arrangement::empty();
     let mut accounting = RegretAccounting::new();
     let mut opt_rewards = 0u64;
     let mut arrangement = fasea_core::Arrangement::empty();
@@ -161,8 +163,15 @@ pub fn run_multi_user(
             let scores: Vec<f64> = (0..instance.num_events())
                 .map(|v| model.expected_reward(&arrival.contexts, fasea_core::EventId(v)))
                 .collect();
-            let arrangement =
-                fasea_bandit::oracle_greedy(&scores, conflicts, &opt_remaining, arrival.capacity);
+            GreedyOracle.arrange_into(
+                &scores,
+                conflicts,
+                &opt_remaining,
+                arrival.capacity,
+                &mut opt_ws,
+                &mut opt_arrangement,
+            );
+            let arrangement = &opt_arrangement;
             for &v in arrangement.events() {
                 let p = model.accept_probability(&arrival.contexts, v);
                 if Bernoulli::new(p).trial_with(coins.uniform(t, v.index() as u64)) {

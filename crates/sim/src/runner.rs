@@ -51,6 +51,14 @@ pub struct RunConfig {
     /// results are bit-identical to serial for every policy, only
     /// wall-clock changes.
     pub score_threads: usize,
+    /// Which arrangement [`fasea_bandit::Oracle`] every policy (and the
+    /// OPT reference) runs its selections through. The default greedy
+    /// oracle is bit-identical to the historical behaviour.
+    pub oracle: fasea_bandit::OracleOptions,
+    /// Event lifecycle schedule: capacity re-plans applied to every
+    /// environment — including OPT's — at round boundaries, so regret
+    /// is measured against a *moving* optimum. Default: no churn.
+    pub churn: fasea_core::ChurnSchedule,
 }
 
 impl RunConfig {
@@ -65,6 +73,8 @@ impl RunConfig {
             measure_time: false,
             feedback_seed: 0xFEEDBAC4,
             score_threads: 0,
+            oracle: fasea_bandit::OracleOptions::new(),
+            churn: fasea_core::ChurnSchedule::none(),
         }
     }
 
@@ -77,6 +87,8 @@ impl RunConfig {
             measure_time: true,
             feedback_seed: 0xFEEDBAC4,
             score_threads: 0,
+            oracle: fasea_bandit::OracleOptions::new(),
+            churn: fasea_core::ChurnSchedule::none(),
         }
     }
 
@@ -108,6 +120,18 @@ impl RunConfig {
     /// serial).
     pub fn with_score_threads(mut self, threads: usize) -> Self {
         self.score_threads = threads;
+        self
+    }
+
+    /// Selects the arrangement oracle. See [`RunConfig::oracle`].
+    pub fn with_oracle(mut self, oracle: fasea_bandit::OracleOptions) -> Self {
+        self.oracle = oracle;
+        self
+    }
+
+    /// Installs an event lifecycle schedule. See [`RunConfig::churn`].
+    pub fn with_churn(mut self, churn: fasea_core::ChurnSchedule) -> Self {
+        self.churn = churn;
         self
     }
 }
@@ -195,6 +219,15 @@ pub fn run_simulation(
         p.workspace_mut().set_score_pool(score_pool.clone());
     }
 
+    // The configured arrangement oracle runs every policy's selections
+    // — and OPT's, so the regret baseline uses the same combinatorial
+    // subroutine. Like the pool it is removed again after the run.
+    let oracle = config.oracle.build();
+    opt_policy.workspace_mut().set_oracle(Some(oracle.clone()));
+    for p in policies.iter_mut() {
+        p.workspace_mut().set_oracle(Some(oracle.clone()));
+    }
+
     let coins = CoinStream::new(config.feedback_seed);
     let mut opt_state = PolicyState {
         policy: &mut opt_policy,
@@ -223,6 +256,16 @@ pub fn run_simulation(
     let mut truth_buf: Vec<f64> = Vec::new();
 
     for t in 0..config.horizon {
+        // Lifecycle churn lands before the round's arrival is served.
+        // Every environment — OPT's included — re-plans identically, so
+        // regret is measured against the *moving* optimum.
+        for action in config.churn.actions_at(t) {
+            opt_state.env.apply_lifecycle(action.event, action.capacity);
+            for st in states.iter_mut() {
+                st.env.apply_lifecycle(action.event, action.capacity);
+            }
+        }
+
         let arrival = workload.arrivals.arrival(t);
         let at_checkpoint =
             next_cp < config.checkpoints.len() && t + 1 == config.checkpoints[next_cp];
@@ -284,11 +327,13 @@ pub fn run_simulation(
     };
 
     // Caller-owned policies must not keep pool workers alive after the
-    // run; dropping the last Arc joins them.
-    if score_pool.is_some() {
-        for p in policies.iter_mut() {
+    // run; dropping the last Arc joins them. The oracle is uninstalled
+    // for the same reason: it belongs to this run's config.
+    for p in policies.iter_mut() {
+        if score_pool.is_some() {
             p.workspace_mut().set_score_pool(None);
         }
+        p.workspace_mut().set_oracle(None);
     }
     result
 }
@@ -407,6 +452,7 @@ mod tests {
             measure_time: true,
             feedback_seed: 42,
             score_threads: 0,
+            ..RunConfig::new(1)
         };
         let res = run_simulation(&w, &mut policies, &cfg);
         assert_eq!(res.policies.len(), 5);
@@ -438,6 +484,7 @@ mod tests {
             measure_time: false,
             feedback_seed: 9,
             score_threads: 0,
+            ..RunConfig::new(1)
         };
         let res = run_simulation(&w, &mut policies, &cfg);
         let random_rewards = res.policies[0].accounting.total_rewards();
@@ -462,6 +509,7 @@ mod tests {
             measure_time: false,
             feedback_seed: 10,
             score_threads: 0,
+            ..RunConfig::new(1)
         };
         let res = run_simulation(&w, &mut policies, &cfg);
         let ucb = res.policies[0].accounting.total_rewards();
@@ -480,6 +528,7 @@ mod tests {
             measure_time: false,
             feedback_seed: 17,
             score_threads: 0,
+            ..RunConfig::new(1)
         };
         let res = run_simulation(&w, &mut policies, &cfg);
         let p = &res.policies[0];
@@ -505,6 +554,7 @@ mod tests {
             measure_time: false,
             feedback_seed: 5,
             score_threads: 0,
+            ..RunConfig::new(1)
         };
         let mut p1: Vec<Box<dyn Policy>> = vec![Box::new(ThompsonSampling::new(5, 1.0, 0.1, 2))];
         let mut p2: Vec<Box<dyn Policy>> = vec![Box::new(ThompsonSampling::new(5, 1.0, 0.1, 2))];
@@ -530,6 +580,7 @@ mod tests {
             measure_time: false,
             feedback_seed: 77,
             score_threads: 0,
+            ..RunConfig::new(1)
         };
         let cfg_parallel = RunConfig {
             score_threads: 4,
@@ -579,11 +630,43 @@ mod tests {
             measure_time: false,
             feedback_seed: 2,
             score_threads: 0,
+            ..RunConfig::new(1)
         };
         let res = run_simulation(&w, &mut policies, &cfg);
         let exhausted = res.reference_exhausted_at.expect("OPT never exhausted");
         assert!(exhausted < 5000);
         // Total OPT rewards equal the total capacity (15).
         assert_eq!(res.reference.accounting.total_rewards(), 15);
+    }
+
+    #[test]
+    fn churn_applies_to_every_policy_and_stays_deterministic() {
+        let w = small_workload(29);
+        let churn = fasea_core::ChurnSchedule::generate(w.instance.capacities(), 400, 25, 0xC0FFEE);
+        assert!(!churn.is_empty());
+        let cfg = RunConfig::new(400)
+            .with_checkpoints(vec![200, 400])
+            .with_feedback_seed(6)
+            .with_churn(churn);
+        let mut p1: Vec<Box<dyn Policy>> = vec![Box::new(LinUcb::new(5, 1.0, 2.0))];
+        let mut p2: Vec<Box<dyn Policy>> = vec![Box::new(LinUcb::new(5, 1.0, 2.0))];
+        let r1 = run_simulation(&w, &mut p1, &cfg.clone());
+        let r2 = run_simulation(&w, &mut p2, &cfg);
+        assert_eq!(r1.policies[0].checkpoints, r2.policies[0].checkpoints);
+        // OPT's environment churns too, so regret against the moving
+        // optimum is still identically zero for OPT itself.
+        assert!(r1.reference.checkpoints.iter().all(|c| c.total_regret == 0));
+    }
+
+    #[test]
+    fn tabu_oracle_drives_a_full_run() {
+        let w = small_workload(31);
+        let mut policies: Vec<Box<dyn Policy>> = vec![Box::new(Exploit::new(5, 1.0))];
+        let cfg = RunConfig::new(200)
+            .with_checkpoints(vec![200])
+            .with_oracle(fasea_bandit::OracleOptions::tabu());
+        let res = run_simulation(&w, &mut policies, &cfg);
+        assert_eq!(res.policies[0].accounting.rounds(), 200);
+        assert!(res.policies[0].accounting.total_rewards() > 0);
     }
 }

@@ -69,6 +69,13 @@ pub enum ServiceError {
         /// Name of the policy supplied.
         found: String,
     },
+    /// A lifecycle action named an event outside the instance.
+    EventOutOfRange {
+        /// The offending event id.
+        event: u32,
+        /// Number of events in the instance.
+        num_events: usize,
+    },
 }
 
 impl fmt::Display for ServiceError {
@@ -96,6 +103,12 @@ impl fmt::Display for ServiceError {
                 write!(
                     f,
                     "persisted state is for policy {expected:?}, not {found:?}"
+                )
+            }
+            ServiceError::EventOutOfRange { event, num_events } => {
+                write!(
+                    f,
+                    "lifecycle action names event {event} but the instance has {num_events} events"
                 )
             }
         }
@@ -197,6 +210,45 @@ impl ArrangementService {
     /// flipped at any round boundary without perturbing decisions.
     pub fn install_arranger(&mut self, arranger: Option<Arc<dyn fasea_bandit::Arranger>>) {
         self.policy.workspace_mut().set_arranger(arranger);
+    }
+
+    /// Installs (or removes, with `None`) an [`fasea_bandit::Oracle`]
+    /// in the wrapped policy's workspace — the arrangement step every
+    /// selection runs through. `None` (and an explicit
+    /// [`fasea_bandit::GreedyOracle`]) keep the paper's Oracle-Greedy
+    /// behaviour bit-for-bit; a different oracle changes decisions and
+    /// therefore belongs in the durable fingerprint (see
+    /// [`crate::durable::DurableOptions::with_oracle`]).
+    pub fn install_oracle(&mut self, oracle: Option<Arc<dyn fasea_bandit::Oracle>>) {
+        self.policy.workspace_mut().set_oracle(oracle);
+    }
+
+    /// Applies one event-lifecycle action at a round boundary: sets
+    /// `event`'s remaining capacity to `capacity`, clamped to the
+    /// instance's planned capacity (a re-plan can shrink, close, or
+    /// restore an event, never grow it beyond the fingerprinted
+    /// instance). Set-capacity semantics make re-application
+    /// idempotent. Returns the capacity actually installed.
+    ///
+    /// # Errors
+    /// [`ServiceError::FeedbackPending`] if a proposal is in flight
+    /// (capacities under a pending arrangement are frozen — mutating
+    /// them could invalidate an irrevocable proposal), or
+    /// [`ServiceError::EventOutOfRange`].
+    pub fn apply_lifecycle(&mut self, event: u32, capacity: u32) -> Result<u32, ServiceError> {
+        if self.pending.is_some() {
+            return Err(ServiceError::FeedbackPending);
+        }
+        let e = event as usize;
+        if e >= self.remaining.len() {
+            return Err(ServiceError::EventOutOfRange {
+                event,
+                num_events: self.remaining.len(),
+            });
+        }
+        let clamped = capacity.min(self.instance.capacities()[e]);
+        self.remaining[e] = clamped;
+        Ok(clamped)
     }
 
     /// The immutable problem description this service runs on.
@@ -416,6 +468,48 @@ mod tests {
         let a = svc.propose(&user).unwrap();
         assert!(a.is_empty());
         svc.feedback(&[]).unwrap();
+    }
+
+    #[test]
+    fn lifecycle_sets_clamps_and_respects_pending() {
+        let mut svc = service(vec![3, 5]);
+        assert_eq!(svc.apply_lifecycle(0, 0).unwrap(), 0);
+        assert_eq!(svc.remaining(), &[0, 5]);
+        // Re-open clamps to the planned capacity.
+        assert_eq!(svc.apply_lifecycle(0, 99).unwrap(), 3);
+        assert_eq!(svc.remaining(), &[3, 5]);
+        assert_eq!(
+            svc.apply_lifecycle(7, 1),
+            Err(ServiceError::EventOutOfRange {
+                event: 7,
+                num_events: 2
+            })
+        );
+        // Frozen while a proposal is pending.
+        let user = arrival(2, 1);
+        let a = svc.propose(&user).unwrap();
+        assert_eq!(
+            svc.apply_lifecycle(1, 1),
+            Err(ServiceError::FeedbackPending)
+        );
+        svc.feedback(&vec![false; a.len()]).unwrap();
+        assert_eq!(svc.apply_lifecycle(1, 1).unwrap(), 1);
+    }
+
+    #[test]
+    fn installed_oracle_changes_the_arrangement_step() {
+        // A closed event (capacity 0) must never be proposed no matter
+        // which oracle is installed.
+        let mut svc = service(vec![2, 2, 2]);
+        svc.install_oracle(Some(fasea_bandit::OracleOptions::tabu().build()));
+        svc.apply_lifecycle(1, 0).unwrap();
+        let user = arrival(3, 3);
+        let a = svc.propose(&user).unwrap();
+        assert!(a.iter().all(|v| v != EventId(1)));
+        svc.feedback(&vec![true; a.len()]).unwrap();
+        svc.install_oracle(None);
+        let a = svc.propose(&arrival(3, 2)).unwrap();
+        svc.feedback(&vec![false; a.len()]).unwrap();
     }
 
     #[test]

@@ -71,6 +71,8 @@ pub const TAG_TXN_PREPARE: u8 = 4;
 pub const TAG_TXN_COMMIT: u8 = 5;
 /// Frame tag for [`Record::TxnAbort`].
 pub const TAG_TXN_ABORT: u8 = 6;
+/// Frame tag for [`Record::Lifecycle`].
+pub const TAG_LIFECYCLE: u8 = 7;
 
 /// Errors surfaced by the store.
 ///

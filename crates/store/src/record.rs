@@ -26,6 +26,7 @@
 //! | 4   | `TxnPrepare`     | `txn u64, len u32, (event u32, dec u32)×len` |
 //! | 5   | `TxnCommit`      | `txn u64` |
 //! | 6   | `TxnAbort`       | `txn u64` |
+//! | 7   | `Lifecycle`      | `t u64, event u32, capacity u32` |
 //!
 //! `Propose` logs the *full* revealed context block, not just its hash:
 //! recovery re-executes the policy's `select` on the logged contexts
@@ -36,8 +37,8 @@
 
 use crate::crc::crc32;
 use crate::{
-    StoreError, TAG_FEEDBACK, TAG_PROPOSE, TAG_SNAPSHOT_MARKER, TAG_TXN_ABORT, TAG_TXN_COMMIT,
-    TAG_TXN_PREPARE,
+    StoreError, TAG_FEEDBACK, TAG_LIFECYCLE, TAG_PROPOSE, TAG_SNAPSHOT_MARKER, TAG_TXN_ABORT,
+    TAG_TXN_COMMIT, TAG_TXN_PREPARE,
 };
 use std::io::{self, Read, Write};
 
@@ -108,6 +109,20 @@ pub enum Record {
         /// Transaction id being aborted.
         txn: u64,
     },
+    /// One event-lifecycle action applied immediately before round `t`:
+    /// the event's remaining capacity was *set* to `capacity` (0 =
+    /// closed/expired; a later record re-opens it). Set-capacity
+    /// semantics make replay idempotent. Appears in service round logs
+    /// (coordinator churn decisions) and in shard logs (the owning
+    /// shard's durable copy of the same decision).
+    Lifecycle {
+        /// Round index the action fires before.
+        t: u64,
+        /// The event being re-planned.
+        event: u32,
+        /// The new remaining capacity (0 closes the event).
+        capacity: u32,
+    },
 }
 
 impl Record {
@@ -120,6 +135,7 @@ impl Record {
             Record::TxnPrepare { .. } => TAG_TXN_PREPARE,
             Record::TxnCommit { .. } => TAG_TXN_COMMIT,
             Record::TxnAbort { .. } => TAG_TXN_ABORT,
+            Record::Lifecycle { .. } => TAG_LIFECYCLE,
         }
     }
 
@@ -132,6 +148,7 @@ impl Record {
             Record::TxnPrepare { .. } => "TxnPrepare",
             Record::TxnCommit { .. } => "TxnCommit",
             Record::TxnAbort { .. } => "TxnAbort",
+            Record::Lifecycle { .. } => "Lifecycle",
         }
     }
 }
@@ -198,6 +215,11 @@ pub fn encode_payload(seq: u64, record: &Record) -> Vec<u8> {
         }
         Record::TxnAbort { txn } => {
             out.extend_from_slice(&txn.to_le_bytes());
+        }
+        Record::Lifecycle { t, event, capacity } => {
+            out.extend_from_slice(&t.to_le_bytes());
+            out.extend_from_slice(&event.to_le_bytes());
+            out.extend_from_slice(&capacity.to_le_bytes());
         }
     }
     out
@@ -490,6 +512,12 @@ pub fn decode_payload(payload: &[u8]) -> Result<(u64, Record), StoreError> {
             let txn = u64::from_le_bytes(take(&mut at, 8)?.try_into().unwrap());
             Record::TxnAbort { txn }
         }
+        TAG_LIFECYCLE => {
+            let t = u64::from_le_bytes(take(&mut at, 8)?.try_into().unwrap());
+            let event = u32::from_le_bytes(take(&mut at, 4)?.try_into().unwrap());
+            let capacity = u32::from_le_bytes(take(&mut at, 4)?.try_into().unwrap());
+            Record::Lifecycle { t, event, capacity }
+        }
         _ => return Err(corrupt("unknown record tag")),
     };
     if at != payload.len() {
@@ -534,6 +562,16 @@ mod tests {
             },
             Record::TxnCommit { txn: 41 },
             Record::TxnAbort { txn: 42 },
+            Record::Lifecycle {
+                t: 43,
+                event: 7,
+                capacity: 0,
+            },
+            Record::Lifecycle {
+                t: 44,
+                event: 7,
+                capacity: 12,
+            },
         ];
         for (i, rec) in records.iter().enumerate() {
             let payload = encode_payload(1000 + i as u64, rec);

@@ -52,6 +52,25 @@ FASEA_BENCH_USERS=20000 FASEA_BENCH_MS=25 cargo bench -q -p fasea-bench --bench 
 echo "==> sharded-vs-single parity + 2PC kill matrix"
 cargo test -q --test shard_parity
 
+# Oracle-trait equivalence gate: GreedyOracle routed through the Oracle
+# trait must stay bit-equal to the pre-trait reference across all 7
+# policies x score-threads {1,2,8} x shards {1,2,4}, and TabuOracle
+# must shard identically to its single-actor run.
+echo "==> oracle-trait equivalence (greedy bit-equal, tabu shard parity)"
+cargo test -q --test shard_parity oracle
+
+# Churn golden: a churning sharded run (lifecycle records on every
+# shard log and the coordinator log) killed at every record boundary
+# must recover and finish byte-identical to the single-actor churned
+# run, counters equal to the capacity mirror.
+echo "==> churned lifecycle kill matrix"
+cargo test -q --test shard_parity churned_kill_matrix_recovers_byte_identically
+
+# Smoke the greedy-vs-tabu oracle bench (~1s). The committed
+# BENCH_oracle.json comes from a full-budget run, not this smoke.
+echo "==> oracle_compare smoke (FASEA_BENCH_MS=25)"
+FASEA_BENCH_MS=25 cargo bench -q -p fasea-bench --bench oracle_compare
+
 # Every committed bench-result table must still parse and keep the
 # shared schema (object with "bench"/"units"/non-empty "cells" of flat
 # scalar cells) so downstream tooling never reads a drifted artefact.

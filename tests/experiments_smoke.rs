@@ -19,6 +19,8 @@ fn tiny_opts(tag: &str) -> (Options, PathBuf) {
             // Smoke the deterministic parallel scoring path too — the
             // pinned CSV shapes must be invariant to it.
             score_threads: 2,
+            oracle: fasea::bandit::OracleOptions::greedy(),
+            churn_period: 0,
         },
         out,
     )

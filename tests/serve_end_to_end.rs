@@ -28,6 +28,7 @@ fn spec() -> WorkloadSpec {
         policy: "ucb".into(),
         users: 10_000,
         model_budget_mb: 0,
+        ..WorkloadSpec::default()
     }
 }
 

@@ -512,6 +512,339 @@ fn in_doubt_transactions_resolve_by_coordinator_decision() {
     let _ = fs::remove_dir_all(&scratch);
 }
 
+// ---- oracle-equivalence gate ----
+
+/// The `Oracle`-trait redesign must be invisible for the default
+/// oracle: explicitly installing [`OracleOptions::greedy`] — serial,
+/// pooled at {1, 2, 8} scoring threads, and over {1, 2, 4} shards —
+/// must reproduce the default-options single-actor digest bit for bit
+/// (capacities, accounting, and policy state including RNG position)
+/// for every policy the repo ships.
+#[test]
+fn greedy_oracle_through_trait_is_bit_equal_across_threads_and_shards() {
+    use fasea::bandit::OracleOptions;
+    const ROUNDS: u64 = 40;
+    let w = workload();
+    for (name, _) in all_policies() {
+        let ref_dir = tmp(&format!("oracle-ref-{name}"));
+        let reference = {
+            let mut svc = DurableArrangementService::open(
+                &ref_dir,
+                w.instance.clone(),
+                policy_named(name),
+                opts(),
+            )
+            .unwrap();
+            run_single(&mut svc, &w, ROUNDS);
+            let d = digest_single(&svc);
+            drop(svc);
+            fs::remove_dir_all(&ref_dir).unwrap();
+            d
+        };
+
+        for score_threads in [1usize, 2, 8] {
+            let trait_opts = opts()
+                .with_oracle(OracleOptions::greedy())
+                .with_score_threads(score_threads);
+            let dir = tmp(&format!("oracle-single-{name}-{score_threads}"));
+            let mut svc = DurableArrangementService::open(
+                &dir,
+                w.instance.clone(),
+                policy_named(name),
+                trait_opts,
+            )
+            .unwrap();
+            run_single(&mut svc, &w, ROUNDS);
+            assert_eq!(
+                digest_single(&svc),
+                reference,
+                "{name}: trait greedy at {score_threads} scoring threads diverged"
+            );
+            drop(svc);
+            fs::remove_dir_all(&dir).unwrap();
+
+            for shards in [1usize, 2, 4] {
+                let dir = tmp(&format!("oracle-shard-{name}-{score_threads}-{shards}"));
+                let mut svc = ShardedArrangementService::open(
+                    &dir,
+                    w.instance.clone(),
+                    policy_named(name),
+                    opts()
+                        .with_oracle(OracleOptions::greedy())
+                        .with_score_threads(score_threads),
+                    shards,
+                )
+                .unwrap();
+                run_sharded(&mut svc, &w, ROUNDS);
+                assert_eq!(
+                    digest_sharded(&svc),
+                    reference,
+                    "{name}: trait greedy over {shards} shards / {score_threads} threads diverged"
+                );
+                svc.close().unwrap();
+                fs::remove_dir_all(&dir).unwrap();
+            }
+        }
+    }
+}
+
+/// A non-default oracle must flow through sharding and recovery replay
+/// identically too: a tabu run over 2 shards equals the single-actor
+/// tabu run, and both differ from greedy (the options are not inert).
+#[test]
+fn tabu_oracle_shards_identically_to_single_actor() {
+    use fasea::bandit::OracleOptions;
+    const ROUNDS: u64 = 40;
+    let w = workload();
+    let tabu_opts = || opts().with_oracle(OracleOptions::tabu());
+
+    let single = {
+        let dir = tmp("tabu-single");
+        let mut svc = DurableArrangementService::open(
+            &dir,
+            w.instance.clone(),
+            policy_named("ts"),
+            tabu_opts(),
+        )
+        .unwrap();
+        run_single(&mut svc, &w, ROUNDS);
+        let d = digest_single(&svc);
+        drop(svc);
+        fs::remove_dir_all(&dir).unwrap();
+        d
+    };
+    let greedy = {
+        let dir = tmp("tabu-greedy-ref");
+        let mut svc =
+            DurableArrangementService::open(&dir, w.instance.clone(), policy_named("ts"), opts())
+                .unwrap();
+        run_single(&mut svc, &w, ROUNDS);
+        let d = digest_single(&svc);
+        drop(svc);
+        fs::remove_dir_all(&dir).unwrap();
+        d
+    };
+    assert_ne!(
+        single.policy_state, greedy.policy_state,
+        "tabu must actually change decisions on this workload"
+    );
+
+    let dir = tmp("tabu-sharded");
+    let mut svc = ShardedArrangementService::open(
+        &dir,
+        w.instance.clone(),
+        policy_named("ts"),
+        tabu_opts(),
+        2,
+    )
+    .unwrap();
+    run_sharded(&mut svc, &w, ROUNDS);
+    assert_eq!(
+        digest_sharded(&svc),
+        single,
+        "sharded tabu diverged from the single-actor tabu run"
+    );
+    assert_counters_match_mirror(&svc, "tabu/2");
+    svc.close().unwrap();
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+// ---- event churn: golden determinism under kills ----
+
+/// The deterministic churn schedule every churned test shares. Period 3
+/// over the kill-matrix horizon puts several Lifecycle records in both
+/// the coordinator log and every shard log before the kill round: the
+/// 2-shard plan isolates event 11 (its own conflict component) on
+/// shard 1, and this seed re-plans event 11 at t = 9 and t = 21.
+fn kill_churn() -> fasea::core::ChurnSchedule {
+    fasea::core::ChurnSchedule::generate(workload().instance.capacities(), KILL_END, 3, 0x5)
+}
+
+/// Drives a churned sharded run: round-`t` lifecycle actions are
+/// applied (and durably logged) immediately before round `t` is
+/// proposed. Recovery images re-apply the actions of the recovered
+/// round — set-capacity semantics make that idempotent.
+fn run_sharded_churned(
+    svc: &mut ShardedArrangementService,
+    w: &SyntheticWorkload,
+    churn: &fasea::core::ChurnSchedule,
+    upto: u64,
+) {
+    while svc.rounds_completed() < upto {
+        let t = svc.rounds_completed();
+        let a = if let Some(p) = svc.pending_arrangement() {
+            p.clone()
+        } else {
+            for action in churn.actions_at(t) {
+                svc.lifecycle(action.event, action.capacity).unwrap();
+            }
+            svc.propose(&w.arrivals.arrival(t)).unwrap()
+        };
+        let accepts = accepts_for(w, t, a.events());
+        svc.feedback(&accepts).unwrap();
+    }
+}
+
+/// Single-actor analogue of [`run_sharded_churned`].
+fn run_single_churned(
+    svc: &mut DurableArrangementService,
+    w: &SyntheticWorkload,
+    churn: &fasea::core::ChurnSchedule,
+    upto: u64,
+) {
+    while svc.rounds_completed() < upto {
+        let t = svc.rounds_completed();
+        let a = if let Some(p) = svc.pending_arrangement() {
+            p.clone()
+        } else {
+            for action in churn.actions_at(t) {
+                svc.lifecycle(action.event, action.capacity).unwrap();
+            }
+            svc.propose(&w.arrivals.arrival(t)).unwrap()
+        };
+        let accepts = accepts_for(w, t, a.events());
+        svc.feedback(&accepts).unwrap();
+    }
+}
+
+/// Golden churn determinism: a churned sharded run (a) equals the
+/// churned single-actor run bit for bit, and (b) killed at **every**
+/// record boundary of every shard log and of the coordinator log —
+/// which now interleaves `Lifecycle` records with Propose/Feedback —
+/// recovers and continues to the identical final state with no acked
+/// round lost.
+#[test]
+fn churned_kill_matrix_recovers_byte_identically() {
+    let w = workload();
+    let churn = kill_churn();
+    assert!(
+        churn.actions().iter().any(|a| a.at < KILL_ROUNDS),
+        "schedule must churn before the kill round for the matrix to mean anything"
+    );
+
+    // Single-actor churned reference.
+    let single_final = {
+        let dir = tmp("churn-single");
+        let mut svc =
+            DurableArrangementService::open(&dir, w.instance.clone(), policy_named("ts"), opts())
+                .unwrap();
+        run_single_churned(&mut svc, &w, &churn, KILL_END);
+        let d = digest_single(&svc);
+        drop(svc);
+        fs::remove_dir_all(&dir).unwrap();
+        d
+    };
+
+    // Churned sharded crash image at KILL_ROUNDS + its continuation.
+    let base = tmp("churn-kill-base");
+    let fingerprint = {
+        let mut svc = ShardedArrangementService::open(
+            &base,
+            w.instance.clone(),
+            policy_named("ts"),
+            opts(),
+            KILL_SHARDS,
+        )
+        .unwrap();
+        run_sharded_churned(&mut svc, &w, &churn, KILL_ROUNDS);
+        svc.sync().unwrap();
+        svc.fingerprint()
+    };
+    let reference_final = {
+        let cont = tmp("churn-kill-cont");
+        copy_tree(&base, &cont);
+        let mut svc = ShardedArrangementService::open(
+            &cont,
+            w.instance.clone(),
+            policy_named("ts"),
+            opts(),
+            KILL_SHARDS,
+        )
+        .unwrap();
+        run_sharded_churned(&mut svc, &w, &churn, KILL_END);
+        let d = digest_sharded(&svc);
+        drop(svc);
+        fs::remove_dir_all(&cont).unwrap();
+        d
+    };
+    assert_eq!(
+        reference_final, single_final,
+        "churned sharded run diverged from the churned single-actor run"
+    );
+
+    // Kill at every boundary of every log. Lifecycle records appear in
+    // both the shard logs (the owning shard's durable copy) and the
+    // coordinator log, so this sweep covers every new record type.
+    let scratch = tmp("churn-kill-scratch");
+    let mut cut_points: Vec<(PathBuf, PathBuf, u64, String)> = Vec::new();
+    for s in 0..KILL_SHARDS {
+        let shard_dir = base.join(format!("shard-{s:03}"));
+        let (records, boundaries, torn) =
+            wal::scan(&shard_dir, shard_fingerprint(fingerprint, s)).unwrap();
+        assert!(torn.is_none());
+        assert!(
+            records
+                .iter()
+                .any(|(_, r)| matches!(r, Record::Lifecycle { .. })),
+            "shard {s} logged no Lifecycle record — the schedule never touched its events?"
+        );
+        for (k, (segment, offset)) in boundaries.iter().enumerate() {
+            cut_points.push((
+                shard_dir.clone(),
+                segment.clone(),
+                *offset,
+                format!("shard {s} boundary {k}"),
+            ));
+        }
+    }
+    let coord_dir = base.join("coordinator");
+    let (coord_records, coord_bounds, _) = wal::scan(&coord_dir, fingerprint).unwrap();
+    assert!(
+        coord_records
+            .iter()
+            .any(|(_, r)| matches!(r, Record::Lifecycle { .. })),
+        "coordinator logged no Lifecycle record"
+    );
+    for (k, (segment, offset)) in coord_bounds.iter().enumerate() {
+        cut_points.push((
+            coord_dir.clone(),
+            segment.clone(),
+            *offset,
+            format!("coordinator boundary {k}"),
+        ));
+    }
+
+    for (dir, segment, offset, context) in cut_points {
+        copy_tree(&base, &scratch);
+        let rel = dir.file_name().unwrap();
+        FaultFile::new(scratch.join(rel).join(segment.file_name().unwrap()))
+            .torn_write(offset)
+            .unwrap();
+        let mut svc = ShardedArrangementService::open(
+            &scratch,
+            w.instance.clone(),
+            policy_named("ts"),
+            opts(),
+            KILL_SHARDS,
+        )
+        .unwrap_or_else(|e| panic!("{context}: churned recovery failed: {e}"));
+        assert!(
+            svc.rounds_completed() <= KILL_ROUNDS,
+            "{context}: recovered beyond the crash image"
+        );
+        run_sharded_churned(&mut svc, &w, &churn, KILL_END);
+        assert_eq!(
+            digest_sharded(&svc),
+            reference_final,
+            "{context}: churned continuation diverged"
+        );
+        assert_counters_match_mirror(&svc, &format!("{context} (final)"));
+        drop(svc);
+    }
+    fs::remove_dir_all(&base).unwrap();
+    let _ = fs::remove_dir_all(&scratch);
+}
+
 // ---- sharded serving over the wire ----
 
 fn serve_spec_workload() -> SyntheticWorkload {

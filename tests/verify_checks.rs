@@ -35,6 +35,7 @@ fn verify_reads_generated_artifacts() {
         real_regret_rounds: 80,
         replications: 1,
         score_threads: 0,
+        ..Default::default()
     };
     run_experiment("fig1", &opts).unwrap();
     let err = verify::verify(&opts).unwrap_err();
