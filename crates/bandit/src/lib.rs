@@ -6,7 +6,7 @@
 //! | Paper | Here |
 //! |---|---|
 //! | Algorithm 1 (TS) | [`ThompsonSampling`] |
-//! | Algorithm 2 (Oracle-Greedy) | [`oracle_greedy`] |
+//! | Algorithm 2 (Oracle-Greedy) | [`GreedyOracle`] |
 //! | Algorithm 3 (UCB) | [`LinUcb`] |
 //! | Algorithm 4 (eGreedy) | [`EpsilonGreedy`] |
 //! | Exploit heuristic (α=0 / ε=0) | [`Exploit`] |
@@ -86,4 +86,4 @@ pub use snapshot::{restore_estimator, save_estimator, SnapshotError, MAGIC as SN
 pub use static_score::StaticScorePolicy;
 pub use ts::ThompsonSampling;
 pub use ucb::LinUcb;
-pub use workspace::{Arranger, ScoreWorkspace};
+pub use workspace::{Arranger, PrefetchStats, ScoreWorkspace};

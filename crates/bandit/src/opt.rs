@@ -38,6 +38,12 @@ impl Policy for Opt {
         "OPT"
     }
 
+    // Scores are the model's expected rewards — deterministic in the
+    // contexts, no RNG — safe to prefetch speculatively.
+    fn scoring_is_deterministic(&self) -> bool {
+        true
+    }
+
     fn score_into(&mut self, view: &SelectionView<'_>, ws: &mut ScoreWorkspace) {
         let n = view.num_events();
         let pool = ws.score_pool().cloned();

@@ -125,9 +125,47 @@ pub trait Policy: Send {
         // (a plain field re-borrow is impossible through the trait).
         // `ScoreWorkspace` is a bundle of `Vec`s, so `take` is move-only.
         let mut ws = std::mem::take(self.workspace_mut());
-        self.score_into(view, &mut ws);
+        // A valid prefetched score set for this round (same round, same
+        // model epoch — see `ScoreWorkspace::take_prefetch`) substitutes
+        // for `score_into` verbatim; the arrangement itself is always
+        // computed fresh against the live `view.remaining`.
+        if !ws.take_prefetch(view.t) {
+            self.score_into(view, &mut ws);
+        }
         ws.mark_scored();
         ws.arrange_into(view, out);
+        *self.workspace_mut() = ws;
+    }
+
+    /// `true` when [`Policy::score_into`] consumes no policy randomness
+    /// and does not mutate learner state: scores are a pure function of
+    /// (estimator state, contexts, `t`). Speculative callers — the serve
+    /// actor's optimistic admission — may only prefetch *ahead of an
+    /// unresolved round* for such policies, because a discarded
+    /// speculation then costs one recompute instead of a double RNG
+    /// draw. Callers that can guarantee nothing intervenes between
+    /// prefetch and use (the simulator's in-order pipeline) may prefetch
+    /// any policy. Defaults to `false` — the safe answer for sampling
+    /// policies.
+    fn scoring_is_deterministic(&self) -> bool {
+        false
+    }
+
+    /// Computes round `view.t`'s scores now and stashes them in the
+    /// workspace tagged with the current model epoch
+    /// ([`ScoreWorkspace::stash_prefetch`]). A later
+    /// [`Policy::select_into`] for the same round reuses the stash if no
+    /// intervening feedback bumped the epoch, and recomputes otherwise.
+    ///
+    /// Callers that cannot rule out an intervening model update before
+    /// the round is driven must check
+    /// [`Policy::scoring_is_deterministic`] first: prefetching a
+    /// sampling policy and then discarding the stash would consume its
+    /// RNG twice and fork the deterministic replay.
+    fn prefetch_scores(&mut self, view: &SelectionView<'_>) {
+        let mut ws = std::mem::take(self.workspace_mut());
+        self.score_into(view, &mut ws);
+        ws.stash_prefetch(view.t);
         *self.workspace_mut() = ws;
     }
 
@@ -241,6 +279,37 @@ mod tests {
         assert_eq!(p.last_scores().unwrap().len(), 3);
         assert_eq!(p.name(), "AlwaysFirst");
         assert!(p.state_bytes() >= 24);
+    }
+
+    #[test]
+    fn prefetched_select_matches_fresh_select() {
+        let mut fresh = AlwaysFirst {
+            ws: ScoreWorkspace::new(),
+        };
+        let mut pipelined = AlwaysFirst {
+            ws: ScoreWorkspace::new(),
+        };
+        let contexts = ContextMatrix::zeros(4, 2);
+        let conflicts = ConflictGraph::new(4);
+        let remaining = [2u32; 4];
+        let view = SelectionView {
+            t: 5,
+            user_capacity: 2,
+            contexts: &contexts,
+            conflicts: &conflicts,
+            remaining: &remaining,
+        };
+        assert!(!pipelined.scoring_is_deterministic(), "trait default");
+        pipelined.prefetch_scores(&view);
+        assert!(pipelined.workspace().has_prefetch());
+        let a = pipelined.select(&view);
+        assert_eq!(a, fresh.select(&view));
+        assert_eq!(pipelined.workspace().prefetch_stats().hits, 1);
+        // A stash for a different round is discarded, not reused.
+        pipelined.prefetch_scores(&view);
+        let later = SelectionView { t: 6, ..view };
+        assert_eq!(pipelined.select(&later), fresh.select(&later));
+        assert_eq!(pipelined.workspace().prefetch_stats().recomputes, 1);
     }
 
     #[test]

@@ -53,6 +53,11 @@ impl Policy for StaticScorePolicy {
         self.name
     }
 
+    // Fixed score table, no RNG — safe to prefetch speculatively.
+    fn scoring_is_deterministic(&self) -> bool {
+        true
+    }
+
     fn score_into(&mut self, view: &SelectionView<'_>, ws: &mut ScoreWorkspace) {
         let n = view.num_events();
         assert_eq!(

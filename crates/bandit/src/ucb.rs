@@ -56,6 +56,13 @@ impl Policy for LinUcb {
         "UCB"
     }
 
+    // Scores are θ̂ᵀx + α·√(xᵀY⁻¹x): pure linear algebra on the
+    // estimator's sufficient statistics, no RNG — safe to prefetch
+    // speculatively.
+    fn scoring_is_deterministic(&self) -> bool {
+        true
+    }
+
     fn score_into(&mut self, view: &SelectionView<'_>, ws: &mut ScoreWorkspace) {
         let n = view.num_events();
         let alpha = self.alpha;

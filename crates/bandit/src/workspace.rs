@@ -19,8 +19,8 @@ use std::sync::Arc;
 ///
 /// **Contract:** the arrangement written to `out` must equal what the
 /// service's configured [`Oracle`] produces locally on the same inputs
-/// (for the default [`crate::GreedyOracle`], that is
-/// [`crate::oracle_greedy`]'s arrangement). Everything downstream (the
+/// (for the default [`crate::GreedyOracle`], that is the greedy
+/// capacity-aware arrangement). Everything downstream (the
 /// WAL `Propose` records, recovery's replay cross-check, the golden
 /// parity tests) assumes it.
 ///
@@ -93,6 +93,22 @@ pub trait Arranger: Send + Sync + std::fmt::Debug {
 /// docs. The pool rides inside the workspace (rather than the policy or
 /// the view) so it survives the `mem::take` round-trip in
 /// [`crate::Policy::select_into`] and needs no `Policy` trait change.
+///
+/// ## Pipelined score prefetch
+///
+/// The round engines may compute a round's scores *early* — while the
+/// previous round's log records are still in the commit queue — and
+/// stash them with [`ScoreWorkspace::stash_prefetch`]. Scores are a
+/// pure function of (learner state, contexts, `t`) for every shipped
+/// policy — they never read `view.remaining` — so a stash stays valid
+/// exactly until the next feedback that touches the model. That moment
+/// is tracked by the **model epoch**: the service layers call
+/// [`ScoreWorkspace::bump_model_epoch`] whenever `observe` actually
+/// updated learner state (a non-empty arrangement's feedback).
+/// [`ScoreWorkspace::take_prefetch`] consumes a stash only when both
+/// the round index and the epoch still match; otherwise the stash is
+/// dropped and the caller recomputes — determinism is preserved either
+/// way, the epoch tag only decides whether the early work is reused.
 #[derive(Debug, Clone, Default)]
 pub struct ScoreWorkspace {
     scores: Vec<f64>,
@@ -102,6 +118,33 @@ pub struct ScoreWorkspace {
     oracle: Option<Arc<dyn Oracle>>,
     arranger: Option<Arc<dyn Arranger>>,
     scored_once: bool,
+    model_epoch: u64,
+    prefetch: PrefetchSlot,
+    prefetch_stats: PrefetchStats,
+}
+
+/// Stashed early-computed scores for one future round, tagged with the
+/// model epoch they were computed under. Buffers are swapped (not
+/// reallocated) on hit, so steady-state pipelined rounds stay
+/// allocation-free once warm.
+#[derive(Debug, Clone, Default)]
+struct PrefetchSlot {
+    valid: bool,
+    t: u64,
+    epoch: u64,
+    scores: Vec<f64>,
+    widths: Vec<f64>,
+}
+
+/// Cumulative outcome counters of the epoch-tagged score prefetch
+/// ([`ScoreWorkspace::take_prefetch`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrefetchStats {
+    /// Rounds whose stashed score set was reused verbatim.
+    pub hits: u64,
+    /// Rounds that found a stale stash (round or epoch mismatch) and
+    /// recomputed their scores from scratch.
+    pub recomputes: u64,
 }
 
 impl ScoreWorkspace {
@@ -212,12 +255,87 @@ impl ScoreWorkspace {
         self.scored_once = true;
     }
 
+    /// The current model-version epoch. Stashed prefetches are valid
+    /// only at the epoch they were computed under — see the *Pipelined
+    /// score prefetch* section of the type docs.
+    pub fn model_epoch(&self) -> u64 {
+        self.model_epoch
+    }
+
+    /// Records that learner state changed (an `observe` with a
+    /// non-empty arrangement). Any stashed prefetch becomes stale and
+    /// will be recomputed on [`ScoreWorkspace::take_prefetch`].
+    pub fn bump_model_epoch(&mut self) {
+        self.model_epoch += 1;
+    }
+
+    /// Stashes the score/width buffers of the round just computed as a
+    /// prefetched score set for round `t`, tagged with the current
+    /// model epoch. At most one stash is held; a new stash replaces the
+    /// old one. Stash buffers are reused across rounds, so steady-state
+    /// pipelining allocates nothing once warm.
+    pub fn stash_prefetch(&mut self, t: u64) {
+        let slot = &mut self.prefetch;
+        slot.scores.clear();
+        slot.scores.extend_from_slice(&self.scores);
+        slot.widths.clear();
+        slot.widths.extend_from_slice(&self.widths);
+        slot.t = t;
+        slot.epoch = self.model_epoch;
+        slot.valid = true;
+    }
+
+    /// Consumes the stash for round `t` if one is held **and** still
+    /// valid (same round, same model epoch): the stashed scores/widths
+    /// are swapped into the live buffers and `true` is returned — the
+    /// caller skips `score_into`. A stale stash is dropped (counted as
+    /// a recompute) and `false` is returned — the caller must score
+    /// from scratch. With no stash held this is a cheap no-op returning
+    /// `false` and touches no counter.
+    pub fn take_prefetch(&mut self, t: u64) -> bool {
+        let slot = &mut self.prefetch;
+        if !slot.valid {
+            return false;
+        }
+        slot.valid = false;
+        if slot.t == t && slot.epoch == self.model_epoch {
+            std::mem::swap(&mut self.scores, &mut slot.scores);
+            std::mem::swap(&mut self.widths, &mut slot.widths);
+            self.prefetch_stats.hits += 1;
+            true
+        } else {
+            self.prefetch_stats.recomputes += 1;
+            false
+        }
+    }
+
+    /// Whether a (possibly stale) prefetched score set is currently
+    /// stashed. Diagnostic — [`ScoreWorkspace::take_prefetch`] is the
+    /// consuming check.
+    pub fn has_prefetch(&self) -> bool {
+        self.prefetch.valid
+    }
+
+    /// Drops the stash without counting anything. Callers must do this
+    /// when the *inputs* a stash was computed from are withdrawn (e.g.
+    /// a buffered serve proposal dies with its connection and the round
+    /// may later be re-proposed with different contexts) — the (round,
+    /// epoch) tag alone cannot see a context change.
+    pub fn clear_prefetch(&mut self) {
+        self.prefetch.valid = false;
+    }
+
+    /// Cumulative prefetch hit/recompute counters since construction.
+    pub fn prefetch_stats(&self) -> PrefetchStats {
+        self.prefetch_stats
+    }
+
     /// Runs the installed arrangement engine over the workspace's
     /// scores into a caller-owned arrangement, reusing the workspace's
     /// [`OracleWorkspace`] buffers — see the *Oracle dispatch* section
     /// of the type docs for the precedence order. With no oracle or
-    /// arranger installed this is the allocation-free twin of
-    /// [`crate::oracle_greedy`] (pooled when a multi-thread
+    /// arranger installed this is the allocation-free
+    /// [`crate::GreedyOracle`] path (pooled when a multi-thread
     /// [`ScorePool`] is installed — bit-identical arrangements either
     /// way).
     pub fn arrange_into(&mut self, view: &SelectionView<'_>, out: &mut Arrangement) {
@@ -256,8 +374,11 @@ impl ScoreWorkspace {
     /// Approximate bytes held by the workspace buffers (for
     /// [`crate::Policy::state_bytes`] accounting).
     pub fn state_bytes(&self) -> usize {
-        self.scores.len() * std::mem::size_of::<f64>()
-            + self.widths.len() * std::mem::size_of::<f64>()
+        (self.scores.len()
+            + self.widths.len()
+            + self.prefetch.scores.len()
+            + self.prefetch.widths.len())
+            * std::mem::size_of::<f64>()
             + self.oracle_ws.state_bytes()
     }
 }
@@ -382,6 +503,48 @@ mod tests {
         ws.set_arranger(None);
         ws.arrange_into(&view, &mut out);
         assert_eq!(out.events(), &[EventId(2), EventId(1)]);
+    }
+
+    #[test]
+    fn prefetch_round_trip_and_epoch_invalidation() {
+        let mut ws = ScoreWorkspace::new();
+        // No stash held: take is a no-op and counts nothing.
+        assert!(!ws.take_prefetch(7));
+        assert_eq!(ws.prefetch_stats(), PrefetchStats::default());
+
+        ws.scores_mut(3).copy_from_slice(&[0.1, 0.2, 0.3]);
+        ws.stash_prefetch(7);
+        assert!(ws.has_prefetch());
+        // Scribble over the live buffer: the stash must restore it.
+        ws.scores_mut(3).copy_from_slice(&[9.0, 9.0, 9.0]);
+        assert!(ws.take_prefetch(7));
+        assert_eq!(ws.scores(), &[0.1, 0.2, 0.3]);
+        assert!(!ws.has_prefetch());
+        assert_eq!(ws.prefetch_stats().hits, 1);
+
+        // Round mismatch drops the stash and counts a recompute.
+        ws.stash_prefetch(8);
+        assert!(!ws.take_prefetch(9));
+        assert_eq!(ws.prefetch_stats().recomputes, 1);
+
+        // Epoch mismatch (model touched after the stash) likewise.
+        ws.stash_prefetch(10);
+        let before = ws.model_epoch();
+        ws.bump_model_epoch();
+        assert_eq!(ws.model_epoch(), before + 1);
+        assert!(!ws.take_prefetch(10));
+        assert_eq!(
+            ws.prefetch_stats(),
+            PrefetchStats {
+                hits: 1,
+                recomputes: 2
+            }
+        );
+
+        // A fresh stash at the new epoch hits again.
+        ws.stash_prefetch(11);
+        assert!(ws.take_prefetch(11));
+        assert_eq!(ws.prefetch_stats().hits, 2);
     }
 
     #[test]

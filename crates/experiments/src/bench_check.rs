@@ -346,8 +346,43 @@ pub fn check_bench_doc(doc: &Json) -> Result<(), String> {
             }
         }
     }
+    check_single_core_speedups(top, cells)?;
     if matches!(top.get("bench"), Some(Json::String(name)) if name == "oracle_compare") {
         check_oracle_compare_doc(top, cells)?;
+    }
+    Ok(())
+}
+
+/// A speedup above 1× measured on a single-core host cannot come from
+/// parallel execution — it is timer noise, queueing-artefact, or a
+/// config error — so a table claiming one on `host_cores: 1` must also
+/// carry a top-level `"caveat"` string explaining the number, or the
+/// gate rejects it. Applies to `parallel_speedup` and every
+/// `speedup_vs_*` cell field.
+fn check_single_core_speedups(top: &BTreeMap<String, Json>, cells: &[Json]) -> Result<(), String> {
+    if !matches!(top.get("host_cores"), Some(Json::Number(n)) if *n == 1.0) {
+        return Ok(());
+    }
+    let has_caveat = matches!(top.get("caveat"), Some(Json::String(s)) if !s.is_empty());
+    for (i, cell) in cells.iter().enumerate() {
+        let Json::Object(fields) = cell else {
+            unreachable!("cell shape checked by the shared schema");
+        };
+        for (key, value) in fields {
+            let is_speedup = key == "parallel_speedup" || key.starts_with("speedup_vs_");
+            if !is_speedup {
+                continue;
+            }
+            if let Json::Number(n) = value {
+                if *n > 1.0 && !has_caveat {
+                    return Err(format!(
+                        "cells[{i}].{key} claims a {n}x speedup on a single-core host \
+                         (host_cores: 1); add a top-level \"caveat\" string explaining \
+                         the number or re-measure on a multi-core host"
+                    ));
+                }
+            }
+        }
     }
     Ok(())
 }
@@ -486,6 +521,7 @@ mod tests {
     fn accepts_the_bench_writers_shape() {
         let doc = obj(r#"{
               "bench": "wal_append", "units": "ns_per_round", "host_cores": 1,
+              "caveat": "single-core host: speedups reflect fewer fsyncs, not parallelism",
               "cells": [
                 {"mode": "direct", "policy": "always", "batch": null, "round_ns": 450921.4,
                  "speedup_vs_direct_always": null},
@@ -538,6 +574,47 @@ mod tests {
         for (text, needle) in cases {
             let err = check_bench_doc(&obj(text)).unwrap_err();
             assert!(err.contains(needle), "{err} should mention {needle}");
+        }
+    }
+
+    #[test]
+    fn single_core_speedup_claims_require_a_caveat() {
+        // A >1x parallel speedup measured where no parallelism exists
+        // must be explained or rejected.
+        let bare = r#"{"bench": "x", "units": "y", "host_cores": 1,
+            "cells": [{"mode": "group", "speedup_vs_direct_always": 2.19}]}"#;
+        let err = check_bench_doc(&obj(bare)).unwrap_err();
+        assert!(err.contains("caveat"), "{err}");
+        assert!(err.contains("speedup_vs_direct_always"), "{err}");
+
+        let parallel = r#"{"bench": "x", "units": "y", "host_cores": 1,
+            "cells": [{"threads": 4, "parallel_speedup": 1.5}]}"#;
+        assert!(check_bench_doc(&obj(parallel))
+            .unwrap_err()
+            .contains("parallel_speedup"));
+
+        // The same table passes once the caveat explains the number.
+        let explained = r#"{"bench": "x", "units": "y", "host_cores": 1,
+            "caveat": "speedup reflects fewer fsyncs per round, not parallel execution",
+            "cells": [{"mode": "group", "speedup_vs_direct_always": 2.19}]}"#;
+        check_bench_doc(&obj(explained)).unwrap();
+
+        // An empty caveat is no caveat.
+        let empty = r#"{"bench": "x", "units": "y", "host_cores": 1, "caveat": "",
+            "cells": [{"mode": "group", "speedup_vs_direct_always": 2.19}]}"#;
+        assert!(check_bench_doc(&obj(empty)).is_err());
+
+        // Sub-1x ratios, null entries, and multi-core hosts are all fine
+        // without a caveat.
+        for ok in [
+            r#"{"bench": "x", "units": "y", "host_cores": 1,
+                "cells": [{"parallel_speedup": 0.97}, {"speedup_vs_serial": null}]}"#,
+            r#"{"bench": "x", "units": "y", "host_cores": 8,
+                "cells": [{"parallel_speedup": 6.4}]}"#,
+            r#"{"bench": "x", "units": "y",
+                "cells": [{"parallel_speedup": 3.0}]}"#,
+        ] {
+            check_bench_doc(&obj(ok)).unwrap();
         }
     }
 

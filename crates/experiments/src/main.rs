@@ -31,7 +31,7 @@ fn print_usage() {
                            [--workers N] [--score-threads N] [--policy ucb|ts|egreedy]\n\
                            [--fsync always|everyn|never] [--group-commit 1]\n\
                            [--snapshot-every N] [--shards N] [--oracle greedy|tabu]\n\
-                           [--churn N] [--churn-horizon H]\n\
+                           [--churn N] [--churn-horizon H] [--pipeline-depth N]\n\
          fasea-exp loadgen [--addr H:P] [--rounds N] [--clients N] [--seed S] [--events N]\n\
                            [--dim D] [--policy P] [--users N] [--verify-local 1] [--shutdown 1]\n\
                            [--oracle greedy|tabu] [--churn N] [--churn-horizon H]\n\

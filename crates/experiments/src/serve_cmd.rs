@@ -19,6 +19,7 @@
 //!                   [--group-commit 0|1] [--snapshot-every N]
 //!                   [--shards N] [--oracle greedy|tabu]
 //!                   [--churn N] [--churn-horizon H]
+//!                   [--pipeline-depth N]
 //! fasea-exp loadgen [--addr HOST:PORT] [--rounds N] [--clients N] [--seed S]
 //!                   [--events N] [--dim D] [--policy ...] [--users N]
 //!                   [--verify-local] [--shutdown]
@@ -290,6 +291,10 @@ pub fn serve_main(args: &[String]) -> Result<(), String> {
             }
             "churn" => spec.churn_period = parse_u64(&flag, &value)?,
             "churn-horizon" => spec.churn_horizon = parse_u64(&flag, &value)?,
+            // Optimistic concurrent admission: grant up to N consecutive
+            // rounds at once. Arrangements and the WAL stay bit-equal to
+            // depth 1 (conflicts re-score in round order); see DESIGN §15.
+            "pipeline-depth" => config.pipeline_depth = parse_u64(&flag, &value)?.max(1) as usize,
             other => return Err(format!("unknown flag --{other} for serve")),
         }
     }

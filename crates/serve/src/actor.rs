@@ -4,12 +4,32 @@
 //!
 //! Workers never touch the service directly — they send [`Command`]s
 //! over a channel with a per-request reply sender. Round ownership is
-//! brokered here: a `CLAIM` either grants the next round immediately,
-//! parks the claimant in a bounded FIFO (the backpressure point — a
-//! full queue answers [`ErrorCode::Overloaded`]), or is refused while
-//! draining. Exactly one session owns the in-flight round at any time;
-//! if the owner disconnects, the round (including an already-logged
-//! pending proposal) is re-granted to the next waiter.
+//! brokered here: a `CLAIM` either grants a round immediately, parks
+//! the claimant in a bounded FIFO (the backpressure point — a full
+//! queue answers [`ErrorCode::Overloaded`]), or is refused while
+//! draining. If a grant-holder disconnects, its round (including an
+//! already-logged pending proposal) is re-granted to the next waiter
+//! under the *same* round number.
+//!
+//! # Optimistic concurrent admission
+//!
+//! With `pipeline_depth > 1` the actor grants up to that many
+//! *consecutive* rounds at once: the head grant is the round the
+//! service is actually at (`rounds_completed()`), later grants carry
+//! future round numbers. Clients of future rounds may send their
+//! `PROPOSE` early; the actor buffers it and — for policies whose
+//! scoring is RNG-free ([`fasea_bandit::Policy::scoring_is_deterministic`])
+//! — speculatively runs the `score_into` kernel now, stashing the
+//! score vector tagged with the current model-version epoch. When the
+//! head round's feedback lands, the next buffered proposal is
+//! *promoted*: executed against the service in strict round order, so
+//! the WAL records the exact depth-1 interleaving. If the intervening
+//! feedback touched the model, the stash's epoch no longer matches —
+//! counted as a `conflict_replays` — and the promoted round re-scores
+//! deterministically; the arrangement step always runs fresh against
+//! the live capacities either way. Depth therefore changes *when* work
+//! happens, never *what* is decided: the final WAL and state digest are
+//! bit-equal to `pipeline_depth = 1` (gated by `tests/pipeline_parity.rs`).
 //!
 //! # Group commit: deferred acknowledgements
 //!
@@ -192,6 +212,33 @@ impl AckQueue {
     }
 }
 
+/// One granted in-flight round. Grants are held in round order; the
+/// front grant is the round the service will execute next.
+struct Grant {
+    /// The session holding the grant; `None` after a release or
+    /// disconnect until the slot is re-granted (the round number is
+    /// already promised, so the slot survives its holder).
+    conn: Option<u64>,
+    /// The round number promised to the holder.
+    t: u64,
+    /// An early `PROPOSE` for a future round, executed at promotion.
+    buffered: Option<BufferedPropose>,
+}
+
+/// A `PROPOSE` that arrived before its round became the head round.
+struct BufferedPropose {
+    user: UserArrival,
+    reply: Sender<Response>,
+    /// Set when the score kernel already ran speculatively.
+    speculation: Option<Speculation>,
+}
+
+/// What the world looked like when a buffered proposal was
+/// speculatively scored; compared at promotion to detect conflicts.
+struct Speculation {
+    model_epoch: u64,
+}
+
 /// The actor state machine. Owns the durable service for its lifetime.
 pub struct ServiceActor {
     svc: BackendService,
@@ -200,8 +247,12 @@ pub struct ServiceActor {
     shutdown: Arc<AtomicBool>,
     max_inflight: usize,
     poll_interval: Duration,
-    /// Session currently owning the in-flight round.
-    owner: Option<u64>,
+    /// Maximum concurrently granted rounds (1 = sequential admission).
+    pipeline_depth: usize,
+    /// Granted in-flight rounds, in round order (head first).
+    grants: VecDeque<Grant>,
+    /// Workspace prefetch counters already drained into the metrics.
+    prefetch_seen: fasea_bandit::PrefetchStats,
     waiters: VecDeque<Waiter>,
     /// Set once a store-level failure makes further writes unsafe.
     poisoned: bool,
@@ -250,6 +301,9 @@ impl ServiceActor {
     /// notifier flushes deferred acks as each batch becomes durable,
     /// and the observer feeds the `fsync_batch_size` /
     /// `commit_latency_us` histograms.
+    ///
+    /// `pipeline_depth` bounds concurrently granted rounds (clamped to
+    /// at least 1; 1 reproduces the strictly sequential admission).
     #[allow(clippy::too_many_arguments)]
     pub fn new(
         svc: impl Into<BackendService>,
@@ -258,6 +312,7 @@ impl ServiceActor {
         shutdown: Arc<AtomicBool>,
         max_inflight: usize,
         poll_interval: Duration,
+        pipeline_depth: usize,
         snapshot_every: Option<u64>,
         churn: fasea_core::ChurnSchedule,
     ) -> Self {
@@ -281,7 +336,9 @@ impl ServiceActor {
             shutdown,
             max_inflight: max_inflight.max(1),
             poll_interval,
-            owner: None,
+            pipeline_depth: pipeline_depth.max(1),
+            grants: VecDeque::new(),
+            prefetch_seen: fasea_bandit::PrefetchStats::default(),
             waiters: VecDeque::new(),
             poisoned: false,
             acks,
@@ -378,15 +435,18 @@ impl ServiceActor {
                 reply,
             } => self.handle_claim(conn, enqueued, reply),
             Command::Release { conn, reply } => {
-                if self.owner != Some(conn) {
+                let Some(idx) = self.grant_index(conn) else {
                     self.metrics.protocol_errors.incr();
                     let _ = reply.send(error_response(
                         ErrorCode::NotRoundOwner,
-                        "RELEASE from a session that does not own the round",
+                        "RELEASE from a session that does not own a round",
                     ));
                     return;
-                }
-                self.owner = None;
+                };
+                // The round number was promised, so the slot stays and
+                // is re-granted to the next waiter under the same `t`.
+                self.grants[idx].conn = None;
+                self.drop_buffered(idx);
                 self.metrics.releases.incr();
                 let _ = reply.send(Response::ReleaseOk);
             }
@@ -413,8 +473,19 @@ impl ServiceActor {
             }
             Command::Disconnect { conn } => {
                 self.waiters.retain(|w| w.conn != conn);
-                if self.owner == Some(conn) {
-                    self.owner = None;
+                let dropped: Vec<usize> = self
+                    .grants
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, g)| g.conn == Some(conn))
+                    .map(|(i, _)| i)
+                    .collect();
+                for idx in dropped {
+                    self.grants[idx].conn = None;
+                    // A buffered proposal dies with its connection: it
+                    // was never executed against the service, so the
+                    // round is simply re-granted un-proposed.
+                    self.drop_buffered(idx);
                     self.metrics.reassigned_rounds.incr();
                 }
             }
@@ -430,11 +501,11 @@ impl ServiceActor {
             ));
             return;
         }
-        if self.owner == Some(conn) {
+        if self.grant_index(conn).is_some() {
             self.metrics.protocol_errors.incr();
             let _ = reply.send(error_response(
                 ErrorCode::Internal,
-                "CLAIM from the session that already owns the round",
+                "CLAIM from a session that already holds a round",
             ));
             return;
         }
@@ -477,22 +548,72 @@ impl ServiceActor {
         }
     }
 
-    /// Hands the in-flight round to the oldest live waiter, if the
-    /// round is free.
+    /// The grant slot `conn` currently holds, if any.
+    fn grant_index(&self, conn: u64) -> Option<usize> {
+        self.grants.iter().position(|g| g.conn == Some(conn))
+    }
+
+    /// Discards grant `idx`'s buffered proposal, if any. A speculated
+    /// stash must die with the proposal it was computed from: the round
+    /// may later be re-proposed with *different contexts*, which the
+    /// stash's (round, epoch) tag alone cannot detect.
+    fn drop_buffered(&mut self, idx: usize) {
+        if let Some(b) = self.grants[idx].buffered.take() {
+            if b.speculation.is_some() {
+                self.svc.clear_prefetch();
+            }
+        }
+    }
+
+    /// Hands rounds to the oldest live waiters: vacated slots first
+    /// (their round numbers are already promised), then fresh future
+    /// rounds while fewer than `pipeline_depth` grants are out.
     fn grant_next(&mut self) {
-        while self.owner.is_none() {
+        loop {
+            let base = self.svc.rounds_completed();
+            let slot_t = if let Some(g) = self.grants.iter().find(|g| g.conn.is_none()) {
+                g.t
+            } else if self.grants.len() < self.pipeline_depth {
+                self.grants.back().map_or(base, |g| g.t + 1)
+            } else {
+                return;
+            };
             let Some(w) = self.waiters.pop_front() else {
                 return;
             };
             self.metrics.queue_wait_us.observe(w.enqueued.elapsed());
-            let t = self.svc.rounds_completed();
-            self.apply_churn(t);
-            let pending = self
-                .svc
-                .pending_arrangement()
-                .map(|a| a.events().iter().map(|v| v.index() as u32).collect());
-            if w.reply.send(Response::Claimed { t, pending }).is_ok() {
-                self.owner = Some(w.conn);
+            // Only the head round can have service-side state attached:
+            // churn is applied (and logged) when its round activates,
+            // and a recovered/reassigned pending proposal is handed to
+            // the new holder. Future rounds are granted bare.
+            let pending = if slot_t == base {
+                self.apply_churn(slot_t);
+                self.svc
+                    .pending_arrangement()
+                    .map(|a| a.events().iter().map(|v| v.index() as u32).collect())
+            } else {
+                None
+            };
+            if w.reply
+                .send(Response::Claimed { t: slot_t, pending })
+                .is_ok()
+            {
+                if let Some(g) = self
+                    .grants
+                    .iter_mut()
+                    .find(|g| g.conn.is_none() && g.t == slot_t)
+                {
+                    g.conn = Some(w.conn);
+                } else {
+                    self.grants.push_back(Grant {
+                        conn: Some(w.conn),
+                        t: slot_t,
+                        buffered: None,
+                    });
+                }
+                self.metrics
+                    .pipeline_depth
+                    .observe_value(self.grants.len() as u64);
             }
             // A dead reply channel means the claimant's worker already
             // hung up — fall through and try the next waiter.
@@ -518,14 +639,14 @@ impl ServiceActor {
         contexts: Vec<f64>,
         reply: Sender<Response>,
     ) {
-        if self.owner != Some(conn) {
+        let Some(idx) = self.grant_index(conn) else {
             self.metrics.protocol_errors.incr();
             let _ = reply.send(error_response(
                 ErrorCode::NotRoundOwner,
-                "PROPOSE from a session that does not own the round",
+                "PROPOSE from a session that does not own a round",
             ));
             return;
-        }
+        };
         let instance = self.svc.service().instance();
         if num_events as usize != instance.num_events()
             || dim as usize != instance.dim()
@@ -546,6 +667,58 @@ impl ServiceActor {
             user_capacity,
             ContextMatrix::from_rows(num_events as usize, dim as usize, contexts),
         );
+        if idx == 0 {
+            // Head round: execute now, exactly as sequential admission.
+            self.apply_churn(self.grants[0].t);
+            self.execute_propose(user, reply);
+            return;
+        }
+        // Future round: buffer for in-order promotion. Double-propose
+        // on the same grant mirrors the head's FeedbackPending error.
+        if self.grants[idx].buffered.is_some() {
+            self.metrics.protocol_errors.incr();
+            let _ = reply.send(error_response(
+                ErrorCode::FeedbackPending,
+                format!(
+                    "round {} already has a buffered proposal",
+                    self.grants[idx].t
+                ),
+            ));
+            return;
+        }
+        // Optimistic speculation: run the score kernel now when it is
+        // safe (next in line, RNG-free scoring). The stash is epoch
+        // tagged — a conflicting model update before promotion is
+        // detected there and the round re-scores deterministically.
+        let t = self.grants[idx].t;
+        let speculation = if idx == 1 {
+            self.speculate(t, &user)
+        } else {
+            None
+        };
+        self.grants[idx].buffered = Some(BufferedPropose {
+            user,
+            reply,
+            speculation,
+        });
+    }
+
+    /// Runs the score kernel for future round `t` now, if that can
+    /// never change what is later decided: the policy must consume no
+    /// randomness while scoring (otherwise a discarded stash would
+    /// fork the RNG stream from the depth-1 run).
+    fn speculate(&mut self, t: u64, user: &UserArrival) -> Option<Speculation> {
+        if !self.svc.service().policy().scoring_is_deterministic() {
+            return None;
+        }
+        let model_epoch = self.svc.model_epoch();
+        self.svc.prefetch_scores(t, user).ok()?;
+        Some(Speculation { model_epoch })
+    }
+
+    /// Executes a proposal for the head round and replies. Shared by
+    /// the direct head-propose path and buffered-proposal promotion.
+    fn execute_propose(&mut self, user: UserArrival, reply: Sender<Response>) {
         let t = self.svc.rounds_completed();
         let started = Instant::now();
         if self.svc.group_commit_enabled() {
@@ -554,6 +727,7 @@ impl ServiceActor {
                     self.metrics.propose_us.observe(started.elapsed());
                     self.metrics.proposes.incr();
                     self.svc.drain_shard_metrics(&self.metrics);
+                    self.drain_prefetch_metrics();
                     // Replied immediately: compute-then-log makes an
                     // undurable Propose harmless (recovery re-draws it
                     // identically), and its LSN precedes the feedback
@@ -576,6 +750,7 @@ impl ServiceActor {
                 self.metrics.propose_us.observe(started.elapsed());
                 self.metrics.proposes.incr();
                 self.svc.drain_shard_metrics(&self.metrics);
+                self.drain_prefetch_metrics();
                 let _ = reply.send(Response::Proposed {
                     t,
                     arrangement: arrangement
@@ -589,6 +764,42 @@ impl ServiceActor {
         }
     }
 
+    /// Folds newly accumulated workspace prefetch counters into the
+    /// serving metrics.
+    fn drain_prefetch_metrics(&mut self) {
+        let s = self.svc.prefetch_stats();
+        self.metrics
+            .prefetch_hit
+            .add(s.hits - self.prefetch_seen.hits);
+        self.metrics
+            .prefetch_recompute
+            .add(s.recomputes - self.prefetch_seen.recomputes);
+        self.prefetch_seen = s;
+    }
+
+    /// After the head round completed: if the next grant already sent
+    /// its proposal, execute it now — in round order, which is what
+    /// keeps the WAL bit-equal to sequential admission. Conflicts
+    /// (the just-applied feedback moved the model epoch after a
+    /// speculation) are counted; the re-scoring itself happens inside
+    /// `select_into` when it finds the stale stash.
+    fn promote_buffered(&mut self) {
+        let Some(head) = self.grants.front_mut() else {
+            return;
+        };
+        let Some(b) = head.buffered.take() else {
+            return;
+        };
+        let t = head.t;
+        if let Some(spec) = &b.speculation {
+            if spec.model_epoch != self.svc.model_epoch() {
+                self.metrics.conflict_replays.incr();
+            }
+        }
+        self.apply_churn(t);
+        self.execute_propose(b.user, b.reply);
+    }
+
     /// Withholds `response` until `lsn` is durable. The push-then-flush
     /// order closes the race against the syncer: the entry is either
     /// flushed here (watermark already advanced) or by a later notifier
@@ -600,11 +811,21 @@ impl ServiceActor {
     }
 
     fn handle_feedback(&mut self, conn: u64, accepts: &[bool], reply: Sender<Response>) {
-        if self.owner != Some(conn) {
+        let Some(idx) = self.grant_index(conn) else {
             self.metrics.protocol_errors.incr();
             let _ = reply.send(error_response(
                 ErrorCode::NotRoundOwner,
-                "FEEDBACK from a session that does not own the round",
+                "FEEDBACK from a session that does not own a round",
+            ));
+            return;
+        };
+        if idx != 0 {
+            // Only the head round can have a pending proposal in the
+            // service; a future-round holder has nothing to answer yet.
+            self.metrics.protocol_errors.incr();
+            let _ = reply.send(error_response(
+                ErrorCode::NoPendingProposal,
+                format!("round {} is not yet active", self.grants[idx].t),
             ));
             return;
         }
@@ -616,13 +837,14 @@ impl ServiceActor {
                     self.metrics.feedback_us.observe(started.elapsed());
                     self.metrics.feedbacks.incr();
                     self.svc.drain_shard_metrics(&self.metrics);
-                    // The round is complete in memory: free it *now* so
-                    // the next claimant proceeds while this round's
-                    // records are still being fsynced — the pipelining
-                    // that lets N sessions share one fsync.
-                    self.owner = None;
+                    // The round is complete in memory: retire its grant
+                    // *now* so the next round proceeds while this
+                    // round's records are still being fsynced — the
+                    // pipelining that lets N sessions share one fsync.
+                    self.grants.pop_front();
                     self.defer_ack(lsn, reply, Response::FeedbackOk { t, reward });
                     self.maybe_snapshot();
+                    self.promote_buffered();
                 }
                 Err(err) => self.reply_service_error(err, &reply),
             }
@@ -633,9 +855,10 @@ impl ServiceActor {
                 self.metrics.feedback_us.observe(started.elapsed());
                 self.metrics.feedbacks.incr();
                 self.svc.drain_shard_metrics(&self.metrics);
-                self.owner = None;
+                self.grants.pop_front();
                 let _ = reply.send(Response::FeedbackOk { t, reward });
                 self.maybe_snapshot();
+                self.promote_buffered();
             }
             Err(err) => self.reply_service_error(err, &reply),
         }
@@ -702,12 +925,13 @@ mod tests {
         Arc<AtomicBool>,
         std::thread::JoinHandle<CloseReport>,
     ) {
-        spawn_actor_with(tag, DurableOptions::new().with_fsync(FsyncPolicy::Never))
+        spawn_actor_with(tag, DurableOptions::new().with_fsync(FsyncPolicy::Never), 1)
     }
 
     fn spawn_actor_with(
         tag: &str,
         options: DurableOptions,
+        pipeline_depth: usize,
     ) -> (
         Sender<Command>,
         Arc<AtomicBool>,
@@ -731,6 +955,7 @@ mod tests {
             Arc::clone(&shutdown),
             2,
             Duration::from_millis(10),
+            pipeline_depth,
             None,
             fasea_core::ChurnSchedule::none(),
         );
@@ -808,6 +1033,7 @@ mod tests {
             DurableOptions::new()
                 .with_fsync(FsyncPolicy::Always)
                 .with_group_commit(true),
+            1,
         );
         // Rounds still ack in order and carry the right round indices;
         // each blocking rpc() below only returns once the commit syncer
@@ -904,6 +1130,193 @@ mod tests {
         assert!(matches!(g3, Response::Claimed { .. }), "{g3:?}");
         drop(tx);
         handle.join().unwrap();
+    }
+
+    #[test]
+    fn pipelined_admission_promotes_buffered_proposals_in_order() {
+        let (tx, _shutdown, handle) = spawn_actor_with(
+            "pipelined",
+            DurableOptions::new().with_fsync(FsyncPolicy::Never),
+            2,
+        );
+        // Both rounds granted concurrently, in round order.
+        let g1 = rpc(&tx, |reply| Command::Claim {
+            conn: 1,
+            enqueued: Instant::now(),
+            reply,
+        });
+        assert_eq!(
+            g1,
+            Response::Claimed {
+                t: 0,
+                pending: None
+            }
+        );
+        let g2 = rpc(&tx, |reply| Command::Claim {
+            conn: 2,
+            enqueued: Instant::now(),
+            reply,
+        });
+        assert_eq!(
+            g2,
+            Response::Claimed {
+                t: 1,
+                pending: None
+            }
+        );
+        // A future-round holder has nothing to answer yet.
+        let early = rpc(&tx, |reply| Command::Feedback {
+            conn: 2,
+            accepts: vec![true],
+            reply,
+        });
+        assert!(
+            matches!(&early, Response::Error { code, .. } if *code == ErrorCode::NoPendingProposal),
+            "{early:?}"
+        );
+        // Round 1's proposal arrives before round 0 even proposed: it
+        // is buffered (and speculatively scored — LinUcb is RNG-free),
+        // with the reply withheld until promotion.
+        let (p2_tx, p2_rx) = mpsc::channel();
+        tx.send(Command::Propose {
+            conn: 2,
+            user_capacity: 1,
+            num_events: 4,
+            dim: 2,
+            contexts: vec![0.25; 8],
+            reply: p2_tx,
+        })
+        .unwrap();
+        // A second early proposal on the same grant is refused.
+        let dup = rpc(&tx, |reply| Command::Propose {
+            conn: 2,
+            user_capacity: 1,
+            num_events: 4,
+            dim: 2,
+            contexts: vec![0.25; 8],
+            reply,
+        });
+        assert!(
+            matches!(&dup, Response::Error { code, .. } if *code == ErrorCode::FeedbackPending),
+            "{dup:?}"
+        );
+        assert!(
+            p2_rx.recv_timeout(Duration::from_millis(100)).is_err(),
+            "buffered proposal must not execute before its round"
+        );
+        // Head round runs; its feedback promotes the buffered proposal.
+        let resp = rpc(&tx, |reply| Command::Propose {
+            conn: 1,
+            user_capacity: 1,
+            num_events: 4,
+            dim: 2,
+            contexts: vec![0.5; 8],
+            reply,
+        });
+        let arrangement = match resp {
+            Response::Proposed { t: 0, arrangement } => arrangement,
+            other => panic!("{other:?}"),
+        };
+        let resp = rpc(&tx, |reply| Command::Feedback {
+            conn: 1,
+            accepts: vec![true; arrangement.len()],
+            reply,
+        });
+        assert!(
+            matches!(resp, Response::FeedbackOk { t: 0, .. }),
+            "{resp:?}"
+        );
+        let promoted = p2_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        let arrangement = match promoted {
+            Response::Proposed { t: 1, arrangement } => arrangement,
+            other => panic!("{other:?}"),
+        };
+        let resp = rpc(&tx, |reply| Command::Feedback {
+            conn: 2,
+            accepts: vec![true; arrangement.len()],
+            reply,
+        });
+        assert!(
+            matches!(resp, Response::FeedbackOk { t: 1, .. }),
+            "{resp:?}"
+        );
+        drop(tx);
+        let report = handle.join().unwrap();
+        assert_eq!(report.rounds_completed, 2);
+        assert!(report.error.is_none());
+    }
+
+    #[test]
+    fn disconnected_future_grant_is_regranted_unproposed() {
+        let (tx, _shutdown, handle) = spawn_actor_with(
+            "future-drop",
+            DurableOptions::new().with_fsync(FsyncPolicy::Never),
+            2,
+        );
+        let g1 = rpc(&tx, |reply| Command::Claim {
+            conn: 1,
+            enqueued: Instant::now(),
+            reply,
+        });
+        assert!(matches!(g1, Response::Claimed { t: 0, .. }));
+        let g2 = rpc(&tx, |reply| Command::Claim {
+            conn: 2,
+            enqueued: Instant::now(),
+            reply,
+        });
+        assert!(matches!(g2, Response::Claimed { t: 1, .. }));
+        // conn 2 buffers a (speculated) proposal, then dies: the slot is
+        // re-granted under the same round number and the speculative
+        // stash is discarded with the proposal it was computed from.
+        let (p2_tx, _p2_rx) = mpsc::channel();
+        tx.send(Command::Propose {
+            conn: 2,
+            user_capacity: 1,
+            num_events: 4,
+            dim: 2,
+            contexts: vec![0.25; 8],
+            reply: p2_tx,
+        })
+        .unwrap();
+        tx.send(Command::Disconnect { conn: 2 }).unwrap();
+        let g3 = rpc(&tx, |reply| Command::Claim {
+            conn: 3,
+            enqueued: Instant::now(),
+            reply,
+        });
+        assert_eq!(
+            g3,
+            Response::Claimed {
+                t: 1,
+                pending: None
+            }
+        );
+        // Both rounds complete normally, with different contexts for
+        // round 1 than the dropped proposal carried.
+        for (conn, contexts) in [(1u64, vec![0.5; 8]), (3, vec![0.75; 8])] {
+            let resp = rpc(&tx, |reply| Command::Propose {
+                conn,
+                user_capacity: 1,
+                num_events: 4,
+                dim: 2,
+                contexts,
+                reply,
+            });
+            let arrangement = match resp {
+                Response::Proposed { arrangement, .. } => arrangement,
+                other => panic!("{other:?}"),
+            };
+            let resp = rpc(&tx, |reply| Command::Feedback {
+                conn,
+                accepts: vec![true; arrangement.len()],
+                reply,
+            });
+            assert!(matches!(resp, Response::FeedbackOk { .. }), "{resp:?}");
+        }
+        drop(tx);
+        let report = handle.join().unwrap();
+        assert_eq!(report.rounds_completed, 2);
+        assert!(report.error.is_none());
     }
 
     #[test]

@@ -170,6 +170,15 @@ registry! {
         overloaded,
         /// Rounds re-granted after their owner disconnected.
         reassigned_rounds,
+        /// Rounds whose speculatively prefetched score set was reused
+        /// verbatim at propose time.
+        prefetch_hit,
+        /// Rounds whose prefetched score set was stale (model epoch
+        /// moved) and was deterministically recomputed.
+        prefetch_recompute,
+        /// Optimistic admissions invalidated by an intervening model
+        /// update — resolved in round order by re-scoring the loser.
+        conflict_replays,
     }
     histograms {
         /// Service-side propose latency (validate + policy + WAL append).
@@ -195,6 +204,9 @@ registry! {
         /// Peak per-shard request-queue depth sampled at each fan-out
         /// (unit-less; one observation per shard per drain).
         shard_queue_depth,
+        /// Granted in-flight rounds at each grant (unit-less; depth 1
+        /// means fully sequential admission).
+        pipeline_depth,
     }
 }
 
@@ -268,9 +280,13 @@ mod tests {
         let counters = m.wire_counters();
         assert_eq!(counters[0].0, "connections_opened");
         assert!(counters.iter().any(|(n, v)| n == "requests" && *v == 2));
+        assert!(counters.iter().any(|(n, _)| n == "prefetch_hit"));
+        assert!(counters.iter().any(|(n, _)| n == "prefetch_recompute"));
+        assert!(counters.iter().any(|(n, _)| n == "conflict_replays"));
         let hists = m.wire_histograms();
         assert_eq!(hists[0].name, "propose_us");
-        assert_eq!(hists.len(), 9);
+        assert_eq!(hists.len(), 10);
+        assert!(hists.iter().any(|h| h.name == "pipeline_depth"));
         assert!(hists.iter().any(|h| h.name == "fsync_batch_size"));
         assert!(hists.iter().any(|h| h.name == "commit_latency_us"));
         assert!(hists.iter().any(|h| h.name == "shard_route_us"));

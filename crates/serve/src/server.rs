@@ -73,6 +73,11 @@ pub struct ServerConfig {
     /// default. Clients driving a local verification replica must use
     /// the same schedule to stay byte-identical.
     pub churn: fasea_core::ChurnSchedule,
+    /// Maximum concurrently granted rounds (optimistic admission).
+    /// 1 (the default) is strictly sequential; higher depths overlap
+    /// future rounds' network turnaround and speculative scoring while
+    /// keeping the WAL bit-equal to depth 1 — see the actor docs.
+    pub pipeline_depth: usize,
 }
 
 impl Default for ServerConfig {
@@ -88,6 +93,7 @@ impl Default for ServerConfig {
             stats_interval: Some(Duration::from_secs(10)),
             snapshot_every_rounds: None,
             churn: fasea_core::ChurnSchedule::none(),
+            pipeline_depth: 1,
         }
     }
 }
@@ -251,6 +257,7 @@ fn run_server(
         Arc::clone(&shutdown),
         config.max_inflight,
         config.poll_interval,
+        config.pipeline_depth,
         config.snapshot_every_rounds,
         config.churn.clone(),
     );

@@ -420,11 +420,28 @@ fn syncer_loop(mut wal: Wal, shared: Arc<Shared>) -> Wal {
         let mut oldest: Option<Instant> = None;
         let mut barriers = 0u64;
         let mut outcome: Result<(), StoreError> = Ok(());
+        let mut last_seq: Option<u64> = None;
         for task in batch {
             let step = match task {
                 Task::Append { record, enqueued } => {
                     oldest = Some(oldest.map_or(enqueued, |o| o.min(enqueued)));
-                    wal.append_unsynced(&record).map(|_| {
+                    wal.append_unsynced(&record).map(|seq| {
+                        // LSN-order invariant: `append` promised the
+                        // caller `next_lsn` at enqueue time, which is
+                        // only honest if the single-writer syncer sees
+                        // a dense FIFO queue — every on-disk sequence
+                        // number must be exactly one past its batch
+                        // predecessor. The pipelined round engine acks
+                        // rounds off these LSNs, so drift here would
+                        // silently reorder acked durability.
+                        if let Some(prev) = last_seq {
+                            debug_assert_eq!(
+                                seq,
+                                prev + 1,
+                                "group-commit WAL assigned a non-dense sequence"
+                            );
+                        }
+                        last_seq = Some(seq);
                         appended += 1;
                     })
                 }
@@ -446,6 +463,13 @@ fn syncer_loop(mut wal: Wal, shared: Arc<Shared>) -> Wal {
         }
 
         let watermark = wal.next_seq();
+        if outcome.is_ok() {
+            if let Some(last) = last_seq {
+                // The published watermark must cover exactly the LSNs
+                // this batch wrote — nothing skipped, nothing extra.
+                debug_assert_eq!(watermark, last + 1, "watermark out of step with batch");
+            }
+        }
         let published = {
             let mut st = shared.state.lock().expect("group commit state poisoned");
             match &outcome {

@@ -13,6 +13,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test -q"
 cargo test -q --workspace
 
+# No internal caller may use a deprecated API (e.g. the PR 8-deprecated
+# oracle_greedy* free-function wrappers): the re-exports themselves are
+# #[allow(deprecated)] at the definition site, so this only bites uses.
+echo "==> cargo check with -D deprecated"
+RUSTFLAGS="${RUSTFLAGS:-} -D deprecated" cargo check -q --workspace --all-targets
+
 echo "==> cargo build --examples"
 cargo build -q --examples
 
@@ -65,6 +71,20 @@ cargo test -q --test shard_parity oracle
 # run, counters equal to the capacity mirror.
 echo "==> churned lifecycle kill matrix"
 cargo test -q --test shard_parity churned_kill_matrix_recovers_byte_identically
+
+# Pipelined-engine byte parity: the RoundPipeline at depth 1/2/4/8 must
+# land on the identical StateDigest (capacities, accounting, policy RNG)
+# as the sequential loop for every policy x oracle x churn, across shard
+# counts, through group commit, through the kill matrix, and through a
+# depth-4 server crash with >= 2 rounds in flight.
+echo "==> pipelined-vs-sequential parity + in-flight crash matrix"
+cargo test -q --test pipeline_parity
+
+# Smoke the pipelined-engine bench (~1s): exercises the sim + serve
+# depth cells and the single-core warning path. The committed
+# BENCH_pipeline.json comes from a full-budget run, not this smoke.
+echo "==> pipeline_throughput smoke (FASEA_BENCH_MS=25)"
+FASEA_BENCH_MS=25 cargo bench -q -p fasea-bench --bench pipeline_throughput
 
 # Smoke the greedy-vs-tabu oracle bench (~1s). The committed
 # BENCH_oracle.json comes from a full-budget run, not this smoke.

@@ -51,11 +51,16 @@ fn open_service(dir: &std::path::Path) -> DurableArrangementService {
 }
 
 fn start_server(dir: &std::path::Path) -> ServerHandle {
+    start_server_depth(dir, 1)
+}
+
+fn start_server_depth(dir: &std::path::Path, pipeline_depth: usize) -> ServerHandle {
     Server::spawn(
         open_service(dir),
         "127.0.0.1:0",
         ServerConfig {
             stats_interval: None,
+            pipeline_depth,
             ..ServerConfig::default()
         },
     )
@@ -172,6 +177,69 @@ fn concurrent_clients_match_in_process_run() {
     assert!(report.close.error.is_none());
     assert_eq!(report.close.rounds_completed, ROUNDS);
     assert!(report.close.snapshot.is_some(), "drain must snapshot");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Optimistic concurrent admission (`pipeline_depth > 1`): concurrent
+/// clients hold several consecutive rounds at once, yet the accounting
+/// still equals the strictly sequential in-process run, and the STATS
+/// response carries the pipeline observability fields the loadgen
+/// prints (`prefetch_hit`, `prefetch_recompute`, `conflict_replays`,
+/// and the `pipeline_depth` histogram).
+#[test]
+fn pipelined_admission_matches_sequential_and_reports_stats() {
+    let dir = temp_dir("pipelined");
+    let handle = start_server_depth(&dir, 4);
+    let addr = handle.local_addr().to_string();
+    let fed = AtomicU64::new(0);
+
+    std::thread::scope(|s| {
+        for _ in 0..CLIENTS {
+            s.spawn(|| drive(&addr, ROUNDS, &fed));
+        }
+    });
+    assert_eq!(fed.load(Ordering::Relaxed), ROUNDS, "every round fed once");
+    assert_eq!(
+        server_triple(&addr),
+        reference(ROUNDS),
+        "depth-4 admission must equal the sequential run"
+    );
+
+    let mut client = ServeClient::connect(addr.clone(), ClientConfig::default()).unwrap();
+    let stats = client.stats().unwrap();
+    for name in ["prefetch_hit", "prefetch_recompute", "conflict_replays"] {
+        assert!(
+            stats.counter(name).is_some(),
+            "STATS must export the {name} counter"
+        );
+    }
+    let depth_hist = stats
+        .histograms
+        .iter()
+        .find(|h| h.name == "pipeline_depth")
+        .expect("STATS must export the pipeline_depth histogram");
+    assert!(depth_hist.count > 0, "every grant records its depth");
+    assert!(
+        depth_hist.max_us > 1,
+        "concurrent clients must actually overlap rounds (observed depth > 1)"
+    );
+    let text = stats.render();
+    for needle in [
+        "prefetch_hit=",
+        "prefetch_recompute=",
+        "conflict_replays=",
+        "hist pipeline_depth",
+    ] {
+        assert!(
+            text.contains(needle),
+            "loadgen STATS output missing {needle}"
+        );
+    }
+
+    handle.initiate_shutdown();
+    let report = handle.join();
+    assert!(report.close.error.is_none());
+    assert_eq!(report.close.rounds_completed, ROUNDS);
     let _ = std::fs::remove_dir_all(&dir);
 }
 
