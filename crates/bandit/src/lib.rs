@@ -74,8 +74,6 @@ pub use estimator::RidgeEstimator;
 pub use exploit::Exploit;
 pub use opt::Opt;
 pub use oracle::{oracle_exhaustive, positive_score_sum, subset_top_k};
-#[allow(deprecated)]
-pub use oracle::{oracle_greedy, oracle_greedy_dist_into, oracle_greedy_into};
 pub use oracle_api::{
     GreedyOracle, Oracle, OracleKind, OracleOptions, OracleWorkspace, TabuFitness, TabuOracle,
 };
@@ -86,4 +84,4 @@ pub use snapshot::{restore_estimator, save_estimator, SnapshotError, MAGIC as SN
 pub use static_score::StaticScorePolicy;
 pub use ts::ThompsonSampling;
 pub use ucb::LinUcb;
-pub use workspace::{Arranger, PrefetchStats, ScoreWorkspace};
+pub use workspace::{Arranger, ModelTierStats, PrefetchStats, ScoreWorkspace};

@@ -21,26 +21,13 @@ use fasea_core::{Arrangement, ConflictGraph, EventId};
 /// checks, matching the paper's `|V|(log|V| + c_u)` analysis.
 ///
 /// See [`crate::GreedyOracle`] for an example through the trait (the
-/// paper's Example 3).
+/// paper's Example 3). This allocating form is crate-internal; the
+/// public entry point is the [`crate::Oracle`] trait.
 ///
 /// # Panics
 /// Panics if `scores.len()`, the conflict graph and `remaining` disagree
 /// on `|V|`.
-#[deprecated(
-    note = "use GreedyOracle through the Oracle trait (fasea_bandit::{GreedyOracle, Oracle})"
-)]
-pub fn oracle_greedy(
-    scores: &[f64],
-    conflicts: &ConflictGraph,
-    remaining: &[u32],
-    user_capacity: u32,
-) -> Arrangement {
-    greedy(scores, conflicts, remaining, user_capacity)
-}
-
-/// Allocating Oracle-Greedy — the crate-internal form behind the
-/// deprecated [`oracle_greedy`] wrapper and [`crate::GreedyOracle`];
-/// identical semantics.
+#[cfg(test)]
 pub(crate) fn greedy(
     scores: &[f64],
     conflicts: &ConflictGraph,
@@ -62,45 +49,19 @@ pub(crate) fn greedy(
     arrangement
 }
 
-/// Algorithm 2 into caller-owned buffers — the allocation-free form of
-/// [`oracle_greedy`] the batched selection path uses.
+/// The allocation-free Oracle-Greedy core — Algorithm 2 into
+/// caller-owned buffers; what the batched selection path uses through
+/// [`crate::GreedyOracle::arrange_into`].
 ///
 /// `order` and `mask` are scratch (their contents on entry are ignored;
 /// [`crate::ScoreWorkspace`] owns them on the policy path) and `out` is
 /// cleared then filled with the arrangement. Once the three buffers have
 /// reached the instance size, repeat calls allocate nothing. The
-/// arrangement produced is identical to [`oracle_greedy`]'s.
+/// arrangement produced is identical to [`greedy`]'s.
 ///
 /// # Panics
 /// Panics if `scores.len()`, the conflict graph and `remaining` disagree
 /// on `|V|`.
-#[deprecated(
-    note = "use GreedyOracle::arrange_into with an OracleWorkspace (fasea_bandit::{GreedyOracle, Oracle, OracleWorkspace})"
-)]
-#[allow(clippy::too_many_arguments)]
-pub fn oracle_greedy_into(
-    scores: &[f64],
-    conflicts: &ConflictGraph,
-    remaining: &[u32],
-    user_capacity: u32,
-    order: &mut Vec<u32>,
-    mask: &mut Vec<u64>,
-    out: &mut Arrangement,
-) {
-    greedy_into(
-        scores,
-        conflicts,
-        remaining,
-        user_capacity,
-        order,
-        mask,
-        out,
-    );
-}
-
-/// The allocation-free Oracle-Greedy core — crate-internal twin of the
-/// deprecated [`oracle_greedy_into`] wrapper; identical semantics and
-/// buffers.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn greedy_into(
     scores: &[f64],
@@ -177,7 +138,7 @@ const FULL_SORT_CUTOFF: usize = 2048;
 
 /// The oracle's total visiting order: score descending, index ascending
 /// on ties (or on NaN-incomparable pairs — see the comment in
-/// [`oracle_greedy_into`]).
+/// [`greedy_into`]).
 #[inline]
 fn ranks_before(scores: &[f64], a: u32, b: u32) -> bool {
     match scores[a as usize].partial_cmp(&scores[b as usize]) {
@@ -344,16 +305,17 @@ pub(crate) fn greedy_pooled_into(
 /// Bounded-insertion top-`k` over an arbitrary *subset* of events: the
 /// at most `min(k, members.len())` best-ranked members under the
 /// oracle's total order (score descending, index ascending on ties),
-/// appended to `out` best-first. This is the per-shard half of
-/// [`oracle_greedy_dist_into`]: a shard actor runs it over the event
-/// ids it owns and ships the result to the coordinator.
+/// appended to `out` best-first. This is the per-shard half of the
+/// gathered ranking ([`crate::GreedyOracle`]'s `arrange_gathered`): a
+/// shard actor runs it over the event ids it owns and ships the result
+/// to the coordinator.
 ///
 /// The same bounded-insertion scan as the serial and pooled oracles —
 /// one comparison per member, an O(k) shift only when a member beats
 /// the current k-th best — so a shard's pass is O(|members|) for the
-/// k values the oracle asks for. (This per-shard primitive is **not**
-/// deprecated: it is the half of the gathered ranking that runs *on*
-/// the shard actors, below the [`crate::Oracle`] seam.)
+/// k values the oracle asks for. (This per-shard primitive is a public
+/// free function by design: it is the half of the gathered ranking that
+/// runs *on* the shard actors, below the [`crate::Oracle`] seam.)
 ///
 /// # Panics
 /// Debug-panics if a member id is out of range for `scores`.
@@ -398,35 +360,6 @@ pub fn subset_top_k(scores: &[f64], members: &[u32], k: usize, out: &mut Vec<u32
 /// # Panics
 /// Panics if `scores.len()`, the conflict graph and `remaining`
 /// disagree on `|V|`, or if `gather` appends an out-of-range id.
-#[deprecated(
-    note = "use GreedyOracle::arrange_gathered (fasea_bandit::{GreedyOracle, Oracle, OracleWorkspace})"
-)]
-#[allow(clippy::too_many_arguments)]
-pub fn oracle_greedy_dist_into(
-    scores: &[f64],
-    conflicts: &ConflictGraph,
-    remaining: &[u32],
-    user_capacity: u32,
-    order: &mut Vec<u32>,
-    mask: &mut Vec<u64>,
-    out: &mut Arrangement,
-    gather: &mut dyn FnMut(usize, &mut Vec<u32>),
-) {
-    greedy_dist_into(
-        scores,
-        conflicts,
-        remaining,
-        user_capacity,
-        order,
-        mask,
-        out,
-        gather,
-    );
-}
-
-/// The gathered-ranking core behind the deprecated
-/// [`oracle_greedy_dist_into`] wrapper and
-/// [`crate::GreedyOracle`]'s `arrange_gathered`; identical semantics.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn greedy_dist_into(
     scores: &[f64],

@@ -12,8 +12,8 @@
 //! arrangement step into a seam: policies score, the installed oracle
 //! arranges, and every layer (serial, pooled, sharded, durable replay)
 //! dispatches through the same object-safe interface. The free
-//! functions remain as `#[deprecated]` thin wrappers over
-//! [`GreedyOracle`].
+//! functions lived on for one release as `#[deprecated]` thin wrappers
+//! and have since been removed; the trait is the only entry point.
 //!
 //! ## Determinism contract
 //!
@@ -22,8 +22,8 @@
 //! ambient state — because the WAL `Propose` records are verified on
 //! recovery by re-running the policy *and* the installed oracle and
 //! cross-checking the arrangement. [`GreedyOracle`] additionally
-//! guarantees bit-equality with [`crate::oracle_greedy`] on every path
-//! (serial, pooled, gathered); [`TabuOracle`] guarantees feasibility
+//! guarantees that the serial, pooled and gathered paths are bit-equal
+//! to each other; [`TabuOracle`] guarantees feasibility
 //! (conflict-free, capacity-respecting, `≤ c_u` events) and determinism
 //! but deliberately trades the greedy visiting order for local-search
 //! quality.
@@ -174,15 +174,14 @@ pub trait Oracle: Send + Sync + std::fmt::Debug {
     }
 }
 
-/// Algorithm 2 (Oracle-Greedy) behind the [`Oracle`] trait —
-/// **bit-equal** to the historical free functions on every path:
+/// Algorithm 2 (Oracle-Greedy) behind the [`Oracle`] trait — every
+/// path produces **bit-equal** arrangements:
 ///
-/// * serial: the bounded-insertion top-k prefix ranking of
-///   [`crate::oracle_greedy_into`];
+/// * serial: the bounded-insertion top-k prefix ranking;
 /// * pooled (a [`ScorePool`] with `threads() > 1` installed in the
 ///   workspace): the per-chunk top-k + same-comparator serial merge;
 /// * gathered ([`Oracle::arrange_gathered`]): the external-shard
-///   sort-merge-truncate of [`crate::oracle_greedy_dist_into`].
+///   sort-merge-truncate over per-shard [`crate::subset_top_k`] passes.
 ///
 /// The equality is asserted by the `oracle_equivalence` property tests
 /// and the `shard_parity` golden gate.

@@ -121,6 +121,7 @@ pub struct ScoreWorkspace {
     model_epoch: u64,
     prefetch: PrefetchSlot,
     prefetch_stats: PrefetchStats,
+    tier_stats: ModelTierStats,
 }
 
 /// Stashed early-computed scores for one future round, tagged with the
@@ -145,6 +146,22 @@ pub struct PrefetchStats {
     /// Rounds that found a stale stash (round or epoch mismatch) and
     /// recomputed their scores from scratch.
     pub recomputes: u64,
+}
+
+/// Cumulative model-tier counters mirrored from a backing per-user
+/// estimator store by policies that own one (the personalized policy
+/// shells in `fasea-models`). Living on the workspace lets the serving
+/// layers export them through the ordinary `Policy::workspace()` seam
+/// without a dependency on the store type. Stays all-zero for global
+/// (non-personalized) policies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ModelTierStats {
+    /// Cold-user selections served through a materialized cohort prior
+    /// instead of the global prior.
+    pub cohort_hits: u64,
+    /// Promotions that reconstructed a user's exact model from its
+    /// rank-r sketch record (sketched state mode only).
+    pub sketch_promotions: u64,
 }
 
 impl ScoreWorkspace {
@@ -328,6 +345,20 @@ impl ScoreWorkspace {
     /// Cumulative prefetch hit/recompute counters since construction.
     pub fn prefetch_stats(&self) -> PrefetchStats {
         self.prefetch_stats
+    }
+
+    /// Cumulative model-tier counters mirrored from a backing estimator
+    /// store — all-zero unless the owning policy publishes them via
+    /// [`ScoreWorkspace::set_model_tier_stats`].
+    pub fn model_tier_stats(&self) -> ModelTierStats {
+        self.tier_stats
+    }
+
+    /// Publishes the owning policy's current model-tier counters.
+    /// Counters are cumulative; policies overwrite (not add) on every
+    /// observe so the workspace always reflects the store's totals.
+    pub fn set_model_tier_stats(&mut self, stats: ModelTierStats) {
+        self.tier_stats = stats;
     }
 
     /// Runs the installed arrangement engine over the workspace's

@@ -4,23 +4,24 @@
 //!
 //! Two phases per cell:
 //!
-//! * **seed** — every user in the population observes one reward, so
-//!   the store materializes `U` distinct private models (and, under a
-//!   budget, demotes/spills the overflow as it goes). The rate is the
-//!   store's worst case: every round is a COW clone plus, beyond the
-//!   budget, a spill append.
+//! * **seed** — every user in the population observes one reward
+//!   through [`EstimatorStore::observe`]. In flat mode the store
+//!   materializes `U` distinct private models (and, under a budget,
+//!   demotes/spills the overflow as it goes) — the store's worst case.
+//!   In cohort mode the same observation *folds* into the user's
+//!   cohort prior instead, so the seed phase prices the fold path at
+//!   zero private bytes per user.
 //! * **steady** — the hash schedule of the multi-user workload replays
 //!   a select + observe round mix for a fixed time budget. Warm/spilled
-//!   users fault exact bits back in, so this prices the fault path at
+//!   users fault exact bits (or, in sketched mode, reconstruct from
+//!   rank-r sketch records) back in, so this prices the fault path at
 //!   the cell's residency ratio.
 //!
-//! The headline claim the committed `BENCH_models.json` documents: one
-//! million distinct per-user ridge models (d = 8) fit in ~1.5 GB
-//! unbounded, and under a 64 MiB hot / 16 MiB warm budget the resident
-//! set stays bounded while the full million keep their exact state
-//! reachable through the spill log — bit-equal to the unbounded run
-//! (that part is asserted by the spill-determinism golden test, not
-//! here).
+//! Four cells per population: unbounded-exact-flat (the memory
+//! ceiling), bounded-exact-flat (the PR-9 baseline), bounded-exact
+//! with a cohort prior chain, and bounded-sketched with cohorts — the
+//! last two document what the three-level chain and the sublinear
+//! warm tier buy at the same budget.
 //!
 //! ```text
 //! FASEA_BENCH_JSON=BENCH_models.json cargo bench --bench models_residency
@@ -29,7 +30,8 @@
 //! `FASEA_BENCH_USERS` scales the full population (default 1 000 000);
 //! `FASEA_BENCH_MS` bounds the steady-phase budget per cell (default
 //! 300 ms) so CI can smoke-run the file without touching committed
-//! numbers.
+//! numbers; `FASEA_BENCH_COHORTS` overrides the cohort count of the
+//! cohort cells (default 256).
 
 use fasea_models::{EstimatorStore, StoreConfig, UserId, UserSchedule};
 use fasea_stats::crn::mix64;
@@ -40,6 +42,10 @@ const DIM: usize = 8;
 const LAMBDA: f64 = 1.0;
 const HOT_BUDGET: usize = 64 << 20;
 const WARM_BUDGET: usize = 16 << 20;
+/// Observations a cold user folds into its cohort prior before
+/// materializing — matches the `fasea-exp multi-user` default.
+const COHORT_FOLDS: u64 = 8;
+const SKETCH_RANK: usize = 4;
 
 fn budget() -> Duration {
     let ms = std::env::var("FASEA_BENCH_MS")
@@ -55,6 +61,14 @@ fn full_population() -> usize {
         .and_then(|v| v.parse::<usize>().ok())
         .unwrap_or(1_000_000)
         .max(100)
+}
+
+fn cohort_count() -> usize {
+    std::env::var("FASEA_BENCH_COHORTS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(256)
+        .max(1)
 }
 
 fn bench_dir(tag: &str) -> std::path::PathBuf {
@@ -73,9 +87,40 @@ fn context(t: u64, x: &mut [f64]) {
     }
 }
 
+/// One bench configuration: tier budget × prior chain × state
+/// representation.
+#[derive(Clone, Copy)]
+struct Mode {
+    bounded: bool,
+    cohorts: usize,
+    sketched: bool,
+}
+
+impl Mode {
+    fn state(&self) -> &'static str {
+        if self.sketched {
+            "sketched"
+        } else {
+            "exact"
+        }
+    }
+
+    fn tag(&self) -> String {
+        format!(
+            "{}-{}-c{}",
+            if self.bounded { "bounded" } else { "unbounded" },
+            self.state(),
+            self.cohorts
+        )
+    }
+}
+
 struct CellResult {
     population: usize,
     bounded: bool,
+    cohorts: usize,
+    state: &'static str,
+    sketch_rank: usize,
     seed_users_per_sec: f64,
     steady_rounds_per_sec: f64,
     steady_rounds: u64,
@@ -84,32 +129,37 @@ struct CellResult {
     hot: usize,
     warm: usize,
     spilled: usize,
+    cold: usize,
     faults: u64,
     demotions: u64,
     evictions: u64,
+    cohort_hits: u64,
 }
 
-fn run_cell(population: usize, bounded: bool, steady_budget: Duration) -> CellResult {
-    let dir = bench_dir(&format!(
-        "{population}-{}",
-        if bounded { "bounded" } else { "unbounded" }
-    ));
-    let config = if bounded {
+fn run_cell(population: usize, mode: Mode, steady_budget: Duration) -> CellResult {
+    let dir = bench_dir(&format!("{population}-{}", mode.tag()));
+    let mut config = if mode.bounded {
         StoreConfig::bounded(DIM, LAMBDA, HOT_BUDGET, WARM_BUDGET, &dir)
     } else {
         StoreConfig::unbounded(DIM, LAMBDA)
     };
+    if mode.cohorts > 0 {
+        config = config.with_cohorts(mode.cohorts, mix64(0xC040_0947), COHORT_FOLDS);
+    }
+    if mode.sketched {
+        config = config.with_sketched(SKETCH_RANK);
+    }
     let mut store = EstimatorStore::new(config).expect("open store");
     let mut x = vec![0.0f64; DIM];
 
-    // Seed: one COW materialization per user, budget enforced as the
+    // Seed: one observation per user — a COW materialization in flat
+    // mode, a cohort fold in cohort mode. Budget enforced as the
     // runner does after every observe.
     let seed_start = Instant::now();
     for u in 0..population as u64 {
         context(u, &mut x);
         let h = store.resolve(UserId(u));
-        let est = store.estimator_for_observe(h, u).expect("observe access");
-        est.observe(&x, (u % 2) as f64).expect("rank-1 update");
+        store.observe(h, &x, (u % 2) as f64, u).expect("observe");
         store.enforce_budget(u).expect("budget enforcement");
     }
     let seed_secs = seed_start.elapsed().as_secs_f64().max(1e-9);
@@ -127,8 +177,7 @@ fn run_cell(population: usize, bounded: bool, steady_budget: Duration) -> CellRe
             let h = store.resolve(user);
             let est = store.estimator_for_select(h, t).expect("select access");
             black_box(est.point_estimate(&x));
-            let est = store.estimator_for_observe(h, t).expect("observe access");
-            est.observe(&x, (t % 2) as f64).expect("rank-1 update");
+            store.observe(h, &x, (t % 2) as f64, t).expect("observe");
             store.enforce_budget(t).expect("budget enforcement");
             t += 1;
             steady_rounds += 1;
@@ -137,9 +186,20 @@ fn run_cell(population: usize, bounded: bool, steady_budget: Duration) -> CellRe
     let steady_secs = steady_start.elapsed().as_secs_f64().max(1e-9);
 
     let stats = store.stats();
-    assert_eq!(stats.users, population, "every user must be materialized");
-    assert_eq!(stats.cold, 0, "seed phase leaves no cold users");
-    if bounded {
+    assert_eq!(stats.users, population, "every user must be interned");
+    if mode.cohorts == 0 {
+        // Flat chain: the seed phase COW-materializes everybody.
+        assert_eq!(stats.cold, 0, "seed phase leaves no cold users");
+    } else {
+        // Cohort chain: one seed observation < COHORT_FOLDS, so users
+        // stay cold until the steady mix pushes them past the
+        // threshold — the fold and hit counters must show the cohort
+        // tier actually carried traffic.
+        assert!(stats.cohorts_materialized > 0, "no cohort materialized");
+        assert!(stats.cohort_folds > 0, "no observations folded");
+        assert!(stats.cohort_hits > 0, "no selects served by a cohort");
+    }
+    if mode.bounded {
         assert!(
             stats.hot_bytes <= HOT_BUDGET && stats.warm_bytes <= WARM_BUDGET,
             "tier accounting over budget: hot {}B/{}B warm {}B/{}B",
@@ -149,9 +209,19 @@ fn run_cell(population: usize, bounded: bool, steady_budget: Duration) -> CellRe
             WARM_BUDGET
         );
     }
+    if mode.sketched && stats.faults > 0 {
+        assert!(
+            stats.sketch_promotions > 0,
+            "sketched cell faulted {} times without a sketch promotion",
+            stats.faults
+        );
+    }
     let result = CellResult {
         population,
-        bounded,
+        bounded: mode.bounded,
+        cohorts: mode.cohorts,
+        state: mode.state(),
+        sketch_rank: if mode.sketched { SKETCH_RANK } else { 0 },
         seed_users_per_sec: population as f64 / seed_secs,
         steady_rounds_per_sec: steady_rounds as f64 / steady_secs,
         steady_rounds,
@@ -160,9 +230,11 @@ fn run_cell(population: usize, bounded: bool, steady_budget: Duration) -> CellRe
         hot: stats.hot,
         warm: stats.warm,
         spilled: stats.spilled,
+        cold: stats.cold,
         faults: stats.faults,
         demotions: stats.demotions,
         evictions: stats.evictions,
+        cohort_hits: stats.cohort_hits,
     };
     drop(store);
     let _ = std::fs::remove_dir_all(&dir);
@@ -172,28 +244,57 @@ fn run_cell(population: usize, bounded: bool, steady_budget: Duration) -> CellRe
 fn main() {
     let steady_budget = budget();
     let full = full_population();
+    let cohorts = cohort_count();
     let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
 
+    let modes = [
+        Mode {
+            bounded: false,
+            cohorts: 0,
+            sketched: false,
+        },
+        Mode {
+            bounded: true,
+            cohorts: 0,
+            sketched: false,
+        },
+        Mode {
+            bounded: true,
+            cohorts,
+            sketched: false,
+        },
+        Mode {
+            bounded: true,
+            cohorts,
+            sketched: true,
+        },
+    ];
     let mut cells = Vec::new();
     for population in [(full / 10).max(100), full] {
-        for bounded in [false, true] {
-            cells.push(run_cell(population, bounded, steady_budget));
+        for mode in modes {
+            cells.push(run_cell(population, mode, steady_budget));
         }
     }
 
     for c in &cells {
         println!(
-            "models_residency/u{}/{:<9} seed: {:>10.0} users/s   steady: {:>9.0} rounds/s   \
-             resident: {:>8.1} MiB   hot/warm/spilled: {}/{}/{}   spill file: {:.1} MiB",
+            "models_residency/u{}/{:<9}/{:<8}/c{:<4} seed: {:>10.0} users/s   \
+             steady: {:>9.0} rounds/s   resident: {:>8.1} MiB   \
+             cold/hot/warm/spilled: {}/{}/{}/{}   spill file: {:.1} MiB   \
+             cohort hits: {}",
             c.population,
             if c.bounded { "bounded" } else { "unbounded" },
+            c.state,
+            c.cohorts,
             c.seed_users_per_sec,
             c.steady_rounds_per_sec,
             c.resident_mb,
+            c.cold,
             c.hot,
             c.warm,
             c.spilled,
             c.spill_file_mb,
+            c.cohort_hits,
         );
     }
 
@@ -208,23 +309,30 @@ fn main() {
         for (i, c) in cells.iter().enumerate() {
             json.push_str(&format!(
                 "    {{\"population\": {}, \"bounded\": {}, \
+                 \"cohorts\": {}, \"state\": \"{}\", \"sketch_rank\": {}, \
                  \"seed_users_per_sec\": {:.0}, \"steady_rounds_per_sec\": {:.0}, \
                  \"steady_rounds\": {}, \"resident_mb\": {:.1}, \"spill_file_mb\": {:.1}, \
-                 \"hot\": {}, \"warm\": {}, \"spilled\": {}, \
-                 \"faults\": {}, \"demotions\": {}, \"evictions\": {}}}{}\n",
+                 \"cold\": {}, \"hot\": {}, \"warm\": {}, \"spilled\": {}, \
+                 \"faults\": {}, \"demotions\": {}, \"evictions\": {}, \
+                 \"cohort_hits\": {}}}{}\n",
                 c.population,
                 c.bounded,
+                c.cohorts,
+                c.state,
+                c.sketch_rank,
                 c.seed_users_per_sec,
                 c.steady_rounds_per_sec,
                 c.steady_rounds,
                 c.resident_mb,
                 c.spill_file_mb,
+                c.cold,
                 c.hot,
                 c.warm,
                 c.spilled,
                 c.faults,
                 c.demotions,
                 c.evictions,
+                c.cohort_hits,
                 if i + 1 == cells.len() { "" } else { "," },
             ));
         }

@@ -350,6 +350,9 @@ pub fn check_bench_doc(doc: &Json) -> Result<(), String> {
     if matches!(top.get("bench"), Some(Json::String(name)) if name == "oracle_compare") {
         check_oracle_compare_doc(top, cells)?;
     }
+    if matches!(top.get("bench"), Some(Json::String(name)) if name == "models_residency") {
+        check_models_residency_doc(top, cells)?;
+    }
     Ok(())
 }
 
@@ -422,6 +425,49 @@ fn check_oracle_compare_doc(top: &BTreeMap<String, Json>, cells: &[Json]) -> Res
                     ))
                 }
                 None => return Err(format!("oracle_compare: cells[{i}] is missing \"{key}\"")),
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The bench-specific schema for `BENCH_models.json` (the
+/// `models_residency` bench): residency numbers are only interpretable
+/// when each cell says which tiering mode produced them — the cohort
+/// count (`0` = flat), the per-user state representation, the sketch
+/// rank, and how many selections the cohort tier actually served — and
+/// the file records the host's parallelism.
+fn check_models_residency_doc(top: &BTreeMap<String, Json>, cells: &[Json]) -> Result<(), String> {
+    if top.get("host_cores").is_none() {
+        return Err("models_residency: missing required key \"host_cores\"".into());
+    }
+    for (i, cell) in cells.iter().enumerate() {
+        let Json::Object(fields) = cell else {
+            unreachable!("cell shape checked by the shared schema");
+        };
+        match fields.get("state") {
+            Some(Json::String(s)) if !s.is_empty() => {}
+            Some(other) => {
+                return Err(format!(
+                    "models_residency: cells[{i}].state must be a non-empty string, got {}",
+                    other.type_name()
+                ))
+            }
+            None => return Err(format!("models_residency: cells[{i}] is missing \"state\"")),
+        }
+        for key in ["cohorts", "sketch_rank", "cohort_hits"] {
+            match fields.get(key) {
+                Some(Json::Number(n)) if *n >= 0.0 => {}
+                Some(other) => {
+                    return Err(format!(
+                        "models_residency: cells[{i}].{key} must be a non-negative number, got {}",
+                        match other {
+                            Json::Number(n) => format!("{n}"),
+                            other => other.type_name().to_string(),
+                        }
+                    ))
+                }
+                None => return Err(format!("models_residency: cells[{i}] is missing \"{key}\"")),
             }
         }
     }
@@ -574,6 +620,82 @@ mod tests {
         for (text, needle) in cases {
             let err = check_bench_doc(&obj(text)).unwrap_err();
             assert!(err.contains(needle), "{err} should mention {needle}");
+        }
+    }
+
+    #[test]
+    fn models_residency_schema_is_enforced() {
+        let good = obj(r#"{
+              "bench": "models_residency", "units": "rounds_per_sec", "host_cores": 4,
+              "cells": [
+                {"users": 100000, "budget_mb": 0, "cohorts": 0, "state": "exact",
+                 "sketch_rank": 0, "cohort_hits": 0, "rounds_per_sec": 50000.0},
+                {"users": 100000, "budget_mb": 64, "cohorts": 256, "state": "sketched",
+                 "sketch_rank": 4, "cohort_hits": 81234, "rounds_per_sec": 61000.0}
+              ]
+            }"#);
+        check_bench_doc(&good).unwrap();
+
+        let cases = [
+            // host_cores is required for this bench, not just optional.
+            (
+                r#"{"bench": "models_residency", "units": "rounds_per_sec",
+                    "cells": [{"cohorts": 0, "state": "exact", "sketch_rank": 0,
+                               "cohort_hits": 0}]}"#,
+                "host_cores",
+            ),
+            // Every cell must say which state representation produced it.
+            (
+                r#"{"bench": "models_residency", "units": "rounds_per_sec", "host_cores": 1,
+                    "cells": [{"cohorts": 0, "sketch_rank": 0, "cohort_hits": 0}]}"#,
+                "state",
+            ),
+            // state must be a non-empty string.
+            (
+                r#"{"bench": "models_residency", "units": "rounds_per_sec", "host_cores": 1,
+                    "cells": [{"cohorts": 0, "state": "", "sketch_rank": 0,
+                               "cohort_hits": 0}]}"#,
+                "state",
+            ),
+            // The cohort count must be present (0 is the flat chain).
+            (
+                r#"{"bench": "models_residency", "units": "rounds_per_sec", "host_cores": 1,
+                    "cells": [{"state": "exact", "sketch_rank": 0, "cohort_hits": 0}]}"#,
+                "cohorts",
+            ),
+            // Numbers must be non-negative.
+            (
+                r#"{"bench": "models_residency", "units": "rounds_per_sec", "host_cores": 1,
+                    "cells": [{"cohorts": -1, "state": "exact", "sketch_rank": 0,
+                               "cohort_hits": 0}]}"#,
+                "cohorts",
+            ),
+            (
+                r#"{"bench": "models_residency", "units": "rounds_per_sec", "host_cores": 1,
+                    "cells": [{"cohorts": 0, "state": "exact", "cohort_hits": 0}]}"#,
+                "sketch_rank",
+            ),
+            (
+                r#"{"bench": "models_residency", "units": "rounds_per_sec", "host_cores": 1,
+                    "cells": [{"cohorts": 0, "state": "exact", "sketch_rank": 0}]}"#,
+                "cohort_hits",
+            ),
+        ];
+        for (text, needle) in cases {
+            let err = check_bench_doc(&obj(text)).unwrap_err();
+            assert!(err.contains(needle), "{err} should mention {needle}");
+        }
+    }
+
+    #[test]
+    fn the_committed_models_table_passes() {
+        // The repo commits BENCH_models.json at the workspace root; the
+        // gate must accept it (new tier fields included) when present.
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join("BENCH_models.json");
+        if path.exists() {
+            check_bench_file(&path).unwrap();
         }
     }
 

@@ -15,6 +15,8 @@
 //!                   [--dim D] [--workers N] [--score-threads N]
 //!                   [--policy ucb|ts|egreedy|multi-ucb|multi-ts]
 //!                   [--users N] [--model-budget-mb M]
+//!                   [--cohorts N] [--cohort-folds K]
+//!                   [--state exact|sketched] [--sketch-rank R]
 //!                   [--fsync always|everyn|never]
 //!                   [--group-commit 0|1] [--snapshot-every N]
 //!                   [--shards N] [--oracle greedy|tabu]
@@ -22,6 +24,8 @@
 //!                   [--pipeline-depth N]
 //! fasea-exp loadgen [--addr HOST:PORT] [--rounds N] [--clients N] [--seed S]
 //!                   [--events N] [--dim D] [--policy ...] [--users N]
+//!                   [--cohorts N] [--cohort-folds K]
+//!                   [--state exact|sketched] [--sketch-rank R]
 //!                   [--verify-local] [--shutdown]
 //!                   [--oracle greedy|tabu] [--churn N] [--churn-horizon H]
 //! ```
@@ -37,7 +41,14 @@
 //! `fasea-models` [`EstimatorStore`] keyed on a deterministic
 //! round → user schedule over `--users` recurring users;
 //! `--model-budget-mb` bounds the hot tier, spilling cold models to
-//! `DIR/model-spill` through the store's CRC-framed log.
+//! `DIR/model-spill` through the store's CRC-framed log. `--cohorts`
+//! turns on the store's three-level cohort prior chain and `--state
+//! sketched` demotes private state as rank-`--sketch-rank` sketches;
+//! both change decisions, so they perturb the wire fingerprint and
+//! must match between server and loadgen. `--verify-local` requires
+//! `--state exact`: sketched demotions trade bit-parity for regret
+//! parity, so the unbounded in-process replica cannot match a
+//! budgeted sketched server.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -76,6 +87,21 @@ pub struct WorkloadSpec {
     /// Hot-tier budget in MiB for the `multi-*` policies
     /// (0 = unbounded, no spill directory needed).
     pub model_budget_mb: u64,
+    /// Cohort count for the `multi-*` model store's prior chain
+    /// (0 = flat). Changes decisions, so it perturbs the fingerprint —
+    /// server and loadgen must agree.
+    pub cohorts: usize,
+    /// Cold observations folded into a cohort prior before a user
+    /// COW-materializes (with `cohorts > 0`).
+    pub cohort_folds: u64,
+    /// Per-user state mode for the `multi-*` store: `exact` or
+    /// `sketched`. Sketched demotion is lossy by design, so a bounded
+    /// sketched server will not replay bit-equal under
+    /// `--verify-local`; the flag still perturbs the fingerprint so
+    /// both sides must agree.
+    pub state: String,
+    /// Sketch rank `r` (with `--state sketched`).
+    pub sketch_rank: usize,
     /// Arrangement oracle (`--oracle greedy|tabu`). Non-greedy oracles
     /// perturb the service fingerprint, so both sides must agree.
     pub oracle: fasea_bandit::OracleOptions,
@@ -98,6 +124,10 @@ impl Default for WorkloadSpec {
             policy: "ucb".into(),
             users: 10_000,
             model_budget_mb: 0,
+            cohorts: 0,
+            cohort_folds: 8,
+            state: "exact".into(),
+            sketch_rank: 4,
             oracle: fasea_bandit::OracleOptions::greedy(),
             churn_period: 0,
             churn_horizon: 100_000,
@@ -144,7 +174,7 @@ impl WorkloadSpec {
                 mix64(self.seed ^ 0xE9_4EED),
             ))),
             "multi-ucb" | "multi-ts" => {
-                let config = if self.model_budget_mb == 0 {
+                let mut config = if self.model_budget_mb == 0 {
                     StoreConfig::unbounded(self.dim, 1.0)
                 } else {
                     let dir = spill_dir
@@ -154,6 +184,15 @@ impl WorkloadSpec {
                     let hot = (self.model_budget_mb as usize) << 20;
                     StoreConfig::bounded(self.dim, 1.0, hot, hot / 4, dir)
                 };
+                if self.cohorts > 0 {
+                    config =
+                        config.with_cohorts(self.cohorts, self.cohort_salt(), self.cohort_folds);
+                }
+                match self.state.as_str() {
+                    "exact" => {}
+                    "sketched" => config = config.with_sketched(self.sketch_rank),
+                    other => return Err(format!("unknown --state '{other}' (exact|sketched)")),
+                }
                 let store =
                     EstimatorStore::new(config).map_err(|e| format!("open model store: {e}"))?;
                 // The same schedule salt the multi-user workload
@@ -175,6 +214,30 @@ impl WorkloadSpec {
                 "unknown policy '{other}' (ucb|ts|egreedy|multi-ucb|multi-ts)"
             )),
         }
+    }
+
+    /// The deterministic cohort salt of this spec — the same
+    /// seed-derived constant `fasea-exp multi-user` uses, distinct
+    /// from the schedule salt so cohort assignment and round→user
+    /// mapping stay independent.
+    pub fn cohort_salt(&self) -> u64 {
+        mix64(self.seed ^ 0xC040_0947)
+    }
+
+    /// The extra service-fingerprint salt this spec's model store
+    /// configuration contributes: zero for the default flat/exact
+    /// store (existing logs stay valid), non-zero whenever cohorts or
+    /// sketched state would change decisions.
+    pub fn model_fingerprint_salt(&self) -> u64 {
+        let mut salt = 0u64;
+        if self.cohorts > 0 {
+            salt ^= mix64(0x00C0_0947 ^ self.cohorts as u64)
+                ^ mix64(self.cohort_salt() ^ self.cohort_folds);
+        }
+        if self.state == "sketched" {
+            salt ^= mix64(0x005C_E7C4 ^ self.sketch_rank as u64);
+        }
+        salt
     }
 
     /// The coin stream every load client (and the in-process reference)
@@ -207,10 +270,9 @@ impl WorkloadSpec {
     pub fn fingerprint(&self) -> Result<u64, String> {
         let workload = self.workload();
         let policy = self.policy()?;
-        Ok(service_fingerprint_with_oracle(
-            &workload.instance,
-            policy.name(),
-            &self.oracle,
+        Ok(fasea_sim::fold_fingerprint_salt(
+            service_fingerprint_with_oracle(&workload.instance, policy.name(), &self.oracle),
+            self.model_fingerprint_salt(),
         ))
     }
 }
@@ -261,6 +323,10 @@ pub fn serve_main(args: &[String]) -> Result<(), String> {
             "policy" => spec.policy = value,
             "users" => spec.users = parse_u64(&flag, &value)?.max(1) as usize,
             "model-budget-mb" => spec.model_budget_mb = parse_u64(&flag, &value)?,
+            "cohorts" => spec.cohorts = parse_u64(&flag, &value)? as usize,
+            "cohort-folds" => spec.cohort_folds = parse_u64(&flag, &value)?,
+            "state" => spec.state = value,
+            "sketch-rank" => spec.sketch_rank = parse_u64(&flag, &value)? as usize,
             "fsync" => {
                 fsync = match value.as_str() {
                     "always" => FsyncPolicy::Always,
@@ -300,15 +366,18 @@ pub fn serve_main(args: &[String]) -> Result<(), String> {
     }
     let workload = spec.workload();
     let policy = spec.policy_in(Some(&dir.join("model-spill")))?;
-    let fingerprint =
-        service_fingerprint_with_oracle(&workload.instance, policy.name(), &spec.oracle);
+    let fingerprint = fasea_sim::fold_fingerprint_salt(
+        service_fingerprint_with_oracle(&workload.instance, policy.name(), &spec.oracle),
+        spec.model_fingerprint_salt(),
+    );
     config.churn = spec.churn();
     std::fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
     let options = DurableOptions::new()
         .with_fsync(fsync)
         .with_score_threads(score_threads)
         .with_group_commit(group_commit)
-        .with_oracle(spec.oracle);
+        .with_oracle(spec.oracle)
+        .with_fingerprint_salt(spec.model_fingerprint_salt());
     let svc: BackendService = if shards >= 1 {
         ShardedArrangementService::open(&dir, workload.instance, policy, options, shards)
             .map_err(|e| format!("open sharded service in {}: {e}", dir.display()))?
@@ -384,6 +453,10 @@ pub fn loadgen_main(args: &[String]) -> Result<(), String> {
             "dim" => spec.dim = parse_u64(&flag, &value)? as usize,
             "policy" => spec.policy = value,
             "users" => spec.users = parse_u64(&flag, &value)?.max(1) as usize,
+            "cohorts" => spec.cohorts = parse_u64(&flag, &value)? as usize,
+            "cohort-folds" => spec.cohort_folds = parse_u64(&flag, &value)?,
+            "state" => spec.state = value,
+            "sketch-rank" => spec.sketch_rank = parse_u64(&flag, &value)? as usize,
             "verify-local" => verify_local = value == "true" || value == "1",
             "shutdown" => shutdown = value == "true" || value == "1",
             "oracle" => {
@@ -394,6 +467,14 @@ pub fn loadgen_main(args: &[String]) -> Result<(), String> {
             "churn-horizon" => spec.churn_horizon = parse_u64(&flag, &value)?,
             other => return Err(format!("unknown flag --{other} for loadgen")),
         }
+    }
+    if verify_local && spec.state == "sketched" {
+        return Err(
+            "--verify-local needs --state exact: sketched demotions are lossy by design \
+             (regret-parity gated, see `fasea-exp multi-user`), so a budgeted server can \
+             never be bit-equal to the unbounded in-process replica"
+                .to_string(),
+        );
     }
 
     let stats = LoadStats {
@@ -482,7 +563,7 @@ fn drive_client(
         if info.fingerprint != expected_fingerprint {
             return Err(format!(
                 "server fingerprint {:#018x} does not match workload {:#018x} — \
-                 differing --seed/--events/--dim/--policy/--oracle?",
+                 differing --seed/--events/--dim/--policy/--oracle/--cohorts/--state?",
                 info.fingerprint, expected_fingerprint
             ));
         }

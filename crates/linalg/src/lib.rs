@@ -28,6 +28,9 @@
 //!   and sampling support.
 //! * [`ShermanMorrisonInverse`] — incrementally maintained inverse of
 //!   `λI + Σ x xᵀ`.
+//! * [`FrequentDirections`] — rank-`r` streaming sketch of a Gram
+//!   update stream (`O(r·d)` state approximating `Σ x xᵀ`), for the
+//!   sublinear warm tier of the million-user estimator store.
 //!
 //! ## Example
 //!
@@ -53,12 +56,14 @@ mod cholesky;
 mod error;
 mod matrix;
 mod sherman_morrison;
+mod sketch;
 mod vector;
 
 pub use cholesky::Cholesky;
 pub use error::LinalgError;
 pub use matrix::{outer, Matrix, QF_LANES};
 pub use sherman_morrison::ShermanMorrisonInverse;
+pub use sketch::FrequentDirections;
 pub use vector::{dot_slices, Vector};
 
 /// Tolerance used by approximate comparisons in tests and validation

@@ -1,0 +1,443 @@
+//! Frequent-directions sketching of a Gram-matrix update stream.
+//!
+//! The million-user estimator store keeps per-user Gram state `Σ x xᵀ`
+//! that is `O(d²)` per user. Following the streaming matrix-sketching
+//! approach of Liberty's frequent directions (the compression applied
+//! to contextual linear bandits by Bento et al., see PAPERS.md), a
+//! rank-`r` sketch `B ∈ R^{2r×d}` maintains `BᵀB ≈ AᵀA` for the stream
+//! of context rows `A`, with the deterministic guarantee
+//! `0 ⪯ AᵀA − BᵀB ⪯ (‖A‖²_F / r) · I` — at `O(r·d)` bytes per user
+//! instead of `O(d²)`.
+//!
+//! The update is buffered: rows append into the `2r × d` buffer and,
+//! when it fills, a *shrink* step eigendecomposes the small `2r × 2r`
+//! Gram `B Bᵀ` (cyclic Jacobi — deterministic fixed sweep order, no
+//! randomness, no allocation after construction), subtracts the
+//! `(r+1)`-th eigenvalue from every retained direction and keeps the
+//! top `r` rows. All state is plain `f64` rows, so the sketch is
+//! trivially serialisable bit-for-bit.
+
+use crate::Matrix;
+
+/// Maximum Jacobi sweeps per shrink. The `2r × 2r` problems here are
+/// tiny (`r ≤ 32`) and converge in < 10 sweeps; the cap only bounds
+/// pathological inputs so a shrink can never loop forever.
+const MAX_JACOBI_SWEEPS: usize = 50;
+
+/// Off-diagonal Frobenius threshold at which the Jacobi iteration is
+/// declared converged, relative to the matrix trace.
+const JACOBI_REL_TOL: f64 = 1e-14;
+
+/// A rank-`r` frequent-directions sketch of a row stream.
+///
+/// After any number of [`FrequentDirections::update`] calls,
+/// [`FrequentDirections::add_gram_to`] accumulates `BᵀB` — a
+/// deterministic spectral under-approximation of the streamed
+/// `Σ x xᵀ`. While fewer than `2r` rows have ever been streamed the
+/// sketch is *exact* (no shrink has happened yet).
+#[derive(Debug, Clone)]
+pub struct FrequentDirections {
+    rank: usize,
+    dim: usize,
+    /// `2r × d` row-major buffer; rows `0..fill` are live.
+    rows: Vec<f64>,
+    fill: usize,
+    /// Scratch for the shrink step, allocated once:
+    /// `gram`/`vecs` are `2r × 2r`, `evals`/`order` are `2r`,
+    /// `new_rows` is `r × d`.
+    gram: Vec<f64>,
+    vecs: Vec<f64>,
+    evals: Vec<f64>,
+    order: Vec<usize>,
+    new_rows: Vec<f64>,
+}
+
+impl FrequentDirections {
+    /// Creates an empty sketch of `rank` directions over dimension
+    /// `dim`.
+    ///
+    /// # Panics
+    /// Panics if `rank == 0` or `dim == 0`.
+    pub fn new(rank: usize, dim: usize) -> Self {
+        assert!(rank > 0, "FrequentDirections: rank must be positive");
+        assert!(dim > 0, "FrequentDirections: dim must be positive");
+        let cap = 2 * rank;
+        FrequentDirections {
+            rank,
+            dim,
+            rows: vec![0.0; cap * dim],
+            fill: 0,
+            gram: vec![0.0; cap * cap],
+            vecs: vec![0.0; cap * cap],
+            evals: vec![0.0; cap],
+            order: vec![0; cap],
+            new_rows: vec![0.0; rank * dim],
+        }
+    }
+
+    /// Rebuilds a sketch from serialised live rows (row-major,
+    /// `fill × dim`). The result is bit-identical to the sketch that
+    /// was serialised: rows are stored verbatim and `fill` restored.
+    ///
+    /// # Panics
+    /// Panics if `fill > 2 * rank` or `rows.len() != fill * dim`.
+    pub fn from_rows(rank: usize, dim: usize, rows: &[f64]) -> Self {
+        let mut sk = FrequentDirections::new(rank, dim);
+        assert!(
+            rows.len().is_multiple_of(dim),
+            "FrequentDirections::from_rows: ragged row data"
+        );
+        let fill = rows.len() / dim;
+        assert!(
+            fill <= 2 * rank,
+            "FrequentDirections::from_rows: more rows than the buffer holds"
+        );
+        sk.rows[..rows.len()].copy_from_slice(rows);
+        sk.fill = fill;
+        sk
+    }
+
+    /// Sketch rank `r`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Row dimension `d`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of live rows (`≤ 2r`; `≤ r` right after a shrink).
+    pub fn fill(&self) -> usize {
+        self.fill
+    }
+
+    /// The live rows, row-major (`fill × d`). This is the sketch's
+    /// complete logical state — serialising these bytes and restoring
+    /// via [`FrequentDirections::from_rows`] is a bit-exact round trip.
+    pub fn live_rows(&self) -> &[f64] {
+        &self.rows[..self.fill * self.dim]
+    }
+
+    /// Streams one row into the sketch. Allocation-free: the append
+    /// writes into the preallocated buffer and a full buffer shrinks in
+    /// place using preallocated scratch.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != dim`.
+    pub fn update(&mut self, x: &[f64]) {
+        assert_eq!(x.len(), self.dim, "FrequentDirections: row dim mismatch");
+        let d = self.dim;
+        self.rows[self.fill * d..(self.fill + 1) * d].copy_from_slice(x);
+        self.fill += 1;
+        if self.fill == 2 * self.rank {
+            self.shrink();
+        }
+    }
+
+    /// Accumulates `BᵀB` into `y` (`y += BᵀB`), the sketch's
+    /// approximation of the streamed Gram update. Row outer products
+    /// are added in row order, so the result is a deterministic
+    /// function of the live rows.
+    ///
+    /// # Panics
+    /// Panics if `y` is not `d × d`.
+    pub fn add_gram_to(&self, y: &mut Matrix) {
+        assert!(
+            y.is_square() && y.rows() == self.dim,
+            "FrequentDirections: Gram target must be d × d"
+        );
+        let d = self.dim;
+        for row in self.rows[..self.fill * d].chunks_exact(d) {
+            for (i, &ri) in row.iter().enumerate() {
+                if ri == 0.0 {
+                    continue;
+                }
+                let out = y.row_mut(i);
+                for (o, &rj) in out.iter_mut().zip(row) {
+                    *o += ri * rj;
+                }
+            }
+        }
+    }
+
+    /// Heap bytes of the sketch state (rows + scratch) plus the inline
+    /// struct — the store's accounting unit for sketched hot slots.
+    pub fn state_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + 8 * (self.rows.len()
+                + self.gram.len()
+                + self.vecs.len()
+                + self.evals.len()
+                + self.new_rows.len())
+            + std::mem::size_of::<usize>() * self.order.len()
+    }
+
+    /// The frequent-directions shrink: eigendecompose `B Bᵀ`, subtract
+    /// the `(r+1)`-th eigenvalue, keep the top `r` re-scaled
+    /// directions.
+    fn shrink(&mut self) {
+        let n = self.fill;
+        let d = self.dim;
+        debug_assert_eq!(n, 2 * self.rank);
+        // gram = B Bᵀ (n × n symmetric PSD).
+        for i in 0..n {
+            let ri = &self.rows[i * d..(i + 1) * d];
+            for j in i..n {
+                let rj = &self.rows[j * d..(j + 1) * d];
+                let dot = crate::vector::dot_slices(ri, rj);
+                self.gram[i * n + j] = dot;
+                self.gram[j * n + i] = dot;
+            }
+        }
+        jacobi_eigh(&mut self.gram, &mut self.vecs, n);
+        // Sort eigenpairs descending; index tiebreak keeps the order a
+        // pure function of the values.
+        for (i, (o, e)) in self.order.iter_mut().zip(self.evals.iter_mut()).enumerate() {
+            *o = i;
+            *e = self.gram[i * n + i];
+        }
+        let evals = &self.evals;
+        self.order
+            .sort_unstable_by(|&a, &b| evals[b].total_cmp(&evals[a]).then(a.cmp(&b)));
+        let delta = self.evals[self.order[self.rank]].max(0.0);
+        // new_row_k = sqrt((λ_k − δ)/λ_k) · (u_kᵀ B): the k-th retained
+        // direction, re-scaled so the spectrum shifts down by δ.
+        self.new_rows.fill(0.0);
+        for k in 0..self.rank {
+            let src = self.order[k];
+            let lam = self.evals[src];
+            let shifted = (lam - delta).max(0.0);
+            if shifted <= 0.0 || lam <= 0.0 {
+                continue;
+            }
+            let scale = (shifted / lam).sqrt();
+            let out = &mut self.new_rows[k * d..(k + 1) * d];
+            for (i, row) in self.rows[..n * d].chunks_exact(d).enumerate() {
+                let w = scale * self.vecs[i * n + src];
+                if w == 0.0 {
+                    continue;
+                }
+                for (o, &v) in out.iter_mut().zip(row) {
+                    *o += w * v;
+                }
+            }
+        }
+        self.rows[..self.rank * d].copy_from_slice(&self.new_rows);
+        self.fill = self.rank;
+    }
+}
+
+/// In-place cyclic Jacobi eigendecomposition of the symmetric `n × n`
+/// row-major matrix `a`. On return `a`'s diagonal holds the
+/// eigenvalues and `v`'s columns the corresponding eigenvectors.
+/// Deterministic: fixed `(p, q)` sweep order, convergence test on a
+/// computed scalar — identical inputs produce identical bits.
+fn jacobi_eigh(a: &mut [f64], v: &mut [f64], n: usize) {
+    // v = I
+    v[..n * n].fill(0.0);
+    for i in 0..n {
+        v[i * n + i] = 1.0;
+    }
+    let trace: f64 = (0..n).map(|i| a[i * n + i].abs()).sum();
+    let tol = (trace.max(f64::MIN_POSITIVE) * JACOBI_REL_TOL).powi(2);
+    for _ in 0..MAX_JACOBI_SWEEPS {
+        let mut off = 0.0;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                off += a[p * n + q] * a[p * n + q];
+            }
+        }
+        if off <= tol {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = a[p * n + q];
+                if apq == 0.0 {
+                    continue;
+                }
+                let theta = (a[q * n + q] - a[p * n + p]) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (theta * theta + 1.0).sqrt())
+                } else {
+                    -1.0 / (-theta + (theta * theta + 1.0).sqrt())
+                };
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Rotate rows/columns p and q of `a`.
+                for k in 0..n {
+                    let akp = a[k * n + p];
+                    let akq = a[k * n + q];
+                    a[k * n + p] = c * akp - s * akq;
+                    a[k * n + q] = s * akp + c * akq;
+                }
+                for k in 0..n {
+                    let apk = a[p * n + k];
+                    let aqk = a[q * n + k];
+                    a[p * n + k] = c * apk - s * aqk;
+                    a[q * n + k] = s * apk + c * aqk;
+                }
+                for k in 0..n {
+                    let vkp = v[k * n + p];
+                    let vkq = v[k * n + q];
+                    v[k * n + p] = c * vkp - s * vkq;
+                    v[k * n + q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Matrix;
+
+    fn lcg(seed: &mut u64) -> f64 {
+        *seed = seed
+            .wrapping_mul(6364136415821433261)
+            .wrapping_add(1442695040888963407);
+        ((*seed >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+    }
+
+    fn stream(n: usize, dim: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut s = seed;
+        (0..n)
+            .map(|_| (0..dim).map(|_| lcg(&mut s)).collect())
+            .collect()
+    }
+
+    fn exact_gram(rows: &[Vec<f64>], dim: usize) -> Matrix {
+        let mut y = Matrix::zeros(dim, dim);
+        for x in rows {
+            for i in 0..dim {
+                for j in 0..dim {
+                    y[(i, j)] += x[i] * x[j];
+                }
+            }
+        }
+        y
+    }
+
+    #[test]
+    fn below_capacity_the_sketch_is_exact() {
+        let dim = 6;
+        let rank = 4;
+        let rows = stream(2 * rank - 1, dim, 0xFD01);
+        let mut sk = FrequentDirections::new(rank, dim);
+        for x in &rows {
+            sk.update(x);
+        }
+        assert_eq!(sk.fill(), rows.len());
+        let mut approx = Matrix::zeros(dim, dim);
+        sk.add_gram_to(&mut approx);
+        let exact = exact_gram(&rows, dim);
+        assert!(approx.max_abs_diff(&exact) < 1e-12, "pre-shrink not exact");
+    }
+
+    #[test]
+    fn shrink_respects_the_frequent_directions_bound() {
+        // 0 <= AᵀA − BᵀB <= (‖A‖²_F / r) I entry-wise via the spectral
+        // bound; check the scalar consequences on quadratic forms.
+        let dim = 8;
+        let rank = 4;
+        let rows = stream(200, dim, 0xFD02);
+        let mut sk = FrequentDirections::new(rank, dim);
+        let mut frob_sq = 0.0;
+        for x in &rows {
+            sk.update(x);
+            frob_sq += x.iter().map(|v| v * v).sum::<f64>();
+        }
+        assert!(sk.fill() <= 2 * rank);
+        let mut approx = Matrix::zeros(dim, dim);
+        sk.add_gram_to(&mut approx);
+        let exact = exact_gram(&rows, dim);
+        let bound = frob_sq / rank as f64;
+        let mut seed = 0xFD03u64;
+        for _ in 0..50 {
+            let x: Vec<f64> = (0..dim).map(|_| lcg(&mut seed)).collect();
+            let norm_sq: f64 = x.iter().map(|v| v * v).sum();
+            let gap = exact.quadratic_form(&x) - approx.quadratic_form(&x);
+            assert!(gap >= -1e-9, "sketch must under-approximate: gap {gap}");
+            assert!(
+                gap <= bound * norm_sq + 1e-9,
+                "FD bound violated: gap {gap} > {}",
+                bound * norm_sq
+            );
+        }
+    }
+
+    #[test]
+    fn updates_are_deterministic_bitwise() {
+        let dim = 5;
+        let rank = 3;
+        let rows = stream(77, dim, 0xFD04);
+        let mut a = FrequentDirections::new(rank, dim);
+        let mut b = FrequentDirections::new(rank, dim);
+        for x in &rows {
+            a.update(x);
+            b.update(x);
+        }
+        assert_eq!(a.fill(), b.fill());
+        for (x, y) in a.live_rows().iter().zip(b.live_rows()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn from_rows_round_trip_is_bit_exact() {
+        let dim = 4;
+        let rank = 2;
+        let rows = stream(31, dim, 0xFD05);
+        let mut sk = FrequentDirections::new(rank, dim);
+        for x in &rows {
+            sk.update(x);
+        }
+        let restored = FrequentDirections::from_rows(rank, dim, sk.live_rows());
+        assert_eq!(restored.fill(), sk.fill());
+        for (x, y) in restored.live_rows().iter().zip(sk.live_rows()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        // Continuing the stream from the restored sketch stays in
+        // lockstep with the original.
+        let more = stream(20, dim, 0xFD06);
+        let mut sk2 = restored;
+        let mut sk1 = sk;
+        for x in &more {
+            sk1.update(x);
+            sk2.update(x);
+        }
+        for (x, y) in sk1.live_rows().iter().zip(sk2.live_rows()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn state_is_sublinear_in_d_squared() {
+        // The point of the sketch: rank-4 state at d = 32 is far below
+        // the d² Gram it replaces.
+        let dim = 32;
+        let sk = FrequentDirections::new(4, dim);
+        assert!(sk.state_bytes() < dim * dim * 8);
+    }
+
+    #[test]
+    fn jacobi_recovers_known_eigenvalues() {
+        // diag(3, 1) rotated by 45°: eigenvalues {3, 1}.
+        let n = 2;
+        let mut a = vec![2.0, 1.0, 1.0, 2.0];
+        let mut v = vec![0.0; 4];
+        jacobi_eigh(&mut a, &mut v, n);
+        let mut evs = [a[0], a[3]];
+        evs.sort_by(f64::total_cmp);
+        assert!((evs[0] - 1.0).abs() < 1e-12);
+        assert!((evs[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank must be positive")]
+    fn zero_rank_is_rejected() {
+        let _ = FrequentDirections::new(0, 4);
+    }
+}

@@ -25,25 +25,63 @@
 //! b        d × f64
 //! θ̂        d × f64             cached value (may be stale; see flags)
 //! ```
+//!
+//! ## Sketch records
+//!
+//! The sketched warm tier spills a user as a frequent-directions sketch
+//! of their Gram update plus the exact `b` vector — `O(r·d)` instead of
+//! `O(d²)`. The sketch rows are serialised verbatim (no shrink on
+//! encode), so encode → decode is a bit-exact round trip of the sketch
+//! state; only the later reconstruction against a prior is lossy.
+//!
+//! ```text
+//! magic    "FASEAMK1"          8 bytes
+//! dim      u32                 4
+//! rank     u32                 4
+//! fill     u32                 4   live sketch rows (≤ 2·rank)
+//! lambda   f64                 8
+//! obs      u64                 8   observation count
+//! recomp   u64                 8   θ̂ recompute count
+//! rows     fill·d × f64        row-major live sketch rows
+//! b        d × f64             exact reward-weighted context sum
+//! ```
 
 use crate::ModelsError;
 use fasea_bandit::RidgeEstimator;
-use fasea_linalg::{Matrix, Vector};
+use fasea_linalg::{FrequentDirections, Matrix, Vector};
 
 /// Magic prefix of an exact estimator blob.
 pub const EXACT_MAGIC: &[u8; 8] = b"FASEAMX1";
+/// Magic prefix of a sketched estimator blob.
+pub const SKETCH_MAGIC: &[u8; 8] = b"FASEAMK1";
 
 const HEADER_LEN: usize = 8 + 4 + 4 + 8 + 8 + 8;
+const SKETCH_HEADER_LEN: usize = 8 + 4 + 4 + 4 + 8 + 8 + 8;
 
 /// Size in bytes of an exact blob for dimension `d`.
 pub fn exact_blob_len(dim: usize) -> usize {
     HEADER_LEN + 8 * (2 * dim * dim + 2 * dim)
 }
 
+/// Size in bytes of a sketch blob with `fill` live rows over dimension
+/// `d`.
+pub fn sketch_blob_len(dim: usize, fill: usize) -> usize {
+    SKETCH_HEADER_LEN + 8 * (fill * dim + dim)
+}
+
 /// Serialises the full mutable state of `est`, bit-for-bit.
 pub fn encode_exact(est: &RidgeEstimator) -> Vec<u8> {
+    let mut out = Vec::with_capacity(exact_blob_len(est.dim()));
+    encode_exact_into(est, &mut out);
+    out
+}
+
+/// Appends `est`'s exact blob to `out` without an intermediate `Vec` —
+/// allocation-free when `out` has capacity (the batched-demotion path).
+pub fn encode_exact_into(est: &RidgeEstimator, out: &mut Vec<u8>) {
     let d = est.dim();
-    let mut out = Vec::with_capacity(exact_blob_len(d));
+    let start = out.len();
+    out.reserve(exact_blob_len(d));
     out.extend_from_slice(EXACT_MAGIC);
     out.extend_from_slice(&(d as u32).to_le_bytes());
     let flags: u32 = u32::from(est.is_theta_stale());
@@ -63,13 +101,93 @@ pub fn encode_exact(est: &RidgeEstimator) -> Vec<u8> {
     for &v in est.theta_hat_cached().as_slice() {
         out.extend_from_slice(&v.to_le_bytes());
     }
-    debug_assert_eq!(out.len(), exact_blob_len(d));
-    out
+    debug_assert_eq!(out.len() - start, exact_blob_len(d));
 }
 
-/// Appends `est`'s exact blob to `out` without an intermediate `Vec`.
-pub fn encode_exact_into(est: &RidgeEstimator, out: &mut Vec<u8>) {
-    out.extend_from_slice(&encode_exact(est));
+/// Decoded contents of a sketch record: the restored sketch, the exact
+/// `b` vector and the estimator counters carried through the spill.
+#[derive(Debug, Clone)]
+pub struct SketchRecord {
+    /// Ridge regularisation strength.
+    pub lambda: f64,
+    /// Observation count at encode time.
+    pub observations: u64,
+    /// θ̂ recompute count at encode time.
+    pub recomputes: u64,
+    /// The frequent-directions sketch, bit-identical to the encoded one.
+    pub sketch: FrequentDirections,
+    /// Exact reward-weighted context sum `b = Σ r x`.
+    pub b: Vector,
+}
+
+/// Appends a sketch record to `out`. Rows are written verbatim —
+/// without shrinking — so the round trip through
+/// [`decode_sketch`] restores the sketch bit-for-bit.
+pub fn encode_sketch_into(
+    sketch: &FrequentDirections,
+    b: &Vector,
+    lambda: f64,
+    observations: u64,
+    recomputes: u64,
+    out: &mut Vec<u8>,
+) {
+    let d = sketch.dim();
+    debug_assert_eq!(b.len(), d, "sketch record: b dim mismatch");
+    let start = out.len();
+    out.reserve(sketch_blob_len(d, sketch.fill()));
+    out.extend_from_slice(SKETCH_MAGIC);
+    out.extend_from_slice(&(d as u32).to_le_bytes());
+    out.extend_from_slice(&(sketch.rank() as u32).to_le_bytes());
+    out.extend_from_slice(&(sketch.fill() as u32).to_le_bytes());
+    out.extend_from_slice(&lambda.to_le_bytes());
+    out.extend_from_slice(&observations.to_le_bytes());
+    out.extend_from_slice(&recomputes.to_le_bytes());
+    for &v in sketch.live_rows() {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    for &v in b.as_slice() {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    debug_assert_eq!(out.len() - start, sketch_blob_len(d, sketch.fill()));
+}
+
+/// Decodes a sketch record. The restored sketch is bit-identical to the
+/// encoded one and continues the row stream in lockstep.
+pub fn decode_sketch(blob: &[u8]) -> Result<SketchRecord, ModelsError> {
+    let mut buf = blob;
+    if take(&mut buf, 8)? != SKETCH_MAGIC {
+        return Err(ModelsError::Codec("not a sketch record"));
+    }
+    let dim = take_u32(&mut buf)? as usize;
+    if dim == 0 || dim > u16::MAX as usize {
+        return Err(ModelsError::Codec("implausible dimension"));
+    }
+    let rank = take_u32(&mut buf)? as usize;
+    if rank == 0 || rank > u16::MAX as usize {
+        return Err(ModelsError::Codec("implausible sketch rank"));
+    }
+    let fill = take_u32(&mut buf)? as usize;
+    if fill > 2 * rank {
+        return Err(ModelsError::Codec("sketch fill exceeds buffer"));
+    }
+    let lambda = take_f64(&mut buf)?;
+    if !(lambda.is_finite() && lambda > 0.0) {
+        return Err(ModelsError::Codec("lambda must be finite and positive"));
+    }
+    let observations = take_u64(&mut buf)?;
+    let recomputes = take_u64(&mut buf)?;
+    let rows = take_f64s(&mut buf, fill * dim)?;
+    let b = Vector::from(take_f64s(&mut buf, dim)?);
+    if !buf.is_empty() {
+        return Err(ModelsError::Codec("trailing bytes after sketch record"));
+    }
+    Ok(SketchRecord {
+        lambda,
+        observations,
+        recomputes,
+        sketch: FrequentDirections::from_rows(rank, dim, &rows),
+        b,
+    })
 }
 
 fn take<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8], ModelsError> {
@@ -225,5 +343,73 @@ mod tests {
         let mut bad_flags = blob.clone();
         bad_flags[12] = 0xFE;
         assert!(decode_exact(&bad_flags).is_err());
+    }
+
+    #[test]
+    fn encode_into_matches_encode_and_appends() {
+        let est = trained(5, 23, 3);
+        let mut out = vec![0xAA, 0xBB];
+        encode_exact_into(&est, &mut out);
+        assert_eq!(&out[..2], &[0xAA, 0xBB]);
+        assert_eq!(&out[2..], encode_exact(&est).as_slice());
+    }
+
+    #[test]
+    fn sketch_record_round_trip_is_bit_exact() {
+        let dim = 6;
+        let rank = 2;
+        let mut sk = FrequentDirections::new(rank, dim);
+        let mut state = 0x5EED_CAFEu64 | 1;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state as f64 / u64::MAX as f64) * 2.0 - 1.0
+        };
+        for _ in 0..17 {
+            let x: Vec<f64> = (0..dim).map(|_| next()).collect();
+            sk.update(&x);
+        }
+        let b = Vector::from((0..dim).map(|_| next()).collect::<Vec<_>>());
+        let mut blob = Vec::new();
+        encode_sketch_into(&sk, &b, 0.7, 17, 3, &mut blob);
+        assert_eq!(blob.len(), sketch_blob_len(dim, sk.fill()));
+        let rec = decode_sketch(&blob).unwrap();
+        assert_eq!(rec.lambda, 0.7);
+        assert_eq!(rec.observations, 17);
+        assert_eq!(rec.recomputes, 3);
+        assert_eq!(rec.sketch.fill(), sk.fill());
+        for (x, y) in rec.sketch.live_rows().iter().zip(sk.live_rows()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        assert_eq!(rec.b.as_slice(), b.as_slice());
+        // Re-encoding the decoded record reproduces the blob.
+        let mut blob2 = Vec::new();
+        encode_sketch_into(&rec.sketch, &rec.b, rec.lambda, 17, 3, &mut blob2);
+        assert_eq!(blob, blob2);
+    }
+
+    #[test]
+    fn sketch_record_rejects_damage() {
+        let sk = FrequentDirections::new(2, 3);
+        let b = Vector::zeros(3);
+        let mut blob = Vec::new();
+        encode_sketch_into(&sk, &b, 1.0, 0, 0, &mut blob);
+        assert!(decode_sketch(&blob[..blob.len() - 1]).is_err());
+        assert!(decode_sketch(&[]).is_err());
+        let mut wrong_magic = blob.clone();
+        wrong_magic[0] ^= 0xFF;
+        assert!(decode_sketch(&wrong_magic).is_err());
+        let mut trailing = blob.clone();
+        trailing.push(0);
+        assert!(decode_sketch(&trailing).is_err());
+        // fill > 2*rank is refused.
+        let mut bad_fill = blob.clone();
+        bad_fill[16] = 0xFF;
+        assert!(decode_sketch(&bad_fill).is_err());
+        // Exact blobs are not sketch records and vice versa.
+        let est = trained(3, 5, 2);
+        assert!(decode_sketch(&encode_exact(&est)).is_err());
+        assert!(decode_exact(&blob).is_err());
     }
 }

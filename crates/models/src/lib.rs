@@ -8,13 +8,19 @@
 //! social networks means one model per user (or cohort). Three
 //! mechanisms keep that affordable:
 //!
-//! * **Copy-on-write prior** ([`EstimatorStore`]) — fresh users alias
-//!   one shared prior estimator and cost ~0 private bytes; private
-//!   state materializes on first observation.
+//! * **Cohort prior chain** ([`EstimatorStore`]) — a three-level
+//!   copy-on-write chain *global prior → cohort prior → user delta*:
+//!   users hash deterministically into cohorts, early feedback folds
+//!   into a shared per-cohort `RidgeEstimator`, and users whose state
+//!   has not diverged alias their cohort at zero private bytes.
 //! * **Quantized residency tier** ([`QuantizedModel`]) — idle resident
 //!   models are demoted to an `i16` fixed-point copy (upper-triangle
 //!   `Y⁻¹`, `b`, `θ̂`) for approximate reads, with `state_bytes()`
 //!   accounting against configurable hot/warm byte budgets.
+//! * **Sketched per-user state** ([`SketchWarm`], opt-in) — private
+//!   state as a rank-`r` frequent-directions sketch of the Gram update
+//!   plus the exact `b` vector, `O(r·d)` bytes instead of `O(d²)`,
+//!   reconstructed against the cohort prior on promotion.
 //! * **WAL-backed spill** ([`SpillLog`]) — demoted models' exact bits
 //!   go to an append-only, CRC-framed, crash-safe log (the same
 //!   framing as `fasea-store`'s WAL) and fault back in on access.
@@ -36,9 +42,9 @@ pub mod spill;
 pub mod store;
 
 pub use policy::{PersonalizedTs, PersonalizedUcb, UserSchedule};
-pub use quant::QuantizedModel;
+pub use quant::{QuantizedModel, SketchWarm};
 pub use spill::SpillLog;
-pub use store::{EstimatorStore, ModelHandle, StoreConfig, StoreStats, UserId};
+pub use store::{EstimatorStore, ModelHandle, StateMode, StoreConfig, StoreStats, UserId};
 
 /// Errors surfaced by the model store subsystem.
 #[derive(Debug)]

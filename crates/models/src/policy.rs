@@ -55,6 +55,15 @@ impl UserSchedule {
     }
 }
 
+/// The store's cumulative tier counters in the form the workspace
+/// publishes to the serving layers.
+fn tier_stats(store: &EstimatorStore) -> fasea_bandit::ModelTierStats {
+    fasea_bandit::ModelTierStats {
+        cohort_hits: store.cohort_hits(),
+        sketch_promotions: store.sketch_promotions(),
+    }
+}
+
 fn snapshot_err(e: crate::ModelsError) -> SnapshotError {
     match e {
         crate::ModelsError::Codec(s)
@@ -157,18 +166,16 @@ impl Policy for PersonalizedUcb {
     ) {
         let user = self.schedule.user_at(t);
         let h = self.store.resolve(UserId(user));
-        let est = self
-            .store
-            .estimator_for_observe(h, t)
-            .expect("PersonalizedUcb: estimator access failed");
         for (v, accepted) in feedback.zip(arrangement) {
             let r = if accepted { 1.0 } else { 0.0 };
-            est.observe(contexts.context(v), r)
+            self.store
+                .observe(h, contexts.context(v), r, t)
                 .expect("PersonalizedUcb: estimator update failed");
         }
         self.store
             .enforce_budget(t)
             .expect("PersonalizedUcb: budget enforcement failed");
+        self.ws.set_model_tier_stats(tier_stats(&self.store));
     }
 
     fn state_bytes(&self) -> usize {
@@ -292,18 +299,16 @@ impl Policy for PersonalizedTs {
     ) {
         let user = self.schedule.user_at(t);
         let h = self.store.resolve(UserId(user));
-        let est = self
-            .store
-            .estimator_for_observe(h, t)
-            .expect("PersonalizedTs: estimator access failed");
         for (v, accepted) in feedback.zip(arrangement) {
             let r = if accepted { 1.0 } else { 0.0 };
-            est.observe(contexts.context(v), r)
+            self.store
+                .observe(h, contexts.context(v), r, t)
                 .expect("PersonalizedTs: estimator update failed");
         }
         self.store
             .enforce_budget(t)
             .expect("PersonalizedTs: budget enforcement failed");
+        self.ws.set_model_tier_stats(tier_stats(&self.store));
     }
 
     fn state_bytes(&self) -> usize {

@@ -35,15 +35,15 @@ pub struct QuantizedModel {
     codes: Box<[i16]>,
 }
 
-fn quantize_block(values: impl Iterator<Item = f64> + Clone, out: &mut Vec<i16>) -> f64 {
+fn quantize_block(values: impl Iterator<Item = f64> + Clone, out: &mut [i16]) -> f64 {
     let max_abs = values
         .clone()
         .fold(0.0f64, |acc, v| acc.max(v.abs()))
         .max(f64::MIN_POSITIVE);
     let scale = max_abs / Q_FULL;
-    for v in values {
+    for (o, v) in out.iter_mut().zip(values) {
         // max|v|/scale = Q_FULL exactly, so the cast never saturates.
-        out.push((v / scale).round() as i16);
+        *o = (v / scale).round() as i16;
     }
     scale
 }
@@ -54,23 +54,41 @@ impl QuantizedModel {
     pub fn quantize(est: &RidgeEstimator) -> Self {
         let d = est.dim();
         let tri = d * (d + 1) / 2;
-        let mut codes = Vec::with_capacity(tri + 2 * d);
+        let mut q = QuantizedModel {
+            dim: d as u16,
+            observations: 0,
+            scale_yinv: 0.0,
+            scale_b: 0.0,
+            scale_theta: 0.0,
+            codes: vec![0i16; tri + 2 * d].into_boxed_slice(),
+        };
+        q.requantize(est);
+        q
+    }
+
+    /// Overwrites this model in place with `est`'s current state —
+    /// allocation-free recycling for the batched demotion path, which
+    /// reuses evicted warm slots instead of reallocating code buffers.
+    ///
+    /// # Panics
+    /// Panics if `est`'s dimension differs from this model's.
+    pub fn requantize(&mut self, est: &RidgeEstimator) {
+        let d = est.dim();
+        assert_eq!(d, self.dim(), "requantize: dimension mismatch");
+        let tri = d * (d + 1) / 2;
         let y_inv = est.y_inv();
         let upper = (0..d).flat_map(|i| (i..d).map(move |j| (i, j)));
-        let scale_yinv = quantize_block(upper.map(|(i, j)| y_inv.row(i)[j]), &mut codes);
-        let scale_b = quantize_block(est.b_vector().as_slice().iter().copied(), &mut codes);
-        let scale_theta = quantize_block(
-            est.theta_hat_cached().as_slice().iter().copied(),
-            &mut codes,
+        self.scale_yinv =
+            quantize_block(upper.map(|(i, j)| y_inv.row(i)[j]), &mut self.codes[..tri]);
+        self.scale_b = quantize_block(
+            est.b_vector().as_slice().iter().copied(),
+            &mut self.codes[tri..tri + d],
         );
-        QuantizedModel {
-            dim: d as u16,
-            observations: est.observations(),
-            scale_yinv,
-            scale_b,
-            scale_theta,
-            codes: codes.into_boxed_slice(),
-        }
+        self.scale_theta = quantize_block(
+            est.theta_hat_cached().as_slice().iter().copied(),
+            &mut self.codes[tri + d..],
+        );
+        self.observations = est.observations();
     }
 
     /// Context dimension `d`.
@@ -134,6 +152,78 @@ impl QuantizedModel {
 
     /// Heap + inline bytes of this representation — the store's warm
     /// accounting unit, mirroring `RidgeEstimator::state_bytes`.
+    pub fn state_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + std::mem::size_of_val::<[i16]>(&self.codes)
+    }
+}
+
+/// Warm-tier representation for the **sketched** state mode: quantized
+/// `θ̂` and `b` only — `2d` codes against the `d(d+1)/2 + 2d` of
+/// [`QuantizedModel`], because the sketched tier never carries a
+/// per-user `Y⁻¹` (widths come from the prior chain). Like the
+/// quantized tier it is read-only and diagnostic; decisions fault the
+/// sketch record back in through the spill log.
+#[derive(Debug, Clone)]
+pub struct SketchWarm {
+    dim: u16,
+    observations: u64,
+    scale_theta: f64,
+    scale_b: f64,
+    /// `θ̂` (`d` codes) then `b` (`d` codes).
+    codes: Box<[i16]>,
+}
+
+impl SketchWarm {
+    /// Compresses the estimator's cached `θ̂` and exact `b`. Reads only
+    /// cached values — never mutates or refreshes `est`.
+    pub fn from_estimator(est: &RidgeEstimator) -> Self {
+        let d = est.dim();
+        let mut codes = vec![0i16; 2 * d].into_boxed_slice();
+        let scale_theta = quantize_block(
+            est.theta_hat_cached().as_slice().iter().copied(),
+            &mut codes[..d],
+        );
+        let scale_b = quantize_block(est.b_vector().as_slice().iter().copied(), &mut codes[d..]);
+        SketchWarm {
+            dim: d as u16,
+            observations: est.observations(),
+            scale_theta,
+            scale_b,
+            codes,
+        }
+    }
+
+    /// Context dimension `d`.
+    pub fn dim(&self) -> usize {
+        self.dim as usize
+    }
+
+    /// Observation count carried over from the exact state.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// Dequantized `θ̂` entry `i`.
+    pub fn theta_at(&self, i: usize) -> f64 {
+        self.codes[i] as f64 * self.scale_theta
+    }
+
+    /// Dequantized `b` entry `i`.
+    pub fn b_at(&self, i: usize) -> f64 {
+        self.codes[self.dim() + i] as f64 * self.scale_b
+    }
+
+    /// Approximate point estimate `xᵀθ̃` from the quantized `θ̂`.
+    pub fn approx_point_estimate(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.dim(), "context dimension mismatch");
+        x.iter()
+            .enumerate()
+            .map(|(i, &xi)| xi * self.theta_at(i))
+            .sum()
+    }
+
+    /// Heap + inline bytes — the store's warm accounting unit in
+    /// sketched mode.
     pub fn state_bytes(&self) -> usize {
         std::mem::size_of::<Self>() + std::mem::size_of_val::<[i16]>(&self.codes)
     }
@@ -205,5 +295,58 @@ mod tests {
         let q = QuantizedModel::quantize(&est);
         assert_eq!(q.approx_point_estimate(&[1.0, 1.0, 1.0]), 0.0);
         assert!(q.approx_width(&[1.0, 0.0, 0.0]).is_finite());
+    }
+
+    #[test]
+    fn requantize_matches_fresh_quantize() {
+        let est_a = trained(6, 200);
+        let est_b = trained(6, 55);
+        let mut recycled = QuantizedModel::quantize(&est_a);
+        recycled.requantize(&est_b);
+        let fresh = QuantizedModel::quantize(&est_b);
+        assert_eq!(recycled.codes, fresh.codes);
+        assert_eq!(recycled.scale_yinv.to_bits(), fresh.scale_yinv.to_bits());
+        assert_eq!(recycled.scale_b.to_bits(), fresh.scale_b.to_bits());
+        assert_eq!(recycled.scale_theta.to_bits(), fresh.scale_theta.to_bits());
+        assert_eq!(recycled.observations(), fresh.observations());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn requantize_rejects_dim_change() {
+        let mut q = QuantizedModel::quantize(&trained(4, 10));
+        q.requantize(&trained(5, 10));
+    }
+
+    #[test]
+    fn sketch_warm_tracks_theta_and_b() {
+        let mut est = trained(6, 150);
+        let _ = est.theta_hat();
+        let w = SketchWarm::from_estimator(&est);
+        assert_eq!(w.dim(), 6);
+        assert_eq!(w.observations(), 150);
+        let x = [0.3, -0.2, 0.5, 0.1, -0.4, 0.2];
+        assert!((w.approx_point_estimate(&x) - est.point_estimate(&x)).abs() < 1e-3);
+        for i in 0..6 {
+            assert!((w.b_at(i) - est.b_vector()[i]).abs() <= w.scale_b * 0.5 + 1e-15);
+        }
+    }
+
+    #[test]
+    fn sketch_warm_halves_warm_bytes_at_d_16_and_up() {
+        // The acceptance criterion for the sketched tier: the warm
+        // representation costs ≤ half the quantized-triangle bytes from
+        // d = 16 (the triangle is d(d+1)/2 codes, SketchWarm is 2d).
+        for d in [16usize, 24, 32] {
+            let est = trained(d, 40);
+            let full = QuantizedModel::quantize(&est);
+            let warm = SketchWarm::from_estimator(&est);
+            assert!(
+                warm.state_bytes() * 2 <= full.state_bytes(),
+                "d={d}: sketch warm {} vs quantized {}",
+                warm.state_bytes(),
+                full.state_bytes()
+            );
+        }
     }
 }

@@ -3,16 +3,37 @@
 //! One append-only file of CRC-framed records (the same
 //! `len | crc32 | payload` framing as the round WAL, via
 //! `fasea-store`'s raw-frame primitives). Each payload is
-//! `user_id (u64 LE) | exact estimator blob` (see [`crate::codec`]).
-//! Re-spilling a user appends a new frame; the in-memory index keeps
-//! only the latest offset per user, so on the recovery scan **the last
-//! frame per user wins** — the on-disk analogue of last-writer-wins.
+//! `key (u64 LE) | kind (u8) | blob`, where `kind` tags the record
+//! type:
+//!
+//! * [`KIND_USER_EXACT`] — a user's exact estimator blob
+//!   ([`crate::codec::encode_exact`]), keyed by user id;
+//! * [`KIND_COHORT`] — a cohort prior's exact blob, keyed by cohort id;
+//! * [`KIND_USER_SKETCH`] — a user's frequent-directions sketch record
+//!   ([`crate::codec::encode_sketch_into`]), keyed by user id.
+//!
+//! Re-spilling a key appends a new frame; the in-memory index keeps
+//! only the latest offset per `(kind, key)`, so on the recovery scan
+//! **the last frame per key wins** — the on-disk analogue of
+//! last-writer-wins.
+//!
+//! ## Batched appends
+//!
+//! Demotion under memory pressure happens in runs (the store demotes
+//! every victim over budget in one sweep), so the log exposes a batch
+//! API: [`SpillLog::batch_begin`] / [`SpillLog::batch_add`] /
+//! [`SpillLog::batch_commit`]. A batch stages frames into one reused
+//! write buffer and commits them with a single seek + write, so a run
+//! of N demotions costs one syscall and — once the buffers have grown
+//! to steady-state capacity — zero allocations. [`SpillLog::append`]
+//! is a batch of one.
 //!
 //! ## Crash safety
 //!
-//! * Appends are a single frame write; a crash mid-append leaves a torn
-//!   tail that the opening scan CRC-rejects and truncates, exactly like
-//!   the WAL's segment recovery.
+//! * A committed batch is a contiguous run of frames; a crash mid-write
+//!   leaves a torn tail that the opening scan CRC-rejects and
+//!   truncates, exactly like the WAL's segment recovery. Earlier frames
+//!   of the same batch survive individually (each carries its own CRC).
 //! * Compaction writes a complete next-generation file
 //!   (`spill-<g+1>.log.tmp`), fsyncs it, then renames it into place —
 //!   the rename is the commit point. Stale `.tmp` files and older
@@ -30,10 +51,19 @@ use std::path::{Path, PathBuf};
 
 /// Magic prefix of a spill log file.
 pub const SPILL_MAGIC: &[u8; 8] = b"FASEASPL";
-/// Current on-disk format version.
-pub const SPILL_VERSION: u32 = 1;
+/// Current on-disk format version (v2 added the record-kind byte).
+pub const SPILL_VERSION: u32 = 2;
+
+/// Record kind: a user's exact estimator blob.
+pub const KIND_USER_EXACT: u8 = 0;
+/// Record kind: a cohort prior's exact estimator blob.
+pub const KIND_COHORT: u8 = 1;
+/// Record kind: a user's frequent-directions sketch record.
+pub const KIND_USER_SKETCH: u8 = 2;
 
 const HEADER_LEN: u64 = 8 + 4 + 8;
+/// `key (8) | kind (1)` prefix of every payload.
+const PAYLOAD_PREFIX: usize = 9;
 /// Compact when dead bytes exceed both live bytes and this floor.
 const COMPACT_MIN_GARBAGE: u64 = 1 << 20;
 
@@ -52,10 +82,17 @@ pub struct SpillLog {
     file: File,
     write_pos: u64,
     fingerprint: u64,
-    index: HashMap<u64, Slot>,
+    index: HashMap<(u8, u64), Slot>,
     live_bytes: u64,
     appends: u64,
     compactions: u64,
+    /// Reused staging buffers for the batch API: framed bytes awaiting
+    /// the commit write, the payload scratch, and the staged index
+    /// entries `(kind, key, offset, frame_len)`.
+    batch_buf: Vec<u8>,
+    payload_buf: Vec<u8>,
+    staged: Vec<(u8, u64, u64, u64)>,
+    in_batch: bool,
 }
 
 fn log_path(dir: &Path, generation: u64) -> PathBuf {
@@ -134,9 +171,9 @@ impl SpillLog {
         let mut file = OpenOptions::new().read(true).write(true).open(&path)?;
         read_header(&mut file, fingerprint)?;
 
-        // Scan: last frame per user wins; stop at the first torn frame
-        // and truncate the file back to the end of the valid prefix.
-        let mut index: HashMap<u64, Slot> = HashMap::new();
+        // Scan: last frame per (kind, key) wins; stop at the first torn
+        // frame and truncate the file back to the valid prefix.
+        let mut index: HashMap<(u8, u64), Slot> = HashMap::new();
         let mut reader = BufReader::new(&mut file);
         let mut good_end = HEADER_LEN;
         loop {
@@ -149,15 +186,16 @@ impl SpillLog {
                     break;
                 }
                 RawFrame::Payload { payload, bytes } => {
-                    if payload.len() < 8 {
+                    if payload.len() < PAYLOAD_PREFIX {
                         drop(reader);
                         file.set_len(good_end)?;
                         file.sync_data()?;
                         break;
                     }
-                    let user = u64::from_le_bytes(payload[..8].try_into().unwrap());
+                    let key = u64::from_le_bytes(payload[..8].try_into().unwrap());
+                    let kind = payload[8];
                     index.insert(
-                        user,
+                        (kind, key),
                         Slot {
                             offset: good_end,
                             frame_len: bytes,
@@ -178,40 +216,96 @@ impl SpillLog {
             live_bytes,
             appends: 0,
             compactions: 0,
+            batch_buf: Vec::new(),
+            payload_buf: Vec::new(),
+            staged: Vec::new(),
+            in_batch: false,
         })
     }
 
-    /// Appends (or replaces) `user`'s exact blob. Durable once
-    /// [`SpillLog::sync`] returns; the write itself is buffered by the
-    /// OS like WAL appends under `FsyncPolicy::Never`.
-    pub fn append(&mut self, user: u64, blob: &[u8]) -> Result<(), ModelsError> {
-        let mut payload = Vec::with_capacity(8 + blob.len());
-        payload.extend_from_slice(&user.to_le_bytes());
-        payload.extend_from_slice(blob);
-        self.file.seek(SeekFrom::Start(self.write_pos))?;
-        let bytes = write_raw_frame(&mut self.file, &payload)?;
-        if let Some(old) = self.index.insert(
-            user,
-            Slot {
-                offset: self.write_pos,
-                frame_len: bytes,
-            },
-        ) {
-            self.live_bytes -= old.frame_len;
+    /// Starts a batch of appends. Frames staged with
+    /// [`SpillLog::batch_add`] hit the file — and become readable — only
+    /// at [`SpillLog::batch_commit`].
+    ///
+    /// # Panics
+    /// Panics if a batch is already open.
+    pub fn batch_begin(&mut self) {
+        assert!(!self.in_batch, "spill batch already open");
+        self.in_batch = true;
+        self.batch_buf.clear();
+        self.staged.clear();
+    }
+
+    /// Stages one `(kind, key)` record into the open batch. Reuses the
+    /// log's staging buffers — allocation-free once they have grown to
+    /// the batch's steady-state size.
+    ///
+    /// # Errors
+    /// I/O errors from framing (buffer writes cannot fail in practice).
+    ///
+    /// # Panics
+    /// Panics if no batch is open.
+    pub fn batch_add(&mut self, kind: u8, key: u64, blob: &[u8]) -> Result<(), ModelsError> {
+        assert!(self.in_batch, "batch_add outside a spill batch");
+        self.payload_buf.clear();
+        self.payload_buf.extend_from_slice(&key.to_le_bytes());
+        self.payload_buf.push(kind);
+        self.payload_buf.extend_from_slice(blob);
+        let offset = self.write_pos + self.batch_buf.len() as u64;
+        let bytes = write_raw_frame(&mut self.batch_buf, &self.payload_buf)?;
+        self.staged.push((kind, key, offset, bytes));
+        Ok(())
+    }
+
+    /// Commits the open batch: one seek + one write for every staged
+    /// frame, then index/accounting updates and (possibly) a
+    /// compaction.
+    ///
+    /// # Errors
+    /// I/O failures; the batch is closed either way (a failed write
+    /// leaves a torn tail for the next open to truncate).
+    ///
+    /// # Panics
+    /// Panics if no batch is open.
+    pub fn batch_commit(&mut self) -> Result<(), ModelsError> {
+        assert!(self.in_batch, "batch_commit outside a spill batch");
+        self.in_batch = false;
+        if self.staged.is_empty() {
+            return Ok(());
         }
-        self.live_bytes += bytes;
-        self.write_pos += bytes;
-        self.appends += 1;
+        self.file.seek(SeekFrom::Start(self.write_pos))?;
+        self.file.write_all(&self.batch_buf)?;
+        self.write_pos += self.batch_buf.len() as u64;
+        for i in 0..self.staged.len() {
+            let (kind, key, offset, frame_len) = self.staged[i];
+            if let Some(old) = self.index.insert((kind, key), Slot { offset, frame_len }) {
+                self.live_bytes -= old.frame_len;
+            }
+            self.live_bytes += frame_len;
+            self.appends += 1;
+        }
+        self.staged.clear();
+        self.batch_buf.clear();
         self.maybe_compact()?;
         Ok(())
     }
 
-    /// Reads back `user`'s latest exact blob, CRC-verified. `None` if
-    /// the user has never been spilled (or was cleared). Takes `&self`:
-    /// the read seeks a borrowed handle, leaving append state untouched
-    /// (appends re-seek to their own write position).
-    pub fn read(&self, user: u64) -> Result<Option<Vec<u8>>, ModelsError> {
-        let slot = match self.index.get(&user) {
+    /// Appends (or replaces) one record — a batch of one. Durable once
+    /// [`SpillLog::sync`] returns; the write itself is buffered by the
+    /// OS like WAL appends under `FsyncPolicy::Never`.
+    pub fn append(&mut self, kind: u8, key: u64, blob: &[u8]) -> Result<(), ModelsError> {
+        self.batch_begin();
+        self.batch_add(kind, key, blob)?;
+        self.batch_commit()
+    }
+
+    /// Reads back the latest blob for `(kind, key)`, CRC-verified.
+    /// `None` if the key has never been spilled (or was cleared). Takes
+    /// `&self`: the read seeks a borrowed handle, leaving append state
+    /// untouched (appends re-seek to their own write position).
+    pub fn read(&self, kind: u8, key: u64) -> Result<Option<Vec<u8>>, ModelsError> {
+        debug_assert!(!self.in_batch, "reads during an open batch see stale state");
+        let slot = match self.index.get(&(kind, key)) {
             Some(s) => *s,
             None => return Ok(None),
         };
@@ -220,19 +314,34 @@ impl SpillLog {
         let mut region = file.take(slot.frame_len);
         match read_raw_frame(&mut region)? {
             RawFrame::Payload { payload, .. } => {
-                if payload.len() < 8 || u64::from_le_bytes(payload[..8].try_into().unwrap()) != user
+                if payload.len() < PAYLOAD_PREFIX
+                    || u64::from_le_bytes(payload[..8].try_into().unwrap()) != key
+                    || payload[8] != kind
                 {
                     return Err(ModelsError::Spill("spill index points at wrong record"));
                 }
-                Ok(Some(payload[8..].to_vec()))
+                Ok(Some(payload[PAYLOAD_PREFIX..].to_vec()))
             }
             _ => Err(ModelsError::Spill("spilled record failed its checksum")),
         }
     }
 
-    /// Whether `user` has a live spilled record.
-    pub fn contains(&self, user: u64) -> bool {
-        self.index.contains_key(&user)
+    /// Whether `(kind, key)` has a live spilled record.
+    pub fn contains(&self, kind: u8, key: u64) -> bool {
+        self.index.contains_key(&(kind, key))
+    }
+
+    /// Live keys of one record kind, ascending — deterministic
+    /// enumeration for rehydration (e.g. cohort priors at open).
+    pub fn live_keys_sorted(&self, kind: u8) -> Vec<u64> {
+        let mut keys: Vec<u64> = self
+            .index
+            .keys()
+            .filter(|(k, _)| *k == kind)
+            .map(|(_, key)| *key)
+            .collect();
+        keys.sort_unstable();
+        keys
     }
 
     /// Drops every record and starts a fresh generation — used when a
@@ -271,29 +380,31 @@ impl SpillLog {
         self.compact()
     }
 
-    /// Rewrites the log with only live records (latest frame per user),
-    /// committing via rename. Record order is sorted by user id, so the
-    /// compacted file's bytes are a pure function of the live state.
+    /// Rewrites the log with only live records (latest frame per key),
+    /// committing via rename. Record order is sorted by `(kind, key)`,
+    /// so the compacted file's bytes are a pure function of the live
+    /// state.
     pub fn compact(&mut self) -> Result<(), ModelsError> {
         let next = self.generation + 1;
         let tmp = self.dir.join(format!("spill-{next:06}.log.tmp"));
         let mut out = File::create(&tmp)?;
         write_header(&mut out, self.fingerprint)?;
 
-        let mut users: Vec<u64> = self.index.keys().copied().collect();
-        users.sort_unstable();
-        let mut new_index = HashMap::with_capacity(users.len());
+        let mut keys: Vec<(u8, u64)> = self.index.keys().copied().collect();
+        keys.sort_unstable();
+        let mut new_index = HashMap::with_capacity(keys.len());
         let mut pos = HEADER_LEN;
-        for user in users {
+        for (kind, key) in keys {
             let blob = self
-                .read(user)?
+                .read(kind, key)?
                 .ok_or(ModelsError::Spill("live record vanished during compaction"))?;
-            let mut payload = Vec::with_capacity(8 + blob.len());
-            payload.extend_from_slice(&user.to_le_bytes());
+            let mut payload = Vec::with_capacity(PAYLOAD_PREFIX + blob.len());
+            payload.extend_from_slice(&key.to_le_bytes());
+            payload.push(kind);
             payload.extend_from_slice(&blob);
             let bytes = write_raw_frame(&mut out, &payload)?;
             new_index.insert(
-                user,
+                (kind, key),
                 Slot {
                     offset: pos,
                     frame_len: bytes,
@@ -315,7 +426,7 @@ impl SpillLog {
         Ok(())
     }
 
-    /// Number of users with a live spilled record.
+    /// Number of keys with a live spilled record (all kinds).
     pub fn live_users(&self) -> usize {
         self.index.len()
     }
@@ -357,18 +468,81 @@ mod tests {
         let dir = temp_dir("roundtrip");
         {
             let mut log = SpillLog::open(&dir, 42).unwrap();
-            log.append(7, b"seven-v1").unwrap();
-            log.append(9, b"nine").unwrap();
-            log.append(7, b"seven-v2").unwrap();
+            log.append(KIND_USER_EXACT, 7, b"seven-v1").unwrap();
+            log.append(KIND_USER_EXACT, 9, b"nine").unwrap();
+            log.append(KIND_USER_EXACT, 7, b"seven-v2").unwrap();
             log.sync().unwrap();
-            assert_eq!(log.read(7).unwrap().unwrap(), b"seven-v2");
+            assert_eq!(log.read(KIND_USER_EXACT, 7).unwrap().unwrap(), b"seven-v2");
             assert_eq!(log.live_users(), 2);
         }
         let log = SpillLog::open(&dir, 42).unwrap();
-        assert_eq!(log.read(7).unwrap().unwrap(), b"seven-v2");
-        assert_eq!(log.read(9).unwrap().unwrap(), b"nine");
-        assert_eq!(log.read(8).unwrap(), None);
+        assert_eq!(log.read(KIND_USER_EXACT, 7).unwrap().unwrap(), b"seven-v2");
+        assert_eq!(log.read(KIND_USER_EXACT, 9).unwrap().unwrap(), b"nine");
+        assert_eq!(log.read(KIND_USER_EXACT, 8).unwrap(), None);
         assert_eq!(log.live_users(), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn kinds_are_independent_namespaces() {
+        let dir = temp_dir("kinds");
+        {
+            let mut log = SpillLog::open(&dir, 11).unwrap();
+            log.append(KIND_USER_EXACT, 5, b"user-five").unwrap();
+            log.append(KIND_COHORT, 5, b"cohort-five").unwrap();
+            log.append(KIND_USER_SKETCH, 5, b"sketch-five").unwrap();
+            log.sync().unwrap();
+        }
+        let log = SpillLog::open(&dir, 11).unwrap();
+        assert_eq!(log.read(KIND_USER_EXACT, 5).unwrap().unwrap(), b"user-five");
+        assert_eq!(log.read(KIND_COHORT, 5).unwrap().unwrap(), b"cohort-five");
+        assert_eq!(
+            log.read(KIND_USER_SKETCH, 5).unwrap().unwrap(),
+            b"sketch-five"
+        );
+        assert_eq!(log.live_users(), 3);
+        assert_eq!(log.live_keys_sorted(KIND_COHORT), vec![5]);
+        assert!(log.live_keys_sorted(3).is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn batched_appends_commit_atomically_and_read_back() {
+        let dir = temp_dir("batch");
+        let mut log = SpillLog::open(&dir, 9).unwrap();
+        log.batch_begin();
+        for k in 0..20u64 {
+            log.batch_add(KIND_USER_EXACT, k, &[k as u8; 64]).unwrap();
+        }
+        // Nothing is readable (or counted) before commit.
+        assert_eq!(log.live_users(), 0);
+        assert_eq!(log.appends(), 0);
+        log.batch_commit().unwrap();
+        assert_eq!(log.live_users(), 20);
+        assert_eq!(log.appends(), 20);
+        for k in 0..20u64 {
+            assert_eq!(
+                log.read(KIND_USER_EXACT, k).unwrap().unwrap(),
+                vec![k as u8; 64]
+            );
+        }
+        // A batch replacing earlier keys reclaims their live bytes.
+        let live_before = log.live_bytes();
+        log.batch_begin();
+        log.batch_add(KIND_USER_EXACT, 3, &[0xEE; 64]).unwrap();
+        log.batch_commit().unwrap();
+        assert_eq!(log.live_bytes(), live_before);
+        assert_eq!(log.read(KIND_USER_EXACT, 3).unwrap().unwrap(), [0xEE; 64]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_batch_commit_is_a_noop() {
+        let dir = temp_dir("emptybatch");
+        let mut log = SpillLog::open(&dir, 1).unwrap();
+        log.batch_begin();
+        log.batch_commit().unwrap();
+        assert_eq!(log.file_bytes(), HEADER_LEN);
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -378,8 +552,8 @@ mod tests {
         let path;
         {
             let mut log = SpillLog::open(&dir, 1).unwrap();
-            log.append(1, b"alpha").unwrap();
-            log.append(2, b"beta").unwrap();
+            log.append(KIND_USER_EXACT, 1, b"alpha").unwrap();
+            log.append(KIND_USER_EXACT, 2, b"beta").unwrap();
             log.sync().unwrap();
             path = log_path(&dir, 0);
         }
@@ -389,12 +563,12 @@ mod tests {
         drop(f);
         let before = fs::metadata(&path).unwrap().len();
         let mut log = SpillLog::open(&dir, 1).unwrap();
-        assert_eq!(log.read(1).unwrap().unwrap(), b"alpha");
-        assert_eq!(log.read(2).unwrap().unwrap(), b"beta");
+        assert_eq!(log.read(KIND_USER_EXACT, 1).unwrap().unwrap(), b"alpha");
+        assert_eq!(log.read(KIND_USER_EXACT, 2).unwrap().unwrap(), b"beta");
         assert!(fs::metadata(&path).unwrap().len() < before);
         // The truncated log accepts new appends at the repaired tail.
-        log.append(3, b"gamma").unwrap();
-        assert_eq!(log.read(3).unwrap().unwrap(), b"gamma");
+        log.append(KIND_USER_EXACT, 3, b"gamma").unwrap();
+        assert_eq!(log.read(KIND_USER_EXACT, 3).unwrap().unwrap(), b"gamma");
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -415,22 +589,54 @@ mod tests {
         let mut log = SpillLog::open(&dir, 3).unwrap();
         for round in 0..10u8 {
             for user in 0..8u64 {
-                log.append(user, &[round; 100]).unwrap();
+                log.append(KIND_USER_EXACT, user, &[round; 100]).unwrap();
             }
         }
+        log.append(KIND_COHORT, 1, &[0x77; 50]).unwrap();
         let before = log.file_bytes();
         log.compact().unwrap();
         assert!(log.file_bytes() < before);
-        assert_eq!(log.live_users(), 8);
+        assert_eq!(log.live_users(), 9);
         for user in 0..8u64 {
-            assert_eq!(log.read(user).unwrap().unwrap(), vec![9u8; 100]);
+            assert_eq!(
+                log.read(KIND_USER_EXACT, user).unwrap().unwrap(),
+                vec![9u8; 100]
+            );
         }
+        assert_eq!(log.read(KIND_COHORT, 1).unwrap().unwrap(), vec![0x77; 50]);
         drop(log);
         // The committed generation is what reopen finds.
         let log = SpillLog::open(&dir, 3).unwrap();
-        assert_eq!(log.live_users(), 8);
-        assert_eq!(log.read(4).unwrap().unwrap(), vec![9u8; 100]);
+        assert_eq!(log.live_users(), 9);
+        assert_eq!(
+            log.read(KIND_USER_EXACT, 4).unwrap().unwrap(),
+            vec![9u8; 100]
+        );
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compacted_bytes_are_a_pure_function_of_live_state() {
+        // Two logs that arrive at the same live state through different
+        // append orders compact to byte-identical files.
+        let dir_a = temp_dir("pure-a");
+        let dir_b = temp_dir("pure-b");
+        let mut a = SpillLog::open(&dir_a, 4).unwrap();
+        let mut b = SpillLog::open(&dir_b, 4).unwrap();
+        a.append(KIND_USER_EXACT, 1, b"one").unwrap();
+        a.append(KIND_COHORT, 0, b"coh").unwrap();
+        a.append(KIND_USER_EXACT, 2, b"two").unwrap();
+        b.append(KIND_USER_EXACT, 2, b"stale").unwrap();
+        b.append(KIND_USER_EXACT, 2, b"two").unwrap();
+        b.append(KIND_USER_EXACT, 1, b"one").unwrap();
+        b.append(KIND_COHORT, 0, b"coh").unwrap();
+        a.compact().unwrap();
+        b.compact().unwrap();
+        let bytes_a = fs::read(log_path(&dir_a, 1)).unwrap();
+        let bytes_b = fs::read(log_path(&dir_b, 1)).unwrap();
+        assert_eq!(bytes_a, bytes_b);
+        let _ = fs::remove_dir_all(&dir_a);
+        let _ = fs::remove_dir_all(&dir_b);
     }
 
     #[test]
@@ -438,12 +644,12 @@ mod tests {
         let dir = temp_dir("tmp");
         {
             let mut log = SpillLog::open(&dir, 8).unwrap();
-            log.append(1, b"keep").unwrap();
+            log.append(KIND_USER_EXACT, 1, b"keep").unwrap();
             log.sync().unwrap();
         }
         fs::write(dir.join("spill-000001.log.tmp"), b"half-written").unwrap();
         let log = SpillLog::open(&dir, 8).unwrap();
-        assert_eq!(log.read(1).unwrap().unwrap(), b"keep");
+        assert_eq!(log.read(KIND_USER_EXACT, 1).unwrap().unwrap(), b"keep");
         assert!(!dir.join("spill-000001.log.tmp").exists());
         let _ = fs::remove_dir_all(&dir);
     }
@@ -452,14 +658,14 @@ mod tests {
     fn clear_starts_a_fresh_generation() {
         let dir = temp_dir("clear");
         let mut log = SpillLog::open(&dir, 2).unwrap();
-        log.append(1, b"old").unwrap();
+        log.append(KIND_USER_EXACT, 1, b"old").unwrap();
         log.clear().unwrap();
         assert_eq!(log.live_users(), 0);
-        assert_eq!(log.read(1).unwrap(), None);
-        log.append(1, b"new").unwrap();
+        assert_eq!(log.read(KIND_USER_EXACT, 1).unwrap(), None);
+        log.append(KIND_USER_EXACT, 1, b"new").unwrap();
         drop(log);
         let log = SpillLog::open(&dir, 2).unwrap();
-        assert_eq!(log.read(1).unwrap().unwrap(), b"new");
+        assert_eq!(log.read(KIND_USER_EXACT, 1).unwrap().unwrap(), b"new");
         let _ = fs::remove_dir_all(&dir);
     }
 }

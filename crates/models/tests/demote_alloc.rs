@@ -1,0 +1,179 @@
+//! The zero-allocation bar for the batched demotion sweep.
+//!
+//! A counting `GlobalAlloc` wraps the system allocator and tallies
+//! per-thread allocation bytes/calls. After a warm-up (which grows the
+//! victim buffer, the encode buffer, the spill log's staged write
+//! buffer, and primes the quantized-model recycling pool), the
+//! steady-state [`EstimatorStore::enforce_budget`] sweeps — pop
+//! victims, stage spill records into one reused buffer, requantize
+//! into pooled warm boxes — must allocate **nothing per demotion**.
+//!
+//! "Nothing per demotion" is asserted as an amortized bound of 64
+//! bytes per demoted model: one spill record frame is ≥1 KiB and one
+//! quantized warm box ≥200 B at d = 8, so a single per-victim buffer
+//! or box allocation sneaking back into the sweep trips the bound by
+//! an order of magnitude. The only allocation the bound tolerates is
+//! the LRU index's BTree node churn (a ~192 B leaf split roughly once
+//! per 11 inserts as the monotone access keys walk right), which is
+//! per-*index-maintenance*, not per-victim, and is why the bar is not
+//! literal zero.
+//!
+//! Caveats encoded here:
+//! * the measured region is the demotion sweep only; the fault-in path
+//!   legitimately allocates (it decodes a fresh estimator box from the
+//!   spill log) and runs outside the measurement;
+//! * the round count keeps dead spill frames below the 1 MiB
+//!   compaction threshold — compaction rewrites the log and is allowed
+//!   to allocate;
+//! * exact mode only: sketched warm representations are built fresh
+//!   per demotion by design (they are 4× smaller than the quantized
+//!   exact rep and carry no pool).
+
+use fasea_models::{EstimatorStore, StoreConfig, UserId};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    static BYTES: Cell<u64> = const { Cell::new(0) };
+    static CALLS: Cell<u64> = const { Cell::new(0) };
+}
+
+struct CountingAlloc;
+
+// SAFETY: delegates every operation to `System`; the counters are
+// const-initialised thread-locals, so no allocation happens on the
+// accounting path itself.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        BYTES.with(|c| c.set(c.get() + layout.size() as u64));
+        CALLS.with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        BYTES.with(|c| c.set(c.get() + layout.size() as u64));
+        CALLS.with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // Growth counts as fresh allocation of the new block.
+        BYTES.with(|c| c.set(c.get() + new_size as u64));
+        CALLS.with(|c| c.set(c.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Bytes and calls allocated on this thread while `f` runs.
+fn allocations_during(f: impl FnOnce()) -> (u64, u64) {
+    let b0 = BYTES.with(|c| c.get());
+    let c0 = CALLS.with(|c| c.get());
+    f();
+    (BYTES.with(|c| c.get()) - b0, CALLS.with(|c| c.get()) - c0)
+}
+
+const DIM: usize = 8;
+
+fn context(t: u64, x: &mut [f64]) {
+    let mut h = t.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xA110C;
+    for v in x.iter_mut() {
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        *v = (h >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+    }
+}
+
+#[test]
+fn steady_state_demotion_sweeps_are_allocation_free() {
+    let dir = std::env::temp_dir().join(format!("fasea-demote-alloc-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // A hot budget that holds a handful of d=8 exact models and a
+    // working set a few times larger, so every round-robin pass faults
+    // warm models back in and demotes the LRU hot ones.
+    let users = 48u64;
+    let config = StoreConfig::bounded(DIM, 1.0, 16 << 10, 4 << 20, &dir);
+    let mut store = EstimatorStore::new(config).expect("open store");
+    let mut x = vec![0.0f64; DIM];
+
+    // Warm-up: materialize the working set, then run two full
+    // round-robin passes so every buffer (victim vec, encode buffer,
+    // spill batch buffer, quant pool) reaches its steady-state size.
+    let mut t = 0u64;
+    for _ in 0..3 {
+        for u in 0..users {
+            context(t, &mut x);
+            let h = store.resolve(UserId(u));
+            store.observe(h, &x, (u % 2) as f64, t).expect("observe");
+            store.enforce_budget(t).expect("budget");
+            t += 1;
+        }
+    }
+    let demotions_before = store.stats().demotions;
+    assert!(
+        demotions_before > users,
+        "fixture never exceeded the hot budget: {demotions_before} demotions"
+    );
+
+    // Measure: 96 further rounds. The fault-in inside observe() stays
+    // outside the measured region; only the demotion sweep is held to
+    // the zero-allocation bar.
+    let mut total = (0u64, 0u64);
+    for _ in 0..96 {
+        let u = t % users;
+        context(t, &mut x);
+        let h = store.resolve(UserId(u));
+        store.observe(h, &x, (u % 2) as f64, t).expect("observe");
+        let (b, c) = allocations_during(|| {
+            store.enforce_budget(t).expect("budget");
+        });
+        total = (total.0 + b, total.1 + c);
+        t += 1;
+    }
+    let demoted = store.stats().demotions - demotions_before;
+    assert!(
+        demoted >= 90,
+        "measured region performed too few demotions to be meaningful: {demoted}"
+    );
+    assert!(
+        total.0 <= demoted * 64,
+        "steady-state demotion sweeps allocated {} bytes in {} calls over {demoted} \
+         demotions — a per-victim buffer, spill frame, or warm box is being \
+         allocated inside the sweep",
+        total.0,
+        total.1
+    );
+    // Call count sanity: index node churn is sub-once-per-sweep; a
+    // per-victim allocation would make calls >= demotions.
+    assert!(
+        total.1 * 4 <= demoted,
+        "allocation calls ({}) scale with demotions ({demoted})",
+        total.1
+    );
+    // The round count above keeps dead frames well under the spill
+    // log's 1 MiB compaction threshold; a compaction inside the
+    // measured region would be a fixture bug, not a regression.
+    assert_eq!(store.stats().spill_compactions, 0, "fixture compacted");
+
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn counting_allocator_actually_counts() {
+    // Guard against a silently broken harness: a Vec allocation must be
+    // visible to the counter, or the bound above is vacuous.
+    let (bytes, calls) = allocations_during(|| {
+        let v: Vec<u64> = Vec::with_capacity(32);
+        std::hint::black_box(&v);
+    });
+    assert!(bytes >= 32 * 8, "allocation went uncounted: {bytes}");
+    assert!(calls >= 1);
+}

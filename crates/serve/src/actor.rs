@@ -253,6 +253,8 @@ pub struct ServiceActor {
     grants: VecDeque<Grant>,
     /// Workspace prefetch counters already drained into the metrics.
     prefetch_seen: fasea_bandit::PrefetchStats,
+    /// Workspace model-tier counters already drained into the metrics.
+    tier_seen: fasea_bandit::ModelTierStats,
     waiters: VecDeque<Waiter>,
     /// Set once a store-level failure makes further writes unsafe.
     poisoned: bool,
@@ -339,6 +341,7 @@ impl ServiceActor {
             pipeline_depth: pipeline_depth.max(1),
             grants: VecDeque::new(),
             prefetch_seen: fasea_bandit::PrefetchStats::default(),
+            tier_seen: fasea_bandit::ModelTierStats::default(),
             waiters: VecDeque::new(),
             poisoned: false,
             acks,
@@ -777,6 +780,20 @@ impl ServiceActor {
         self.prefetch_seen = s;
     }
 
+    /// Folds newly accumulated workspace model-tier counters (cohort
+    /// select hits, sketch promotions) into the serving metrics. Stays
+    /// all-zero for policies without a backing estimator store.
+    fn drain_model_tier_metrics(&mut self) {
+        let s = self.svc.model_tier_stats();
+        self.metrics
+            .cohort_hits
+            .add(s.cohort_hits - self.tier_seen.cohort_hits);
+        self.metrics
+            .sketch_promotions
+            .add(s.sketch_promotions - self.tier_seen.sketch_promotions);
+        self.tier_seen = s;
+    }
+
     /// After the head round completed: if the next grant already sent
     /// its proposal, execute it now — in round order, which is what
     /// keeps the WAL bit-equal to sequential admission. Conflicts
@@ -837,6 +854,7 @@ impl ServiceActor {
                     self.metrics.feedback_us.observe(started.elapsed());
                     self.metrics.feedbacks.incr();
                     self.svc.drain_shard_metrics(&self.metrics);
+                    self.drain_model_tier_metrics();
                     // The round is complete in memory: retire its grant
                     // *now* so the next round proceeds while this
                     // round's records are still being fsynced — the
@@ -855,6 +873,7 @@ impl ServiceActor {
                 self.metrics.feedback_us.observe(started.elapsed());
                 self.metrics.feedbacks.incr();
                 self.svc.drain_shard_metrics(&self.metrics);
+                self.drain_model_tier_metrics();
                 self.grants.pop_front();
                 let _ = reply.send(Response::FeedbackOk { t, reward });
                 self.maybe_snapshot();

@@ -162,6 +162,14 @@ impl BackendService {
         self.service().policy().workspace().prefetch_stats()
     }
 
+    /// Cumulative model-tier counters of the policy workspace —
+    /// cohort-prior select hits and sketch-record promotions, published
+    /// by the personalized policies (all-zero for global policies). The
+    /// actor drains deltas into its metrics.
+    pub fn model_tier_stats(&self) -> fasea_bandit::ModelTierStats {
+        self.service().policy().workspace().model_tier_stats()
+    }
+
     /// See [`DurableArrangementService::pending_arrangement`].
     pub fn pending_arrangement(&self) -> Option<&Arrangement> {
         delegate!(self.pending_arrangement())

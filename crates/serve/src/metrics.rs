@@ -179,6 +179,12 @@ registry! {
         /// Optimistic admissions invalidated by an intervening model
         /// update — resolved in round order by re-scoring the loser.
         conflict_replays,
+        /// Cold-user selections served through a materialized cohort
+        /// prior (personalized policies with `--cohorts` only).
+        cohort_hits,
+        /// Promotions that reconstructed a user model from its rank-r
+        /// sketch record (`--state sketched` only).
+        sketch_promotions,
     }
     histograms {
         /// Service-side propose latency (validate + policy + WAL append).
@@ -283,6 +289,8 @@ mod tests {
         assert!(counters.iter().any(|(n, _)| n == "prefetch_hit"));
         assert!(counters.iter().any(|(n, _)| n == "prefetch_recompute"));
         assert!(counters.iter().any(|(n, _)| n == "conflict_replays"));
+        assert!(counters.iter().any(|(n, _)| n == "cohort_hits"));
+        assert!(counters.iter().any(|(n, _)| n == "sketch_promotions"));
         let hists = m.wire_histograms();
         assert_eq!(hists[0].name, "propose_us");
         assert_eq!(hists.len(), 10);

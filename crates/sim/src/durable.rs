@@ -96,6 +96,15 @@ pub struct DurableOptions {
     /// installed *before* WAL replay (recovery re-executes proposals
     /// through it).
     pub oracle: fasea_bandit::OracleOptions,
+    /// An extra salt mixed into the service fingerprint when non-zero.
+    /// `0` (the default) contributes nothing, keeping existing logs
+    /// valid. Callers whose policy construction takes knobs invisible
+    /// to [`service_fingerprint`] — e.g. a personalized model store's
+    /// cohort or sketched-state configuration, which change decisions
+    /// without changing the policy name — must fold those knobs into
+    /// this salt so stale logs are rejected instead of replaying
+    /// divergently.
+    pub fingerprint_salt: u64,
 }
 
 impl Default for DurableOptions {
@@ -107,6 +116,7 @@ impl Default for DurableOptions {
             score_threads: 0,
             group_commit: false,
             oracle: fasea_bandit::OracleOptions::new(),
+            fingerprint_salt: 0,
         }
     }
 }
@@ -155,6 +165,13 @@ impl DurableOptions {
     /// Selects the arrangement oracle. See [`DurableOptions::oracle`].
     pub fn with_oracle(mut self, oracle: fasea_bandit::OracleOptions) -> Self {
         self.oracle = oracle;
+        self
+    }
+
+    /// Sets the extra fingerprint salt. See
+    /// [`DurableOptions::fingerprint_salt`].
+    pub fn with_fingerprint_salt(mut self, salt: u64) -> Self {
+        self.fingerprint_salt = salt;
         self
     }
 }
@@ -316,6 +333,21 @@ pub fn service_fingerprint_with_oracle(
     h
 }
 
+/// Folds an extra salt into a service fingerprint. Zero contributes
+/// nothing (the identity), matching
+/// [`DurableOptions::fingerprint_salt`]'s default; any non-zero salt
+/// is FNV-folded byte-wise so distinct salts land on distinct
+/// fingerprints.
+pub fn fold_fingerprint_salt(mut h: u64, salt: u64) -> u64 {
+    if salt != 0 {
+        for &b in &salt.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    h
+}
+
 impl DurableArrangementService {
     /// Opens the durable service in `dir`, recovering persisted state
     /// if any exists; a fresh directory starts a fresh service. The
@@ -335,8 +367,10 @@ impl DurableArrangementService {
         mut policy: Box<dyn Policy>,
         options: DurableOptions,
     ) -> Result<Self, ServiceError> {
-        let fingerprint =
-            service_fingerprint_with_oracle(&instance, policy.name(), &options.oracle);
+        let fingerprint = fold_fingerprint_salt(
+            service_fingerprint_with_oracle(&instance, policy.name(), &options.oracle),
+            options.fingerprint_salt,
+        );
         let snapshot = latest_snapshot(dir, fingerprint)?;
         let wal_options = WalOptions {
             segment_bytes: options.segment_bytes,

@@ -42,8 +42,8 @@ pub mod snapshotter;
 pub mod sweep;
 
 pub use durable::{
-    service_fingerprint, service_fingerprint_with_oracle, DurableArrangementService,
-    DurableOptions, ServiceHealth,
+    fold_fingerprint_salt, service_fingerprint, service_fingerprint_with_oracle,
+    DurableArrangementService, DurableOptions, ServiceHealth,
 };
 pub use memory::MemoryModel;
 pub use multi_user::{

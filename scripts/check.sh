@@ -13,9 +13,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test -q"
 cargo test -q --workspace
 
-# No internal caller may use a deprecated API (e.g. the PR 8-deprecated
-# oracle_greedy* free-function wrappers): the re-exports themselves are
-# #[allow(deprecated)] at the definition site, so this only bites uses.
+# No caller may use a deprecated API. (The PR 8-deprecated
+# oracle_greedy* free-function wrappers this gate was added for have
+# since been removed outright; the gate stays for whatever deprecates
+# next.)
 echo "==> cargo check with -D deprecated"
 RUSTFLAGS="${RUSTFLAGS:-} -D deprecated" cargo check -q --workspace --all-targets
 
@@ -50,6 +51,21 @@ cargo test -q --test models_spill_determinism
 # FASEA_BENCH_USERS=1000000 run, not this smoke.
 echo "==> models_residency smoke (FASEA_BENCH_USERS=20000, FASEA_BENCH_MS=25)"
 FASEA_BENCH_USERS=20000 FASEA_BENCH_MS=25 cargo bench -q -p fasea-bench --bench models_residency
+
+# Cohort-mode residency smoke: the same bench with a small cohort count
+# exercises the three-level prior chain (fold path, cohort rehydrate,
+# sketch demote/promote) plus its mode-aware asserts in ~1s.
+echo "==> models_residency cohort smoke (FASEA_BENCH_COHORTS=16)"
+FASEA_BENCH_USERS=20000 FASEA_BENCH_MS=25 FASEA_BENCH_COHORTS=16 \
+  cargo bench -q -p fasea-bench --bench models_residency
+
+# Cohort + sketched multi-user CLI smoke: a budgeted cohort run must
+# verify bit-equal to unbounded, and a sketched run must pass the
+# regret-parity gate against its exact control.
+echo "==> multi-user cohort/sketched determinism smoke"
+cargo test -q -p fasea-experiments --lib -- \
+  cohort_mode_budgeted_run_is_bit_equal_to_unbounded \
+  sketched_mode_passes_regret_parity_at_d_16
 
 # Sharded-vs-single byte parity: every policy at 1/2/4 shards must land
 # on the identical StateDigest (capacities, accounting, policy RNG) as
